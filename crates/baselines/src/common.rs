@@ -1,0 +1,204 @@
+//! Shared machinery for the baseline implementations.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt};
+use supa_embed::NegativeSampler;
+use supa_graph::{Dmhg, NodeId, TemporalEdge};
+
+/// A uniform (type- and relation-agnostic) random walk, as used by DeepWalk
+/// and friends. Returns node indices including the start.
+pub fn uniform_walk<R: Rng + ?Sized>(
+    g: &Dmhg,
+    start: NodeId,
+    length: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let mut walk = Vec::with_capacity(length + 1);
+    walk.push(start.index());
+    let mut cur = start;
+    for _ in 0..length {
+        let nbrs = g.neighbors(cur);
+        if nbrs.is_empty() {
+            break;
+        }
+        cur = nbrs[rng.random_range(0..nbrs.len())].node;
+        walk.push(cur.index());
+    }
+    walk
+}
+
+/// A `deg^{0.75}` negative sampler over every node of the graph.
+pub fn global_sampler(g: &Dmhg) -> Option<NegativeSampler> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let ids: Vec<u32> = (0..n as u32).collect();
+    let degs: Vec<f64> = (0..n).map(|i| g.degree(NodeId(i as u32)) as f64).collect();
+    Some(NegativeSampler::new(ids, &degs, 0.75))
+}
+
+/// A `deg^{0.75}` sampler restricted to one node type.
+pub fn typed_sampler(g: &Dmhg, ty: supa_graph::NodeTypeId) -> Option<NegativeSampler> {
+    let nodes = g.nodes_of_type(ty);
+    if nodes.is_empty() {
+        return None;
+    }
+    let ids: Vec<u32> = nodes.iter().map(|n| n.0).collect();
+    let degs: Vec<f64> = nodes.iter().map(|&n| g.degree(n) as f64).collect();
+    Some(NegativeSampler::new(ids, &degs, 0.75))
+}
+
+/// Draws `n` BPR training triples `(src, positive dst, negative)` from the
+/// edge list; negatives share the positive's node type.
+pub fn bpr_triples(
+    g: &Dmhg,
+    edges: &[TemporalEdge],
+    n: usize,
+    rng: &mut SmallRng,
+) -> Vec<(u32, u32, u32)> {
+    let mut out = Vec::with_capacity(n);
+    if edges.is_empty() {
+        return out;
+    }
+    for _ in 0..n {
+        let e = &edges[rng.random_range(0..edges.len())];
+        let universe = g.nodes_of_type(g.node_type(e.dst));
+        let neg = universe[rng.random_range(0..universe.len())];
+        out.push((e.src.0, e.dst.0, neg.0));
+    }
+    out
+}
+
+/// Splits a time-sorted edge slice into `n` consecutive snapshots (for the
+/// snapshot-sequence methods: EvolveGCN, DyHATR).
+pub fn snapshots(edges: &[TemporalEdge], n: usize) -> Vec<&[TemporalEdge]> {
+    supa_graph::temporal_slices(edges, n.max(1))
+}
+
+/// Builds one row-normalised adjacency per relation from an edge slice
+/// (empty relations yield an all-zero matrix).
+pub fn relation_adjacencies(
+    n: usize,
+    n_relations: usize,
+    edges: &[TemporalEdge],
+) -> Vec<std::rc::Rc<supa_tensor::CsrMatrix>> {
+    let mut per_rel: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_relations];
+    for e in edges {
+        per_rel[e.relation.index()].push((e.src.index(), e.dst.index()));
+    }
+    per_rel
+        .into_iter()
+        .map(|pairs| {
+            std::rc::Rc::new(supa_tensor::CsrMatrix::row_normalized_adjacency(n, &pairs))
+        })
+        .collect()
+}
+
+/// Collects the undirected `(src, dst)` index pairs of an edge slice.
+pub fn index_pairs(edges: &[TemporalEdge]) -> Vec<(usize, usize)> {
+    edges
+        .iter()
+        .map(|e| (e.src.index(), e.dst.index()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use supa_graph::{GraphSchema, RelationId};
+
+    fn graph() -> (Dmhg, Vec<NodeId>, Vec<NodeId>) {
+        let mut s = GraphSchema::new();
+        let u = s.add_node_type("U");
+        let i = s.add_node_type("I");
+        let r = s.add_relation("R", u, i);
+        let mut g = Dmhg::new(s);
+        let us = g.add_nodes(u, 4);
+        let is_ = g.add_nodes(i, 6);
+        let mut t = 0.0;
+        for (a, &uu) in us.iter().enumerate() {
+            for (b, &ii) in is_.iter().enumerate() {
+                if (a + b) % 2 == 0 {
+                    t += 1.0;
+                    g.add_edge(uu, ii, r, t).unwrap();
+                }
+            }
+        }
+        (g, us, is_)
+    }
+
+    #[test]
+    fn uniform_walk_stays_on_edges() {
+        let (g, us, _) = graph();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let walk = uniform_walk(&g, us[0], 6, &mut rng);
+        assert_eq!(walk.len(), 7);
+        for w in walk.windows(2) {
+            let a = NodeId(w[0] as u32);
+            let b = NodeId(w[1] as u32);
+            assert!(g.neighbors(a).iter().any(|n| n.node == b));
+        }
+    }
+
+    #[test]
+    fn uniform_walk_truncates_on_isolated_nodes() {
+        let mut s = GraphSchema::new();
+        let u = s.add_node_type("U");
+        let mut g = Dmhg::new(s);
+        let lonely = g.add_node(u);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(uniform_walk(&g, lonely, 5, &mut rng), vec![0]);
+    }
+
+    #[test]
+    fn samplers_cover_expected_universes() {
+        let (g, us, is_) = graph();
+        let gs = global_sampler(&g).unwrap();
+        assert_eq!(gs.len(), 10);
+        let ts = typed_sampler(&g, g.node_type(is_[0])).unwrap();
+        assert_eq!(ts.len(), 6);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let id = ts.sample(&mut rng);
+            assert!(id >= us.len() as u32);
+        }
+    }
+
+    #[test]
+    fn bpr_triples_type_consistent() {
+        let (g, _, _) = graph();
+        let edges: Vec<TemporalEdge> = (0..g.num_nodes())
+            .flat_map(|i| {
+                g.neighbors(NodeId(i as u32))
+                    .iter()
+                    .filter(move |n| n.node.index() > i)
+                    .map(move |n| TemporalEdge::new(NodeId(i as u32), n.node, n.relation, n.time))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let triples = bpr_triples(&g, &edges, 50, &mut rng);
+        assert_eq!(triples.len(), 50);
+        for (_, pos, neg) in triples {
+            assert_eq!(
+                g.node_type(NodeId(pos)),
+                g.node_type(NodeId(neg)),
+                "negative must share the positive's type"
+            );
+        }
+        let _ = RelationId(0);
+    }
+
+    #[test]
+    fn snapshots_partition() {
+        let (_, _, _) = graph();
+        let edges: Vec<TemporalEdge> = (0..10)
+            .map(|i| TemporalEdge::new(NodeId(0), NodeId(5), RelationId(0), i as f64))
+            .collect();
+        let snaps = snapshots(&edges, 3);
+        assert_eq!(snaps.len(), 3);
+        assert_eq!(snaps.iter().map(|s| s.len()).sum::<usize>(), 10);
+    }
+}

@@ -1,0 +1,255 @@
+//! DyGNN (Ma et al., SIGIR 2020) — architecture-faithful reduction.
+//!
+//! DyGNN processes a *stream* of edges; each edge fires an **interact unit**
+//! that updates the two endpoints and a **propagate unit** that pushes the
+//! interaction information to their neighbours, attenuated by how long ago
+//! each neighbour edge formed.
+//!
+//! **Kept**: per-edge streaming updates, the interact/propagate split, and
+//! time-interval attenuation of propagation. **Simplified**: the LSTM-style
+//! gated cells are replaced by (a) an SGNS-style contrastive update for the
+//! interact unit and (b) a fixed-rate decayed additive merge for the
+//! propagate unit — the "who gets updated, scaled by how recent" structure
+//! is what the neighbourhood-disturbance experiments exercise.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use supa_embed::sgns::train_pair_single;
+use supa_embed::{EmbeddingTable, NegativeSampler};
+use supa_eval::{Recommender, Scorer};
+use supa_graph::{Dmhg, NodeId, RelationId, TemporalEdge};
+
+use crate::common::global_sampler;
+
+/// DyGNN configuration.
+#[derive(Debug, Clone)]
+pub struct DyGnnConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Negatives per interact update.
+    pub n_neg: usize,
+    /// Learning rate of the interact unit.
+    pub lr: f32,
+    /// Propagation strength λ.
+    pub lambda: f32,
+    /// Only the most recent `fanout` neighbours receive propagation.
+    pub fanout: usize,
+    /// Time-decay horizon: propagation weight is `exp(−Δt / horizon)`.
+    pub horizon: f64,
+}
+
+impl Default for DyGnnConfig {
+    fn default() -> Self {
+        DyGnnConfig {
+            dim: 32,
+            n_neg: 3,
+            lr: 0.05,
+            lambda: 0.2,
+            fanout: 10,
+            horizon: 0.0, // 0 = auto: max_time / 10
+        }
+    }
+}
+
+/// The DyGNN recommender.
+pub struct DyGnn {
+    cfg: DyGnnConfig,
+    seed: u64,
+    rng: SmallRng,
+    emb: Option<EmbeddingTable>,
+    sampler: Option<NegativeSampler>,
+    horizon: f64,
+}
+
+impl DyGnn {
+    /// Creates an untrained DyGNN model.
+    pub fn new(cfg: DyGnnConfig, seed: u64) -> Self {
+        DyGnn {
+            cfg,
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+            emb: None,
+            sampler: None,
+            horizon: 1.0,
+        }
+    }
+
+    /// One streaming edge event.
+    fn process_edge(&mut self, g: &Dmhg, e: &TemporalEdge) {
+        let Some(emb) = self.emb.as_mut() else {
+            return;
+        };
+        let (u, v) = (e.src.index(), e.dst.index());
+        if u == v {
+            return;
+        }
+        // Interact unit: contrastive update of the two endpoints.
+        let mut negs: Vec<usize> = Vec::with_capacity(self.cfg.n_neg);
+        if let Some(s) = &self.sampler {
+            for _ in 0..self.cfg.n_neg {
+                negs.push(s.sample(&mut self.rng) as usize);
+            }
+        }
+        train_pair_single(emb, u, v, &negs, self.cfg.lr);
+
+        // Propagate unit: neighbours of u learn about v (and vice versa),
+        // attenuated by the age of the connecting edge.
+        for (center, other) in [(e.src, e.dst), (e.dst, e.src)] {
+            let other_row: Vec<f32> = emb.row(other.index()).to_vec();
+            let nbrs: Vec<(usize, f64)> = g
+                .latest_neighbors(center, self.cfg.fanout)
+                .iter()
+                .filter(|n| n.node != other && n.time <= e.time)
+                .map(|n| (n.node.index(), e.time - n.time))
+                .collect();
+            for (nbr, age) in nbrs {
+                let w = self.cfg.lambda * (-age / self.horizon).exp() as f32;
+                if w <= 1e-6 {
+                    continue;
+                }
+                let row = emb.row_mut(nbr);
+                for (x, &o) in row.iter_mut().zip(&other_row) {
+                    *x = (1.0 - 0.5 * w) * *x + 0.5 * w * o;
+                }
+            }
+        }
+    }
+}
+
+impl Scorer for DyGnn {
+    fn score(&self, u: NodeId, v: NodeId, _r: RelationId) -> f32 {
+        match &self.emb {
+            Some(t) => supa_embed::vecmath::dot(t.row(u.index()), t.row(v.index())),
+            None => 0.0,
+        }
+    }
+}
+
+impl Recommender for DyGnn {
+    fn name(&self) -> &str {
+        "DyGNN"
+    }
+
+    fn is_dynamic(&self) -> bool {
+        true
+    }
+
+    fn fit(&mut self, g: &Dmhg, train: &[TemporalEdge]) {
+        self.rng = SmallRng::seed_from_u64(self.seed);
+        self.emb = Some(EmbeddingTable::new(
+            g.num_nodes(),
+            self.cfg.dim,
+            0.5 / self.cfg.dim as f32,
+            &mut self.rng,
+        ));
+        self.sampler = global_sampler(g);
+        self.horizon = if self.cfg.horizon > 0.0 {
+            self.cfg.horizon
+        } else {
+            (g.max_time() / 10.0).max(1e-9)
+        };
+        for e in train {
+            self.process_edge(g, e);
+        }
+    }
+
+    fn fit_incremental(&mut self, g: &Dmhg, new_edges: &[TemporalEdge]) {
+        if self.emb.is_none() {
+            self.fit(g, new_edges);
+            return;
+        }
+        if let Some(t) = self.emb.as_mut() {
+            t.ensure_len(g.num_nodes(), &mut self.rng);
+        }
+        self.sampler = global_sampler(g);
+        for e in new_edges {
+            self.process_edge(g, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supa_graph::GraphSchema;
+
+    fn graph() -> (Dmhg, Vec<NodeId>, Vec<NodeId>, RelationId, Vec<TemporalEdge>) {
+        let mut s = GraphSchema::new();
+        let u = s.add_node_type("U");
+        let i = s.add_node_type("I");
+        let r = s.add_relation("R", u, i);
+        let mut g = Dmhg::new(s);
+        let us = g.add_nodes(u, 5);
+        let is_ = g.add_nodes(i, 10);
+        let mut edges = Vec::new();
+        let mut t = 0.0;
+        for round in 0..8 {
+            for (k, &uu) in us.iter().enumerate() {
+                t += 1.0;
+                let item = is_[(k + round) % 3]; // users share 3 popular items
+                g.add_edge(uu, item, r, t).unwrap();
+                edges.push(TemporalEdge::new(uu, item, r, t));
+            }
+        }
+        (g, us, is_, r, edges)
+    }
+
+    #[test]
+    fn streaming_raises_interacted_scores() {
+        let (g, us, is_, r, edges) = graph();
+        let mut m = DyGnn::new(DyGnnConfig::default(), 3);
+        m.fit(&g, &edges);
+        let seen = m.score(us[0], is_[0], r);
+        let unseen = m.score(us[0], is_[9], r);
+        assert!(seen > unseen, "seen {seen} !> unseen {unseen}");
+    }
+
+    #[test]
+    fn incremental_continues_from_state() {
+        let (g, us, is_, r, edges) = graph();
+        let half = edges.len() / 2;
+        let mut m = DyGnn::new(DyGnnConfig::default(), 4);
+        m.fit(&g, &edges[..half]);
+        let before = m.score(us[1], is_[1], r);
+        m.fit_incremental(&g, &edges[half..]);
+        let after = m.score(us[1], is_[1], r);
+        assert_ne!(before, after);
+        assert!(m.is_dynamic());
+    }
+
+    #[test]
+    fn propagation_reaches_neighbours() {
+        // u0—i0 exists; then u1 interacts with i0: u0 (a neighbour of i0)
+        // should move toward u1's embedding region.
+        let mut s = GraphSchema::new();
+        let uty = s.add_node_type("U");
+        let ity = s.add_node_type("I");
+        let r = s.add_relation("R", uty, ity);
+        let mut g = Dmhg::new(s);
+        let u0 = g.add_node(uty);
+        let u1 = g.add_node(uty);
+        let i0 = g.add_node(ity);
+        g.add_edge(u0, i0, r, 1.0).unwrap();
+        let e1 = TemporalEdge::new(u0, i0, r, 1.0);
+        let mut m = DyGnn::new(
+            DyGnnConfig {
+                lambda: 1.0,
+                horizon: 10.0, // keep the decay mild over the 1-tick age gap
+                ..Default::default()
+            },
+            5,
+        );
+        m.fit(&g, &[e1]);
+        let before = supa_embed::vecmath::cosine(
+            m.emb.as_ref().unwrap().row(u0.index()),
+            m.emb.as_ref().unwrap().row(u1.index()),
+        );
+        g.add_edge(u1, i0, r, 2.0).unwrap();
+        m.fit_incremental(&g, &[TemporalEdge::new(u1, i0, r, 2.0)]);
+        let after = supa_embed::vecmath::cosine(
+            m.emb.as_ref().unwrap().row(u0.index()),
+            m.emb.as_ref().unwrap().row(u1.index()),
+        );
+        assert!(after > before, "{after} !> {before}");
+    }
+}

@@ -1,0 +1,257 @@
+//! NetWalk (Yu et al., KDD 2018) — architecture-faithful reduction.
+//!
+//! NetWalk maintains a *reservoir of walks* that is incrementally patched as
+//! edges arrive, and re-encodes nodes from the updated reservoir.
+//!
+//! **Kept**: the walk reservoir, incremental reservoir maintenance on new
+//! edges, and retraining from the reservoir (the mechanism that makes
+//! NetWalk "dynamic"). **Simplified**: the deep autoencoder "clique
+//! embedding" objective is replaced by skip-gram with negative sampling over
+//! the reservoir walks (the autoencoder's role of embedding co-walking nodes
+//! near each other is preserved).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use supa_embed::sgns::train_walk_window;
+use supa_embed::EmbeddingTable;
+use supa_eval::{Recommender, Scorer};
+use supa_graph::{Dmhg, NodeId, RelationId, TemporalEdge};
+
+use crate::common::{global_sampler, uniform_walk};
+
+/// NetWalk configuration.
+#[derive(Debug, Clone)]
+pub struct NetWalkConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Reservoir capacity (walks).
+    pub reservoir: usize,
+    /// Walk length.
+    pub walk_length: usize,
+    /// Skip-gram window.
+    pub window: usize,
+    /// Negatives per pair.
+    pub n_neg: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// SGNS passes over the reservoir at (re)fit.
+    pub passes: usize,
+    /// Walks regenerated per incoming edge endpoint.
+    pub walks_per_update: usize,
+}
+
+impl Default for NetWalkConfig {
+    fn default() -> Self {
+        NetWalkConfig {
+            dim: 32,
+            reservoir: 2000,
+            walk_length: 8,
+            window: 2,
+            n_neg: 3,
+            lr: 0.025,
+            passes: 2,
+            walks_per_update: 2,
+        }
+    }
+}
+
+/// The NetWalk recommender.
+pub struct NetWalk {
+    cfg: NetWalkConfig,
+    seed: u64,
+    rng: SmallRng,
+    walks: Vec<Vec<usize>>,
+    centers: Option<EmbeddingTable>,
+    contexts: Option<EmbeddingTable>,
+}
+
+impl NetWalk {
+    /// Creates an untrained NetWalk model.
+    pub fn new(cfg: NetWalkConfig, seed: u64) -> Self {
+        NetWalk {
+            cfg,
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+            walks: Vec::new(),
+            centers: None,
+            contexts: None,
+        }
+    }
+
+    /// Number of walks currently in the reservoir.
+    pub fn reservoir_len(&self) -> usize {
+        self.walks.len()
+    }
+
+    fn push_walk(&mut self, walk: Vec<usize>) {
+        if walk.len() < 2 {
+            return;
+        }
+        if self.walks.len() < self.cfg.reservoir {
+            self.walks.push(walk);
+        } else {
+            // Replace a random incumbent: old structure gradually leaves.
+            let i = self.rng.random_range(0..self.walks.len());
+            self.walks[i] = walk;
+        }
+    }
+
+    fn train_from_reservoir(&mut self, g: &Dmhg, walk_indices: &[usize]) {
+        let Some(sampler) = global_sampler(g) else {
+            return;
+        };
+        let (Some(centers), Some(contexts)) = (self.centers.as_mut(), self.contexts.as_mut())
+        else {
+            return;
+        };
+        let n_neg = self.cfg.n_neg;
+        for &wi in walk_indices {
+            let walk = &self.walks[wi];
+            train_walk_window(centers, contexts, walk, self.cfg.window, self.cfg.lr, |negs| {
+                negs.clear();
+                for _ in 0..n_neg {
+                    negs.push(sampler.sample(&mut self.rng) as usize);
+                }
+            });
+        }
+    }
+}
+
+impl Scorer for NetWalk {
+    fn score(&self, u: NodeId, v: NodeId, _r: RelationId) -> f32 {
+        match &self.centers {
+            Some(t) => supa_embed::vecmath::dot(t.row(u.index()), t.row(v.index())),
+            None => 0.0,
+        }
+    }
+}
+
+impl Recommender for NetWalk {
+    fn name(&self) -> &str {
+        "NetWalk"
+    }
+
+    fn is_dynamic(&self) -> bool {
+        true
+    }
+
+    fn fit(&mut self, g: &Dmhg, _train: &[TemporalEdge]) {
+        self.rng = SmallRng::seed_from_u64(self.seed);
+        self.walks.clear();
+        let n = g.num_nodes();
+        self.centers = Some(EmbeddingTable::new(
+            n,
+            self.cfg.dim,
+            0.5 / self.cfg.dim as f32,
+            &mut self.rng,
+        ));
+        self.contexts = Some(EmbeddingTable::new(n, self.cfg.dim, 0.0, &mut self.rng));
+        // Seed the reservoir with walks from every connected node.
+        for start in 0..n {
+            if g.degree(NodeId(start as u32)) == 0 {
+                continue;
+            }
+            let w = uniform_walk(g, NodeId(start as u32), self.cfg.walk_length, &mut self.rng);
+            self.push_walk(w);
+        }
+        let all: Vec<usize> = (0..self.walks.len()).collect();
+        for _ in 0..self.cfg.passes {
+            self.train_from_reservoir(g, &all);
+        }
+    }
+
+    fn fit_incremental(&mut self, g: &Dmhg, new_edges: &[TemporalEdge]) {
+        if self.centers.is_none() {
+            self.fit(g, new_edges);
+            return;
+        }
+        // Grow tables if the universe grew.
+        if let (Some(c), Some(x)) = (self.centers.as_mut(), self.contexts.as_mut()) {
+            c.ensure_len(g.num_nodes(), &mut self.rng);
+            x.ensure_len(g.num_nodes(), &mut self.rng);
+        }
+        let mut fresh: Vec<usize> = Vec::new();
+        for e in new_edges {
+            for &endpoint in &[e.src, e.dst] {
+                for _ in 0..self.cfg.walks_per_update {
+                    let w = uniform_walk(g, endpoint, self.cfg.walk_length, &mut self.rng);
+                    if w.len() >= 2 {
+                        // Remember where it landed for immediate training.
+                        self.push_walk(w);
+                        fresh.push(self.walks.len().saturating_sub(1).min(self.cfg.reservoir - 1));
+                    }
+                }
+            }
+        }
+        self.train_from_reservoir(g, &fresh);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supa_graph::GraphSchema;
+
+    fn graph() -> (Dmhg, Vec<NodeId>, RelationId) {
+        let mut s = GraphSchema::new();
+        let u = s.add_node_type("U");
+        let r = s.add_relation("R", u, u);
+        let mut g = Dmhg::new(s);
+        let nodes = g.add_nodes(u, 12);
+        let mut t = 0.0;
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                t += 1.0;
+                g.add_edge(nodes[a], nodes[b], r, t).unwrap();
+            }
+        }
+        (g, nodes, r)
+    }
+
+    #[test]
+    fn fit_populates_reservoir() {
+        let (g, _, _) = graph();
+        let mut m = NetWalk::new(NetWalkConfig::default(), 1);
+        assert_eq!(m.reservoir_len(), 0);
+        m.fit(&g, &[]);
+        assert_eq!(m.reservoir_len(), 6, "one walk per connected node");
+        assert!(m.is_dynamic());
+    }
+
+    #[test]
+    fn incremental_updates_learn_new_edges() {
+        let (mut g, nodes, r) = graph();
+        let mut m = NetWalk::new(NetWalkConfig::default(), 2);
+        m.fit(&g, &[]);
+        let before = m.score(nodes[6], nodes[7], r);
+        // New clique appears among nodes 6..12.
+        let mut new_edges = Vec::new();
+        let mut t = 100.0;
+        for a in 6..12 {
+            for b in (a + 1)..12 {
+                t += 1.0;
+                g.add_edge(nodes[a], nodes[b], r, t).unwrap();
+                new_edges.push(TemporalEdge::new(nodes[a], nodes[b], r, t));
+            }
+        }
+        for _ in 0..10 {
+            m.fit_incremental(&g, &new_edges);
+        }
+        let after = m.score(nodes[6], nodes[7], r);
+        assert!(after > before, "{after} !> {before}");
+    }
+
+    #[test]
+    fn reservoir_is_bounded() {
+        let (g, _, _) = graph();
+        let mut m = NetWalk::new(
+            NetWalkConfig {
+                reservoir: 4,
+                ..Default::default()
+            },
+            3,
+        );
+        m.fit(&g, &[]);
+        assert!(m.reservoir_len() <= 4);
+    }
+}

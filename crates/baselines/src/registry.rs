@@ -1,0 +1,168 @@
+//! The baseline registry: construct all sixteen methods for a dataset.
+
+use supa_datasets::Dataset;
+use supa_eval::Recommender;
+
+use crate::{
+    deepwalk::{DeepWalk, DeepWalkConfig},
+    dygnn::{DyGnn, DyGnnConfig},
+    dyhatr::{DyHatr, DyHatrConfig},
+    dyhne::{DyHne, DyHneConfig},
+    evolvegcn::{EvolveGcn, EvolveGcnConfig},
+    gatne::{Gatne, GatneConfig},
+    hybridgnn::{HybridGnn, HybridGnnConfig},
+    lightgcn::{LightGcn, LightGcnConfig},
+    line::{Line, LineConfig},
+    matn::{Matn, MatnConfig},
+    mbgmn::{MbGmn, MbGmnConfig},
+    melu::{MeLu, MeLuConfig},
+    netwalk::{NetWalk, NetWalkConfig},
+    ngcf::{Ngcf, NgcfConfig},
+    node2vec::{Node2Vec, Node2VecConfig},
+    tgat::{Tgat, TgatConfig},
+};
+
+/// All sixteen baselines in the paper's table order (Table V/VI rows).
+///
+/// `dataset` supplies the metapath schemas DyHNE needs; `seed` controls
+/// every method's initialisation.
+pub fn all_baselines(dataset: &Dataset, seed: u64) -> Vec<Box<dyn Recommender>> {
+    vec![
+        Box::new(DeepWalk::new(DeepWalkConfig::default(), seed)),
+        Box::new(Line::new(LineConfig::default(), seed)),
+        Box::new(Node2Vec::new(Node2VecConfig::default(), seed)),
+        Box::new(Gatne::new(GatneConfig::default(), seed)),
+        Box::new(Ngcf::new(NgcfConfig::default(), seed)),
+        Box::new(LightGcn::new(LightGcnConfig::default(), seed)),
+        Box::new(Matn::new(MatnConfig::default(), seed)),
+        Box::new(MbGmn::new(MbGmnConfig::default(), seed)),
+        Box::new(HybridGnn::new(HybridGnnConfig::default(), seed)),
+        Box::new(MeLu::new(MeLuConfig::default(), seed)),
+        Box::new(NetWalk::new(NetWalkConfig::default(), seed)),
+        Box::new(DyGnn::new(DyGnnConfig::default(), seed)),
+        Box::new(EvolveGcn::new(EvolveGcnConfig::default(), seed)),
+        Box::new(Tgat::new(TgatConfig::default(), seed)),
+        Box::new(DyHne::new(
+            dataset.metapaths.clone(),
+            DyHneConfig::default(),
+            seed,
+        )),
+        Box::new(DyHatr::new(DyHatrConfig::default(), seed)),
+    ]
+}
+
+/// The six strongest baselines selected by the paper for the §IV-E/§IV-F
+/// experiments (Figures 4–6): node2vec, GATNE, LightGCN, MB-GMN, HybridGNN,
+/// EvolveGCN.
+pub fn fig4_baselines(dataset: &Dataset, seed: u64) -> Vec<Box<dyn Recommender>> {
+    let _ = dataset;
+    vec![
+        Box::new(Node2Vec::new(Node2VecConfig::default(), seed)),
+        Box::new(Gatne::new(GatneConfig::default(), seed)),
+        Box::new(LightGcn::new(LightGcnConfig::default(), seed)),
+        Box::new(MbGmn::new(MbGmnConfig::default(), seed)),
+        Box::new(HybridGnn::new(HybridGnnConfig::default(), seed)),
+        Box::new(EvolveGcn::new(EvolveGcnConfig::default(), seed)),
+    ]
+}
+
+/// Constructs one baseline by its table name; `None` for unknown names.
+pub fn baseline_by_name(name: &str, dataset: &Dataset, seed: u64) -> Option<Box<dyn Recommender>> {
+    let m: Box<dyn Recommender> = match name {
+        "DeepWalk" => Box::new(DeepWalk::new(DeepWalkConfig::default(), seed)),
+        "LINE" => Box::new(Line::new(LineConfig::default(), seed)),
+        "node2vec" => Box::new(Node2Vec::new(Node2VecConfig::default(), seed)),
+        "GATNE" => Box::new(Gatne::new(GatneConfig::default(), seed)),
+        "NGCF" => Box::new(Ngcf::new(NgcfConfig::default(), seed)),
+        "LightGCN" => Box::new(LightGcn::new(LightGcnConfig::default(), seed)),
+        "MATN" => Box::new(Matn::new(MatnConfig::default(), seed)),
+        "MB-GMN" => Box::new(MbGmn::new(MbGmnConfig::default(), seed)),
+        "HybridGNN" => Box::new(HybridGnn::new(HybridGnnConfig::default(), seed)),
+        "MeLU" => Box::new(MeLu::new(MeLuConfig::default(), seed)),
+        "NetWalk" => Box::new(NetWalk::new(NetWalkConfig::default(), seed)),
+        "DyGNN" => Box::new(DyGnn::new(DyGnnConfig::default(), seed)),
+        "EvolveGCN" => Box::new(EvolveGcn::new(EvolveGcnConfig::default(), seed)),
+        "TGAT" => Box::new(Tgat::new(TgatConfig::default(), seed)),
+        "DyHNE" => Box::new(DyHne::new(
+            dataset.metapaths.clone(),
+            DyHneConfig::default(),
+            seed,
+        )),
+        "DyHATR" => Box::new(DyHatr::new(DyHatrConfig::default(), seed)),
+        _ => return None,
+    };
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supa_datasets::taobao;
+
+    #[test]
+    fn registry_has_all_sixteen() {
+        let d = taobao(0.02, 1);
+        let methods = all_baselines(&d, 1);
+        assert_eq!(methods.len(), 16);
+        let names: Vec<&str> = methods.iter().map(|m| m.name()).collect();
+        for want in [
+            "DeepWalk",
+            "LINE",
+            "node2vec",
+            "GATNE",
+            "NGCF",
+            "LightGCN",
+            "MATN",
+            "MB-GMN",
+            "HybridGNN",
+            "MeLU",
+            "NetWalk",
+            "DyGNN",
+            "EvolveGCN",
+            "TGAT",
+            "DyHNE",
+            "DyHATR",
+        ] {
+            assert!(names.contains(&want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn dynamic_flags_match_paper_taxonomy() {
+        let d = taobao(0.02, 1);
+        let dynamic: Vec<String> = all_baselines(&d, 1)
+            .iter()
+            .filter(|m| m.is_dynamic())
+            .map(|m| m.name().to_string())
+            .collect();
+        for want in ["NetWalk", "DyGNN", "EvolveGCN", "DyHNE", "DyHATR"] {
+            assert!(dynamic.iter().any(|n| n == want), "{want} must be dynamic");
+        }
+        for stat in ["DeepWalk", "LightGCN", "MeLU", "GATNE"] {
+            assert!(!dynamic.iter().any(|n| n == stat), "{stat} must be static");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_roundtrips() {
+        let d = taobao(0.02, 1);
+        for m in all_baselines(&d, 1) {
+            let again = baseline_by_name(m.name(), &d, 1).unwrap();
+            assert_eq!(again.name(), m.name());
+        }
+        assert!(baseline_by_name("NotAModel", &d, 1).is_none());
+    }
+
+    #[test]
+    fn fig4_selection_matches_paper() {
+        let d = taobao(0.02, 1);
+        let names: Vec<String> = fig4_baselines(&d, 1)
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["node2vec", "GATNE", "LightGCN", "MB-GMN", "HybridGNN", "EvolveGCN"]
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests across the baseline family: every method must survive
+//! arbitrary small graphs (including degenerate ones), produce finite
+//! scores, and be deterministic under a fixed seed.
+
+use proptest::prelude::*;
+use supa_baselines::{
+    deepwalk::{DeepWalk, DeepWalkConfig},
+    dygnn::{DyGnn, DyGnnConfig},
+    line::{Line, LineConfig},
+    netwalk::{NetWalk, NetWalkConfig},
+};
+use supa_datasets::Dataset;
+use supa_eval::{Recommender, Scorer};
+use supa_graph::{Dmhg, GraphSchema, NodeId, RelationId, TemporalEdge};
+
+fn build(stream: &[(u8, u8, u8, u16)]) -> (Dmhg, Vec<TemporalEdge>) {
+    let mut s = GraphSchema::new();
+    let u = s.add_node_type("U");
+    let i = s.add_node_type("I");
+    s.add_relation("A", u, i);
+    s.add_relation("B", u, i);
+    let mut g = Dmhg::new(s);
+    let us = g.add_nodes(u, 6);
+    let is_ = g.add_nodes(i, 8);
+    let mut edges = Vec::new();
+    for (k, &(a, b, r, t)) in stream.iter().enumerate() {
+        let e = TemporalEdge::new(
+            us[a as usize % 6],
+            is_[b as usize % 8],
+            RelationId((r % 2) as u16),
+            t as f64 + k as f64 * 1e-3 + 1.0,
+        );
+        g.add_edge(e.src, e.dst, e.relation, e.time).unwrap();
+        edges.push(e);
+    }
+    supa_graph::sort_by_time(&mut edges);
+    (g, edges)
+}
+
+fn fast_models(seed: u64, metapaths: Vec<supa_graph::MetapathSchema>) -> Vec<Box<dyn Recommender>> {
+    let _ = metapaths;
+    vec![
+        Box::new(DeepWalk::new(
+            DeepWalkConfig {
+                epochs: 1,
+                walks_per_node: 1,
+                ..Default::default()
+            },
+            seed,
+        )),
+        Box::new(Line::new(
+            LineConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            seed,
+        )),
+        Box::new(DyGnn::new(DyGnnConfig::default(), seed)),
+        Box::new(NetWalk::new(
+            NetWalkConfig {
+                passes: 1,
+                ..Default::default()
+            },
+            seed,
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary streams (possibly tiny or with repeated edges) never panic
+    /// and never produce non-finite scores.
+    #[test]
+    fn shallow_baselines_survive_arbitrary_streams(
+        stream in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), 1u16..1000), 0..60),
+        seed in 0u64..50,
+    ) {
+        let (g, edges) = build(&stream);
+        for mut m in fast_models(seed, vec![]) {
+            m.fit(&g, &edges);
+            let s = m.score(NodeId(0), NodeId(6), RelationId(0));
+            prop_assert!(s.is_finite(), "{} produced {s}", m.name());
+            // Incremental path also survives.
+            m.fit_incremental(&g, &edges[..edges.len().min(5)]);
+            prop_assert!(m.score(NodeId(1), NodeId(7), RelationId(1)).is_finite());
+        }
+    }
+
+    /// Fit → score is deterministic per seed and differs across seeds for
+    /// non-trivial streams.
+    #[test]
+    fn shallow_baselines_are_seed_deterministic(
+        stream in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), 1u16..1000), 20..60),
+    ) {
+        let (g, edges) = build(&stream);
+        for make in [0usize, 1, 2, 3] {
+            let score = |seed: u64| {
+                let mut m = fast_models(seed, vec![]).swap_remove(make);
+                m.fit(&g, &edges);
+                m.score(NodeId(0), NodeId(6), RelationId(0))
+            };
+            prop_assert_eq!(score(9), score(9));
+        }
+    }
+}
+
+/// Static fixture checks that also exercise the registry against the full
+/// catalog datasets at a tiny scale.
+#[test]
+fn registry_methods_fit_on_every_catalog_dataset() {
+    for d in supa_datasets::all_datasets(0.004, 5) {
+        let g = d.full_graph();
+        // One cheap representative per family keeps this test quick.
+        for name in ["DeepWalk", "DyGNN", "DyHNE"] {
+            let mut m = supa_baselines::baseline_by_name(name, &d, 5).unwrap();
+            m.fit(&g, &d.edges);
+            let e = &d.edges[0];
+            assert!(
+                m.score(e.src, e.dst, e.relation).is_finite(),
+                "{name} on {}",
+                d.name
+            );
+        }
+    }
+}
+
+/// Empty training data is tolerated by every registered method.
+#[test]
+fn all_methods_tolerate_empty_training() {
+    let d: Dataset = supa_datasets::taobao(0.004, 5);
+    let g = d.prototype.clone();
+    for mut m in supa_baselines::all_baselines(&d, 5) {
+        m.fit(&g, &[]);
+        let s = m.score(NodeId(0), NodeId(1), RelationId(0));
+        assert!(s.is_finite(), "{} non-finite on empty fit", m.name());
+    }
+}

@@ -1,0 +1,132 @@
+//! Design-choice ablation benchmarks (see DESIGN.md §7): each group
+//! compares the implementation this repo chose against the straightforward
+//! alternative, justifying the choice with numbers.
+//!
+//! 1. negative sampling: alias method vs binary search on a CDF;
+//! 2. constrained neighbour choice: reservoir sampling (allocation-free)
+//!    vs collect-then-choose (allocates a filtered Vec per step);
+//! 3. optimiser: lazy per-row Adam vs a dense whole-table step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use supa_datasets::taobao;
+use supa_embed::{AliasTable, EmbeddingTable};
+use supa_graph::{NodeId, RelationSet};
+
+fn bench_negative_sampling(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let weights: Vec<f64> = (0..5000).map(|i| 1.0 / (1.0 + i as f64).powf(0.75)).collect();
+    let alias = AliasTable::new(&weights);
+    let cdf: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, &w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let total = *cdf.last().unwrap();
+
+    let mut group = c.benchmark_group("ablation_negative_sampling");
+    group.bench_function("alias_o1", |b| {
+        b.iter(|| black_box(alias.sample(&mut rng)));
+    });
+    group.bench_function("cdf_binary_search", |b| {
+        b.iter(|| {
+            let x = rng.random::<f64>() * total;
+            black_box(cdf.partition_point(|&c| c < x))
+        });
+    });
+    group.finish();
+}
+
+fn bench_neighbor_choice(c: &mut Criterion) {
+    let data = taobao(0.05, 1);
+    let g = data.full_graph();
+    let user_ty = g.schema().node_type_by_name("User").unwrap();
+    let item_ty = g.schema().node_type_by_name("Item").unwrap();
+    let hubs: Vec<NodeId> = g
+        .nodes_of_type(user_ty)
+        .iter()
+        .copied()
+        .filter(|&u| g.degree(u) >= 8)
+        .collect();
+    assert!(!hubs.is_empty());
+    let rels = RelationSet::ALL;
+
+    let mut group = c.benchmark_group("ablation_neighbor_choice");
+    group.bench_function("reservoir_alloc_free", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut i = 0usize;
+        b.iter(|| {
+            let u = hubs[i % hubs.len()];
+            i += 1;
+            black_box(g.sample_neighbor(u, rels, Some(item_ty), None, None, &mut rng))
+        });
+    });
+    group.bench_function("collect_then_choose", |b| {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut i = 0usize;
+        b.iter(|| {
+            let u = hubs[i % hubs.len()];
+            i += 1;
+            // The naive alternative: materialise the qualifying set.
+            let qualifying: Vec<_> = g
+                .neighbors(u)
+                .iter()
+                .filter(|n| rels.contains(n.relation) && g.node_type(n.node) == item_ty)
+                .copied()
+                .collect();
+            black_box(if qualifying.is_empty() {
+                None
+            } else {
+                Some(qualifying[rng.random_range(0..qualifying.len())])
+            })
+        });
+    });
+    group.finish();
+}
+
+fn bench_optimizer_granularity(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let n = 4000usize;
+    let dim = 32usize;
+    let grad = vec![0.01f32; dim];
+
+    let mut group = c.benchmark_group("ablation_adam_granularity");
+    group.bench_function("lazy_row_adam_10_rows", |b| {
+        let mut table = EmbeddingTable::new(n, dim, 0.1, &mut rng);
+        b.iter(|| {
+            // One SUPA event touches ~10 rows.
+            for row in 0..10 {
+                table.adam_step_row(row * 37, &grad, 0.01);
+            }
+            black_box(table.row(0)[0])
+        });
+    });
+    group.bench_function("dense_full_table_adam", |b| {
+        use supa_tensor::{Matrix, ParamStore, Tape};
+        let mut params = ParamStore::new();
+        let p = params.add("E", Matrix::uniform(n, dim, 0.1, &mut rng));
+        b.iter(|| {
+            // The dense alternative: a whole-table gradient with 10 hot rows.
+            let mut t = Tape::new(&params);
+            let e = t.param(p);
+            let rows = t.gather(e, (0..10u32).map(|r| r * 37).collect::<Vec<_>>());
+            let sq = t.mul(rows, rows);
+            let loss = t.mean_all(sq);
+            let grads = t.backward(loss);
+            params.adam_step(&grads, 0.01);
+            black_box(params.get(p).at(0, 0))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_negative_sampling, bench_neighbor_choice, bench_optimizer_granularity
+}
+criterion_main!(benches);

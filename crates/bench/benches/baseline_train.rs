@@ -1,0 +1,63 @@
+//! Macrobenchmark: full-fit cost of representative baselines from each
+//! family (walk/skip-gram, GCN-autodiff, streaming), the denominators of the
+//! paper's efficiency comparison (Figure 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use supa_baselines::{
+    deepwalk::{DeepWalk, DeepWalkConfig},
+    dygnn::{DyGnn, DyGnnConfig},
+    lightgcn::{LightGcn, LightGcnConfig},
+};
+use supa_datasets::taobao;
+use supa_eval::Recommender;
+
+fn bench_baseline_fit(c: &mut Criterion) {
+    let data = taobao(0.02, 1);
+    let g = data.full_graph();
+    let train = &data.edges;
+
+    let mut group = c.benchmark_group("baseline_fit");
+    group.bench_function("deepwalk", |b| {
+        b.iter(|| {
+            let mut m = DeepWalk::new(
+                DeepWalkConfig {
+                    epochs: 1,
+                    walks_per_node: 1,
+                    ..Default::default()
+                },
+                1,
+            );
+            m.fit(&g, train);
+            black_box(())
+        });
+    });
+    group.bench_function("lightgcn", |b| {
+        b.iter(|| {
+            let mut m = LightGcn::new(
+                LightGcnConfig {
+                    steps: 20,
+                    ..Default::default()
+                },
+                1,
+            );
+            m.fit(&g, train);
+            black_box(())
+        });
+    });
+    group.bench_function("dygnn_stream", |b| {
+        b.iter(|| {
+            let mut m = DyGnn::new(DyGnnConfig::default(), 1);
+            m.fit(&g, train);
+            black_box(())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_baseline_fit
+}
+criterion_main!(benches);

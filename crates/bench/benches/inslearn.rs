@@ -1,0 +1,45 @@
+//! Macrobenchmark: InsLearn batch throughput (edges/second), the quantity
+//! behind the paper's Figure 7 scalability claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use supa::{InsLearnConfig, Supa, SupaConfig};
+use supa_datasets::movielens;
+
+fn bench_inslearn(c: &mut Criterion) {
+    let data = movielens(0.01, 1);
+    let g = data.full_graph();
+    let stream: Vec<_> = data.edges.iter().take(2048).cloned().collect();
+
+    let mut group = c.benchmark_group("inslearn_batch");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for batch in [256usize, 1024, 2048] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("S_batch_{batch}")),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let mut model =
+                        Supa::from_dataset(&data, SupaConfig::small(), 1).unwrap();
+                    let il = InsLearnConfig {
+                        batch_size: batch,
+                        n_iter: 1,
+                        valid_interval: 1,
+                        valid_size: 50,
+                        patience: 0,
+                        valid_candidates: 20,
+                    };
+                    black_box(model.train_inslearn(&g, &stream, &il))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inslearn
+}
+criterion_main!(benches);

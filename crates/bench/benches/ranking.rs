@@ -1,0 +1,37 @@
+//! Microbenchmark: full-universe ranking evaluation (the H@K/NDCG/MRR
+//! harness that dominates table-generation time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use supa::{Supa, SupaConfig};
+use supa_datasets::taobao;
+use supa_eval::RankingEvaluator;
+
+fn bench_ranking(c: &mut Criterion) {
+    let data = taobao(0.05, 1);
+    let g = data.full_graph();
+    let mut model = Supa::from_dataset(&data, SupaConfig::small(), 1).unwrap();
+    model.resolve_time_scale(&g);
+    let test: Vec<_> = data.edges.iter().rev().take(200).cloned().collect();
+
+    let mut group = c.benchmark_group("ranking_eval");
+    group.throughput(Throughput::Elements(test.len() as u64));
+    group.bench_function("full_universe", |b| {
+        let ev = RankingEvaluator::full();
+        b.iter(|| black_box(ev.evaluate(&g, &model, &test)));
+    });
+    for n in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::new("sampled", n), &n, |b, &n| {
+            let ev = RankingEvaluator::sampled(n, 9);
+            b.iter(|| black_box(ev.evaluate(&g, &model, &test)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ranking
+}
+criterion_main!(benches);

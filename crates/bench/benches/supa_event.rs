@@ -1,0 +1,47 @@
+//! Microbenchmark: one SUPA edge event (the paper's `O((k·l + N_neg)·d)`
+//! per-edge cost, §III-F2). Sweeps `k` and `N_neg` so the linear scaling is
+//! visible in the criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use supa::{Supa, SupaConfig};
+use supa_datasets::taobao;
+
+fn bench_event(c: &mut Criterion) {
+    let data = taobao(0.05, 1);
+    let g = data.full_graph();
+    let probe_edges: Vec<_> = data.edges.iter().rev().take(256).cloned().collect();
+
+    let mut group = c.benchmark_group("supa_train_edge");
+    for (k, n_neg) in [(1usize, 1usize), (5, 5), (10, 5), (20, 7)] {
+        let cfg = SupaConfig {
+            dim: 32,
+            num_walks: k,
+            n_neg,
+            ..SupaConfig::small()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_neg{n_neg}")),
+            &cfg,
+            |b, cfg| {
+                let mut model = Supa::from_dataset(&data, cfg.clone(), 1).unwrap();
+                model.resolve_time_scale(&g);
+                model.rebuild_negative_samplers(&g);
+                let mut i = 0usize;
+                b.iter(|| {
+                    let e = &probe_edges[i % probe_edges.len()];
+                    i += 1;
+                    black_box(model.train_edge(&g, e))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbenchmark: metapath-constrained walk sampling (the Influenced Graph
+//! Sampling module's core primitive, paper §III-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use supa_datasets::taobao;
+use supa_graph::{MetapathWalker, NodeId, WalkConfig};
+
+fn bench_walks(c: &mut Criterion) {
+    let data = taobao(0.05, 1);
+    let g = data.full_graph();
+    let walker = MetapathWalker::new(data.metapaths.clone(), g.schema()).unwrap();
+    let user_ty = g.schema().node_type_by_name("User").unwrap();
+    let active: Vec<NodeId> = g
+        .nodes_of_type(user_ty)
+        .iter()
+        .copied()
+        .filter(|&u| g.degree(u) > 0)
+        .collect();
+
+    let mut group = c.benchmark_group("metapath_walks");
+    for (k, l) in [(1usize, 3usize), (5, 3), (5, 10), (20, 3)] {
+        let cfg = WalkConfig {
+            num_walks: k,
+            walk_length: l,
+            neighbor_cap: None,
+            before: None,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_l{l}")),
+            &cfg,
+            |b, cfg| {
+                let mut rng = SmallRng::seed_from_u64(3);
+                let mut i = 0usize;
+                b.iter(|| {
+                    let start = active[i % active.len()];
+                    i += 1;
+                    black_box(walker.sample_walks(&g, start, cfg, &mut rng))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_walks
+}
+criterion_main!(benches);

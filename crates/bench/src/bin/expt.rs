@@ -1,0 +1,73 @@
+//! `expt` — regenerate the SUPA paper's tables and figures.
+//!
+//! Usage:
+//! ```text
+//! expt [--scale F] [--seed N] [--quick] <table5|table6|fig4|fig5|fig6|table7|table8|fig7|fig8|fig9|sig|coldstart|all>
+//! ```
+//!
+//! Results print to stdout and are saved as TSV under `target/experiments/`.
+
+use supa_bench::experiments;
+use supa_bench::harness::HarnessConfig;
+
+fn main() {
+    let mut cfg = HarnessConfig::from_env();
+    let mut command: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                cfg.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number");
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--quick" => cfg = cfg.quickened(),
+            other if !other.starts_with('-') => command = Some(other.to_string()),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let command = command.unwrap_or_else(|| {
+        eprintln!(
+            "usage: expt [--scale F] [--seed N] [--quick] \
+             <table5|table6|fig4|fig5|fig6|table7|table8|fig7|fig8|fig9|sig|coldstart|all>"
+        );
+        std::process::exit(2);
+    });
+
+    eprintln!(
+        "running '{command}' at scale {} seed {} quick={}",
+        cfg.scale, cfg.seed, cfg.quick
+    );
+    let start = std::time::Instant::now();
+    let tables = match command.as_str() {
+        "table5" | "table6" => experiments::tables_5_6(&cfg),
+        "fig4" | "fig5" => experiments::figs_4_5(&cfg),
+        "fig6" => experiments::fig_6(&cfg),
+        "table7" => experiments::table_7(&cfg),
+        "table8" => experiments::table_8(&cfg),
+        "fig7" => experiments::fig_7(&cfg),
+        "fig8" => experiments::fig_8(&cfg),
+        "fig9" => experiments::fig_9(&cfg),
+        "sig" => experiments::significance(&cfg),
+        "coldstart" => experiments::coldstart(&cfg),
+        "all" => experiments::run_all(&cfg),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            std::process::exit(2);
+        }
+    };
+    for t in &tables {
+        println!("{}", t.render());
+    }
+    eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,733 @@
+//! The experiment implementations, one per paper artefact.
+//!
+//! Every function prints progress to stderr, returns the result tables, and
+//! writes TSVs under `target/experiments/`.
+
+
+use supa::SupaVariant;
+use supa_baselines::fig4_baselines;
+use supa_eval::{
+    disturbance_protocol, dynamic_link_prediction, link_prediction, tsne_2d, mean_pair_distance,
+    RankingEvaluator, SplitRatios, TsneConfig,
+};
+
+use crate::harness::{
+    eval_context, experiments_dir, fmt4, fmt_secs, make_dataset, make_method, make_supa,
+    make_supa_variant, ConventionalSupa, HarnessConfig, Table, ALL_METHOD_NAMES, DATASET_NAMES,
+    FIG4_METHOD_NAMES,
+};
+
+fn evaluator(cfg: &HarnessConfig) -> RankingEvaluator {
+    if cfg.quick {
+        RankingEvaluator::sampled(50, cfg.seed)
+    } else {
+        RankingEvaluator::full()
+    }
+}
+
+fn datasets_for(cfg: &HarnessConfig, full: &[&str], quick: &[&str]) -> Vec<String> {
+    let names = if cfg.quick { quick } else { full };
+    names.iter().map(|s| s.to_string()).collect()
+}
+
+/// Tables V and VI: link prediction, seventeen methods × six datasets.
+pub fn tables_5_6(cfg: &HarnessConfig) -> Vec<Table> {
+    let datasets = datasets_for(cfg, &DATASET_NAMES, &["UCI", "Taobao"]);
+    let ev = evaluator(cfg);
+
+    let mut header5 = vec!["Method".to_string()];
+    let mut header6 = vec!["Method".to_string()];
+    let mut header_t = vec!["Method".to_string()];
+    for d in &datasets {
+        header5.push(format!("{d} H@20"));
+        header5.push(format!("{d} H@50"));
+        header6.push(format!("{d} NDCG"));
+        header6.push(format!("{d} MRR"));
+        header_t.push(format!("{d} train"));
+    }
+    let mut t5 = Table::new("Table V — link prediction H@K", header5);
+    let mut t6 = Table::new("Table VI — link prediction NDCG@10 / MRR", header6);
+    let mut tt = Table::new("Training time per cell (auxiliary)", header_t);
+
+    // Pre-build contexts once per dataset.
+    let contexts: Vec<_> = datasets
+        .iter()
+        .map(|name| {
+            let d = make_dataset(name, cfg);
+            let ctx = eval_context(&d);
+            (d, ctx)
+        })
+        .collect();
+
+    for method_name in ALL_METHOD_NAMES {
+        let mut row5 = vec![method_name.to_string()];
+        let mut row6 = vec![method_name.to_string()];
+        let mut rowt = vec![method_name.to_string()];
+        for (d, ctx) in &contexts {
+            eprintln!("[table5/6] {} on {}", method_name, d.name);
+            let mut m = make_method(method_name, d, cfg);
+            let res = link_prediction(ctx, m.as_mut(), &ev, SplitRatios::default());
+            row5.push(fmt4(res.metrics.hit20()));
+            row5.push(fmt4(res.metrics.hit50()));
+            row6.push(fmt4(res.metrics.ndcg10()));
+            row6.push(fmt4(res.metrics.mrr()));
+            rowt.push(fmt_secs(res.train_secs));
+        }
+        t5.push(row5);
+        t6.push(row6);
+        tt.push(rowt);
+    }
+    t5.save_tsv("table5_hitrate.tsv").ok();
+    t6.save_tsv("table6_ndcg_mrr.tsv").ok();
+    tt.save_tsv("table5_train_time.tsv").ok();
+    vec![t5, t6, tt]
+}
+
+/// Figures 4 and 5: dynamic link prediction on MovieLens (ten temporal
+/// slices) and the cumulative running time.
+pub fn figs_4_5(cfg: &HarnessConfig) -> Vec<Table> {
+    let d = make_dataset("MovieLens", cfg);
+    let ctx = eval_context(&d);
+    let ev = evaluator(cfg);
+    let n_slices = 10;
+
+    let mut header = vec!["Method".to_string()];
+    for step in 1..n_slices {
+        header.push(format!("S{step} H@50"));
+    }
+    header.push("total time".to_string());
+    let mut t4 = Table::new("Figure 4 — dynamic link prediction on MovieLens (H@50)", header.clone());
+    let mut t4m = Table::new(
+        "Figure 4 — dynamic link prediction on MovieLens (MRR)",
+        header,
+    );
+    let mut t5 = Table::new(
+        "Figure 5 — total (re)training time of dynamic link prediction",
+        vec!["Method".into(), "total train secs".into()],
+    );
+
+    for name in FIG4_METHOD_NAMES {
+        eprintln!("[fig4/5] {name}");
+        let mut m = make_method(name, &d, cfg);
+        let steps = dynamic_link_prediction(&ctx, m.as_mut(), &ev, n_slices);
+        let total: f64 = steps.iter().map(|s| s.train_secs).sum();
+        let mut row_h = vec![name.to_string()];
+        let mut row_m = vec![name.to_string()];
+        for s in &steps {
+            row_h.push(fmt4(s.metrics.hit50()));
+            row_m.push(fmt4(s.metrics.mrr()));
+        }
+        row_h.push(fmt_secs(total));
+        row_m.push(fmt_secs(total));
+        t4.push(row_h);
+        t4m.push(row_m);
+        t5.push(vec![name.to_string(), fmt_secs(total)]);
+    }
+    // The paper's fig4/fig5 baseline set is fixed; sanity-check it here so
+    // registry drift fails loudly.
+    assert_eq!(fig4_baselines(&d, cfg.seed).len(), 6);
+    t4.save_tsv("fig4_dynamic_h50.tsv").ok();
+    t4m.save_tsv("fig4_dynamic_mrr.tsv").ok();
+    t5.save_tsv("fig5_running_time.tsv").ok();
+    vec![t4, t4m, t5]
+}
+
+/// Figure 6: robustness to neighbourhood disturbance (η sweep, MovieLens).
+pub fn fig_6(cfg: &HarnessConfig) -> Vec<Table> {
+    let d = make_dataset("MovieLens", cfg);
+    let ctx = eval_context(&d);
+    let ev = evaluator(cfg);
+    let etas: Vec<Option<usize>> = if cfg.quick {
+        vec![Some(5), Some(20), None]
+    } else {
+        vec![Some(5), Some(10), Some(20), Some(50), Some(100), None]
+    };
+
+    let mut header = vec!["Method".to_string()];
+    for eta in &etas {
+        header.push(match eta {
+            Some(e) => format!("η={e} H@50"),
+            None => "η=∞ H@50".to_string(),
+        });
+    }
+    for eta in &etas {
+        header.push(match eta {
+            Some(e) => format!("η={e} MRR"),
+            None => "η=∞ MRR".to_string(),
+        });
+    }
+    let mut t = Table::new("Figure 6 — robustness to neighbourhood disturbance", header);
+
+    for name in FIG4_METHOD_NAMES {
+        eprintln!("[fig6] {name}");
+        let mut m = make_method(name, &d, cfg);
+        let res = disturbance_protocol(&ctx, m.as_mut(), &ev, SplitRatios::default(), &etas);
+        let mut row = vec![name.to_string()];
+        for r in &res {
+            row.push(fmt4(r.metrics.hit50()));
+        }
+        for r in &res {
+            row.push(fmt4(r.metrics.mrr()));
+        }
+        t.push(row);
+    }
+    t.save_tsv("fig6_disturbance.tsv").ok();
+    vec![t]
+}
+
+/// Table VII: contribution of the losses and effectiveness of InsLearn.
+pub fn table_7(cfg: &HarnessConfig) -> Vec<Table> {
+    let datasets = datasets_for(cfg, &DATASET_NAMES, &["Taobao"]);
+    let ev = evaluator(cfg);
+
+    let mut header = vec!["Variant".to_string()];
+    for d in &datasets {
+        header.push(format!("{d} H@50"));
+        header.push(format!("{d} MRR"));
+    }
+    let mut t = Table::new("Table VII — loss ablation and InsLearn", header);
+
+    let mut variants: Vec<(String, SupaVariant)> = SupaVariant::loss_grid()
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect();
+    variants.push(("SUPA".to_string(), SupaVariant::full()));
+
+    let contexts: Vec<_> = datasets
+        .iter()
+        .map(|name| {
+            let d = make_dataset(name, cfg);
+            let ctx = eval_context(&d);
+            (d, ctx)
+        })
+        .collect();
+
+    for (vname, variant) in &variants {
+        eprintln!("[table7] {vname}");
+        let mut row = vec![vname.clone()];
+        for (d, ctx) in &contexts {
+            let mut m = make_supa_variant(d, *variant, vname, cfg);
+            let res = link_prediction(ctx, &mut m, &ev, SplitRatios::default());
+            row.push(fmt4(res.metrics.hit50()));
+            row.push(fmt4(res.metrics.mrr()));
+        }
+        t.push(row);
+    }
+    // SUPA_{w/o Ins}: conventional multi-epoch training.
+    {
+        eprintln!("[table7] SUPA_w/o_Ins");
+        let mut row = vec!["SUPA_w/o_Ins".to_string()];
+        let epochs = if cfg.quick { 1 } else { 4 };
+        for (d, ctx) in &contexts {
+            let mut m = ConventionalSupa::new(make_supa(d, cfg), epochs);
+            let res = link_prediction(ctx, &mut m, &ev, SplitRatios::default());
+            row.push(fmt4(res.metrics.hit50()));
+            row.push(fmt4(res.metrics.mrr()));
+        }
+        t.push(row);
+    }
+    t.save_tsv("table7_loss_ablation.tsv").ok();
+    vec![t]
+}
+
+/// Table VIII: benefits of modelling multiplex heterogeneity and streaming
+/// dynamics (Taobao + Kuaishou).
+pub fn table_8(cfg: &HarnessConfig) -> Vec<Table> {
+    let datasets = datasets_for(cfg, &["Taobao", "Kuaishou"], &["Taobao"]);
+    let ev = evaluator(cfg);
+
+    let mut header = vec!["Variant".to_string()];
+    for d in &datasets {
+        header.push(format!("{d} H@50"));
+        header.push(format!("{d} MRR"));
+    }
+    let mut t = Table::new(
+        "Table VIII — heterogeneity/dynamics ablation",
+        header,
+    );
+
+    let mut variants: Vec<(String, SupaVariant)> = SupaVariant::structure_grid()
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect();
+    variants.push(("SUPA".to_string(), SupaVariant::full()));
+
+    let contexts: Vec<_> = datasets
+        .iter()
+        .map(|name| {
+            let d = make_dataset(name, cfg);
+            let ctx = eval_context(&d);
+            (d, ctx)
+        })
+        .collect();
+
+    for (vname, variant) in &variants {
+        eprintln!("[table8] {vname}");
+        let mut row = vec![vname.clone()];
+        for (d, ctx) in &contexts {
+            let mut m = make_supa_variant(d, *variant, vname, cfg);
+            let res = link_prediction(ctx, &mut m, &ev, SplitRatios::default());
+            row.push(fmt4(res.metrics.hit50()));
+            row.push(fmt4(res.metrics.mrr()));
+        }
+        t.push(row);
+    }
+    t.save_tsv("table8_structure_ablation.tsv").ok();
+    vec![t]
+}
+
+/// Figure 7: scalability — average per-batch retraining time and H@50 as
+/// `S_batch` grows (MovieLens).
+pub fn fig_7(cfg: &HarnessConfig) -> Vec<Table> {
+    let d = make_dataset("MovieLens", cfg);
+    let ctx = eval_context(&d);
+    let ev = evaluator(cfg);
+    let sizes: Vec<usize> = if cfg.quick {
+        vec![64, 512, 4096]
+    } else {
+        vec![32, 128, 512, 1024, 4096, 8192, 32768]
+    };
+
+    let mut t = Table::new(
+        "Figure 7 — scalability over S_batch",
+        vec![
+            "S_batch".into(),
+            "batches".into(),
+            "avg secs/batch".into(),
+            "edges/sec".into(),
+            "H@50".into(),
+            "MRR".into(),
+        ],
+    );
+    for &s in &sizes {
+        eprintln!("[fig7] S_batch = {s}");
+        let mut il = cfg.inslearn();
+        il.batch_size = s;
+        let mut m = make_supa(&d, cfg).with_inslearn(il);
+        let res = link_prediction(&ctx, &mut m, &ev, SplitRatios::default());
+        let (train, _, _) = SplitRatios::default().split(ctx.edges());
+        let n_batches = train.len().div_ceil(s);
+        let per_batch = res.train_secs / n_batches as f64;
+        let eps = train.len() as f64 / res.train_secs;
+        t.push(vec![
+            s.to_string(),
+            n_batches.to_string(),
+            format!("{per_batch:.4}"),
+            format!("{eps:.0}"),
+            fmt4(res.metrics.hit50()),
+            fmt4(res.metrics.mrr()),
+        ]);
+    }
+    t.save_tsv("fig7_scalability.tsv").ok();
+    vec![t]
+}
+
+/// Figure 8: sensitivity of the GNN and workflow hyper-parameters.
+pub fn fig_8(cfg: &HarnessConfig) -> Vec<Table> {
+    let datasets = datasets_for(cfg, &["UCI", "Last.fm", "Taobao"], &["Taobao"]);
+    let ev = evaluator(cfg);
+
+    struct Sweep {
+        param: &'static str,
+        values: Vec<f64>,
+    }
+    let sweeps = if cfg.quick {
+        vec![
+            Sweep { param: "d", values: vec![16.0, 32.0] },
+            Sweep { param: "k", values: vec![1.0, 5.0] },
+        ]
+    } else {
+        vec![
+            Sweep { param: "d", values: vec![16.0, 32.0, 64.0, 128.0] },
+            Sweep { param: "k", values: vec![1.0, 3.0, 5.0, 10.0, 20.0] },
+            Sweep { param: "l", values: vec![1.0, 2.0, 3.0, 5.0, 10.0] },
+            Sweep { param: "N_neg", values: vec![1.0, 3.0, 5.0, 7.0] },
+            Sweep { param: "g(tau)", values: vec![0.1, 0.2, 0.3, 0.5, 0.9] },
+            Sweep { param: "N_iter", values: vec![2.0, 4.0, 8.0, 16.0, 30.0] },
+            Sweep { param: "I_valid", values: vec![1.0, 2.0, 4.0, 8.0, 16.0] },
+            Sweep { param: "S_valid", values: vec![30.0, 60.0, 100.0, 150.0] },
+            Sweep { param: "mu", values: vec![0.0, 1.0, 3.0, 5.0] },
+            Sweep { param: "S_batch", values: vec![16.0, 32.0, 128.0, 512.0, 1024.0, 4096.0] },
+        ]
+    };
+
+    let mut header = vec!["param".to_string(), "value".to_string()];
+    for d in &datasets {
+        header.push(format!("{d} H@50"));
+        header.push(format!("{d} MRR"));
+    }
+    let mut t = Table::new("Figure 8 — parameter sensitivity", header);
+
+    let contexts: Vec<_> = datasets
+        .iter()
+        .map(|name| {
+            let d = make_dataset(name, cfg);
+            let ctx = eval_context(&d);
+            (d, ctx)
+        })
+        .collect();
+
+    for sweep in &sweeps {
+        for &v in &sweep.values {
+            eprintln!("[fig8] {} = {}", sweep.param, v);
+            let mut row = vec![sweep.param.to_string(), format!("{v}")];
+            for (d, ctx) in &contexts {
+                let mut scfg = cfg.supa_config();
+                let mut il = cfg.inslearn();
+                match sweep.param {
+                    "d" => scfg.dim = v as usize,
+                    "k" => scfg.num_walks = v as usize,
+                    "l" => scfg.walk_length = v as usize,
+                    "N_neg" => scfg.n_neg = v as usize,
+                    "g(tau)" => scfg.tau = supa::decay::tau_for_g(v),
+                    "N_iter" => il.n_iter = v as usize,
+                    "I_valid" => il.valid_interval = v as usize,
+                    "S_valid" => il.valid_size = v as usize,
+                    "mu" => il.patience = v as usize,
+                    "S_batch" => il.batch_size = v as usize,
+                    _ => unreachable!(),
+                }
+                let mut m = supa::Supa::from_dataset(d, scfg, cfg.seed)
+                    .expect("valid metapaths")
+                    .with_inslearn(il);
+                let res = link_prediction(ctx, &mut m, &ev, SplitRatios::default());
+                row.push(fmt4(res.metrics.hit50()));
+                row.push(fmt4(res.metrics.mrr()));
+            }
+            t.push(row);
+        }
+    }
+    t.save_tsv("fig8_sensitivity.tsv").ok();
+    vec![t]
+}
+
+/// Figure 9: t-SNE embedding visualisation of 20 test user–item pairs on
+/// Taobao, plus the mean within-pair distance statistic `d̄`.
+pub fn fig_9(cfg: &HarnessConfig) -> Vec<Table> {
+    let d = make_dataset("Taobao", cfg);
+    let ctx = eval_context(&d);
+    let ev = evaluator(cfg);
+    let (_, _, test) = SplitRatios::default().split(ctx.edges());
+
+    // 20 distinct test user–item pairs.
+    let mut pairs = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for e in test {
+        if seen.insert((e.src, e.dst)) {
+            pairs.push(*e);
+        }
+        if pairs.len() == 20 {
+            break;
+        }
+    }
+
+    let methods = if cfg.quick {
+        vec!["SUPA", "node2vec"]
+    } else {
+        vec!["node2vec", "GATNE", "LightGCN", "MB-GMN", "EvolveGCN", "SUPA"]
+    };
+    let repeats = if cfg.quick { 3 } else { 100 };
+
+    let mut t = Table::new(
+        "Figure 9 — t-SNE mean within-pair distance d̄ on Taobao (lower = truer pairs closer)",
+        vec!["Method".into(), "d̄".into()],
+    );
+    let mut coords_table = Table::new(
+        "Figure 9 — t-SNE coordinates (first repeat)",
+        vec![
+            "Method".into(),
+            "pair".into(),
+            "role".into(),
+            "x".into(),
+            "y".into(),
+        ],
+    );
+
+    for name in methods {
+        eprintln!("[fig9] {name}");
+        let mut m = make_method(name, &d, cfg);
+        let _ = link_prediction(&ctx, m.as_mut(), &ev, SplitRatios::default());
+        // Collect 40 embeddings (user then item per pair), L2-normalised:
+        // every method scores by dot products, so angular geometry is the
+        // comparable quantity; normalisation is applied uniformly.
+        let normalise = |mut v: Vec<f32>| {
+            let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if n > 0.0 {
+                v.iter_mut().for_each(|x| *x /= n);
+            }
+            v
+        };
+        let mut points: Vec<Vec<f32>> = Vec::with_capacity(2 * pairs.len());
+        for e in &pairs {
+            let eu = m
+                .embedding(e.src, e.relation)
+                .unwrap_or_else(|| vec![0.0; 8]);
+            let evv = m
+                .embedding(e.dst, e.relation)
+                .unwrap_or_else(|| vec![0.0; 8]);
+            points.push(normalise(eu));
+            points.push(normalise(evv));
+        }
+        let pair_idx: Vec<(usize, usize)> = (0..pairs.len()).map(|i| (2 * i, 2 * i + 1)).collect();
+        let mut total = 0.0;
+        let mut first_coords = None;
+        for rep in 0..repeats {
+            let coords = tsne_2d(
+                &points,
+                &TsneConfig {
+                    seed: cfg.seed.wrapping_add(rep as u64),
+                    iterations: if cfg.quick { 100 } else { 400 },
+                    ..Default::default()
+                },
+            );
+            total += mean_pair_distance(&coords, &pair_idx);
+            if rep == 0 {
+                first_coords = Some(coords);
+            }
+        }
+        t.push(vec![name.to_string(), fmt4(total / repeats as f64)]);
+        if let Some(coords) = first_coords {
+            for (pi, &(a, b)) in pair_idx.iter().enumerate() {
+                for (role, idx) in [("user", a), ("item", b)] {
+                    coords_table.push(vec![
+                        name.to_string(),
+                        pi.to_string(),
+                        role.to_string(),
+                        format!("{:.3}", coords[idx].0),
+                        format!("{:.3}", coords[idx].1),
+                    ]);
+                }
+            }
+        }
+    }
+    t.save_tsv("fig9_pair_distance.tsv").ok();
+    coords_table.save_tsv("fig9_coordinates.tsv").ok();
+    if let Ok(svg) = fig9_svg(&coords_table) {
+        eprintln!("[fig9] SVG written to {}", svg.display());
+    }
+    vec![t, coords_table]
+}
+
+/// Extra analysis (beyond the paper): cold-start segmentation and catalogue
+/// coverage. Buckets test users by training degree; reports per-bucket H@50
+/// plus coverage@20 / Gini@20 of each method's top-K lists.
+pub fn coldstart(cfg: &HarnessConfig) -> Vec<Table> {
+    let datasets = datasets_for(cfg, &["Taobao", "Kuaishou"], &["Taobao"]);
+    let methods: &[&str] = if cfg.quick {
+        &["SUPA", "LightGCN"]
+    } else {
+        &["SUPA", "MeLU", "LightGCN", "DeepWalk", "DyHATR"]
+    };
+    let ev = evaluator(cfg);
+    let thresholds = [3usize, 10];
+
+    let mut header = vec!["Dataset".to_string(), "Method".to_string()];
+    header.push("H@50 deg 0-2".into());
+    header.push("H@50 deg 3-9".into());
+    header.push("H@50 deg 10+".into());
+    header.push("coverage@20".into());
+    header.push("Gini@20".into());
+    let mut t = Table::new(
+        "Cold-start segmentation and catalogue coverage (extra analysis)",
+        header,
+    );
+
+    for ds in &datasets {
+        let d = make_dataset(ds, cfg);
+        let ctx = eval_context(&d);
+        let (train, _, test) = SplitRatios::default().split(ctx.edges());
+        let g = ctx.graph_with(train, None);
+        // Coverage sample: up to 200 users with ≥1 training edge, and the
+        // most common destination type as the catalogue.
+        let user_ty = g.node_type(test[0].src);
+        let item_ty = g.node_type(test[0].dst);
+        let users: Vec<supa_graph::NodeId> = g
+            .nodes_of_type(user_ty)
+            .iter()
+            .copied()
+            .filter(|&u| g.degree(u) > 0)
+            .take(200)
+            .collect();
+        let items = g.nodes_of_type(item_ty);
+        let rel = test[0].relation;
+
+        for name in methods {
+            eprintln!("[coldstart] {name} on {ds}");
+            let mut m = make_method(name, &d, cfg);
+            m.fit(&g, train);
+            let segs = supa_eval::evaluate_segmented(&ev, &g, m.as_ref(), test, &thresholds);
+            let cov = supa_eval::coverage_at_k(m.as_ref(), &users, items, rel, 20);
+            let mut row = vec![ds.clone(), name.to_string()];
+            for s in &segs {
+                row.push(if s.metrics.is_empty() {
+                    "-".to_string()
+                } else {
+                    fmt4(s.metrics.hit50())
+                });
+            }
+            row.push(fmt4(cov.coverage));
+            row.push(fmt4(cov.gini));
+            t.push(row);
+        }
+    }
+    t.save_tsv("coldstart_coverage.tsv").ok();
+    vec![t]
+}
+
+/// The significance stars of Tables V/VI: SUPA vs the strongest baselines
+/// over repeated seeds, Welch t-test at p < 0.01 (paper's `*`).
+pub fn significance(cfg: &HarnessConfig) -> Vec<Table> {
+    let datasets = datasets_for(cfg, &["Taobao", "Kuaishou"], &["Taobao"]);
+    let rivals: &[&str] = if cfg.quick {
+        &["LightGCN"]
+    } else {
+        &["LightGCN", "HybridGNN", "DyHATR"]
+    };
+    let n_seeds = if cfg.quick { 3 } else { 4 };
+    let ev = evaluator(cfg);
+
+    let mut t = Table::new(
+        "Significance — SUPA vs strongest baselines (Welch t-test over seeds, H@50)",
+        vec![
+            "Dataset".into(),
+            "Baseline".into(),
+            "SUPA mean".into(),
+            "Baseline mean".into(),
+            "p-value".into(),
+            "p<0.01".into(),
+        ],
+    );
+
+    for ds in &datasets {
+        // Per-seed H@50 for SUPA and each rival (same seeds for both arms).
+        let mut supa_scores = Vec::new();
+        let mut rival_scores: Vec<Vec<f64>> = vec![Vec::new(); rivals.len()];
+        for s in 0..n_seeds {
+            let mut seeded = *cfg;
+            seeded.seed = cfg.seed.wrapping_add(101 * s as u64);
+            let d = make_dataset(ds, &seeded);
+            let ctx = eval_context(&d);
+            eprintln!("[sig] {ds} seed {}", seeded.seed);
+            let mut m = make_supa(&d, &seeded);
+            supa_scores
+                .push(link_prediction(&ctx, &mut m, &ev, SplitRatios::default()).metrics.hit50());
+            for (k, rv) in rivals.iter().enumerate() {
+                let mut m = make_method(rv, &d, &seeded);
+                rival_scores[k].push(
+                    link_prediction(&ctx, m.as_mut(), &ev, SplitRatios::default())
+                        .metrics
+                        .hit50(),
+                );
+            }
+        }
+        for (k, rv) in rivals.iter().enumerate() {
+            let r = supa_eval::welch_t_test(&supa_scores, &rival_scores[k]);
+            let (ms, _) = supa_eval::mean_std(&supa_scores);
+            let (mr, _) = supa_eval::mean_std(&rival_scores[k]);
+            t.push(vec![
+                ds.clone(),
+                rv.to_string(),
+                fmt4(ms),
+                fmt4(mr),
+                format!("{:.4}", r.p_value),
+                if r.p_value < 0.01 { "*" } else { "" }.to_string(),
+            ]);
+        }
+    }
+    t.save_tsv("significance.tsv").ok();
+    vec![t]
+}
+
+/// Renders the Figure 9 scatter (user-item pairs joined by lines) as an SVG
+/// per method, mirroring the paper's visual.
+pub fn fig9_svg(coords: &Table) -> std::io::Result<std::path::PathBuf> {
+    use std::io::Write;
+    // Group rows by method: (method, pair, role, x, y).
+    let mut by_method: std::collections::BTreeMap<String, Vec<(usize, f64, f64)>> =
+        Default::default();
+    for row in &coords.rows {
+        let pair: usize = row[1].parse().unwrap_or(0);
+        let x: f64 = row[3].parse().unwrap_or(0.0);
+        let y: f64 = row[4].parse().unwrap_or(0.0);
+        by_method.entry(row[0].clone()).or_default().push((pair, x, y));
+    }
+    let path = experiments_dir().join("fig9_visualisation.svg");
+    std::fs::create_dir_all(experiments_dir())?;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    let panel = 260.0;
+    let cols = 3usize;
+    let rows_n = by_method.len().div_ceil(cols);
+    writeln!(
+        f,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" font-family="sans-serif">"#,
+        panel * cols as f64,
+        panel * rows_n as f64 + 20.0
+    )?;
+    for (idx, (method, pts)) in by_method.iter().enumerate() {
+        let ox = panel * (idx % cols) as f64;
+        let oy = panel * (idx / cols) as f64 + 20.0;
+        // Normalise into the panel with a margin.
+        let (mut xmin, mut xmax, mut ymin, mut ymax) =
+            (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for &(_, x, y) in pts {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+        let sx = (panel - 40.0) / (xmax - xmin).max(1e-9);
+        let sy = (panel - 40.0) / (ymax - ymin).max(1e-9);
+        let px = |x: f64| ox + 20.0 + (x - xmin) * sx;
+        let py = |y: f64| oy + 20.0 + (y - ymin) * sy;
+        writeln!(
+            f,
+            r#"<text x="{}" y="{}" font-size="13">{}</text>"#,
+            ox + 10.0,
+            oy - 5.0,
+            method
+        )?;
+        // Pair lines then points (user red, item green, the paper's colours).
+        let mut pairs: std::collections::BTreeMap<usize, Vec<(f64, f64)>> = Default::default();
+        for &(pair, x, y) in pts {
+            pairs.entry(pair).or_default().push((px(x), py(y)));
+        }
+        for ends in pairs.values() {
+            if ends.len() == 2 {
+                writeln!(
+                    f,
+                    r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="gray" stroke-width="0.7"/>"#,
+                    ends[0].0, ends[0].1, ends[1].0, ends[1].1
+                )?;
+                writeln!(
+                    f,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="crimson"/>"#,
+                    ends[0].0, ends[0].1
+                )?;
+                writeln!(
+                    f,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="seagreen"/>"#,
+                    ends[1].0, ends[1].1
+                )?;
+            }
+        }
+    }
+    writeln!(f, "</svg>")?;
+    Ok(path)
+}
+
+/// Runs every experiment in paper order.
+pub fn run_all(cfg: &HarnessConfig) -> Vec<Table> {
+    let mut out = Vec::new();
+    out.extend(tables_5_6(cfg));
+    out.extend(figs_4_5(cfg));
+    out.extend(fig_6(cfg));
+    out.extend(table_7(cfg));
+    out.extend(table_8(cfg));
+    out.extend(fig_7(cfg));
+    out.extend(fig_8(cfg));
+    out.extend(fig_9(cfg));
+    out.extend(significance(cfg));
+    out.extend(coldstart(cfg));
+    eprintln!("TSV outputs in {}", experiments_dir().display());
+    out
+}

@@ -1,0 +1,392 @@
+//! Shared harness plumbing: dataset/method factories, result tables, output
+//! locations.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use supa::{InsLearnConfig, Supa, SupaConfig, SupaVariant};
+use supa_baselines::baseline_by_name;
+use supa_datasets::{amazon, kuaishou, lastfm, movielens, taobao, uci, Dataset};
+use supa_eval::{EvalContext, Recommender, Scorer};
+use supa_graph::{Dmhg, NodeId, RelationId, TemporalEdge};
+
+/// Global experiment knobs, read from the environment:
+/// `SUPA_SCALE` (default 0.02), `SUPA_SEED` (default 7), `SUPA_QUICK`
+/// (smoke-test mode: tiny scale, fast InsLearn).
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Dataset scale relative to the paper's sizes.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Smoke-test mode.
+    pub quick: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            scale: 0.02,
+            seed: 7,
+            quick: false,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Reads the environment overrides.
+    pub fn from_env() -> Self {
+        let mut cfg = HarnessConfig::default();
+        if let Ok(s) = std::env::var("SUPA_SCALE") {
+            if let Ok(v) = s.parse() {
+                cfg.scale = v;
+            }
+        }
+        if let Ok(s) = std::env::var("SUPA_SEED") {
+            if let Ok(v) = s.parse() {
+                cfg.seed = v;
+            }
+        }
+        if std::env::var("SUPA_QUICK").is_ok() {
+            cfg = cfg.quickened();
+        }
+        cfg
+    }
+
+    /// The smoke-test variant of this config.
+    pub fn quickened(mut self) -> Self {
+        self.quick = true;
+        self.scale = self.scale.min(0.008);
+        self
+    }
+
+    /// The effective dataset scale.
+    pub fn dataset_scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The InsLearn workflow configuration used by harness SUPA instances.
+    pub fn inslearn(&self) -> InsLearnConfig {
+        if self.quick {
+            InsLearnConfig {
+                batch_size: 1024,
+                n_iter: 2,
+                valid_interval: 1,
+                valid_size: 50,
+                patience: 1,
+                valid_candidates: 20,
+            }
+        } else {
+            InsLearnConfig {
+                batch_size: 1024,
+                n_iter: 20,
+                valid_interval: 4,
+                valid_size: 100,
+                patience: 3,
+                valid_candidates: 50,
+            }
+        }
+    }
+
+    /// The SUPA hyper-parameters used by harness instances (scaled profile).
+    pub fn supa_config(&self) -> SupaConfig {
+        SupaConfig::small()
+    }
+}
+
+/// The six datasets in the paper's order.
+pub const DATASET_NAMES: [&str; 6] = [
+    "UCI",
+    "Amazon",
+    "Last.fm",
+    "MovieLens",
+    "Taobao",
+    "Kuaishou",
+];
+
+/// All seventeen evaluated methods: the sixteen baselines then SUPA.
+pub const ALL_METHOD_NAMES: [&str; 17] = [
+    "DeepWalk",
+    "LINE",
+    "node2vec",
+    "GATNE",
+    "NGCF",
+    "LightGCN",
+    "MATN",
+    "MB-GMN",
+    "HybridGNN",
+    "MeLU",
+    "NetWalk",
+    "DyGNN",
+    "EvolveGCN",
+    "TGAT",
+    "DyHNE",
+    "DyHATR",
+    "SUPA",
+];
+
+/// The §IV-E/§IV-F method selection (paper Figures 4–6): SUPA plus the six
+/// strongest baselines.
+pub const FIG4_METHOD_NAMES: [&str; 7] = [
+    "SUPA",
+    "node2vec",
+    "GATNE",
+    "LightGCN",
+    "MB-GMN",
+    "HybridGNN",
+    "EvolveGCN",
+];
+
+/// Builds a catalog dataset by paper name.
+///
+/// # Panics
+/// Panics on an unknown dataset name.
+pub fn make_dataset(name: &str, cfg: &HarnessConfig) -> Dataset {
+    let s = cfg.dataset_scale();
+    match name {
+        "UCI" => uci(s, cfg.seed),
+        "Amazon" => amazon(s, cfg.seed.wrapping_add(1)),
+        "Last.fm" => lastfm(s, cfg.seed.wrapping_add(2)),
+        "MovieLens" => movielens(s, cfg.seed.wrapping_add(3)),
+        "Taobao" => taobao(s, cfg.seed.wrapping_add(4)),
+        "Kuaishou" => kuaishou(s, cfg.seed.wrapping_add(5)),
+        other => panic!("unknown dataset {other}"),
+    }
+}
+
+/// Builds SUPA with the harness configuration.
+///
+/// Mirrors the paper's per-dataset `N_iter` (§IV-C): 100 on the small
+/// UCI/Taobao streams, the default elsewhere.
+pub fn make_supa(d: &Dataset, cfg: &HarnessConfig) -> Supa {
+    let mut il = cfg.inslearn();
+    if !cfg.quick && (d.name == "UCI" || d.name == "Taobao") {
+        il.n_iter = 100;
+    }
+    Supa::from_dataset(d, cfg.supa_config(), cfg.seed)
+        .expect("dataset metapaths validate")
+        .with_inslearn(il)
+}
+
+/// Builds a SUPA ablation variant with a display name.
+pub fn make_supa_variant(
+    d: &Dataset,
+    variant: SupaVariant,
+    name: &str,
+    cfg: &HarnessConfig,
+) -> Supa {
+    let mut il = cfg.inslearn();
+    if !cfg.quick && (d.name == "UCI" || d.name == "Taobao") {
+        il.n_iter = 100;
+    }
+    Supa::from_dataset_variant(d, cfg.supa_config(), variant, cfg.seed)
+        .expect("dataset metapaths validate")
+        .with_inslearn(il)
+        .with_name(name)
+}
+
+/// Builds any evaluated method by its table name (SUPA or a baseline).
+///
+/// # Panics
+/// Panics on an unknown method name.
+pub fn make_method(name: &str, d: &Dataset, cfg: &HarnessConfig) -> Box<dyn Recommender> {
+    if name == "SUPA" {
+        return Box::new(make_supa(d, cfg));
+    }
+    baseline_by_name(name, d, cfg.seed).unwrap_or_else(|| panic!("unknown method {name}"))
+}
+
+/// `SUPA_{w/o Ins}`: SUPA trained by conventional multi-epoch scanning
+/// instead of the InsLearn workflow (paper §IV-G3).
+pub struct ConventionalSupa {
+    inner: Supa,
+    epochs: usize,
+}
+
+impl ConventionalSupa {
+    /// Wraps a SUPA instance; `epochs` full passes per fit.
+    pub fn new(inner: Supa, epochs: usize) -> Self {
+        ConventionalSupa { inner, epochs }
+    }
+}
+
+impl Scorer for ConventionalSupa {
+    fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {
+        self.inner.score(u, v, r)
+    }
+}
+
+impl Recommender for ConventionalSupa {
+    fn name(&self) -> &str {
+        "SUPA_w/o_Ins"
+    }
+    fn fit(&mut self, g: &Dmhg, train: &[TemporalEdge]) {
+        self.inner.reset();
+        self.inner.train_conventional(g, train, self.epochs);
+    }
+    fn fit_incremental(&mut self, g: &Dmhg, new_edges: &[TemporalEdge]) {
+        self.inner.train_conventional(g, new_edges, self.epochs);
+    }
+    fn is_dynamic(&self) -> bool {
+        true
+    }
+}
+
+/// Packages a dataset for the protocols.
+pub fn eval_context(d: &Dataset) -> EvalContext {
+    EvalContext::new(d.prototype.clone(), d.edges.clone())
+}
+
+/// A printable, TSV-serialisable result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (paper artefact name).
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, header: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as TSV into `target/experiments/<file>`.
+    pub fn save_tsv(&self, file: &str) -> std::io::Result<PathBuf> {
+        let dir = experiments_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(file);
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(f, "# {}", self.title)?;
+        writeln!(f, "{}", self.header.join("\t"))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Where experiment TSVs land.
+pub fn experiments_dir() -> PathBuf {
+    PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
+    )
+    .join("experiments")
+}
+
+/// Formats a metric to the paper's 4-decimal style.
+pub fn fmt4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats seconds compactly.
+pub fn fmt_secs(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}s")
+    } else {
+        format!("{x:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_and_tsv() {
+        let mut t = Table::new(
+            "Demo",
+            vec!["a".into(), "b".into()],
+        );
+        t.push(vec!["1".into(), "longer".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo") && s.contains("longer"));
+        let path = t.save_tsv("demo_test.tsv").unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("a\tb"));
+        assert!(content.contains("1\tlonger"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("x", vec!["a".into()]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn factories_cover_all_names() {
+        let cfg = HarnessConfig::default().quickened();
+        for ds in DATASET_NAMES {
+            let d = make_dataset(ds, &cfg);
+            assert!(!d.edges.is_empty(), "{ds} has no edges");
+        }
+        let d = make_dataset("Taobao", &cfg);
+        for m in ALL_METHOD_NAMES {
+            let method = make_method(m, &d, &cfg);
+            assert_eq!(method.name(), m);
+        }
+    }
+
+    #[test]
+    fn quick_mode_shrinks_everything() {
+        let cfg = HarnessConfig::default().quickened();
+        assert!(cfg.quick);
+        assert!(cfg.scale <= 0.008);
+        assert!(cfg.inslearn().n_iter <= 2);
+    }
+
+    #[test]
+    fn conventional_supa_reports_its_name() {
+        let cfg = HarnessConfig::default().quickened();
+        let d = make_dataset("Taobao", &cfg);
+        let m = ConventionalSupa::new(make_supa(&d, &cfg), 2);
+        assert_eq!(m.name(), "SUPA_w/o_Ins");
+        assert!(m.is_dynamic());
+    }
+}

@@ -1,0 +1,26 @@
+//! # supa-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the SUPA paper's evaluation
+//! (§IV) against the synthetic datasets:
+//!
+//! | Paper artefact | Function | `expt` subcommand |
+//! |---|---|---|
+//! | Table V (H@20/H@50) + Table VI (NDCG/MRR) | [`experiments::tables_5_6`] | `table5` / `table6` |
+//! | Fig. 4 (dynamic LP) + Fig. 5 (running time) | [`experiments::figs_4_5`] | `fig4` / `fig5` |
+//! | Fig. 6 (neighbourhood disturbance) | [`experiments::fig_6`] | `fig6` |
+//! | Table VII (loss ablation + InsLearn) | [`experiments::table_7`] | `table7` |
+//! | Table VIII (heterogeneity/dynamics ablation) | [`experiments::table_8`] | `table8` |
+//! | Fig. 7 (scalability vs `S_batch`) | [`experiments::fig_7`] | `fig7` |
+//! | Fig. 8 (parameter sensitivity) | [`experiments::fig_8`] | `fig8` |
+//! | Fig. 9 (t-SNE embedding visualisation) | [`experiments::fig_9`] | `fig9` |
+//!
+//! Every experiment prints a table to stdout and writes a TSV under
+//! `target/experiments/`. Absolute numbers will differ from the paper (the
+//! datasets are synthetic, the hardware is a CPU); the comparison *shape*
+//! (who wins, where crossovers fall) is the reproduction target — see
+//! `EXPERIMENTS.md` at the repo root.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{HarnessConfig, Table};

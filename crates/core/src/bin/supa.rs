@@ -1,0 +1,360 @@
+//! `supa` — the command-line front end of the SUPA recommender.
+//!
+//! ```text
+//! supa generate  --dataset taobao --scale 0.02 --seed 7 --out data.tsv
+//! supa stats     --data data.tsv
+//! supa mine      --data data.tsv [--min-support 0.02]
+//! supa train     --data data.tsv --out model.ckpt [--dim 32] [--holdout 0.2]
+//!                [--n-iter 20] [--batch 1024] [--seed 7] [--mine]
+//! supa evaluate  --data data.tsv --checkpoint model.ckpt [--dim 32]
+//!                [--holdout 0.2] [--sampled N]
+//! supa recommend --data data.tsv --checkpoint model.ckpt --user 3
+//!                --relation Buy [--top 10] [--dim 32] [--include-seen]
+//! ```
+//!
+//! Data is the self-describing TSV of `supa_datasets::load_tsv`; checkpoints
+//! are `Supa::save_checkpoint` blobs. `train --holdout F` withholds the final
+//! `F` fraction of the (time-sorted) stream so a later `evaluate` with the
+//! same `--holdout` measures genuine forecasting.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use supa::{InsLearnConfig, Supa, SupaConfig};
+use supa_datasets::{
+    all_datasets, load_tsv, save_tsv, Dataset,
+};
+use supa_eval::{RankingEvaluator, Scorer};
+use supa_graph::{mine_metapaths, MiningConfig, NodeId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Splits `args` into the subcommand and a `--flag value` map.
+fn parse(args: &[String]) -> Result<(String, HashMap<String, String>), String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(usage)?.clone();
+    let mut flags = HashMap::new();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument '{a}'"));
+        };
+        // Boolean flags take no value.
+        if matches!(name, "mine" | "include-seen") {
+            flags.insert(name.to_string(), "true".to_string());
+        } else {
+            let v = it
+                .next()
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), v.clone());
+        }
+    }
+    Ok((cmd, flags))
+}
+
+fn usage() -> String {
+    "usage: supa <generate|stats|mine|train|evaluate|recommend> [--flags]; \
+     see the binary's module docs"
+        .to_string()
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse '{v}'")),
+    }
+}
+
+fn require<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required --{name}"))
+}
+
+fn load_dataset(flags: &HashMap<String, String>) -> Result<Dataset, String> {
+    let path = require(flags, "data")?;
+    let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    load_tsv(path, BufReader::new(f))
+}
+
+/// The training slice under `--holdout F`: the leading `1−F` of the stream.
+fn train_slice(d: &Dataset, holdout: f64) -> Result<&[supa_graph::TemporalEdge], String> {
+    if !(0.0..1.0).contains(&holdout) {
+        return Err("--holdout must be in [0, 1)".into());
+    }
+    let cut = ((d.edges.len() as f64) * (1.0 - holdout)).round() as usize;
+    Ok(&d.edges[..cut.min(d.edges.len())])
+}
+
+fn build_model(d: &Dataset, flags: &HashMap<String, String>) -> Result<Supa, String> {
+    let dim: usize = get(flags, "dim", 32)?;
+    let seed: u64 = get(flags, "seed", 7u64)?;
+    let cfg = SupaConfig {
+        dim,
+        ..SupaConfig::small()
+    };
+    let mut metapaths = d.metapaths.clone();
+    if metapaths.is_empty() || flags.contains_key("mine") {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = d.full_graph();
+        metapaths = mine_metapaths(&g, &MiningConfig::default(), &mut rng)
+            .into_iter()
+            .map(|m| m.schema)
+            .collect();
+        eprintln!("mined {} metapath schemas", metapaths.len());
+        if metapaths.is_empty() {
+            return Err("no metapaths: declare them in the TSV or grow the data".into());
+        }
+    }
+    Supa::new(
+        d.prototype.schema(),
+        d.prototype.num_nodes(),
+        metapaths,
+        cfg,
+        supa::SupaVariant::full(),
+        seed,
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, flags) = parse(args)?;
+    match cmd.as_str() {
+        "generate" => {
+            let name = require(&flags, "dataset")?.to_lowercase();
+            let scale: f64 = get(&flags, "scale", 0.02)?;
+            let seed: u64 = get(&flags, "seed", 7u64)?;
+            let out = require(&flags, "out")?;
+            let d = all_datasets(scale, seed)
+                .into_iter()
+                .find(|d| d.name.to_lowercase().replace('.', "") == name.replace('.', ""))
+                .ok_or_else(|| format!("unknown dataset '{name}'"))?;
+            let f = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+            save_tsv(&d, std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
+            println!("wrote {} ({})", out, d.summary());
+            Ok(())
+        }
+        "stats" => {
+            let d = load_dataset(&flags)?;
+            println!("{}", d.summary());
+            let g = d.full_graph();
+            let st = supa_graph::GraphStats::compute(&g);
+            print!("{}", st.render(g.schema()));
+            Ok(())
+        }
+        "mine" => {
+            let d = load_dataset(&flags)?;
+            let min_support: f64 = get(&flags, "min-support", 0.01)?;
+            let seed: u64 = get(&flags, "seed", 7u64)?;
+            let g = d.full_graph();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mined = mine_metapaths(
+                &g,
+                &MiningConfig {
+                    samples_per_node: 6,
+                    min_support,
+                },
+                &mut rng,
+            );
+            let schema = d.prototype.schema();
+            for m in mined {
+                let names: Vec<&str> = m
+                    .schema
+                    .node_types()
+                    .iter()
+                    .map(|&t| schema.node_type_name(t).unwrap())
+                    .collect();
+                let rels: Vec<&str> = m.schema.rel_sets()[0]
+                    .iter()
+                    .map(|r| schema.relation_name(r).unwrap())
+                    .collect();
+                println!(
+                    "{:<40} via {{{}}}  support {:.2}%",
+                    names.join(" -> "),
+                    rels.join(","),
+                    100.0 * m.support
+                );
+            }
+            Ok(())
+        }
+        "train" => {
+            let d = load_dataset(&flags)?;
+            let out = require(&flags, "out")?;
+            let holdout: f64 = get(&flags, "holdout", 0.2)?;
+            let train = train_slice(&d, holdout)?;
+            let mut model = build_model(&d, &flags)?;
+            let il = InsLearnConfig {
+                batch_size: get(&flags, "batch", 1024)?,
+                n_iter: get(&flags, "n-iter", 20)?,
+                ..InsLearnConfig::default()
+            };
+            let g = {
+                let mut g = d.prototype.clone();
+                for e in train {
+                    g.add_edge(e.src, e.dst, e.relation, e.time)
+                        .map_err(|e| e.to_string())?;
+                }
+                g
+            };
+            let start = std::time::Instant::now();
+            let report = model.train_inslearn(&g, train, &il);
+            println!(
+                "trained on {} edges in {:.1}s ({} batches, {} iterations, {} validations)",
+                train.len(),
+                start.elapsed().as_secs_f64(),
+                report.batches,
+                report.iterations,
+                report.validations
+            );
+            let f = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+            let mut w = std::io::BufWriter::new(f);
+            model.save_checkpoint(&mut w).map_err(|e| e.to_string())?;
+            println!("checkpoint written to {out}");
+            Ok(())
+        }
+        "evaluate" => {
+            let d = load_dataset(&flags)?;
+            let ckpt = require(&flags, "checkpoint")?;
+            let holdout: f64 = get(&flags, "holdout", 0.2)?;
+            let train = train_slice(&d, holdout)?;
+            let test = &d.edges[train.len()..];
+            if test.is_empty() {
+                return Err("--holdout left no test edges".into());
+            }
+            let mut model = build_model(&d, &flags)?;
+            let blob = std::fs::read(ckpt).map_err(|e| format!("{ckpt}: {e}"))?;
+            model
+                .load_checkpoint(&mut blob.as_slice())
+                .map_err(|e| e.to_string())?;
+            let g = {
+                let mut g = d.prototype.clone();
+                for e in train {
+                    g.add_edge(e.src, e.dst, e.relation, e.time)
+                        .map_err(|e| e.to_string())?;
+                }
+                g
+            };
+            let sampled: usize = get(&flags, "sampled", 0)?;
+            let ev = if sampled > 0 {
+                RankingEvaluator::sampled(sampled, get(&flags, "seed", 7u64)?)
+            } else {
+                RankingEvaluator::full()
+            };
+            let m = ev.evaluate(&g, &model, test);
+            println!(
+                "test edges {}  H@20 {:.4}  H@50 {:.4}  NDCG@10 {:.4}  MRR {:.4}",
+                m.len(),
+                m.hit20(),
+                m.hit50(),
+                m.ndcg10(),
+                m.mrr()
+            );
+            Ok(())
+        }
+        "recommend" => {
+            let d = load_dataset(&flags)?;
+            let ckpt = require(&flags, "checkpoint")?;
+            let user: u32 = require(&flags, "user")?
+                .parse()
+                .map_err(|_| "--user must be a node id".to_string())?;
+            let rel_name = require(&flags, "relation")?;
+            let top: usize = get(&flags, "top", 10)?;
+            let schema = d.prototype.schema();
+            let rel = schema
+                .relation_by_name(rel_name)
+                .ok_or_else(|| format!("unknown relation '{rel_name}'"))?;
+            let target_ty = schema.relation(rel).unwrap().dst_type;
+
+            let mut model = build_model(&d, &flags)?;
+            let blob = std::fs::read(ckpt).map_err(|e| format!("{ckpt}: {e}"))?;
+            model
+                .load_checkpoint(&mut blob.as_slice())
+                .map_err(|e| e.to_string())?;
+            let g = d.full_graph();
+            if user as usize >= g.num_nodes() {
+                return Err(format!("user {user} is not a node"));
+            }
+            let candidates = g.nodes_of_type(target_ty);
+            let recs = if flags.contains_key("include-seen") {
+                model.top_k(NodeId(user), candidates, rel, top)
+            } else {
+                model.top_k_unseen(&g, NodeId(user), candidates, rel, top)
+            };
+            for (rank, (v, score)) in recs.iter().enumerate() {
+                println!("{:>3}. node {:<8} γ = {:+.4}", rank + 1, v.0, score);
+            }
+            // Also show the raw score of a sanity pair if the user has one.
+            if let Some(n) = g.neighbors(NodeId(user)).last() {
+                println!(
+                    "(latest seen item {} scores {:+.4})",
+                    n.node.0,
+                    model.score(NodeId(user), n.node, rel)
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'; {}", usage())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sargs(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_splits_command_and_flags() {
+        let (cmd, flags) =
+            parse(&sargs(&["train", "--data", "x.tsv", "--dim", "16", "--mine"])).unwrap();
+        assert_eq!(cmd, "train");
+        assert_eq!(flags.get("data").unwrap(), "x.tsv");
+        assert_eq!(flags.get("dim").unwrap(), "16");
+        assert!(flags.contains_key("mine"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_shapes() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&sargs(&["train", "positional"])).is_err());
+        assert!(parse(&sargs(&["train", "--data"])).is_err());
+    }
+
+    #[test]
+    fn flag_helpers() {
+        let (_, flags) = parse(&sargs(&["x", "--dim", "16"])).unwrap();
+        assert_eq!(get(&flags, "dim", 32usize).unwrap(), 16);
+        assert_eq!(get(&flags, "top", 10usize).unwrap(), 10);
+        assert!(get::<usize>(&flags, "dim", 0).is_ok());
+        assert!(require(&flags, "dim").is_ok());
+        assert!(require(&flags, "nope").is_err());
+        let (_, bad) = parse(&sargs(&["x", "--dim", "banana"])).unwrap();
+        assert!(get::<usize>(&bad, "dim", 0).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&sargs(&["frobnicate"])).is_err());
+        assert!(run(&sargs(&["generate", "--dataset", "nope", "--out", "/dev/null"])).is_err());
+    }
+}

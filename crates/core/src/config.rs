@@ -1,0 +1,111 @@
+//! SUPA hyper-parameters (paper §IV-C).
+
+use crate::decay::tau_for_g;
+
+/// Hyper-parameters of the SUPA model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupaConfig {
+    /// Embedding dimension `d` (paper: 128; scaled experiments use 32).
+    pub dim: usize,
+    /// Number of walks `k` per interactive node.
+    pub num_walks: usize,
+    /// Walk length `l`.
+    pub walk_length: usize,
+    /// Negatives per flow `N_neg` (paper default 5).
+    pub n_neg: usize,
+    /// Termination threshold τ in *scaled* time units (see `time_scale`);
+    /// the paper sets it from `g(τ) = 0.3`.
+    pub tau: f64,
+    /// Adam learning rate (paper: 3e-3).
+    pub learning_rate: f32,
+    /// Decoupled weight decay (paper: 1e-4).
+    pub weight_decay: f32,
+    /// Initial value of every node-type drift parameter `α_o`.
+    pub alpha_init: f64,
+    /// Embedding init scale (`U(-s, s)`).
+    pub init_scale: f32,
+    /// Divisor applied to raw time differences before they enter `g(·)` and
+    /// the τ filter. `0.0` means *auto*: pick `max_time / 100` at fit time so
+    /// typical intervals land where `g` is responsive regardless of whether
+    /// timestamps are seconds or epochs.
+    pub time_scale: f64,
+    /// Exponent of the negative-sampling distribution (skip-gram's 0.75).
+    pub neg_power: f64,
+}
+
+impl Default for SupaConfig {
+    fn default() -> Self {
+        SupaConfig {
+            dim: 128,
+            num_walks: 5,
+            walk_length: 3,
+            n_neg: 5,
+            tau: tau_for_g(0.3),
+            learning_rate: 3e-3,
+            weight_decay: 1e-4,
+            alpha_init: 0.0,
+            init_scale: 0.1,
+            time_scale: 0.0,
+            neg_power: 0.75,
+        }
+    }
+}
+
+impl SupaConfig {
+    /// The scaled-experiment configuration used throughout this repo's
+    /// benches: `d = 32`, paper defaults elsewhere.
+    pub fn small() -> Self {
+        SupaConfig {
+            dim: 32,
+            learning_rate: 1e-2,
+            ..Default::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics on zero dimensions/walks or a non-positive τ.
+    pub fn validate(&self) {
+        assert!(self.dim > 0, "dim must be positive");
+        assert!(self.num_walks > 0, "num_walks must be positive");
+        assert!(self.walk_length > 0, "walk_length must be positive");
+        assert!(self.tau > 0.0, "tau must be positive");
+        assert!(self.time_scale >= 0.0, "time_scale must be non-negative");
+        assert!(self.learning_rate > 0.0, "learning rate must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SupaConfig::default();
+        assert_eq!(c.dim, 128);
+        assert_eq!(c.n_neg, 5);
+        assert!((c.learning_rate - 3e-3).abs() < 1e-9);
+        assert!((c.weight_decay - 1e-4).abs() < 1e-9);
+        assert!((crate::decay::g_decay(c.tau) - 0.3).abs() < 1e-9);
+        c.validate();
+    }
+
+    #[test]
+    fn small_profile_shrinks_dim_only_structurally() {
+        let c = SupaConfig::small();
+        assert_eq!(c.dim, 32);
+        assert_eq!(c.n_neg, SupaConfig::default().n_neg);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be positive")]
+    fn zero_dim_rejected() {
+        SupaConfig {
+            dim: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,134 @@
+//! The paper's time-decay functions.
+//!
+//! - `g(x) = 1 / ln(e + x)` — the monotone decreasing *forget* /
+//!   *attenuation* function (§III-C, §III-D). `g(0) = 1`, `g(∞) = 0`.
+//! - `D(x) = 1[x ≤ τ]` — the *termination* filter detecting out-of-date
+//!   edges (Eq. 9).
+//! - The experimental default τ solves `g(τ) = 0.3` (§IV-C), i.e.
+//!   `τ = e^{1/0.3} − e`.
+
+/// `g(x) = 1/ln(e + x)` for `x ≥ 0`.
+#[inline]
+pub fn g_decay(x: f64) -> f64 {
+    debug_assert!(x >= 0.0, "decay input must be non-negative, got {x}");
+    1.0 / (std::f64::consts::E + x).ln()
+}
+
+/// `g'(x) = −1 / ((e + x) · ln²(e + x))`.
+#[inline]
+pub fn g_decay_prime(x: f64) -> f64 {
+    let l = (std::f64::consts::E + x).ln();
+    -1.0 / ((std::f64::consts::E + x) * l * l)
+}
+
+/// The termination filter `D(x)` (Eq. 9).
+#[inline]
+pub fn filter(x: f64, tau: f64) -> f64 {
+    if x <= tau {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// The τ that solves `g(τ) = target` (the paper uses `target = 0.3`).
+#[inline]
+pub fn tau_for_g(target: f64) -> f64 {
+    assert!(target > 0.0 && target < 1.0, "target must be in (0,1)");
+    (1.0 / target).exp() - std::f64::consts::E
+}
+
+/// Numerically stable sigmoid (f64).
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// `σ'(x) = σ(x)(1 − σ(x))`.
+#[inline]
+pub fn sigmoid_prime(x: f64) -> f64 {
+    let s = sigmoid(x);
+    s * (1.0 - s)
+}
+
+/// Numerically stable `ln σ(x)`.
+#[inline]
+pub fn log_sigmoid(x: f64) -> f64 {
+    if x > 30.0 {
+        0.0
+    } else if x < -30.0 {
+        x
+    } else {
+        -(1.0 + (-x).exp()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g_is_one_at_zero_and_decreasing() {
+        assert!((g_decay(0.0) - 1.0).abs() < 1e-12);
+        let mut prev = g_decay(0.0);
+        for &x in &[0.1, 1.0, 10.0, 100.0, 1e6] {
+            let cur = g_decay(x);
+            assert!(cur < prev, "g not decreasing at {x}");
+            assert!(cur > 0.0);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn g_prime_matches_finite_difference() {
+        for &x in &[0.0, 0.5, 3.0, 50.0] {
+            let eps = 1e-5;
+            let num = (g_decay(x + eps) - g_decay(x.max(eps) - eps).max(0.0)) / (2.0 * eps);
+            // Use symmetric difference only where valid.
+            let num = if x < eps {
+                (g_decay(x + eps) - g_decay(x)) / eps
+            } else {
+                num
+            };
+            let ana = g_decay_prime(x);
+            assert!(
+                (num - ana).abs() < 1e-4,
+                "x={x}: numeric {num} vs analytic {ana}"
+            );
+            assert!(ana < 0.0);
+        }
+    }
+
+    #[test]
+    fn tau_solves_the_paper_equation() {
+        let tau = tau_for_g(0.3);
+        assert!((g_decay(tau) - 0.3).abs() < 1e-9, "g(τ) = {}", g_decay(tau));
+        // Sanity: e^{10/3} − e ≈ 25.3
+        assert!((tau - 25.31).abs() < 0.1, "τ = {tau}");
+    }
+
+    #[test]
+    fn filter_is_a_step() {
+        assert_eq!(filter(1.0, 2.0), 1.0);
+        assert_eq!(filter(2.0, 2.0), 1.0);
+        assert_eq!(filter(2.0001, 2.0), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_identities() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid_prime(0.0) - 0.25).abs() < 1e-12);
+        for &x in &[-2.0, 0.3, 1.7] {
+            let eps = 1e-6;
+            let num = (sigmoid(x + eps) - sigmoid(x - eps)) / (2.0 * eps);
+            assert!((num - sigmoid_prime(x)).abs() < 1e-5);
+        }
+        assert!((log_sigmoid(2.0) - sigmoid(2.0).ln()).abs() < 1e-10);
+        assert_eq!(log_sigmoid(-100.0), -100.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! InsLearn: single-pass incremental training (paper Algorithm 1).
+//!
+//! The edge stream is cut into sequential batches of `S_batch`. Within each
+//! batch, the last `S_valid` edges are held out; the model trains on the
+//! rest for up to `N_iter` iterations, validating (MRR over sampled
+//! candidates) every `I_valid` iterations, early-stopping after μ
+//! non-improving validations, and rolling back to the best snapshot before
+//! the next batch. Batches are seen exactly once — the stream is never
+//! revisited, which is what makes the workflow deployable online.
+
+use supa_eval::RankingEvaluator;
+use supa_graph::{sequential_batches, Dmhg, TemporalEdge};
+
+use crate::model::Supa;
+
+/// Hyper-parameters of the InsLearn workflow (paper §IV-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsLearnConfig {
+    /// `S_batch` (paper: 1024).
+    pub batch_size: usize,
+    /// `N_iter` (paper: 100 on UCI/Taobao, 30 elsewhere).
+    pub n_iter: usize,
+    /// `I_valid` (paper: 8).
+    pub valid_interval: usize,
+    /// `S_valid` (paper: 150; clamped to ⅕ of the batch).
+    pub valid_size: usize,
+    /// Early-stopping patience μ (paper: 3).
+    pub patience: usize,
+    /// Distractor count for the sampled validation ranking.
+    pub valid_candidates: usize,
+}
+
+impl Default for InsLearnConfig {
+    fn default() -> Self {
+        InsLearnConfig {
+            batch_size: 1024,
+            n_iter: 30,
+            valid_interval: 8,
+            valid_size: 150,
+            patience: 3,
+            valid_candidates: 50,
+        }
+    }
+}
+
+impl InsLearnConfig {
+    /// A faster profile for sweeps: fewer iterations, denser validation.
+    pub fn fast() -> Self {
+        InsLearnConfig {
+            n_iter: 8,
+            valid_interval: 4,
+            ..Default::default()
+        }
+    }
+}
+
+/// What happened during one InsLearn run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InsLearnReport {
+    /// Number of batches consumed.
+    pub batches: usize,
+    /// Total training iterations executed (across batches).
+    pub iterations: usize,
+    /// Total validations performed.
+    pub validations: usize,
+    /// Batches that ended by early stopping (patience exceeded).
+    pub early_stops: usize,
+    /// Batches whose final state was rolled back to a snapshot.
+    pub rollbacks: usize,
+    /// Mean training loss over the final batch's last iteration.
+    pub final_loss: f64,
+    /// Best validation MRR observed in the final batch.
+    pub final_valid_mrr: f64,
+}
+
+impl Supa {
+    /// Trains the model with the InsLearn workflow over `edges` (which must
+    /// already be present in `g` and time-sorted).
+    pub fn train_inslearn(
+        &mut self,
+        g: &Dmhg,
+        edges: &[TemporalEdge],
+        cfg: &InsLearnConfig,
+    ) -> InsLearnReport {
+        assert!(cfg.batch_size > 0 && cfg.n_iter > 0 && cfg.valid_interval > 0);
+        let mut report = InsLearnReport::default();
+        if edges.is_empty() {
+            return report;
+        }
+        self.resolve_time_scale(g);
+        self.ensure_capacity(g.num_nodes());
+        self.rebuild_negative_samplers(g);
+
+        for batch in sequential_batches(edges, cfg.batch_size) {
+            report.batches += 1;
+            // STEP 2: split off the validation suffix (clamped so tiny
+            // batches still mostly train).
+            let valid_size = cfg.valid_size.min(batch.len() / 5);
+            if valid_size == 0 {
+                report.iterations += 1;
+                report.final_loss = self.train_pass(g, batch);
+                continue;
+            }
+            let (train_part, valid_part) = batch.split_at(batch.len() - valid_size);
+            let evaluator =
+                RankingEvaluator::sampled(cfg.valid_candidates, self.rng_u64());
+
+            // Algorithm 1 lines 4–19.
+            let mut best_score = 0.0f64;
+            let mut best_state = self.snapshot();
+            let mut cur_patience = 0usize;
+            let mut validated = false;
+            for i in 1..=cfg.n_iter {
+                report.iterations += 1;
+                report.final_loss = self.train_pass(g, train_part);
+                if i % cfg.valid_interval == 0 {
+                    report.validations += 1;
+                    validated = true;
+                    let score = evaluator.evaluate(g, &*self, valid_part).mrr();
+                    if score > best_score {
+                        best_score = score;
+                        best_state = self.snapshot();
+                        cur_patience = 0;
+                    } else {
+                        cur_patience += 1;
+                        if cur_patience > cfg.patience {
+                            report.early_stops += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            // STEP 5: keep the best-validated model. If no validation ever
+            // succeeded (score stuck at 0), keep the trained weights instead
+            // of discarding the batch.
+            if validated && best_score > 0.0 {
+                report.rollbacks += 1;
+                self.restore(best_state);
+            }
+            report.final_valid_mrr = best_score;
+        }
+        report
+    }
+
+    /// The conventional (non-InsLearn) training baseline `SUPA_{w/o Ins}`:
+    /// scans the whole edge set for `epochs` full passes with no batch
+    /// validation or rollback (paper §IV-G3).
+    pub fn train_conventional(
+        &mut self,
+        g: &Dmhg,
+        edges: &[TemporalEdge],
+        epochs: usize,
+    ) -> f64 {
+        self.resolve_time_scale(g);
+        self.ensure_capacity(g.num_nodes());
+        self.rebuild_negative_samplers(g);
+        let mut last = 0.0;
+        for _ in 0..epochs {
+            last = self.train_pass(g, edges);
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SupaConfig;
+    use supa_datasets::taobao;
+    use supa_eval::Scorer;
+
+    fn setup() -> (Supa, supa_datasets::Dataset, Dmhg) {
+        let d = taobao(0.02, 11);
+        let cfg = SupaConfig {
+            dim: 16,
+            ..SupaConfig::small()
+        };
+        let m = Supa::from_dataset(&d, cfg, 11).unwrap();
+        let g = d.full_graph();
+        (m, d, g)
+    }
+
+    #[test]
+    fn inslearn_consumes_every_batch_once() {
+        let (mut m, d, g) = setup();
+        let n = 2100.min(d.edges.len());
+        let cfg = InsLearnConfig {
+            batch_size: 1000,
+            n_iter: 4,
+            valid_interval: 2,
+            valid_size: 100,
+            patience: 1,
+            valid_candidates: 20,
+        };
+        let report = m.train_inslearn(&g, &d.edges[..n], &cfg);
+        assert_eq!(report.batches, 3);
+        assert!(report.iterations >= report.batches);
+        assert!(report.validations >= 1);
+        assert!(report.final_loss > 0.0);
+    }
+
+    #[test]
+    fn inslearn_improves_scores_of_seen_pairs() {
+        let (mut m, d, g) = setup();
+        let n = 1500.min(d.edges.len());
+        let probe = &d.edges[10];
+        let before = m.score(probe.src, probe.dst, probe.relation);
+        let cfg = InsLearnConfig {
+            batch_size: 512,
+            n_iter: 6,
+            valid_interval: 3,
+            valid_size: 60,
+            patience: 2,
+            valid_candidates: 20,
+        };
+        m.train_inslearn(&g, &d.edges[..n], &cfg);
+        let after = m.score(probe.src, probe.dst, probe.relation);
+        assert!(after > before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn early_stopping_respects_patience() {
+        let (mut m, d, g) = setup();
+        let n = 1000.min(d.edges.len());
+        // Aggressive validation, zero patience: must early-stop quickly.
+        let cfg = InsLearnConfig {
+            batch_size: 1000,
+            n_iter: 100,
+            valid_interval: 1,
+            valid_size: 100,
+            patience: 0,
+            valid_candidates: 20,
+        };
+        let report = m.train_inslearn(&g, &d.edges[..n], &cfg);
+        assert!(
+            report.iterations < 100,
+            "ran all {} iterations despite patience 0",
+            report.iterations
+        );
+    }
+
+    #[test]
+    fn tiny_batches_skip_validation_but_still_train() {
+        let (mut m, d, g) = setup();
+        let cfg = InsLearnConfig {
+            batch_size: 4,
+            n_iter: 10,
+            valid_interval: 2,
+            valid_size: 150,
+            patience: 3,
+            valid_candidates: 10,
+        };
+        let report = m.train_inslearn(&g, &d.edges[..12], &cfg);
+        assert_eq!(report.batches, 3);
+        assert_eq!(report.validations, 0);
+        assert_eq!(report.iterations, 3, "one pass per unvalidatable batch");
+    }
+
+    #[test]
+    fn empty_stream_is_a_noop() {
+        let (mut m, _, g) = setup();
+        let report = m.train_inslearn(&g, &[], &InsLearnConfig::default());
+        assert_eq!(report, InsLearnReport::default());
+    }
+
+    #[test]
+    fn conventional_training_runs_requested_epochs() {
+        let (mut m, d, g) = setup();
+        let loss = m.train_conventional(&g, &d.edges[..600], 2);
+        assert!(loss > 0.0);
+    }
+}

@@ -1,0 +1,594 @@
+//! The SUPA model state and construction.
+//!
+//! State per node (paper §III-C): a long-term memory `h^L`, a short-term
+//! memory `h^S`, and one context embedding `c^r` per relation — all
+//! learnable rows in [`EmbeddingTable`]s. Per node *type* there is one
+//! scalar drift parameter `α_o` (through a sigmoid it scales how fast the
+//! short-term memory is forgotten). Everything trains with per-row lazy
+//! Adam.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use supa_datasets::Dataset;
+use supa_embed::{EmbeddingTable, NegativeSampler};
+use supa_graph::{
+    Dmhg, GraphError, GraphSchema, MetapathWalker, MetapathSchema, NodeId, RelationId, Timestamp,
+};
+
+use crate::config::SupaConfig;
+use crate::decay::{g_decay, sigmoid};
+use crate::variants::SupaVariant;
+
+/// A scalar parameter with its own Adam state (used for the `α_o`s).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdamScalar {
+    /// Current value.
+    pub value: f64,
+    m: f64,
+    v: f64,
+    t: u32,
+}
+
+impl AdamScalar {
+    /// A fresh scalar.
+    pub fn new(value: f64) -> Self {
+        AdamScalar {
+            value,
+            m: 0.0,
+            v: 0.0,
+            t: 0,
+        }
+    }
+
+    /// Decomposes into `(value, m, v, t)` for checkpointing.
+    pub(crate) fn raw_parts(&self) -> (f64, f64, f64, u32) {
+        (self.value, self.m, self.v, self.t)
+    }
+
+    /// Rebuilds from checkpointed parts.
+    pub(crate) fn from_raw_parts(value: f64, m: f64, v: f64, t: u32) -> Self {
+        AdamScalar { value, m, v, t }
+    }
+
+    /// One Adam step.
+    pub fn step(&mut self, grad: f64, lr: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        self.t += 1;
+        self.m = B1 * self.m + (1.0 - B1) * grad;
+        self.v = B2 * self.v + (1.0 - B2) * grad * grad;
+        let mhat = self.m / (1.0 - B1.powi(self.t as i32));
+        let vhat = self.v / (1.0 - B2.powi(self.t as i32));
+        self.value -= lr * mhat / (vhat.sqrt() + EPS);
+    }
+}
+
+/// The complete learnable state of a SUPA model — snapshot/restore this for
+/// InsLearn's best-model rollback.
+#[derive(Debug, Clone)]
+pub struct SupaState {
+    /// Long-term memories `h^L` (n × d).
+    pub h_long: EmbeddingTable,
+    /// Short-term memories `h^S` (n × d).
+    pub h_short: EmbeddingTable,
+    /// Context embeddings `c^r`, one table per relation (or a single shared
+    /// table under `SUPA_se`).
+    pub ctx: Vec<EmbeddingTable>,
+    /// Node-type drift parameters `α_o` (a single entry under `SUPA_sn`).
+    pub alpha: Vec<AdamScalar>,
+}
+
+/// Pieces of a node's target embedding needed by both the forward pass and
+/// the analytic gradients (Eq. 5).
+#[derive(Debug, Clone)]
+pub(crate) struct TargetParts {
+    /// `h* = h^L + h^S · g(σ(α)·Δ)` (or `h^L` under `no_forget`).
+    pub hstar: Vec<f32>,
+    /// The forget factor `g(σ(α)·Δ)`.
+    pub forget: f64,
+    /// The decay input `x = σ(α)·Δ`.
+    pub x: f64,
+    /// The scaled inactive interval `Δ_V`.
+    pub delta: f64,
+    /// Index into `state.alpha`.
+    pub alpha_idx: usize,
+}
+
+/// The SUPA model (see the crate docs for the architecture overview).
+pub struct Supa {
+    pub(crate) cfg: SupaConfig,
+    pub(crate) variant: SupaVariant,
+    pub(crate) state: SupaState,
+    pub(crate) walker: MetapathWalker,
+    /// Per node type: a `deg^{0.75}` negative sampler (rebuilt per batch).
+    pub(crate) neg_samplers: Vec<Option<NegativeSampler>>,
+    pub(crate) rng: SmallRng,
+    pub(crate) time_scale: f64,
+    pub(crate) seed: u64,
+    pub(crate) num_node_types: usize,
+    pub(crate) inslearn_cfg: crate::inslearn::InsLearnConfig,
+    name: String,
+}
+
+impl Supa {
+    /// Builds an untrained model over a graph schema.
+    ///
+    /// `n_nodes` is the initial node-universe size (tables grow on demand);
+    /// `metapaths` is the predefined schema set `P⃗`.
+    pub fn new(
+        schema: &GraphSchema,
+        n_nodes: usize,
+        metapaths: Vec<MetapathSchema>,
+        cfg: SupaConfig,
+        variant: SupaVariant,
+        seed: u64,
+    ) -> Result<Self, GraphError> {
+        cfg.validate();
+        let walker = MetapathWalker::new(metapaths, schema)?;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n_ctx = if variant.shared_context {
+            1
+        } else {
+            schema.num_relations().max(1)
+        };
+        let n_alpha = if variant.shared_alpha {
+            1
+        } else {
+            schema.num_node_types().max(1)
+        };
+        let mk = |rng: &mut SmallRng| {
+            EmbeddingTable::new(n_nodes, cfg.dim, cfg.init_scale, rng)
+                .with_weight_decay(cfg.weight_decay)
+        };
+        let state = SupaState {
+            h_long: mk(&mut rng),
+            h_short: mk(&mut rng),
+            ctx: (0..n_ctx).map(|_| mk(&mut rng)).collect(),
+            alpha: (0..n_alpha)
+                .map(|_| AdamScalar::new(cfg.alpha_init))
+                .collect(),
+        };
+        let initial_time_scale = if cfg.time_scale > 0.0 {
+            cfg.time_scale
+        } else {
+            1.0
+        };
+        Ok(Supa {
+            cfg,
+            variant,
+            state,
+            walker,
+            neg_samplers: vec![None; schema.num_node_types()],
+            rng,
+            // An explicit config scale applies immediately; auto mode stays
+            // at 1.0 until `resolve_time_scale` sees a graph.
+            time_scale: initial_time_scale,
+            seed,
+            num_node_types: schema.num_node_types(),
+            inslearn_cfg: crate::inslearn::InsLearnConfig::default(),
+            name: "SUPA".to_string(),
+        })
+    }
+
+    /// Convenience constructor from a packaged [`Dataset`].
+    pub fn from_dataset(d: &Dataset, cfg: SupaConfig, seed: u64) -> Result<Self, GraphError> {
+        Self::new(
+            d.prototype.schema(),
+            d.prototype.num_nodes(),
+            d.metapaths.clone(),
+            cfg,
+            SupaVariant::full(),
+            seed,
+        )
+    }
+
+    /// Same, with an explicit ablation variant.
+    pub fn from_dataset_variant(
+        d: &Dataset,
+        cfg: SupaConfig,
+        variant: SupaVariant,
+        seed: u64,
+    ) -> Result<Self, GraphError> {
+        Self::new(
+            d.prototype.schema(),
+            d.prototype.num_nodes(),
+            d.metapaths.clone(),
+            cfg,
+            variant,
+            seed,
+        )
+    }
+
+    /// Overrides the display name (used for ablation variants in tables).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The model's display name.
+    pub fn display_name(&self) -> &str {
+        &self.name
+    }
+
+    /// The hyper-parameters.
+    pub fn config(&self) -> &SupaConfig {
+        &self.cfg
+    }
+
+    /// The ablation variant.
+    pub fn variant(&self) -> &SupaVariant {
+        &self.variant
+    }
+
+    /// Immutable access to the learnable state.
+    pub fn state(&self) -> &SupaState {
+        &self.state
+    }
+
+    /// Mutable state access for white-box tests.
+    #[doc(hidden)]
+    pub fn state_mut_for_tests(&mut self) -> &mut SupaState {
+        &mut self.state
+    }
+
+    /// Snapshot the full learnable state (InsLearn `Φ_best ← Φ`).
+    pub fn snapshot(&self) -> SupaState {
+        self.state.clone()
+    }
+
+    /// Restore a snapshot (InsLearn `Φ ← Φ_best`).
+    pub fn restore(&mut self, s: SupaState) {
+        self.state = s;
+    }
+
+    /// The active time scale divisor.
+    pub fn time_scale(&self) -> f64 {
+        self.time_scale
+    }
+
+    /// Resolves the time scale: explicit config wins, otherwise
+    /// `max_time/100` so typical intervals land where `g(·)` has slope.
+    pub fn resolve_time_scale(&mut self, g: &Dmhg) {
+        self.time_scale = if self.cfg.time_scale > 0.0 {
+            self.cfg.time_scale
+        } else {
+            (g.max_time() / 100.0).max(1e-9)
+        };
+    }
+
+    /// Grows the embedding tables to cover `n_nodes` (streaming growth).
+    pub fn ensure_capacity(&mut self, n_nodes: usize) {
+        self.state.h_long.ensure_len(n_nodes, &mut self.rng);
+        self.state.h_short.ensure_len(n_nodes, &mut self.rng);
+        for t in &mut self.state.ctx {
+            t.ensure_len(n_nodes, &mut self.rng);
+        }
+    }
+
+    /// Rebuilds the per-type `deg^{0.75}` negative samplers from the current
+    /// graph (InsLearn does this once per batch).
+    pub fn rebuild_negative_samplers(&mut self, g: &Dmhg) {
+        for ty in 0..self.num_node_types {
+            let nodes = g.nodes_of_type(supa_graph::NodeTypeId(ty as u16));
+            if nodes.is_empty() {
+                self.neg_samplers[ty] = None;
+                continue;
+            }
+            let ids: Vec<u32> = nodes.iter().map(|n| n.0).collect();
+            let degs: Vec<f64> = nodes.iter().map(|&n| g.degree(n) as f64).collect();
+            self.neg_samplers[ty] = Some(NegativeSampler::new(ids, &degs, self.cfg.neg_power));
+        }
+    }
+
+    /// Index into the context tables for relation `r` (shared-context aware).
+    #[inline]
+    pub(crate) fn ctx_idx(&self, r: RelationId) -> usize {
+        if self.variant.shared_context {
+            0
+        } else {
+            r.index()
+        }
+    }
+
+    /// Index into `alpha` for node type `ty` (shared-alpha aware).
+    #[inline]
+    pub(crate) fn alpha_idx(&self, ty_index: usize) -> usize {
+        if self.variant.shared_alpha {
+            0
+        } else {
+            ty_index
+        }
+    }
+
+    /// Computes Eq. 5 for one node at event time `t` against graph `g`.
+    ///
+    /// `Δ_V` is read from the graph: the time since the node's latest
+    /// interaction strictly before `t` (or since stream start for fresh
+    /// nodes), divided by the time scale.
+    pub(crate) fn target_parts(&self, g: &Dmhg, node: NodeId, t: Timestamp) -> TargetParts {
+        let ty = g.node_type(node).index();
+        let alpha_idx = self.alpha_idx(ty);
+        let last = g
+            .neighbors_before(node, t)
+            .last()
+            .map(|n| n.time)
+            .unwrap_or(0.0);
+        let delta = ((t - last) / self.time_scale).max(0.0);
+        let hl = self.state.h_long.row(node.index());
+        if self.variant.no_forget {
+            return TargetParts {
+                hstar: hl.to_vec(),
+                forget: 0.0,
+                x: 0.0,
+                delta,
+                alpha_idx,
+            };
+        }
+        let x = sigmoid(self.state.alpha[alpha_idx].value) * delta;
+        let forget = g_decay(x);
+        let hs = self.state.h_short.row(node.index());
+        let hstar = hl
+            .iter()
+            .zip(hs)
+            .map(|(&l, &s)| l + s * forget as f32)
+            .collect();
+        TargetParts {
+            hstar,
+            forget,
+            x,
+            delta,
+            alpha_idx,
+        }
+    }
+
+    /// The readout embedding of Eq. 14: `h_v^r = ½(h^L + h^S + c^r)`
+    /// (without the short-term memory under `no_forget`).
+    pub fn final_embedding(&self, node: NodeId, r: RelationId) -> Vec<f32> {
+        let i = node.index();
+        let hl = self.state.h_long.row(i);
+        let c = self.state.ctx[self.ctx_idx(r)].row(i);
+        if self.variant.no_forget {
+            hl.iter().zip(c).map(|(&l, &cc)| 0.5 * (l + cc)).collect()
+        } else {
+            let hs = self.state.h_short.row(i);
+            hl.iter()
+                .zip(hs)
+                .zip(c)
+                .map(|((&l, &s), &cc)| 0.5 * (l + s + cc))
+                .collect()
+        }
+    }
+
+    /// Eq. 15: `γ(u, v, r) = h_u^rᵀ h_v^r`, fused (no allocation).
+    pub fn gamma(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {
+        let (ui, vi) = (u.index(), v.index());
+        let cidx = self.ctx_idx(r);
+        let (hl_u, hl_v) = (self.state.h_long.row(ui), self.state.h_long.row(vi));
+        let (c_u, c_v) = (
+            self.state.ctx[cidx].row(ui),
+            self.state.ctx[cidx].row(vi),
+        );
+        let mut s = 0.0f32;
+        if self.variant.no_forget {
+            for k in 0..hl_u.len() {
+                s += (hl_u[k] + c_u[k]) * (hl_v[k] + c_v[k]);
+            }
+        } else {
+            let (hs_u, hs_v) = (self.state.h_short.row(ui), self.state.h_short.row(vi));
+            for k in 0..hl_u.len() {
+                s += (hl_u[k] + hs_u[k] + c_u[k]) * (hl_v[k] + hs_v[k] + c_v[k]);
+            }
+        }
+        0.25 * s
+    }
+
+    /// Top-K recommendation excluding items the user has already interacted
+    /// with (the standard serving filter).
+    pub fn top_k_unseen(
+        &self,
+        g: &Dmhg,
+        u: NodeId,
+        candidates: &[NodeId],
+        r: RelationId,
+        k: usize,
+    ) -> Vec<(NodeId, f32)> {
+        let seen: std::collections::HashSet<NodeId> =
+            g.neighbors(u).iter().map(|n| n.node).collect();
+        let mut scored: Vec<(NodeId, f32)> = candidates
+            .iter()
+            .filter(|v| !seen.contains(v))
+            .map(|&v| (v, self.gamma(u, v, r)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Top-K recommendation: the K candidates with the highest `γ(u, ·, r)`.
+    pub fn top_k(
+        &self,
+        u: NodeId,
+        candidates: &[NodeId],
+        r: RelationId,
+        k: usize,
+    ) -> Vec<(NodeId, f32)> {
+        let mut scored: Vec<(NodeId, f32)> = candidates
+            .iter()
+            .map(|&v| (v, self.gamma(u, v, r)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supa_datasets::taobao;
+
+    fn model() -> (Supa, Dataset) {
+        let d = taobao(0.02, 3);
+        let m = Supa::from_dataset(&d, SupaConfig::small(), 3).unwrap();
+        (m, d)
+    }
+
+    #[test]
+    fn construction_sizes_state_correctly() {
+        let (m, d) = model();
+        assert_eq!(m.state().h_long.len(), d.num_nodes());
+        assert_eq!(m.state().ctx.len(), 4, "one context table per relation");
+        assert_eq!(m.state().alpha.len(), 2, "one α per node type");
+        assert_eq!(m.display_name(), "SUPA");
+    }
+
+    #[test]
+    fn shared_variants_collapse_tables() {
+        let d = taobao(0.02, 3);
+        let m =
+            Supa::from_dataset_variant(&d, SupaConfig::small(), SupaVariant::s(), 3).unwrap();
+        assert_eq!(m.state().ctx.len(), 1);
+        assert_eq!(m.state().alpha.len(), 1);
+        assert_eq!(m.ctx_idx(RelationId(3)), 0);
+        assert_eq!(m.alpha_idx(1), 0);
+    }
+
+    #[test]
+    fn adam_scalar_descends() {
+        let mut a = AdamScalar::new(2.0);
+        for _ in 0..300 {
+            a.step(2.0 * a.value, 0.05); // d/dα α² = 2α
+        }
+        assert!(a.value.abs() < 0.05, "α = {}", a.value);
+    }
+
+    #[test]
+    fn gamma_matches_final_embedding_dot() {
+        let (m, d) = model();
+        let schema = d.prototype.schema();
+        let user_ty = schema.node_type_by_name("User").unwrap();
+        let item_ty = schema.node_type_by_name("Item").unwrap();
+        let u = d.prototype.nodes_of_type(user_ty)[0];
+        let v = d.prototype.nodes_of_type(item_ty)[0];
+        let r = RelationId(0);
+        let eu = m.final_embedding(u, r);
+        let ev = m.final_embedding(v, r);
+        let want: f32 = eu.iter().zip(&ev).map(|(a, b)| a * b).sum();
+        assert!((m.gamma(u, v, r) - want).abs() < 1e-5);
+    }
+
+    #[test]
+    fn target_parts_forget_more_after_longer_gaps() {
+        let (mut m, d) = model();
+        let g = d.full_graph();
+        m.resolve_time_scale(&g);
+        let schema = d.prototype.schema();
+        let user_ty = schema.node_type_by_name("User").unwrap();
+        // Find an active user.
+        let u = *g
+            .nodes_of_type(user_ty)
+            .iter()
+            .find(|&&u| g.degree(u) > 2)
+            .unwrap();
+        let t_last = g.last_interaction_time(u).unwrap();
+        let soon = m.target_parts(&g, u, t_last + 1.0);
+        let late = m.target_parts(&g, u, t_last + 1e6);
+        assert!(soon.forget > late.forget);
+        assert!(late.delta > soon.delta);
+    }
+
+    #[test]
+    fn no_forget_variant_drops_short_term() {
+        let d = taobao(0.02, 3);
+        let m =
+            Supa::from_dataset_variant(&d, SupaConfig::small(), SupaVariant::nf(), 3).unwrap();
+        let g = d.full_graph();
+        let u = NodeId(0);
+        let parts = m.target_parts(&g, u, g.max_time() + 1.0);
+        assert_eq!(parts.hstar, m.state().h_long.row(0));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let (mut m, _) = model();
+        let snap = m.snapshot();
+        // Mutate state.
+        m.state.h_long.row_mut(0)[0] += 1.0;
+        m.state.alpha[0].step(1.0, 0.1);
+        assert_ne!(m.state.h_long.row(0)[0], snap.h_long.row(0)[0]);
+        m.restore(snap.clone());
+        assert_eq!(m.state.h_long.row(0)[0], snap.h_long.row(0)[0]);
+        assert_eq!(m.state.alpha[0], snap.alpha[0]);
+    }
+
+    #[test]
+    fn top_k_orders_by_gamma() {
+        let (m, d) = model();
+        let schema = d.prototype.schema();
+        let item_ty = schema.node_type_by_name("Item").unwrap();
+        let items = d.prototype.nodes_of_type(item_ty);
+        let u = NodeId(0);
+        let top = m.top_k(u, items, RelationId(0), 5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Top-1 really is the max.
+        let best = items
+            .iter()
+            .map(|&v| m.gamma(u, v, RelationId(0)))
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(top[0].1, best);
+    }
+
+    #[test]
+    fn top_k_unseen_filters_history() {
+        let (m, d) = model();
+        let g = d.full_graph();
+        let schema = d.prototype.schema();
+        let item_ty = schema.node_type_by_name("Item").unwrap();
+        let items = d.prototype.nodes_of_type(item_ty);
+        // Pick an active user.
+        let user_ty = schema.node_type_by_name("User").unwrap();
+        let u = *g
+            .nodes_of_type(user_ty)
+            .iter()
+            .find(|&&u| g.degree(u) > 3)
+            .unwrap();
+        let seen: std::collections::HashSet<_> =
+            g.neighbors(u).iter().map(|n| n.node).collect();
+        let recs = m.top_k_unseen(&g, u, items, RelationId(0), 20);
+        assert!(!recs.is_empty());
+        for (v, _) in &recs {
+            assert!(!seen.contains(v), "recommended an already-seen item");
+        }
+    }
+
+    #[test]
+    fn time_scale_resolution() {
+        let (mut m, d) = model();
+        let g = d.full_graph();
+        m.resolve_time_scale(&g);
+        assert!((m.time_scale() - g.max_time() / 100.0).abs() < 1e-9);
+        // Explicit scale wins.
+        let mut cfg = SupaConfig::small();
+        cfg.time_scale = 7.0;
+        let mut m2 = Supa::from_dataset(&d, cfg, 3).unwrap();
+        m2.resolve_time_scale(&g);
+        assert_eq!(m2.time_scale(), 7.0);
+    }
+
+    #[test]
+    fn ensure_capacity_grows_all_tables() {
+        let (mut m, d) = model();
+        let n = d.num_nodes();
+        m.ensure_capacity(n + 10);
+        assert_eq!(m.state().h_long.len(), n + 10);
+        assert_eq!(m.state().h_short.len(), n + 10);
+        for t in &m.state().ctx {
+            assert_eq!(t.len(), n + 10);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Ablation switches (paper Tables VII and VIII).
+//!
+//! Every variant evaluated in the ablation study is a flag combination on
+//! the full model:
+//!
+//! | Paper name          | Flags |
+//! |---------------------|-------|
+//! | `SUPA_{L_inter}`    | only `use_inter` |
+//! | `SUPA_{L_prop}`     | only `use_prop` |
+//! | `SUPA_{L_neg}`      | only `use_neg` |
+//! | `SUPA_{w/o L_*}`    | the complement combinations |
+//! | `SUPA_sn`           | `shared_alpha` (one α for all node types) |
+//! | `SUPA_se`           | `shared_context` (one context table for all relations) |
+//! | `SUPA_s`            | both of the above |
+//! | `SUPA_nf`           | `no_forget` (short-term memory removed) |
+//! | `SUPA_nd`           | `no_decay` (propagation attenuation + filter removed) |
+//! | `SUPA_nt`           | `no_forget` + `no_decay` |
+
+/// Ablation flags; the default (all heterogeneity/time features on, all
+/// losses on) is full SUPA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupaVariant {
+    /// Train with the interaction loss `L_inter` (Eq. 7).
+    pub use_inter: bool,
+    /// Train with the propagation loss `L_prop` (Eq. 10).
+    pub use_prop: bool,
+    /// Train with the negative-sampling loss `L_neg` (Eq. 12).
+    pub use_neg: bool,
+    /// Use a single shared `α` for every node type (`SUPA_sn`).
+    pub shared_alpha: bool,
+    /// Use a single shared context table for every relation (`SUPA_se`).
+    pub shared_context: bool,
+    /// Remove the short-term memory entirely (`SUPA_nf`).
+    pub no_forget: bool,
+    /// Remove `g(·)` and `D(·)` from propagation (`SUPA_nd`).
+    pub no_decay: bool,
+}
+
+impl Default for SupaVariant {
+    fn default() -> Self {
+        SupaVariant {
+            use_inter: true,
+            use_prop: true,
+            use_neg: true,
+            shared_alpha: false,
+            shared_context: false,
+            no_forget: false,
+            no_decay: false,
+        }
+    }
+}
+
+impl SupaVariant {
+    /// Full SUPA.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// A loss-subset variant (Table VII): pass which losses stay enabled.
+    pub fn losses(inter: bool, prop: bool, neg: bool) -> Self {
+        assert!(inter || prop || neg, "at least one loss required");
+        SupaVariant {
+            use_inter: inter,
+            use_prop: prop,
+            use_neg: neg,
+            ..Self::default()
+        }
+    }
+
+    /// `SUPA_sn` — shared node-type parameter.
+    pub fn sn() -> Self {
+        SupaVariant {
+            shared_alpha: true,
+            ..Self::default()
+        }
+    }
+
+    /// `SUPA_se` — shared context embedding.
+    pub fn se() -> Self {
+        SupaVariant {
+            shared_context: true,
+            ..Self::default()
+        }
+    }
+
+    /// `SUPA_s` — all heterogeneity components removed.
+    pub fn s() -> Self {
+        SupaVariant {
+            shared_alpha: true,
+            shared_context: true,
+            ..Self::default()
+        }
+    }
+
+    /// `SUPA_nf` — no short-term memory.
+    pub fn nf() -> Self {
+        SupaVariant {
+            no_forget: true,
+            ..Self::default()
+        }
+    }
+
+    /// `SUPA_nd` — no propagation decay/filter.
+    pub fn nd() -> Self {
+        SupaVariant {
+            no_decay: true,
+            ..Self::default()
+        }
+    }
+
+    /// `SUPA_nt` — all time components removed.
+    pub fn nt() -> Self {
+        SupaVariant {
+            no_forget: true,
+            no_decay: true,
+            ..Self::default()
+        }
+    }
+
+    /// The Table VII loss-ablation grid with paper-style names.
+    pub fn loss_grid() -> Vec<(&'static str, SupaVariant)> {
+        vec![
+            ("SUPA_Linter", Self::losses(true, false, false)),
+            ("SUPA_Lprop", Self::losses(false, true, false)),
+            ("SUPA_Lneg", Self::losses(false, false, true)),
+            ("SUPA_w/o_Linter", Self::losses(false, true, true)),
+            ("SUPA_w/o_Lprop", Self::losses(true, false, true)),
+            ("SUPA_w/o_Lneg", Self::losses(true, true, false)),
+        ]
+    }
+
+    /// The Table VIII heterogeneity/dynamics grid with paper-style names.
+    pub fn structure_grid() -> Vec<(&'static str, SupaVariant)> {
+        vec![
+            ("SUPA_sn", Self::sn()),
+            ("SUPA_se", Self::se()),
+            ("SUPA_s", Self::s()),
+            ("SUPA_nf", Self::nf()),
+            ("SUPA_nd", Self::nd()),
+            ("SUPA_nt", Self::nt()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_enables_everything() {
+        let v = SupaVariant::full();
+        assert!(v.use_inter && v.use_prop && v.use_neg);
+        assert!(!v.shared_alpha && !v.shared_context && !v.no_forget && !v.no_decay);
+    }
+
+    #[test]
+    fn grids_have_paper_cardinalities() {
+        assert_eq!(SupaVariant::loss_grid().len(), 6);
+        assert_eq!(SupaVariant::structure_grid().len(), 6);
+    }
+
+    #[test]
+    fn structure_variants_compose() {
+        assert!(SupaVariant::s().shared_alpha && SupaVariant::s().shared_context);
+        assert!(SupaVariant::nt().no_forget && SupaVariant::nt().no_decay);
+        assert!(!SupaVariant::nf().no_decay);
+        assert!(!SupaVariant::nd().no_forget);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one loss")]
+    fn all_losses_off_rejected() {
+        let _ = SupaVariant::losses(false, false, false);
+    }
+}

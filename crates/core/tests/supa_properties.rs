@@ -1,0 +1,124 @@
+//! Property tests for the SUPA model: event processing never corrupts
+//! state, scores stay finite under arbitrary streams, ablation variants are
+//! consistent, and the forget factor behaves monotonically.
+
+use proptest::prelude::*;
+use supa::{Supa, SupaConfig, SupaVariant};
+use supa_graph::{Dmhg, GraphSchema, MetapathSchema, NodeId, RelationId, RelationSet, TemporalEdge};
+
+fn build(n_users: usize, n_items: usize) -> (Dmhg, GraphSchema, Vec<MetapathSchema>) {
+    let mut s = GraphSchema::new();
+    let user = s.add_node_type("U");
+    let item = s.add_node_type("I");
+    let r0 = s.add_relation("R0", user, item);
+    let r1 = s.add_relation("R1", user, item);
+    let mut g = Dmhg::new(s.clone());
+    g.add_nodes(user, n_users);
+    g.add_nodes(item, n_items);
+    let rels = RelationSet::from_iter([r0, r1]);
+    let mp = vec![MetapathSchema::new(vec![user, item, user], vec![rels, rels]).unwrap()];
+    (g, s, mp)
+}
+
+fn cfg() -> SupaConfig {
+    SupaConfig {
+        dim: 8,
+        num_walks: 2,
+        walk_length: 2,
+        n_neg: 2,
+        time_scale: 10.0,
+        ..SupaConfig::small()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary edge streams never produce NaN/∞ in embeddings or scores.
+    #[test]
+    fn state_stays_finite(
+        stream in prop::collection::vec((0u32..5, 0u32..8, 0u16..2, 1.0f64..1e5), 1..80),
+        seed in 0u64..100,
+    ) {
+        let (mut g, s, mp) = build(5, 8);
+        let mut m = Supa::new(&s, g.num_nodes(), mp, cfg(), SupaVariant::full(), seed).unwrap();
+        m.rebuild_negative_samplers(&g);
+        let mut edges: Vec<TemporalEdge> = stream.iter()
+            .map(|&(u, v, r, t)| TemporalEdge::new(NodeId(u), NodeId(5 + v), RelationId(r), t))
+            .collect();
+        supa_graph::sort_by_time(&mut edges);
+        for e in &edges {
+            let loss = m.train_edge(&g, e);
+            prop_assert!(loss.total().is_finite() && loss.total() >= 0.0);
+            g.add_edge(e.src, e.dst, e.relation, e.time).unwrap();
+        }
+        for row in 0..13usize {
+            for &x in m.state().h_long.row(row) {
+                prop_assert!(x.is_finite());
+            }
+            for &x in m.state().h_short.row(row) {
+                prop_assert!(x.is_finite());
+            }
+        }
+        let score = m.gamma(NodeId(0), NodeId(5), RelationId(0));
+        prop_assert!(score.is_finite());
+    }
+
+    /// The shared-context variant scores identically across relations; the
+    /// full variant generally does not (after training).
+    #[test]
+    fn shared_context_collapses_relations(seed in 0u64..100) {
+        let (mut g, s, mp) = build(4, 6);
+        let mut edges = Vec::new();
+        for i in 0..40u32 {
+            let e = TemporalEdge::new(
+                NodeId(i % 4),
+                NodeId(4 + (i % 6)),
+                RelationId((i % 2) as u16),
+                (i + 1) as f64,
+            );
+            g.add_edge(e.src, e.dst, e.relation, e.time).unwrap();
+            edges.push(e);
+        }
+        let mut m = Supa::new(&s, g.num_nodes(), mp, cfg(), SupaVariant::se(), seed).unwrap();
+        m.rebuild_negative_samplers(&g);
+        m.train_pass(&g, &edges);
+        let a = m.gamma(NodeId(0), NodeId(4), RelationId(0));
+        let b = m.gamma(NodeId(0), NodeId(4), RelationId(1));
+        prop_assert_eq!(a, b, "shared context must be relation-blind");
+    }
+
+    /// Longer inactivity never *increases* the forget factor (through any α).
+    #[test]
+    fn forget_factor_is_antitone(alpha in -5.0f64..5.0, d1 in 0.0f64..1e4, extra in 0.1f64..1e4) {
+        use supa::decay::{g_decay, sigmoid};
+        let x1 = sigmoid(alpha) * d1;
+        let x2 = sigmoid(alpha) * (d1 + extra);
+        prop_assert!(g_decay(x2) <= g_decay(x1));
+    }
+
+    /// Snapshot → train → restore leaves scores bit-identical to the
+    /// snapshot point.
+    #[test]
+    fn snapshot_restore_exactness(seed in 0u64..100) {
+        let (mut g, s, mp) = build(4, 6);
+        let mut m = Supa::new(&s, g.num_nodes(), mp, cfg(), SupaVariant::full(), seed).unwrap();
+        m.rebuild_negative_samplers(&g);
+        let mut edges = Vec::new();
+        for i in 0..20u32 {
+            let e = TemporalEdge::new(NodeId(i % 4), NodeId(4 + i % 6), RelationId(0), (i + 1) as f64);
+            g.add_edge(e.src, e.dst, e.relation, e.time).unwrap();
+            edges.push(e);
+        }
+        m.train_pass(&g, &edges[..10]);
+        let snap = m.snapshot();
+        let before = m.gamma(NodeId(1), NodeId(5), RelationId(0));
+        m.train_pass(&g, &edges[10..]);
+        let during = m.gamma(NodeId(1), NodeId(5), RelationId(0));
+        m.restore(snap);
+        let after = m.gamma(NodeId(1), NodeId(5), RelationId(0));
+        prop_assert_eq!(before, after);
+        // Training did actually move something in between.
+        prop_assert_ne!(before, during);
+    }
+}

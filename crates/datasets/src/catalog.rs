@@ -1,0 +1,401 @@
+//! The six paper datasets (Table III/IV), synthesised at a configurable
+//! scale. `scale = 1.0` matches the paper's node/edge counts; experiments in
+//! this repo default to `scale ≈ 0.02–0.05` so the full table sweep runs on
+//! a laptop. Every constructor is deterministic in `(scale, seed)`.
+
+use supa_graph::{
+    Dmhg, GraphSchema, MetapathSchema, RelationSet, TemporalEdge,
+};
+
+use crate::dataset::Dataset;
+use crate::generator::{BipartiteConfig, GeneratorEngine};
+
+fn scaled(full: usize, scale: f64, min: usize) -> usize {
+    ((full as f64 * scale).round() as usize).max(min)
+}
+
+/// UCI: streaming homogeneous network of student messages.
+/// Paper: |V|=1,677, |E|=56,617, |O|=|R|=1, |T|≈|E|.
+pub fn uci(scale: f64, seed: u64) -> Dataset {
+    let n_users = scaled(1_677, scale, 200);
+    let n_edges = scaled(56_617, scale, 6_000);
+
+    let mut schema = GraphSchema::new();
+    let user = schema.add_node_type("User");
+    let comm = schema.add_relation("Communicate", user, user);
+    let mut g = Dmhg::new(schema);
+    let users = g.add_nodes(user, n_users);
+
+    let cfg = BipartiteConfig {
+        n_edges,
+        n_communities: 10,
+        drift_prob: 0.012,
+        repeat_prob: 0.0,
+        relation_weights: vec![1.0],
+        item_birth_spread: false,
+        ..Default::default()
+    };
+    let mut eng = GeneratorEngine::new(seed);
+    let out = eng.generate_stream(&users, &users, &[comm], &cfg);
+
+    let c = RelationSet::single(comm);
+    let metapaths = vec![MetapathSchema::new(vec![user, user], vec![c]).unwrap()];
+    Dataset {
+        name: "UCI".into(),
+        prototype: g,
+        edges: out.edges,
+        metapaths,
+    }
+}
+
+/// Amazon: *static* multiplex product–product link network (Electronics).
+/// Paper: |V|=10,099, |E|=148,659, |O|=1, |R|=2, |T|=1.
+pub fn amazon(scale: f64, seed: u64) -> Dataset {
+    let n_products = scaled(10_099, scale, 250);
+    let n_edges = scaled(148_659, scale, 4_000);
+
+    let mut schema = GraphSchema::new();
+    let product = schema.add_node_type("Product");
+    let also_bought = schema.add_relation("AlsoBought", product, product);
+    let also_viewed = schema.add_relation("AlsoViewed", product, product);
+    let mut g = Dmhg::new(schema);
+    let products = g.add_nodes(product, n_products);
+
+    let cfg = BipartiteConfig {
+        n_edges,
+        n_communities: 20,
+        drift_prob: 0.0, // static: no drift signal
+        repeat_prob: 0.3,
+        relation_weights: vec![2.0, 1.0],
+        relation_shift: true,
+        item_birth_spread: false,
+        ..Default::default()
+    };
+    let mut eng = GeneratorEngine::new(seed);
+    let mut out = eng.generate_stream(&products, &products, &[also_bought, also_viewed], &cfg);
+    // Static graph: every edge shares one timestamp (paper |T| = 1);
+    // arrival order is preserved for splitting.
+    for e in &mut out.edges {
+        e.time = 1.0;
+    }
+
+    let l = RelationSet::from_iter([also_bought, also_viewed]);
+    let metapaths = vec![MetapathSchema::new(vec![product, product], vec![l]).unwrap()];
+    Dataset {
+        name: "Amazon".into(),
+        prototype: g,
+        edges: out.edges,
+        metapaths,
+    }
+}
+
+/// Last.fm: user–artist listening stream (non-multiplex heterogeneous).
+/// Paper: |V|=127,786 (≈1k users, rest artists), |E|=720,537, |O|=2, |R|=1.
+pub fn lastfm(scale: f64, seed: u64) -> Dataset {
+    let n_users = scaled(993, scale, 40);
+    let n_artists = scaled(126_793, scale, 400);
+    let n_edges = scaled(720_537, scale, 8_000);
+
+    let mut schema = GraphSchema::new();
+    let user = schema.add_node_type("User");
+    let artist = schema.add_node_type("Artist");
+    let listen = schema.add_relation("ListenTo", user, artist);
+    let mut g = Dmhg::new(schema);
+    let users = g.add_nodes(user, n_users);
+    let artists = g.add_nodes(artist, n_artists);
+
+    let cfg = BipartiteConfig {
+        n_edges,
+        n_communities: 25,
+        drift_prob: 0.008,
+        repeat_prob: 0.0,
+        relation_weights: vec![1.0],
+        ..Default::default()
+    };
+    let mut eng = GeneratorEngine::new(seed);
+    let out = eng.generate_stream(&users, &artists, &[listen], &cfg);
+
+    let l = RelationSet::single(listen);
+    let metapaths = vec![
+        MetapathSchema::new(vec![user, artist, user], vec![l, l]).unwrap(),
+        MetapathSchema::new(vec![artist, user, artist], vec![l, l]).unwrap(),
+    ];
+    Dataset {
+        name: "Last.fm".into(),
+        prototype: g,
+        edges: out.edges,
+        metapaths,
+    }
+}
+
+/// MovieLens: user–movie ratings and taggings.
+/// Paper: |V|=16,578, |E|=1,231,508, |O|=2, |R|=2.
+pub fn movielens(scale: f64, seed: u64) -> Dataset {
+    let n_users = scaled(5_000, scale, 60);
+    let n_movies = scaled(11_578, scale, 150);
+    let n_edges = scaled(1_231_508, scale, 10_000);
+
+    let mut schema = GraphSchema::new();
+    let user = schema.add_node_type("User");
+    let movie = schema.add_node_type("Movie");
+    let rate = schema.add_relation("Rate", user, movie);
+    let tag = schema.add_relation("Tag", user, movie);
+    let mut g = Dmhg::new(schema);
+    let users = g.add_nodes(user, n_users);
+    let movies = g.add_nodes(movie, n_movies);
+
+    let cfg = BipartiteConfig {
+        n_edges,
+        n_communities: 18,
+        drift_prob: 0.006,
+        repeat_prob: 0.6,
+        relation_weights: vec![9.0, 1.0],
+        relation_shift: true,
+        ..Default::default()
+    };
+    let mut eng = GeneratorEngine::new(seed);
+    let out = eng.generate_stream(&users, &movies, &[rate, tag], &cfg);
+
+    let rt = RelationSet::from_iter([rate, tag]);
+    let metapaths = vec![
+        MetapathSchema::new(vec![user, movie, user], vec![rt, rt]).unwrap(),
+        MetapathSchema::new(vec![movie, user, movie], vec![rt, rt]).unwrap(),
+    ];
+    Dataset {
+        name: "MovieLens".into(),
+        prototype: g,
+        edges: out.edges,
+        metapaths,
+    }
+}
+
+/// Taobao: user–item multi-behaviour (page view / buy / cart / favourite).
+/// Paper: |V|=12,611, |E|=20,890, |O|=2, |R|=4 — notably sparse.
+pub fn taobao(scale: f64, seed: u64) -> Dataset {
+    // Floors preserve the paper's extreme sparsity (~1.6 edges per node):
+    // Taobao is the dataset where neighbour-starved GCNs struggle.
+    let n_users = scaled(1_000, scale, 120);
+    let n_items = scaled(11_611, scale, 1_400);
+    let n_edges = scaled(20_890, scale, 2_500);
+
+    let mut schema = GraphSchema::new();
+    let user = schema.add_node_type("User");
+    let item = schema.add_node_type("Item");
+    let pv = schema.add_relation("PageView", user, item);
+    let buy = schema.add_relation("Buy", user, item);
+    let cart = schema.add_relation("Cart", user, item);
+    let fav = schema.add_relation("Favorite", user, item);
+    let mut g = Dmhg::new(schema);
+    let users = g.add_nodes(user, n_users);
+    let items = g.add_nodes(item, n_items);
+
+    let cfg = BipartiteConfig {
+        n_edges,
+        n_communities: 15,
+        drift_prob: 0.006,
+        repeat_prob: 0.8,
+        relation_weights: vec![8.9, 0.2, 0.6, 0.3],
+        relation_shift: true,
+        ..Default::default()
+    };
+    let mut eng = GeneratorEngine::new(seed);
+    let out = eng.generate_stream(&users, &items, &[pv, buy, cart, fav], &cfg);
+
+    let all = RelationSet::from_iter([pv, buy, cart, fav]);
+    let metapaths = vec![
+        MetapathSchema::new(vec![user, item, user], vec![all, all]).unwrap(),
+        MetapathSchema::new(vec![item, user, item], vec![all, all]).unwrap(),
+    ];
+    Dataset {
+        name: "Taobao".into(),
+        prototype: g,
+        edges: out.edges,
+        metapaths,
+    }
+}
+
+/// Kuaishou: the paper's motivating short-video platform — users, videos and
+/// authors, five behaviours including `Upload`.
+/// Paper: |V|=138,812, |E|=1,779,639, |O|=3, |R|=5.
+pub fn kuaishou(scale: f64, seed: u64) -> Dataset {
+    let n_users = scaled(6_840, scale, 80);
+    let n_videos = scaled(125_000, scale, 600);
+    let n_authors = scaled(6_972, scale, 40);
+    let n_interactions = scaled(1_779_639 - 125_000, scale, 12_000);
+
+    let mut schema = GraphSchema::new();
+    let user = schema.add_node_type("User");
+    let video = schema.add_node_type("Video");
+    let author = schema.add_node_type("Author");
+    let watch = schema.add_relation("Watch", user, video);
+    let like = schema.add_relation("Like", user, video);
+    let forward = schema.add_relation("Forward", user, video);
+    let comment = schema.add_relation("Comment", user, video);
+    let upload = schema.add_relation("Upload", author, video);
+    let mut g = Dmhg::new(schema);
+    let users = g.add_nodes(user, n_users);
+    let videos = g.add_nodes(video, n_videos);
+    let authors = g.add_nodes(author, n_authors);
+
+    let cfg = BipartiteConfig {
+        n_edges: n_interactions,
+        n_communities: 30,
+        drift_prob: 0.008,
+        repeat_prob: 0.65,
+        fresh_prob: 0.7, // short video: most interactions hit fresh content
+        relation_weights: vec![8.0, 1.0, 0.3, 0.7],
+        relation_shift: true,
+        ..Default::default()
+    };
+    let mut eng = GeneratorEngine::new(seed);
+    let out = eng.generate_stream(
+        &users,
+        &videos,
+        &[watch, like, forward, comment],
+        &cfg,
+    );
+
+    // Upload edges: each video is uploaded by a Zipf-chosen author at its
+    // birth time. Authors specialise in communities so the A→V→A metapath
+    // carries signal.
+    let mut edges = out.edges;
+    {
+        let rng = eng.rng();
+        use rand::RngExt;
+        // Map each community to a couple of "home" authors.
+        let comm_count = 30usize;
+        let home: Vec<usize> = (0..comm_count).map(|_| rng.random_range(0..n_authors)).collect();
+        for (vi, &v) in videos.iter().enumerate() {
+            let t = out.item_birth[vi].max(1e-3);
+            let a = if rng.random::<f64>() < 0.8 {
+                home[out.item_community[vi] % comm_count]
+            } else {
+                rng.random_range(0..n_authors)
+            };
+            edges.push(TemporalEdge::new(authors[a], v, upload, t));
+        }
+    }
+    supa_graph::sort_by_time(&mut edges);
+
+    let w = RelationSet::from_iter([watch, like, forward, comment]);
+    let up = RelationSet::single(upload);
+    let metapaths = vec![
+        MetapathSchema::new(vec![user, video, user], vec![w, w]).unwrap(),
+        MetapathSchema::new(vec![author, video, author], vec![up, up]).unwrap(),
+        MetapathSchema::new(vec![video, user, video], vec![w, w]).unwrap(),
+        MetapathSchema::new(vec![video, author, video], vec![up, up]).unwrap(),
+    ];
+    Dataset {
+        name: "Kuaishou".into(),
+        prototype: g,
+        edges,
+        metapaths,
+    }
+}
+
+/// All six datasets in the paper's table order.
+pub fn all_datasets(scale: f64, seed: u64) -> Vec<Dataset> {
+    vec![
+        uci(scale, seed),
+        amazon(scale, seed.wrapping_add(1)),
+        lastfm(scale, seed.wrapping_add(2)),
+        movielens(scale, seed.wrapping_add(3)),
+        taobao(scale, seed.wrapping_add(4)),
+        kuaishou(scale, seed.wrapping_add(5)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: f64 = 0.02;
+
+    #[test]
+    fn table_iii_type_counts_match() {
+        let checks: Vec<(Dataset, usize, usize)> = vec![
+            (uci(SCALE, 1), 1, 1),
+            (amazon(SCALE, 1), 1, 2),
+            (lastfm(SCALE, 1), 2, 1),
+            (movielens(SCALE, 1), 2, 2),
+            (taobao(SCALE, 1), 2, 4),
+            (kuaishou(SCALE, 1), 3, 5),
+        ];
+        for (d, o, r) in checks {
+            assert_eq!(d.prototype.schema().num_node_types(), o, "{} |O|", d.name);
+            assert_eq!(d.prototype.schema().num_relations(), r, "{} |R|", d.name);
+        }
+    }
+
+    #[test]
+    fn amazon_is_static() {
+        let d = amazon(SCALE, 3);
+        assert_eq!(d.num_timestamps(), 1);
+    }
+
+    #[test]
+    fn temporal_datasets_have_many_timestamps() {
+        for d in [uci(SCALE, 3), lastfm(SCALE, 3), movielens(SCALE, 3)] {
+            assert!(
+                d.num_timestamps() > d.num_edges() / 2,
+                "{} has too few timestamps",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn all_edges_build_valid_graphs() {
+        for d in all_datasets(SCALE, 7) {
+            let g = d.full_graph();
+            assert_eq!(g.num_edges(), d.num_edges(), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn metapaths_validate_against_schemas() {
+        for d in all_datasets(SCALE, 7) {
+            assert!(!d.metapaths.is_empty(), "{} has no metapaths", d.name);
+            for p in &d.metapaths {
+                p.symmetrize()
+                    .validate(d.prototype.schema())
+                    .unwrap_or_else(|e| panic!("{}: {e}", d.name));
+            }
+        }
+    }
+
+    #[test]
+    fn kuaishou_every_video_has_an_upload() {
+        let d = kuaishou(SCALE, 5);
+        let upload = d.prototype.schema().relation_by_name("Upload").unwrap();
+        let video_ty = d.prototype.schema().node_type_by_name("Video").unwrap();
+        let n_videos = d.prototype.nodes_of_type(video_ty).len();
+        let uploads = d.edges.iter().filter(|e| e.relation == upload).count();
+        assert_eq!(uploads, n_videos);
+    }
+
+    #[test]
+    fn scaling_changes_size_monotonically() {
+        let small = taobao(0.2, 1);
+        let large = taobao(0.5, 1);
+        assert!(large.num_edges() > small.num_edges());
+        assert!(large.num_nodes() > small.num_nodes());
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = movielens(SCALE, 9);
+        let b = movielens(SCALE, 9);
+        assert_eq!(a.edges, b.edges);
+        let c = movielens(SCALE, 10);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn edge_counts_roughly_track_paper_ratios() {
+        // Kuaishou must be the largest stream, Taobao the sparsest per node.
+        let ks = kuaishou(SCALE, 1);
+        let tb = taobao(SCALE, 1);
+        assert!(ks.num_edges() > tb.num_edges() * 5);
+    }
+}

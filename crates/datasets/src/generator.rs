@@ -1,0 +1,512 @@
+//! The shared synthetic-DMHG generator engine.
+//!
+//! All six catalog datasets are produced by one latent model:
+//!
+//! 1. Items belong to latent *communities* (topics) and have Zipf
+//!    popularity; items may be *born over time* (cold start).
+//! 2. Users have Zipf activity and a *current community*; with probability
+//!    `drift_prob` an acting user drifts to a fresh community — this is the
+//!    interest-drift signal (paper Figure 1) that temporal models can track
+//!    and static models cannot.
+//! 3. The primary relation (view/watch/listen/rate/communicate) picks an
+//!    item from the user's current community, preferring fresh or popular
+//!    items; secondary relations (like/buy/cart/…) mostly revisit the
+//!    user's recent history — the multiplex correlation that multi-behaviour
+//!    models exploit.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngExt, SeedableRng};
+use supa_graph::{NodeId, RelationId, TemporalEdge, Timestamp};
+
+/// Configuration of one bipartite (or unipartite) interaction stream.
+#[derive(Debug, Clone)]
+pub struct BipartiteConfig {
+    /// Total interaction events to generate.
+    pub n_edges: usize,
+    /// Number of latent communities.
+    pub n_communities: usize,
+    /// Zipf exponent of user activity (0 = uniform).
+    pub zipf_user: f64,
+    /// Zipf exponent of item popularity within a community.
+    pub zipf_item: f64,
+    /// Per-event probability that the acting user drifts to a new community.
+    pub drift_prob: f64,
+    /// Probability of an off-community (uniformly random) item.
+    pub noise: f64,
+    /// Probability that a secondary relation revisits the user's recent
+    /// history instead of sampling a fresh item.
+    pub repeat_prob: f64,
+    /// Probability the primary relation picks among the community's most
+    /// recently born items (cold-start pressure).
+    pub fresh_prob: f64,
+    /// How many recently-born items count as "fresh" per community.
+    pub recent_window: usize,
+    /// Relative frequency of each relation; index 0 is the primary relation.
+    pub relation_weights: Vec<f64>,
+    /// Timestamps are spread over `(0, time_span]`.
+    pub time_span: f64,
+    /// Whether items are born over time (true) or all exist at t=0 (false).
+    pub item_birth_spread: bool,
+    /// Whether each relation expresses a *different facet* of user taste:
+    /// non-repeat draws under relation `r` come from community
+    /// `(current + r) mod |C|`. This is the multiplex-heterogeneity signal —
+    /// relation-specific representations pay off only when relations carry
+    /// distinct semantics.
+    pub relation_shift: bool,
+}
+
+impl Default for BipartiteConfig {
+    fn default() -> Self {
+        BipartiteConfig {
+            n_edges: 10_000,
+            n_communities: 12,
+            zipf_user: 0.8,
+            zipf_item: 0.9,
+            drift_prob: 0.002,
+            noise: 0.05,
+            repeat_prob: 0.7,
+            fresh_prob: 0.5,
+            recent_window: 24,
+            relation_weights: vec![1.0],
+            time_span: 1_000_000.0,
+            item_birth_spread: true,
+            relation_shift: false,
+        }
+    }
+}
+
+/// Cumulative Zipf distribution over `n` ranks with exponent `a`.
+fn zipf_cdf(n: usize, a: f64) -> Vec<f64> {
+    assert!(n > 0);
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for r in 0..n {
+        acc += 1.0 / ((r + 1) as f64).powf(a);
+        cdf.push(acc);
+    }
+    cdf
+}
+
+/// Draws an index from a cumulative distribution by binary search.
+fn sample_cdf<R: Rng + ?Sized>(cdf: &[f64], rng: &mut R) -> usize {
+    let total = *cdf.last().expect("non-empty cdf");
+    let x = rng.random::<f64>() * total;
+    cdf.partition_point(|&c| c < x).min(cdf.len() - 1)
+}
+
+/// A seeded synthetic-stream generator.
+pub struct GeneratorEngine {
+    rng: SmallRng,
+}
+
+/// Per-dataset state the engine exposes for structural side-products (e.g.
+/// Kuaishou's upload edges need each item's birth time).
+pub struct StreamOutput {
+    /// The generated interaction stream, time-sorted.
+    pub edges: Vec<TemporalEdge>,
+    /// Each item's birth timestamp (same order as the `items` slice).
+    pub item_birth: Vec<Timestamp>,
+    /// Each item's community.
+    pub item_community: Vec<usize>,
+}
+
+impl GeneratorEngine {
+    /// Creates an engine with a fixed seed (all output is deterministic).
+    pub fn new(seed: u64) -> Self {
+        GeneratorEngine {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Access to the engine RNG for catalog-level extras.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Generates an interaction stream between `users` and `items` over the
+    /// given relations. For unipartite datasets (UCI), pass the same node
+    /// slice for both sides — self-loops are resampled away.
+    pub fn generate_stream(
+        &mut self,
+        users: &[NodeId],
+        items: &[NodeId],
+        relations: &[RelationId],
+        cfg: &BipartiteConfig,
+    ) -> StreamOutput {
+        assert!(!users.is_empty() && !items.is_empty());
+        assert_eq!(
+            relations.len(),
+            cfg.relation_weights.len(),
+            "one weight per relation"
+        );
+        let rng = &mut self.rng;
+        let n_items = items.len();
+        let n_users = users.len();
+        let n_comm = cfg.n_communities.clamp(1, n_items);
+
+        // --- latent structure -------------------------------------------
+        // Item communities and birth times. Births are shuffled so community
+        // membership and freshness are independent.
+        let item_community: Vec<usize> =
+            (0..n_items).map(|_| rng.random_range(0..n_comm)).collect();
+        let mut birth_order: Vec<usize> = (0..n_items).collect();
+        // Fisher–Yates shuffle.
+        for i in (1..n_items).rev() {
+            let j = rng.random_range(0..=i);
+            birth_order.swap(i, j);
+        }
+        let mut item_birth = vec![0.0f64; n_items];
+        if cfg.item_birth_spread {
+            for (rank, &item) in birth_order.iter().enumerate() {
+                // Births cover the first 80% of the span so late items still
+                // receive interactions.
+                item_birth[item] = cfg.time_span * 0.8 * rank as f64 / n_items as f64;
+            }
+        }
+        // Per community: item indices sorted by birth (prefix = born earlier).
+        let mut comm_items: Vec<Vec<usize>> = vec![Vec::new(); n_comm];
+        if cfg.item_birth_spread {
+            for &item in &birth_order {
+                comm_items[item_community[item]].push(item);
+            }
+        } else {
+            for item in 0..n_items {
+                comm_items[item_community[item]].push(item);
+            }
+        }
+        // Popularity CDFs per community size (lazily shared by length).
+        let user_cdf = zipf_cdf(n_users, cfg.zipf_user);
+        let rel_cdf = {
+            let mut acc = 0.0;
+            cfg.relation_weights
+                .iter()
+                .map(|w| {
+                    acc += w;
+                    acc
+                })
+                .collect::<Vec<f64>>()
+        };
+
+        // Users start in random communities and keep short histories.
+        let mut user_comm: Vec<usize> = (0..n_users).map(|_| rng.random_range(0..n_comm)).collect();
+        let mut history: Vec<Vec<usize>> = vec![Vec::new(); n_users];
+        const HISTORY_CAP: usize = 10;
+
+        // --- event loop ---------------------------------------------------
+        let mut edges = Vec::with_capacity(cfg.n_edges);
+        for e in 0..cfg.n_edges {
+            let t = cfg.time_span * (e + 1) as f64 / cfg.n_edges as f64;
+            let u = sample_cdf(&user_cdf, rng);
+            if rng.random::<f64>() < cfg.drift_prob {
+                user_comm[u] = rng.random_range(0..n_comm);
+            }
+            let rel_idx = sample_cdf(&rel_cdf, rng);
+
+            let item_idx = if rel_idx > 0
+                && !history[u].is_empty()
+                && rng.random::<f64>() < cfg.repeat_prob
+            {
+                // Secondary behaviour revisits recent history.
+                history[u][rng.random_range(0..history[u].len())]
+            } else {
+                let comm = if cfg.relation_shift {
+                    (user_comm[u] + rel_idx) % n_comm
+                } else {
+                    user_comm[u]
+                };
+                self::pick_item(rng, cfg, &comm_items, &item_birth, comm, t, n_items)
+            };
+            // Unipartite streams must not self-loop.
+            let item_idx = if users.as_ptr() == items.as_ptr() && item_idx == u {
+                (item_idx + 1) % n_items
+            } else {
+                item_idx
+            };
+
+            edges.push(TemporalEdge::new(
+                users[u],
+                items[item_idx],
+                relations[rel_idx],
+                t,
+            ));
+            let h = &mut history[u];
+            h.push(item_idx);
+            if h.len() > HISTORY_CAP {
+                h.remove(0);
+            }
+        }
+        StreamOutput {
+            edges,
+            item_birth,
+            item_community,
+        }
+    }
+}
+
+/// Picks an item index given the acting user's community at time `t`.
+fn pick_item<R: Rng + ?Sized>(
+    rng: &mut R,
+    cfg: &BipartiteConfig,
+    comm_items: &[Vec<usize>],
+    item_birth: &[f64],
+    community: usize,
+    t: f64,
+    n_items: usize,
+) -> usize {
+    if rng.random::<f64>() < cfg.noise {
+        return rng.random_range(0..n_items);
+    }
+    let pool = &comm_items[community];
+    // Items in `pool` are sorted by birth; only the prefix born before `t`
+    // is available.
+    let avail = if cfg.item_birth_spread {
+        pool.partition_point(|&i| item_birth[i] < t)
+    } else {
+        pool.len()
+    };
+    if avail == 0 {
+        return rng.random_range(0..n_items);
+    }
+    if cfg.item_birth_spread && rng.random::<f64>() < cfg.fresh_prob {
+        // Fresh: uniform over the most recently born window.
+        let lo = avail.saturating_sub(cfg.recent_window.max(1));
+        pool[rng.random_range(lo..avail)]
+    } else {
+        // Popular: Zipf over the available prefix (rank 0 = oldest, which
+        // has had the longest time to accrue popularity).
+        let r = zipf_rank(avail, cfg.zipf_item, rng);
+        pool[r]
+    }
+}
+
+/// Samples a Zipf(`a`) rank in `0..n` by inverse-CDF rejection (approximate
+/// but O(1), adequate for synthetic data).
+fn zipf_rank<R: Rng + ?Sized>(n: usize, a: f64, rng: &mut R) -> usize {
+    if n == 1 {
+        return 0;
+    }
+    // Inverse of the continuous Zipf CDF (valid for a != 1; a == 1 handled
+    // with the logarithmic inverse).
+    let x = rng.random::<f64>();
+    let nf = n as f64;
+    let r = if (a - 1.0).abs() < 1e-9 {
+        (nf.powf(x) - 1.0).max(0.0)
+    } else {
+        let c = 1.0 - a;
+        ((x * (nf.powf(c) - 1.0) + 1.0).powf(1.0 / c) - 1.0).max(0.0)
+    };
+    (r as usize).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supa_graph::{Dmhg, GraphSchema};
+
+    fn setup(n_users: usize, n_items: usize) -> (Dmhg, Vec<NodeId>, Vec<NodeId>, Vec<RelationId>) {
+        let mut s = GraphSchema::new();
+        let user = s.add_node_type("User");
+        let item = s.add_node_type("Item");
+        let view = s.add_relation("View", user, item);
+        let buy = s.add_relation("Buy", user, item);
+        let mut g = Dmhg::new(s);
+        let users = g.add_nodes(user, n_users);
+        let items = g.add_nodes(item, n_items);
+        (g, users, items, vec![view, buy])
+    }
+
+    fn config(n_edges: usize) -> BipartiteConfig {
+        BipartiteConfig {
+            n_edges,
+            relation_weights: vec![3.0, 1.0],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stream_is_time_sorted_and_valid() {
+        let (mut g, users, items, rels) = setup(30, 60);
+        let mut eng = GeneratorEngine::new(7);
+        let out = eng.generate_stream(&users, &items, &rels, &config(2000));
+        assert_eq!(out.edges.len(), 2000);
+        for w in out.edges.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        // All edges insert cleanly (type-valid, timestamps positive).
+        for e in &out.edges {
+            g.add_edge(e.src, e.dst, e.relation, e.time).unwrap();
+        }
+        assert_eq!(g.num_edges(), 2000);
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let (_, users, items, rels) = setup(10, 20);
+        let a = GeneratorEngine::new(3).generate_stream(&users, &items, &rels, &config(500));
+        let b = GeneratorEngine::new(3).generate_stream(&users, &items, &rels, &config(500));
+        assert_eq!(a.edges, b.edges);
+        let c = GeneratorEngine::new(4).generate_stream(&users, &items, &rels, &config(500));
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn user_activity_is_skewed() {
+        let (_, users, items, rels) = setup(50, 50);
+        let out =
+            GeneratorEngine::new(1).generate_stream(&users, &items, &rels, &config(5000));
+        let mut counts = vec![0usize; 50];
+        for e in &out.edges {
+            counts[e.src.index()] += 1;
+        }
+        // Rank-0 user must be much more active than median.
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(
+            sorted[0] as f64 > 3.0 * sorted[25] as f64,
+            "top {} vs median {}",
+            sorted[0],
+            sorted[25]
+        );
+    }
+
+    #[test]
+    fn relation_frequencies_follow_weights() {
+        let (_, users, items, rels) = setup(20, 40);
+        let out =
+            GeneratorEngine::new(5).generate_stream(&users, &items, &rels, &config(8000));
+        let primary = out
+            .edges
+            .iter()
+            .filter(|e| e.relation == rels[0])
+            .count() as f64;
+        let frac = primary / 8000.0;
+        assert!((frac - 0.75).abs() < 0.03, "primary fraction {frac}");
+    }
+
+    #[test]
+    fn secondary_behaviour_correlates_with_history() {
+        let (_, users, items, rels) = setup(20, 200);
+        let out =
+            GeneratorEngine::new(9).generate_stream(&users, &items, &rels, &config(6000));
+        // Count how often a Buy edge's item already appeared for that user.
+        let mut seen: std::collections::HashSet<(u32, u32)> = Default::default();
+        let mut buys = 0usize;
+        let mut repeats = 0usize;
+        for e in &out.edges {
+            if e.relation == rels[1] {
+                buys += 1;
+                if seen.contains(&(e.src.0, e.dst.0)) {
+                    repeats += 1;
+                }
+            }
+            seen.insert((e.src.0, e.dst.0));
+        }
+        let frac = repeats as f64 / buys as f64;
+        assert!(frac > 0.4, "repeat fraction only {frac}");
+    }
+
+    #[test]
+    fn relation_shift_separates_relation_preferences() {
+        let (_, users, items, rels) = setup(10, 200);
+        let base = BipartiteConfig {
+            n_edges: 8000,
+            relation_weights: vec![1.0, 1.0],
+            repeat_prob: 0.0,
+            noise: 0.0,
+            drift_prob: 0.0,
+            item_birth_spread: false,
+            ..Default::default()
+        };
+        // Jaccard overlap of each user's item sets under the two relations.
+        let overlap = |out: &StreamOutput| {
+            let mut per: Vec<[std::collections::HashSet<u32>; 2]> =
+                (0..10).map(|_| [Default::default(), Default::default()]).collect();
+            for e in &out.edges {
+                per[e.src.index()][e.relation.index()].insert(e.dst.0);
+            }
+            let mut total = 0.0;
+            for sets in &per {
+                let inter = sets[0].intersection(&sets[1]).count() as f64;
+                let union = sets[0].union(&sets[1]).count() as f64;
+                if union > 0.0 {
+                    total += inter / union;
+                }
+            }
+            total / 10.0
+        };
+        let plain = GeneratorEngine::new(3).generate_stream(
+            &users, &items, &rels, &base);
+        let shifted = GeneratorEngine::new(3).generate_stream(
+            &users,
+            &items,
+            &rels,
+            &BipartiteConfig { relation_shift: true, ..base },
+        );
+        let o_plain = overlap(&plain);
+        let o_shift = overlap(&shifted);
+        assert!(
+            o_shift < 0.6 * o_plain,
+            "relation_shift must separate item sets: {o_shift} !< 0.6*{o_plain}"
+        );
+    }
+
+    #[test]
+    fn items_are_not_interacted_before_birth() {
+        let (_, users, items, rels) = setup(20, 100);
+        let eng_cfg = config(4000);
+        let out = GeneratorEngine::new(11).generate_stream(&users, &items, &rels, &eng_cfg);
+        // Noise edges may hit unborn items uniformly; with 5% noise, at most
+        // a small fraction violate the birth constraint.
+        let violations = out
+            .edges
+            .iter()
+            .filter(|e| {
+                let idx = (e.dst.0 - items[0].0) as usize;
+                e.time < out.item_birth[idx]
+            })
+            .count();
+        assert!(
+            (violations as f64) < 0.12 * out.edges.len() as f64,
+            "{violations} pre-birth interactions"
+        );
+    }
+
+    #[test]
+    fn unipartite_streams_avoid_self_loops() {
+        let mut s = GraphSchema::new();
+        let user = s.add_node_type("User");
+        let msg = s.add_relation("Communicate", user, user);
+        let mut g = Dmhg::new(s);
+        let users = g.add_nodes(user, 25);
+        let cfg = BipartiteConfig {
+            n_edges: 2000,
+            relation_weights: vec![1.0],
+            ..Default::default()
+        };
+        let out = GeneratorEngine::new(13).generate_stream(&users, &users, &[msg], &cfg);
+        assert!(out.edges.iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn zipf_rank_is_monotone_decreasing_in_frequency() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut counts = [0usize; 20];
+        for _ in 0..40_000 {
+            counts[zipf_rank(20, 1.0, &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[5] > counts[15]);
+    }
+
+    #[test]
+    fn zipf_cdf_and_sample_cover_all_ranks() {
+        let cdf = zipf_cdf(5, 0.0); // uniform
+        assert_eq!(cdf.len(), 5);
+        let mut rng = SmallRng::seed_from_u64(19);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[sample_cdf(&cdf, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,33 @@
+//! # supa-datasets — synthetic DMHG datasets mirroring the SUPA paper
+//!
+//! The paper evaluates on six real datasets (UCI, Amazon, Last.fm,
+//! MovieLens, Taobao, Kuaishou — Table III). Those datasets are not
+//! redistributable here, so this crate generates *synthetic* dynamic
+//! multiplex heterogeneous graphs that preserve the structural properties
+//! the paper's experiments actually exercise:
+//!
+//! - node/edge/type counts matched to Table III (linearly scaled down),
+//! - Zipf user activity and item popularity,
+//! - latent-community (topic) structure tying users to items,
+//! - **temporal interest drift**: users migrate between communities over
+//!   time (the "Bob: comedy → sports" phenomenon of Figure 1), which is
+//!   the signal dynamic models exploit and static models miss,
+//! - **multiplex correlation**: secondary behaviours (like/buy/cart/…)
+//!   revisit recently page-viewed items, which multi-behaviour models
+//!   exploit,
+//! - item cold-start: items are born over time and attract interactions
+//!   mostly while fresh.
+//!
+//! The [`catalog`] module provides one constructor per paper dataset; the
+//! [`generator`] module is the shared engine; [`loader`] reads/writes a
+//! plain TSV interchange format for anyone who has the real data.
+
+pub mod catalog;
+pub mod dataset;
+pub mod generator;
+pub mod loader;
+
+pub use catalog::{all_datasets, amazon, kuaishou, lastfm, movielens, taobao, uci};
+pub use dataset::Dataset;
+pub use generator::{BipartiteConfig, GeneratorEngine};
+pub use loader::{load_tsv, save_tsv};

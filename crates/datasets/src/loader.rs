@@ -1,0 +1,330 @@
+//! TSV interchange for users who have the real datasets.
+//!
+//! The format is self-describing (tab- or space-separated, `#` comments):
+//!
+//! ```text
+//! nodetype User
+//! nodetype Video
+//! relation Click User Video
+//! metapath User Click Video Click User
+//! node 0 User
+//! node 1 Video
+//! edge 0 1 Click 1633024800
+//! ```
+//!
+//! `nodetype`/`relation` lines declare the schema and must precede the nodes;
+//! `metapath` lines (optional) declare multiplex metapath schemas as an
+//! alternating `type rel[,rel…] type …` sequence; `node` lines must precede
+//! the edges that reference them and use dense, in-order ids.
+
+use std::io::{BufRead, Write};
+
+use supa_graph::{Dmhg, GraphSchema, MetapathSchema, NodeId, RelationSet, TemporalEdge};
+
+use crate::dataset::Dataset;
+
+/// Parses a self-describing dataset from TSV lines.
+///
+/// Returns an error string describing the first malformed line.
+pub fn load_tsv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, String> {
+    let mut schema = GraphSchema::new();
+    let mut graph: Option<Dmhg> = None;
+    let mut edges: Vec<TemporalEdge> = Vec::new();
+    let mut metapath_specs: Vec<(usize, Vec<String>)> = Vec::new();
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: io error: {e}", lineno + 1))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let err = |msg: &str| format!("line {}: {msg}: {line}", lineno + 1);
+        match parts.next() {
+            Some("nodetype") => {
+                if graph.is_some() {
+                    return Err(err("schema lines must precede nodes"));
+                }
+                let ty = parts.next().ok_or_else(|| err("missing type name"))?;
+                if schema.node_type_by_name(ty).is_some() {
+                    return Err(err("duplicate node type"));
+                }
+                schema.add_node_type(ty);
+            }
+            Some("relation") => {
+                if graph.is_some() {
+                    return Err(err("schema lines must precede nodes"));
+                }
+                let rel = parts.next().ok_or_else(|| err("missing relation name"))?;
+                let src = parts.next().ok_or_else(|| err("missing src type"))?;
+                let dst = parts.next().ok_or_else(|| err("missing dst type"))?;
+                if schema.relation_by_name(rel).is_some() {
+                    return Err(err("duplicate relation"));
+                }
+                let src = schema
+                    .node_type_by_name(src)
+                    .ok_or_else(|| err("unknown src type"))?;
+                let dst = schema
+                    .node_type_by_name(dst)
+                    .ok_or_else(|| err("unknown dst type"))?;
+                schema.add_relation(rel, src, dst);
+            }
+            Some("metapath") => {
+                // Resolved after the schema is final.
+                metapath_specs
+                    .push((lineno + 1, parts.map(str::to_string).collect()));
+            }
+            Some("node") => {
+                let g = graph.get_or_insert_with(|| Dmhg::new(schema.clone()));
+                let id: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad node id"))?;
+                let ty_name = parts.next().ok_or_else(|| err("missing node type"))?;
+                let ty = g
+                    .schema()
+                    .node_type_by_name(ty_name)
+                    .ok_or_else(|| err("unknown node type"))?;
+                let assigned = g.add_node(ty);
+                if assigned != NodeId(id) {
+                    return Err(err("node ids must be dense and in order"));
+                }
+            }
+            Some("edge") => {
+                let g = graph
+                    .as_ref()
+                    .ok_or_else(|| err("edge before any node"))?;
+                let src: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad src"))?;
+                let dst: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad dst"))?;
+                let rel_name = parts.next().ok_or_else(|| err("missing relation"))?;
+                let rel = g
+                    .schema()
+                    .relation_by_name(rel_name)
+                    .ok_or_else(|| err("unknown relation"))?;
+                let t: f64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad timestamp"))?;
+                if src as usize >= g.num_nodes() || dst as usize >= g.num_nodes() {
+                    return Err(err("edge references undeclared node"));
+                }
+                let (ts, td) = (g.node_type(NodeId(src)), g.node_type(NodeId(dst)));
+                g.schema()
+                    .check_edge(rel, ts, td)
+                    .map_err(|e| err(&e.to_string()))?;
+                edges.push(TemporalEdge::new(NodeId(src), NodeId(dst), rel, t));
+            }
+            _ => return Err(err("expected nodetype/relation/metapath/node/edge")),
+        }
+    }
+
+    let prototype = graph.unwrap_or_else(|| Dmhg::new(schema));
+    // Resolve metapath lines now that the schema is complete.
+    let mut metapaths = Vec::new();
+    for (lineno, tokens) in metapath_specs {
+        let err = |msg: &str| format!("line {lineno}: {msg}");
+        if tokens.len() < 3 || tokens.len() % 2 == 0 {
+            return Err(err("metapath needs alternating type rel type …"));
+        }
+        let mut types = Vec::new();
+        let mut rels = Vec::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            if i % 2 == 0 {
+                types.push(
+                    prototype
+                        .schema()
+                        .node_type_by_name(tok)
+                        .ok_or_else(|| err("unknown node type in metapath"))?,
+                );
+            } else {
+                let mut set = RelationSet::EMPTY;
+                for r in tok.split(',') {
+                    set.insert(
+                        prototype
+                            .schema()
+                            .relation_by_name(r)
+                            .ok_or_else(|| err("unknown relation in metapath"))?,
+                    );
+                }
+                rels.push(set);
+            }
+        }
+        let schema = MetapathSchema::new(types, rels).map_err(|e| err(&e.to_string()))?;
+        schema
+            .validate(prototype.schema())
+            .map_err(|e| err(&e.to_string()))?;
+        metapaths.push(schema);
+    }
+
+    supa_graph::sort_by_time(&mut edges);
+    Ok(Dataset {
+        name: name.to_string(),
+        prototype,
+        edges,
+        metapaths,
+    })
+}
+
+/// Serialises a dataset (schema, metapaths, nodes, edges) to the TSV format.
+pub fn save_tsv<W: Write>(dataset: &Dataset, mut w: W) -> std::io::Result<()> {
+    let schema = dataset.prototype.schema();
+    writeln!(w, "# {}", dataset.summary())?;
+    for (_, name) in schema.node_types() {
+        writeln!(w, "nodetype {name}")?;
+    }
+    for (_, spec) in schema.relations() {
+        writeln!(
+            w,
+            "relation {} {} {}",
+            spec.name,
+            schema.node_type_name(spec.src_type).unwrap(),
+            schema.node_type_name(spec.dst_type).unwrap()
+        )?;
+    }
+    for p in &dataset.metapaths {
+        let mut tokens = Vec::new();
+        for (i, &ty) in p.node_types().iter().enumerate() {
+            tokens.push(schema.node_type_name(ty).unwrap().to_string());
+            if i < p.rel_sets().len() {
+                let rels: Vec<&str> = p.rel_sets()[i]
+                    .iter()
+                    .map(|r| schema.relation_name(r).unwrap())
+                    .collect();
+                tokens.push(rels.join(","));
+            }
+        }
+        writeln!(w, "metapath {}", tokens.join(" "))?;
+    }
+    for id in 0..dataset.prototype.num_nodes() {
+        let ty = dataset.prototype.node_type(NodeId(id as u32));
+        writeln!(w, "node {} {}", id, schema.node_type_name(ty).unwrap())?;
+    }
+    for e in &dataset.edges {
+        writeln!(
+            w,
+            "edge {} {} {} {}",
+            e.src.0,
+            e.dst.0,
+            schema.relation_name(e.relation).unwrap(),
+            e.time
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const GOOD: &str = "\
+# a comment
+nodetype User
+nodetype Video
+relation Click User Video
+relation Like User Video
+metapath User Click,Like Video Click User
+node 0 User
+node 1 Video
+node 2 Video
+
+edge 0 1 Click 5.0
+edge 0 2 Like 2.5
+";
+
+    #[test]
+    fn parses_self_describing_format() {
+        let d = load_tsv("rt", Cursor::new(GOOD)).unwrap();
+        assert_eq!(d.num_nodes(), 3);
+        assert_eq!(d.num_edges(), 2);
+        assert_eq!(d.prototype.schema().num_node_types(), 2);
+        assert_eq!(d.prototype.schema().num_relations(), 2);
+        assert_eq!(d.metapaths.len(), 1);
+        assert_eq!(d.metapaths[0].rel_sets()[0].len(), 2);
+        // Sorted by time on load.
+        assert_eq!(d.edges[0].time, 2.5);
+    }
+
+    #[test]
+    fn roundtrip_via_tsv() {
+        let d = load_tsv("rt", Cursor::new(GOOD)).unwrap();
+        let mut buf = Vec::new();
+        save_tsv(&d, &mut buf).unwrap();
+        let d2 = load_tsv("rt", Cursor::new(buf)).unwrap();
+        assert_eq!(d2.edges, d.edges);
+        assert_eq!(d2.num_nodes(), d.num_nodes());
+        assert_eq!(d2.metapaths, d.metapaths);
+    }
+
+    #[test]
+    fn catalog_dataset_roundtrips() {
+        let d = crate::catalog::kuaishou(0.005, 3);
+        let mut buf = Vec::new();
+        save_tsv(&d, &mut buf).unwrap();
+        let d2 = load_tsv(&d.name, Cursor::new(buf)).unwrap();
+        assert_eq!(d2.num_nodes(), d.num_nodes());
+        assert_eq!(d2.num_edges(), d.num_edges());
+        assert_eq!(d2.metapaths.len(), d.metapaths.len());
+        assert_eq!(d2.edges[..50], d.edges[..50]);
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        let bad = "nodetype U\nnode 0 Ghost\n";
+        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
+        assert!(err.contains("unknown node type"), "{err}");
+
+        let bad = "nodetype U\nrelation R U U\nnode 0 U\nnode 1 U\nedge 0 1 Zap 1.0\n";
+        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
+        assert!(err.contains("unknown relation"), "{err}");
+    }
+
+    #[test]
+    fn rejects_schema_after_nodes() {
+        let bad = "nodetype U\nnode 0 U\nnodetype V\n";
+        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
+        assert!(err.contains("must precede"), "{err}");
+    }
+
+    #[test]
+    fn rejects_sparse_node_ids_and_dangling_edges() {
+        let bad = "nodetype U\nnode 5 U\n";
+        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
+        assert!(err.contains("dense"), "{err}");
+
+        let bad = "nodetype U\nrelation R U U\nnode 0 U\nedge 0 7 R 1.0\n";
+        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
+        assert!(err.contains("undeclared node"), "{err}");
+    }
+
+    #[test]
+    fn rejects_type_mismatched_edges() {
+        let bad = "nodetype U\nnodetype V\nrelation R U V\n\
+                   node 0 U\nnode 1 U\nedge 0 1 R 1.0\n";
+        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
+        assert!(err.contains("endpoint"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_metapaths() {
+        let bad = "nodetype U\nrelation R U U\nmetapath U R\nnode 0 U\n";
+        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
+        assert!(err.contains("alternating"), "{err}");
+
+        let bad = "nodetype U\nrelation R U U\nmetapath U Zap U\nnode 0 U\n";
+        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
+        assert!(err.contains("unknown relation in metapath"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        let err = load_tsv("x", Cursor::new("banana\n")).unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+    }
+}

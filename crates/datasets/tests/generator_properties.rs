@@ -1,0 +1,90 @@
+//! Property tests for the dataset generators: every catalog dataset, at any
+//! scale and seed, must produce a structurally valid, temporally coherent
+//! DMHG whose type system matches Table III.
+
+use proptest::prelude::*;
+use supa_datasets::{all_datasets, kuaishou, taobao};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Catalog datasets are valid at arbitrary small scales and seeds.
+    #[test]
+    fn catalog_datasets_are_structurally_valid(scale in 0.004f64..0.03, seed in 0u64..50) {
+        for d in all_datasets(scale, seed) {
+            // Time-sorted stream.
+            for w in d.edges.windows(2) {
+                prop_assert!(w[0].time <= w[1].time, "{} not time-sorted", d.name);
+            }
+            // All edges insert cleanly (checked types, positive timestamps).
+            let g = d.full_graph();
+            prop_assert_eq!(g.num_edges(), d.num_edges());
+            // Every metapath validates.
+            for p in &d.metapaths {
+                prop_assert!(p.symmetrize().validate(d.prototype.schema()).is_ok());
+            }
+            // Node ids in edges are within bounds.
+            for e in &d.edges {
+                prop_assert!(e.src.index() < d.num_nodes());
+                prop_assert!(e.dst.index() < d.num_nodes());
+            }
+        }
+    }
+
+    /// User–item datasets never produce item→item or user→user edges.
+    #[test]
+    fn bipartite_datasets_stay_bipartite(seed in 0u64..50) {
+        let d = taobao(0.02, seed);
+        let g = d.full_graph();
+        let user_ty = d.prototype.schema().node_type_by_name("User").unwrap();
+        for e in &d.edges {
+            prop_assert_eq!(g.node_type(e.src), user_ty);
+            prop_assert!(g.node_type(e.dst) != user_ty);
+        }
+    }
+
+    /// Kuaishou upload edges always connect an Author to a Video, exactly
+    /// once per video, at the video's first appearance or earlier.
+    #[test]
+    fn kuaishou_upload_invariants(seed in 0u64..30) {
+        let d = kuaishou(0.008, seed);
+        let schema = d.prototype.schema();
+        let upload = schema.relation_by_name("Upload").unwrap();
+        let author_ty = schema.node_type_by_name("Author").unwrap();
+        let video_ty = schema.node_type_by_name("Video").unwrap();
+        let g = d.full_graph();
+
+        let mut upload_count = std::collections::HashMap::new();
+        let mut first_upload = std::collections::HashMap::new();
+        for e in &d.edges {
+            if e.relation == upload {
+                prop_assert_eq!(g.node_type(e.src), author_ty);
+                prop_assert_eq!(g.node_type(e.dst), video_ty);
+                *upload_count.entry(e.dst).or_insert(0usize) += 1;
+                first_upload.entry(e.dst).or_insert(e.time);
+            }
+        }
+        for (_, c) in upload_count.iter() {
+            prop_assert_eq!(*c, 1usize);
+        }
+        // Most user interactions hit videos after their upload (the 5% noise
+        // channel may violate this).
+        let mut violations = 0usize;
+        let mut total = 0usize;
+        for e in &d.edges {
+            if e.relation != upload {
+                if let Some(&t0) = first_upload.get(&e.dst) {
+                    total += 1;
+                    if e.time < t0 {
+                        violations += 1;
+                    }
+                }
+            }
+        }
+        prop_assert!(total > 0);
+        prop_assert!(
+            (violations as f64) < 0.15 * total as f64,
+            "{violations}/{total} interactions precede upload"
+        );
+    }
+}

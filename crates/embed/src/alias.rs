@@ -1,0 +1,161 @@
+//! Vose's alias method: O(n) construction, O(1) weighted sampling.
+//!
+//! Negative sampling draws millions of nodes from a fixed categorical
+//! distribution; the alias method makes each draw two random numbers and one
+//! table lookup.
+
+use rand::{Rng, RngExt};
+
+/// An alias table over `n` categories.
+///
+/// ```
+/// use supa_embed::AliasTable;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let table = AliasTable::new(&[1.0, 0.0, 3.0]);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let draw = table.sample(&mut rng);
+/// assert!(draw == 0 || draw == 2, "zero-weight category never drawn");
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalised).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative/NaN entry, or sums
+    /// to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: whatever remains gets probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true: construction requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let t = AliasTable::new(weights);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn matches_target_distribution() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let freq = empirical(&weights, 100_000, 7);
+        for (i, &w) in weights.iter().enumerate() {
+            let want = w / 10.0;
+            assert!(
+                (freq[i] - want).abs() < 0.01,
+                "category {i}: got {} want {want}",
+                freq[i]
+            );
+        }
+    }
+
+    #[test]
+    fn handles_zero_weight_categories() {
+        let freq = empirical(&[0.0, 1.0, 0.0, 1.0], 50_000, 9);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+        assert!((freq[1] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_category_always_wins() {
+        let freq = empirical(&[3.5], 100, 1);
+        assert_eq!(freq[0], 1.0);
+    }
+
+    #[test]
+    fn uniform_weights_are_uniform() {
+        let freq = empirical(&[1.0; 10], 100_000, 3);
+        for &f in &freq {
+            assert!((f - 0.1).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn rejects_empty() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative() {
+        let _ = AliasTable::new(&[1.0, -1.0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! The skip-gram noise distribution for negative sampling.
+//!
+//! Following the skip-gram convention (and SUPA's Eq. 12), negatives are
+//! drawn from `P_neg(v) ∝ deg(v)^{0.75}` over a *universe* of candidate
+//! nodes. The universe is index-based so this crate stays independent of the
+//! graph crate: callers pass the candidate ids and their degrees and map
+//! sampled indices back.
+
+use rand::Rng;
+
+use crate::alias::AliasTable;
+
+/// A degree-powered negative sampler over a fixed candidate universe.
+#[derive(Debug, Clone)]
+pub struct NegativeSampler {
+    candidates: Vec<u32>,
+    alias: AliasTable,
+}
+
+impl NegativeSampler {
+    /// Builds a sampler over `candidates` with weights `degree^power`
+    /// (`power = 0.75` is the skip-gram default). Zero-degree candidates get
+    /// a small floor weight so brand-new nodes can still be drawn.
+    pub fn new(candidates: Vec<u32>, degrees: &[f64], power: f64) -> Self {
+        assert_eq!(
+            candidates.len(),
+            degrees.len(),
+            "one degree per candidate required"
+        );
+        assert!(!candidates.is_empty(), "empty candidate universe");
+        let weights: Vec<f64> = degrees
+            .iter()
+            .map(|&d| if d > 0.0 { d.powf(power) } else { 0.25 })
+            .collect();
+        NegativeSampler {
+            candidates,
+            alias: AliasTable::new(&weights),
+        }
+    }
+
+    /// Uniform sampler over the candidates (power 0 with no floor asymmetry).
+    pub fn uniform(candidates: Vec<u32>) -> Self {
+        let n = candidates.len();
+        assert!(n > 0, "empty candidate universe");
+        NegativeSampler {
+            candidates,
+            alias: AliasTable::new(&vec![1.0; n]),
+        }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the universe is empty (never: construction requires ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Draws one candidate id.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.candidates[self.alias.sample(rng)]
+    }
+
+    /// Draws one candidate id different from `exclude`, giving up after a few
+    /// rejections (possible when the universe is a single node).
+    pub fn sample_excluding<R: Rng + ?Sized>(&self, exclude: u32, rng: &mut R) -> u32 {
+        for _ in 0..8 {
+            let c = self.sample(rng);
+            if c != exclude {
+                return c;
+            }
+        }
+        self.sample(rng)
+    }
+
+    /// Fills `out` with `n` sampled ids, none equal to `exclude`.
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        exclude: u32,
+        rng: &mut R,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.sample_excluding(exclude, rng));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn respects_degree_power_law() {
+        // Two candidates with degrees 1 and 16: at power 0.75 the ratio of
+        // weights is 16^0.75 = 8.
+        let s = NegativeSampler::new(vec![10, 20], &[1.0, 16.0], 0.75);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut hits20 = 0usize;
+        let trials = 90_000;
+        for _ in 0..trials {
+            if s.sample(&mut rng) == 20 {
+                hits20 += 1;
+            }
+        }
+        let p = hits20 as f64 / trials as f64;
+        assert!((p - 8.0 / 9.0).abs() < 0.01, "p(20) = {p}");
+    }
+
+    #[test]
+    fn zero_degree_nodes_still_sampled() {
+        let s = NegativeSampler::new(vec![1, 2], &[0.0, 100.0], 0.75);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let got_new = (0..50_000).any(|_| s.sample(&mut rng) == 1);
+        assert!(got_new, "zero-degree candidate never sampled");
+    }
+
+    #[test]
+    fn excluding_works() {
+        let s = NegativeSampler::uniform(vec![5, 6]);
+        let mut rng = SmallRng::seed_from_u64(19);
+        for _ in 0..200 {
+            assert_eq!(s.sample_excluding(5, &mut rng), 6);
+        }
+    }
+
+    #[test]
+    fn sample_many_fills_buffer() {
+        let s = NegativeSampler::uniform(vec![1, 2, 3, 4]);
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut out = Vec::new();
+        s.sample_many(10, 1, &mut rng, &mut out);
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|&c| c != 1));
+        // Reuse clears previous contents.
+        s.sample_many(3, 2, &mut rng, &mut out);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn uniform_is_uniform() {
+        let s = NegativeSampler::uniform(vec![0, 1, 2]);
+        let mut rng = SmallRng::seed_from_u64(29);
+        let mut counts = [0usize; 3];
+        for _ in 0..60_000 {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 60_000.0 - 1.0 / 3.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one degree per candidate")]
+    fn mismatched_lengths_rejected() {
+        let _ = NegativeSampler::new(vec![1, 2], &[1.0], 0.75);
+    }
+}

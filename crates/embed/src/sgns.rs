@@ -1,0 +1,265 @@
+//! Skip-gram with negative sampling (SGNS) updates.
+//!
+//! The workhorse of DeepWalk, node2vec, LINE(2nd), GATNE's walk training,
+//! NetWalk and DyHNE: maximise `log σ(c·h)` for observed (center, context)
+//! pairs and `log σ(−c·h)` for sampled noise pairs, with plain SGD as in
+//! word2vec.
+//!
+//! Two entry points cover the two aliasing situations:
+//! - [`train_pair_dual`]: center and context live in *different* tables
+//!   (classic word2vec in/out vectors);
+//! - [`train_pair_single`]: both endpoints live in the *same* table (LINE's
+//!   first-order proximity) — handled with a split borrow.
+
+use crate::table::EmbeddingTable;
+use crate::vecmath::{axpy, dot, log_sigmoid, sigmoid};
+
+/// Statistics of one SGNS update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgnsLoss {
+    /// `−log σ(c_pos · h)` for the positive pair.
+    pub positive: f32,
+    /// `Σ −log σ(−c_neg · h)` over the negatives.
+    pub negative: f32,
+}
+
+impl SgnsLoss {
+    /// The total loss of the update.
+    pub fn total(&self) -> f32 {
+        self.positive + self.negative
+    }
+}
+
+/// One SGNS step with distinct center/context tables.
+///
+/// Updates the context rows of `pos` and every `neg`, and the center row of
+/// `center`, by one SGD step of size `lr`. Returns the pre-update loss.
+pub fn train_pair_dual(
+    centers: &mut EmbeddingTable,
+    contexts: &mut EmbeddingTable,
+    center: usize,
+    pos: usize,
+    negs: &[usize],
+    lr: f32,
+) -> SgnsLoss {
+    let dim = centers.dim();
+    debug_assert_eq!(dim, contexts.dim());
+    // Accumulate the center gradient while updating context rows in place.
+    let mut center_grad = vec![0.0f32; dim];
+    let mut loss = SgnsLoss {
+        positive: 0.0,
+        negative: 0.0,
+    };
+    {
+        let h = centers.row(center);
+        // Positive pair.
+        let c = contexts.row_mut(pos);
+        let s = dot(c, h);
+        loss.positive = -log_sigmoid(s);
+        let coef = sigmoid(s) - 1.0; // d(-logσ(s))/ds
+        axpy(coef, c, &mut center_grad);
+        axpy(-lr * coef, h, c);
+        // Negatives.
+        for &n in negs {
+            if n == pos {
+                continue; // collided with the positive; skip rather than fight it
+            }
+            let c = contexts.row_mut(n);
+            let s = dot(c, h);
+            loss.negative += -log_sigmoid(-s);
+            let coef = sigmoid(s); // d(-logσ(-s))/ds
+            axpy(coef, c, &mut center_grad);
+            axpy(-lr * coef, h, c);
+        }
+    }
+    centers.sgd_step_row(center, &center_grad, lr);
+    loss
+}
+
+/// One SGNS step where both endpoints share a table (first-order proximity).
+///
+/// The positive pair must be two distinct rows. Negatives equal to either
+/// endpoint are skipped.
+pub fn train_pair_single(
+    table: &mut EmbeddingTable,
+    u: usize,
+    v: usize,
+    negs: &[usize],
+    lr: f32,
+) -> SgnsLoss {
+    assert_ne!(u, v, "first-order SGNS needs distinct endpoints");
+    let dim = table.dim();
+    let mut u_grad = vec![0.0f32; dim];
+    let mut loss = SgnsLoss {
+        positive: 0.0,
+        negative: 0.0,
+    };
+    {
+        let (hu, hv) = table.two_rows_mut(u, v);
+        let s = dot(hu, hv);
+        loss.positive = -log_sigmoid(s);
+        let coef = sigmoid(s) - 1.0;
+        axpy(coef, hv, &mut u_grad);
+        // hv ← hv − lr · coef · hu
+        let hu_copy: Vec<f32> = hu.to_vec();
+        axpy(-lr * coef, &hu_copy, hv);
+    }
+    for &n in negs {
+        if n == u || n == v {
+            continue;
+        }
+        let (hu, hn) = table.two_rows_mut(u, n);
+        let s = dot(hu, hn);
+        loss.negative += -log_sigmoid(-s);
+        let coef = sigmoid(s);
+        axpy(coef, hn, &mut u_grad);
+        let hu_copy: Vec<f32> = hu.to_vec();
+        axpy(-lr * coef, &hu_copy, hn);
+    }
+    table.sgd_step_row(u, &u_grad, lr);
+    loss
+}
+
+/// Trains SGNS over a walk with a sliding window (the DeepWalk/node2vec
+/// pattern): every pair within `window` of each other is a positive.
+/// `negatives` supplies noise rows for each positive pair. Returns mean loss.
+pub fn train_walk_window<F>(
+    centers: &mut EmbeddingTable,
+    contexts: &mut EmbeddingTable,
+    walk: &[usize],
+    window: usize,
+    lr: f32,
+    mut negatives: F,
+) -> f32
+where
+    F: FnMut(&mut Vec<usize>),
+{
+    let mut total = 0.0;
+    let mut count = 0usize;
+    let mut negs = Vec::new();
+    for (i, &center) in walk.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(walk.len());
+        for (j, &pos) in walk.iter().enumerate().take(hi).skip(lo) {
+            if j == i {
+                continue;
+            }
+            if pos == center {
+                continue;
+            }
+            negatives(&mut negs);
+            total += train_pair_dual(centers, contexts, center, pos, &negs, lr).total();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tables(n: usize, d: usize) -> (EmbeddingTable, EmbeddingTable) {
+        let mut rng = SmallRng::seed_from_u64(2);
+        (
+            EmbeddingTable::new(n, d, 0.1, &mut rng),
+            EmbeddingTable::new(n, d, 0.1, &mut rng),
+        )
+    }
+
+    #[test]
+    fn repeated_updates_raise_positive_score() {
+        let (mut c, mut ctx) = tables(10, 8);
+        let before = dot(c.row(0), ctx.row(1));
+        for _ in 0..50 {
+            train_pair_dual(&mut c, &mut ctx, 0, 1, &[5, 6], 0.1);
+        }
+        let after = dot(c.row(0), ctx.row(1));
+        assert!(after > before, "positive score must rise: {before} → {after}");
+        // Negative scores fall (or at least end below the positive).
+        assert!(dot(c.row(0), ctx.row(5)) < after);
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let (mut c, mut ctx) = tables(10, 8);
+        let first = train_pair_dual(&mut c, &mut ctx, 0, 1, &[5, 6, 7], 0.1).total();
+        let mut last = first;
+        for _ in 0..100 {
+            last = train_pair_dual(&mut c, &mut ctx, 0, 1, &[5, 6, 7], 0.1).total();
+        }
+        assert!(last < first, "{last} !< {first}");
+    }
+
+    #[test]
+    fn collided_negative_is_skipped() {
+        let (mut c, mut ctx) = tables(5, 4);
+        // negative == positive id: only the positive update should happen.
+        let l = train_pair_dual(&mut c, &mut ctx, 0, 1, &[1, 1], 0.1);
+        assert_eq!(l.negative, 0.0);
+        assert!(l.positive > 0.0);
+    }
+
+    #[test]
+    fn single_table_training_pulls_pairs_together() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut t = EmbeddingTable::new(8, 6, 0.1, &mut rng);
+        let before = dot(t.row(2), t.row(3));
+        for _ in 0..60 {
+            train_pair_single(&mut t, 2, 3, &[6, 7], 0.05);
+        }
+        let after = dot(t.row(2), t.row(3));
+        assert!(after > before);
+        assert!(dot(t.row(2), t.row(6)) < after);
+    }
+
+    #[test]
+    fn single_table_skips_self_negatives() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut t = EmbeddingTable::new(4, 3, 0.1, &mut rng);
+        let l = train_pair_single(&mut t, 0, 1, &[0, 1], 0.1);
+        assert_eq!(l.negative, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct endpoints")]
+    fn single_table_rejects_self_pair() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut t = EmbeddingTable::new(4, 3, 0.1, &mut rng);
+        let _ = train_pair_single(&mut t, 2, 2, &[], 0.1);
+    }
+
+    #[test]
+    fn window_training_covers_all_pairs() {
+        let (mut c, mut ctx) = tables(10, 4);
+        let mut calls = 0usize;
+        let loss = train_walk_window(&mut c, &mut ctx, &[0, 1, 2, 3], 1, 0.05, |negs| {
+            calls += 1;
+            negs.clear();
+            negs.push(9);
+        });
+        // Window 1 over 4 nodes: pairs (0,1),(1,0),(1,2),(2,1),(2,3),(3,2).
+        assert_eq!(calls, 6);
+        assert!(loss > 0.0);
+    }
+
+    #[test]
+    fn window_training_handles_degenerate_walks() {
+        let (mut c, mut ctx) = tables(4, 4);
+        // Single-node walk and all-same-node walk produce no pairs.
+        assert_eq!(
+            train_walk_window(&mut c, &mut ctx, &[2], 2, 0.1, |n| n.clear()),
+            0.0
+        );
+        assert_eq!(
+            train_walk_window(&mut c, &mut ctx, &[2, 2, 2], 2, 0.1, |n| n.clear()),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,384 @@
+//! Embedding tables with per-row ("lazy") Adam.
+//!
+//! SUPA updates only the handful of rows touched by each edge event, so
+//! optimiser state is per-row: each row keeps its own Adam step counter and
+//! bias correction. Untouched rows pay nothing, which is what keeps the
+//! per-edge training cost at `O((k·l + N_neg) · d)`.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+#[inline]
+fn init_val<R: Rng + ?Sized>(scale: f32, rng: &mut R) -> f32 {
+    if scale > 0.0 {
+        rng.random_range(-scale..scale)
+    } else {
+        0.0
+    }
+}
+
+/// A dense `n × d` embedding table with per-row Adam state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbeddingTable {
+    dim: usize,
+    data: Vec<f32>,
+    adam_m: Vec<f32>,
+    adam_v: Vec<f32>,
+    adam_t: Vec<u32>,
+    init_scale: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+}
+
+impl EmbeddingTable {
+    /// Creates a table of `n` rows initialised `U(-scale, scale)` (all zeros
+    /// when `scale == 0`).
+    pub fn new<R: Rng + ?Sized>(n: usize, dim: usize, scale: f32, rng: &mut R) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        let data = (0..n * dim).map(|_| init_val(scale, rng)).collect();
+        EmbeddingTable {
+            dim,
+            data,
+            adam_m: vec![0.0; n * dim],
+            adam_v: vec![0.0; n * dim],
+            adam_t: vec![0; n],
+            init_scale: scale,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// Sets decoupled weight decay applied on every Adam row step (the paper
+    /// trains with weight decay 1e-4).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.adam_t.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.adam_t.is_empty()
+    }
+
+    /// Embedding dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Row `i` as a mutable slice (bypasses the optimiser).
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Two distinct rows mutably (for same-table SGNS updates).
+    ///
+    /// # Panics
+    /// Panics if `i == j`.
+    pub fn two_rows_mut(&mut self, i: usize, j: usize) -> (&mut [f32], &mut [f32]) {
+        assert_ne!(i, j, "two_rows_mut needs distinct rows");
+        let d = self.dim;
+        if i < j {
+            let (a, b) = self.data.split_at_mut(j * d);
+            (&mut a[i * d..(i + 1) * d], &mut b[..d])
+        } else {
+            let (a, b) = self.data.split_at_mut(i * d);
+            let (jrow, irow) = (&mut a[j * d..(j + 1) * d], &mut b[..d]);
+            (irow, jrow)
+        }
+    }
+
+    /// Grows the table to at least `n` rows, initialising new rows randomly
+    /// (streaming graphs add nodes over time).
+    pub fn ensure_len<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) {
+        while self.adam_t.len() < n {
+            for _ in 0..self.dim {
+                self.data.push(init_val(self.init_scale, rng));
+                self.adam_m.push(0.0);
+                self.adam_v.push(0.0);
+            }
+            self.adam_t.push(0);
+        }
+    }
+
+    /// Applies one Adam step to row `i` with gradient `grad`.
+    ///
+    /// Bias correction uses the row's own step count (lazy Adam), so rarely
+    /// touched rows are corrected as if freshly started.
+    pub fn adam_step_row(&mut self, i: usize, grad: &[f32], lr: f32) {
+        debug_assert_eq!(grad.len(), self.dim);
+        self.adam_t[i] += 1;
+        let t = self.adam_t[i] as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let span = i * self.dim..(i + 1) * self.dim;
+        let m = &mut self.adam_m[span.clone()];
+        let v = &mut self.adam_v[span.clone()];
+        let x = &mut self.data[span];
+        for k in 0..grad.len() {
+            let g = grad[k] + self.weight_decay * x[k];
+            m[k] = self.beta1 * m[k] + (1.0 - self.beta1) * g;
+            v[k] = self.beta2 * v[k] + (1.0 - self.beta2) * g * g;
+            let mhat = m[k] / bc1;
+            let vhat = v[k] / bc2;
+            x[k] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    /// Applies one plain SGD step to row `i`.
+    pub fn sgd_step_row(&mut self, i: usize, grad: &[f32], lr: f32) {
+        debug_assert_eq!(grad.len(), self.dim);
+        let row = self.row_mut(i);
+        for (x, &g) in row.iter_mut().zip(grad) {
+            *x -= lr * g;
+        }
+    }
+
+    /// The raw value buffer (e.g. for whole-table export).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Writes the full table state (values + optimiser moments) as a
+    /// little-endian binary blob. See [`EmbeddingTable::read_from`].
+    pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&(self.adam_t.len() as u64).to_le_bytes())?;
+        w.write_all(&(self.dim as u64).to_le_bytes())?;
+        for x in [self.init_scale, self.beta1, self.beta2, self.eps, self.weight_decay] {
+            w.write_all(&x.to_le_bytes())?;
+        }
+        for buf in [&self.data, &self.adam_m, &self.adam_v] {
+            for x in buf.iter() {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        for t in &self.adam_t {
+            w.write_all(&t.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Reads a table previously written with [`EmbeddingTable::write_to`].
+    pub fn read_from<R: std::io::Read>(r: &mut R) -> std::io::Result<Self> {
+        let mut u64buf = [0u8; 8];
+        let mut f32buf = [0u8; 4];
+        let mut read_u64 = |r: &mut R| -> std::io::Result<u64> {
+            r.read_exact(&mut u64buf)?;
+            Ok(u64::from_le_bytes(u64buf))
+        };
+        let n = read_u64(r)? as usize;
+        let dim = read_u64(r)? as usize;
+        if dim == 0 || n.checked_mul(dim).is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "corrupt embedding table header",
+            ));
+        }
+        let mut read_f32 = |r: &mut R| -> std::io::Result<f32> {
+            r.read_exact(&mut f32buf)?;
+            Ok(f32::from_le_bytes(f32buf))
+        };
+        let init_scale = read_f32(r)?;
+        let beta1 = read_f32(r)?;
+        let beta2 = read_f32(r)?;
+        let eps = read_f32(r)?;
+        let weight_decay = read_f32(r)?;
+        let read_vec = |r: &mut R, len: usize| -> std::io::Result<Vec<f32>> {
+            let mut v = Vec::with_capacity(len);
+            let mut buf = [0u8; 4];
+            for _ in 0..len {
+                r.read_exact(&mut buf)?;
+                v.push(f32::from_le_bytes(buf));
+            }
+            Ok(v)
+        };
+        let data = read_vec(r, n * dim)?;
+        let adam_m = read_vec(r, n * dim)?;
+        let adam_v = read_vec(r, n * dim)?;
+        let mut adam_t = Vec::with_capacity(n);
+        let mut buf = [0u8; 4];
+        for _ in 0..n {
+            r.read_exact(&mut buf)?;
+            adam_t.push(u32::from_le_bytes(buf));
+        }
+        Ok(EmbeddingTable {
+            dim,
+            data,
+            adam_m,
+            adam_v,
+            adam_t,
+            init_scale,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn table(n: usize, d: usize) -> EmbeddingTable {
+        let mut rng = SmallRng::seed_from_u64(1);
+        EmbeddingTable::new(n, d, 0.1, &mut rng)
+    }
+
+    #[test]
+    fn shape_and_init_bounds() {
+        let t = table(5, 3);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.dim(), 3);
+        assert!(!t.is_empty());
+        assert!(t.data().iter().all(|&x| x.abs() <= 0.1));
+        // Not all identical.
+        assert!(t.row(0) != t.row(1));
+    }
+
+    #[test]
+    fn two_rows_mut_aliases_correctly() {
+        let mut t = table(4, 2);
+        let r1 = t.row(1).to_vec();
+        let r3 = t.row(3).to_vec();
+        {
+            let (a, b) = t.two_rows_mut(1, 3);
+            assert_eq!(a, r1.as_slice());
+            assert_eq!(b, r3.as_slice());
+            a[0] = 42.0;
+            b[1] = -42.0;
+        }
+        assert_eq!(t.row(1)[0], 42.0);
+        assert_eq!(t.row(3)[1], -42.0);
+        // Reversed order too.
+        let (a, b) = t.two_rows_mut(3, 1);
+        assert_eq!(a[1], -42.0);
+        assert_eq!(b[0], 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct rows")]
+    fn two_rows_mut_rejects_same_row() {
+        let mut t = table(4, 2);
+        let _ = t.two_rows_mut(2, 2);
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient() {
+        let mut t = table(2, 2);
+        let before = t.row(0).to_vec();
+        t.sgd_step_row(0, &[1.0, -1.0], 0.5);
+        assert!((t.row(0)[0] - (before[0] - 0.5)).abs() < 1e-6);
+        assert!((t.row(0)[1] - (before[1] + 0.5)).abs() < 1e-6);
+        // Other rows untouched.
+        assert_eq!(t.row(1), table(2, 2).row(1));
+    }
+
+    #[test]
+    fn adam_minimises_row_quadratic() {
+        let mut t = table(3, 4);
+        // Minimise ||row1||² while leaving rows 0 and 2 alone.
+        for _ in 0..500 {
+            let grad: Vec<f32> = t.row(1).iter().map(|&x| 2.0 * x).collect();
+            t.adam_step_row(1, &grad, 0.05);
+        }
+        let n: f32 = t.row(1).iter().map(|&x| x * x).sum();
+        assert!(n < 1e-4, "row norm² still {n}");
+        assert_eq!(t.row(0), table(3, 4).row(0));
+    }
+
+    #[test]
+    fn lazy_adam_first_step_is_lr_sized() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut t = EmbeddingTable::new(1, 1, 0.0, &mut rng);
+        // Row starts at exactly 0 (scale 0), gradient 5 → first Adam step ≈ lr.
+        t.adam_step_row(0, &[5.0], 0.1);
+        assert!((t.row(0)[0] + 0.1).abs() < 1e-3, "got {}", t.row(0)[0]);
+    }
+
+    #[test]
+    fn ensure_len_grows_and_preserves() {
+        let mut t = table(2, 3);
+        let r0 = t.row(0).to_vec();
+        let mut rng = SmallRng::seed_from_u64(5);
+        t.ensure_len(5, &mut rng);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.row(0), r0.as_slice());
+        assert!(t.row(4).iter().all(|&x| x.abs() <= 0.1));
+        // No-op when already long enough.
+        t.ensure_len(3, &mut rng);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let mut t = table(4, 3).with_weight_decay(0.01);
+        // Exercise the optimiser so the moments are non-trivial.
+        t.adam_step_row(1, &[0.3, -0.2, 0.1], 0.05);
+        t.adam_step_row(1, &[0.1, 0.2, -0.3], 0.05);
+        t.adam_step_row(3, &[1.0, 1.0, 1.0], 0.05);
+
+        let mut blob = Vec::new();
+        t.write_to(&mut blob).unwrap();
+        let t2 = EmbeddingTable::read_from(&mut blob.as_slice()).unwrap();
+        assert_eq!(t2.len(), t.len());
+        assert_eq!(t2.dim(), t.dim());
+        assert_eq!(t2.data(), t.data());
+        assert_eq!(t2.adam_m, t.adam_m);
+        assert_eq!(t2.adam_v, t.adam_v);
+        assert_eq!(t2.adam_t, t.adam_t);
+        // Post-restore optimiser behaviour is identical.
+        let mut a = t.clone();
+        let mut b = t2;
+        a.adam_step_row(1, &[0.5, 0.5, 0.5], 0.05);
+        b.adam_step_row(1, &[0.5, 0.5, 0.5], 0.05);
+        assert_eq!(a.row(1), b.row(1));
+    }
+
+    #[test]
+    fn truncated_blob_is_an_error() {
+        let t = table(3, 2);
+        let mut blob = Vec::new();
+        t.write_to(&mut blob).unwrap();
+        blob.truncate(blob.len() - 5);
+        assert!(EmbeddingTable::read_from(&mut blob.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_header_is_an_error() {
+        // dim = 0 is invalid.
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&1u64.to_le_bytes());
+        blob.extend_from_slice(&0u64.to_le_bytes());
+        blob.extend_from_slice(&[0u8; 64]);
+        assert!(EmbeddingTable::read_from(&mut blob.as_slice()).is_err());
+    }
+
+    #[test]
+    fn weight_decay_pulls_towards_zero() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut t = EmbeddingTable::new(1, 2, 0.0, &mut rng).with_weight_decay(0.5);
+        t.row_mut(0).copy_from_slice(&[1.0, -1.0]);
+        for _ in 0..200 {
+            t.adam_step_row(0, &[0.0, 0.0], 0.05);
+        }
+        assert!(t.row(0).iter().all(|&x| x.abs() < 0.05));
+    }
+}

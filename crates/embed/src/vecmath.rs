@@ -1,0 +1,119 @@
+//! Slice-level vector kernels.
+//!
+//! These are the innermost loops of every shallow model in the workspace;
+//! they take plain slices so callers can point them at rows of an
+//! [`crate::EmbeddingTable`] or any other contiguous storage.
+
+/// Inner product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        s += x * y;
+    }
+    s
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y *= alpha`.
+#[inline]
+pub fn scale(alpha: f32, y: &mut [f32]) {
+    for yi in y {
+        *yi *= alpha;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable `ln σ(x)` (= −softplus(−x)).
+#[inline]
+pub fn log_sigmoid(x: f32) -> f32 {
+    if x > 20.0 {
+        0.0
+    } else if x < -20.0 {
+        x
+    } else {
+        -(1.0 + (-x).exp()).ln()
+    }
+}
+
+/// Cosine similarity; 0 when either vector is zero.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot(a, b) / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![3.5, -0.5]);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_stability() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-6);
+        assert_eq!(sigmoid(1e4), 1.0);
+        assert_eq!(sigmoid(-1e4), 0.0);
+    }
+
+    #[test]
+    fn log_sigmoid_matches_log_of_sigmoid() {
+        for &x in &[-5.0f32, -1.0, 0.0, 1.0, 5.0] {
+            assert!((log_sigmoid(x) - sigmoid(x).ln()).abs() < 1e-5, "x={x}");
+        }
+        assert_eq!(log_sigmoid(100.0), 0.0);
+        assert_eq!(log_sigmoid(-100.0), -100.0);
+    }
+
+    #[test]
+    fn cosine_bounds_and_degenerate() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+}

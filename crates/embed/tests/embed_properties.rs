@@ -1,0 +1,113 @@
+//! Property tests for the embedding substrate: alias-sampler distribution
+//! correctness, table/optimiser invariants, and SGNS loss behaviour.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use supa_embed::sgns::train_pair_dual;
+use supa_embed::vecmath::dot;
+use supa_embed::{AliasTable, EmbeddingTable, NegativeSampler};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Alias sampling reproduces any weight vector within statistical error.
+    #[test]
+    fn alias_matches_weights(
+        weights in prop::collection::vec(0.0f64..10.0, 2..8),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.5);
+        let table = AliasTable::new(&weights);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let draws = 30_000;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let want = w / total;
+            let got = counts[i] as f64 / draws as f64;
+            prop_assert!((want - got).abs() < 0.03,
+                "weight {i}: want {want:.3} got {got:.3}");
+        }
+    }
+
+    /// `two_rows_mut` returns disjoint, correct views for any valid pair.
+    #[test]
+    fn two_rows_mut_is_sound(n in 2usize..10, d in 1usize..8, seed in 0u64..100) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t = EmbeddingTable::new(n, d, 0.3, &mut rng);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j { continue; }
+                let ri = t.row(i).to_vec();
+                let rj = t.row(j).to_vec();
+                let (a, b) = t.two_rows_mut(i, j);
+                prop_assert_eq!(&ri[..], &*a);
+                prop_assert_eq!(&rj[..], &*b);
+            }
+        }
+    }
+
+    /// Negative sampler never panics and only emits members of its universe.
+    #[test]
+    fn negative_sampler_stays_in_universe(
+        ids in prop::collection::vec(0u32..1000, 1..20),
+        seed in 0u64..100,
+    ) {
+        let degs: Vec<f64> = ids.iter().map(|&i| (i % 7) as f64).collect();
+        let s = NegativeSampler::new(ids.clone(), &degs, 0.75);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let c = s.sample(&mut rng);
+            prop_assert!(ids.contains(&c));
+        }
+    }
+
+    /// Without negatives, every SGNS update strictly raises the positive
+    /// dot product (both rows move toward each other); with negatives the
+    /// loss is still always non-negative (the per-step positive dot may
+    /// wobble, since the center also flees the noise rows).
+    #[test]
+    fn sgns_monotone_positive_score(seed in 0u64..500, d in 2usize..16) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut centers = EmbeddingTable::new(6, d, 0.2, &mut rng);
+        let mut contexts = EmbeddingTable::new(6, d, 0.2, &mut rng);
+        let mut prev = dot(centers.row(0), contexts.row(1));
+        for _ in 0..20 {
+            let l = train_pair_dual(&mut centers, &mut contexts, 0, 1, &[], 0.05);
+            prop_assert!(l.total() >= 0.0);
+            let cur = dot(centers.row(0), contexts.row(1));
+            prop_assert!(cur >= prev - 1e-5, "positive score decreased: {prev} → {cur}");
+            prev = cur;
+        }
+        // With negatives: loss well-defined and finite throughout.
+        for _ in 0..20 {
+            let l = train_pair_dual(&mut centers, &mut contexts, 0, 1, &[4, 5], 0.05);
+            prop_assert!(l.total() >= 0.0 && l.total().is_finite());
+        }
+    }
+
+    /// Lazy Adam leaves untouched rows bit-identical.
+    #[test]
+    fn lazy_adam_touches_only_target_rows(
+        n in 2usize..8,
+        target in 0usize..8,
+        seed in 0u64..100,
+    ) {
+        let target = target % n;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut t = EmbeddingTable::new(n, 4, 0.2, &mut rng);
+        let snapshot: Vec<Vec<f32>> = (0..n).map(|i| t.row(i).to_vec()).collect();
+        t.adam_step_row(target, &[0.5, -0.5, 0.25, 0.0], 0.01);
+        for (i, snap) in snapshot.iter().enumerate() {
+            if i == target {
+                prop_assert_ne!(t.row(i), &snap[..]);
+            } else {
+                prop_assert_eq!(t.row(i), &snap[..]);
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Beyond-accuracy metrics: catalogue coverage and recommendation
+//! concentration.
+//!
+//! Accuracy metrics alone reward recommending the head of the popularity
+//! distribution; a production recommender also cares *how much of the
+//! catalogue its top-K lists actually reach*. This module measures, for a
+//! scorer and a user population:
+//!
+//! - **coverage@K** — the fraction of candidate items appearing in at least
+//!   one user's top-K list;
+//! - **Gini@K** — concentration of recommendation exposure across items
+//!   (0 = perfectly even exposure, → 1 = everything goes to a few items).
+
+use supa_graph::{NodeId, RelationId};
+
+use crate::ranking::Scorer;
+
+/// Coverage/concentration measurements at one K.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// The K the lists were cut at.
+    pub k: usize,
+    /// Fraction of the candidate catalogue recommended to ≥ 1 user.
+    pub coverage: f64,
+    /// Gini coefficient of per-item exposure counts.
+    pub gini: f64,
+}
+
+/// Computes coverage@K and Gini@K for `users` over `candidates` under
+/// relation `r`.
+///
+/// # Panics
+/// Panics if `users` or `candidates` is empty, or `k == 0`.
+pub fn coverage_at_k<S: Scorer + ?Sized>(
+    scorer: &S,
+    users: &[NodeId],
+    candidates: &[NodeId],
+    r: RelationId,
+    k: usize,
+) -> CoverageReport {
+    assert!(k > 0, "k must be positive");
+    assert!(!users.is_empty() && !candidates.is_empty());
+    let k = k.min(candidates.len());
+    let mut exposure = vec![0usize; candidates.len()];
+    let mut scored: Vec<(usize, f32)> = Vec::with_capacity(candidates.len());
+    for &u in users {
+        scored.clear();
+        scored.extend(
+            candidates
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i, scorer.score(u, v, r))),
+        );
+        // Partial selection of the top-K by score.
+        scored.select_nth_unstable_by(k - 1, |a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for &(i, _) in &scored[..k] {
+            exposure[i] += 1;
+        }
+    }
+    let covered = exposure.iter().filter(|&&c| c > 0).count();
+    CoverageReport {
+        k,
+        coverage: covered as f64 / candidates.len() as f64,
+        gini: gini(&exposure),
+    }
+}
+
+/// Gini coefficient of a non-negative count vector (0 when all equal).
+pub fn gini(counts: &[usize]) -> f64 {
+    assert!(!counts.is_empty());
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<usize> = counts.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    // G = (2·Σ i·x_i)/(n·Σ x) − (n+1)/n with 1-based i over ascending x.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct PopularityScorer;
+    impl Scorer for PopularityScorer {
+        fn score(&self, _u: NodeId, v: NodeId, _r: RelationId) -> f32 {
+            // Every user gets the same ranking: highest id wins.
+            v.0 as f32
+        }
+    }
+
+    struct PersonalScorer;
+    impl Scorer for PersonalScorer {
+        fn score(&self, u: NodeId, v: NodeId, _r: RelationId) -> f32 {
+            // Each user prefers a different item: near-uniform exposure.
+            -(((v.0 as i64 - u.0 as i64).rem_euclid(97)) as f32)
+        }
+    }
+
+    fn ids(range: std::ops::Range<u32>) -> Vec<NodeId> {
+        range.map(NodeId).collect()
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[5, 5, 5, 5]), 0.0);
+        assert_eq!(gini(&[0, 0, 0, 0]), 0.0);
+        // All exposure on one of many items → close to 1.
+        let mut v = vec![0usize; 100];
+        v[0] = 1000;
+        assert!(gini(&v) > 0.95);
+        // Monotone: more skew, higher gini.
+        assert!(gini(&[1, 1, 8]) > gini(&[2, 3, 5]));
+    }
+
+    #[test]
+    fn popularity_scorer_has_low_coverage_high_gini() {
+        let users = ids(0..50);
+        let items = ids(100..200);
+        let rep = coverage_at_k(&PopularityScorer, &users, &items, RelationId(0), 10);
+        // Everyone gets the same 10 items.
+        assert!((rep.coverage - 0.1).abs() < 1e-9);
+        assert!(rep.gini > 0.8);
+    }
+
+    #[test]
+    fn personalised_scorer_has_high_coverage_low_gini() {
+        let users = ids(0..97);
+        let items = ids(100..197);
+        let rep = coverage_at_k(&PersonalScorer, &users, &items, RelationId(0), 5);
+        assert!(rep.coverage > 0.9, "coverage {}", rep.coverage);
+        assert!(rep.gini < 0.3, "gini {}", rep.gini);
+    }
+
+    #[test]
+    fn k_is_clamped_to_catalogue() {
+        let users = ids(0..3);
+        let items = ids(10..13);
+        let rep = coverage_at_k(&PopularityScorer, &users, &items, RelationId(0), 50);
+        assert_eq!(rep.k, 3);
+        assert_eq!(rep.coverage, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = coverage_at_k(&PopularityScorer, &ids(0..1), &ids(1..2), RelationId(0), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # supa-eval — recommendation evaluation for DMHG models
+//!
+//! Implements the paper's full evaluation methodology:
+//!
+//! - [`metrics`]: H(it rate)@K, NDCG@K and MRR over ranked candidates
+//!   (§IV-C);
+//! - [`ranking`]: the link-prediction ranking harness — for each test edge
+//!   `(u, v, r)` rank the true `v` against every candidate of its node type
+//!   (Eq. 15 scoring is supplied by the model through [`Scorer`]);
+//! - [`recommender`]: the uniform training interface all seventeen methods
+//!   implement, distinguishing static retraining from incremental training;
+//! - [`protocol`]: the three experimental protocols — standard link
+//!   prediction with a temporal 80/1/19 split (§IV-D), dynamic link
+//!   prediction over ten temporal slices (§IV-E), and link prediction under
+//!   a neighbourhood cap η (§IV-F);
+//! - [`stats`]: Welch's t-test for the significance stars of Tables V/VI;
+//! - [`tsne`]: exact t-SNE and the mean pair-distance statistic of Fig. 9.
+
+pub mod coverage;
+pub mod metrics;
+pub mod protocol;
+pub mod ranking;
+pub mod recommender;
+pub mod segmented;
+pub mod stats;
+pub mod tsne;
+
+pub use coverage::{coverage_at_k, gini, CoverageReport};
+pub use metrics::{MetricAccumulator, RankMetrics};
+pub use protocol::{
+    disturbance_protocol, dynamic_link_prediction, link_prediction, DisturbanceResult,
+    DynamicStepResult, EvalContext, LinkPredictionResult, SplitRatios,
+};
+pub use ranking::{rank_of_target, CandidateSet, RankingEvaluator, Scorer};
+pub use recommender::Recommender;
+pub use segmented::{evaluate_segmented, SegmentResult};
+pub use stats::{mean_std, welch_t_test, WelchResult};
+pub use tsne::{mean_pair_distance, tsne_2d, TsneConfig};

@@ -1,0 +1,210 @@
+//! Ranking metrics: H@K, NDCG@K, MRR (paper §IV-C).
+//!
+//! All three are functions of the 1-based rank of the single ground-truth
+//! node among the candidates:
+//!
+//! - `H@K  = 1[rank ≤ K]`
+//! - `NDCG@K = 1/log₂(rank + 1)` if `rank ≤ K`, else 0 (single relevant item,
+//!   ideal DCG = 1)
+//! - `MRR  = 1/rank`
+
+/// Per-test-edge metric values derived from the ground-truth rank.
+///
+/// ```
+/// use supa_eval::RankMetrics;
+/// let m = RankMetrics::from_rank(3);
+/// assert_eq!(m.hit20, 1.0);
+/// assert!((m.ndcg10 - 0.5).abs() < 1e-12); // 1/log2(4)
+/// assert!((m.mrr - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankMetrics {
+    /// 1-based rank of the ground-truth node.
+    pub rank: usize,
+    /// Hit within top-20.
+    pub hit20: f64,
+    /// Hit within top-50.
+    pub hit50: f64,
+    /// NDCG@10 contribution.
+    pub ndcg10: f64,
+    /// Reciprocal rank.
+    pub mrr: f64,
+}
+
+impl RankMetrics {
+    /// Computes all metrics from a 1-based rank.
+    ///
+    /// # Panics
+    /// Panics if `rank == 0` (ranks are 1-based).
+    pub fn from_rank(rank: usize) -> Self {
+        assert!(rank >= 1, "ranks are 1-based");
+        RankMetrics {
+            rank,
+            hit20: f64::from(u8::from(rank <= 20)),
+            hit50: f64::from(u8::from(rank <= 50)),
+            ndcg10: if rank <= 10 {
+                1.0 / ((rank as f64) + 1.0).log2()
+            } else {
+                0.0
+            },
+            mrr: 1.0 / rank as f64,
+        }
+    }
+
+    /// Generic hit-rate at an arbitrary K.
+    pub fn hit_at(rank: usize, k: usize) -> f64 {
+        f64::from(u8::from(rank <= k))
+    }
+
+    /// Generic NDCG at an arbitrary K (single relevant item).
+    pub fn ndcg_at(rank: usize, k: usize) -> f64 {
+        if rank <= k {
+            1.0 / ((rank as f64) + 1.0).log2()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Accumulates per-edge metrics into dataset-level means.
+#[derive(Debug, Clone, Default)]
+pub struct MetricAccumulator {
+    n: usize,
+    hit20: f64,
+    hit50: f64,
+    ndcg10: f64,
+    mrr: f64,
+}
+
+impl MetricAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one test edge's metrics.
+    pub fn push(&mut self, m: RankMetrics) {
+        self.n += 1;
+        self.hit20 += m.hit20;
+        self.hit50 += m.hit50;
+        self.ndcg10 += m.ndcg10;
+        self.mrr += m.mrr;
+    }
+
+    /// Number of accumulated edges.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Mean H@20.
+    pub fn hit20(&self) -> f64 {
+        self.mean(self.hit20)
+    }
+
+    /// Mean H@50.
+    pub fn hit50(&self) -> f64 {
+        self.mean(self.hit50)
+    }
+
+    /// Mean NDCG@10.
+    pub fn ndcg10(&self) -> f64 {
+        self.mean(self.ndcg10)
+    }
+
+    /// Mean reciprocal rank.
+    pub fn mrr(&self) -> f64 {
+        self.mean(self.mrr)
+    }
+
+    fn mean(&self, total: f64) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            total / self.n as f64
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &MetricAccumulator) {
+        self.n += other.n;
+        self.hit20 += other.hit20;
+        self.hit50 += other.hit50;
+        self.ndcg10 += other.ndcg10;
+        self.mrr += other.mrr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_one_is_perfect() {
+        let m = RankMetrics::from_rank(1);
+        assert_eq!(m.hit20, 1.0);
+        assert_eq!(m.hit50, 1.0);
+        assert_eq!(m.ndcg10, 1.0);
+        assert_eq!(m.mrr, 1.0);
+    }
+
+    #[test]
+    fn boundaries_are_inclusive() {
+        assert_eq!(RankMetrics::from_rank(20).hit20, 1.0);
+        assert_eq!(RankMetrics::from_rank(21).hit20, 0.0);
+        assert_eq!(RankMetrics::from_rank(50).hit50, 1.0);
+        assert_eq!(RankMetrics::from_rank(51).hit50, 0.0);
+        assert!(RankMetrics::from_rank(10).ndcg10 > 0.0);
+        assert_eq!(RankMetrics::from_rank(11).ndcg10, 0.0);
+    }
+
+    #[test]
+    fn metrics_decrease_with_rank() {
+        let better = RankMetrics::from_rank(2);
+        let worse = RankMetrics::from_rank(7);
+        assert!(better.ndcg10 > worse.ndcg10);
+        assert!(better.mrr > worse.mrr);
+        assert!((better.mrr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_matches_closed_form() {
+        // rank 3 → 1/log2(4) = 0.5
+        assert!((RankMetrics::from_rank(3).ndcg10 - 0.5).abs() < 1e-12);
+        assert!((RankMetrics::ndcg_at(3, 10) - 0.5).abs() < 1e-12);
+        assert_eq!(RankMetrics::ndcg_at(3, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn rank_zero_rejected() {
+        let _ = RankMetrics::from_rank(0);
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = MetricAccumulator::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.mrr(), 0.0);
+        acc.push(RankMetrics::from_rank(1));
+        acc.push(RankMetrics::from_rank(4));
+        assert_eq!(acc.len(), 2);
+        assert!((acc.mrr() - (1.0 + 0.25) / 2.0).abs() < 1e-12);
+        assert_eq!(acc.hit20(), 1.0);
+    }
+
+    #[test]
+    fn accumulator_merge() {
+        let mut a = MetricAccumulator::new();
+        a.push(RankMetrics::from_rank(1));
+        let mut b = MetricAccumulator::new();
+        b.push(RankMetrics::from_rank(100));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.hit50(), 0.5);
+    }
+}

@@ -1,0 +1,382 @@
+//! The paper's three experimental protocols.
+//!
+//! - [`link_prediction`]: temporal 80/1/19 split, train once, rank the test
+//!   edges (§IV-D, Tables V/VI).
+//! - [`dynamic_link_prediction`]: sort edges, split into `n` equal temporal
+//!   slices `E₁…Eₙ`; at step `i` (re)train on `Eᵢ` (static methods) or
+//!   incrementally on `Eᵢ` (dynamic methods) and evaluate on `Eᵢ₊₁`
+//!   (§IV-E, Figures 4–5).
+//! - [`disturbance_protocol`]: train with a per-node neighbour cap η and
+//!   evaluate, for each η (§IV-F, Figure 6).
+
+use std::time::Instant;
+
+use supa_graph::{sort_by_time, temporal_slices, Dmhg, TemporalEdge};
+
+use crate::metrics::MetricAccumulator;
+use crate::ranking::RankingEvaluator;
+use crate::recommender::Recommender;
+
+/// A dataset packaged for protocol runs: the node universe (a graph with all
+/// nodes and no edges) plus the time-sorted edge stream.
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    prototype: Dmhg,
+    edges: Vec<TemporalEdge>,
+}
+
+impl EvalContext {
+    /// Builds a context. `prototype` must contain every node and no edges;
+    /// `edges` are sorted by time on construction.
+    ///
+    /// # Panics
+    /// Panics if the prototype already contains edges.
+    pub fn new(prototype: Dmhg, mut edges: Vec<TemporalEdge>) -> Self {
+        assert_eq!(
+            prototype.num_edges(),
+            0,
+            "prototype graph must contain nodes only"
+        );
+        sort_by_time(&mut edges);
+        EvalContext { prototype, edges }
+    }
+
+    /// The node universe (no edges).
+    pub fn prototype(&self) -> &Dmhg {
+        &self.prototype
+    }
+
+    /// The full time-sorted edge stream.
+    pub fn edges(&self) -> &[TemporalEdge] {
+        &self.edges
+    }
+
+    /// Materialises a graph containing the given edges, optionally under a
+    /// neighbour cap applied *while streaming* (so eviction follows arrival
+    /// order, as on a real platform).
+    pub fn graph_with(&self, edges: &[TemporalEdge], cap: Option<usize>) -> Dmhg {
+        let mut g = self.prototype.clone();
+        g.set_neighbor_cap(cap);
+        for e in edges {
+            g.add_edge(e.src, e.dst, e.relation, e.time)
+                .expect("context edges must be valid for the prototype schema");
+        }
+        g
+    }
+}
+
+/// Temporal split fractions; the paper uses 80% / 1% / 19%.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitRatios {
+    /// Leading fraction used for training.
+    pub train: f64,
+    /// Middle fraction for validation.
+    pub valid: f64,
+}
+
+impl Default for SplitRatios {
+    fn default() -> Self {
+        SplitRatios {
+            train: 0.80,
+            valid: 0.01,
+        }
+    }
+}
+
+impl SplitRatios {
+    /// Splits a time-sorted edge stream into (train, valid, test) slices.
+    pub fn split<'a>(
+        &self,
+        edges: &'a [TemporalEdge],
+    ) -> (&'a [TemporalEdge], &'a [TemporalEdge], &'a [TemporalEdge]) {
+        assert!(self.train > 0.0 && self.valid >= 0.0 && self.train + self.valid < 1.0);
+        let n = edges.len();
+        let t_end = ((n as f64) * self.train).round() as usize;
+        let v_end = ((n as f64) * (self.train + self.valid)).round() as usize;
+        (&edges[..t_end], &edges[t_end..v_end], &edges[v_end..])
+    }
+}
+
+/// Result of a standard link-prediction run.
+#[derive(Debug, Clone)]
+pub struct LinkPredictionResult {
+    /// Method display name.
+    pub method: String,
+    /// Metrics over the test slice.
+    pub metrics: MetricAccumulator,
+    /// Wall-clock training time in seconds.
+    pub train_secs: f64,
+}
+
+/// Runs the §IV-D protocol: temporal split, single fit, ranked test.
+pub fn link_prediction(
+    ctx: &EvalContext,
+    method: &mut dyn Recommender,
+    evaluator: &RankingEvaluator,
+    ratios: SplitRatios,
+) -> LinkPredictionResult {
+    let (train, _valid, test) = ratios.split(ctx.edges());
+    let g = ctx.graph_with(train, None);
+    let start = Instant::now();
+    method.fit(&g, train);
+    let train_secs = start.elapsed().as_secs_f64();
+    let metrics = evaluator.evaluate(&g, &*method, test);
+    LinkPredictionResult {
+        method: method.name().to_string(),
+        metrics,
+        train_secs,
+    }
+}
+
+/// One step of the dynamic link-prediction protocol.
+#[derive(Debug, Clone)]
+pub struct DynamicStepResult {
+    /// Step index `i` (trains on slice `i`, evaluates on slice `i+1`).
+    pub step: usize,
+    /// Metrics on slice `i+1`.
+    pub metrics: MetricAccumulator,
+    /// Wall-clock (re)training time at this step, seconds.
+    pub train_secs: f64,
+}
+
+/// Runs the §IV-E protocol over `n_slices` equal temporal slices.
+pub fn dynamic_link_prediction(
+    ctx: &EvalContext,
+    method: &mut dyn Recommender,
+    evaluator: &RankingEvaluator,
+    n_slices: usize,
+) -> Vec<DynamicStepResult> {
+    assert!(n_slices >= 2, "need at least two slices");
+    let slices = temporal_slices(ctx.edges(), n_slices);
+    let mut results = Vec::with_capacity(n_slices - 1);
+    // Dynamic methods keep a growing graph; static methods see only Eᵢ.
+    let mut cumulative = ctx.prototype().clone();
+    for i in 0..n_slices - 1 {
+        for e in slices[i] {
+            cumulative
+                .add_edge(e.src, e.dst, e.relation, e.time)
+                .expect("valid edges");
+        }
+        let start = Instant::now();
+        if method.is_dynamic() {
+            if i == 0 {
+                method.fit(&cumulative, slices[i]);
+            } else {
+                method.fit_incremental(&cumulative, slices[i]);
+            }
+        } else {
+            let g_i = ctx.graph_with(slices[i], None);
+            method.fit(&g_i, slices[i]);
+        }
+        let train_secs = start.elapsed().as_secs_f64();
+        let metrics = evaluator.evaluate(&cumulative, &*method, slices[i + 1]);
+        results.push(DynamicStepResult {
+            step: i + 1,
+            metrics,
+            train_secs,
+        });
+    }
+    results
+}
+
+/// One cell of the neighbourhood-disturbance experiment.
+#[derive(Debug, Clone)]
+pub struct DisturbanceResult {
+    /// The neighbour cap (`None` = ∞).
+    pub eta: Option<usize>,
+    /// Test metrics under this cap.
+    pub metrics: MetricAccumulator,
+}
+
+/// Runs the §IV-F protocol: for each η, train on the capped training graph
+/// and rank the test edges.
+///
+/// Capping is enforced on *both* views of the training data: the graph (for
+/// walk/stream methods) and the edge list handed to `fit` (for methods that
+/// build adjacency matrices from the list) — only edges still visible in
+/// the capped graph are passed on, so every method genuinely sees "the most
+/// recent subgraph" only.
+pub fn disturbance_protocol(
+    ctx: &EvalContext,
+    method: &mut dyn Recommender,
+    evaluator: &RankingEvaluator,
+    ratios: SplitRatios,
+    etas: &[Option<usize>],
+) -> Vec<DisturbanceResult> {
+    let (train, _valid, test) = ratios.split(ctx.edges());
+    etas.iter()
+        .map(|&eta| {
+            let g = ctx.graph_with(train, eta);
+            let visible: Vec<TemporalEdge> = train
+                .iter()
+                .filter(|e| g.contains_edge(e.src, e.dst, e.relation, e.time))
+                .copied()
+                .collect();
+            method.fit(&g, &visible);
+            let metrics = evaluator.evaluate(&g, &*method, test);
+            DisturbanceResult { eta, metrics }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::Scorer;
+    use supa_graph::{GraphSchema, NodeId, RelationId};
+
+    /// Remembers the most recent item each user interacted with and scores it
+    /// top — a simple "dynamic" method whose behaviour the protocols can
+    /// verify.
+    struct LastItemRecommender {
+        last: Vec<Option<NodeId>>,
+        fits: usize,
+        incrementals: usize,
+        dynamic: bool,
+    }
+
+    impl LastItemRecommender {
+        fn new(n_users: usize, dynamic: bool) -> Self {
+            LastItemRecommender {
+                last: vec![None; n_users],
+                fits: 0,
+                incrementals: 0,
+                dynamic,
+            }
+        }
+    }
+
+    impl Scorer for LastItemRecommender {
+        fn score(&self, u: NodeId, v: NodeId, _r: RelationId) -> f32 {
+            if self.last.get(u.index()).copied().flatten() == Some(v) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    impl Recommender for LastItemRecommender {
+        fn name(&self) -> &str {
+            "last-item"
+        }
+        fn fit(&mut self, _g: &Dmhg, train: &[TemporalEdge]) {
+            self.fits += 1;
+            if self.dynamic {
+                // Dynamic variant keeps prior state.
+            } else {
+                self.last.iter_mut().for_each(|s| *s = None);
+            }
+            for e in train {
+                self.last[e.src.index()] = Some(e.dst);
+            }
+        }
+        fn fit_incremental(&mut self, _g: &Dmhg, new_edges: &[TemporalEdge]) {
+            self.incrementals += 1;
+            for e in new_edges {
+                self.last[e.src.index()] = Some(e.dst);
+            }
+        }
+        fn is_dynamic(&self) -> bool {
+            self.dynamic
+        }
+    }
+
+    fn context(n_users: usize, n_items: usize, edges_per_user: usize) -> EvalContext {
+        let mut s = GraphSchema::new();
+        let user = s.add_node_type("U");
+        let item = s.add_node_type("I");
+        let r = s.add_relation("R", user, item);
+        let mut g = Dmhg::new(s);
+        let users = g.add_nodes(user, n_users);
+        let items = g.add_nodes(item, n_items);
+        let mut edges = Vec::new();
+        let mut t = 0.0;
+        for k in 0..edges_per_user {
+            for (ui, &u) in users.iter().enumerate() {
+                t += 1.0;
+                // Each user cycles deterministically through items.
+                let v = items[(ui + k) % n_items];
+                edges.push(TemporalEdge::new(u, v, r, t));
+            }
+        }
+        EvalContext::new(g, edges)
+    }
+
+    #[test]
+    fn split_ratios_partition() {
+        let ctx = context(4, 6, 25); // 100 edges
+        let (tr, va, te) = SplitRatios::default().split(ctx.edges());
+        assert_eq!(tr.len(), 80);
+        assert_eq!(va.len(), 1);
+        assert_eq!(te.len(), 19);
+    }
+
+    #[test]
+    fn link_prediction_runs_and_reports() {
+        let ctx = context(4, 6, 25);
+        let mut m = LastItemRecommender::new(4, false);
+        let res = link_prediction(
+            &ctx,
+            &mut m,
+            &RankingEvaluator::full(),
+            SplitRatios::default(),
+        );
+        assert_eq!(res.method, "last-item");
+        assert_eq!(res.metrics.len(), 19);
+        assert_eq!(m.fits, 1);
+        assert!(res.train_secs >= 0.0);
+    }
+
+    #[test]
+    fn dynamic_protocol_uses_incremental_for_dynamic_methods() {
+        let ctx = context(4, 6, 25);
+        let mut m = LastItemRecommender::new(4, true);
+        let res = dynamic_link_prediction(&ctx, &mut m, &RankingEvaluator::full(), 10);
+        assert_eq!(res.len(), 9);
+        assert_eq!(m.fits, 1, "initial fit only");
+        assert_eq!(m.incrementals, 8);
+        assert!(res.iter().all(|r| r.metrics.len() == 10));
+    }
+
+    #[test]
+    fn dynamic_protocol_retrains_static_methods() {
+        let ctx = context(4, 6, 25);
+        let mut m = LastItemRecommender::new(4, false);
+        let res = dynamic_link_prediction(&ctx, &mut m, &RankingEvaluator::full(), 10);
+        assert_eq!(res.len(), 9);
+        assert_eq!(m.fits, 9);
+        assert_eq!(m.incrementals, 0);
+    }
+
+    #[test]
+    fn disturbance_protocol_sweeps_caps() {
+        let ctx = context(4, 6, 25);
+        let mut m = LastItemRecommender::new(4, false);
+        let res = disturbance_protocol(
+            &ctx,
+            &mut m,
+            &RankingEvaluator::full(),
+            SplitRatios::default(),
+            &[Some(5), Some(10), None],
+        );
+        assert_eq!(res.len(), 3);
+        assert_eq!(res[0].eta, Some(5));
+        assert_eq!(res[2].eta, None);
+        assert!(res.iter().all(|r| !r.metrics.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes only")]
+    fn context_rejects_nonempty_prototype() {
+        let mut s = GraphSchema::new();
+        let user = s.add_node_type("U");
+        let item = s.add_node_type("I");
+        let r = s.add_relation("R", user, item);
+        let mut g = Dmhg::new(s);
+        let u = g.add_node(user);
+        let v = g.add_node(item);
+        g.add_edge(u, v, r, 1.0).unwrap();
+        let _ = EvalContext::new(g, vec![]);
+    }
+}

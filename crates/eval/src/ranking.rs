@@ -1,0 +1,313 @@
+//! The ranking harness: score every candidate, find the ground truth's rank.
+//!
+//! For a test edge `(u, v, r)` the paper ranks `γ(u, v', r)` over *all* nodes
+//! `v'` of the target type (§III-F1). [`RankingEvaluator`] supports both the
+//! full candidate universe and a deterministic sampled subset (for quick
+//! validation passes inside InsLearn, where full ranking would dominate
+//! training cost).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use supa_graph::{Dmhg, NodeId, RelationId, TemporalEdge};
+
+use crate::metrics::{MetricAccumulator, RankMetrics};
+
+/// Anything that can score a candidate link `(u, v, r)` — Eq. 15.
+pub trait Scorer {
+    /// Higher means "more likely to interact".
+    fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32;
+
+    /// Batch scoring hook; the default just loops.
+    fn score_batch(&self, u: NodeId, candidates: &[NodeId], r: RelationId, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(candidates.len());
+        for &v in candidates {
+            out.push(self.score(u, v, r));
+        }
+    }
+}
+
+impl<S: Scorer + ?Sized> Scorer for &S {
+    fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {
+        (**self).score(u, v, r)
+    }
+}
+
+/// 1-based rank of `target` among `candidates` under `scorer`.
+///
+/// Ties are broken pessimistically: candidates scoring strictly higher than
+/// the target count, and ties other than the target itself also count, so a
+/// constant scorer yields the worst rank. This avoids trivially optimistic
+/// metrics from degenerate models.
+pub fn rank_of_target<S: Scorer + ?Sized>(
+    scorer: &S,
+    u: NodeId,
+    target: NodeId,
+    candidates: &[NodeId],
+    r: RelationId,
+) -> usize {
+    let target_score = scorer.score(u, target, r);
+    let mut rank = 1usize;
+    for &c in candidates {
+        if c == target {
+            continue;
+        }
+        if scorer.score(u, c, r) >= target_score {
+            rank += 1;
+        }
+    }
+    rank
+}
+
+/// How candidates are chosen for each test edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CandidateSet {
+    /// Rank against every node of the ground-truth's node type (the paper's
+    /// setting).
+    Full,
+    /// Rank against `n` deterministically sampled nodes of the target's type
+    /// plus the target itself (fast validation).
+    Sampled {
+        /// Number of sampled distractors.
+        n: usize,
+        /// Seed for the deterministic sampler.
+        seed: u64,
+    },
+}
+
+/// Evaluates a scorer over a set of test edges against a graph's node
+/// universe.
+#[derive(Debug, Clone)]
+pub struct RankingEvaluator {
+    candidates: CandidateSet,
+}
+
+impl RankingEvaluator {
+    /// Full-universe ranking (paper setting).
+    pub fn full() -> Self {
+        RankingEvaluator {
+            candidates: CandidateSet::Full,
+        }
+    }
+
+    /// Sampled ranking with `n` distractors.
+    pub fn sampled(n: usize, seed: u64) -> Self {
+        RankingEvaluator {
+            candidates: CandidateSet::Sampled { n, seed },
+        }
+    }
+
+    /// Ranks the destination of every test edge and accumulates metrics.
+    ///
+    /// Test edges whose destination type has no other candidates are scored
+    /// rank 1 trivially and are therefore skipped.
+    pub fn evaluate<S: Scorer + ?Sized>(
+        &self,
+        g: &Dmhg,
+        scorer: &S,
+        test: &[TemporalEdge],
+    ) -> MetricAccumulator {
+        self.evaluate_offset(g, scorer, test, 0)
+    }
+}
+
+impl RankingEvaluator {
+    /// Multi-threaded variant of [`RankingEvaluator::evaluate`]: the test
+    /// edges are split across `threads` workers. Results are identical to
+    /// the sequential path (each edge's candidate sampling is keyed by the
+    /// edge's global index). Experiments in this repo run single-threaded
+    /// for determinism of *timing*; metric values do not depend on this
+    /// choice.
+    pub fn evaluate_parallel<S: Scorer + Sync + ?Sized>(
+        &self,
+        g: &Dmhg,
+        scorer: &S,
+        test: &[TemporalEdge],
+        threads: usize,
+    ) -> MetricAccumulator {
+        let threads = threads.max(1);
+        if threads == 1 || test.len() < 2 * threads {
+            return self.evaluate(g, scorer, test);
+        }
+        let chunk = test.len().div_ceil(threads);
+        let mut partials: Vec<MetricAccumulator> = Vec::new();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = test
+                .chunks(chunk)
+                .enumerate()
+                .map(|(ci, edges)| {
+                    scope.spawn(move |_| self.evaluate_offset(g, scorer, edges, ci * chunk))
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("evaluation worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        let mut acc = MetricAccumulator::new();
+        for p in &partials {
+            acc.merge(p);
+        }
+        acc
+    }
+
+    /// `evaluate` with an index offset so sampled candidate sets match the
+    /// sequential run regardless of chunking.
+    fn evaluate_offset<S: Scorer + ?Sized>(
+        &self,
+        g: &Dmhg,
+        scorer: &S,
+        test: &[TemporalEdge],
+        offset: usize,
+    ) -> MetricAccumulator {
+        let mut acc = MetricAccumulator::new();
+        let mut sampled_buf: Vec<NodeId> = Vec::new();
+        for (i, e) in test.iter().enumerate() {
+            let target_ty = g.node_type(e.dst);
+            let universe = g.nodes_of_type(target_ty);
+            if universe.len() < 2 {
+                continue;
+            }
+            let rank = match self.candidates {
+                CandidateSet::Full => rank_of_target(scorer, e.src, e.dst, universe, e.relation),
+                CandidateSet::Sampled { n, seed } => {
+                    let gi = (offset + i) as u64;
+                    let mut rng =
+                        SmallRng::seed_from_u64(seed ^ gi.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    sampled_buf.clear();
+                    for _ in 0..n {
+                        let c = universe[rng.random_range(0..universe.len())];
+                        if c != e.dst {
+                            sampled_buf.push(c);
+                        }
+                    }
+                    rank_of_target(scorer, e.src, e.dst, &sampled_buf, e.relation)
+                }
+            };
+            acc.push(RankMetrics::from_rank(rank));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supa_graph::GraphSchema;
+
+    struct FixedScorer;
+    impl Scorer for FixedScorer {
+        fn score(&self, _u: NodeId, v: NodeId, _r: RelationId) -> f32 {
+            // Higher node id → higher score.
+            v.0 as f32
+        }
+    }
+
+    struct ConstantScorer;
+    impl Scorer for ConstantScorer {
+        fn score(&self, _u: NodeId, _v: NodeId, _r: RelationId) -> f32 {
+            1.0
+        }
+    }
+
+    fn graph() -> (Dmhg, Vec<NodeId>, Vec<NodeId>, RelationId) {
+        let mut s = GraphSchema::new();
+        let user = s.add_node_type("User");
+        let item = s.add_node_type("Item");
+        let buy = s.add_relation("Buy", user, item);
+        let mut g = Dmhg::new(s);
+        let users = g.add_nodes(user, 2);
+        let items = g.add_nodes(item, 10);
+        (g, users, items, buy)
+    }
+
+    #[test]
+    fn rank_reflects_score_order() {
+        let (_, users, items, buy) = graph();
+        // Highest-id item ranks 1.
+        let top = *items.last().unwrap();
+        assert_eq!(rank_of_target(&FixedScorer, users[0], top, &items, buy), 1);
+        let bottom = items[0];
+        assert_eq!(
+            rank_of_target(&FixedScorer, users[0], bottom, &items, buy),
+            items.len()
+        );
+        let mid = items[4];
+        assert_eq!(rank_of_target(&FixedScorer, users[0], mid, &items, buy), 6);
+    }
+
+    #[test]
+    fn ties_are_pessimistic() {
+        let (_, users, items, buy) = graph();
+        assert_eq!(
+            rank_of_target(&ConstantScorer, users[0], items[3], &items, buy),
+            items.len()
+        );
+    }
+
+    #[test]
+    fn full_evaluation_accumulates_all_edges() {
+        let (g, users, items, buy) = graph();
+        let test: Vec<TemporalEdge> = vec![
+            TemporalEdge::new(users[0], *items.last().unwrap(), buy, 1.0),
+            TemporalEdge::new(users[1], items[0], buy, 2.0),
+        ];
+        let acc = RankingEvaluator::full().evaluate(&g, &FixedScorer, &test);
+        assert_eq!(acc.len(), 2);
+        // First edge rank 1, second rank 10 → mrr = (1 + 0.1)/2.
+        assert!((acc.mrr() - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let (g, users, items, buy) = graph();
+        let test: Vec<TemporalEdge> = (0..40)
+            .map(|i| TemporalEdge::new(users[i % 2], items[i % 10], buy, i as f64))
+            .collect();
+        for ev in [RankingEvaluator::full(), RankingEvaluator::sampled(4, 9)] {
+            let seq = ev.evaluate(&g, &FixedScorer, &test);
+            for threads in [1usize, 2, 3, 8] {
+                let par = ev.evaluate_parallel(&g, &FixedScorer, &test, threads);
+                assert_eq!(par.len(), seq.len(), "threads={threads}");
+                // Identical ranks; means may differ by summation order (ulps).
+                assert!((par.mrr() - seq.mrr()).abs() < 1e-12, "threads={threads}");
+                assert!((par.hit20() - seq.hit20()).abs() < 1e-12, "threads={threads}");
+                assert!((par.ndcg10() - seq.ndcg10()).abs() < 1e-12, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_evaluation_is_deterministic() {
+        let (g, users, items, buy) = graph();
+        let test: Vec<TemporalEdge> =
+            vec![TemporalEdge::new(users[0], items[5], buy, 1.0)];
+        let a = RankingEvaluator::sampled(5, 42).evaluate(&g, &FixedScorer, &test);
+        let b = RankingEvaluator::sampled(5, 42).evaluate(&g, &FixedScorer, &test);
+        assert_eq!(a.mrr(), b.mrr());
+        assert_eq!(a.hit20(), b.hit20());
+    }
+
+    #[test]
+    fn sampled_rank_never_exceeds_sample_size_plus_one() {
+        let (g, users, items, buy) = graph();
+        let test: Vec<TemporalEdge> =
+            vec![TemporalEdge::new(users[0], items[0], buy, 1.0)];
+        let acc = RankingEvaluator::sampled(3, 7).evaluate(&g, &FixedScorer, &test);
+        assert!(acc.mrr() >= 1.0 / 4.0);
+    }
+
+    #[test]
+    fn degenerate_universe_is_skipped() {
+        let mut s = GraphSchema::new();
+        let user = s.add_node_type("User");
+        let item = s.add_node_type("Item");
+        let buy = s.add_relation("Buy", user, item);
+        let mut g = Dmhg::new(s);
+        let u = g.add_node(user);
+        let v = g.add_node(item);
+        let test = vec![TemporalEdge::new(u, v, buy, 1.0)];
+        let acc = RankingEvaluator::full().evaluate(&g, &FixedScorer, &test);
+        assert!(acc.is_empty());
+    }
+}

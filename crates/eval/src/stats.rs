@@ -1,0 +1,247 @@
+//! Statistical utilities: Welch's unequal-variance t-test.
+//!
+//! Tables V and VI of the paper star results that are significant at
+//! `p < 0.01` under a t-test over repeated runs. [`welch_t_test`] implements
+//! the two-sided Welch test from first principles: the t statistic, the
+//! Welch–Satterthwaite degrees of freedom, and the p-value through the
+//! regularised incomplete beta function.
+
+/// Result of a Welch t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WelchResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Sample mean and (unbiased) standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    assert!(!xs.is_empty(), "mean of empty sample");
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Two-sided Welch t-test for a difference in means.
+///
+/// ```
+/// use supa_eval::welch_t_test;
+/// let a = [0.90, 0.91, 0.89, 0.92];
+/// let b = [0.70, 0.71, 0.69, 0.72];
+/// let r = welch_t_test(&a, &b);
+/// assert!(r.p_value < 0.01, "clearly separated arms are significant");
+/// ```
+///
+/// # Panics
+/// Panics if either sample has fewer than two observations.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchResult {
+    assert!(a.len() >= 2 && b.len() >= 2, "need ≥ 2 observations per arm");
+    let (ma, sa) = mean_std(a);
+    let (mb, sb) = mean_std(b);
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let va = sa * sa / na;
+    let vb = sb * sb / nb;
+    let se2 = va + vb;
+    if se2 == 0.0 {
+        // Identical constants: no evidence of difference unless means differ.
+        let p = if ma == mb { 1.0 } else { 0.0 };
+        return WelchResult {
+            t: if ma == mb { 0.0 } else { f64::INFINITY },
+            df: na + nb - 2.0,
+            p_value: p,
+        };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2 / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    let p_value = 2.0 * student_t_sf(t.abs(), df);
+    WelchResult { t, df, p_value }
+}
+
+/// Survival function `P(T > t)` of the Student t distribution.
+fn student_t_sf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() {
+        return 0.0;
+    }
+    // P(T > t) = ½ · I_{df/(df+t²)}(df/2, 1/2) for t ≥ 0.
+    let x = df / (df + t * t);
+    0.5 * incomplete_beta_reg(0.5 * df, 0.5, x)
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` via the Lentz continued
+/// fraction (Numerical Recipes §6.4).
+fn incomplete_beta_reg(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)`.
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_5e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COEFFS {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        // Unbiased std of this classic sample is ~2.138.
+        assert!((s - 2.138089935).abs() < 1e-6);
+        let (m1, s1) = mean_std(&[3.0]);
+        assert_eq!((m1, s1), (3.0, 0.0));
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        // Γ(1/2) = √π
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_beta_endpoints_and_symmetry() {
+        assert_eq!(incomplete_beta_reg(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta_reg(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 − I_{1−x}(b,a)
+        let x = 0.37;
+        let lhs = incomplete_beta_reg(2.5, 1.5, x);
+        let rhs = 1.0 - incomplete_beta_reg(1.5, 2.5, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-10);
+        // I_x(1,1) = x (uniform CDF).
+        assert!((incomplete_beta_reg(1.0, 1.0, 0.42) - 0.42).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_sf_matches_table_values() {
+        // With df=10, P(T > 2.228) ≈ 0.025 (classic two-sided 0.05 quantile).
+        let p = student_t_sf(2.228, 10.0);
+        assert!((p - 0.025).abs() < 5e-4, "got {p}");
+        // df=1 (Cauchy): P(T > 1) = 0.25.
+        let p = student_t_sf(1.0, 1.0);
+        assert!((p - 0.25).abs() < 1e-6, "got {p}");
+    }
+
+    #[test]
+    fn clearly_different_samples_are_significant() {
+        let a = [10.0, 10.1, 9.9, 10.05, 9.95];
+        let b = [5.0, 5.1, 4.9, 5.05, 4.95];
+        let r = welch_t_test(&a, &b);
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+        assert!(r.t > 0.0);
+    }
+
+    #[test]
+    fn identical_samples_are_insignificant() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let r = welch_t_test(&a, &a);
+        assert!(r.p_value > 0.99, "p = {}", r.p_value);
+        assert!(r.t.abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_overlapping_samples_are_insignificant() {
+        let a = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let b = [2.0, 4.0, 3.0, 7.0, 4.0];
+        let r = welch_t_test(&a, &b);
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn zero_variance_edge_cases() {
+        let a = [2.0, 2.0, 2.0];
+        let b = [2.0, 2.0];
+        assert_eq!(welch_t_test(&a, &b).p_value, 1.0);
+        let c = [3.0, 3.0];
+        assert_eq!(welch_t_test(&a, &c).p_value, 0.0);
+    }
+}

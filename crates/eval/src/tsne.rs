@@ -1,0 +1,277 @@
+//! Exact (O(n²)) t-SNE for the qualitative visualisation of Figure 9.
+//!
+//! The paper projects the embeddings of 20 user–item test pairs to 2-D with
+//! t-SNE and reports the mean sum of within-pair distances `d̄` (smaller =
+//! the model embeds true pairs closer together). With ≤ a few hundred
+//! points, exact t-SNE is plenty fast; no Barnes–Hut approximation needed.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity of the input-space Gaussian kernels.
+    pub perplexity: f64,
+    /// Gradient iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of training.
+    pub exaggeration: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 10.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            exaggeration: 4.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Projects `points` (each a d-dimensional slice) to 2-D with exact t-SNE.
+///
+/// # Panics
+/// Panics on fewer than 3 points or inconsistent dimensions.
+pub fn tsne_2d(points: &[Vec<f32>], cfg: &TsneConfig) -> Vec<(f64, f64)> {
+    let n = points.len();
+    assert!(n >= 3, "t-SNE needs at least 3 points");
+    let d = points[0].len();
+    assert!(points.iter().all(|p| p.len() == d), "dimension mismatch");
+
+    // Pairwise squared Euclidean distances in input space.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut s = 0.0f64;
+            for (&a, &b) in points[i].iter().zip(&points[j]) {
+                let diff = (a - b) as f64;
+                s += diff * diff;
+            }
+            d2[i * n + j] = s;
+            d2[j * n + i] = s;
+        }
+    }
+
+    // Per-point bandwidths via binary search on perplexity.
+    let target_entropy = cfg.perplexity.ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let (mut beta, mut beta_min, mut beta_max) = (1.0f64, 0.0f64, f64::INFINITY);
+        for _ in 0..64 {
+            // Row distribution at current beta.
+            let mut sum = 0.0;
+            let mut sum_dp = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let pij = (-beta * d2[i * n + j]).exp();
+                p[i * n + j] = pij;
+                sum += pij;
+                sum_dp += pij * d2[i * n + j];
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            // Shannon entropy of the row distribution.
+            let h = sum.ln() + beta * sum_dp / sum;
+            let diff = h - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_min = beta;
+                beta = if beta_max.is_finite() {
+                    0.5 * (beta + beta_max)
+                } else {
+                    beta * 2.0
+                };
+            } else {
+                beta_max = beta;
+                beta = 0.5 * (beta + beta_min);
+            }
+        }
+        let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| p[i * n + j]).sum();
+        if row_sum > 0.0 {
+            for j in 0..n {
+                if j != i {
+                    p[i * n + j] /= row_sum;
+                }
+            }
+        }
+    }
+
+    // Symmetrise and normalise.
+    let mut pij = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = (p[i * n + j] + p[j * n + i]) / (2.0 * n as f64);
+        }
+    }
+    let floor = 1e-12;
+    for v in &mut pij {
+        if *v < floor {
+            *v = floor;
+        }
+    }
+
+    // Gradient descent with momentum.
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut y: Vec<(f64, f64)> = (0..n)
+        .map(|_| {
+            (
+                rng.random_range(-1e-2..1e-2),
+                rng.random_range(-1e-2..1e-2),
+            )
+        })
+        .collect();
+    let mut vel = vec![(0.0f64, 0.0f64); n];
+    let exag_end = cfg.iterations / 4;
+    let mut q = vec![0.0f64; n * n];
+
+    for it in 0..cfg.iterations {
+        let exag = if it < exag_end { cfg.exaggeration } else { 1.0 };
+        // Student-t affinities in embedding space.
+        let mut qsum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i].0 - y[j].0;
+                let dy = y[i].1 - y[j].1;
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                qsum += 2.0 * w;
+            }
+        }
+        let momentum = if it < exag_end { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut gx = 0.0f64;
+            let mut gy = 0.0f64;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let qij = (w / qsum).max(1e-12);
+                let coef = 4.0 * (exag * pij[i * n + j] - qij) * w;
+                gx += coef * (y[i].0 - y[j].0);
+                gy += coef * (y[i].1 - y[j].1);
+            }
+            vel[i].0 = momentum * vel[i].0 - cfg.learning_rate * gx;
+            vel[i].1 = momentum * vel[i].1 - cfg.learning_rate * gy;
+        }
+        for i in 0..n {
+            y[i].0 += vel[i].0;
+            y[i].1 += vel[i].1;
+        }
+    }
+    y
+}
+
+/// The paper's Figure 9 statistic: mean Euclidean distance between the two
+/// points of each (user, item) pair after projection.
+pub fn mean_pair_distance(coords: &[(f64, f64)], pairs: &[(usize, usize)]) -> f64 {
+    assert!(!pairs.is_empty(), "need at least one pair");
+    let total: f64 = pairs
+        .iter()
+        .map(|&(a, b)| {
+            let dx = coords[a].0 - coords[b].0;
+            let dy = coords[a].1 - coords[b].1;
+            (dx * dx + dy * dy).sqrt()
+        })
+        .sum();
+    total / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs in 8-D.
+    fn blobs(n_per: usize) -> (Vec<Vec<f32>>, usize) {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut pts = Vec::new();
+        for c in 0..2 {
+            let center = if c == 0 { -5.0f32 } else { 5.0 };
+            for _ in 0..n_per {
+                pts.push(
+                    (0..8)
+                        .map(|_| center + rng.random_range(-0.5..0.5))
+                        .collect(),
+                );
+            }
+        }
+        (pts, n_per)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let (pts, n_per) = blobs(10);
+        let cfg = TsneConfig {
+            perplexity: 5.0,
+            iterations: 300,
+            ..Default::default()
+        };
+        let y = tsne_2d(&pts, &cfg);
+        // Mean within-blob distance must be far below between-blob distance.
+        let mut within = 0.0;
+        let mut wcount = 0.0;
+        let mut between = 0.0;
+        let mut bcount = 0.0;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let dx = y[i].0 - y[j].0;
+                let dy = y[i].1 - y[j].1;
+                let dist = (dx * dx + dy * dy).sqrt();
+                if (i < n_per) == (j < n_per) {
+                    within += dist;
+                    wcount += 1.0;
+                } else {
+                    between += dist;
+                    bcount += 1.0;
+                }
+            }
+        }
+        let within = within / wcount;
+        let between = between / bcount;
+        assert!(
+            between > 2.0 * within,
+            "blobs not separated: within {within}, between {between}"
+        );
+    }
+
+    #[test]
+    fn output_is_deterministic_for_fixed_seed() {
+        let (pts, _) = blobs(5);
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..Default::default()
+        };
+        let a = tsne_2d(&pts, &cfg);
+        let b = tsne_2d(&pts, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_pair_distance_orders_layouts() {
+        // Tight pairs vs scattered pairs.
+        let tight = vec![(0.0, 0.0), (0.1, 0.0), (5.0, 5.0), (5.1, 5.0)];
+        let loose = vec![(0.0, 0.0), (3.0, 0.0), (5.0, 5.0), (9.0, 5.0)];
+        let pairs = [(0, 1), (2, 3)];
+        assert!(mean_pair_distance(&tight, &pairs) < mean_pair_distance(&loose, &pairs));
+        assert!((mean_pair_distance(&tight, &pairs) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn too_few_points_rejected() {
+        let _ = tsne_2d(&[vec![0.0], vec![1.0]], &TsneConfig::default());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the evaluation machinery: metric bounds and
+//! monotonicity, ranking consistency, and t-test sanity.
+
+use proptest::prelude::*;
+use supa_eval::metrics::RankMetrics;
+use supa_eval::{mean_std, rank_of_target, welch_t_test, Scorer};
+use supa_graph::{NodeId, RelationId};
+
+struct TableScorer {
+    scores: Vec<f32>,
+}
+
+impl Scorer for TableScorer {
+    fn score(&self, _u: NodeId, v: NodeId, _r: RelationId) -> f32 {
+        self.scores[v.index()]
+    }
+}
+
+proptest! {
+    /// All metrics live in [0, 1] and are antitone in rank.
+    #[test]
+    fn metric_bounds_and_monotonicity(rank in 1usize..500) {
+        let m = RankMetrics::from_rank(rank);
+        for v in [m.hit20, m.hit50, m.ndcg10, m.mrr] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        let worse = RankMetrics::from_rank(rank + 1);
+        prop_assert!(worse.hit20 <= m.hit20);
+        prop_assert!(worse.hit50 <= m.hit50);
+        prop_assert!(worse.ndcg10 <= m.ndcg10);
+        prop_assert!(worse.mrr < m.mrr);
+    }
+
+    /// rank_of_target equals the position in a full sort with pessimistic
+    /// tie-breaking, for arbitrary score tables.
+    #[test]
+    fn rank_matches_sort(scores in prop::collection::vec(0u8..5, 2..30), target in 0usize..30) {
+        let target = target % scores.len();
+        let scorer = TableScorer {
+            scores: scores.iter().map(|&s| s as f32).collect(),
+        };
+        let candidates: Vec<NodeId> = (0..scores.len() as u32).map(NodeId).collect();
+        let rank = rank_of_target(
+            &scorer,
+            NodeId(0),
+            candidates[target],
+            &candidates,
+            RelationId(0),
+        );
+        // Pessimistic rank: 1 + #others scoring ≥ target.
+        let ts = scores[target];
+        let want = 1 + scores
+            .iter()
+            .enumerate()
+            .filter(|&(i, &s)| i != target && s >= ts)
+            .count();
+        prop_assert_eq!(rank, want);
+    }
+
+    /// mean_std is translation-equivariant: shifting the sample shifts the
+    /// mean and leaves the std unchanged.
+    #[test]
+    fn mean_std_translation(xs in prop::collection::vec(-100.0f64..100.0, 2..20), c in -50.0f64..50.0) {
+        let (m0, s0) = mean_std(&xs);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        let (m1, s1) = mean_std(&shifted);
+        prop_assert!((m1 - (m0 + c)).abs() < 1e-9);
+        prop_assert!((s1 - s0).abs() < 1e-9);
+    }
+
+    /// The Welch test is symmetric in its arms: p(a,b) = p(b,a), t flips sign.
+    #[test]
+    fn welch_symmetry(
+        a in prop::collection::vec(-10.0f64..10.0, 3..10),
+        b in prop::collection::vec(-10.0f64..10.0, 3..10),
+    ) {
+        let r1 = welch_t_test(&a, &b);
+        let r2 = welch_t_test(&b, &a);
+        prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+        prop_assert!((r1.t + r2.t).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&r1.p_value));
+    }
+
+    /// Larger true separation never increases the p-value (same noise).
+    #[test]
+    fn welch_monotone_in_separation(gap in 0.0f64..5.0) {
+        let a = [0.0, 0.1, -0.1, 0.05, -0.05];
+        let near: Vec<f64> = a.iter().map(|x| x + gap).collect();
+        let far: Vec<f64> = a.iter().map(|x| x + gap + 1.0).collect();
+        let p_near = welch_t_test(&a, &near).p_value;
+        let p_far = welch_t_test(&a, &far).p_value;
+        prop_assert!(p_far <= p_near + 1e-9);
+    }
+}

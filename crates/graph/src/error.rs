@@ -1,0 +1,71 @@
+//! Error types for graph construction and queries.
+
+use crate::ids::{NodeId, NodeTypeId, RelationId};
+
+/// Errors produced by DMHG construction and mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node id referenced a node that does not exist.
+    UnknownNode(NodeId),
+    /// A node type id that was never declared in the schema.
+    UnknownNodeType(NodeTypeId),
+    /// A relation id that was never declared in the schema.
+    UnknownRelation(RelationId),
+    /// An edge connected nodes whose types violate the relation's endpoint
+    /// declaration.
+    EndpointTypeMismatch {
+        /// The offending relation.
+        relation: RelationId,
+        /// Observed (source, destination) node types.
+        found: (NodeTypeId, NodeTypeId),
+        /// Declared (source, destination) node types.
+        expected: (NodeTypeId, NodeTypeId),
+    },
+    /// A timestamp was negative or NaN (the paper requires `t ∈ ℝ⁺`).
+    InvalidTimestamp(f64),
+    /// A metapath schema was structurally invalid (wrong arity, empty
+    /// relation set, or endpoint types inconsistent with the graph schema).
+    InvalidMetapath(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::UnknownNodeType(t) => write!(f, "unknown node type {}", t.0),
+            GraphError::UnknownRelation(r) => write!(f, "unknown relation {}", r.0),
+            GraphError::EndpointTypeMismatch {
+                relation,
+                found,
+                expected,
+            } => write!(
+                f,
+                "relation {} expects endpoint types ({}, {}) but got ({}, {})",
+                relation.0, expected.0 .0, expected.1 .0, found.0 .0, found.1 .0
+            ),
+            GraphError::InvalidTimestamp(t) => write!(f, "invalid timestamp {t}"),
+            GraphError::InvalidMetapath(msg) => write!(f, "invalid metapath schema: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::UnknownNode(NodeId(7));
+        assert!(e.to_string().contains("n7"));
+        let e = GraphError::InvalidTimestamp(-1.0);
+        assert!(e.to_string().contains("-1"));
+        let e = GraphError::EndpointTypeMismatch {
+            relation: RelationId(2),
+            found: (NodeTypeId(0), NodeTypeId(0)),
+            expected: (NodeTypeId(0), NodeTypeId(1)),
+        };
+        assert!(e.to_string().contains("relation 2"));
+    }
+}

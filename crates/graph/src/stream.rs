@@ -1,0 +1,120 @@
+//! Streaming-edge utilities: the temporal edge record, time sorting,
+//! sequential batching (InsLearn STEP 1) and equal-size temporal slicing
+//! (the dynamic link prediction protocol of paper §IV-E).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{NodeId, RelationId, Timestamp};
+
+/// A temporal edge record `(u, v, r, t)` as it appears in an event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemporalEdge {
+    /// Source node (for user–item interactions, conventionally the user).
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Edge type.
+    pub relation: RelationId,
+    /// Establishment time.
+    pub time: Timestamp,
+}
+
+impl TemporalEdge {
+    /// Convenience constructor.
+    pub fn new(src: NodeId, dst: NodeId, relation: RelationId, time: Timestamp) -> Self {
+        TemporalEdge {
+            src,
+            dst,
+            relation,
+            time,
+        }
+    }
+}
+
+/// Stable-sorts edges by establishment time (InsLearn Algorithm 1, line 1).
+/// Ties keep their arrival order.
+pub fn sort_by_time(edges: &mut [TemporalEdge]) {
+    edges.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite timestamps"));
+}
+
+/// Splits a time-sorted edge stream into consecutive batches of (at most)
+/// `batch_size` edges (Algorithm 1, line 2). The final batch may be smaller.
+pub fn sequential_batches(
+    edges: &[TemporalEdge],
+    batch_size: usize,
+) -> impl Iterator<Item = &[TemporalEdge]> {
+    assert!(batch_size > 0, "batch size must be positive");
+    edges.chunks(batch_size)
+}
+
+/// Splits a time-sorted edge stream into `n` equal-size consecutive parts
+/// `E₁ … Eₙ` (paper §IV-E). Earlier parts absorb the remainder so sizes
+/// differ by at most one.
+pub fn temporal_slices(edges: &[TemporalEdge], n: usize) -> Vec<&[TemporalEdge]> {
+    assert!(n > 0, "need at least one slice");
+    let base = edges.len() / n;
+    let rem = edges.len() % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < rem);
+        out.push(&edges[start..start + len]);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(src: u32, t: f64) -> TemporalEdge {
+        TemporalEdge::new(NodeId(src), NodeId(src + 100), RelationId(0), t)
+    }
+
+    #[test]
+    fn sort_is_stable_on_ties() {
+        let mut edges = vec![e(3, 2.0), e(1, 1.0), e(2, 2.0), e(0, 0.5)];
+        sort_by_time(&mut edges);
+        let srcs: Vec<u32> = edges.iter().map(|x| x.src.0).collect();
+        assert_eq!(srcs, vec![0, 1, 3, 2], "ties keep arrival order");
+    }
+
+    #[test]
+    fn batches_cover_stream_exactly_once() {
+        let edges: Vec<TemporalEdge> = (0..10).map(|i| e(i, i as f64)).collect();
+        let batches: Vec<&[TemporalEdge]> = sequential_batches(&edges, 4).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[1].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn slices_are_balanced_and_ordered() {
+        let edges: Vec<TemporalEdge> = (0..23).map(|i| e(i, i as f64)).collect();
+        let slices = temporal_slices(&edges, 10);
+        assert_eq!(slices.len(), 10);
+        let sizes: Vec<usize> = slices.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 23);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+        // Order preserved: last time of slice i ≤ first time of slice i+1.
+        for w in slices.windows(2) {
+            let last = w[0].last().unwrap().time;
+            let first = w[1].first().unwrap().time;
+            assert!(last <= first);
+        }
+    }
+
+    #[test]
+    fn slices_handle_fewer_edges_than_slices() {
+        let edges: Vec<TemporalEdge> = (0..3).map(|i| e(i, i as f64)).collect();
+        let slices = temporal_slices(&edges, 5);
+        assert_eq!(slices.len(), 5);
+        let total: usize = slices.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 3);
+        assert!(slices[3].is_empty() && slices[4].is_empty());
+    }
+}

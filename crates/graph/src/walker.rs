@@ -1,0 +1,374 @@
+//! Metapath-constrained temporal random walks.
+//!
+//! This implements the sampling primitive behind SUPA's *Influenced Graph
+//! Sampling* module (paper §III-B, Eq. 1–3): starting from an interactive
+//! node, sample `k` walks of length `l` whose node types and edge types
+//! follow a multiplex metapath schema, repeated cyclically.
+
+use rand::{Rng, RngExt};
+
+use crate::error::GraphError;
+use crate::graph::Dmhg;
+use crate::ids::{NodeId, RelationId, Timestamp};
+use crate::metapath::MetapathSchema;
+use crate::schema::GraphSchema;
+
+/// One hop of a walk: the node reached, the relation traversed to reach it,
+/// and the traversed edge's timestamp (needed by the time-aware propagation
+/// module for its attenuation `g(Δ_E)` and termination `D(Δ_E)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkStep {
+    /// The node reached by this hop.
+    pub node: NodeId,
+    /// The edge type traversed.
+    pub relation: RelationId,
+    /// The traversed edge's establishment time.
+    pub edge_time: Timestamp,
+}
+
+/// A sampled path `p = p₁ → p₂ → …` starting at `start` (= `p₁`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Walk {
+    /// The walk's origin (an interactive node).
+    pub start: NodeId,
+    /// The hops taken; may be shorter than requested if the walk got stuck.
+    pub steps: Vec<WalkStep>,
+}
+
+impl Walk {
+    /// Number of hops actually taken.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the walk never left its origin.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Iterates every node on the walk including the start.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::once(self.start).chain(self.steps.iter().map(|s| s.node))
+    }
+}
+
+/// Parameters of influenced-graph sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkConfig {
+    /// `k` — walks per interactive node (Eq. 1).
+    pub num_walks: usize,
+    /// `l` — hops per walk.
+    pub walk_length: usize,
+    /// `η` — consider only the most recent η neighbours at each hop, if set.
+    pub neighbor_cap: Option<usize>,
+    /// Only traverse edges established strictly before this time, if set
+    /// (used so a new edge's influenced graph reflects the pre-edge state).
+    pub before: Option<Timestamp>,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig {
+            num_walks: 5,
+            walk_length: 3,
+            neighbor_cap: None,
+            before: None,
+        }
+    }
+}
+
+/// A walker over a fixed set of (symmetrised, validated) metapath schemas.
+#[derive(Debug, Clone)]
+pub struct MetapathWalker {
+    schemas: Vec<MetapathSchema>,
+}
+
+impl MetapathWalker {
+    /// Builds a walker, symmetrising asymmetric schemas (Eq. 4) and
+    /// validating each against the graph schema.
+    pub fn new(
+        schemas: Vec<MetapathSchema>,
+        graph_schema: &GraphSchema,
+    ) -> Result<Self, GraphError> {
+        if schemas.is_empty() {
+            return Err(GraphError::InvalidMetapath(
+                "walker needs at least one metapath schema".into(),
+            ));
+        }
+        let schemas: Vec<MetapathSchema> = schemas.iter().map(|p| p.symmetrize()).collect();
+        for p in &schemas {
+            p.validate(graph_schema)?;
+        }
+        Ok(MetapathWalker { schemas })
+    }
+
+    /// The (symmetrised) schemas in use.
+    pub fn schemas(&self) -> &[MetapathSchema] {
+        &self.schemas
+    }
+
+    /// Samples one walk from `start` following `schema`.
+    ///
+    /// The walk is truncated early if no neighbour satisfies the schema's
+    /// next (type, relation-set) constraint.
+    pub fn sample_walk<R: Rng + ?Sized>(
+        &self,
+        g: &Dmhg,
+        schema: &MetapathSchema,
+        start: NodeId,
+        cfg: &WalkConfig,
+        rng: &mut R,
+    ) -> Walk {
+        let mut steps = Vec::with_capacity(cfg.walk_length);
+        let mut cur = start;
+        for j in 0..cfg.walk_length {
+            let rels = schema.rel_set_at(j);
+            let target = schema.node_type_at(j + 1);
+            match g.sample_neighbor(cur, rels, Some(target), cfg.before, cfg.neighbor_cap, rng) {
+                Some(n) => {
+                    steps.push(WalkStep {
+                        node: n.node,
+                        relation: n.relation,
+                        edge_time: n.time,
+                    });
+                    cur = n.node;
+                }
+                None => break,
+            }
+        }
+        Walk { start, steps }
+    }
+
+    /// Samples the path set `p⃗_u` for an interactive node (Eq. 1): `k` walks,
+    /// each following a uniformly chosen schema whose head type is `φ(u)`.
+    /// Returns an empty vector if no schema starts at this node's type.
+    pub fn sample_walks<R: Rng + ?Sized>(
+        &self,
+        g: &Dmhg,
+        start: NodeId,
+        cfg: &WalkConfig,
+        rng: &mut R,
+    ) -> Vec<Walk> {
+        let ty = g.node_type(start);
+        // At most a handful of schemas exist; collect applicable indices on
+        // the stack-ish small vec (plain Vec is fine at this size).
+        let applicable: Vec<usize> = self
+            .schemas
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.head_type() == ty)
+            .map(|(i, _)| i)
+            .collect();
+        if applicable.is_empty() {
+            return Vec::new();
+        }
+        let mut walks = Vec::with_capacity(cfg.num_walks);
+        for _ in 0..cfg.num_walks {
+            let idx = applicable[rng.random_range(0..applicable.len())];
+            walks.push(self.sample_walk(g, &self.schemas[idx], start, cfg, rng));
+        }
+        walks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeTypeId, RelationSet};
+    use crate::schema::GraphSchema;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        g: Dmhg,
+        users: Vec<NodeId>,
+        videos: Vec<NodeId>,
+        user: NodeTypeId,
+        video: NodeTypeId,
+        click: RelationId,
+        like: RelationId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut s = GraphSchema::new();
+        let user = s.add_node_type("User");
+        let video = s.add_node_type("Video");
+        let click = s.add_relation("Click", user, video);
+        let like = s.add_relation("Like", user, video);
+        let mut g = Dmhg::new(s);
+        let users = g.add_nodes(user, 4);
+        let videos = g.add_nodes(video, 4);
+        // A connected bipartite core with mixed relations.
+        let mut t = 0.0;
+        for (i, &u) in users.iter().enumerate() {
+            for (j, &v) in videos.iter().enumerate() {
+                if (i + j) % 2 == 0 {
+                    t += 1.0;
+                    let r = if j % 2 == 0 { click } else { like };
+                    g.add_edge(u, v, r, t).unwrap();
+                }
+            }
+        }
+        Fixture {
+            g,
+            users,
+            videos,
+            user,
+            video,
+            click,
+            like,
+        }
+    }
+
+    fn uvu_schema(f: &Fixture) -> MetapathSchema {
+        let rels = RelationSet::from_iter([f.click, f.like]);
+        MetapathSchema::new(vec![f.user, f.video, f.user], vec![rels, rels]).unwrap()
+    }
+
+    #[test]
+    fn walks_respect_schema_types_and_relations() {
+        let f = fixture();
+        let schema = uvu_schema(&f);
+        let walker = MetapathWalker::new(vec![schema.clone()], f.g.schema()).unwrap();
+        let cfg = WalkConfig {
+            num_walks: 10,
+            walk_length: 6,
+            ..Default::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        for &u in &f.users {
+            for walk in walker.sample_walks(&f.g, u, &cfg, &mut rng) {
+                assert_eq!(walk.start, u);
+                for (j, step) in walk.steps.iter().enumerate() {
+                    assert_eq!(
+                        f.g.node_type(step.node),
+                        schema.node_type_at(j + 1),
+                        "node type at walk position {}",
+                        j + 1
+                    );
+                    assert!(schema.rel_set_at(j).contains(step.relation));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walk_steps_carry_real_edge_times() {
+        let f = fixture();
+        let walker = MetapathWalker::new(vec![uvu_schema(&f)], f.g.schema()).unwrap();
+        let cfg = WalkConfig {
+            num_walks: 4,
+            walk_length: 4,
+            ..Default::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(11);
+        let walks = walker.sample_walks(&f.g, f.users[0], &cfg, &mut rng);
+        assert!(!walks.is_empty());
+        let mut cur;
+        for w in &walks {
+            cur = w.start;
+            for s in &w.steps {
+                // The recorded (relation, time) must correspond to an actual
+                // adjacency entry between cur and s.node.
+                assert!(f.g.neighbors(cur).iter().any(|n| n.node == s.node
+                    && n.relation == s.relation
+                    && n.time == s.edge_time));
+                cur = s.node;
+            }
+        }
+    }
+
+    #[test]
+    fn before_filter_freezes_the_past() {
+        let f = fixture();
+        let walker = MetapathWalker::new(vec![uvu_schema(&f)], f.g.schema()).unwrap();
+        let cutoff = 3.5;
+        let cfg = WalkConfig {
+            num_walks: 20,
+            walk_length: 5,
+            before: Some(cutoff),
+            ..Default::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(5);
+        for &u in &f.users {
+            for w in walker.sample_walks(&f.g, u, &cfg, &mut rng) {
+                for s in &w.steps {
+                    assert!(s.edge_time < cutoff);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walks_from_unmatched_type_are_empty() {
+        let f = fixture();
+        // Schema starts at User; walking from a Video yields nothing.
+        let walker = MetapathWalker::new(vec![uvu_schema(&f)], f.g.schema()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let walks = walker.sample_walks(&f.g, f.videos[0], &WalkConfig::default(), &mut rng);
+        assert!(walks.is_empty());
+    }
+
+    #[test]
+    fn asymmetric_schema_is_symmetrised_on_construction() {
+        let f = fixture();
+        let clickset = RelationSet::single(f.click);
+        let asym = MetapathSchema::new(vec![f.user, f.video], vec![clickset]).unwrap();
+        let walker = MetapathWalker::new(vec![asym], f.g.schema()).unwrap();
+        assert!(walker.schemas()[0].is_symmetric());
+        assert_eq!(walker.schemas()[0].len(), 3);
+    }
+
+    #[test]
+    fn stuck_walks_truncate_gracefully() {
+        let mut s = GraphSchema::new();
+        let user = s.add_node_type("User");
+        let video = s.add_node_type("Video");
+        let click = s.add_relation("Click", user, video);
+        let mut g = Dmhg::new(s);
+        let u = g.add_node(user);
+        let v = g.add_node(video);
+        let lonely = g.add_node(user);
+        g.add_edge(u, v, click, 1.0).unwrap();
+        let schema = MetapathSchema::new(
+            vec![user, video, user],
+            vec![RelationSet::single(click), RelationSet::single(click)],
+        )
+        .unwrap();
+        let walker = MetapathWalker::new(vec![schema], g.schema()).unwrap();
+        let cfg = WalkConfig {
+            num_walks: 3,
+            walk_length: 5,
+            ..Default::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        // u -> v -> u -> v ... ping-pongs; fine. From `lonely`, no neighbours.
+        let walks = walker.sample_walks(&g, lonely, &cfg, &mut rng);
+        assert_eq!(walks.len(), 3);
+        assert!(walks.iter().all(|w| w.is_empty()));
+        let walks = walker.sample_walks(&g, u, &cfg, &mut rng);
+        assert!(walks.iter().all(|w| w.len() == 5));
+    }
+
+    #[test]
+    fn walk_nodes_iterator_includes_start() {
+        let f = fixture();
+        let walker = MetapathWalker::new(vec![uvu_schema(&f)], f.g.schema()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let cfg = WalkConfig {
+            num_walks: 1,
+            walk_length: 2,
+            ..Default::default()
+        };
+        let w = &walker.sample_walks(&f.g, f.users[0], &cfg, &mut rng)[0];
+        let nodes: Vec<NodeId> = w.nodes().collect();
+        assert_eq!(nodes[0], f.users[0]);
+        assert_eq!(nodes.len(), w.len() + 1);
+    }
+
+    #[test]
+    fn empty_schema_list_is_rejected() {
+        let f = fixture();
+        assert!(MetapathWalker::new(vec![], f.g.schema()).is_err());
+    }
+}

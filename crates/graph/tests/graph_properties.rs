@@ -1,0 +1,166 @@
+//! Property-based tests on DMHG invariants under random edge streams.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use supa_graph::{
+    sequential_batches, sort_by_time, temporal_slices, Dmhg, GraphSchema, MetapathSchema,
+    MetapathWalker, NodeId, RelationId, RelationSet, TemporalEdge, WalkConfig,
+};
+
+const N_USERS: u32 = 8;
+const N_ITEMS: u32 = 8;
+
+fn bipartite_graph() -> (Dmhg, Vec<NodeId>, Vec<NodeId>) {
+    let mut s = GraphSchema::new();
+    let user = s.add_node_type("User");
+    let item = s.add_node_type("Item");
+    s.add_relation("View", user, item);
+    s.add_relation("Buy", user, item);
+    let mut g = Dmhg::new(s);
+    let users = g.add_nodes(user, N_USERS as usize);
+    let items = g.add_nodes(item, N_ITEMS as usize);
+    (g, users, items)
+}
+
+/// A random stream of valid (user, item, rel, time) events.
+fn edge_stream() -> impl Strategy<Value = Vec<(u32, u32, u16, f64)>> {
+    prop::collection::vec(
+        (0..N_USERS, 0..N_ITEMS, 0u16..2, 0.0f64..1000.0),
+        1..120,
+    )
+}
+
+proptest! {
+    /// Every inserted edge appears in both endpoints' adjacency (no cap).
+    #[test]
+    fn adjacency_is_symmetric(stream in edge_stream()) {
+        let (mut g, users, items) = bipartite_graph();
+        for &(u, v, r, t) in &stream {
+            g.add_edge(users[u as usize], items[v as usize], RelationId(r), t).unwrap();
+        }
+        prop_assert_eq!(g.num_edges(), stream.len());
+        prop_assert_eq!(g.adjacency_entries(), 2 * stream.len());
+        for &u in &users {
+            for n in g.neighbors(u) {
+                prop_assert!(g.neighbors(n.node).iter().any(
+                    |m| m.node == u && m.relation == n.relation && m.time == n.time));
+            }
+        }
+    }
+
+    /// Adjacency lists stay sorted by time no matter the arrival order.
+    #[test]
+    fn adjacency_is_time_sorted(stream in edge_stream()) {
+        let (mut g, users, items) = bipartite_graph();
+        for &(u, v, r, t) in &stream {
+            g.add_edge(users[u as usize], items[v as usize], RelationId(r), t).unwrap();
+        }
+        for id in users.iter().chain(items.iter()) {
+            let times: Vec<f64> = g.neighbors(*id).iter().map(|e| e.time).collect();
+            for w in times.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    /// Under a cap η, every node keeps exactly min(η, #interactions) of its
+    /// most recent neighbours.
+    #[test]
+    fn cap_keeps_latest(stream in edge_stream(), eta in 1usize..6) {
+        let (mut g, users, items) = bipartite_graph();
+        g.set_neighbor_cap(Some(eta));
+        for &(u, v, r, t) in &stream {
+            g.add_edge(users[u as usize], items[v as usize], RelationId(r), t).unwrap();
+        }
+        // Replay the stream to compute each node's expected suffix.
+        let (mut g2, users2, items2) = bipartite_graph();
+        for &(u, v, r, t) in &stream {
+            g2.add_edge(users2[u as usize], items2[v as usize], RelationId(r), t).unwrap();
+        }
+        for (capped, full) in users.iter().zip(users2.iter()) {
+            let expect = g2.latest_neighbors(*full, eta);
+            prop_assert_eq!(g.neighbors(*capped), expect);
+        }
+    }
+
+    /// Walks always conform to the schema regardless of the stream.
+    #[test]
+    fn walks_conform_to_schema(stream in edge_stream(), seed in 0u64..1000) {
+        let (mut g, users, items) = bipartite_graph();
+        for &(u, v, r, t) in &stream {
+            g.add_edge(users[u as usize], items[v as usize], RelationId(r), t).unwrap();
+        }
+        let user_ty = g.node_type(users[0]);
+        let item_ty = g.node_type(items[0]);
+        let rels = RelationSet::from_iter([RelationId(0), RelationId(1)]);
+        let schema = MetapathSchema::new(vec![user_ty, item_ty, user_ty], vec![rels, rels]).unwrap();
+        let walker = MetapathWalker::new(vec![schema.clone()], g.schema()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = WalkConfig { num_walks: 3, walk_length: 5, ..Default::default() };
+        for &u in &users {
+            for w in walker.sample_walks(&g, u, &cfg, &mut rng) {
+                for (j, s) in w.steps.iter().enumerate() {
+                    prop_assert_eq!(g.node_type(s.node), schema.node_type_at(j + 1));
+                    prop_assert!(schema.rel_set_at(j).contains(s.relation));
+                }
+            }
+        }
+    }
+
+    /// sort + batches + slices jointly partition the stream preserving order.
+    #[test]
+    fn stream_utilities_partition(stream in edge_stream(), bs in 1usize..20, n in 1usize..8) {
+        let mut edges: Vec<TemporalEdge> = stream.iter()
+            .map(|&(u, v, r, t)| TemporalEdge::new(NodeId(u), NodeId(v + 1000), RelationId(r), t))
+            .collect();
+        sort_by_time(&mut edges);
+        for w in edges.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        let total: usize = sequential_batches(&edges, bs).map(|b| b.len()).sum();
+        prop_assert_eq!(total, edges.len());
+        let total: usize = temporal_slices(&edges, n).iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, edges.len());
+    }
+
+    /// Inserting a stream and then removing it edge-by-edge (in any order)
+    /// returns the graph to empty adjacency.
+    #[test]
+    fn remove_edge_inverts_insertion(stream in edge_stream(), seed in 0u64..100) {
+        let (mut g, users, items) = bipartite_graph();
+        let mut inserted = Vec::new();
+        for &(u, v, r, t) in &stream {
+            g.add_edge(users[u as usize], items[v as usize], RelationId(r), t).unwrap();
+            inserted.push((users[u as usize], items[v as usize], RelationId(r), t));
+        }
+        // Shuffle deletion order deterministically.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        use rand::RngExt;
+        for i in (1..inserted.len()).rev() {
+            let j = rng.random_range(0..=i);
+            inserted.swap(i, j);
+        }
+        for (u, v, r, t) in inserted {
+            prop_assert!(g.remove_edge(u, v, r, t), "edge must exist until removed");
+        }
+        prop_assert_eq!(g.num_edges(), 0);
+        prop_assert_eq!(g.adjacency_entries(), 0);
+    }
+
+    /// retain_recent leaves only edges at/after the threshold.
+    #[test]
+    fn retain_recent_is_a_time_filter(stream in edge_stream(), frac in 0.0f64..1.0) {
+        let (mut g, users, items) = bipartite_graph();
+        for &(u, v, r, t) in &stream {
+            g.add_edge(users[u as usize], items[v as usize], RelationId(r), t).unwrap();
+        }
+        let threshold = frac * 1000.0;
+        g.retain_recent(threshold);
+        for id in users.iter().chain(items.iter()) {
+            for e in g.neighbors(*id) {
+                prop_assert!(e.time >= threshold);
+            }
+        }
+    }
+}

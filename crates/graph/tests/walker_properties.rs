@@ -1,0 +1,113 @@
+//! Property tests for metapath machinery: symmetrisation, cyclic indexing,
+//! and walker behaviour under random schemas.
+
+use proptest::prelude::*;
+use supa_graph::{GraphSchema, MetapathSchema, NodeTypeId, RelationId, RelationSet};
+
+/// A random schema over 3 node types / 4 relations of a fixed graph schema.
+fn arb_metapath() -> impl Strategy<Value = (Vec<u16>, Vec<u64>)> {
+    let types = prop::collection::vec(0u16..3, 2..6);
+    types.prop_flat_map(|ts| {
+        let hops = ts.len() - 1;
+        (
+            Just(ts),
+            prop::collection::vec(1u64..16, hops), // non-empty bitsets over 4 rels
+        )
+    })
+}
+
+fn graph_schema() -> GraphSchema {
+    let mut s = GraphSchema::new();
+    let a = s.add_node_type("A");
+    let b = s.add_node_type("B");
+    let c = s.add_node_type("C");
+    // A dense relation web so random schemas are often valid.
+    s.add_relation("ab", a, b);
+    s.add_relation("bc", b, c);
+    s.add_relation("aa", a, a);
+    s.add_relation("ca", c, a);
+    s
+}
+
+proptest! {
+    /// Symmetrisation always yields a symmetric schema of length 2n−1 (for
+    /// asymmetric inputs) and is idempotent.
+    #[test]
+    fn symmetrize_properties((types, rels) in arb_metapath()) {
+        let schema = MetapathSchema::new(
+            types.iter().map(|&t| NodeTypeId(t)).collect(),
+            rels.iter().map(|&bits| RelationSet(bits)).collect(),
+        ).unwrap();
+        let sym = schema.symmetrize();
+        prop_assert!(sym.is_symmetric());
+        if schema.is_symmetric() {
+            prop_assert_eq!(sym.len(), schema.len());
+        } else {
+            prop_assert_eq!(sym.len(), 2 * schema.len() - 1);
+        }
+        // Idempotent.
+        prop_assert_eq!(sym.symmetrize(), sym.clone());
+        // Reflection of an *asymmetric* schema is a full palindrome.
+        // (Schemas that are already "symmetric" — equal endpoints — are kept
+        // as-is and need not be palindromic internally.)
+        if !schema.is_symmetric() {
+            for i in 0..sym.len() {
+                prop_assert_eq!(sym.node_types()[i], sym.node_types()[sym.len() - 1 - i]);
+            }
+            for j in 0..sym.len() - 1 {
+                prop_assert_eq!(sym.rel_sets()[j], sym.rel_sets()[sym.len() - 2 - j]);
+            }
+        }
+    }
+
+    /// Cyclic indexing never panics and repeats with period |P|−1.
+    #[test]
+    fn cyclic_indexing_period((types, rels) in arb_metapath(), probe in 0usize..64) {
+        let schema = MetapathSchema::new(
+            types.iter().map(|&t| NodeTypeId(t)).collect(),
+            rels.iter().map(|&bits| RelationSet(bits)).collect(),
+        ).unwrap().symmetrize();
+        let period = schema.len() - 1;
+        prop_assert_eq!(schema.node_type_at(probe), schema.node_type_at(probe + period));
+        prop_assert_eq!(schema.rel_set_at(probe), schema.rel_set_at(probe + period));
+    }
+
+    /// validate() accepts exactly the schemas whose every hop is realisable
+    /// in the declared relation web.
+    #[test]
+    fn validate_matches_manual_check((types, rels) in arb_metapath()) {
+        let gs = graph_schema();
+        let schema = MetapathSchema::new(
+            types.iter().map(|&t| NodeTypeId(t)).collect(),
+            rels.iter().map(|&bits| RelationSet(bits)).collect(),
+        ).unwrap();
+        let valid = schema.validate(&gs).is_ok();
+        // Manual re-check.
+        let mut manual = true;
+        'outer: for j in 0..schema.len() - 1 {
+            let (a, b) = (schema.node_types()[j], schema.node_types()[j + 1]);
+            for r in schema.rel_sets()[j].iter() {
+                match gs.relation(r) {
+                    None => { manual = false; break 'outer; }
+                    Some(spec) => {
+                        let ok = (spec.src_type == a && spec.dst_type == b)
+                            || (spec.src_type == b && spec.dst_type == a);
+                        if !ok { manual = false; break 'outer; }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(valid, manual);
+    }
+}
+
+#[test]
+fn relation_id_out_of_range_fails_validation() {
+    let gs = graph_schema();
+    let schema = MetapathSchema::new(
+        vec![NodeTypeId(0), NodeTypeId(1)],
+        vec![RelationSet::single(RelationId(60))],
+    )
+    .unwrap();
+    assert!(schema.validate(&gs).is_err());
+}

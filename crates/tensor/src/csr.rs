@@ -1,0 +1,228 @@
+//! Compressed sparse row matrices for graph propagation.
+//!
+//! GCN-style baselines repeatedly compute `Â · X` where `Â` is a (row- or
+//! symmetrically-) normalised adjacency matrix and `X` a dense embedding
+//! matrix. `CsrMatrix` stores `Â` once; [`CsrMatrix::spmm`] and
+//! [`CsrMatrix::spmm_t`] provide the forward product and its adjoint
+//! (`Âᵀ · G`, needed by backprop).
+
+use crate::matrix::Matrix;
+
+/// A sparse matrix in CSR format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from unsorted COO triplets; duplicate coordinates
+    /// are summed.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f32)>,
+    ) -> Self {
+        let mut per_row: Vec<Vec<(u32, f32)>> = vec![Vec::new(); rows];
+        for (i, j, v) in triplets {
+            assert!(i < rows && j < cols, "triplet out of bounds");
+            per_row[i].push((j as u32, v));
+        }
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in &mut per_row {
+            row.sort_unstable_by_key(|&(j, _)| j);
+            let mut last: Option<u32> = None;
+            for &(j, v) in row.iter() {
+                if last == Some(j) {
+                    *values.last_mut().unwrap() += v;
+                } else {
+                    col_idx.push(j);
+                    values.push(v);
+                    last = Some(j);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Row-normalised adjacency (`D⁻¹A`) of an undirected edge list: each
+    /// edge `(u, v)` contributes in both directions.
+    pub fn row_normalized_adjacency(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut deg = vec![0usize; n];
+        for &(u, v) in edges {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let triplets = edges.iter().flat_map(|&(u, v)| {
+            [
+                (u, v, 1.0 / deg[u] as f32),
+                (v, u, 1.0 / deg[v] as f32),
+            ]
+        });
+        Self::from_triplets(n, n, triplets)
+    }
+
+    /// Symmetrically normalised adjacency (`D^{-1/2} A D^{-1/2}`), the
+    /// propagation operator of LightGCN/NGCF.
+    pub fn sym_normalized_adjacency(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut deg = vec![0usize; n];
+        for &(u, v) in edges {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let norm = |u: usize, v: usize| {
+            let d = (deg[u] as f32 * deg[v] as f32).sqrt();
+            if d > 0.0 {
+                1.0 / d
+            } else {
+                0.0
+            }
+        };
+        let triplets = edges
+            .iter()
+            .flat_map(|&(u, v)| [(u, v, norm(u, v)), (v, u, norm(v, u))]);
+        Self::from_triplets(n, n, triplets)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The stored entries of row `i` as `(col, value)` pairs.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        self.col_idx[span.clone()]
+            .iter()
+            .zip(&self.values[span])
+            .map(|(&j, &v)| (j as usize, v))
+    }
+
+    /// Dense product `self · x`.
+    pub fn spmm(&self, x: &Matrix) -> Matrix {
+        assert_eq!(self.cols, x.rows(), "spmm shape mismatch");
+        let mut out = Matrix::zeros(self.rows, x.cols());
+        for i in 0..self.rows {
+            let span = self.row_ptr[i]..self.row_ptr[i + 1];
+            let out_row = out.row_mut(i);
+            for (&j, &v) in self.col_idx[span.clone()].iter().zip(&self.values[span]) {
+                let x_row = x.row(j as usize);
+                for (o, &b) in out_row.iter_mut().zip(x_row) {
+                    *o += v * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense product with the transpose, `selfᵀ · x` — the adjoint of
+    /// [`CsrMatrix::spmm`] used in backprop.
+    pub fn spmm_t(&self, x: &Matrix) -> Matrix {
+        assert_eq!(self.rows, x.rows(), "spmm_t shape mismatch");
+        let mut out = Matrix::zeros(self.cols, x.cols());
+        for i in 0..self.rows {
+            let span = self.row_ptr[i]..self.row_ptr[i + 1];
+            let x_row = x.row(i);
+            for (&j, &v) in self.col_idx[span.clone()].iter().zip(&self.values[span]) {
+                let out_row = out.row_mut(j as usize);
+                for (o, &b) in out_row.iter_mut().zip(x_row) {
+                    *o += v * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialises the dense equivalent (tests/debugging only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                *out.at_mut(i, j) += v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_triplets_sums_duplicates_and_sorts() {
+        let m = CsrMatrix::from_triplets(2, 3, vec![(0, 2, 1.0), (0, 0, 2.0), (0, 2, 3.0)]);
+        assert_eq!(m.nnz(), 2);
+        let row: Vec<(usize, f32)> = m.row(0).collect();
+        assert_eq!(row, vec![(0, 2.0), (2, 4.0)]);
+        assert_eq!(m.row(1).count(), 0);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let s = CsrMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 1, 2.0), (1, 0, 1.0), (1, 2, -1.0), (2, 2, 0.5)],
+        );
+        let x = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let want = s.to_dense().matmul(&x);
+        let got = s.spmm(&x);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn spmm_t_matches_dense_transpose() {
+        let s = CsrMatrix::from_triplets(2, 3, vec![(0, 1, 2.0), (1, 0, 1.0), (1, 2, -1.0)]);
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let want = s.to_dense().transpose().matmul(&x);
+        let got = s.spmm_t(&x);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one() {
+        let edges = vec![(0, 1), (0, 2), (1, 2), (2, 3)];
+        let a = CsrMatrix::row_normalized_adjacency(4, &edges);
+        for i in 0..4 {
+            let s: f32 = a.row(i).map(|(_, v)| v).sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn sym_normalized_is_symmetric() {
+        let edges = vec![(0, 1), (0, 2), (1, 2), (2, 3)];
+        let a = CsrMatrix::sym_normalized_adjacency(4, &edges).to_dense();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((a.at(i, j) - a.at(j, i)).abs() < 1e-6);
+            }
+        }
+        // Spectral radius of D^{-1/2} A D^{-1/2} is ≤ 1: check entries bounded.
+        assert!(a.data().iter().all(|&x| x.abs() <= 1.0));
+    }
+}

@@ -1,0 +1,47 @@
+//! # supa-tensor — minimal dense linear algebra + reverse-mode autodiff
+//!
+//! The SUPA paper's neural baselines (NGCF, LightGCN, EvolveGCN, TGAT, …)
+//! need backpropagation through small stacks of matrix operations. Rather
+//! than binding a GPU framework, this crate implements the one thing those
+//! models require: an eager, tape-based reverse-mode autodiff engine over
+//! dense `f32` matrices, plus a CSR sparse matrix for graph propagation
+//! (`Â·X` products) and an Adam/SGD parameter store.
+//!
+//! Design notes:
+//! - [`Matrix`] is a contiguous row-major `Vec<f32>`; hot kernels (matmul,
+//!   spmm) use ikj loops over slices so the compiler can elide bounds checks.
+//! - [`Tape`] is an arena of operation nodes. Every op evaluates eagerly;
+//!   [`Tape::backward`] walks the arena in reverse, so nodes are already in
+//!   topological order.
+//! - [`ParamStore`] owns persistent parameters and their Adam moments; a
+//!   fresh tape is built per training step and reads parameters by id.
+//! - Gradients are verified against central finite differences in
+//!   [`gradcheck`] and in each op's unit tests.
+//!
+//! ```
+//! use supa_tensor::{Matrix, ParamStore, Tape};
+//!
+//! let mut params = ParamStore::new();
+//! let w = params.add("w", Matrix::from_vec(2, 1, vec![0.5, -0.5]));
+//! let x = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+//!
+//! let mut tape = Tape::new(&params);
+//! let xv = tape.constant(x);
+//! let wv = tape.param(w);
+//! let y = tape.matmul(xv, wv);
+//! let loss = tape.mean_all(y);
+//! let grads = tape.backward(loss);
+//! params.sgd_step(&grads, 0.1);
+//! ```
+
+pub mod csr;
+pub mod gradcheck;
+pub mod matrix;
+pub mod params;
+pub mod tape;
+
+pub use csr::CsrMatrix;
+pub use gradcheck::check_gradients;
+pub use matrix::Matrix;
+pub use params::{ParamId, ParamStore};
+pub use tape::{Gradients, Tape, Var};

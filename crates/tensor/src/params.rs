@@ -1,0 +1,266 @@
+//! Persistent parameter storage with SGD and Adam updates.
+//!
+//! Parameters outlive tapes: a model registers its matrices once, builds a
+//! fresh [`crate::Tape`] per training step, and applies the resulting
+//! [`crate::Gradients`] here. Adam moments are kept per parameter; the step
+//! counter is global (standard bias correction).
+
+use crate::matrix::Matrix;
+use crate::tape::Gradients;
+
+/// Handle to a parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+impl ParamId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a handle from an index (used by gradient iteration).
+    pub fn from_index(i: usize) -> Self {
+        ParamId(i)
+    }
+}
+
+/// Hyper-parameters of the Adam optimiser.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Numerical-stability ε.
+    pub eps: f32,
+    /// Decoupled weight decay (paper uses 1e-4).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+struct Slot {
+    name: String,
+    value: Matrix,
+    m: Matrix,
+    v: Matrix,
+}
+
+/// Owns model parameters and their optimiser state.
+#[derive(Default)]
+pub struct ParamStore {
+    slots: Vec<Slot>,
+    step: u64,
+    adam: AdamConfig,
+}
+
+impl ParamStore {
+    /// An empty store with default Adam hyper-parameters.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Overrides the Adam configuration.
+    pub fn with_adam(mut self, adam: AdamConfig) -> Self {
+        self.adam = adam;
+        self
+    }
+
+    /// Registers a parameter; the name is for debugging only.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let (r, c) = value.shape();
+        self.slots.push(Slot {
+            name: name.into(),
+            value,
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        });
+        ParamId(self.slots.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.value.rows() * s.value.cols())
+            .sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn get(&self, p: ParamId) -> &Matrix {
+        &self.slots[p.0].value
+    }
+
+    /// Mutable access (e.g. for manual re-initialisation).
+    pub fn get_mut(&mut self, p: ParamId) -> &mut Matrix {
+        &mut self.slots[p.0].value
+    }
+
+    /// The debug name of a parameter.
+    pub fn name(&self, p: ParamId) -> &str {
+        &self.slots[p.0].name
+    }
+
+    /// Plain SGD: `θ ← θ − lr · g`.
+    pub fn sgd_step(&mut self, grads: &Gradients, lr: f32) {
+        for (p, g) in grads.iter() {
+            self.slots[p.0].value.axpy(-lr, g);
+        }
+    }
+
+    /// One Adam step over every parameter that received a gradient.
+    pub fn adam_step(&mut self, grads: &Gradients, lr: f32) {
+        self.step += 1;
+        let t = self.step as f32;
+        let AdamConfig {
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+        } = self.adam;
+        let bc1 = 1.0 - beta1.powf(t);
+        let bc2 = 1.0 - beta2.powf(t);
+        for (p, g) in grads.iter() {
+            let slot = &mut self.slots[p.0];
+            let value = slot.value.data_mut();
+            // Split borrows: moments and values live in the same slot.
+            let m = slot.m.data_mut();
+            for (mi, &gi) in m.iter_mut().zip(g.data()) {
+                *mi = beta1 * *mi + (1.0 - beta1) * gi;
+            }
+            let v = slot.v.data_mut();
+            for (vi, &gi) in v.iter_mut().zip(g.data()) {
+                *vi = beta2 * *vi + (1.0 - beta2) * gi * gi;
+            }
+            for ((x, &mi), &vi) in value.iter_mut().zip(slot.m.data()).zip(slot.v.data()) {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                *x -= lr * (mhat / (vhat.sqrt() + eps) + weight_decay * *x);
+            }
+        }
+    }
+
+    /// Snapshots all parameter values (optimiser state excluded).
+    pub fn snapshot(&self) -> Vec<Matrix> {
+        self.slots.iter().map(|s| s.value.clone()).collect()
+    }
+
+    /// Restores parameter values from a snapshot taken on this store.
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the store's layout.
+    pub fn restore(&mut self, snapshot: &[Matrix]) {
+        assert_eq!(snapshot.len(), self.slots.len(), "snapshot layout mismatch");
+        for (slot, snap) in self.slots.iter_mut().zip(snapshot) {
+            assert_eq!(slot.value.shape(), snap.shape(), "snapshot shape mismatch");
+            slot.value = snap.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    fn quadratic_grad(params: &ParamStore, p: ParamId) -> Gradients {
+        // loss = sum(p²): gradient is 2p.
+        let mut t = Tape::new(params);
+        let x = t.param(p);
+        let sq = t.mul(x, x);
+        let loss = t.sum_all(sq);
+        t.backward(loss)
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        let mut params = ParamStore::new();
+        let p = params.add("p", Matrix::from_vec(1, 2, vec![1.0, -2.0]));
+        for _ in 0..100 {
+            let g = quadratic_grad(&params, p);
+            params.sgd_step(&g, 0.1);
+        }
+        assert!(params.get(p).frobenius_norm() < 1e-3);
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let mut params = ParamStore::new();
+        let p = params.add("p", Matrix::from_vec(1, 2, vec![1.0, -2.0]));
+        for _ in 0..400 {
+            let g = quadratic_grad(&params, p);
+            params.adam_step(&g, 0.05);
+        }
+        assert!(params.get(p).frobenius_norm() < 1e-2);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step ≈ lr·sign(g).
+        let mut params = ParamStore::new();
+        let p = params.add("p", Matrix::from_vec(1, 1, vec![10.0]));
+        let g = quadratic_grad(&params, p);
+        params.adam_step(&g, 0.1);
+        let moved = 10.0 - params.get(p).at(0, 0);
+        assert!((moved - 0.1).abs() < 1e-3, "moved {moved}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_unused_dimensions() {
+        let mut params = ParamStore::new().with_adam(AdamConfig {
+            weight_decay: 0.1,
+            ..Default::default()
+        });
+        let p = params.add("p", Matrix::from_vec(1, 1, vec![1.0]));
+        // Zero gradient, decay only.
+        let mut t = Tape::new(&params);
+        let x = t.param(p);
+        let z = t.scale(x, 0.0);
+        let loss = t.sum_all(z);
+        let g = t.backward(loss);
+        let before = params.get(p).at(0, 0);
+        params.adam_step(&g, 0.1);
+        assert!(params.get(p).at(0, 0) < before);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut params = ParamStore::new();
+        let p = params.add("p", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let snap = params.snapshot();
+        let g = quadratic_grad(&params, p);
+        params.sgd_step(&g, 0.5);
+        assert_ne!(params.get(p).data(), &[1.0, 2.0]);
+        params.restore(&snap);
+        assert_eq!(params.get(p).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn names_and_counts() {
+        let mut params = ParamStore::new();
+        assert!(params.is_empty());
+        let p = params.add("weights", Matrix::zeros(3, 4));
+        assert_eq!(params.name(p), "weights");
+        assert_eq!(params.len(), 1);
+        assert_eq!(params.num_weights(), 12);
+    }
+}

@@ -1,0 +1,723 @@
+//! The autodiff tape: eager forward evaluation + reverse-mode backprop.
+//!
+//! A [`Tape`] borrows a [`ParamStore`] immutably, records every operation as
+//! a node in an arena, and evaluates eagerly. Because operands must exist
+//! before they are used, the arena is already topologically sorted and
+//! [`Tape::backward`] is a single reverse sweep. The result is a
+//! [`Gradients`] bag keyed by [`ParamId`], which the caller feeds back into
+//! `ParamStore::{adam_step, sgd_step}`.
+
+use std::rc::Rc;
+
+use crate::csr::CsrMatrix;
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+
+/// Handle to a tape node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+enum Op {
+    Constant,
+    Param(ParamId),
+    MatMul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    AddRowVec(Var, Var),
+    MulRowVec(Var, Var),
+    ScaleBy(Var, Var),
+    Scale(Var, f32),
+    // The scalar is only needed in the forward pass (gradient is identity),
+    // so the variant stores just the operand.
+    AddScalar(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Softplus(Var),
+    SpMM(Rc<CsrMatrix>, Var),
+    Gather(Var, Rc<[u32]>),
+    ConcatCols(Var, Var),
+    RowwiseDot(Var, Var),
+    SoftmaxRows(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    MeanRows(Var),
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+}
+
+/// Parameter gradients produced by [`Tape::backward`].
+#[derive(Debug, Default)]
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// The gradient of a parameter, if it participated in the loss.
+    pub fn get(&self, p: ParamId) -> Option<&Matrix> {
+        self.grads.get(p.index()).and_then(Option::as_ref)
+    }
+
+    /// Iterates `(param, grad)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.grads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|m| (ParamId::from_index(i), m)))
+    }
+
+    fn accumulate(&mut self, p: ParamId, g: &Matrix) {
+        if self.grads.len() <= p.index() {
+            self.grads.resize_with(p.index() + 1, || None);
+        }
+        match &mut self.grads[p.index()] {
+            Some(acc) => acc.axpy(1.0, g),
+            slot => *slot = Some(g.clone()),
+        }
+    }
+}
+
+/// An eager autodiff tape over a parameter store.
+pub struct Tape<'p> {
+    params: &'p ParamStore,
+    nodes: Vec<Node>,
+}
+
+impl<'p> Tape<'p> {
+    /// Starts a fresh tape reading parameters from `params`.
+    pub fn new(params: &'p ParamStore) -> Self {
+        Tape {
+            params,
+            nodes: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        self.nodes.push(Node { op, value });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The current value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// A constant (no gradient flows into it).
+    pub fn constant(&mut self, m: Matrix) -> Var {
+        self.push(Op::Constant, m)
+    }
+
+    /// A learnable parameter; its current value is copied from the store.
+    pub fn param(&mut self, p: ParamId) -> Var {
+        let value = self.params.get(p).clone();
+        self.push(Op::Param(p), value)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// Elementwise sum (same shapes).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        self.push(Op::Add(a, b), v)
+    }
+
+    /// Elementwise difference (same shapes).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        self.push(Op::Sub(a, b), v)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        self.push(Op::Mul(a, b), v)
+    }
+
+    /// Adds a `1×n` row vector to every row of an `m×n` matrix.
+    pub fn add_row_vec(&mut self, a: Var, b: Var) -> Var {
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(bm.rows(), 1, "broadcast operand must be a row vector");
+        assert_eq!(am.cols(), bm.cols(), "broadcast width mismatch");
+        let mut out = am.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (o, &x) in row.iter_mut().zip(bm.row(0)) {
+                *o += x;
+            }
+        }
+        self.push(Op::AddRowVec(a, b), out)
+    }
+
+    /// Multiplies every row of an `m×n` matrix elementwise by a `1×n` row
+    /// vector (broadcast Hadamard).
+    pub fn mul_row_vec(&mut self, a: Var, b: Var) -> Var {
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(bm.rows(), 1, "broadcast operand must be a row vector");
+        assert_eq!(am.cols(), bm.cols(), "broadcast width mismatch");
+        let mut out = am.clone();
+        for i in 0..out.rows() {
+            for (o, &x) in out.row_mut(i).iter_mut().zip(bm.row(0)) {
+                *o *= x;
+            }
+        }
+        self.push(Op::MulRowVec(a, b), out)
+    }
+
+    /// Multiplies a matrix by a *tape-valued* scalar (a `1×1` node), so the
+    /// scalar receives gradient (e.g. attention weights over branches).
+    pub fn scale_by(&mut self, a: Var, s: Var) -> Var {
+        assert_eq!(
+            self.nodes[s.0].value.shape(),
+            (1, 1),
+            "scale_by needs a 1×1 scalar node"
+        );
+        let c = self.nodes[s.0].value.at(0, 0);
+        let v = self.nodes[a.0].value.map(|x| x * c);
+        self.push(Op::ScaleBy(a, s), v)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x * c);
+        self.push(Op::Scale(a, c), v)
+    }
+
+    /// Adds a scalar to every entry.
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x + c);
+        self.push(Op::AddScalar(a), v)
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(sigmoid);
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Elementwise LeakyReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { slope * x });
+        self.push(Op::LeakyRelu(a, slope), v)
+    }
+
+    /// Elementwise softplus `ln(1 + eˣ)` (numerically stabilised).
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(softplus);
+        self.push(Op::Softplus(a), v)
+    }
+
+    /// Sparse-dense product `csr · a` (graph propagation).
+    pub fn spmm(&mut self, csr: Rc<CsrMatrix>, a: Var) -> Var {
+        let v = csr.spmm(&self.nodes[a.0].value);
+        self.push(Op::SpMM(csr, a), v)
+    }
+
+    /// Gathers rows of `a` by index (embedding lookup). Gradient scatters.
+    pub fn gather(&mut self, a: Var, indices: impl Into<Rc<[u32]>>) -> Var {
+        let indices: Rc<[u32]> = indices.into();
+        let src = &self.nodes[a.0].value;
+        let mut out = Matrix::zeros(indices.len(), src.cols());
+        for (k, &i) in indices.iter().enumerate() {
+            out.row_mut(k).copy_from_slice(src.row(i as usize));
+        }
+        self.push(Op::Gather(a, indices), out)
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(am.rows(), bm.rows(), "concat_cols row mismatch");
+        let mut out = Matrix::zeros(am.rows(), am.cols() + bm.cols());
+        for i in 0..am.rows() {
+            out.row_mut(i)[..am.cols()].copy_from_slice(am.row(i));
+            out.row_mut(i)[am.cols()..].copy_from_slice(bm.row(i));
+        }
+        self.push(Op::ConcatCols(a, b), out)
+    }
+
+    /// Row-wise inner products: `(m×n, m×n) → m×1`.
+    pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Var {
+        let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(am.shape(), bm.shape(), "rowwise_dot shape mismatch");
+        let mut out = Matrix::zeros(am.rows(), 1);
+        for i in 0..am.rows() {
+            let s: f32 = am.row(i).iter().zip(bm.row(i)).map(|(&x, &y)| x * y).sum();
+            *out.at_mut(i, 0) = s;
+        }
+        self.push(Op::RowwiseDot(a, b), out)
+    }
+
+    /// Row-wise softmax (numerically stabilised).
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let am = &self.nodes[a.0].value;
+        let mut out = am.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        self.push(Op::SoftmaxRows(a), out)
+    }
+
+    /// Sum of all entries (`1×1`).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.sum()]);
+        self.push(Op::SumAll(a), v)
+    }
+
+    /// Mean of all entries (`1×1`).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let m = &self.nodes[a.0].value;
+        let n = (m.rows() * m.cols()) as f32;
+        let v = Matrix::from_vec(1, 1, vec![m.sum() / n]);
+        self.push(Op::MeanAll(a), v)
+    }
+
+    /// Column means: `m×n → 1×n`.
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let m = &self.nodes[a.0].value;
+        let mut out = Matrix::zeros(1, m.cols());
+        for i in 0..m.rows() {
+            for (o, &x) in out.row_mut(0).iter_mut().zip(m.row(i)) {
+                *o += x;
+            }
+        }
+        let inv = 1.0 / m.rows().max(1) as f32;
+        out.scale_in_place(inv);
+        self.push(Op::MeanRows(a), out)
+    }
+
+    // ----- convenience losses -------------------------------------------
+
+    /// Mean binary cross-entropy with logits: `mean(softplus(x) − x·y)` where
+    /// `y` is a constant 0/1 label matrix of the same shape as `x`.
+    pub fn bce_with_logits_mean(&mut self, logits: Var, labels: Matrix) -> Var {
+        let y = self.constant(labels);
+        let sp = self.softplus(logits);
+        let xy = self.mul(logits, y);
+        let diff = self.sub(sp, xy);
+        self.mean_all(diff)
+    }
+
+    /// Mean BPR loss `mean(softplus(neg − pos))` over aligned score columns.
+    pub fn bpr_loss_mean(&mut self, pos: Var, neg: Var) -> Var {
+        let diff = self.sub(neg, pos);
+        let sp = self.softplus(diff);
+        self.mean_all(sp)
+    }
+
+    /// Backpropagates from `loss` (which must be `1×1`) and returns parameter
+    /// gradients.
+    pub fn backward(&mut self, loss: Var) -> Gradients {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward requires a scalar loss"
+        );
+        let mut grads: Vec<Option<Matrix>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut out = Gradients::default();
+
+        for idx in (0..self.nodes.len()).rev() {
+            let Some(g) = grads[idx].take() else {
+                continue;
+            };
+            // Helper to accumulate into a node's gradient slot.
+            macro_rules! acc {
+                ($var:expr, $grad:expr) => {{
+                    let v: Var = $var;
+                    let gm: Matrix = $grad;
+                    match &mut grads[v.0] {
+                        Some(existing) => existing.axpy(1.0, &gm),
+                        slot => *slot = Some(gm),
+                    }
+                }};
+            }
+            match &self.nodes[idx].op {
+                Op::Constant => {}
+                Op::Param(p) => out.accumulate(*p, &g),
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ga = g.matmul_nt(&self.nodes[b.0].value);
+                    let gb = self.nodes[a.0].value.matmul_tn(&g);
+                    acc!(a, ga);
+                    acc!(b, gb);
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    acc!(a, g.clone());
+                    acc!(b, g);
+                }
+                Op::Sub(a, b) => {
+                    let (a, b) = (*a, *b);
+                    acc!(a, g.clone());
+                    acc!(b, g.map(|x| -x));
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ga = g.zip(&self.nodes[b.0].value, |x, y| x * y);
+                    let gb = g.zip(&self.nodes[a.0].value, |x, y| x * y);
+                    acc!(a, ga);
+                    acc!(b, gb);
+                }
+                Op::AddRowVec(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let mut gb = Matrix::zeros(1, g.cols());
+                    for i in 0..g.rows() {
+                        for (o, &x) in gb.row_mut(0).iter_mut().zip(g.row(i)) {
+                            *o += x;
+                        }
+                    }
+                    acc!(a, g);
+                    acc!(b, gb);
+                }
+                Op::MulRowVec(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let bm = self.nodes[b.0].value.clone();
+                    let am = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(g.rows(), g.cols());
+                    let mut gb = Matrix::zeros(1, g.cols());
+                    for i in 0..g.rows() {
+                        for k in 0..g.cols() {
+                            *ga.at_mut(i, k) = g.at(i, k) * bm.at(0, k);
+                            *gb.at_mut(0, k) += g.at(i, k) * am.at(i, k);
+                        }
+                    }
+                    acc!(a, ga);
+                    acc!(b, gb);
+                }
+                Op::ScaleBy(a, s) => {
+                    let (a, s) = (*a, *s);
+                    let c = self.nodes[s.0].value.at(0, 0);
+                    let am = &self.nodes[a.0].value;
+                    let dot: f32 = g.data().iter().zip(am.data()).map(|(&x, &y)| x * y).sum();
+                    acc!(a, g.map(|x| x * c));
+                    acc!(s, Matrix::from_vec(1, 1, vec![dot]));
+                }
+                Op::Scale(a, c) => {
+                    let (a, c) = (*a, *c);
+                    acc!(a, g.map(|x| x * c));
+                }
+                Op::AddScalar(a) => {
+                    let a = *a;
+                    acc!(a, g);
+                }
+                Op::Sigmoid(a) => {
+                    let a = *a;
+                    let y = &self.nodes[idx].value;
+                    let ga = g.zip(y, |gi, yi| gi * yi * (1.0 - yi));
+                    acc!(a, ga);
+                }
+                Op::Tanh(a) => {
+                    let a = *a;
+                    let y = &self.nodes[idx].value;
+                    let ga = g.zip(y, |gi, yi| gi * (1.0 - yi * yi));
+                    acc!(a, ga);
+                }
+                Op::Relu(a) => {
+                    let a = *a;
+                    let x = &self.nodes[a.0].value;
+                    let ga = g.zip(x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                    acc!(a, ga);
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let (a, s) = (*a, *slope);
+                    let x = &self.nodes[a.0].value;
+                    let ga = g.zip(x, |gi, xi| if xi > 0.0 { gi } else { s * gi });
+                    acc!(a, ga);
+                }
+                Op::Softplus(a) => {
+                    let a = *a;
+                    let x = &self.nodes[a.0].value;
+                    let ga = g.zip(x, |gi, xi| gi * sigmoid(xi));
+                    acc!(a, ga);
+                }
+                Op::SpMM(csr, a) => {
+                    let a = *a;
+                    let ga = csr.spmm_t(&g);
+                    acc!(a, ga);
+                }
+                Op::Gather(a, indices) => {
+                    let a = *a;
+                    let src = &self.nodes[a.0].value;
+                    let mut ga = Matrix::zeros(src.rows(), src.cols());
+                    for (k, &i) in indices.iter().enumerate() {
+                        let row = ga.row_mut(i as usize);
+                        for (o, &x) in row.iter_mut().zip(g.row(k)) {
+                            *o += x;
+                        }
+                    }
+                    acc!(a, ga);
+                }
+                Op::ConcatCols(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let ac = self.nodes[a.0].value.cols();
+                    let bc = self.nodes[b.0].value.cols();
+                    let mut ga = Matrix::zeros(g.rows(), ac);
+                    let mut gb = Matrix::zeros(g.rows(), bc);
+                    for i in 0..g.rows() {
+                        ga.row_mut(i).copy_from_slice(&g.row(i)[..ac]);
+                        gb.row_mut(i).copy_from_slice(&g.row(i)[ac..]);
+                    }
+                    acc!(a, ga);
+                    acc!(b, gb);
+                }
+                Op::RowwiseDot(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let (am, bm) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+                    let mut ga = Matrix::zeros(am.rows(), am.cols());
+                    let mut gb = Matrix::zeros(bm.rows(), bm.cols());
+                    for i in 0..am.rows() {
+                        let gi = g.at(i, 0);
+                        for (o, &x) in ga.row_mut(i).iter_mut().zip(bm.row(i)) {
+                            *o = gi * x;
+                        }
+                        for (o, &y) in gb.row_mut(i).iter_mut().zip(am.row(i)) {
+                            *o = gi * y;
+                        }
+                    }
+                    acc!(a, ga);
+                    acc!(b, gb);
+                }
+                Op::SoftmaxRows(a) => {
+                    let a = *a;
+                    let y = &self.nodes[idx].value;
+                    let mut ga = Matrix::zeros(y.rows(), y.cols());
+                    for i in 0..y.rows() {
+                        let dot: f32 = g.row(i).iter().zip(y.row(i)).map(|(&gi, &yi)| gi * yi).sum();
+                        for ((o, &gi), &yi) in
+                            ga.row_mut(i).iter_mut().zip(g.row(i)).zip(y.row(i))
+                        {
+                            *o = yi * (gi - dot);
+                        }
+                    }
+                    acc!(a, ga);
+                }
+                Op::SumAll(a) => {
+                    let a = *a;
+                    let s = g.at(0, 0);
+                    let shape = self.nodes[a.0].value.shape();
+                    acc!(a, Matrix::full(shape.0, shape.1, s));
+                }
+                Op::MeanAll(a) => {
+                    let a = *a;
+                    let shape = self.nodes[a.0].value.shape();
+                    let s = g.at(0, 0) / (shape.0 * shape.1) as f32;
+                    acc!(a, Matrix::full(shape.0, shape.1, s));
+                }
+                Op::MeanRows(a) => {
+                    let a = *a;
+                    let shape = self.nodes[a.0].value.shape();
+                    let inv = 1.0 / shape.0.max(1) as f32;
+                    let mut ga = Matrix::zeros(shape.0, shape.1);
+                    for i in 0..shape.0 {
+                        for (o, &x) in ga.row_mut(i).iter_mut().zip(g.row(0)) {
+                            *o = x * inv;
+                        }
+                    }
+                    acc!(a, ga);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable softplus `ln(1 + eˣ)`.
+#[inline]
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        (1.0 + x.exp()).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_are_eager() {
+        let params = ParamStore::new();
+        let mut t = Tape::new(&params);
+        let a = t.constant(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let b = t.constant(Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        let c = t.add(a, b);
+        assert_eq!(t.value(c).data(), &[4.0, 6.0]);
+        let d = t.mul(a, b);
+        assert_eq!(t.value(d).data(), &[3.0, 8.0]);
+        let s = t.sum_all(d);
+        assert_eq!(t.value(s).at(0, 0), 11.0);
+    }
+
+    #[test]
+    fn matmul_gradients_match_formula() {
+        // loss = sum(A·B); dA = 1·Bᵀ, dB = Aᵀ·1.
+        let mut params = ParamStore::new();
+        let a = params.add("a", Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = params.add("b", Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let mut t = Tape::new(&params);
+        let av = t.param(a);
+        let bv = t.param(b);
+        let c = t.matmul(av, bv);
+        let loss = t.sum_all(c);
+        let g = t.backward(loss);
+        // dA = ones(2,2)·Bᵀ
+        let want_a = Matrix::full(2, 2, 1.0).matmul_nt(params.get(b));
+        let want_b = params.get(a).matmul_tn(&Matrix::full(2, 2, 1.0));
+        assert_eq!(g.get(a).unwrap(), &want_a);
+        assert_eq!(g.get(b).unwrap(), &want_b);
+    }
+
+    #[test]
+    fn sigmoid_gradient_at_zero_is_quarter() {
+        let mut params = ParamStore::new();
+        let p = params.add("p", Matrix::zeros(1, 1));
+        let mut t = Tape::new(&params);
+        let x = t.param(p);
+        let y = t.sigmoid(x);
+        let loss = t.sum_all(y);
+        let g = t.backward(loss);
+        assert!((g.get(p).unwrap().at(0, 0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_gradient_scatters_with_duplicates() {
+        let mut params = ParamStore::new();
+        let p = params.add("e", Matrix::from_vec(3, 2, vec![0.0; 6]));
+        let mut t = Tape::new(&params);
+        let e = t.param(p);
+        let rows = t.gather(e, vec![1u32, 1, 2]);
+        let loss = t.sum_all(rows);
+        let g = t.backward(loss);
+        let gm = g.get(p).unwrap();
+        assert_eq!(gm.row(0), &[0.0, 0.0]);
+        assert_eq!(gm.row(1), &[2.0, 2.0], "duplicate index accumulates");
+        assert_eq!(gm.row(2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn param_used_twice_accumulates() {
+        let mut params = ParamStore::new();
+        let p = params.add("p", Matrix::from_vec(1, 1, vec![3.0]));
+        let mut t = Tape::new(&params);
+        let x1 = t.param(p);
+        let x2 = t.param(p);
+        let y = t.mul(x1, x2); // y = p², dy/dp = 2p = 6
+        let loss = t.sum_all(y);
+        let g = t.backward(loss);
+        assert!((g.get(p).unwrap().at(0, 0) - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one_and_grad_is_orthogonal_to_ones() {
+        let mut params = ParamStore::new();
+        let p = params.add("p", Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let mut t = Tape::new(&params);
+        let x = t.param(p);
+        let y = t.softmax_rows(x);
+        for i in 0..2 {
+            let s: f32 = t.value(y).row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // loss = y[0,0]; its gradient wrt x must sum to 0 per row (softmax is
+        // shift invariant).
+        let mask = t.constant(Matrix::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0]));
+        let picked = t.mul(y, mask);
+        let loss = t.sum_all(picked);
+        let g = t.backward(loss);
+        let gm = g.get(p).unwrap();
+        for i in 0..2 {
+            let s: f32 = gm.row(i).iter().sum();
+            assert!(s.abs() < 1e-6, "row {i} grad sums to {s}");
+        }
+    }
+
+    #[test]
+    fn bce_with_logits_matches_closed_form() {
+        let mut params = ParamStore::new();
+        let p = params.add("x", Matrix::from_vec(2, 1, vec![0.0, 2.0]));
+        let mut t = Tape::new(&params);
+        let x = t.param(p);
+        let loss = t.bce_with_logits_mean(x, Matrix::from_vec(2, 1, vec![1.0, 0.0]));
+        // -log σ(0) = ln 2; -log(1-σ(2)) = softplus(2).
+        let want = ((2.0f32).ln() + softplus(2.0)) / 2.0;
+        assert!((t.value(loss).at(0, 0) - want).abs() < 1e-5);
+        // grad = (σ(x) − y)/n
+        let g = t.backward(loss);
+        let gm = g.get(p).unwrap();
+        assert!((gm.at(0, 0) - (sigmoid(0.0) - 1.0) / 2.0).abs() < 1e-6);
+        assert!((gm.at(1, 0) - (sigmoid(2.0) - 0.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bpr_loss_decreases_when_pos_exceeds_neg() {
+        let params = ParamStore::new();
+        let mut t = Tape::new(&params);
+        let pos = t.constant(Matrix::from_vec(2, 1, vec![5.0, 5.0]));
+        let neg = t.constant(Matrix::from_vec(2, 1, vec![0.0, 0.0]));
+        let good = t.bpr_loss_mean(pos, neg);
+        let bad = t.bpr_loss_mean(neg, pos);
+        assert!(t.value(good).at(0, 0) < t.value(bad).at(0, 0));
+    }
+
+    #[test]
+    fn stable_helpers_do_not_overflow() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert_eq!(softplus(1000.0), 1000.0);
+        assert!(softplus(-1000.0).abs() < 1e-6);
+        assert!((softplus(0.0) - (2.0f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_requires_scalar() {
+        let params = ParamStore::new();
+        let mut t = Tape::new(&params);
+        let a = t.constant(Matrix::zeros(2, 2));
+        let _ = t.backward(a);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests: analytic gradients of randomly composed tape graphs match
+//! central finite differences, and optimiser invariants hold.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use supa_tensor::{check_gradients, Matrix, ParamStore, Tape};
+
+/// Randomly composed two-layer computation with every unary op family.
+#[derive(Debug, Clone, Copy)]
+enum Act {
+    Sigmoid,
+    Tanh,
+    Softplus,
+    LeakyRelu,
+}
+
+fn arb_act() -> impl Strategy<Value = Act> {
+    prop_oneof![
+        Just(Act::Sigmoid),
+        Just(Act::Tanh),
+        Just(Act::Softplus),
+        Just(Act::LeakyRelu),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random MLPs (any activation mix, any small shape) pass gradcheck.
+    #[test]
+    fn random_mlp_gradcheck(
+        seed in 0u64..500,
+        rows in 2usize..5,
+        inner in 2usize..5,
+        act1 in arb_act(),
+        act2 in arb_act(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut params = ParamStore::new();
+        let w1 = params.add("w1", Matrix::glorot(3, inner, &mut rng));
+        let w2 = params.add("w2", Matrix::glorot(inner, 2, &mut rng));
+        let x = Matrix::glorot(rows, 3, &mut rng);
+        let apply = |t: &mut Tape, v, a: Act| match a {
+            Act::Sigmoid => t.sigmoid(v),
+            Act::Tanh => t.tanh(v),
+            Act::Softplus => t.softplus(v),
+            Act::LeakyRelu => t.leaky_relu(v, 0.3),
+        };
+        check_gradients(
+            &mut params,
+            &[w1, w2],
+            move |t| {
+                let xv = t.constant(x.clone());
+                let w1v = t.param(w1);
+                let w2v = t.param(w2);
+                let h = t.matmul(xv, w1v);
+                let h = apply(t, h, act1);
+                let o = t.matmul(h, w2v);
+                let o = apply(t, o, act2);
+                t.mean_all(o)
+            },
+            1e-2,
+            3e-2,
+        );
+    }
+
+    /// Adam strictly decreases a convex quadratic from any start.
+    #[test]
+    fn adam_decreases_quadratics(x0 in -5.0f32..5.0, y0 in -5.0f32..5.0) {
+        let mut params = ParamStore::new();
+        let p = params.add("p", Matrix::from_vec(1, 2, vec![x0, y0]));
+        let loss_of = |params: &ParamStore| {
+            let m = params.get(p);
+            m.at(0, 0).powi(2) + 2.0 * m.at(0, 1).powi(2)
+        };
+        let before = loss_of(&params);
+        for _ in 0..200 {
+            let mut t = Tape::new(&params);
+            let v = t.param(p);
+            let sq = t.mul(v, v);
+            let w = t.constant(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+            let weighted = t.mul(sq, w);
+            let loss = t.sum_all(weighted);
+            let g = t.backward(loss);
+            params.adam_step(&g, 0.05);
+        }
+        let after = loss_of(&params);
+        prop_assert!(after < before.max(1e-4), "loss {before} → {after}");
+    }
+
+    /// Gradients are linear: grad(a·f) = a·grad(f).
+    #[test]
+    fn gradient_linearity(seed in 0u64..200, alpha in 0.5f32..3.0) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut params = ParamStore::new();
+        let w = params.add("w", Matrix::glorot(2, 3, &mut rng));
+        let grad_for = |params: &ParamStore, scale: f32| -> Matrix {
+            let mut t = Tape::new(params);
+            let v = t.param(w);
+            let s = t.sigmoid(v);
+            let sc = t.scale(s, scale);
+            let loss = t.sum_all(sc);
+            t.backward(loss).get(w).unwrap().clone()
+        };
+        let g1 = grad_for(&params, 1.0);
+        let ga = grad_for(&params, alpha);
+        for (a, b) in g1.data().iter().zip(ga.data()) {
+            prop_assert!((a * alpha - b).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Automatic metapath mining — the paper's stated future work (§VI):
+//! *"compute the set of multiplex metapath schemas automatically"*.
+//!
+//! This example mines metapath schemas from a Kuaishou-like graph's observed
+//! connectivity, shows they recover the hand-written Table IV schemas, and
+//! trains SUPA with the mined set — reaching quality comparable to the
+//! predefined set.
+//!
+//! ```text
+//! cargo run --release -p supa --example mined_metapaths
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use supa::{InsLearnConfig, Supa, SupaConfig, SupaVariant};
+use supa_datasets::kuaishou;
+use supa_eval::{link_prediction, EvalContext, RankingEvaluator, SplitRatios};
+use supa_graph::{mine_metapaths, MetapathSchema, MiningConfig};
+
+fn main() {
+    let data = kuaishou(0.008, 21);
+    println!("{}\n", data.summary());
+
+    // Mine schemas from the graph itself (no Table IV knowledge).
+    let g = data.full_graph();
+    let mut rng = SmallRng::seed_from_u64(21);
+    let mined = mine_metapaths(
+        &g,
+        &MiningConfig {
+            samples_per_node: 6,
+            min_support: 0.02,
+        },
+        &mut rng,
+    );
+    let schema = data.prototype.schema();
+    println!("mined {} metapath schemas:", mined.len());
+    for m in &mined {
+        let names: Vec<&str> = m
+            .schema
+            .node_types()
+            .iter()
+            .map(|&t| schema.node_type_name(t).unwrap())
+            .collect();
+        let rels: Vec<&str> = m.schema.rel_sets()[0]
+            .iter()
+            .map(|r| schema.relation_name(r).unwrap())
+            .collect();
+        println!(
+            "  {:<28} via {{{}}}  support {:.1}%",
+            names.join(" → "),
+            rels.join(","),
+            100.0 * m.support
+        );
+    }
+
+    // Train SUPA twice: predefined (Table IV) vs mined schemas.
+    let ctx = EvalContext::new(data.prototype.clone(), data.edges.clone());
+    let ev = RankingEvaluator::sampled(100, 3);
+    let il = InsLearnConfig {
+        n_iter: 6,
+        valid_interval: 3,
+        ..InsLearnConfig::default()
+    };
+    let cfg = SupaConfig {
+        dim: 24,
+        ..SupaConfig::small()
+    };
+
+    let mut predefined = Supa::from_dataset(&data, cfg.clone(), 21)
+        .unwrap()
+        .with_inslearn(il.clone());
+    let res_pre = link_prediction(&ctx, &mut predefined, &ev, SplitRatios::default());
+
+    let mined_schemas: Vec<MetapathSchema> = mined.into_iter().map(|m| m.schema).collect();
+    let mut auto = Supa::new(
+        schema,
+        data.prototype.num_nodes(),
+        mined_schemas,
+        cfg,
+        SupaVariant::full(),
+        21,
+    )
+    .unwrap()
+    .with_inslearn(il);
+    let res_auto = link_prediction(&ctx, &mut auto, &ev, SplitRatios::default());
+
+    println!("\nSUPA with predefined schemas: MRR {:.4}", res_pre.metrics.mrr());
+    println!("SUPA with mined schemas:      MRR {:.4}", res_auto.metrics.mrr());
+    let ratio = res_auto.metrics.mrr() / res_pre.metrics.mrr().max(1e-9);
+    println!("mined/predefined quality ratio: {ratio:.2}");
+    assert!(
+        ratio > 0.6,
+        "mined schemas should be competitive with hand-written ones"
+    );
+    println!("automatically mined schemas are competitive. ✓");
+}

@@ -1,0 +1,92 @@
+//! Quickstart: build a tiny dynamic multiplex graph, train SUPA on the event
+//! stream, and ask for recommendations.
+//!
+//! ```text
+//! cargo run --release -p supa --example quickstart
+//! ```
+
+use supa::{InsLearnConfig, Supa, SupaConfig, SupaVariant};
+use supa_graph::{Dmhg, GraphSchema, MetapathSchema, RelationSet, TemporalEdge};
+
+fn main() {
+    // 1. Declare the schema: users click and like videos.
+    let mut schema = GraphSchema::new();
+    let user = schema.add_node_type("User");
+    let video = schema.add_node_type("Video");
+    let click = schema.add_relation("Click", user, video);
+    let like = schema.add_relation("Like", user, video);
+
+    // 2. Create the graph and its nodes.
+    let mut g = Dmhg::new(schema.clone());
+    let users = g.add_nodes(user, 4);
+    let videos = g.add_nodes(video, 8);
+
+    // 3. An interaction stream: Alice (u0) and Bob (u1) like comedy videos
+    //    (v0–v3); Carol (u2) and Dan (u3) like sports videos (v4–v7).
+    let mut edges = Vec::new();
+    let mut t = 0.0;
+    for round in 0..12 {
+        for (k, &u) in users.iter().enumerate() {
+            t += 1.0;
+            let v = if k < 2 {
+                videos[round % 4]
+            } else {
+                videos[4 + round % 4]
+            };
+            let r = if round % 3 == 0 { like } else { click };
+            g.add_edge(u, v, r, t).unwrap();
+            edges.push(TemporalEdge::new(u, v, r, t));
+        }
+    }
+
+    // 4. Metapath schema: users who clicked/liked the same video.
+    let rels = RelationSet::from_iter([click, like]);
+    let metapath = MetapathSchema::new(vec![user, video, user], vec![rels, rels]).unwrap();
+
+    // 5. Train SUPA with the InsLearn single-pass workflow.
+    let cfg = SupaConfig {
+        dim: 16,
+        time_scale: 1.0,
+        ..SupaConfig::small()
+    };
+    let mut model =
+        Supa::new(&schema, g.num_nodes(), vec![metapath], cfg, SupaVariant::full(), 42)
+            .expect("valid metapaths");
+    let report = model.train_inslearn(
+        &g,
+        &edges,
+        &InsLearnConfig {
+            batch_size: 16,
+            n_iter: 20,
+            valid_interval: 5,
+            valid_size: 4,
+            patience: 3,
+            valid_candidates: 6,
+        },
+    );
+    println!(
+        "trained on {} events in {} batches ({} iterations, {} validations)",
+        edges.len(),
+        report.batches,
+        report.iterations,
+        report.validations
+    );
+
+    // 6. Recommend: top-3 videos per user under the Click relation (Eq. 15).
+    for (k, &u) in users.iter().enumerate() {
+        let top = model.top_k(u, &videos, click, 3);
+        let labels: Vec<String> = top
+            .iter()
+            .map(|(v, s)| format!("v{} ({s:.2})", v.0 - videos[0].0))
+            .collect();
+        println!("user u{k} → {}", labels.join(", "));
+    }
+
+    // Comedy fans should retrieve comedy videos, sports fans sports videos.
+    let comedy_hit = model
+        .top_k(users[0], &videos, click, 3)
+        .iter()
+        .filter(|(v, _)| v.0 - videos[0].0 < 4)
+        .count();
+    println!("comedy fan u0: {comedy_hit}/3 recommendations are comedy");
+}

@@ -1,0 +1,144 @@
+//! Smoke tests: every experiment of the harness runs end-to-end in quick
+//! mode, produces non-empty tables, and writes its TSVs.
+
+use supa_bench::experiments;
+use supa_bench::harness::{experiments_dir, HarnessConfig};
+
+fn quick() -> HarnessConfig {
+    HarnessConfig::default().quickened()
+}
+
+fn assert_tables(tables: &[supa_bench::Table], expect_rows: usize) {
+    assert!(!tables.is_empty());
+    for t in tables {
+        assert!(!t.header.is_empty(), "{}: empty header", t.title);
+        assert!(
+            t.rows.len() >= expect_rows,
+            "{}: expected ≥{expect_rows} rows, got {}",
+            t.title,
+            t.rows.len()
+        );
+        // Render never panics and contains the title.
+        assert!(t.render().contains(&t.title));
+    }
+}
+
+#[test]
+fn tables_5_and_6_smoke() {
+    let tables = experiments::tables_5_6(&quick());
+    // 17 methods per table.
+    assert_tables(&tables, 17);
+    assert!(experiments_dir().join("table5_hitrate.tsv").exists());
+    assert!(experiments_dir().join("table6_ndcg_mrr.tsv").exists());
+}
+
+#[test]
+fn figures_4_5_smoke() {
+    let tables = experiments::figs_4_5(&quick());
+    assert_tables(&tables[..2], 7); // 7 methods
+    assert!(experiments_dir().join("fig5_running_time.tsv").exists());
+}
+
+#[test]
+fn figure_6_smoke() {
+    let tables = experiments::fig_6(&quick());
+    assert_tables(&tables, 7);
+    // η columns: quick mode sweeps 3 caps × 2 metrics + method column.
+    assert_eq!(tables[0].header.len(), 7);
+}
+
+#[test]
+fn table_7_smoke() {
+    let tables = experiments::table_7(&quick());
+    // 6 loss variants + SUPA + SUPA_w/o_Ins.
+    assert_tables(&tables, 8);
+}
+
+#[test]
+fn table_8_smoke() {
+    let tables = experiments::table_8(&quick());
+    // 6 structure variants + SUPA.
+    assert_tables(&tables, 7);
+}
+
+#[test]
+fn figure_7_smoke() {
+    let tables = experiments::fig_7(&quick());
+    assert_tables(&tables, 3);
+    // Throughput column parses as a number.
+    for row in &tables[0].rows {
+        let eps: f64 = row[3].parse().expect("edges/sec numeric");
+        assert!(eps > 0.0);
+    }
+}
+
+#[test]
+fn figure_8_smoke() {
+    let tables = experiments::fig_8(&quick());
+    assert_tables(&tables, 4); // 2 params × 2 values in quick mode
+}
+
+#[test]
+fn significance_smoke() {
+    let tables = experiments::significance(&quick());
+    assert_eq!(tables.len(), 1);
+    // quick: 1 dataset × 1 rival.
+    assert_eq!(tables[0].rows.len(), 1);
+    let p: f64 = tables[0].rows[0][4].parse().expect("numeric p-value");
+    assert!((0.0..=1.0).contains(&p));
+}
+
+#[test]
+fn coldstart_smoke() {
+    let tables = experiments::coldstart(&quick());
+    assert_eq!(tables.len(), 1);
+    // quick: 1 dataset × 2 methods; coverage/gini columns parse.
+    assert_eq!(tables[0].rows.len(), 2);
+    for row in &tables[0].rows {
+        let cov: f64 = row[5].parse().expect("numeric coverage");
+        let gini: f64 = row[6].parse().expect("numeric gini");
+        assert!((0.0..=1.0).contains(&cov));
+        assert!((0.0..=1.0).contains(&gini));
+    }
+}
+
+#[test]
+fn fig9_svg_renders_pairs() {
+    let mut coords = supa_bench::Table::new(
+        "coords",
+        vec!["Method".into(), "pair".into(), "role".into(), "x".into(), "y".into()],
+    );
+    for (pair, role, x, y) in [
+        (0usize, "user", 0.0f64, 0.0f64),
+        (0, "item", 1.0, 1.0),
+        (1, "user", -2.0, 3.0),
+        (1, "item", -1.0, 2.0),
+    ] {
+        coords.push(vec![
+            "Demo".into(),
+            pair.to_string(),
+            role.into(),
+            format!("{x:.3}"),
+            format!("{y:.3}"),
+        ]);
+    }
+    let path = experiments::fig9_svg(&coords).unwrap();
+    let svg = std::fs::read_to_string(path).unwrap();
+    assert!(svg.starts_with("<svg"));
+    assert_eq!(svg.matches("<line").count(), 2, "one line per pair");
+    assert_eq!(svg.matches("<circle").count(), 4, "one dot per endpoint");
+    assert!(svg.contains("Demo"));
+}
+
+#[test]
+fn figure_9_smoke() {
+    let tables = experiments::fig_9(&quick());
+    assert_eq!(tables.len(), 2);
+    // d̄ values are positive numbers.
+    for row in &tables[0].rows {
+        let d: f64 = row[1].parse().expect("numeric d̄");
+        assert!(d > 0.0, "degenerate t-SNE distance for {}", row[0]);
+    }
+    // 2 methods × 20 pairs × 2 roles coordinates.
+    assert_eq!(tables[1].rows.len(), 2 * 20 * 2);
+}

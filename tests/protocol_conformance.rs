@@ -1,0 +1,115 @@
+//! Every evaluated method — SUPA and all sixteen baselines — must conform to
+//! the protocol contract: train without panicking on every dataset family,
+//! produce finite scores, and (for dynamic methods) accept incremental
+//! updates.
+
+use supa_bench::harness::{
+    eval_context, make_dataset, make_method, HarnessConfig, ALL_METHOD_NAMES,
+};
+use supa_eval::{dynamic_link_prediction, link_prediction, RankingEvaluator, SplitRatios};
+
+fn quick() -> HarnessConfig {
+    HarnessConfig::default().quickened()
+}
+
+#[test]
+fn all_methods_run_link_prediction_on_a_multiplex_dataset() {
+    let cfg = quick();
+    let d = make_dataset("Taobao", &cfg);
+    let ctx = eval_context(&d);
+    let ev = RankingEvaluator::sampled(30, 5);
+    for name in ALL_METHOD_NAMES {
+        let mut m = make_method(name, &d, &cfg);
+        let res = link_prediction(&ctx, m.as_mut(), &ev, SplitRatios::default());
+        assert!(
+            !res.metrics.is_empty(),
+            "{name} produced no evaluated edges"
+        );
+        assert!(
+            res.metrics.mrr().is_finite() && res.metrics.mrr() >= 0.0,
+            "{name} produced invalid MRR"
+        );
+    }
+}
+
+#[test]
+fn all_methods_run_on_a_homogeneous_dataset() {
+    // UCI: single node type, single relation — the generalisation check of
+    // paper §IV-D observation (2).
+    let cfg = quick();
+    let d = make_dataset("UCI", &cfg);
+    let ctx = eval_context(&d);
+    let ev = RankingEvaluator::sampled(30, 5);
+    for name in ALL_METHOD_NAMES {
+        let mut m = make_method(name, &d, &cfg);
+        let res = link_prediction(&ctx, m.as_mut(), &ev, SplitRatios::default());
+        assert!(res.metrics.mrr().is_finite(), "{name} failed on UCI");
+    }
+}
+
+#[test]
+fn all_methods_run_on_the_static_dataset() {
+    // Amazon: every edge shares one timestamp.
+    let cfg = quick();
+    let d = make_dataset("Amazon", &cfg);
+    let ctx = eval_context(&d);
+    let ev = RankingEvaluator::sampled(30, 5);
+    for name in ALL_METHOD_NAMES {
+        let mut m = make_method(name, &d, &cfg);
+        let res = link_prediction(&ctx, m.as_mut(), &ev, SplitRatios::default());
+        assert!(res.metrics.mrr().is_finite(), "{name} failed on Amazon");
+    }
+}
+
+#[test]
+fn dynamic_methods_survive_the_dynamic_protocol() {
+    let cfg = quick();
+    let d = make_dataset("Taobao", &cfg);
+    let ctx = eval_context(&d);
+    let ev = RankingEvaluator::sampled(30, 5);
+    for name in ALL_METHOD_NAMES {
+        let mut m = make_method(name, &d, &cfg);
+        let steps = dynamic_link_prediction(&ctx, m.as_mut(), &ev, 4);
+        assert_eq!(steps.len(), 3, "{name} wrong step count");
+        for s in steps {
+            assert!(s.metrics.mrr().is_finite(), "{name} invalid step metrics");
+        }
+    }
+}
+
+#[test]
+fn fig9_methods_expose_embeddings_after_fit() {
+    let cfg = quick();
+    let d = make_dataset("Taobao", &cfg);
+    let ctx = eval_context(&d);
+    let ev = RankingEvaluator::sampled(30, 5);
+    let probe = d.edges[0];
+    for name in ["SUPA", "node2vec", "GATNE", "LightGCN", "MB-GMN", "EvolveGCN"] {
+        let mut m = make_method(name, &d, &cfg);
+        let _ = link_prediction(&ctx, m.as_mut(), &ev, SplitRatios::default());
+        let emb = m
+            .embedding(probe.src, probe.relation)
+            .unwrap_or_else(|| panic!("{name} exposes no embedding"));
+        assert!(!emb.is_empty(), "{name} empty embedding");
+        assert!(
+            emb.iter().all(|x| x.is_finite()),
+            "{name} non-finite embedding"
+        );
+    }
+}
+
+#[test]
+fn scores_are_deterministic_after_fit() {
+    let cfg = quick();
+    let d = make_dataset("Taobao", &cfg);
+    let ctx = eval_context(&d);
+    let ev = RankingEvaluator::sampled(30, 5);
+    let probe = *d.edges.last().unwrap();
+    for name in ALL_METHOD_NAMES {
+        let mut m = make_method(name, &d, &cfg);
+        let _ = link_prediction(&ctx, m.as_mut(), &ev, SplitRatios::default());
+        let a = m.score(probe.src, probe.dst, probe.relation);
+        let b = m.score(probe.src, probe.dst, probe.relation);
+        assert_eq!(a, b, "{name} scoring is not a pure function");
+    }
+}
