@@ -89,9 +89,7 @@ pub fn relation_adjacencies(
     }
     per_rel
         .into_iter()
-        .map(|pairs| {
-            std::rc::Rc::new(supa_tensor::CsrMatrix::row_normalized_adjacency(n, &pairs))
-        })
+        .map(|pairs| std::rc::Rc::new(supa_tensor::CsrMatrix::row_normalized_adjacency(n, &pairs)))
         .collect()
 }
 

@@ -100,7 +100,8 @@ impl Recommender for DeepWalk {
                     continue;
                 }
                 for _ in 0..self.cfg.walks_per_node {
-                    let walk = uniform_walk(g, NodeId(start as u32), self.cfg.walk_length, &mut rng);
+                    let walk =
+                        uniform_walk(g, NodeId(start as u32), self.cfg.walk_length, &mut rng);
                     train_walk_window(
                         &mut centers,
                         &mut contexts,

@@ -173,7 +173,13 @@ mod tests {
     use super::*;
     use supa_graph::GraphSchema;
 
-    fn graph() -> (Dmhg, Vec<NodeId>, Vec<NodeId>, RelationId, Vec<TemporalEdge>) {
+    fn graph() -> (
+        Dmhg,
+        Vec<NodeId>,
+        Vec<NodeId>,
+        RelationId,
+        Vec<TemporalEdge>,
+    ) {
         let mut s = GraphSchema::new();
         let u = s.add_node_type("U");
         let i = s.add_node_type("I");

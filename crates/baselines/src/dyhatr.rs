@@ -142,14 +142,15 @@ impl DyHatr {
         let adjs = relation_adjacencies(n, n_rel, snap);
         for _ in 0..self.cfg.steps_per_snapshot {
             let triples = bpr_triples(g, snap, self.cfg.batch, &mut st.rng);
-            let (us, ps, ns): (Vec<u32>, Vec<u32>, Vec<u32>) = triples
-                .iter()
-                .fold((vec![], vec![], vec![]), |mut acc, &(u, p, nn)| {
-                    acc.0.push(u);
-                    acc.1.push(p);
-                    acc.2.push(nn);
-                    acc
-                });
+            let (us, ps, ns): (Vec<u32>, Vec<u32>, Vec<u32>) =
+                triples
+                    .iter()
+                    .fold((vec![], vec![], vec![]), |mut acc, &(u, p, nn)| {
+                        acc.0.push(u);
+                        acc.1.push(p);
+                        acc.2.push(nn);
+                        acc
+                    });
             let mut tape = Tape::new(&st.params);
             let h = Self::forward(st, &mut tape, &adjs);
             let ru = tape.gather(h, us);

@@ -15,7 +15,9 @@ use rand::SeedableRng;
 use supa_embed::sgns::train_walk_window;
 use supa_embed::EmbeddingTable;
 use supa_eval::{Recommender, Scorer};
-use supa_graph::{Dmhg, MetapathSchema, MetapathWalker, NodeId, RelationId, TemporalEdge, WalkConfig};
+use supa_graph::{
+    Dmhg, MetapathSchema, MetapathWalker, NodeId, RelationId, TemporalEdge, WalkConfig,
+};
 
 use crate::common::global_sampler;
 
@@ -96,12 +98,19 @@ impl DyHne {
         for &start in starts {
             for walk in walker.sample_walks(g, start, &wc, &mut self.rng) {
                 let idx: Vec<usize> = walk.nodes().map(|n| n.index()).collect();
-                train_walk_window(centers, contexts, &idx, self.cfg.window, self.cfg.lr, |negs| {
-                    negs.clear();
-                    for _ in 0..n_neg {
-                        negs.push(sampler.sample(&mut self.rng) as usize);
-                    }
-                });
+                train_walk_window(
+                    centers,
+                    contexts,
+                    &idx,
+                    self.cfg.window,
+                    self.cfg.lr,
+                    |negs| {
+                        negs.clear();
+                        for _ in 0..n_neg {
+                            negs.push(sampler.sample(&mut self.rng) as usize);
+                        }
+                    },
+                );
             }
         }
     }
@@ -149,10 +158,7 @@ impl Recommender for DyHne {
             x.ensure_len(g.num_nodes(), &mut self.rng);
         }
         // Perturbation locality: only the endpoints of new edges refresh.
-        let starts: Vec<NodeId> = new_edges
-            .iter()
-            .flat_map(|e| [e.src, e.dst])
-            .collect();
+        let starts: Vec<NodeId> = new_edges.iter().flat_map(|e| [e.src, e.dst]).collect();
         self.train_walks_from(g, &starts, self.cfg.walks_per_update);
     }
 }

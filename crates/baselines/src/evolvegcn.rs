@@ -146,14 +146,15 @@ impl EvolveGcn {
         ));
         for _ in 0..self.cfg.steps_per_snapshot {
             let triples = bpr_triples(g, snap_edges, self.cfg.batch, &mut st.rng);
-            let (us, ps, ns): (Vec<u32>, Vec<u32>, Vec<u32>) = triples
-                .iter()
-                .fold((vec![], vec![], vec![]), |mut acc, &(u, p, nn)| {
-                    acc.0.push(u);
-                    acc.1.push(p);
-                    acc.2.push(nn);
-                    acc
-                });
+            let (us, ps, ns): (Vec<u32>, Vec<u32>, Vec<u32>) =
+                triples
+                    .iter()
+                    .fold((vec![], vec![], vec![]), |mut acc, &(u, p, nn)| {
+                        acc.0.push(u);
+                        acc.1.push(p);
+                        acc.2.push(nn);
+                        acc
+                    });
             let mut tape = Tape::new(&st.params);
             let w_t = Self::evolve(&mut tape, &st.gru, st.w_state.clone());
             let z = Self::gcn(&mut tape, st.e, w_t, &adj);
@@ -178,13 +179,13 @@ impl EvolveGcn {
 impl Scorer for EvolveGcn {
     fn score(&self, u: NodeId, v: NodeId, _r: RelationId) -> f32 {
         match &self.state {
-            Some(st) if u.index() < st.z.rows() && v.index() < st.z.rows() => st
-                .z
-                .row(u.index())
-                .iter()
-                .zip(st.z.row(v.index()))
-                .map(|(&a, &b)| a * b)
-                .sum(),
+            Some(st) if u.index() < st.z.rows() && v.index() < st.z.rows() => {
+                st.z.row(u.index())
+                    .iter()
+                    .zip(st.z.row(v.index()))
+                    .map(|(&a, &b)| a * b)
+                    .sum()
+            }
             _ => 0.0,
         }
     }
@@ -260,7 +261,13 @@ mod tests {
     use super::*;
     use supa_graph::GraphSchema;
 
-    fn drifting_graph() -> (Dmhg, Vec<NodeId>, Vec<NodeId>, RelationId, Vec<TemporalEdge>) {
+    fn drifting_graph() -> (
+        Dmhg,
+        Vec<NodeId>,
+        Vec<NodeId>,
+        RelationId,
+        Vec<TemporalEdge>,
+    ) {
         let mut s = GraphSchema::new();
         let u = s.add_node_type("U");
         let i = s.add_node_type("I");

@@ -168,8 +168,12 @@ impl Recommender for Gatne {
                         continue;
                     }
                     for _ in 0..self.cfg.walks_per_node {
-                        let walk =
-                            self.relation_walk(g, NodeId(start as u32), RelationId(rel as u16), &mut rng);
+                        let walk = self.relation_walk(
+                            g,
+                            NodeId(start as u32),
+                            RelationId(rel as u16),
+                            &mut rng,
+                        );
                         if walk.len() < 2 {
                             continue;
                         }
@@ -217,8 +221,7 @@ impl Recommender for Gatne {
                                     gate_grad += delta * typed_row[k];
                                     typed_row[k] += gate * delta;
                                 }
-                                self.gates[rel] =
-                                    (gate + 0.1 * gate_grad).clamp(0.0, 2.0);
+                                self.gates[rel] = (gate + 0.1 * gate_grad).clamp(0.0, 2.0);
                             }
                         }
                     }

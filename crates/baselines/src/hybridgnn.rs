@@ -127,14 +127,15 @@ impl Recommender for HybridGnn {
 
         for _ in 0..self.cfg.steps {
             let triples = bpr_triples(g, train, self.cfg.batch, &mut rng);
-            let (us, ps, ns): (Vec<u32>, Vec<u32>, Vec<u32>) = triples
-                .iter()
-                .fold((vec![], vec![], vec![]), |mut acc, &(u, p, nn)| {
-                    acc.0.push(u);
-                    acc.1.push(p);
-                    acc.2.push(nn);
-                    acc
-                });
+            let (us, ps, ns): (Vec<u32>, Vec<u32>, Vec<u32>) =
+                triples
+                    .iter()
+                    .fold((vec![], vec![], vec![]), |mut acc, &(u, p, nn)| {
+                        acc.0.push(u);
+                        acc.1.push(p);
+                        acc.2.push(nn);
+                        acc
+                    });
             let mut tape = Tape::new(&params);
             let final_e = Self::forward(&mut tape, e, &gates1, &gates2, &adjs);
             let ru = tape.gather(final_e, us);
@@ -175,11 +176,7 @@ mod tests {
             #[allow(clippy::needless_range_loop)] // index selects both user and item
             for uu in 0..6usize {
                 t += 1.0;
-                let (item, rel) = if uu < 3 {
-                    (round, r0)
-                } else {
-                    (6 + round, r1)
-                };
+                let (item, rel) = if uu < 3 { (round, r0) } else { (6 + round, r1) };
                 g.add_edge(us[uu], is_[item], rel, t).unwrap();
                 edges.push(TemporalEdge::new(us[uu], is_[item], rel, t));
             }

@@ -60,7 +60,12 @@ impl LightGcn {
     }
 
     /// Layer-combined forward pass.
-    fn forward(tape: &mut Tape, e0: supa_tensor::Var, adj: &Rc<CsrMatrix>, layers: usize) -> supa_tensor::Var {
+    fn forward(
+        tape: &mut Tape,
+        e0: supa_tensor::Var,
+        adj: &Rc<CsrMatrix>,
+        layers: usize,
+    ) -> supa_tensor::Var {
         let mut acc = e0;
         let mut cur = e0;
         for _ in 0..layers {
@@ -110,14 +115,15 @@ impl Recommender for LightGcn {
 
         for _ in 0..self.cfg.steps {
             let triples = bpr_triples(g, train, self.cfg.batch, &mut rng);
-            let (us, ps, ns): (Vec<u32>, Vec<u32>, Vec<u32>) = triples
-                .iter()
-                .fold((vec![], vec![], vec![]), |mut acc, &(u, p, nn)| {
-                    acc.0.push(u);
-                    acc.1.push(p);
-                    acc.2.push(nn);
-                    acc
-                });
+            let (us, ps, ns): (Vec<u32>, Vec<u32>, Vec<u32>) =
+                triples
+                    .iter()
+                    .fold((vec![], vec![], vec![]), |mut acc, &(u, p, nn)| {
+                        acc.0.push(u);
+                        acc.1.push(p);
+                        acc.2.push(nn);
+                        acc
+                    });
             let mut tape = Tape::new(&params);
             let e0 = tape.param(e);
             let final_e = Self::forward(&mut tape, e0, &adj, self.cfg.layers);
@@ -144,7 +150,13 @@ mod tests {
     use super::*;
     use supa_graph::GraphSchema;
 
-    fn bipartite() -> (Dmhg, Vec<NodeId>, Vec<NodeId>, RelationId, Vec<TemporalEdge>) {
+    fn bipartite() -> (
+        Dmhg,
+        Vec<NodeId>,
+        Vec<NodeId>,
+        RelationId,
+        Vec<TemporalEdge>,
+    ) {
         let mut s = GraphSchema::new();
         let u = s.add_node_type("U");
         let i = s.add_node_type("I");

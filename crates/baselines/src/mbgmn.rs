@@ -154,14 +154,15 @@ impl Recommender for MbGmn {
                 .find(|&r| !by_rel[r].is_empty());
             let Some(rel) = rel else { break };
             let triples = bpr_triples(g, &by_rel[rel], self.cfg.batch, &mut rng);
-            let (us, ps, ns): (Vec<u32>, Vec<u32>, Vec<u32>) = triples
-                .iter()
-                .fold((vec![], vec![], vec![]), |mut acc, &(u, p, nn)| {
-                    acc.0.push(u);
-                    acc.1.push(p);
-                    acc.2.push(nn);
-                    acc
-                });
+            let (us, ps, ns): (Vec<u32>, Vec<u32>, Vec<u32>) =
+                triples
+                    .iter()
+                    .fold((vec![], vec![], vec![]), |mut acc, &(u, p, nn)| {
+                        acc.0.push(u);
+                        acc.1.push(p);
+                        acc.2.push(nn);
+                        acc
+                    });
             let mut tape = Tape::new(&params);
             let final_r = Self::forward_rel(
                 &mut tape,
@@ -231,7 +232,10 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins * 2 > total, "only {wins}/{total} buys outranked strangers");
+        assert!(
+            wins * 2 > total,
+            "only {wins}/{total} buys outranked strangers"
+        );
     }
 
     #[test]

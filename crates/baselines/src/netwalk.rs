@@ -107,12 +107,19 @@ impl NetWalk {
         let n_neg = self.cfg.n_neg;
         for &wi in walk_indices {
             let walk = &self.walks[wi];
-            train_walk_window(centers, contexts, walk, self.cfg.window, self.cfg.lr, |negs| {
-                negs.clear();
-                for _ in 0..n_neg {
-                    negs.push(sampler.sample(&mut self.rng) as usize);
-                }
-            });
+            train_walk_window(
+                centers,
+                contexts,
+                walk,
+                self.cfg.window,
+                self.cfg.lr,
+                |negs| {
+                    negs.clear();
+                    for _ in 0..n_neg {
+                        negs.push(sampler.sample(&mut self.rng) as usize);
+                    }
+                },
+            );
         }
     }
 }
@@ -178,7 +185,12 @@ impl Recommender for NetWalk {
                     if w.len() >= 2 {
                         // Remember where it landed for immediate training.
                         self.push_walk(w);
-                        fresh.push(self.walks.len().saturating_sub(1).min(self.cfg.reservoir - 1));
+                        fresh.push(
+                            self.walks
+                                .len()
+                                .saturating_sub(1)
+                                .min(self.cfg.reservoir - 1),
+                        );
                     }
                 }
             }

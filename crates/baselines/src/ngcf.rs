@@ -119,22 +119,33 @@ impl Recommender for Ngcf {
         let mut params = ParamStore::new();
         let e = params.add("E", Matrix::uniform(n, self.cfg.dim, 0.1, &mut rng));
         let w1s: Vec<ParamId> = (0..self.cfg.layers)
-            .map(|l| params.add(format!("W1_{l}"), Matrix::glorot(self.cfg.dim, self.cfg.dim, &mut rng)))
+            .map(|l| {
+                params.add(
+                    format!("W1_{l}"),
+                    Matrix::glorot(self.cfg.dim, self.cfg.dim, &mut rng),
+                )
+            })
             .collect();
         let w2s: Vec<ParamId> = (0..self.cfg.layers)
-            .map(|l| params.add(format!("W2_{l}"), Matrix::glorot(self.cfg.dim, self.cfg.dim, &mut rng)))
+            .map(|l| {
+                params.add(
+                    format!("W2_{l}"),
+                    Matrix::glorot(self.cfg.dim, self.cfg.dim, &mut rng),
+                )
+            })
             .collect();
 
         for _ in 0..self.cfg.steps {
             let triples = bpr_triples(g, train, self.cfg.batch, &mut rng);
-            let (us, ps, ns): (Vec<u32>, Vec<u32>, Vec<u32>) = triples
-                .iter()
-                .fold((vec![], vec![], vec![]), |mut acc, &(u, p, nn)| {
-                    acc.0.push(u);
-                    acc.1.push(p);
-                    acc.2.push(nn);
-                    acc
-                });
+            let (us, ps, ns): (Vec<u32>, Vec<u32>, Vec<u32>) =
+                triples
+                    .iter()
+                    .fold((vec![], vec![], vec![]), |mut acc, &(u, p, nn)| {
+                        acc.0.push(u);
+                        acc.1.push(p);
+                        acc.2.push(nn);
+                        acc
+                    });
             let mut tape = Tape::new(&params);
             let final_e = self.forward(&mut tape, e, &w1s, &w2s, &adj);
             let ru = tape.gather(final_e, us);
@@ -158,7 +169,13 @@ mod tests {
     use super::*;
     use supa_graph::GraphSchema;
 
-    fn bipartite() -> (Dmhg, Vec<NodeId>, Vec<NodeId>, RelationId, Vec<TemporalEdge>) {
+    fn bipartite() -> (
+        Dmhg,
+        Vec<NodeId>,
+        Vec<NodeId>,
+        RelationId,
+        Vec<TemporalEdge>,
+    ) {
         let mut s = GraphSchema::new();
         let u = s.add_node_type("U");
         let i = s.add_node_type("I");

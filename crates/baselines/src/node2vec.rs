@@ -184,7 +184,8 @@ mod tests {
         let mut g = Dmhg::new(s);
         let nodes = g.add_nodes(u, n);
         for i in 0..n - 1 {
-            g.add_edge(nodes[i], nodes[i + 1], r, (i + 1) as f64).unwrap();
+            g.add_edge(nodes[i], nodes[i + 1], r, (i + 1) as f64)
+                .unwrap();
         }
         (g, nodes, r)
     }

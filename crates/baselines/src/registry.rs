@@ -162,7 +162,14 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["node2vec", "GATNE", "LightGCN", "MB-GMN", "HybridGNN", "EvolveGCN"]
+            vec![
+                "node2vec",
+                "GATNE",
+                "LightGCN",
+                "MB-GMN",
+                "HybridGNN",
+                "EvolveGCN"
+            ]
         );
     }
 }

@@ -161,8 +161,14 @@ impl Recommender for Tgat {
         let t_now = g.max_time();
         let mut params = ParamStore::new();
         let e = params.add("E", Matrix::uniform(n, self.cfg.dim, 0.1, &mut rng));
-        let w_self = params.add("W_self", Matrix::glorot(self.cfg.dim, self.cfg.dim, &mut rng));
-        let w_nbr = params.add("W_nbr", Matrix::glorot(self.cfg.dim, self.cfg.dim, &mut rng));
+        let w_self = params.add(
+            "W_self",
+            Matrix::glorot(self.cfg.dim, self.cfg.dim, &mut rng),
+        );
+        let w_nbr = params.add(
+            "W_nbr",
+            Matrix::glorot(self.cfg.dim, self.cfg.dim, &mut rng),
+        );
 
         for step in 0..self.cfg.steps {
             // Refresh the stop-gradient attention every few steps.
@@ -172,14 +178,15 @@ impl Recommender for Tgat {
                 continue_attn(&params, e, self, g, t_now, time_scale, step)
             };
             let triples = bpr_triples(g, train, self.cfg.batch, &mut rng);
-            let (us, ps, ns): (Vec<u32>, Vec<u32>, Vec<u32>) = triples
-                .iter()
-                .fold((vec![], vec![], vec![]), |mut acc, &(u, p, nn)| {
-                    acc.0.push(u);
-                    acc.1.push(p);
-                    acc.2.push(nn);
-                    acc
-                });
+            let (us, ps, ns): (Vec<u32>, Vec<u32>, Vec<u32>) =
+                triples
+                    .iter()
+                    .fold((vec![], vec![], vec![]), |mut acc, &(u, p, nn)| {
+                        acc.0.push(u);
+                        acc.1.push(p);
+                        acc.2.push(nn);
+                        acc
+                    });
             let mut tape = Tape::new(&params);
             let z = Self::forward(&mut tape, e, w_self, w_nbr, attn);
             let ru = tape.gather(z, us);
@@ -218,7 +225,13 @@ mod tests {
     use super::*;
     use supa_graph::GraphSchema;
 
-    fn graph() -> (Dmhg, Vec<NodeId>, Vec<NodeId>, RelationId, Vec<TemporalEdge>) {
+    fn graph() -> (
+        Dmhg,
+        Vec<NodeId>,
+        Vec<NodeId>,
+        RelationId,
+        Vec<TemporalEdge>,
+    ) {
         let mut s = GraphSchema::new();
         let u = s.add_node_type("U");
         let i = s.add_node_type("I");
@@ -244,12 +257,7 @@ mod tests {
     fn attention_rows_are_stochastic() {
         let (g, _, _, _, _) = graph();
         let m = Tgat::new(TgatConfig::default(), 1);
-        let emb = Matrix::uniform(
-            g.num_nodes(),
-            32,
-            0.1,
-            &mut SmallRng::seed_from_u64(1),
-        );
+        let emb = Matrix::uniform(g.num_nodes(), 32, 0.1, &mut SmallRng::seed_from_u64(1));
         let a = m.attention_csr(&g, &emb, g.max_time(), 1.0);
         for u in 0..g.num_nodes() {
             let s: f32 = a.row(u).map(|(_, v)| v).sum();

@@ -17,7 +17,9 @@ use supa_graph::{NodeId, RelationSet};
 
 fn bench_negative_sampling(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(1);
-    let weights: Vec<f64> = (0..5000).map(|i| 1.0 / (1.0 + i as f64).powf(0.75)).collect();
+    let weights: Vec<f64> = (0..5000)
+        .map(|i| 1.0 / (1.0 + i as f64).powf(0.75))
+        .collect();
     let alias = AliasTable::new(&weights);
     let cdf: Vec<f64> = weights
         .iter()

@@ -19,8 +19,7 @@ fn bench_inslearn(c: &mut Criterion) {
             &batch,
             |b, &batch| {
                 b.iter(|| {
-                    let mut model =
-                        Supa::from_dataset(&data, SupaConfig::small(), 1).unwrap();
+                    let mut model = Supa::from_dataset(&data, SupaConfig::small(), 1).unwrap();
                     let il = InsLearnConfig {
                         batch_size: batch,
                         n_iter: 1,

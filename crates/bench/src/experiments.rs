@@ -3,11 +3,10 @@
 //! Every function prints progress to stderr, returns the result tables, and
 //! writes TSVs under `target/experiments/`.
 
-
 use supa::SupaVariant;
 use supa_baselines::fig4_baselines;
 use supa_eval::{
-    disturbance_protocol, dynamic_link_prediction, link_prediction, tsne_2d, mean_pair_distance,
+    disturbance_protocol, dynamic_link_prediction, link_prediction, mean_pair_distance, tsne_2d,
     RankingEvaluator, SplitRatios, TsneConfig,
 };
 
@@ -96,7 +95,10 @@ pub fn figs_4_5(cfg: &HarnessConfig) -> Vec<Table> {
         header.push(format!("S{step} H@50"));
     }
     header.push("total time".to_string());
-    let mut t4 = Table::new("Figure 4 — dynamic link prediction on MovieLens (H@50)", header.clone());
+    let mut t4 = Table::new(
+        "Figure 4 — dynamic link prediction on MovieLens (H@50)",
+        header.clone(),
+    );
     let mut t4m = Table::new(
         "Figure 4 — dynamic link prediction on MovieLens (MRR)",
         header,
@@ -241,10 +243,7 @@ pub fn table_8(cfg: &HarnessConfig) -> Vec<Table> {
         header.push(format!("{d} H@50"));
         header.push(format!("{d} MRR"));
     }
-    let mut t = Table::new(
-        "Table VIII — heterogeneity/dynamics ablation",
-        header,
-    );
+    let mut t = Table::new("Table VIII — heterogeneity/dynamics ablation", header);
 
     let mut variants: Vec<(String, SupaVariant)> = SupaVariant::structure_grid()
         .into_iter()
@@ -333,21 +332,57 @@ pub fn fig_8(cfg: &HarnessConfig) -> Vec<Table> {
     }
     let sweeps = if cfg.quick {
         vec![
-            Sweep { param: "d", values: vec![16.0, 32.0] },
-            Sweep { param: "k", values: vec![1.0, 5.0] },
+            Sweep {
+                param: "d",
+                values: vec![16.0, 32.0],
+            },
+            Sweep {
+                param: "k",
+                values: vec![1.0, 5.0],
+            },
         ]
     } else {
         vec![
-            Sweep { param: "d", values: vec![16.0, 32.0, 64.0, 128.0] },
-            Sweep { param: "k", values: vec![1.0, 3.0, 5.0, 10.0, 20.0] },
-            Sweep { param: "l", values: vec![1.0, 2.0, 3.0, 5.0, 10.0] },
-            Sweep { param: "N_neg", values: vec![1.0, 3.0, 5.0, 7.0] },
-            Sweep { param: "g(tau)", values: vec![0.1, 0.2, 0.3, 0.5, 0.9] },
-            Sweep { param: "N_iter", values: vec![2.0, 4.0, 8.0, 16.0, 30.0] },
-            Sweep { param: "I_valid", values: vec![1.0, 2.0, 4.0, 8.0, 16.0] },
-            Sweep { param: "S_valid", values: vec![30.0, 60.0, 100.0, 150.0] },
-            Sweep { param: "mu", values: vec![0.0, 1.0, 3.0, 5.0] },
-            Sweep { param: "S_batch", values: vec![16.0, 32.0, 128.0, 512.0, 1024.0, 4096.0] },
+            Sweep {
+                param: "d",
+                values: vec![16.0, 32.0, 64.0, 128.0],
+            },
+            Sweep {
+                param: "k",
+                values: vec![1.0, 3.0, 5.0, 10.0, 20.0],
+            },
+            Sweep {
+                param: "l",
+                values: vec![1.0, 2.0, 3.0, 5.0, 10.0],
+            },
+            Sweep {
+                param: "N_neg",
+                values: vec![1.0, 3.0, 5.0, 7.0],
+            },
+            Sweep {
+                param: "g(tau)",
+                values: vec![0.1, 0.2, 0.3, 0.5, 0.9],
+            },
+            Sweep {
+                param: "N_iter",
+                values: vec![2.0, 4.0, 8.0, 16.0, 30.0],
+            },
+            Sweep {
+                param: "I_valid",
+                values: vec![1.0, 2.0, 4.0, 8.0, 16.0],
+            },
+            Sweep {
+                param: "S_valid",
+                values: vec![30.0, 60.0, 100.0, 150.0],
+            },
+            Sweep {
+                param: "mu",
+                values: vec![0.0, 1.0, 3.0, 5.0],
+            },
+            Sweep {
+                param: "S_batch",
+                values: vec![16.0, 32.0, 128.0, 512.0, 1024.0, 4096.0],
+            },
         ]
     };
 
@@ -424,7 +459,14 @@ pub fn fig_9(cfg: &HarnessConfig) -> Vec<Table> {
     let methods = if cfg.quick {
         vec!["SUPA", "node2vec"]
     } else {
-        vec!["node2vec", "GATNE", "LightGCN", "MB-GMN", "EvolveGCN", "SUPA"]
+        vec![
+            "node2vec",
+            "GATNE",
+            "LightGCN",
+            "MB-GMN",
+            "EvolveGCN",
+            "SUPA",
+        ]
     };
     let repeats = if cfg.quick { 3 } else { 100 };
 
@@ -609,8 +651,11 @@ pub fn significance(cfg: &HarnessConfig) -> Vec<Table> {
             let ctx = eval_context(&d);
             eprintln!("[sig] {ds} seed {}", seeded.seed);
             let mut m = make_supa(&d, &seeded);
-            supa_scores
-                .push(link_prediction(&ctx, &mut m, &ev, SplitRatios::default()).metrics.hit50());
+            supa_scores.push(
+                link_prediction(&ctx, &mut m, &ev, SplitRatios::default())
+                    .metrics
+                    .hit50(),
+            );
             for (k, rv) in rivals.iter().enumerate() {
                 let mut m = make_method(rv, &d, &seeded);
                 rival_scores[k].push(
@@ -649,7 +694,10 @@ pub fn fig9_svg(coords: &Table) -> std::io::Result<std::path::PathBuf> {
         let pair: usize = row[1].parse().unwrap_or(0);
         let x: f64 = row[3].parse().unwrap_or(0.0);
         let y: f64 = row[4].parse().unwrap_or(0.0);
-        by_method.entry(row[0].clone()).or_default().push((pair, x, y));
+        by_method
+            .entry(row[0].clone())
+            .or_default()
+            .push((pair, x, y));
     }
     let path = experiments_dir().join("fig9_visualisation.svg");
     std::fs::create_dir_all(experiments_dir())?;
@@ -667,8 +715,7 @@ pub fn fig9_svg(coords: &Table) -> std::io::Result<std::path::PathBuf> {
         let ox = panel * (idx % cols) as f64;
         let oy = panel * (idx / cols) as f64 + 20.0;
         // Normalise into the panel with a margin.
-        let (mut xmin, mut xmax, mut ymin, mut ymax) =
-            (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        let (mut xmin, mut xmax, mut ymin, mut ymax) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
         for &(_, x, y) in pts {
             xmin = xmin.min(x);
             xmax = xmax.max(x);

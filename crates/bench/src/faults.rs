@@ -1,0 +1,192 @@
+//! Deterministic fault injection for the fault-tolerance test suite.
+//!
+//! Three fault families, matching the recovery paths under test:
+//!
+//! - **Checkpoint damage** — [`corrupt_file`] XORs a byte at a chosen
+//!   offset (bit rot, torn writes), [`truncate_file`] cuts the file short
+//!   (crash mid-write). `CheckpointManager::resume` must skip such files
+//!   with a reported reason and fall back to an older valid checkpoint.
+//! - **Stream damage** — [`inject_bad_events`] splices malformed events
+//!   (NaN/negative timestamps, unknown nodes/relations, duplicates,
+//!   time regressions) into a clean stream at a seeded, reproducible set
+//!   of positions. `StreamGuard` must quarantine exactly these.
+//! - **State poisoning** — [`nan_poison`] overwrites one embedding row
+//!   with NaN, emulating a numerically diverged update. The InsLearn
+//!   divergence guard must detect it at the loss and roll back.
+//!
+//! Everything is a pure function of its inputs plus an explicit seed, so a
+//! failing test reproduces byte-for-byte.
+
+use std::io;
+use std::path::Path;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use supa::Supa;
+use supa_graph::{NodeId, RelationId, TemporalEdge};
+
+/// XORs the byte at `offset` with `mask` in place.
+///
+/// Fails (leaving the file untouched) if `offset` is past the end or
+/// `mask == 0` (which would be a no-op masquerading as damage).
+pub fn corrupt_file(path: &Path, offset: u64, mask: u8) -> io::Result<()> {
+    if mask == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "mask 0 would not corrupt anything",
+        ));
+    }
+    let mut bytes = std::fs::read(path)?;
+    let i = usize::try_from(offset)
+        .ok()
+        .filter(|&i| i < bytes.len())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "offset {offset} out of range (file is {} bytes)",
+                    bytes.len()
+                ),
+            )
+        })?;
+    bytes[i] ^= mask;
+    std::fs::write(path, bytes)
+}
+
+/// Truncates the file to its first `keep` bytes (crash mid-write).
+///
+/// Fails if `keep` is not strictly smaller than the current size — a
+/// "truncation" that keeps everything would not exercise recovery.
+pub fn truncate_file(path: &Path, keep: u64) -> io::Result<()> {
+    let len = std::fs::metadata(path)?.len();
+    if keep >= len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("keep {keep} >= file size {len}: nothing truncated"),
+        ));
+    }
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep)?;
+    f.sync_all()
+}
+
+/// The kinds of malformed events [`inject_bad_events`] produces, cycled in
+/// this order so every family appears once the count allows.
+pub const BAD_EVENT_KINDS: usize = 5;
+
+fn make_bad_event(kind: usize, template: TemporalEdge) -> TemporalEdge {
+    let mut e = template;
+    match kind % BAD_EVENT_KINDS {
+        0 => e.time = f64::NAN,
+        1 => e.time = -1.0,
+        2 => e.src = NodeId(u32::MAX - 1), // no graph of test scale has this node
+        3 => e.relation = RelationId(u16::MAX),
+        // An exact duplicate of the template: quarantined by dedup.
+        _ => {}
+    }
+    e
+}
+
+/// Splices malformed events into `clean` at a seeded random set of
+/// positions so that roughly `rate` of the returned stream is bad.
+///
+/// Each bad event is a mangled copy of the clean event it lands next to,
+/// cycling through NaN time, negative time, unknown node, unknown
+/// relation, and exact duplicate. Returns the dirtied stream and the
+/// number of injected events. Deterministic in `(clean, rate, seed)`.
+pub fn inject_bad_events(
+    clean: &[TemporalEdge],
+    rate: f64,
+    seed: u64,
+) -> (Vec<TemporalEdge>, usize) {
+    assert!(
+        (0.0..1.0).contains(&rate),
+        "rate must be in [0, 1), got {rate}"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(clean.len() + 8);
+    let mut injected = 0usize;
+    let mut kind = 0usize;
+    for &e in clean {
+        out.push(e);
+        if rng.random_range(0.0..1.0) < rate {
+            out.push(make_bad_event(kind, e));
+            injected += 1;
+            kind += 1;
+        }
+    }
+    (out, injected)
+}
+
+/// Overwrites the first long-term memory row with NaN — the canonical
+/// "one update diverged" poison. Intended for use inside a
+/// `TrainOptions::iter_hook` at a chosen iteration.
+pub fn nan_poison(model: &mut Supa) {
+    for v in model.state_mut_for_tests().h_long.row_mut(0) {
+        *v = f32::NAN;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(i: u32) -> TemporalEdge {
+        TemporalEdge::new(NodeId(i), NodeId(i + 1), RelationId(0), i as f64)
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_byte() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("supa-fault-corrupt-{}", std::process::id()));
+        std::fs::write(&path, [1u8, 2, 3, 4]).unwrap();
+        corrupt_file(&path, 2, 0xFF).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1, 2, 3 ^ 0xFF, 4]);
+        assert!(
+            corrupt_file(&path, 99, 0xFF).is_err(),
+            "offset out of range"
+        );
+        assert!(corrupt_file(&path, 0, 0).is_err(), "no-op mask rejected");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_shrinks_and_rejects_noops() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("supa-fault-trunc-{}", std::process::id()));
+        std::fs::write(&path, [0u8; 16]).unwrap();
+        truncate_file(&path, 5).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 5);
+        assert!(truncate_file(&path, 5).is_err(), "keep == len rejected");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injection_is_deterministic_and_hits_the_rate() {
+        let clean: Vec<TemporalEdge> = (0..2_000).map(edge).collect();
+        let (a, na) = inject_bad_events(&clean, 0.01, 7);
+        let (b, nb) = inject_bad_events(&clean, 0.01, 7);
+        assert_eq!(na, nb);
+        assert!(na > 5 && na < 60, "≈1% of 2000 expected, got {na}");
+        // Same seed → byte-identical streams (compare times as bits since
+        // injected NaNs defeat PartialEq).
+        let bits = |s: &[TemporalEdge]| -> Vec<(u32, u32, u16, u64)> {
+            s.iter()
+                .map(|e| (e.src.0, e.dst.0, e.relation.0, e.time.to_bits()))
+                .collect()
+        };
+        assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn every_fault_kind_appears() {
+        let clean: Vec<TemporalEdge> = (0..400).map(edge).collect();
+        let (dirty, n) = inject_bad_events(&clean, 0.05, 3);
+        assert!(n >= BAD_EVENT_KINDS, "need all kinds, got {n}");
+        assert_eq!(dirty.len(), clean.len() + n);
+        assert!(dirty.iter().any(|e| e.time.is_nan()));
+        assert!(dirty.iter().any(|e| e.time < 0.0));
+        assert!(dirty.iter().any(|e| e.src == NodeId(u32::MAX - 1)));
+        assert!(dirty.iter().any(|e| e.relation == RelationId(u16::MAX)));
+    }
+}

@@ -313,10 +313,8 @@ impl Table {
 
 /// Where experiment TSVs land.
 pub fn experiments_dir() -> PathBuf {
-    PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("experiments")
+    PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+        .join("experiments")
 }
 
 /// Formats a metric to the paper's 4-decimal style.
@@ -339,10 +337,7 @@ mod tests {
 
     #[test]
     fn table_render_and_tsv() {
-        let mut t = Table::new(
-            "Demo",
-            vec!["a".into(), "b".into()],
-        );
+        let mut t = Table::new("Demo", vec!["a".into(), "b".into()]);
         t.push(vec!["1".into(), "longer".into()]);
         let s = t.render();
         assert!(s.contains("Demo") && s.contains("longer"));

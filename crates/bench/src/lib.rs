@@ -21,6 +21,7 @@
 //! `EXPERIMENTS.md` at the repo root.
 
 pub mod experiments;
+pub mod faults;
 pub mod harness;
 
 pub use harness::{HarnessConfig, Table};

@@ -6,6 +6,8 @@
 //! supa mine      --data data.tsv [--min-support 0.02]
 //! supa train     --data data.tsv --out model.ckpt [--dim 32] [--holdout 0.2]
 //!                [--n-iter 20] [--batch 1024] [--seed 7] [--mine]
+//!                [--checkpoint-dir DIR] [--checkpoint-every N] [--keep K]
+//!                [--resume] [--on-bad-event strict|skip|clamp]
 //! supa evaluate  --data data.tsv --checkpoint model.ckpt [--dim 32]
 //!                [--holdout 0.2] [--sampled N]
 //! supa recommend --data data.tsv --checkpoint model.ckpt --user 3
@@ -16,6 +18,13 @@
 //! are `Supa::save_checkpoint` blobs. `train --holdout F` withholds the final
 //! `F` fraction of the (time-sorted) stream so a later `evaluate` with the
 //! same `--holdout` measures genuine forecasting.
+//!
+//! Fault tolerance: `--checkpoint-dir` rotates crash-safe checkpoints every
+//! `--checkpoint-every` batches (keeping the newest `--keep`); `--resume`
+//! restarts from the newest *valid* one, reporting any damaged files it had
+//! to skip. `--on-bad-event` chooses what happens to malformed stream
+//! events: `strict` aborts on the first (the default), `skip` quarantines
+//! them, `clamp` repairs what is repairable and quarantines the rest.
 
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -23,12 +32,10 @@ use std::process::ExitCode;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use supa::{InsLearnConfig, Supa, SupaConfig};
-use supa_datasets::{
-    all_datasets, load_tsv, save_tsv, Dataset,
-};
+use supa::{CheckpointManager, InsLearnConfig, Supa, SupaConfig, TrainOptions};
+use supa_datasets::{all_datasets, load_tsv, save_tsv, Dataset};
 use supa_eval::{RankingEvaluator, Scorer};
-use supa_graph::{mine_metapaths, MiningConfig, NodeId};
+use supa_graph::{guard_stream, mine_metapaths, MiningConfig, NodeId, QuarantinePolicy};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,12 +58,10 @@ fn parse(args: &[String]) -> Result<(String, HashMap<String, String>), String> {
             return Err(format!("unexpected positional argument '{a}'"));
         };
         // Boolean flags take no value.
-        if matches!(name, "mine" | "include-seen") {
+        if matches!(name, "mine" | "include-seen" | "resume") {
             flags.insert(name.to_string(), "true".to_string());
         } else {
-            let v = it
-                .next()
-                .ok_or_else(|| format!("--{name} needs a value"))?;
+            let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.insert(name.to_string(), v.clone());
         }
     }
@@ -141,6 +146,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => {
             let name = require(&flags, "dataset")?.to_lowercase();
             let scale: f64 = get(&flags, "scale", 0.02)?;
+            if !scale.is_finite() || scale <= 0.0 {
+                return Err(format!("--scale must be positive and finite, got {scale}"));
+            }
             let seed: u64 = get(&flags, "seed", 7u64)?;
             let out = require(&flags, "out")?;
             let d = all_datasets(scale, seed)
@@ -200,22 +208,61 @@ fn run(args: &[String]) -> Result<(), String> {
             let out = require(&flags, "out")?;
             let holdout: f64 = get(&flags, "holdout", 0.2)?;
             let train = train_slice(&d, holdout)?;
+            let policy: QuarantinePolicy = flags
+                .get("on-bad-event")
+                .map(|s| s.parse())
+                .transpose()
+                .map_err(|e| format!("--on-bad-event: {e}"))?
+                .unwrap_or(QuarantinePolicy::Strict);
             let mut model = build_model(&d, &flags)?;
             let il = InsLearnConfig {
                 batch_size: get(&flags, "batch", 1024)?,
                 n_iter: get(&flags, "n-iter", 20)?,
                 ..InsLearnConfig::default()
             };
-            let g = {
-                let mut g = d.prototype.clone();
-                for e in train {
-                    g.add_edge(e.src, e.dst, e.relation, e.time)
-                        .map_err(|e| e.to_string())?;
-                }
-                g
-            };
+            let mut g = d.prototype.clone();
+            let (train, quarantine) =
+                guard_stream(&mut g, train, policy).map_err(|e| e.to_string())?;
+            if quarantine.total_faults() > 0 {
+                eprintln!("{}", quarantine.summary());
+            }
             let start = std::time::Instant::now();
-            let report = model.train_inslearn(&g, train, &il);
+            let report = if let Some(dir) = flags.get("checkpoint-dir") {
+                let keep: usize = get(&flags, "keep", 3)?;
+                let mut mgr =
+                    CheckpointManager::new(dir, keep).map_err(|e| format!("{dir}: {e}"))?;
+                let (report, outcome) = model
+                    .train_inslearn_ft(
+                        &g,
+                        &train,
+                        &il,
+                        TrainOptions {
+                            checkpoints: Some(&mut mgr),
+                            checkpoint_every: get(&flags, "checkpoint-every", 1)?,
+                            resume: flags.contains_key("resume"),
+                            ..Default::default()
+                        },
+                    )
+                    .map_err(|e| e.to_string())?;
+                if let Some(o) = outcome {
+                    for (path, reason) in &o.skipped {
+                        eprintln!("skipped checkpoint {}: {reason}", path.display());
+                    }
+                    match &o.loaded {
+                        Some((path, n)) => println!(
+                            "resumed from {} ({n} events already consumed)",
+                            path.display()
+                        ),
+                        None => println!("no valid checkpoint to resume from; starting fresh"),
+                    }
+                }
+                report
+            } else {
+                if flags.contains_key("resume") {
+                    return Err("--resume needs --checkpoint-dir".into());
+                }
+                model.train_inslearn(&g, &train, &il)
+            };
             println!(
                 "trained on {} edges in {:.1}s ({} batches, {} iterations, {} validations)",
                 train.len(),
@@ -224,6 +271,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 report.iterations,
                 report.validations
             );
+            if report.divergence_rollbacks > 0 || report.lr_backoffs > 0 {
+                println!(
+                    "divergence guard: {} rollbacks, {} learning-rate backoffs",
+                    report.divergence_rollbacks, report.lr_backoffs
+                );
+            }
             let f = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
             let mut w = std::io::BufWriter::new(f);
             model.save_checkpoint(&mut w).map_err(|e| e.to_string())?;
@@ -325,8 +378,10 @@ mod tests {
 
     #[test]
     fn parse_splits_command_and_flags() {
-        let (cmd, flags) =
-            parse(&sargs(&["train", "--data", "x.tsv", "--dim", "16", "--mine"])).unwrap();
+        let (cmd, flags) = parse(&sargs(&[
+            "train", "--data", "x.tsv", "--dim", "16", "--mine",
+        ]))
+        .unwrap();
         assert_eq!(cmd, "train");
         assert_eq!(flags.get("data").unwrap(), "x.tsv");
         assert_eq!(flags.get("dim").unwrap(), "16");
@@ -355,6 +410,46 @@ mod tests {
     #[test]
     fn unknown_command_errors() {
         assert!(run(&sargs(&["frobnicate"])).is_err());
-        assert!(run(&sargs(&["generate", "--dataset", "nope", "--out", "/dev/null"])).is_err());
+        assert!(run(&sargs(&[
+            "generate",
+            "--dataset",
+            "nope",
+            "--out",
+            "/dev/null"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn resume_is_a_boolean_flag_and_needs_a_dir() {
+        let (_, flags) = parse(&sargs(&["train", "--resume", "--data", "x.tsv"])).unwrap();
+        assert_eq!(flags.get("resume").unwrap(), "true");
+        assert_eq!(flags.get("data").unwrap(), "x.tsv");
+    }
+
+    #[test]
+    fn generate_rejects_garbage_scales() {
+        for s in ["nan", "inf", "-1", "0"] {
+            let err = run(&sargs(&[
+                "generate",
+                "--dataset",
+                "uci",
+                "--scale",
+                s,
+                "--out",
+                "/dev/null",
+            ]))
+            .unwrap_err();
+            assert!(err.contains("--scale"), "scale {s}: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_event_policy_parses_or_errors() {
+        assert_eq!(
+            "clamp".parse::<QuarantinePolicy>().unwrap(),
+            QuarantinePolicy::Clamp
+        );
+        assert!("lenient".parse::<QuarantinePolicy>().is_err());
     }
 }

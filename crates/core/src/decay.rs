@@ -7,10 +7,15 @@
 //! - The experimental default τ solves `g(τ) = 0.3` (§IV-C), i.e.
 //!   `τ = e^{1/0.3} − e`.
 
-/// `g(x) = 1/ln(e + x)` for `x ≥ 0`.
+/// `g(x) = 1/ln(e + x)` for `x ≥ 0`. NaN propagates (the divergence guard
+/// detects poisoned state at the loss, so mid-iteration NaN must flow
+/// through rather than abort the process).
 #[inline]
 pub fn g_decay(x: f64) -> f64 {
-    debug_assert!(x >= 0.0, "decay input must be non-negative, got {x}");
+    debug_assert!(
+        x >= 0.0 || x.is_nan(),
+        "decay input must be non-negative, got {x}"
+    );
     1.0 / (std::f64::consts::E + x).ln()
 }
 

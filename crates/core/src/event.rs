@@ -200,8 +200,7 @@ impl Supa {
                         }
                         let z_ctx = self.ctx_idx(step.relation);
                         let c_z = self.state.ctx[z_ctx].row(step.node.index());
-                        let dot: f32 =
-                            c_z.iter().zip(&parts.hstar).map(|(a, b)| a * b).sum();
+                        let dot: f32 = c_z.iter().zip(&parts.hstar).map(|(a, b)| a * b).sum();
                         let s = a * dot as f64; // c_z · d where d = a·h*
                         loss.prop += -log_sigmoid(s);
                         let coef = ((sigmoid(s) - 1.0) * a) as f32;
@@ -254,8 +253,7 @@ impl Supa {
                     .map(|(&g, &h)| (g * h) as f64)
                     .sum();
                 let alpha_val = self.state.alpha[parts.alpha_idx].value;
-                let dalpha =
-                    dot * g_decay_prime(parts.x) * parts.delta * sigmoid_prime(alpha_val);
+                let dalpha = dot * g_decay_prime(parts.x) * parts.delta * sigmoid_prime(alpha_val);
                 grads.add_alpha(parts.alpha_idx, dalpha);
             }
         }

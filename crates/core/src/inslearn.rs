@@ -1,4 +1,5 @@
-//! InsLearn: single-pass incremental training (paper Algorithm 1).
+//! InsLearn: single-pass incremental training (paper Algorithm 1), with a
+//! fault-tolerant pipeline around it.
 //!
 //! The edge stream is cut into sequential batches of `S_batch`. Within each
 //! batch, the last `S_valid` edges are held out; the model trains on the
@@ -7,10 +8,23 @@
 //! non-improving validations, and rolling back to the best snapshot before
 //! the next batch. Batches are seen exactly once — the stream is never
 //! revisited, which is what makes the workflow deployable online.
+//!
+//! An online trainer also has to survive the real world:
+//!
+//! - **Divergence guards** ([`GuardConfig`]): every iteration's loss is
+//!   checked for NaN/∞ and for spikes above a running average; embedding
+//!   health is probed before any state is snapshotted or checkpointed. On
+//!   divergence the model rolls back to the last good snapshot and retries
+//!   with a backed-off learning rate, up to a bounded retry budget.
+//! - **Crash-safe checkpoints** ([`TrainOptions::checkpoints`]): completed
+//!   batches are checkpointed through [`CheckpointManager`] with the stream
+//!   position, and [`TrainOptions::resume`] picks up from the newest valid
+//!   checkpoint after a crash, skipping already-consumed events.
 
 use supa_eval::RankingEvaluator;
 use supa_graph::{sequential_batches, Dmhg, TemporalEdge};
 
+use crate::checkpoint::{CheckpointManager, ResumeOutcome};
 use crate::model::Supa;
 
 /// Hyper-parameters of the InsLearn workflow (paper §IV-C).
@@ -52,6 +66,87 @@ impl InsLearnConfig {
             ..Default::default()
         }
     }
+
+    /// A copy with zero counts clamped to 1. User-supplied configs (e.g.
+    /// CLI flags) flow through this instead of panicking on `0`.
+    pub fn sanitized(&self) -> Self {
+        InsLearnConfig {
+            batch_size: self.batch_size.max(1),
+            n_iter: self.n_iter.max(1),
+            valid_interval: self.valid_interval.max(1),
+            ..self.clone()
+        }
+    }
+}
+
+/// Divergence-guard policy: what counts as a blown-up iteration and how to
+/// recover from one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardConfig {
+    /// Master switch; when off, the trainer behaves exactly like the bare
+    /// InsLearn loop.
+    pub enabled: bool,
+    /// A loss above `spike_factor ×` the running loss average (after a short
+    /// warm-up) counts as divergence even if finite.
+    pub spike_factor: f64,
+    /// Divergence recoveries allowed per batch before the batch is
+    /// abandoned at its last good state.
+    pub max_retries: usize,
+    /// Learning-rate multiplier applied on each recovery (`< 1`).
+    pub lr_backoff: f32,
+    /// The learning rate is never backed off below this.
+    pub min_lr: f32,
+    /// Any embedding magnitude above this counts as exploded (NaN/∞ always
+    /// does).
+    pub max_abs_embed: f32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            enabled: true,
+            spike_factor: 25.0,
+            max_retries: 3,
+            lr_backoff: 0.5,
+            min_lr: 1e-5,
+            max_abs_embed: 1e6,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// A guard that never fires (bare-loop behaviour).
+    pub fn disabled() -> Self {
+        GuardConfig {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// A per-iteration callback: receives the model and the 0-based global
+/// iteration index. The fault-injection seam used by the bench harness.
+pub type IterHook<'a> = &'a mut dyn FnMut(&mut Supa, u64);
+
+/// Fault-tolerance options for [`Supa::train_inslearn_ft`].
+///
+/// The default is guards on, no checkpointing — identical learning
+/// behaviour to the bare loop on a healthy run (the guard draws no
+/// randomness and only reads losses).
+#[derive(Default)]
+pub struct TrainOptions<'a> {
+    /// Divergence-guard policy.
+    pub guard: GuardConfig,
+    /// Where to write checkpoints (none by default).
+    pub checkpoints: Option<&'a mut CheckpointManager>,
+    /// Checkpoint every this many completed batches (clamped to ≥ 1).
+    pub checkpoint_every: usize,
+    /// Before training, load the newest valid checkpoint and skip the
+    /// events it already consumed. Requires `checkpoints`; the caller must
+    /// pass the same `edges` slice across restarts.
+    pub resume: bool,
+    /// Called after every training iteration. Not for production use.
+    pub iter_hook: Option<IterHook<'a>>,
 }
 
 /// What happened during one InsLearn run.
@@ -67,90 +162,271 @@ pub struct InsLearnReport {
     pub early_stops: usize,
     /// Batches whose final state was rolled back to a snapshot.
     pub rollbacks: usize,
+    /// Divergence events (NaN/∞/spiking loss, exploded embeddings) that
+    /// were recovered by rolling back to the last good snapshot.
+    pub divergence_rollbacks: usize,
+    /// Learning-rate reductions performed by the divergence guard.
+    pub lr_backoffs: usize,
+    /// Whether this run started from a checkpoint instead of scratch.
+    pub resumed_from_checkpoint: bool,
     /// Mean training loss over the final batch's last iteration.
     pub final_loss: f64,
     /// Best validation MRR observed in the final batch.
     pub final_valid_mrr: f64,
 }
 
+/// Why an iteration was judged divergent.
+enum Divergence {
+    NonFiniteLoss,
+    LossSpike,
+    UnhealthyState,
+}
+
+/// Per-batch loss statistics for spike detection.
+struct LossTracker {
+    ema: f64,
+    observed: usize,
+}
+
+impl LossTracker {
+    fn new() -> Self {
+        LossTracker {
+            ema: 0.0,
+            observed: 0,
+        }
+    }
+
+    /// Checks `loss` against the guard policy; on a healthy value, folds it
+    /// into the running average.
+    fn check(&mut self, loss: f64, guard: &GuardConfig) -> Option<Divergence> {
+        if !loss.is_finite() {
+            return Some(Divergence::NonFiniteLoss);
+        }
+        // Spikes only count after a short warm-up — the first iterations of
+        // a batch legitimately move fast.
+        if self.observed >= 3 && loss > guard.spike_factor * self.ema.max(1e-12) {
+            return Some(Divergence::LossSpike);
+        }
+        self.ema = if self.observed == 0 {
+            loss
+        } else {
+            0.8 * self.ema + 0.2 * loss
+        };
+        self.observed += 1;
+        None
+    }
+
+    fn reset(&mut self) {
+        self.observed = 0;
+        self.ema = 0.0;
+    }
+}
+
 impl Supa {
     /// Trains the model with the InsLearn workflow over `edges` (which must
-    /// already be present in `g` and time-sorted).
+    /// already be present in `g` and time-sorted). Divergence guards are on
+    /// (defaults), checkpointing is off; see [`Supa::train_inslearn_ft`]
+    /// for the full fault-tolerant pipeline.
     pub fn train_inslearn(
         &mut self,
         g: &Dmhg,
         edges: &[TemporalEdge],
         cfg: &InsLearnConfig,
     ) -> InsLearnReport {
-        assert!(cfg.batch_size > 0 && cfg.n_iter > 0 && cfg.valid_interval > 0);
+        let (report, _) = self
+            .train_inslearn_ft(g, edges, cfg, TrainOptions::default())
+            // No checkpoint manager configured, so no I/O can fail.
+            .expect("training without checkpointing performs no I/O");
+        report
+    }
+
+    /// The fault-tolerant InsLearn pipeline: the bare workflow plus
+    /// divergence guards, periodic crash-safe checkpoints, and resume.
+    ///
+    /// Returns the run report and, when `opts.resume` was set with a
+    /// checkpoint manager, the [`ResumeOutcome`] describing which
+    /// checkpoint loaded and which were skipped (with reasons).
+    ///
+    /// `Err` only for checkpoint I/O failures; the learning-rate backoff
+    /// applied by the guard is restored before returning either way.
+    pub fn train_inslearn_ft(
+        &mut self,
+        g: &Dmhg,
+        edges: &[TemporalEdge],
+        cfg: &InsLearnConfig,
+        opts: TrainOptions<'_>,
+    ) -> std::io::Result<(InsLearnReport, Option<ResumeOutcome>)> {
+        let orig_lr = self.cfg.learning_rate;
+        let result = self.train_inslearn_ft_inner(g, edges, &cfg.sanitized(), opts);
+        self.cfg.learning_rate = orig_lr;
+        result
+    }
+
+    fn train_inslearn_ft_inner(
+        &mut self,
+        g: &Dmhg,
+        edges: &[TemporalEdge],
+        cfg: &InsLearnConfig,
+        mut opts: TrainOptions<'_>,
+    ) -> std::io::Result<(InsLearnReport, Option<ResumeOutcome>)> {
         let mut report = InsLearnReport::default();
+        let guard = opts.guard.clone();
+        let checkpoint_every = opts.checkpoint_every.max(1);
+
+        // Resume: load the newest valid checkpoint and skip what it already
+        // trained on.
+        let mut consumed: u64 = 0;
+        let mut resume_outcome = None;
+        if opts.resume {
+            if let Some(mgr) = opts.checkpoints.as_deref_mut() {
+                let outcome = mgr.resume(self)?;
+                if let Some((_, events)) = &outcome.loaded {
+                    consumed = (*events).min(edges.len() as u64);
+                    report.resumed_from_checkpoint = true;
+                }
+                resume_outcome = Some(outcome);
+            }
+        }
+        let edges = &edges[consumed as usize..];
         if edges.is_empty() {
-            return report;
+            return Ok((report, resume_outcome));
         }
         self.resolve_time_scale(g);
         self.ensure_capacity(g.num_nodes());
         self.rebuild_negative_samplers(g);
 
+        let mut global_iter: u64 = 0;
+        let mut last_saved: Option<u64> = None;
         for batch in sequential_batches(edges, cfg.batch_size) {
             report.batches += 1;
             // STEP 2: split off the validation suffix (clamped so tiny
             // batches still mostly train).
             let valid_size = cfg.valid_size.min(batch.len() / 5);
             if valid_size == 0 {
+                // Unvalidatable batch: single pass, but still guarded.
+                let entry = guard.enabled.then(|| self.snapshot());
                 report.iterations += 1;
                 report.final_loss = self.train_pass(g, batch);
-                continue;
-            }
-            let (train_part, valid_part) = batch.split_at(batch.len() - valid_size);
-            let evaluator =
-                RankingEvaluator::sampled(cfg.valid_candidates, self.rng_u64());
+                if let Some(hook) = opts.iter_hook.as_mut() {
+                    hook(self, global_iter);
+                }
+                global_iter += 1;
+                if let Some(entry) = entry {
+                    if !report.final_loss.is_finite() || !self.state.is_healthy(guard.max_abs_embed)
+                    {
+                        report.divergence_rollbacks += 1;
+                        self.restore(entry);
+                        self.backoff_lr(&guard, &mut report);
+                    }
+                }
+            } else {
+                let (train_part, valid_part) = batch.split_at(batch.len() - valid_size);
+                let evaluator = RankingEvaluator::sampled(cfg.valid_candidates, self.rng_u64());
 
-            // Algorithm 1 lines 4–19.
-            let mut best_score = 0.0f64;
-            let mut best_state = self.snapshot();
-            let mut cur_patience = 0usize;
-            let mut validated = false;
-            for i in 1..=cfg.n_iter {
-                report.iterations += 1;
-                report.final_loss = self.train_pass(g, train_part);
-                if i % cfg.valid_interval == 0 {
-                    report.validations += 1;
-                    validated = true;
-                    let score = evaluator.evaluate(g, &*self, valid_part).mrr();
-                    if score > best_score {
-                        best_score = score;
-                        best_state = self.snapshot();
-                        cur_patience = 0;
-                    } else {
-                        cur_patience += 1;
-                        if cur_patience > cfg.patience {
-                            report.early_stops += 1;
-                            break;
+                // Algorithm 1 lines 4–19.
+                let mut best_score = 0.0f64;
+                let mut best_state = self.snapshot();
+                let mut cur_patience = 0usize;
+                let mut validated = false;
+                let mut tracker = LossTracker::new();
+                let mut retries = 0usize;
+                for i in 1..=cfg.n_iter {
+                    report.iterations += 1;
+                    let loss = self.train_pass(g, train_part);
+                    report.final_loss = loss;
+                    if let Some(hook) = opts.iter_hook.as_mut() {
+                        hook(self, global_iter);
+                    }
+                    global_iter += 1;
+
+                    if guard.enabled {
+                        let divergence = tracker.check(loss, &guard).or_else(|| {
+                            // The state probe is a full-table scan, so only
+                            // run it where bad state could be persisted:
+                            // validation iterations (snapshot) — the loss
+                            // checks catch blow-ups on the others a step
+                            // later.
+                            (i % cfg.valid_interval == 0
+                                && !self.state.is_healthy(guard.max_abs_embed))
+                            .then_some(Divergence::UnhealthyState)
+                        });
+                        if let Some(_why) = divergence {
+                            report.divergence_rollbacks += 1;
+                            self.restore(best_state.clone());
+                            self.backoff_lr(&guard, &mut report);
+                            tracker.reset();
+                            retries += 1;
+                            if retries > guard.max_retries {
+                                // Budget exhausted: abandon the batch at its
+                                // last good state.
+                                break;
+                            }
+                            continue; // skip validation on a rolled-back iter
+                        }
+                    }
+
+                    if i % cfg.valid_interval == 0 {
+                        report.validations += 1;
+                        validated = true;
+                        let score = evaluator.evaluate(g, &*self, valid_part).mrr();
+                        if score > best_score {
+                            best_score = score;
+                            best_state = self.snapshot();
+                            cur_patience = 0;
+                        } else {
+                            cur_patience += 1;
+                            if cur_patience > cfg.patience {
+                                report.early_stops += 1;
+                                break;
+                            }
                         }
                     }
                 }
+                // STEP 5: keep the best-validated model. If no validation
+                // ever succeeded (score stuck at 0), keep the trained
+                // weights instead of discarding the batch.
+                if validated && best_score > 0.0 {
+                    report.rollbacks += 1;
+                    self.restore(best_state);
+                }
+                report.final_valid_mrr = best_score;
             }
-            // STEP 5: keep the best-validated model. If no validation ever
-            // succeeded (score stuck at 0), keep the trained weights instead
-            // of discarding the batch.
-            if validated && best_score > 0.0 {
-                report.rollbacks += 1;
-                self.restore(best_state);
+
+            consumed += batch.len() as u64;
+            if let Some(mgr) = opts.checkpoints.as_deref_mut() {
+                let due = report.batches % checkpoint_every == 0;
+                // Never persist a sick state: a corrupt checkpoint today is
+                // a poisoned resume tomorrow.
+                if due && (!guard.enabled || self.state.is_healthy(guard.max_abs_embed)) {
+                    mgr.save(self, consumed)?;
+                    last_saved = Some(consumed);
+                }
             }
-            report.final_valid_mrr = best_score;
         }
-        report
+        // A final checkpoint so a completed run resumes as a no-op.
+        if let Some(mgr) = opts.checkpoints.as_deref_mut() {
+            if last_saved != Some(consumed)
+                && (!guard.enabled || self.state.is_healthy(guard.max_abs_embed))
+            {
+                mgr.save(self, consumed)?;
+            }
+        }
+        Ok((report, resume_outcome))
+    }
+
+    /// One learning-rate backoff step (guard recovery).
+    fn backoff_lr(&mut self, guard: &GuardConfig, report: &mut InsLearnReport) {
+        let backed = (self.cfg.learning_rate * guard.lr_backoff).max(guard.min_lr);
+        if backed < self.cfg.learning_rate {
+            self.cfg.learning_rate = backed;
+            report.lr_backoffs += 1;
+        }
     }
 
     /// The conventional (non-InsLearn) training baseline `SUPA_{w/o Ins}`:
     /// scans the whole edge set for `epochs` full passes with no batch
     /// validation or rollback (paper §IV-G3).
-    pub fn train_conventional(
-        &mut self,
-        g: &Dmhg,
-        edges: &[TemporalEdge],
-        epochs: usize,
-    ) -> f64 {
+    pub fn train_conventional(&mut self, g: &Dmhg, edges: &[TemporalEdge], epochs: usize) -> f64 {
         self.resolve_time_scale(g);
         self.ensure_capacity(g.num_nodes());
         self.rebuild_negative_samplers(g);
@@ -268,5 +544,239 @@ mod tests {
         let (mut m, d, g) = setup();
         let loss = m.train_conventional(&g, &d.edges[..600], 2);
         assert!(loss > 0.0);
+    }
+
+    #[test]
+    fn zero_config_values_are_sanitized_not_panics() {
+        let (mut m, d, g) = setup();
+        let cfg = InsLearnConfig {
+            batch_size: 0,
+            n_iter: 0,
+            valid_interval: 0,
+            ..InsLearnConfig::default()
+        };
+        // Would have been an assert! panic before; now clamps to 1.
+        let report = m.train_inslearn(&g, &d.edges[..10], &cfg);
+        assert_eq!(report.batches, 10);
+    }
+
+    #[test]
+    fn guard_is_behaviour_neutral_on_healthy_runs() {
+        let (mut a, d, g) = setup();
+        let mut b = Supa::from_dataset(
+            &d,
+            SupaConfig {
+                dim: 16,
+                ..SupaConfig::small()
+            },
+            11,
+        )
+        .unwrap();
+        let cfg = InsLearnConfig {
+            batch_size: 512,
+            n_iter: 4,
+            valid_interval: 2,
+            valid_size: 60,
+            patience: 1,
+            valid_candidates: 20,
+        };
+        let n = 1200.min(d.edges.len());
+        let (ra, _) = a
+            .train_inslearn_ft(&g, &d.edges[..n], &cfg, TrainOptions::default())
+            .unwrap();
+        let (rb, _) = b
+            .train_inslearn_ft(
+                &g,
+                &d.edges[..n],
+                &cfg,
+                TrainOptions {
+                    guard: GuardConfig::disabled(),
+                    ..TrainOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(ra, rb, "guard must not perturb a healthy run");
+        assert_eq!(ra.divergence_rollbacks, 0);
+        assert_eq!(ra.lr_backoffs, 0);
+        let e = d.edges[5];
+        assert_eq!(
+            a.gamma(e.src, e.dst, e.relation),
+            b.gamma(e.src, e.dst, e.relation)
+        );
+    }
+
+    #[test]
+    fn nan_poisoned_iteration_is_rolled_back() {
+        let (mut m, d, g) = setup();
+        let cfg = InsLearnConfig {
+            batch_size: 600,
+            n_iter: 6,
+            valid_interval: 2,
+            valid_size: 60,
+            patience: 3,
+            valid_candidates: 20,
+        };
+        let mut poison = |model: &mut Supa, it: u64| {
+            if it == 2 {
+                model.state_mut_for_tests().h_long.row_mut(0)[0] = f32::NAN;
+            }
+        };
+        let (report, _) = m
+            .train_inslearn_ft(
+                &g,
+                &d.edges[..600],
+                &cfg,
+                TrainOptions {
+                    iter_hook: Some(&mut poison),
+                    ..TrainOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(
+            report.divergence_rollbacks >= 1,
+            "poison was never detected: {report:?}"
+        );
+        assert!(report.lr_backoffs >= 1);
+        assert!(
+            m.state().is_healthy(1e6),
+            "NaN survived into the final state"
+        );
+        assert!(report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn unguarded_poison_survives_to_prove_the_guard_matters() {
+        let (mut m, d, g) = setup();
+        let cfg = InsLearnConfig {
+            batch_size: 600,
+            n_iter: 4,
+            valid_interval: 2,
+            valid_size: 60,
+            patience: 3,
+            valid_candidates: 20,
+        };
+        // Poison a row the batch's own edges train, so the NaN spreads.
+        let hot = d.edges[0].src.index();
+        let mut poison = |model: &mut Supa, it: u64| {
+            if it == 1 {
+                for x in model.state_mut_for_tests().h_long.row_mut(hot) {
+                    *x = f32::NAN;
+                }
+            }
+        };
+        let (report, _) = m
+            .train_inslearn_ft(
+                &g,
+                &d.edges[..600],
+                &cfg,
+                TrainOptions {
+                    guard: GuardConfig::disabled(),
+                    iter_hook: Some(&mut poison),
+                    ..TrainOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.divergence_rollbacks, 0);
+        assert!(!m.state().is_healthy(1e6), "NaN should persist unguarded");
+    }
+
+    #[test]
+    fn retry_budget_bounds_guard_recoveries_per_batch() {
+        let (mut m, d, g) = setup();
+        let cfg = InsLearnConfig {
+            batch_size: 600,
+            n_iter: 50,
+            valid_interval: 2,
+            valid_size: 60,
+            patience: 10,
+            valid_candidates: 20,
+        };
+        // Poison every iteration: the guard must give up after its budget
+        // instead of spinning through all 50 iterations.
+        let mut poison = |model: &mut Supa, _it: u64| {
+            model.state_mut_for_tests().h_long.row_mut(0)[0] = f32::NAN;
+        };
+        let (report, _) = m
+            .train_inslearn_ft(
+                &g,
+                &d.edges[..600],
+                &cfg,
+                TrainOptions {
+                    guard: GuardConfig {
+                        max_retries: 2,
+                        ..GuardConfig::default()
+                    },
+                    iter_hook: Some(&mut poison),
+                    ..TrainOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(report.divergence_rollbacks <= 3, "{report:?}");
+        assert!(m.state().is_healthy(1e6), "abandoned at a good state");
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_consumed_events() {
+        let dir = std::env::temp_dir().join(format!("supa-ft-resume-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let (mut m, d, g) = setup();
+        let cfg = InsLearnConfig {
+            batch_size: 500,
+            n_iter: 3,
+            valid_interval: 2,
+            valid_size: 60,
+            patience: 2,
+            valid_candidates: 20,
+        };
+        let edges = &d.edges[..1500];
+        let mut mgr = CheckpointManager::new(&dir, 3).unwrap();
+        let (first, _) = m
+            .train_inslearn_ft(
+                &g,
+                edges,
+                &cfg,
+                TrainOptions {
+                    checkpoints: Some(&mut mgr),
+                    ..TrainOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(first.batches, 3);
+        assert!(!mgr.list().unwrap().is_empty());
+
+        // A "restarted process": fresh model, resume from disk. The final
+        // checkpoint covers the whole stream, so training is a no-op.
+        let mut m2 = Supa::from_dataset(
+            &d,
+            SupaConfig {
+                dim: 16,
+                ..SupaConfig::small()
+            },
+            77,
+        )
+        .unwrap();
+        let (second, outcome) = m2
+            .train_inslearn_ft(
+                &g,
+                edges,
+                &cfg,
+                TrainOptions {
+                    checkpoints: Some(&mut mgr),
+                    resume: true,
+                    ..TrainOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(second.resumed_from_checkpoint);
+        assert_eq!(second.batches, 0, "everything was already consumed");
+        let out = outcome.expect("resume outcome present");
+        assert_eq!(out.loaded.as_ref().unwrap().1, 1500);
+        let e = d.edges[5];
+        assert_eq!(
+            m.gamma(e.src, e.dst, e.relation),
+            m2.gamma(e.src, e.dst, e.relation),
+            "resumed model must equal the one that trained through"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

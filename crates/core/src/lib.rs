@@ -52,8 +52,9 @@ pub mod model;
 pub mod recommend;
 pub mod variants;
 
+pub use checkpoint::{CheckpointManager, CheckpointMeta, ResumeOutcome};
 pub use config::SupaConfig;
 pub use event::EventLoss;
-pub use inslearn::{InsLearnConfig, InsLearnReport};
+pub use inslearn::{GuardConfig, InsLearnConfig, InsLearnReport, TrainOptions};
 pub use model::{Supa, SupaState};
 pub use variants::SupaVariant;

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use supa_datasets::Dataset;
 use supa_embed::{EmbeddingTable, NegativeSampler};
 use supa_graph::{
-    Dmhg, GraphError, GraphSchema, MetapathWalker, MetapathSchema, NodeId, RelationId, Timestamp,
+    Dmhg, GraphError, GraphSchema, MetapathSchema, MetapathWalker, NodeId, RelationId, Timestamp,
 };
 
 use crate::config::SupaConfig;
@@ -78,6 +78,22 @@ pub struct SupaState {
     pub ctx: Vec<EmbeddingTable>,
     /// Node-type drift parameters `α_o` (a single entry under `SUPA_sn`).
     pub alpha: Vec<AdamScalar>,
+}
+
+impl SupaState {
+    /// Whether every parameter is finite and every embedding magnitude is
+    /// at most `max_abs` — the divergence guard's health probe (`max_abs`
+    /// should be finite; NaN/±∞ entries always fail the check through
+    /// [`EmbeddingTable::max_abs_value`] reporting ∞).
+    pub fn is_healthy(&self, max_abs: f32) -> bool {
+        if !self.alpha.iter().all(|a| a.value.is_finite()) {
+            return false;
+        }
+        [&self.h_long, &self.h_short]
+            .into_iter()
+            .chain(self.ctx.iter())
+            .all(|t| t.max_abs_value() <= max_abs)
+    }
 }
 
 /// Pieces of a node's target embedding needed by both the forward pass and
@@ -366,10 +382,7 @@ impl Supa {
         let (ui, vi) = (u.index(), v.index());
         let cidx = self.ctx_idx(r);
         let (hl_u, hl_v) = (self.state.h_long.row(ui), self.state.h_long.row(vi));
-        let (c_u, c_v) = (
-            self.state.ctx[cidx].row(ui),
-            self.state.ctx[cidx].row(vi),
-        );
+        let (c_u, c_v) = (self.state.ctx[cidx].row(ui), self.state.ctx[cidx].row(vi));
         let mut s = 0.0f32;
         if self.variant.no_forget {
             for k in 0..hl_u.len() {
@@ -447,8 +460,7 @@ mod tests {
     #[test]
     fn shared_variants_collapse_tables() {
         let d = taobao(0.02, 3);
-        let m =
-            Supa::from_dataset_variant(&d, SupaConfig::small(), SupaVariant::s(), 3).unwrap();
+        let m = Supa::from_dataset_variant(&d, SupaConfig::small(), SupaVariant::s(), 3).unwrap();
         assert_eq!(m.state().ctx.len(), 1);
         assert_eq!(m.state().alpha.len(), 1);
         assert_eq!(m.ctx_idx(RelationId(3)), 0);
@@ -502,8 +514,7 @@ mod tests {
     #[test]
     fn no_forget_variant_drops_short_term() {
         let d = taobao(0.02, 3);
-        let m =
-            Supa::from_dataset_variant(&d, SupaConfig::small(), SupaVariant::nf(), 3).unwrap();
+        let m = Supa::from_dataset_variant(&d, SupaConfig::small(), SupaVariant::nf(), 3).unwrap();
         let g = d.full_graph();
         let u = NodeId(0);
         let parts = m.target_parts(&g, u, g.max_time() + 1.0);
@@ -557,8 +568,7 @@ mod tests {
             .iter()
             .find(|&&u| g.degree(u) > 3)
             .unwrap();
-        let seen: std::collections::HashSet<_> =
-            g.neighbors(u).iter().map(|n| n.node).collect();
+        let seen: std::collections::HashSet<_> = g.neighbors(u).iter().map(|n| n.node).collect();
         let recs = m.top_k_unseen(&g, u, items, RelationId(0), 20);
         assert!(!recs.is_empty());
         for (v, _) in &recs {

@@ -33,8 +33,7 @@ impl Supa {
         let dim = self.cfg.dim;
         let scale = self.cfg.init_scale;
         let wd = self.cfg.weight_decay;
-        let mk =
-            |rng: &mut SmallRng| EmbeddingTable::new(n, dim, scale, rng).with_weight_decay(wd);
+        let mk = |rng: &mut SmallRng| EmbeddingTable::new(n, dim, scale, rng).with_weight_decay(wd);
         self.state.h_long = mk(&mut rng);
         self.state.h_short = mk(&mut rng);
         for t in &mut self.state.ctx {
@@ -117,7 +116,9 @@ mod tests {
         let ctx = EvalContext::new(d.prototype.clone(), d.edges.clone());
         let ev = RankingEvaluator::sampled(30, 5);
 
-        let mut a = Supa::from_dataset(&d, cfg.clone(), 9).unwrap().with_inslearn(il.clone());
+        let mut a = Supa::from_dataset(&d, cfg.clone(), 9)
+            .unwrap()
+            .with_inslearn(il.clone());
         let ra = link_prediction(&ctx, &mut a, &ev, SplitRatios::default());
         let mut b = Supa::from_dataset(&d, cfg, 9).unwrap().with_inslearn(il);
         let rb = link_prediction(&ctx, &mut b, &ev, SplitRatios::default());

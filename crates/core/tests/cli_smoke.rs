@@ -34,7 +34,11 @@ fn full_pipeline_runs() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // stats
     let out = bin()
@@ -72,7 +76,11 @@ fn full_pipeline_runs() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(ckpt.exists());
 
     // evaluate (sampled for speed) — must parse a sane MRR.
@@ -90,7 +98,11 @@ fn full_pipeline_runs() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let mrr: f64 = stdout
         .split("MRR")
@@ -118,7 +130,11 @@ fn full_pipeline_runs() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("1."), "no ranked list: {stdout}");
 }
@@ -127,7 +143,16 @@ fn full_pipeline_runs() {
 fn dim_mismatch_is_a_clean_error() {
     let data = tmp("mismatch.tsv");
     let ckpt = tmp("mismatch.ckpt");
-    let mut args = vec!["generate", "--dataset", "uci", "--scale", "0.004", "--seed", "1", "--out"];
+    let mut args = vec![
+        "generate",
+        "--dataset",
+        "uci",
+        "--scale",
+        "0.004",
+        "--seed",
+        "1",
+        "--out",
+    ];
     args.push(data.to_str().unwrap());
     assert!(bin().args(&args).output().unwrap().status.success());
     let out = bin()
@@ -144,7 +169,11 @@ fn dim_mismatch_is_a_clean_error() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Evaluating with the wrong --dim must fail with a message, not panic.
     let out = bin()
@@ -172,7 +201,13 @@ fn dim_mismatch_is_a_clean_error() {
 fn bad_invocations_fail_cleanly() {
     for args in [
         vec!["nope"],
-        vec!["train", "--data", "/definitely/not/here.tsv", "--out", "/tmp/x"],
+        vec![
+            "train",
+            "--data",
+            "/definitely/not/here.tsv",
+            "--out",
+            "/tmp/x",
+        ],
         vec!["generate", "--dataset", "taobao"], // missing --out
     ] {
         let out = bin().args(&args).output().unwrap();

@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use supa::{Supa, SupaConfig, SupaVariant};
-use supa_graph::{Dmhg, GraphSchema, MetapathSchema, NodeId, RelationId, RelationSet, TemporalEdge};
+use supa_graph::{
+    Dmhg, GraphSchema, MetapathSchema, NodeId, RelationId, RelationSet, TemporalEdge,
+};
 
 fn build(n_users: usize, n_items: usize) -> (Dmhg, GraphSchema, Vec<MetapathSchema>) {
     let mut s = GraphSchema::new();

@@ -3,15 +3,21 @@
 //! this repo default to `scale ≈ 0.02–0.05` so the full table sweep runs on
 //! a laptop. Every constructor is deterministic in `(scale, seed)`.
 
-use supa_graph::{
-    Dmhg, GraphSchema, MetapathSchema, RelationSet, TemporalEdge,
-};
+use supa_graph::{Dmhg, GraphSchema, MetapathSchema, RelationSet, TemporalEdge};
 
 use crate::dataset::Dataset;
 use crate::generator::{BipartiteConfig, GeneratorEngine};
 
+/// Scale cap: `--scale` arrives straight from the CLI, so a typo like
+/// `1e300` (or `nan`) must degrade to something allocatable rather than
+/// saturate to `usize::MAX` and abort on allocation.
+const MAX_SCALE: f64 = 1e3;
+
 fn scaled(full: usize, scale: f64, min: usize) -> usize {
-    ((full as f64 * scale).round() as usize).max(min)
+    if !scale.is_finite() || scale <= 0.0 {
+        return min;
+    }
+    ((full as f64 * scale.min(MAX_SCALE)).round() as usize).max(min)
 }
 
 /// UCI: streaming homogeneous network of student messages.
@@ -248,12 +254,7 @@ pub fn kuaishou(scale: f64, seed: u64) -> Dataset {
         ..Default::default()
     };
     let mut eng = GeneratorEngine::new(seed);
-    let out = eng.generate_stream(
-        &users,
-        &videos,
-        &[watch, like, forward, comment],
-        &cfg,
-    );
+    let out = eng.generate_stream(&users, &videos, &[watch, like, forward, comment], &cfg);
 
     // Upload edges: each video is uploaded by a Zipf-chosen author at its
     // birth time. Authors specialise in communities so the A→V→A metapath
@@ -264,7 +265,9 @@ pub fn kuaishou(scale: f64, seed: u64) -> Dataset {
         use rand::RngExt;
         // Map each community to a couple of "home" authors.
         let comm_count = 30usize;
-        let home: Vec<usize> = (0..comm_count).map(|_| rng.random_range(0..n_authors)).collect();
+        let home: Vec<usize> = (0..comm_count)
+            .map(|_| rng.random_range(0..n_authors))
+            .collect();
         for (vi, &v) in videos.iter().enumerate() {
             let t = out.item_birth[vi].max(1e-3);
             let a = if rng.random::<f64>() < 0.8 {
@@ -310,6 +313,16 @@ mod tests {
     use super::*;
 
     const SCALE: f64 = 0.02;
+
+    #[test]
+    fn scaled_tolerates_garbage_scales() {
+        assert_eq!(scaled(1_000, f64::NAN, 7), 7);
+        assert_eq!(scaled(1_000, f64::INFINITY, 7), 7);
+        assert_eq!(scaled(1_000, -2.0, 7), 7);
+        assert_eq!(scaled(1_000, 0.0, 7), 7);
+        assert_eq!(scaled(1_000, 1e300, 7), 1_000_000);
+        assert_eq!(scaled(1_000, 0.5, 7), 500);
+    }
 
     #[test]
     fn table_iii_type_counts_match() {

@@ -202,20 +202,18 @@ impl GeneratorEngine {
             }
             let rel_idx = sample_cdf(&rel_cdf, rng);
 
-            let item_idx = if rel_idx > 0
-                && !history[u].is_empty()
-                && rng.random::<f64>() < cfg.repeat_prob
-            {
-                // Secondary behaviour revisits recent history.
-                history[u][rng.random_range(0..history[u].len())]
-            } else {
-                let comm = if cfg.relation_shift {
-                    (user_comm[u] + rel_idx) % n_comm
+            let item_idx =
+                if rel_idx > 0 && !history[u].is_empty() && rng.random::<f64>() < cfg.repeat_prob {
+                    // Secondary behaviour revisits recent history.
+                    history[u][rng.random_range(0..history[u].len())]
                 } else {
-                    user_comm[u]
+                    let comm = if cfg.relation_shift {
+                        (user_comm[u] + rel_idx) % n_comm
+                    } else {
+                        user_comm[u]
+                    };
+                    self::pick_item(rng, cfg, &comm_items, &item_birth, comm, t, n_items)
                 };
-                self::pick_item(rng, cfg, &comm_items, &item_birth, comm, t, n_items)
-            };
             // Unipartite streams must not self-loop.
             let item_idx = if users.as_ptr() == items.as_ptr() && item_idx == u {
                 (item_idx + 1) % n_items
@@ -352,8 +350,7 @@ mod tests {
     #[test]
     fn user_activity_is_skewed() {
         let (_, users, items, rels) = setup(50, 50);
-        let out =
-            GeneratorEngine::new(1).generate_stream(&users, &items, &rels, &config(5000));
+        let out = GeneratorEngine::new(1).generate_stream(&users, &items, &rels, &config(5000));
         let mut counts = vec![0usize; 50];
         for e in &out.edges {
             counts[e.src.index()] += 1;
@@ -372,13 +369,8 @@ mod tests {
     #[test]
     fn relation_frequencies_follow_weights() {
         let (_, users, items, rels) = setup(20, 40);
-        let out =
-            GeneratorEngine::new(5).generate_stream(&users, &items, &rels, &config(8000));
-        let primary = out
-            .edges
-            .iter()
-            .filter(|e| e.relation == rels[0])
-            .count() as f64;
+        let out = GeneratorEngine::new(5).generate_stream(&users, &items, &rels, &config(8000));
+        let primary = out.edges.iter().filter(|e| e.relation == rels[0]).count() as f64;
         let frac = primary / 8000.0;
         assert!((frac - 0.75).abs() < 0.03, "primary fraction {frac}");
     }
@@ -386,8 +378,7 @@ mod tests {
     #[test]
     fn secondary_behaviour_correlates_with_history() {
         let (_, users, items, rels) = setup(20, 200);
-        let out =
-            GeneratorEngine::new(9).generate_stream(&users, &items, &rels, &config(6000));
+        let out = GeneratorEngine::new(9).generate_stream(&users, &items, &rels, &config(6000));
         // Count how often a Buy edge's item already appeared for that user.
         let mut seen: std::collections::HashSet<(u32, u32)> = Default::default();
         let mut buys = 0usize;
@@ -419,8 +410,9 @@ mod tests {
         };
         // Jaccard overlap of each user's item sets under the two relations.
         let overlap = |out: &StreamOutput| {
-            let mut per: Vec<[std::collections::HashSet<u32>; 2]> =
-                (0..10).map(|_| [Default::default(), Default::default()]).collect();
+            let mut per: Vec<[std::collections::HashSet<u32>; 2]> = (0..10)
+                .map(|_| [Default::default(), Default::default()])
+                .collect();
             for e in &out.edges {
                 per[e.src.index()][e.relation.index()].insert(e.dst.0);
             }
@@ -434,13 +426,15 @@ mod tests {
             }
             total / 10.0
         };
-        let plain = GeneratorEngine::new(3).generate_stream(
-            &users, &items, &rels, &base);
+        let plain = GeneratorEngine::new(3).generate_stream(&users, &items, &rels, &base);
         let shifted = GeneratorEngine::new(3).generate_stream(
             &users,
             &items,
             &rels,
-            &BipartiteConfig { relation_shift: true, ..base },
+            &BipartiteConfig {
+                relation_shift: true,
+                ..base
+            },
         );
         let o_plain = overlap(&plain);
         let o_shift = overlap(&shifted);

@@ -71,8 +71,11 @@ pub fn load_tsv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, String> {
             }
             Some("metapath") => {
                 // Resolved after the schema is final.
-                metapath_specs
-                    .push((lineno + 1, parts.map(str::to_string).collect()));
+                let tokens: Vec<String> = parts.map(str::to_string).collect();
+                if metapath_specs.iter().any(|(_, prev)| *prev == tokens) {
+                    return Err(err("duplicate metapath"));
+                }
+                metapath_specs.push((lineno + 1, tokens));
             }
             Some("node") => {
                 let g = graph.get_or_insert_with(|| Dmhg::new(schema.clone()));
@@ -85,15 +88,13 @@ pub fn load_tsv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, String> {
                     .schema()
                     .node_type_by_name(ty_name)
                     .ok_or_else(|| err("unknown node type"))?;
-                let assigned = g.add_node(ty);
+                let assigned = g.try_add_node(ty).map_err(|e| err(&e.to_string()))?;
                 if assigned != NodeId(id) {
                     return Err(err("node ids must be dense and in order"));
                 }
             }
             Some("edge") => {
-                let g = graph
-                    .as_ref()
-                    .ok_or_else(|| err("edge before any node"))?;
+                let g = graph.as_ref().ok_or_else(|| err("edge before any node"))?;
                 let src: u32 = parts
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -111,6 +112,11 @@ pub fn load_tsv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, String> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| err("bad timestamp"))?;
+                // "nan"/"inf"/negatives parse as valid f64 but violate the
+                // paper's t ∈ ℝ⁺; reject here so NaN never reaches training.
+                if !t.is_finite() || t < 0.0 {
+                    return Err(err(&supa_graph::GraphError::InvalidTimestamp(t).to_string()));
+                }
                 if src as usize >= g.num_nodes() || dst as usize >= g.num_nodes() {
                     return Err(err("edge references undeclared node"));
                 }
@@ -326,5 +332,40 @@ edge 0 2 Like 2.5
     fn rejects_garbage_lines() {
         let err = load_tsv("x", Cursor::new("banana\n")).unwrap_err();
         assert!(err.contains("expected"), "{err}");
+    }
+
+    #[test]
+    fn rejects_file_truncated_mid_edge() {
+        // A crash while writing can cut the file anywhere; an edge line
+        // missing its trailing fields must be an error, not a silent drop.
+        let bad = "nodetype U\nrelation R U U\nnode 0 U\nnode 1 U\nedge 0 1 R\n";
+        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
+        assert!(err.contains("bad timestamp"), "{err}");
+
+        let bad = "nodetype U\nrelation R U U\nnode 0 U\nnode 1 U\nedge 0\n";
+        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
+        assert!(err.contains("bad dst"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_and_negative_timestamps() {
+        for t in ["nan", "NaN", "inf", "-inf", "-3.0"] {
+            let bad = format!("nodetype U\nrelation R U U\nnode 0 U\nnode 1 U\nedge 0 1 R {t}\n");
+            let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
+            assert!(err.contains("invalid timestamp"), "t={t}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_metapath_lines() {
+        let bad = "nodetype U\nrelation R U U\n\
+                   metapath U R U\nmetapath U R U\nnode 0 U\n";
+        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
+        assert!(err.contains("duplicate metapath"), "{err}");
+        // Distinct metapaths still load fine.
+        let ok = "nodetype U\nrelation R U U\nrelation S U U\n\
+                  metapath U R U\nmetapath U S U\nnode 0 U\n";
+        let d = load_tsv("x", Cursor::new(ok)).unwrap();
+        assert_eq!(d.metapaths.len(), 2);
     }
 }

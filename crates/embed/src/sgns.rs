@@ -181,7 +181,10 @@ mod tests {
             train_pair_dual(&mut c, &mut ctx, 0, 1, &[5, 6], 0.1);
         }
         let after = dot(c.row(0), ctx.row(1));
-        assert!(after > before, "positive score must rise: {before} → {after}");
+        assert!(
+            after > before,
+            "positive score must rise: {before} → {after}"
+        );
         // Negative scores fall (or at least end below the positive).
         assert!(dot(c.row(0), ctx.row(5)) < after);
     }

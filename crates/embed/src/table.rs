@@ -154,12 +154,31 @@ impl EmbeddingTable {
         &self.data
     }
 
+    /// The largest absolute value in the table, or `f32::INFINITY` when any
+    /// entry is NaN or ±∞. Divergence guards compare this against a blow-up
+    /// threshold; a single scan answers both "finite?" and "exploded?".
+    pub fn max_abs_value(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |acc, &x| {
+            if x.is_finite() {
+                acc.max(x.abs())
+            } else {
+                f32::INFINITY
+            }
+        })
+    }
+
     /// Writes the full table state (values + optimiser moments) as a
     /// little-endian binary blob. See [`EmbeddingTable::read_from`].
     pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
         w.write_all(&(self.adam_t.len() as u64).to_le_bytes())?;
         w.write_all(&(self.dim as u64).to_le_bytes())?;
-        for x in [self.init_scale, self.beta1, self.beta2, self.eps, self.weight_decay] {
+        for x in [
+            self.init_scale,
+            self.beta1,
+            self.beta2,
+            self.eps,
+            self.weight_decay,
+        ] {
             w.write_all(&x.to_le_bytes())?;
         }
         for buf in [&self.data, &self.adam_m, &self.adam_v] {
@@ -350,6 +369,18 @@ mod tests {
         a.adam_step_row(1, &[0.5, 0.5, 0.5], 0.05);
         b.adam_step_row(1, &[0.5, 0.5, 0.5], 0.05);
         assert_eq!(a.row(1), b.row(1));
+    }
+
+    #[test]
+    fn max_abs_value_flags_non_finite_and_blowups() {
+        let mut t = table(2, 2);
+        assert!(t.max_abs_value() <= 0.1);
+        t.row_mut(0)[1] = -7.5;
+        assert_eq!(t.max_abs_value(), 7.5);
+        t.row_mut(1)[0] = f32::NAN;
+        assert_eq!(t.max_abs_value(), f32::INFINITY);
+        t.row_mut(1)[0] = f32::NEG_INFINITY;
+        assert_eq!(t.max_abs_value(), f32::INFINITY);
     }
 
     #[test]

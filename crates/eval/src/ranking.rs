@@ -271,8 +271,14 @@ mod tests {
                 assert_eq!(par.len(), seq.len(), "threads={threads}");
                 // Identical ranks; means may differ by summation order (ulps).
                 assert!((par.mrr() - seq.mrr()).abs() < 1e-12, "threads={threads}");
-                assert!((par.hit20() - seq.hit20()).abs() < 1e-12, "threads={threads}");
-                assert!((par.ndcg10() - seq.ndcg10()).abs() < 1e-12, "threads={threads}");
+                assert!(
+                    (par.hit20() - seq.hit20()).abs() < 1e-12,
+                    "threads={threads}"
+                );
+                assert!(
+                    (par.ndcg10() - seq.ndcg10()).abs() < 1e-12,
+                    "threads={threads}"
+                );
             }
         }
     }
@@ -280,8 +286,7 @@ mod tests {
     #[test]
     fn sampled_evaluation_is_deterministic() {
         let (g, users, items, buy) = graph();
-        let test: Vec<TemporalEdge> =
-            vec![TemporalEdge::new(users[0], items[5], buy, 1.0)];
+        let test: Vec<TemporalEdge> = vec![TemporalEdge::new(users[0], items[5], buy, 1.0)];
         let a = RankingEvaluator::sampled(5, 42).evaluate(&g, &FixedScorer, &test);
         let b = RankingEvaluator::sampled(5, 42).evaluate(&g, &FixedScorer, &test);
         assert_eq!(a.mrr(), b.mrr());
@@ -291,8 +296,7 @@ mod tests {
     #[test]
     fn sampled_rank_never_exceeds_sample_size_plus_one() {
         let (g, users, items, buy) = graph();
-        let test: Vec<TemporalEdge> =
-            vec![TemporalEdge::new(users[0], items[0], buy, 1.0)];
+        let test: Vec<TemporalEdge> = vec![TemporalEdge::new(users[0], items[0], buy, 1.0)];
         let acc = RankingEvaluator::sampled(3, 7).evaluate(&g, &FixedScorer, &test);
         assert!(acc.mrr() >= 1.0 / 4.0);
     }

@@ -131,13 +131,7 @@ mod tests {
             heavy: us[0],
             target_of_heavy: is_[7],
         };
-        let segs = evaluate_segmented(
-            &RankingEvaluator::full(),
-            &g,
-            &scorer,
-            &test,
-            &[2],
-        );
+        let segs = evaluate_segmented(&RankingEvaluator::full(), &g, &scorer, &test, &[2]);
         assert_eq!(segs.len(), 2);
         assert_eq!(segs[0].label(), "0-1");
         assert_eq!(segs[1].label(), "2+");

@@ -42,7 +42,10 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
 /// # Panics
 /// Panics if either sample has fewer than two observations.
 pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchResult {
-    assert!(a.len() >= 2 && b.len() >= 2, "need ≥ 2 observations per arm");
+    assert!(
+        a.len() >= 2 && b.len() >= 2,
+        "need ≥ 2 observations per arm"
+    );
     let (ma, sa) = mean_std(a);
     let (mb, sb) = mean_std(b);
     let (na, nb) = (a.len() as f64, b.len() as f64);
@@ -84,8 +87,7 @@ fn incomplete_beta_reg(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a

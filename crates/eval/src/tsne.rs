@@ -125,12 +125,7 @@ pub fn tsne_2d(points: &[Vec<f32>], cfg: &TsneConfig) -> Vec<(f64, f64)> {
     // Gradient descent with momentum.
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut y: Vec<(f64, f64)> = (0..n)
-        .map(|_| {
-            (
-                rng.random_range(-1e-2..1e-2),
-                rng.random_range(-1e-2..1e-2),
-            )
-        })
+        .map(|_| (rng.random_range(-1e-2..1e-2), rng.random_range(-1e-2..1e-2)))
         .collect();
     let mut vel = vec![(0.0f64, 0.0f64); n];
     let exag_end = cfg.iterations / 4;

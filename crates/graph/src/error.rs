@@ -26,6 +26,9 @@ pub enum GraphError {
     /// A metapath schema was structurally invalid (wrong arity, empty
     /// relation set, or endpoint types inconsistent with the graph schema).
     InvalidMetapath(String),
+    /// The graph already holds `u32::MAX` nodes, so no further id can be
+    /// assigned (node ids are dense `u32`s).
+    NodeCapacityExceeded,
 }
 
 impl std::fmt::Display for GraphError {
@@ -45,6 +48,9 @@ impl std::fmt::Display for GraphError {
             ),
             GraphError::InvalidTimestamp(t) => write!(f, "invalid timestamp {t}"),
             GraphError::InvalidMetapath(msg) => write!(f, "invalid metapath schema: {msg}"),
+            GraphError::NodeCapacityExceeded => {
+                write!(f, "node capacity exceeded (node ids are u32)")
+            }
         }
     }
 }

@@ -59,18 +59,27 @@ impl Dmhg {
     /// Adds a node of the given type and returns its id.
     ///
     /// # Panics
-    /// Panics if the node type was not declared in the schema.
+    /// Panics if the node type was not declared in the schema or the node
+    /// universe is full. Code paths fed by external input (file loaders,
+    /// CLI) should use [`Dmhg::try_add_node`] instead.
     pub fn add_node(&mut self, ty: NodeTypeId) -> NodeId {
-        assert!(
-            ty.index() < self.schema.num_node_types(),
-            "node type {} not declared",
-            ty.0
+        self.try_add_node(ty)
+            .unwrap_or_else(|e| panic!("add_node: {e}"))
+    }
+
+    /// Adds a node of the given type, rejecting undeclared types and id
+    /// overflow (ids are `u32`) as errors instead of panicking.
+    pub fn try_add_node(&mut self, ty: NodeTypeId) -> Result<NodeId, GraphError> {
+        if ty.index() >= self.schema.num_node_types() {
+            return Err(GraphError::UnknownNodeType(ty));
+        }
+        let id = NodeId(
+            u32::try_from(self.node_types.len()).map_err(|_| GraphError::NodeCapacityExceeded)?,
         );
-        let id = NodeId(u32::try_from(self.node_types.len()).expect("too many nodes"));
         self.node_types.push(ty);
         self.nodes_by_type[ty.index()].push(id);
         self.adj.push(Vec::new());
-        id
+        Ok(id)
     }
 
     /// Adds `n` nodes of the given type; returns their ids.
@@ -187,9 +196,15 @@ impl Dmhg {
     /// The type of a node (`φ(v)`).
     ///
     /// # Panics
-    /// Panics if the node does not exist.
+    /// Panics if the node does not exist. When the id comes from external
+    /// input rather than a prior `add_node`, use [`Dmhg::try_node_type`].
     pub fn node_type(&self, v: NodeId) -> NodeTypeId {
         self.node_types[v.index()]
+    }
+
+    /// The type of a node (`φ(v)`), or `None` if no such node exists.
+    pub fn try_node_type(&self, v: NodeId) -> Option<NodeTypeId> {
+        self.node_types.get(v.index()).copied()
     }
 
     /// All node ids of a given type.
@@ -306,10 +321,8 @@ impl Dmhg {
                 .position(|e| e.node == node && e.relation == r)
                 .map(|off| start + off)
         };
-        let (Some(iu), Some(iv)) = (
-            find(&self.adj[u.index()], v),
-            find(&self.adj[v.index()], u),
-        ) else {
+        let (Some(iu), Some(iv)) = (find(&self.adj[u.index()], v), find(&self.adj[v.index()], u))
+        else {
             return false;
         };
         self.adj[u.index()].remove(iu);
@@ -519,14 +532,7 @@ mod tests {
         // Only "like" edges qualify.
         for _ in 0..20 {
             let n = g
-                .sample_neighbor(
-                    us[0],
-                    RelationSet::single(like),
-                    None,
-                    None,
-                    None,
-                    &mut rng,
-                )
+                .sample_neighbor(us[0], RelationSet::single(like), None, None, None, &mut rng)
                 .unwrap();
             assert_eq!(n.node, vs[1]);
         }
@@ -568,6 +574,17 @@ mod tests {
             let p = c as f64 / trials as f64;
             assert!((p - 0.25).abs() < 0.03, "non-uniform sample: {counts:?}");
         }
+    }
+
+    #[test]
+    fn try_variants_report_errors_instead_of_panicking() {
+        let (mut g, us, _, _, _) = toy();
+        assert_eq!(
+            g.try_add_node(NodeTypeId(99)),
+            Err(GraphError::UnknownNodeType(NodeTypeId(99)))
+        );
+        assert_eq!(g.try_node_type(NodeId(u32::MAX)), None);
+        assert_eq!(g.try_node_type(us[0]), Some(g.node_type(us[0])));
     }
 
     #[test]

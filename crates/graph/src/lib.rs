@@ -41,6 +41,7 @@
 
 pub mod error;
 pub mod graph;
+pub mod guard;
 pub mod ids;
 pub mod metapath;
 pub mod mining;
@@ -51,6 +52,9 @@ pub mod walker;
 
 pub use error::GraphError;
 pub use graph::{Dmhg, Neighbor};
+pub use guard::{
+    guard_stream, EventFault, QuarantineError, QuarantinePolicy, QuarantineReport, StreamGuard,
+};
 pub use ids::{NodeId, NodeTypeId, RelationId, RelationSet, Timestamp};
 pub use metapath::MetapathSchema;
 pub use mining::{mine_metapaths, MinedMetapath, MiningConfig};

@@ -118,9 +118,7 @@ impl MetapathSchema {
         for (j, rels) in self.rel_sets.iter().enumerate() {
             let (a, b) = (self.node_types[j], self.node_types[j + 1]);
             for r in rels.iter() {
-                let spec = schema
-                    .relation(r)
-                    .ok_or(GraphError::UnknownRelation(r))?;
+                let spec = schema.relation(r).ok_or(GraphError::UnknownRelation(r))?;
                 let forward = spec.src_type == a && spec.dst_type == b;
                 let backward = spec.src_type == b && spec.dst_type == a;
                 if !forward && !backward {
@@ -171,11 +169,10 @@ mod tests {
             MetapathSchema::new(vec![user, video], vec![RelationSet::EMPTY]).is_err(),
             "empty relation set must be rejected"
         );
-        assert!(MetapathSchema::new(
-            vec![user, video],
-            vec![RelationSet::single(RelationId(0))]
-        )
-        .is_ok());
+        assert!(
+            MetapathSchema::new(vec![user, video], vec![RelationSet::single(RelationId(0))])
+                .is_ok()
+        );
     }
 
     #[test]
@@ -242,15 +239,12 @@ mod tests {
     #[test]
     fn multi_relation_hops_validate_every_member() {
         let (gs, user, video, _) = kuaishou_schema();
-        let watch_like =
-            RelationSet::from_iter([RelationId(0), RelationId(1)]);
-        let p = MetapathSchema::new(vec![user, video, user], vec![watch_like, watch_like])
-            .unwrap();
+        let watch_like = RelationSet::from_iter([RelationId(0), RelationId(1)]);
+        let p = MetapathSchema::new(vec![user, video, user], vec![watch_like, watch_like]).unwrap();
         assert!(p.validate(&gs).is_ok());
-        let with_upload =
-            RelationSet::from_iter([RelationId(0), RelationId(2)]);
-        let p = MetapathSchema::new(vec![user, video, user], vec![with_upload, with_upload])
-            .unwrap();
+        let with_upload = RelationSet::from_iter([RelationId(0), RelationId(2)]);
+        let p =
+            MetapathSchema::new(vec![user, video, user], vec![with_upload, with_upload]).unwrap();
         assert!(p.validate(&gs).is_err());
     }
 }

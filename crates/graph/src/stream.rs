@@ -33,25 +33,33 @@ impl TemporalEdge {
 
 /// Stable-sorts edges by establishment time (InsLearn Algorithm 1, line 1).
 /// Ties keep their arrival order.
+///
+/// Uses IEEE total order, so the sort never panics: NaN timestamps sort
+/// after +∞ (and −NaN before −∞) instead of aborting the process. Callers
+/// ingesting untrusted streams should reject non-finite times up front
+/// (the loaders and [`crate::guard::StreamGuard`] do) — this function's
+/// job is merely to stay total on whatever reaches it.
 pub fn sort_by_time(edges: &mut [TemporalEdge]) {
-    edges.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite timestamps"));
+    edges.sort_by(|a, b| a.time.total_cmp(&b.time));
 }
 
 /// Splits a time-sorted edge stream into consecutive batches of (at most)
-/// `batch_size` edges (Algorithm 1, line 2). The final batch may be smaller.
+/// `batch_size` edges (Algorithm 1, line 2). The final batch may be
+/// smaller. A `batch_size` of 0 saturates to 1 (documented behaviour, not
+/// a panic — batch sizes come from user config).
 pub fn sequential_batches(
     edges: &[TemporalEdge],
     batch_size: usize,
 ) -> impl Iterator<Item = &[TemporalEdge]> {
-    assert!(batch_size > 0, "batch size must be positive");
-    edges.chunks(batch_size)
+    edges.chunks(batch_size.max(1))
 }
 
 /// Splits a time-sorted edge stream into `n` equal-size consecutive parts
 /// `E₁ … Eₙ` (paper §IV-E). Earlier parts absorb the remainder so sizes
-/// differ by at most one.
+/// differ by at most one. An `n` of 0 saturates to 1 (documented
+/// behaviour, not a panic — slice counts come from user config).
 pub fn temporal_slices(edges: &[TemporalEdge], n: usize) -> Vec<&[TemporalEdge]> {
-    assert!(n > 0, "need at least one slice");
+    let n = n.max(1);
     let base = edges.len() / n;
     let rem = edges.len() % n;
     let mut out = Vec::with_capacity(n);
@@ -78,6 +86,21 @@ mod tests {
         sort_by_time(&mut edges);
         let srcs: Vec<u32> = edges.iter().map(|x| x.src.0).collect();
         assert_eq!(srcs, vec![0, 1, 3, 2], "ties keep arrival order");
+    }
+
+    #[test]
+    fn sort_totals_over_nan_without_panicking() {
+        let mut edges = vec![e(0, f64::NAN), e(1, 1.0), e(2, f64::INFINITY), e(3, 0.0)];
+        sort_by_time(&mut edges);
+        let srcs: Vec<u32> = edges.iter().map(|x| x.src.0).collect();
+        assert_eq!(srcs, vec![3, 1, 2, 0], "NaN sorts last under total order");
+    }
+
+    #[test]
+    fn zero_batch_size_saturates_to_one() {
+        let edges: Vec<TemporalEdge> = (0..3).map(|i| e(i, i as f64)).collect();
+        assert_eq!(sequential_batches(&edges, 0).count(), 3);
+        assert_eq!(temporal_slices(&edges, 0).len(), 1);
     }
 
     #[test]

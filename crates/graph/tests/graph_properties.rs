@@ -25,10 +25,7 @@ fn bipartite_graph() -> (Dmhg, Vec<NodeId>, Vec<NodeId>) {
 
 /// A random stream of valid (user, item, rel, time) events.
 fn edge_stream() -> impl Strategy<Value = Vec<(u32, u32, u16, f64)>> {
-    prop::collection::vec(
-        (0..N_USERS, 0..N_ITEMS, 0u16..2, 0.0f64..1000.0),
-        1..120,
-    )
+    prop::collection::vec((0..N_USERS, 0..N_ITEMS, 0u16..2, 0.0f64..1000.0), 1..120)
 }
 
 proptest! {

@@ -66,12 +66,9 @@ impl CsrMatrix {
             deg[u] += 1;
             deg[v] += 1;
         }
-        let triplets = edges.iter().flat_map(|&(u, v)| {
-            [
-                (u, v, 1.0 / deg[u] as f32),
-                (v, u, 1.0 / deg[v] as f32),
-            ]
-        });
+        let triplets = edges
+            .iter()
+            .flat_map(|&(u, v)| [(u, v, 1.0 / deg[u] as f32), (v, u, 1.0 / deg[v] as f32)]);
         Self::from_triplets(n, n, triplets)
     }
 

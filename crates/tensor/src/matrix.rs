@@ -44,17 +44,13 @@ impl Matrix {
     /// `a = sqrt(6 / (rows + cols))`.
     pub fn glorot<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
         let a = (6.0 / (rows + cols) as f32).sqrt();
-        let data = (0..rows * cols)
-            .map(|_| rng.random_range(-a..a))
-            .collect();
+        let data = (0..rows * cols).map(|_| rng.random_range(-a..a)).collect();
         Matrix { rows, cols, data }
     }
 
     /// Uniform `U(-a, a)` initialisation.
     pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, a: f32, rng: &mut R) -> Self {
-        let data = (0..rows * cols)
-            .map(|_| rng.random_range(-a..a))
-            .collect();
+        let data = (0..rows * cols).map(|_| rng.random_range(-a..a)).collect();
         Matrix { rows, cols, data }
     }
 
@@ -117,7 +113,8 @@ impl Matrix {
     /// Matrix product `self · other`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()

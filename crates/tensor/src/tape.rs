@@ -126,19 +126,25 @@ impl<'p> Tape<'p> {
 
     /// Elementwise sum (same shapes).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x + y);
         self.push(Op::Add(a, b), v)
     }
 
     /// Elementwise difference (same shapes).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x - y);
         self.push(Op::Sub(a, b), v)
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        let v = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x * y);
         self.push(Op::Mul(a, b), v)
     }
 
@@ -217,7 +223,9 @@ impl<'p> Tape<'p> {
 
     /// Elementwise LeakyReLU with the given negative slope.
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { slope * x });
+        let v = self.nodes[a.0]
+            .value
+            .map(|x| if x > 0.0 { x } else { slope * x });
         self.push(Op::LeakyRelu(a, slope), v)
     }
 
@@ -512,9 +520,13 @@ impl<'p> Tape<'p> {
                     let y = &self.nodes[idx].value;
                     let mut ga = Matrix::zeros(y.rows(), y.cols());
                     for i in 0..y.rows() {
-                        let dot: f32 = g.row(i).iter().zip(y.row(i)).map(|(&gi, &yi)| gi * yi).sum();
-                        for ((o, &gi), &yi) in
-                            ga.row_mut(i).iter_mut().zip(g.row(i)).zip(y.row(i))
+                        let dot: f32 = g
+                            .row(i)
+                            .iter()
+                            .zip(y.row(i))
+                            .map(|(&gi, &yi)| gi * yi)
+                            .sum();
+                        for ((o, &gi), &yi) in ga.row_mut(i).iter_mut().zip(g.row(i)).zip(y.row(i))
                         {
                             *o = yi * (gi - dot);
                         }
@@ -654,7 +666,10 @@ mod tests {
     #[test]
     fn softmax_rows_sums_to_one_and_grad_is_orthogonal_to_ones() {
         let mut params = ParamStore::new();
-        let p = params.add("p", Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]));
+        let p = params.add(
+            "p",
+            Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]),
+        );
         let mut t = Tape::new(&params);
         let x = t.param(p);
         let y = t.softmax_rows(x);

@@ -10,7 +10,13 @@
 use supa::{Supa, SupaConfig, SupaVariant};
 use supa_graph::{Dmhg, GraphSchema, MetapathSchema, NodeId, RelationSet, TemporalEdge};
 
-fn rank_for(model: &Supa, u: NodeId, target: NodeId, videos: &[NodeId], r: supa_graph::RelationId) -> usize {
+fn rank_for(
+    model: &Supa,
+    u: NodeId,
+    target: NodeId,
+    videos: &[NodeId],
+    r: supa_graph::RelationId,
+) -> usize {
     let mut better = 1;
     let s = model.gamma(u, target, r);
     for &v in videos {
@@ -41,9 +47,15 @@ fn main() {
         learning_rate: 0.1,
         ..SupaConfig::small()
     };
-    let mut model =
-        Supa::new(&schema, g.num_nodes(), vec![metapath], cfg, SupaVariant::full(), 5)
-            .expect("valid metapaths");
+    let mut model = Supa::new(
+        &schema,
+        g.num_nodes(),
+        vec![metapath],
+        cfg,
+        SupaVariant::full(),
+        5,
+    )
+    .expect("valid metapaths");
     model.rebuild_negative_samplers(&g);
 
     // Warm-up: a community of users (0–3) watches the same catalogue corner.
@@ -88,7 +100,10 @@ fn main() {
     }
 
     let final_rank = rank_for(&model, users[7], fresh, &videos, watch);
-    println!("\nfinal rank of the fresh video for user u7: {final_rank}/{}", videos.len());
+    println!(
+        "\nfinal rank of the fresh video for user u7: {final_rank}/{}",
+        videos.len()
+    );
     assert!(
         final_rank <= videos.len() / 2,
         "the fresh item should have climbed into the top half"

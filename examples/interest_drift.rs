@@ -10,7 +10,12 @@
 use supa::{Supa, SupaConfig, SupaVariant};
 use supa_graph::{Dmhg, GraphSchema, MetapathSchema, NodeId, RelationSet, TemporalEdge};
 
-fn top1_genre(model: &Supa, bob: NodeId, videos: &[NodeId], click: supa_graph::RelationId) -> &'static str {
+fn top1_genre(
+    model: &Supa,
+    bob: NodeId,
+    videos: &[NodeId],
+    click: supa_graph::RelationId,
+) -> &'static str {
     let top = model.top_k(bob, videos, click, 1);
     if (top[0].0 .0 - videos[0].0) < 6 {
         "comedy"
@@ -41,9 +46,15 @@ fn main() {
         learning_rate: 0.1,
         ..SupaConfig::small()
     };
-    let mut model =
-        Supa::new(&schema, g.num_nodes(), vec![metapath], cfg, SupaVariant::full(), 1)
-            .expect("valid metapaths");
+    let mut model = Supa::new(
+        &schema,
+        g.num_nodes(),
+        vec![metapath],
+        cfg,
+        SupaVariant::full(),
+        1,
+    )
+    .expect("valid metapaths");
     model.rebuild_negative_samplers(&g);
 
     let mut t = 0.0f64;
@@ -73,7 +84,10 @@ fn main() {
         t += 30.0;
         feed(&mut g, &mut model, bob, videos[i % 6], click, t);
     }
-    println!("after comedy session, top-1 for Bob: {}", top1_genre(&model, bob, &videos, click));
+    println!(
+        "after comedy session, top-1 for Bob: {}",
+        top1_genre(&model, bob, &videos, click)
+    );
 
     // Lunch break: two hours of inactivity. SUPA's updater will *forget*
     // most of Bob's short-term (comedy) memory through g(σ(α)·Δ_V).

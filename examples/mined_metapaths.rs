@@ -84,8 +84,14 @@ fn main() {
     .with_inslearn(il);
     let res_auto = link_prediction(&ctx, &mut auto, &ev, SplitRatios::default());
 
-    println!("\nSUPA with predefined schemas: MRR {:.4}", res_pre.metrics.mrr());
-    println!("SUPA with mined schemas:      MRR {:.4}", res_auto.metrics.mrr());
+    println!(
+        "\nSUPA with predefined schemas: MRR {:.4}",
+        res_pre.metrics.mrr()
+    );
+    println!(
+        "SUPA with mined schemas:      MRR {:.4}",
+        res_auto.metrics.mrr()
+    );
     let ratio = res_auto.metrics.mrr() / res_pre.metrics.mrr().max(1e-9);
     println!("mined/predefined quality ratio: {ratio:.2}");
     assert!(

@@ -49,9 +49,15 @@ fn main() {
         time_scale: 1.0,
         ..SupaConfig::small()
     };
-    let mut model =
-        Supa::new(&schema, g.num_nodes(), vec![metapath], cfg, SupaVariant::full(), 42)
-            .expect("valid metapaths");
+    let mut model = Supa::new(
+        &schema,
+        g.num_nodes(),
+        vec![metapath],
+        cfg,
+        SupaVariant::full(),
+        42,
+    )
+    .expect("valid metapaths");
     let report = model.train_inslearn(
         &g,
         &edges,

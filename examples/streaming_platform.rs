@@ -81,8 +81,7 @@ fn main() {
     // resumes bit-exactly after a crash).
     let mut blob = Vec::new();
     model.save_checkpoint(&mut blob).expect("serialise");
-    let mut restarted =
-        Supa::from_dataset(&data, SupaConfig::small(), 999).expect("fresh process");
+    let mut restarted = Supa::from_dataset(&data, SupaConfig::small(), 999).expect("fresh process");
     restarted
         .load_checkpoint(&mut blob.as_slice())
         .expect("restore");

@@ -6,8 +6,7 @@ use supa::{InsLearnConfig, Supa, SupaConfig};
 use supa_bench::harness::{eval_context, HarnessConfig};
 use supa_datasets::taobao;
 use supa_eval::{
-    dynamic_link_prediction, link_prediction, RankingEvaluator, Recommender, Scorer,
-    SplitRatios,
+    dynamic_link_prediction, link_prediction, RankingEvaluator, Recommender, Scorer, SplitRatios,
 };
 use supa_graph::{Dmhg, NodeId, RelationId, TemporalEdge};
 
@@ -36,16 +35,23 @@ impl Recommender for Popularity {
 }
 
 fn supa_model(data: &supa_datasets::Dataset, seed: u64) -> Supa {
-    Supa::from_dataset(data, SupaConfig { dim: 24, ..SupaConfig::small() }, seed)
-        .unwrap()
-        .with_inslearn(InsLearnConfig {
-            n_iter: 8,
-            valid_interval: 4,
-            valid_size: 80,
-            patience: 2,
-            valid_candidates: 40,
-            batch_size: 1024,
-        })
+    Supa::from_dataset(
+        data,
+        SupaConfig {
+            dim: 24,
+            ..SupaConfig::small()
+        },
+        seed,
+    )
+    .unwrap()
+    .with_inslearn(InsLearnConfig {
+        n_iter: 8,
+        valid_interval: 4,
+        valid_size: 80,
+        patience: 2,
+        valid_candidates: 40,
+        batch_size: 1024,
+    })
 }
 
 #[test]

@@ -106,7 +106,13 @@ fn coldstart_smoke() {
 fn fig9_svg_renders_pairs() {
     let mut coords = supa_bench::Table::new(
         "coords",
-        vec!["Method".into(), "pair".into(), "role".into(), "x".into(), "y".into()],
+        vec![
+            "Method".into(),
+            "pair".into(),
+            "role".into(),
+            "x".into(),
+            "y".into(),
+        ],
     );
     for (pair, role, x, y) in [
         (0usize, "user", 0.0f64, 0.0f64),

@@ -1,0 +1,213 @@
+//! Fault-tolerance integration suite: each test injects one fault class
+//! with `supa_bench::faults` and proves the corresponding recovery path
+//! end-to-end — checkpoint resume after a damaged newest file, divergence
+//! rollback after a NaN-poisoned iteration, and stream quarantine under a
+//! 1% malformed event stream.
+
+use std::path::PathBuf;
+
+use supa::{CheckpointManager, InsLearnConfig, Supa, SupaConfig, TrainOptions};
+use supa_bench::faults;
+use supa_bench::harness::eval_context;
+use supa_datasets::{taobao, Dataset};
+use supa_eval::{RankingEvaluator, SplitRatios};
+use supa_graph::{guard_stream, QuarantinePolicy};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("supa-fault-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn model(d: &Dataset, seed: u64) -> Supa {
+    Supa::from_dataset(
+        d,
+        SupaConfig {
+            dim: 16,
+            ..SupaConfig::small()
+        },
+        seed,
+    )
+    .unwrap()
+}
+
+fn il_config() -> InsLearnConfig {
+    InsLearnConfig {
+        n_iter: 4,
+        valid_interval: 2,
+        valid_size: 40,
+        patience: 50, // effectively off: every batch must train + checkpoint
+        valid_candidates: 30,
+        batch_size: 512,
+    }
+}
+
+/// Crash recovery: a run checkpoints every batch; the newest checkpoint is
+/// then truncated (crash mid-write) and the next-newest gets a flipped
+/// byte (bit rot). A fresh process must resume from the newest *valid*
+/// checkpoint, report both damaged files with reasons, retrain only the
+/// uncovered tail, and land within 5% of the uninterrupted run's MRR.
+#[test]
+fn resume_skips_damaged_checkpoints_and_matches_uninterrupted_mrr() {
+    let d = taobao(0.02, 11);
+    let ctx = eval_context(&d);
+    let (train, _valid, test) = SplitRatios::default().split(ctx.edges());
+    let g = ctx.graph_with(train, None);
+    let ev = RankingEvaluator::sampled(100, 5);
+
+    let dir = tempdir("resume");
+    let mut mgr = CheckpointManager::new(&dir, 4).unwrap();
+    let mut reference = model(&d, 11);
+    let cfg = il_config();
+    reference
+        .train_inslearn_ft(
+            &g,
+            train,
+            &cfg,
+            TrainOptions {
+                checkpoints: Some(&mut mgr),
+                checkpoint_every: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let mrr_ref = ev.evaluate(&g, &reference, test).mrr();
+    assert!(mrr_ref > 0.0, "reference run must learn something");
+
+    let ckpts = mgr.list().unwrap();
+    assert!(
+        ckpts.len() >= 3,
+        "need ≥3 checkpoints to damage two, got {}",
+        ckpts.len()
+    );
+    let newest = &ckpts[ckpts.len() - 1].1;
+    let second = &ckpts[ckpts.len() - 2].1;
+    let len = std::fs::metadata(newest).unwrap().len();
+    faults::truncate_file(newest, len / 2).unwrap();
+    faults::corrupt_file(second, 24, 0x40).unwrap();
+
+    let mut resumed = model(&d, 11);
+    let mut mgr2 = CheckpointManager::new(&dir, 4).unwrap();
+    let (report, outcome) = resumed
+        .train_inslearn_ft(
+            &g,
+            train,
+            &cfg,
+            TrainOptions {
+                checkpoints: Some(&mut mgr2),
+                checkpoint_every: 1,
+                resume: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let outcome = outcome.expect("resume requested, outcome reported");
+
+    assert!(report.resumed_from_checkpoint);
+    let (loaded, consumed) = outcome.loaded.clone().expect("an older valid checkpoint");
+    assert_ne!(&loaded, newest);
+    assert_ne!(&loaded, second);
+    assert!(consumed > 0 && consumed < train.len() as u64);
+    let skipped: Vec<&PathBuf> = outcome.skipped.iter().map(|(p, _)| p).collect();
+    assert!(
+        skipped.contains(&newest),
+        "truncated file skipped: {outcome:?}"
+    );
+    assert!(
+        skipped.contains(&second),
+        "corrupted file skipped: {outcome:?}"
+    );
+    for (_, reason) in &outcome.skipped {
+        assert!(!reason.is_empty(), "every skip carries a reason");
+    }
+
+    let mrr_res = ev.evaluate(&g, &resumed, test).mrr();
+    assert!(
+        (mrr_res - mrr_ref).abs() <= 0.05 * mrr_ref,
+        "resumed MRR {mrr_res} strays >5% from uninterrupted MRR {mrr_ref}"
+    );
+}
+
+/// Divergence recovery: poison one embedding row with NaN mid-run via the
+/// iteration hook. The guard must detect it at the loss, roll back to the
+/// last good snapshot, back off the learning rate, and still finish with a
+/// healthy, predictive model.
+#[test]
+fn nan_poisoned_iteration_rolls_back_and_run_completes() {
+    let d = taobao(0.02, 11);
+    let ctx = eval_context(&d);
+    let (train, _valid, test) = SplitRatios::default().split(ctx.edges());
+    let g = ctx.graph_with(train, None);
+
+    let mut m = model(&d, 11);
+    let mut hook = |model: &mut Supa, iter: u64| {
+        if iter == 5 {
+            faults::nan_poison(model);
+        }
+    };
+    let (report, _) = m
+        .train_inslearn_ft(
+            &g,
+            train,
+            &il_config(),
+            TrainOptions {
+                iter_hook: Some(&mut hook),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+    assert!(
+        report.divergence_rollbacks >= 1,
+        "poison must trigger a rollback: {report:?}"
+    );
+    assert!(
+        report.lr_backoffs >= 1,
+        "rollback must back off the learning rate: {report:?}"
+    );
+    assert!(m.state().is_healthy(1e6), "final state must be finite");
+    let mrr = RankingEvaluator::sampled(100, 5)
+        .evaluate(&g, &m, test)
+        .mrr();
+    assert!(mrr > 0.0, "recovered model must still rank: MRR {mrr}");
+}
+
+/// Stream quarantine: a 1% malformed stream completes under `Skip` with an
+/// accurate quarantine count, and errors cleanly (first fault, with
+/// position) under `Strict`.
+#[test]
+fn one_percent_malformed_stream_is_quarantined_or_rejected() {
+    let d = taobao(0.02, 11);
+
+    // Sanitise the synthetic stream first so the baseline is fault-free.
+    let (clean, _) =
+        guard_stream(&mut d.prototype.clone(), &d.edges, QuarantinePolicy::Skip).unwrap();
+    let (ok, rep) =
+        guard_stream(&mut d.prototype.clone(), &clean, QuarantinePolicy::Strict).unwrap();
+    assert_eq!(ok.len(), clean.len());
+    assert_eq!(rep.quarantined, 0, "sanitised stream must be clean");
+
+    let (dirty, injected) = faults::inject_bad_events(&clean, 0.01, 42);
+    assert!(injected > 0);
+
+    // Skip: completes, drops exactly the injected events.
+    let (admitted, rep) =
+        guard_stream(&mut d.prototype.clone(), &dirty, QuarantinePolicy::Skip).unwrap();
+    assert_eq!(admitted.len(), clean.len());
+    assert_eq!(
+        rep.quarantined,
+        injected,
+        "quarantine count must equal injected count: {}",
+        rep.summary()
+    );
+    assert_eq!(rep.admitted, clean.len());
+
+    // Strict: fails fast on the first injected event, reporting where.
+    let err = guard_stream(&mut d.prototype.clone(), &dirty, QuarantinePolicy::Strict).unwrap_err();
+    assert!(
+        (err.position as usize) < dirty.len(),
+        "error names a stream position: {err:?}"
+    );
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+}

@@ -84,7 +84,14 @@ fn fig9_methods_expose_embeddings_after_fit() {
     let ctx = eval_context(&d);
     let ev = RankingEvaluator::sampled(30, 5);
     let probe = d.edges[0];
-    for name in ["SUPA", "node2vec", "GATNE", "LightGCN", "MB-GMN", "EvolveGCN"] {
+    for name in [
+        "SUPA",
+        "node2vec",
+        "GATNE",
+        "LightGCN",
+        "MB-GMN",
+        "EvolveGCN",
+    ] {
         let mut m = make_method(name, &d, &cfg);
         let _ = link_prediction(&ctx, m.as_mut(), &ev, SplitRatios::default());
         let emb = m

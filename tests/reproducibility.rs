@@ -91,11 +91,13 @@ fn welch_t_test_separates_seeded_runs_when_real() {
         );
         // Weak arm: untrained SUPA (random embeddings).
         let mut m = supa_bench::harness::make_supa(&d, &cfg);
-        weak.push(ev.evaluate(&ctx.graph_with(ctx.edges(), None), &m, {
-            let (_, _, test) = SplitRatios::default().split(ctx.edges());
-            test
-        })
-        .mrr());
+        weak.push(
+            ev.evaluate(&ctx.graph_with(ctx.edges(), None), &m, {
+                let (_, _, test) = SplitRatios::default().split(ctx.edges());
+                test
+            })
+            .mrr(),
+        );
         let _ = &mut m;
     }
     let t = supa_eval::welch_t_test(&strong, &weak);
