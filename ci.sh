@@ -7,4 +7,10 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
+
+# Bounded serving smoke: seeded closed-loop ingest + queries with epoch
+# verification on. Exits non-zero on any torn read or zero QPS.
+cargo run --release -p supa-bench --bin serve_bench -- \
+  --scale 0.01 --events 1500 --readers 4 --queries 200 --verify --seed 7
+
 echo "ci: all checks passed"

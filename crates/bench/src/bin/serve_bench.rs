@@ -1,0 +1,148 @@
+//! `serve_bench` — seeded closed-loop serving benchmark.
+//!
+//! Replays a synthetic dataset's event stream through the `supa-serve`
+//! engine while reader threads issue query traffic, then prints the
+//! throughput/latency/staleness report. Exits non-zero if any torn read is
+//! observed or no queries were served.
+//!
+//! ```text
+//! serve_bench [--dataset taobao] [--scale 0.02] [--events 0(=all)]
+//!             [--readers 4] [--queries 500] [--top 10] [--batch 64]
+//!             [--dim 16] [--seed 7] [--verify]
+//! ```
+//!
+//! The `events offered / admitted / applied` counts, epoch count, and probe
+//! digest are deterministic for a fixed seed; QPS and latency quantiles are
+//! machine-dependent.
+
+use std::process::ExitCode;
+
+use supa::{InsLearnConfig, Supa, SupaConfig};
+use supa_datasets::all_datasets;
+use supa_serve::{run_closed_loop, LoadConfig, ServeConfig};
+
+struct Args {
+    dataset: String,
+    scale: f64,
+    events: usize,
+    readers: usize,
+    queries: usize,
+    top: usize,
+    batch: usize,
+    dim: usize,
+    seed: u64,
+    verify: bool,
+}
+
+fn num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("{flag}: cannot parse '{v}'"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        dataset: "taobao".into(),
+        scale: 0.02,
+        events: 0,
+        readers: 4,
+        queries: 500,
+        top: 10,
+        batch: 64,
+        dim: 16,
+        seed: 7,
+        verify: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--verify" {
+            a.verify = true;
+            continue;
+        }
+        let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--dataset" => a.dataset = v.clone(),
+            "--scale" => a.scale = num(&flag, &v)?,
+            "--events" => a.events = num(&flag, &v)?,
+            "--readers" => a.readers = num(&flag, &v)?,
+            "--queries" => a.queries = num(&flag, &v)?,
+            "--top" => a.top = num(&flag, &v)?,
+            "--batch" => a.batch = num(&flag, &v)?,
+            "--dim" => a.dim = num(&flag, &v)?,
+            "--seed" => a.seed = num(&flag, &v)?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(a)
+}
+
+fn run() -> Result<(), String> {
+    let a = parse_args()?;
+    let mut d = all_datasets(a.scale, a.seed)
+        .into_iter()
+        .find(|d| {
+            d.name.to_lowercase().replace('.', "") == a.dataset.to_lowercase().replace('.', "")
+        })
+        .ok_or_else(|| format!("unknown dataset '{}'", a.dataset))?;
+    if a.events > 0 {
+        d.edges.truncate(a.events);
+    }
+    let cfg = SupaConfig {
+        dim: a.dim,
+        ..SupaConfig::small()
+    };
+    let model = Supa::from_dataset(&d, cfg, a.seed)
+        .map_err(|e| e.to_string())?
+        .with_inslearn(InsLearnConfig {
+            batch_size: a.batch.max(1024),
+            ..InsLearnConfig::fast()
+        });
+
+    println!(
+        "serve_bench: {} ({} events), {} readers × {} queries, top-{}, chunk {}, seed {}{}",
+        d.name,
+        d.edges.len(),
+        a.readers,
+        a.queries,
+        a.top,
+        a.batch,
+        a.seed,
+        if a.verify { ", verifying" } else { "" },
+    );
+    let report = run_closed_loop(
+        &d,
+        model,
+        ServeConfig {
+            train_batch: a.batch,
+            ..ServeConfig::default()
+        },
+        LoadConfig {
+            readers: a.readers,
+            top_k: a.top,
+            queries_per_reader: a.queries,
+            seed: a.seed,
+            verify: a.verify,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{report}");
+
+    if report.metrics.torn_reads > 0 {
+        return Err(format!(
+            "{} torn reads — epoch consistency violated",
+            report.metrics.torn_reads
+        ));
+    }
+    if report.metrics.queries == 0 || report.metrics.qps <= 0.0 {
+        return Err("no queries served (zero QPS)".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -264,6 +264,9 @@ impl Supa {
     /// Applies a gradient bundle with per-row Adam (and Adam on the `α`s).
     pub(crate) fn apply_grads(&mut self, grads: &EventGrads) {
         let lr = self.cfg.learning_rate;
+        if let Some(log) = &mut self.touch_log {
+            log.extend(grads.rows.iter().map(|(_, node, _)| *node));
+        }
         for (kind, node, g) in &grads.rows {
             let node = *node as usize;
             match kind {
@@ -547,6 +550,27 @@ mod tests {
         let mean = m.train_pass(&f.g, &edges);
         assert!(mean > 0.0);
         assert_eq!(m.train_pass(&f.g, &[]), 0.0);
+    }
+
+    #[test]
+    fn touch_tracking_logs_updated_rows() {
+        let f = fixture();
+        let e = TemporalEdge::new(f.u0, f.i2, f.r0, 10.0);
+        let mut m = model(&f, SupaVariant::full());
+        // Disabled by default: training logs nothing.
+        m.train_edge(&f.g, &e);
+        assert!(m.take_touched().is_empty());
+        m.enable_touch_tracking();
+        m.train_edge(&f.g, &e);
+        let touched = m.take_touched();
+        // Both endpoints receive gradients; the log is sorted and deduped.
+        assert!(touched.contains(&f.u0.0));
+        assert!(touched.contains(&f.i2.0));
+        assert!(touched.windows(2).all(|w| w[0] < w[1]));
+        // Drained: a second take is empty until more training happens.
+        assert!(m.take_touched().is_empty());
+        m.train_edge(&f.g, &e);
+        assert!(!m.take_touched().is_empty());
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod event;
 pub mod inslearn;
 pub mod model;
 pub mod recommend;
+pub mod serving;
 pub mod variants;
 
 pub use checkpoint::{CheckpointManager, CheckpointMeta, ResumeOutcome};
@@ -57,4 +58,5 @@ pub use config::SupaConfig;
 pub use event::EventLoss;
 pub use inslearn::{GuardConfig, InsLearnConfig, InsLearnReport, TrainOptions};
 pub use model::{Supa, SupaState};
+pub use serving::ServingSnapshot;
 pub use variants::SupaVariant;

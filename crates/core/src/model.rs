@@ -125,6 +125,10 @@ pub struct Supa {
     pub(crate) seed: u64,
     pub(crate) num_node_types: usize,
     pub(crate) inslearn_cfg: crate::inslearn::InsLearnConfig,
+    /// When `Some`, every node id whose embedding row receives a gradient is
+    /// appended here (the serving layer's cache-invalidation feed). `None`
+    /// costs nothing on the training path.
+    pub(crate) touch_log: Option<Vec<u32>>,
     name: String,
 }
 
@@ -184,6 +188,7 @@ impl Supa {
             seed,
             num_node_types: schema.num_node_types(),
             inslearn_cfg: crate::inslearn::InsLearnConfig::default(),
+            touch_log: None,
             name: "SUPA".to_string(),
         })
     }
@@ -257,6 +262,34 @@ impl Supa {
     /// Restore a snapshot (InsLearn `Φ ← Φ_best`).
     pub fn restore(&mut self, s: SupaState) {
         self.state = s;
+    }
+
+    /// Starts recording the node ids touched by training updates (see
+    /// [`Supa::take_touched`]). Idempotent; keeps an existing log.
+    pub fn enable_touch_tracking(&mut self) {
+        if self.touch_log.is_none() {
+            self.touch_log = Some(Vec::new());
+        }
+    }
+
+    /// Drains the touch log: the sorted, deduplicated node ids whose
+    /// embedding rows received a gradient since the last drain.
+    ///
+    /// The log is a *superset* of the rows that ended up changed: InsLearn's
+    /// best-model rollback can revert an update, but only of rows that were
+    /// themselves logged, so invalidating every logged row is always sound
+    /// for a serving cache. Empty (and free) unless
+    /// [`Supa::enable_touch_tracking`] was called.
+    pub fn take_touched(&mut self) -> Vec<u32> {
+        match &mut self.touch_log {
+            Some(log) => {
+                let mut t = std::mem::take(log);
+                t.sort_unstable();
+                t.dedup();
+                t
+            }
+            None => Vec::new(),
+        }
     }
 
     /// The active time scale divisor.

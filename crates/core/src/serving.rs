@@ -1,0 +1,162 @@
+//! Serving-side export: an immutable, values-only view of the model.
+//!
+//! The online serving layer (the `supa-serve` crate) publishes model state
+//! to reader threads as epoch-versioned snapshots. A [`ServingSnapshot`] is
+//! what gets published: the embedding *values* a query needs to evaluate
+//! Eq. 15 — long/short-term memories and context tables — and none of the
+//! trainer-only state (Adam moments, RNG, walker, samplers). That keeps the
+//! per-snapshot copy cost at roughly a quarter of a full model clone and
+//! makes the snapshot `Send + Sync` by construction.
+//!
+//! Scoring here is **bit-identical** to [`Supa::gamma`]: the same rows, the
+//! same accumulation order, the same final scale. The online/offline
+//! equivalence tests in `supa-serve` rely on this — a snapshot exported
+//! after N events must score exactly like the live model that produced it.
+
+use supa_embed::EmbeddingValues;
+use supa_eval::Scorer;
+use supa_graph::{NodeId, RelationId};
+
+use crate::model::Supa;
+
+/// An immutable, query-only copy of a [`Supa`] model's embeddings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingSnapshot {
+    dim: usize,
+    no_forget: bool,
+    shared_context: bool,
+    h_long: EmbeddingValues,
+    /// Absent under the `no_forget` variant, whose readout never touches
+    /// the short-term memory.
+    h_short: Option<EmbeddingValues>,
+    ctx: Vec<EmbeddingValues>,
+}
+
+impl ServingSnapshot {
+    /// Number of node rows covered by the snapshot.
+    pub fn num_nodes(&self) -> usize {
+        self.h_long.len()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Index into the context tables for relation `r` (mirrors the model's
+    /// shared-context collapsing).
+    #[inline]
+    fn ctx_idx(&self, r: RelationId) -> usize {
+        if self.shared_context {
+            0
+        } else {
+            r.index()
+        }
+    }
+
+    /// Eq. 15 readout, identical op-for-op to [`Supa::gamma`].
+    pub fn gamma(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {
+        let (ui, vi) = (u.index(), v.index());
+        let cidx = self.ctx_idx(r);
+        let (hl_u, hl_v) = (self.h_long.row(ui), self.h_long.row(vi));
+        let (c_u, c_v) = (self.ctx[cidx].row(ui), self.ctx[cidx].row(vi));
+        let mut s = 0.0f32;
+        if self.no_forget {
+            for k in 0..hl_u.len() {
+                s += (hl_u[k] + c_u[k]) * (hl_v[k] + c_v[k]);
+            }
+        } else {
+            let hs = self.h_short.as_ref().expect("short-term memory exported");
+            let (hs_u, hs_v) = (hs.row(ui), hs.row(vi));
+            for k in 0..hl_u.len() {
+                s += (hl_u[k] + hs_u[k] + c_u[k]) * (hl_v[k] + hs_v[k] + c_v[k]);
+            }
+        }
+        0.25 * s
+    }
+}
+
+impl Scorer for ServingSnapshot {
+    fn score(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {
+        self.gamma(u, v, r)
+    }
+}
+
+impl Supa {
+    /// Exports the current embedding values as a [`ServingSnapshot`].
+    pub fn export_serving_snapshot(&self) -> ServingSnapshot {
+        ServingSnapshot {
+            dim: self.cfg.dim,
+            no_forget: self.variant.no_forget,
+            shared_context: self.variant.shared_context,
+            h_long: self.state.h_long.values_snapshot(),
+            h_short: if self.variant.no_forget {
+                None
+            } else {
+                Some(self.state.h_short.values_snapshot())
+            },
+            ctx: self.state.ctx.iter().map(|t| t.values_snapshot()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SupaConfig;
+    use crate::variants::SupaVariant;
+    use supa_datasets::taobao;
+
+    #[test]
+    fn snapshot_gamma_is_bit_identical_to_model_gamma() {
+        let d = taobao(0.02, 11);
+        let mut m = Supa::from_dataset(&d, SupaConfig::small(), 11).unwrap();
+        let g = d.full_graph();
+        m.resolve_time_scale(&g);
+        m.rebuild_negative_samplers(&g);
+        m.train_pass(&g, &d.edges[..100]);
+        let snap = m.export_serving_snapshot();
+        assert_eq!(snap.num_nodes(), m.state().h_long.len());
+        for e in &d.edges[..50] {
+            let live = m.gamma(e.src, e.dst, e.relation);
+            let served = snap.gamma(e.src, e.dst, e.relation);
+            assert_eq!(live.to_bits(), served.to_bits());
+            assert_eq!(
+                snap.score(e.src, e.dst, e.relation).to_bits(),
+                live.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_is_detached_from_further_training() {
+        let d = taobao(0.02, 12);
+        let mut m = Supa::from_dataset(&d, SupaConfig::small(), 12).unwrap();
+        let g = d.full_graph();
+        m.resolve_time_scale(&g);
+        m.rebuild_negative_samplers(&g);
+        let snap = m.export_serving_snapshot();
+        let e = &d.edges[0];
+        let before = snap.gamma(e.src, e.dst, e.relation);
+        m.train_pass(&g, &d.edges[..100]);
+        assert_ne!(
+            m.gamma(e.src, e.dst, e.relation),
+            before,
+            "training should move the live score"
+        );
+        assert_eq!(snap.gamma(e.src, e.dst, e.relation), before);
+    }
+
+    #[test]
+    fn no_forget_snapshot_skips_short_term_memory() {
+        let d = taobao(0.02, 13);
+        let m = Supa::from_dataset_variant(&d, SupaConfig::small(), SupaVariant::nf(), 13).unwrap();
+        let snap = m.export_serving_snapshot();
+        assert!(snap.h_short.is_none());
+        let e = &d.edges[0];
+        assert_eq!(
+            snap.gamma(e.src, e.dst, e.relation).to_bits(),
+            m.gamma(e.src, e.dst, e.relation).to_bits()
+        );
+    }
+}

@@ -23,4 +23,4 @@ pub mod vecmath;
 
 pub use alias::AliasTable;
 pub use negative::NegativeSampler;
-pub use table::EmbeddingTable;
+pub use table::{EmbeddingTable, EmbeddingValues};

@@ -154,6 +154,17 @@ impl EmbeddingTable {
         &self.data
     }
 
+    /// A values-only snapshot of the table: the embedding matrix without
+    /// any optimiser state. Roughly a quarter of the bytes of a full
+    /// [`Clone`], which is what makes frequent serving snapshots affordable
+    /// — readers score against values, never against Adam moments.
+    pub fn values_snapshot(&self) -> EmbeddingValues {
+        EmbeddingValues {
+            dim: self.dim,
+            data: self.data.clone().into_boxed_slice(),
+        }
+    }
+
     /// The largest absolute value in the table, or `f32::INFINITY` when any
     /// entry is NaN or ±∞. Divergence guards compare this against a blow-up
     /// threshold; a single scan answers both "finite?" and "exploded?".
@@ -247,6 +258,42 @@ impl EmbeddingTable {
             eps,
             weight_decay,
         })
+    }
+}
+
+/// An immutable, values-only embedding matrix produced by
+/// [`EmbeddingTable::values_snapshot`].
+///
+/// Carries exactly what a query path needs — `n × d` values — and nothing a
+/// trainer needs, so it is `Send + Sync` by construction and safe to share
+/// behind an `Arc` across reader threads while training continues on the
+/// live table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingValues {
+    dim: usize,
+    data: Box<[f32]>,
+}
+
+impl EmbeddingValues {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// Whether the snapshot has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Embedding dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
     }
 }
 
@@ -381,6 +428,23 @@ mod tests {
         assert_eq!(t.max_abs_value(), f32::INFINITY);
         t.row_mut(1)[0] = f32::NEG_INFINITY;
         assert_eq!(t.max_abs_value(), f32::INFINITY);
+    }
+
+    #[test]
+    fn values_snapshot_matches_table_and_detaches() {
+        let mut t = table(3, 2);
+        let snap = t.values_snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.dim(), 2);
+        assert!(!snap.is_empty());
+        for i in 0..3 {
+            assert_eq!(snap.row(i), t.row(i));
+        }
+        // Snapshot is a copy: further training leaves it untouched.
+        let before = snap.row(0).to_vec();
+        t.adam_step_row(0, &[1.0, 1.0], 0.5);
+        assert_ne!(t.row(0), before.as_slice());
+        assert_eq!(snap.row(0), before.as_slice());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use supa_graph::{NodeId, RelationId};
 
-use crate::ranking::Scorer;
+use crate::ranking::{top_k_in_place, Scorer};
 
 /// Coverage/concentration measurements at one K.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,10 +51,8 @@ pub fn coverage_at_k<S: Scorer + ?Sized>(
                 .enumerate()
                 .map(|(i, &v)| (i, scorer.score(u, v, r))),
         );
-        // Partial selection of the top-K by score.
-        scored.select_nth_unstable_by(k - 1, |a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // Partial selection of the top-K by score (deterministic ties).
+        top_k_in_place(&mut scored, k);
         for &(i, _) in &scored[..k] {
             exposure[i] += 1;
         }

@@ -31,7 +31,9 @@ pub use protocol::{
     disturbance_protocol, dynamic_link_prediction, link_prediction, DisturbanceResult,
     DynamicStepResult, EvalContext, LinkPredictionResult, SplitRatios,
 };
-pub use ranking::{rank_of_target, CandidateSet, RankingEvaluator, Scorer};
+pub use ranking::{
+    rank_of_target, top_k_in_place, top_k_scored, CandidateSet, RankingEvaluator, Scorer,
+};
 pub use recommender::Recommender;
 pub use segmented::{evaluate_segmented, SegmentResult};
 pub use stats::{mean_std, welch_t_test, WelchResult};

@@ -59,6 +59,52 @@ pub fn rank_of_target<S: Scorer + ?Sized>(
     rank
 }
 
+/// Reduces `scored` to its top `k` entries by score, highest first.
+///
+/// Ordering is total and deterministic: NaN scores sort below every real
+/// score (never poisoning the comparator the way `partial_cmp().unwrap()`
+/// would), real scores compare via [`f32::total_cmp`], and equal scores break
+/// ties by ascending id so two runs over the same data always produce the
+/// same list. Works for any `Copy + Ord` id — `usize` indices in coverage,
+/// `NodeId` in the serving query path.
+///
+/// Uses `select_nth_unstable_by` for the O(n) cut, then sorts only the
+/// surviving `k` entries.
+pub fn top_k_in_place<I: Copy + Ord>(scored: &mut Vec<(I, f32)>, k: usize) {
+    let cmp = |a: &(I, f32), b: &(I, f32)| {
+        a.1.is_nan()
+            .cmp(&b.1.is_nan())
+            .then_with(|| b.1.total_cmp(&a.1))
+            .then_with(|| a.0.cmp(&b.0))
+    };
+    if k == 0 {
+        scored.clear();
+        return;
+    }
+    if k < scored.len() {
+        scored.select_nth_unstable_by(k - 1, cmp);
+        scored.truncate(k);
+    }
+    scored.sort_unstable_by(cmp);
+}
+
+/// Scores every candidate for `u` under `r` and returns the top `k` as
+/// `(candidate, score)` pairs, highest score first, ties broken by ascending
+/// [`NodeId`] (see [`top_k_in_place`]).
+pub fn top_k_scored<S: Scorer + ?Sized>(
+    scorer: &S,
+    u: NodeId,
+    candidates: &[NodeId],
+    r: RelationId,
+    k: usize,
+) -> Vec<(NodeId, f32)> {
+    let mut scores = Vec::new();
+    scorer.score_batch(u, candidates, r, &mut scores);
+    let mut scored: Vec<(NodeId, f32)> = candidates.iter().copied().zip(scores).collect();
+    top_k_in_place(&mut scored, k);
+    scored
+}
+
 /// How candidates are chosen for each test edge.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CandidateSet {
@@ -219,6 +265,36 @@ mod tests {
         let users = g.add_nodes(user, 2);
         let items = g.add_nodes(item, 10);
         (g, users, items, buy)
+    }
+
+    #[test]
+    fn top_k_orders_scores_and_breaks_ties_by_id() {
+        let mut scored = vec![(3usize, 1.0f32), (0, 2.0), (2, 1.0), (1, f32::NAN)];
+        top_k_in_place(&mut scored, 3);
+        // Descending score; the 1.0 tie resolves to the lower id; NaN loses.
+        assert_eq!(scored, vec![(0, 2.0), (2, 1.0), (3, 1.0)]);
+
+        let mut all = vec![(5usize, 0.5f32), (4, 0.5)];
+        top_k_in_place(&mut all, 10);
+        assert_eq!(all, vec![(4, 0.5), (5, 0.5)]);
+
+        let mut none = vec![(1usize, 1.0f32)];
+        top_k_in_place(&mut none, 0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn top_k_scored_matches_scorer_order() {
+        let (_, users, items, buy) = graph();
+        let top = top_k_scored(&FixedScorer, users[0], &items, buy, 3);
+        let mut want: Vec<NodeId> = items.clone();
+        want.sort_unstable_by_key(|n| std::cmp::Reverse(n.0));
+        let got: Vec<NodeId> = top.iter().map(|&(v, _)| v).collect();
+        assert_eq!(got, want[..3].to_vec());
+        // Constant scorer: deterministic ascending-id order.
+        let flat = top_k_scored(&ConstantScorer, users[0], &items, buy, 4);
+        let got: Vec<NodeId> = flat.iter().map(|&(v, _)| v).collect();
+        assert_eq!(got, items[..4].to_vec());
     }
 
     #[test]

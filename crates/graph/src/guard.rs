@@ -220,6 +220,13 @@ impl StreamGuard {
         self.policy
     }
 
+    /// How many events this guard has classified (the 0-based position the
+    /// *next* event will be judged at). Serving checkpoints record this to
+    /// know where in the stream to resume.
+    pub fn position(&self) -> u64 {
+        self.position
+    }
+
     /// The tally so far.
     pub fn report(&self) -> &QuarantineReport {
         &self.report

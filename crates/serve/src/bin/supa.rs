@@ -12,6 +12,11 @@
 //!                [--holdout 0.2] [--sampled N]
 //! supa recommend --data data.tsv --checkpoint model.ckpt --user 3
 //!                --relation Buy [--top 10] [--dim 32] [--include-seen]
+//! supa serve     --data data.tsv [--dim 32] [--seed 7] [--readers 4]
+//!                [--queries 500] [--top 10] [--batch 64] [--queue 1024]
+//!                [--snapshot-every 1] [--cache 4096] [--checkpoint-dir DIR]
+//!                [--checkpoint-every 8] [--keep 3] [--resume]
+//!                [--on-bad-event strict|skip|clamp]
 //! ```
 //!
 //! Data is the self-describing TSV of `supa_datasets::load_tsv`; checkpoints
@@ -25,6 +30,14 @@
 //! to skip. `--on-bad-event` chooses what happens to malformed stream
 //! events: `strict` aborts on the first (the default), `skip` quarantines
 //! them, `clamp` repairs what is repairable and quarantines the rest.
+//!
+//! `serve` runs the closed-loop serving engine of `supa-serve`: the
+//! dataset's event stream is replayed through a bounded ingest queue into
+//! incremental training while `--readers` threads issue `--queries` top-K
+//! queries each against epoch-versioned snapshots, then prints the
+//! throughput/latency/staleness report. With `--checkpoint-dir` the writer
+//! checkpoints every `--checkpoint-every` chunks, and `--resume` warm-starts
+//! from the newest valid checkpoint.
 
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -36,6 +49,7 @@ use supa::{CheckpointManager, InsLearnConfig, Supa, SupaConfig, TrainOptions};
 use supa_datasets::{all_datasets, load_tsv, save_tsv, Dataset};
 use supa_eval::{RankingEvaluator, Scorer};
 use supa_graph::{guard_stream, mine_metapaths, MiningConfig, NodeId, QuarantinePolicy};
+use supa_serve::{run_closed_loop, CheckpointOptions, LoadConfig, ServeConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,28 +62,126 @@ fn main() -> ExitCode {
     }
 }
 
-/// Splits `args` into the subcommand and a `--flag value` map.
+/// What flags a subcommand accepts. Anything else is a hard error — a typo
+/// like `--checkpont-dir` must not silently fall back to a default.
+struct CommandSpec {
+    name: &'static str,
+    /// Flags that take a value (`--flag value`).
+    value_flags: &'static [&'static str],
+    /// Flags that take none (`--flag`).
+    bool_flags: &'static [&'static str],
+}
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "generate",
+        value_flags: &["dataset", "scale", "seed", "out"],
+        bool_flags: &[],
+    },
+    CommandSpec {
+        name: "stats",
+        value_flags: &["data"],
+        bool_flags: &[],
+    },
+    CommandSpec {
+        name: "mine",
+        value_flags: &["data", "min-support", "seed"],
+        bool_flags: &[],
+    },
+    CommandSpec {
+        name: "train",
+        value_flags: &[
+            "data",
+            "out",
+            "holdout",
+            "dim",
+            "seed",
+            "batch",
+            "n-iter",
+            "checkpoint-dir",
+            "checkpoint-every",
+            "keep",
+            "on-bad-event",
+        ],
+        bool_flags: &["mine", "resume"],
+    },
+    CommandSpec {
+        name: "evaluate",
+        value_flags: &["data", "checkpoint", "holdout", "dim", "seed", "sampled"],
+        bool_flags: &["mine"],
+    },
+    CommandSpec {
+        name: "recommend",
+        value_flags: &[
+            "data",
+            "checkpoint",
+            "user",
+            "relation",
+            "top",
+            "dim",
+            "seed",
+        ],
+        bool_flags: &["mine", "include-seen"],
+    },
+    CommandSpec {
+        name: "serve",
+        value_flags: &[
+            "data",
+            "dim",
+            "seed",
+            "readers",
+            "queries",
+            "top",
+            "batch",
+            "queue",
+            "snapshot-every",
+            "cache",
+            "checkpoint-dir",
+            "checkpoint-every",
+            "keep",
+            "on-bad-event",
+        ],
+        bool_flags: &["mine", "resume"],
+    },
+];
+
+/// Splits `args` into the subcommand and a `--flag value` map, rejecting
+/// flags the subcommand does not declare.
 fn parse(args: &[String]) -> Result<(String, HashMap<String, String>), String> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(usage)?.clone();
+    let spec = COMMANDS
+        .iter()
+        .find(|s| s.name == cmd)
+        .ok_or_else(|| format!("unknown command '{cmd}'; {}", usage()))?;
     let mut flags = HashMap::new();
     while let Some(a) = it.next() {
         let Some(name) = a.strip_prefix("--") else {
             return Err(format!("unexpected positional argument '{a}'"));
         };
-        // Boolean flags take no value.
-        if matches!(name, "mine" | "include-seen" | "resume") {
+        if spec.bool_flags.contains(&name) {
             flags.insert(name.to_string(), "true".to_string());
-        } else {
+        } else if spec.value_flags.contains(&name) {
             let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
             flags.insert(name.to_string(), v.clone());
+        } else {
+            let known: Vec<String> = spec
+                .value_flags
+                .iter()
+                .chain(spec.bool_flags)
+                .map(|f| format!("--{f}"))
+                .collect();
+            return Err(format!(
+                "unknown flag --{name} for '{cmd}' (known flags: {})",
+                known.join(", ")
+            ));
         }
     }
     Ok((cmd, flags))
 }
 
 fn usage() -> String {
-    "usage: supa <generate|stats|mine|train|evaluate|recommend> [--flags]; \
+    "usage: supa <generate|stats|mine|train|evaluate|recommend|serve> [--flags]; \
      see the binary's module docs"
         .to_string()
 }
@@ -364,6 +476,55 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "serve" => {
+            let d = load_dataset(&flags)?;
+            let policy: QuarantinePolicy = flags
+                .get("on-bad-event")
+                .map(|s| s.parse())
+                .transpose()
+                .map_err(|e| format!("--on-bad-event: {e}"))?
+                .unwrap_or(QuarantinePolicy::Skip);
+            let checkpoint = match flags.get("checkpoint-dir") {
+                Some(dir) => Some(CheckpointOptions {
+                    dir: dir.into(),
+                    every: get(&flags, "checkpoint-every", 8)?,
+                    keep: get(&flags, "keep", 3)?,
+                    resume: flags.contains_key("resume"),
+                }),
+                None => {
+                    if flags.contains_key("resume") {
+                        return Err("--resume needs --checkpoint-dir".into());
+                    }
+                    None
+                }
+            };
+            let model = build_model(&d, &flags)?;
+            let serve_cfg = ServeConfig {
+                queue_capacity: get(&flags, "queue", 1024)?,
+                train_batch: get(&flags, "batch", 64)?,
+                snapshot_every: get(&flags, "snapshot-every", 1)?,
+                policy,
+                cache_capacity: get(&flags, "cache", 4096)?,
+                checkpoint,
+                ..ServeConfig::default()
+            };
+            let load = LoadConfig {
+                readers: get(&flags, "readers", 4)?,
+                top_k: get(&flags, "top", 10)?,
+                queries_per_reader: get(&flags, "queries", 500)?,
+                seed: get(&flags, "seed", 7u64)?,
+                verify: true,
+            };
+            let report = run_closed_loop(&d, model, serve_cfg, load).map_err(|e| e.to_string())?;
+            println!("{report}");
+            if report.metrics.torn_reads > 0 {
+                return Err(format!(
+                    "{} torn reads — epoch consistency violated",
+                    report.metrics.torn_reads
+                ));
+            }
+            Ok(())
+        }
         other => Err(format!("unknown command '{other}'; {}", usage())),
     }
 }
@@ -393,17 +554,35 @@ mod tests {
         assert!(parse(&[]).is_err());
         assert!(parse(&sargs(&["train", "positional"])).is_err());
         assert!(parse(&sargs(&["train", "--data"])).is_err());
+        assert!(parse(&sargs(&["frobnicate", "--data", "x.tsv"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_by_name() {
+        // The typo must be named, not silently ignored.
+        let err = parse(&sargs(&["train", "--checkpont-dir", "/tmp/x"])).unwrap_err();
+        assert!(err.contains("--checkpont-dir"), "{err}");
+        assert!(
+            err.contains("--checkpoint-dir"),
+            "should list known flags: {err}"
+        );
+        // A flag valid for one command is still invalid for another.
+        let err = parse(&sargs(&["stats", "--user", "3"])).unwrap_err();
+        assert!(err.contains("--user") && err.contains("'stats'"), "{err}");
+        // Boolean flags are per-command too.
+        assert!(parse(&sargs(&["generate", "--resume"])).is_err());
+        assert!(parse(&sargs(&["serve", "--resume"])).is_ok());
     }
 
     #[test]
     fn flag_helpers() {
-        let (_, flags) = parse(&sargs(&["x", "--dim", "16"])).unwrap();
+        let (_, flags) = parse(&sargs(&["train", "--dim", "16"])).unwrap();
         assert_eq!(get(&flags, "dim", 32usize).unwrap(), 16);
         assert_eq!(get(&flags, "top", 10usize).unwrap(), 10);
         assert!(get::<usize>(&flags, "dim", 0).is_ok());
         assert!(require(&flags, "dim").is_ok());
         assert!(require(&flags, "nope").is_err());
-        let (_, bad) = parse(&sargs(&["x", "--dim", "banana"])).unwrap();
+        let (_, bad) = parse(&sargs(&["train", "--dim", "banana"])).unwrap();
         assert!(get::<usize>(&bad, "dim", 0).is_err());
     }
 

@@ -1,0 +1,177 @@
+//! Per-user top-K result cache with touched-neighborhood invalidation.
+//!
+//! The writer thread publishes a new snapshot after every training chunk and
+//! hands the cache the set of node rows that chunk touched (SUPA's propagate
+//! step updates the two endpoints plus sampled neighbors, so the touch set is
+//! exactly the rows whose embeddings may have moved). An entry is dropped
+//! when its *user* was touched or any of its cached *items* were touched;
+//! everything else stays valid — an untouched entry still scores bit-identically
+//! under the new epoch for its user/candidate pairs, but we keep its recorded
+//! epoch so readers can attribute the result to the snapshot that produced it.
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use parking_lot::Mutex;
+use supa_graph::NodeId;
+
+/// Key: (user row, relation index, k).
+type Key = (u32, u16, usize);
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    /// Epoch of the snapshot the result was computed against.
+    epoch: u64,
+    /// Ranked `(item, score)` pairs, best first.
+    items: Vec<(NodeId, f32)>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<Key, CacheEntry>,
+    /// Insertion order for capacity eviction (stale keys are skipped lazily).
+    order: VecDeque<Key>,
+}
+
+/// A bounded, invalidation-aware cache of top-K query results.
+#[derive(Debug)]
+pub struct QueryCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+        }
+    }
+
+    /// Looks up a cached result, returning its epoch and items.
+    pub fn get(&self, user: u32, rel: u16, k: usize) -> Option<(u64, Vec<(NodeId, f32)>)> {
+        let inner = self.inner.lock();
+        inner
+            .map
+            .get(&(user, rel, k))
+            .map(|e| (e.epoch, e.items.clone()))
+    }
+
+    /// Stores a freshly computed result.
+    pub fn put(&self, user: u32, rel: u16, k: usize, epoch: u64, items: Vec<(NodeId, f32)>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        match inner.map.entry((user, rel, k)) {
+            MapEntry::Occupied(mut o) => {
+                // Refresh in place; the old order entry is skipped lazily.
+                o.insert(CacheEntry { epoch, items });
+            }
+            MapEntry::Vacant(v) => {
+                v.insert(CacheEntry { epoch, items });
+                inner.order.push_back((user, rel, k));
+            }
+        }
+        while inner.map.len() > self.capacity {
+            match inner.order.pop_front() {
+                Some(key) => {
+                    inner.map.remove(&key);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Drops every entry whose user or any cached item is in `touched`
+    /// (sorted node rows, as produced by `Supa::take_touched`).
+    pub fn invalidate_touched(&self, touched: &[u32]) {
+        if touched.is_empty() {
+            return;
+        }
+        let touched: HashSet<u32> = touched.iter().copied().collect();
+        let mut inner = self.inner.lock();
+        inner.map.retain(|&(user, _, _), entry| {
+            !touched.contains(&user)
+                && !entry
+                    .items
+                    .iter()
+                    .any(|(item, _)| touched.contains(&item.0))
+        });
+    }
+
+    /// Removes everything (used when a snapshot is rebuilt wholesale, e.g.
+    /// after checkpoint resume).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.order.clear();
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(ids: &[u32]) -> Vec<(NodeId, f32)> {
+        ids.iter().map(|&i| (NodeId(i), 1.0)).collect()
+    }
+
+    #[test]
+    fn get_put_roundtrip_and_capacity_eviction() {
+        let cache = QueryCache::new(2);
+        cache.put(1, 0, 5, 7, items(&[10, 11]));
+        assert_eq!(cache.get(1, 0, 5).unwrap().0, 7);
+        assert!(cache.get(1, 0, 4).is_none(), "k is part of the key");
+
+        cache.put(2, 0, 5, 7, items(&[12]));
+        cache.put(3, 0, 5, 8, items(&[13]));
+        // Capacity 2: the oldest entry (user 1) was evicted.
+        assert!(cache.get(1, 0, 5).is_none());
+        assert!(cache.get(2, 0, 5).is_some());
+        assert!(cache.get(3, 0, 5).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = QueryCache::new(0);
+        cache.put(1, 0, 5, 1, items(&[2]));
+        assert!(cache.get(1, 0, 5).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn invalidation_hits_touched_users_and_items() {
+        let cache = QueryCache::new(16);
+        cache.put(1, 0, 3, 1, items(&[10, 11])); // user touched
+        cache.put(2, 0, 3, 1, items(&[10, 12])); // item 10 touched
+        cache.put(3, 0, 3, 1, items(&[20, 21])); // untouched
+        cache.invalidate_touched(&[1, 10]);
+        assert!(cache.get(1, 0, 3).is_none());
+        assert!(cache.get(2, 0, 3).is_none());
+        assert!(cache.get(3, 0, 3).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn refresh_updates_epoch_in_place() {
+        let cache = QueryCache::new(4);
+        cache.put(1, 0, 3, 1, items(&[10]));
+        cache.put(1, 0, 3, 2, items(&[11]));
+        let (epoch, got) = cache.get(1, 0, 3).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(got, items(&[11]));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,558 @@
+//! The serving engine: one writer thread drains a bounded event queue
+//! through a [`StreamGuard`] into incremental InsLearn updates, publishing
+//! epoch-versioned [`ServingSnapshot`]s that reader threads score against.
+//!
+//! # Concurrency model
+//!
+//! - **Ingest** is a bounded MPMC channel: producers block when the writer
+//!   falls behind (backpressure, never unbounded growth).
+//! - **Training** is single-writer: the writer thread exclusively owns the
+//!   graph, the model, the guard, and the checkpoint manager. No lock is
+//!   ever held during training.
+//! - **Publication** swaps an `Arc<EpochSnapshot>` behind a
+//!   `parking_lot::RwLock`. Readers clone the `Arc` under a read lock held
+//!   for nanoseconds and then score lock-free against an immutable snapshot,
+//!   so a query can never observe a half-written embedding table — results
+//!   are torn-free *by construction*, and every answer is attributable to
+//!   exactly one published epoch.
+//! - **Verification**: the last [`ServeConfig::keep_history`] snapshots are
+//!   retained so a result claiming epoch `e` can be re-scored against the
+//!   actual epoch-`e` tables and compared bit-for-bit.
+
+use std::sync::mpsc as std_mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel;
+use parking_lot::{Mutex, RwLock};
+use supa::{CheckpointManager, ServingSnapshot, Supa};
+use supa_eval::{top_k_scored, Recommender};
+use supa_graph::{
+    Dmhg, NodeId, QuarantineError, QuarantinePolicy, QuarantineReport, RelationId, StreamGuard,
+    TemporalEdge,
+};
+
+use crate::cache::QueryCache;
+use crate::metrics::{MetricsReport, ServeMetrics};
+
+/// Checkpointing behaviour for a serving engine (all via PR 1's
+/// [`CheckpointManager`]: atomic writes, CRC validation, rotation).
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Directory checkpoints are written to.
+    pub dir: std::path::PathBuf,
+    /// Save a checkpoint every this many trained chunks (clamped to ≥ 1).
+    pub every: usize,
+    /// How many checkpoints to retain.
+    pub keep: usize,
+    /// Warm-start from the newest valid checkpoint before serving. The
+    /// checkpoint's stream position tells the writer how many admitted
+    /// events to replay into the graph without retraining.
+    pub resume: bool,
+}
+
+impl CheckpointOptions {
+    /// Checkpoints in `dir` every 8 chunks, keeping 3, no resume.
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> Self {
+        CheckpointOptions {
+            dir: dir.into(),
+            every: 8,
+            keep: 3,
+            resume: false,
+        }
+    }
+}
+
+/// Tuning knobs for [`ServeEngine::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Ingest queue capacity; producers block when it is full (clamped ≥ 1).
+    pub queue_capacity: usize,
+    /// Admitted events per training chunk (one `fit_incremental` call;
+    /// clamped ≥ 1). Smaller chunks mean fresher embeddings, larger chunks
+    /// mean higher ingest throughput.
+    pub train_batch: usize,
+    /// Publish a snapshot every this many trained chunks (clamped ≥ 1).
+    pub snapshot_every: usize,
+    /// Admission policy for malformed events.
+    pub policy: QuarantinePolicy,
+    /// Max cached top-K results (0 disables the cache).
+    pub cache_capacity: usize,
+    /// How many published snapshots to retain for epoch-consistency
+    /// verification (clamped ≥ 1; the current snapshot is always retained).
+    pub keep_history: usize,
+    /// Optional checkpointing (see [`CheckpointOptions`]).
+    pub checkpoint: Option<CheckpointOptions>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 1024,
+            train_batch: 64,
+            snapshot_every: 1,
+            policy: QuarantinePolicy::Skip,
+            cache_capacity: 4096,
+            keep_history: 8,
+            checkpoint: None,
+        }
+    }
+}
+
+/// One published embedding state, tagged with its epoch number.
+#[derive(Debug)]
+pub struct EpochSnapshot {
+    /// 0 for the warm-start state, incremented per publication.
+    pub epoch: u64,
+    /// The frozen scorer (bit-identical to the model at publication time).
+    pub scorer: ServingSnapshot,
+}
+
+/// State shared between the writer thread and all reader threads.
+struct Shared {
+    current: RwLock<Arc<EpochSnapshot>>,
+    history: Mutex<std::collections::VecDeque<Arc<EpochSnapshot>>>,
+    cache: QueryCache,
+    metrics: ServeMetrics,
+    /// Per-relation candidate item lists (all nodes of the relation's
+    /// destination type). The node universe is fixed at start — the guard
+    /// rejects events naming unknown nodes — so these never change.
+    candidates: Vec<Vec<NodeId>>,
+}
+
+/// A ranked answer, attributable to one published epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// The epoch of the snapshot that produced `items`.
+    pub epoch: u64,
+    /// Top-K `(item, score)` pairs, best first, ties broken by id.
+    pub items: Vec<(NodeId, f32)>,
+}
+
+/// Why the engine stopped consuming events.
+#[derive(Debug)]
+pub enum StopCause {
+    /// Clean shutdown (or all producers hung up).
+    Shutdown,
+    /// [`ServeHandle::kill`] — simulated crash, no final flush/checkpoint.
+    Killed,
+    /// A malformed event under [`QuarantinePolicy::Strict`].
+    Fault(QuarantineError),
+}
+
+/// Final report returned by [`ServeHandle::shutdown`].
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Admission tally over the whole run.
+    pub quarantine: QuarantineReport,
+    /// Serving counters and latency summary.
+    pub metrics: MetricsReport,
+    /// Why the writer stopped.
+    pub stop: StopCause,
+    /// Admitted events at shutdown (= checkpointed stream position).
+    pub events_admitted: u64,
+}
+
+enum Msg {
+    Event(TemporalEdge),
+    Flush(std_mpsc::Sender<()>),
+    Shutdown,
+    Kill,
+}
+
+/// The ingest channel closed (writer stopped — strict-policy fault or
+/// shutdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineClosed;
+
+impl std::fmt::Display for EngineClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serving engine is no longer accepting events")
+    }
+}
+
+impl std::error::Error for EngineClosed {}
+
+struct WriterExit {
+    quarantine: QuarantineReport,
+    stop: StopCause,
+    events_admitted: u64,
+}
+
+/// Handle to a running serving engine. `ingest`/`query` take `&self`, so a
+/// single handle can be shared by reference across producer and reader
+/// threads; `shutdown`/`kill` consume it.
+pub struct ServeHandle {
+    tx: channel::Sender<Msg>,
+    shared: Arc<Shared>,
+    writer: Option<JoinHandle<WriterExit>>,
+    started: Instant,
+}
+
+/// Builder entry point: spawn the writer thread and return a handle.
+pub struct ServeEngine;
+
+impl ServeEngine {
+    /// Starts serving `model` over `graph` (the node universe and schema;
+    /// typically a dataset's prototype plus any warm-start edges).
+    ///
+    /// If checkpoint resume is configured, the newest valid checkpoint is
+    /// loaded *before* the first snapshot is published, and the checkpoint's
+    /// stream position tells the writer how many admitted events to replay
+    /// into the graph without retraining (the restored embeddings already
+    /// reflect them).
+    pub fn start(graph: Dmhg, mut model: Supa, cfg: ServeConfig) -> std::io::Result<ServeHandle> {
+        model.enable_touch_tracking();
+
+        let mut manager = None;
+        let mut resume_skip = 0u64;
+        if let Some(ck) = &cfg.checkpoint {
+            let mgr = CheckpointManager::new(&ck.dir, ck.keep)?;
+            if ck.resume {
+                let outcome = mgr.resume(&mut model)?;
+                if let Some((_, events)) = outcome.loaded {
+                    resume_skip = events;
+                }
+            }
+            manager = Some(mgr);
+        }
+
+        let candidates = (0..graph.schema().num_relations())
+            .map(|r| {
+                let spec = graph.schema().relation(RelationId(r as u16)).unwrap();
+                graph.nodes_of_type(spec.dst_type).to_vec()
+            })
+            .collect();
+
+        let initial = Arc::new(EpochSnapshot {
+            epoch: 0,
+            scorer: model.export_serving_snapshot(),
+        });
+        let shared = Arc::new(Shared {
+            current: RwLock::new(initial.clone()),
+            history: Mutex::new(std::collections::VecDeque::from([initial])),
+            cache: QueryCache::new(cfg.cache_capacity),
+            metrics: ServeMetrics::default(),
+            candidates,
+        });
+
+        let (tx, rx) = channel::bounded(cfg.queue_capacity.max(1));
+        let writer_shared = shared.clone();
+        let writer = std::thread::Builder::new()
+            .name("supa-serve-writer".into())
+            .spawn(move || {
+                writer_loop(rx, writer_shared, graph, model, manager, resume_skip, cfg)
+            })?;
+
+        Ok(ServeHandle {
+            tx,
+            shared,
+            writer: Some(writer),
+            started: Instant::now(),
+        })
+    }
+}
+
+struct Writer {
+    shared: Arc<Shared>,
+    graph: Dmhg,
+    model: Supa,
+    guard: StreamGuard,
+    manager: Option<CheckpointManager>,
+    cfg: ServeConfig,
+    pending: Vec<TemporalEdge>,
+    admitted: u64,
+    resume_skip: u64,
+    epoch: u64,
+    chunks: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn writer_loop(
+    rx: channel::Receiver<Msg>,
+    shared: Arc<Shared>,
+    graph: Dmhg,
+    model: Supa,
+    manager: Option<CheckpointManager>,
+    resume_skip: u64,
+    cfg: ServeConfig,
+) -> WriterExit {
+    let guard = StreamGuard::new(cfg.policy);
+    let mut w = Writer {
+        shared,
+        graph,
+        model,
+        guard,
+        manager,
+        cfg,
+        pending: Vec::new(),
+        admitted: 0,
+        resume_skip,
+        epoch: 0,
+        chunks: 0,
+    };
+
+    let stop = loop {
+        match rx.recv() {
+            Ok(Msg::Event(edge)) => match w.guard.admit(&w.graph, edge) {
+                Ok(Some(e)) => w.absorb(e),
+                Ok(None) => {
+                    w.shared
+                        .metrics
+                        .events_quarantined
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                Err(err) => {
+                    // Strict policy: stop consuming. Whatever trained so far
+                    // stays published; producers see EngineClosed.
+                    break StopCause::Fault(err);
+                }
+            },
+            Ok(Msg::Flush(ack)) => {
+                w.train_pending();
+                w.publish();
+                let _ = ack.send(());
+            }
+            Ok(Msg::Shutdown) | Err(_) => {
+                w.train_pending();
+                w.publish();
+                if let Some(mgr) = &mut w.manager {
+                    let _ = mgr.save(&w.model, w.admitted);
+                }
+                break StopCause::Shutdown;
+            }
+            Ok(Msg::Kill) => break StopCause::Killed,
+        }
+    };
+
+    WriterExit {
+        quarantine: w.guard.into_report(),
+        stop,
+        events_admitted: w.admitted,
+    }
+}
+
+impl Writer {
+    /// Handles one admitted event: insert into the graph, then either count
+    /// it as already applied (checkpoint replay) or queue it for training.
+    fn absorb(&mut self, e: TemporalEdge) {
+        use std::sync::atomic::Ordering::Relaxed;
+        // `admit` validated everything `add_edge` checks; a failure here is
+        // a logic bug, but serving must not panic — quarantine instead.
+        if self
+            .graph
+            .add_edge(e.src, e.dst, e.relation, e.time)
+            .is_err()
+        {
+            self.shared.metrics.events_quarantined.fetch_add(1, Relaxed);
+            return;
+        }
+        self.admitted += 1;
+        self.shared.metrics.events_ingested.fetch_add(1, Relaxed);
+        if self.admitted <= self.resume_skip {
+            // Replay: the restored embeddings already reflect this event.
+            self.shared.metrics.events_applied.fetch_add(1, Relaxed);
+            return;
+        }
+        self.pending.push(e);
+        if self.pending.len() >= self.cfg.train_batch.max(1) {
+            self.train_pending();
+            if self
+                .chunks
+                .is_multiple_of(self.cfg.snapshot_every.max(1) as u64)
+            {
+                self.publish();
+            }
+            if let Some(every) = self.cfg.checkpoint.as_ref().map(|c| c.every.max(1) as u64) {
+                if self.chunks.is_multiple_of(every) {
+                    if let Some(mgr) = &mut self.manager {
+                        let _ = mgr.save(&self.model, self.admitted);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Trains the pending chunk (if any) with one `fit_incremental` call.
+    fn train_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.model.fit_incremental(&self.graph, &self.pending);
+        self.shared.metrics.events_applied.fetch_add(
+            self.pending.len() as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        self.pending.clear();
+        self.chunks += 1;
+    }
+
+    /// Publishes the current model state as a new epoch and invalidates the
+    /// touched neighborhood in the query cache.
+    fn publish(&mut self) {
+        self.epoch += 1;
+        let snap = Arc::new(EpochSnapshot {
+            epoch: self.epoch,
+            scorer: self.model.export_serving_snapshot(),
+        });
+        {
+            let mut h = self.shared.history.lock();
+            h.push_back(snap.clone());
+            // +1: the ring also holds the current snapshot.
+            while h.len() > self.cfg.keep_history.max(1) + 1 {
+                h.pop_front();
+            }
+        }
+        *self.shared.current.write() = snap;
+        self.shared
+            .metrics
+            .epochs_published
+            .store(self.epoch, std::sync::atomic::Ordering::Relaxed);
+        let touched = self.model.take_touched();
+        self.shared.cache.invalidate_touched(&touched);
+    }
+}
+
+impl ServeHandle {
+    /// Enqueues one raw event. Blocks while the queue is full
+    /// (backpressure); errors once the writer has stopped.
+    pub fn ingest(&self, edge: TemporalEdge) -> Result<(), EngineClosed> {
+        self.tx.send(Msg::Event(edge)).map_err(|_| EngineClosed)
+    }
+
+    /// Trains any partial chunk, publishes a snapshot, and returns once the
+    /// writer has processed everything enqueued before this call.
+    pub fn flush(&self) -> Result<(), EngineClosed> {
+        let (ack_tx, ack_rx) = std_mpsc::channel();
+        self.tx.send(Msg::Flush(ack_tx)).map_err(|_| EngineClosed)?;
+        ack_rx.recv().map_err(|_| EngineClosed)
+    }
+
+    /// Answers a top-K query against the current snapshot (or the cache).
+    ///
+    /// `user` is scored against every node of `rel`'s destination type;
+    /// scores use the same Eq. 15 readout as the offline model, so serving
+    /// results are bit-identical to offline scoring of the same state.
+    pub fn query(&self, user: NodeId, rel: RelationId, k: usize) -> QueryResult {
+        use std::sync::atomic::Ordering::Relaxed;
+        let t0 = Instant::now();
+        let m = &self.shared.metrics;
+        m.queries.fetch_add(1, Relaxed);
+
+        if let Some((epoch, items)) = self.shared.cache.get(user.0, rel.0, k) {
+            m.cache_hits.fetch_add(1, Relaxed);
+            m.latency.record(t0.elapsed());
+            return QueryResult { epoch, items };
+        }
+
+        let snap = self.shared.current.read().clone();
+        let candidates = self
+            .shared
+            .candidates
+            .get(rel.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        let items = top_k_scored(&snap.scorer, user, candidates, rel, k);
+        self.shared
+            .cache
+            .put(user.0, rel.0, k, snap.epoch, items.clone());
+        m.latency.record(t0.elapsed());
+        QueryResult {
+            epoch: snap.epoch,
+            items,
+        }
+    }
+
+    /// Re-scores `result` against the retained snapshot of the epoch it
+    /// claims and compares bit-for-bit. Returns `None` if that epoch has
+    /// aged out of the history ring, `Some(true)` if consistent. A
+    /// `Some(false)` (torn read) is also tallied in the metrics.
+    pub fn verify(
+        &self,
+        user: NodeId,
+        rel: RelationId,
+        k: usize,
+        result: &QueryResult,
+    ) -> Option<bool> {
+        let snap = {
+            let h = self.shared.history.lock();
+            h.iter().find(|s| s.epoch == result.epoch).cloned()?
+        };
+        let candidates = self
+            .shared
+            .candidates
+            .get(rel.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        let expect = top_k_scored(&snap.scorer, user, candidates, rel, k);
+        let ok = expect.len() == result.items.len()
+            && expect
+                .iter()
+                .zip(&result.items)
+                .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+        if !ok {
+            self.shared
+                .metrics
+                .torn_reads
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        Some(ok)
+    }
+
+    /// The currently published snapshot.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        self.shared.current.read().clone()
+    }
+
+    /// Point-in-time metrics over the serving wall-clock so far.
+    pub fn metrics(&self) -> MetricsReport {
+        self.shared.metrics.report(self.started.elapsed())
+    }
+
+    /// Candidate items for a relation (all nodes of its destination type).
+    pub fn candidates(&self, rel: RelationId) -> &[NodeId] {
+        self.shared
+            .candidates
+            .get(rel.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Clean shutdown: trains the partial chunk, publishes, writes a final
+    /// checkpoint (if configured), joins the writer, and reports.
+    pub fn shutdown(self) -> ServeReport {
+        self.stop_with(Msg::Shutdown)
+    }
+
+    /// Simulated crash: the writer exits immediately — no final flush, no
+    /// final checkpoint. Used by the fault-injection tests.
+    pub fn kill(self) -> ServeReport {
+        self.stop_with(Msg::Kill)
+    }
+
+    fn stop_with(mut self, msg: Msg) -> ServeReport {
+        let _ = self.tx.send(msg);
+        let exit = self
+            .writer
+            .take()
+            .expect("writer joined once")
+            .join()
+            .unwrap_or_else(|p| std::panic::resume_unwind(p));
+        ServeReport {
+            quarantine: exit.quarantine,
+            metrics: self.shared.metrics.report(self.started.elapsed()),
+            stop: exit.stop,
+            events_admitted: exit.events_admitted,
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.take() {
+            let _ = self.tx.send(Msg::Shutdown);
+            let _ = writer.join();
+        }
+    }
+}

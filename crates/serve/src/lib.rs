@@ -1,0 +1,56 @@
+//! # supa-serve — concurrent online recommendation serving for SUPA
+//!
+//! SUPA's promise is *instant* representation learning: one edge event
+//! updates the embeddings in `O((k·l + N_neg)·d)`. This crate turns that
+//! into a serving system:
+//!
+//! ```text
+//!            ingest                north star: readers never block on
+//!  producers ──────▶ bounded queue          training, never see torn state
+//!                        │
+//!                 writer thread ── StreamGuard (admit / clamp / quarantine)
+//!                        │            │
+//!                        │            ▼
+//!                        │      Dmhg + Supa  ── fit_incremental per chunk
+//!                        │            │
+//!                        ▼            ▼
+//!                  CheckpointManager  Arc<EpochSnapshot> swap ──▶ readers
+//!                  (periodic, atomic)        │                     │
+//!                                            ▼                     ▼
+//!                                     touched-set cache      top_k(user, r, k)
+//!                                     invalidation
+//! ```
+//!
+//! - [`engine::ServeEngine`] — start serving; [`engine::ServeHandle`] —
+//!   ingest events, query top-K, verify epoch consistency, shut down.
+//! - [`cache::QueryCache`] — per-user result cache invalidated by the
+//!   rows each training chunk actually touched (SUPA's propagate step).
+//! - [`metrics::ServeMetrics`] — QPS, p50/p99 latency, cache hit rate,
+//!   staleness (admitted events not yet trained into published state).
+//! - [`loadgen::run_closed_loop`] — seeded replay + query traffic with a
+//!   reproducible result digest, used by `serve_bench` and CI.
+//!
+//! ```
+//! use supa::{Supa, SupaConfig};
+//! use supa_datasets::taobao;
+//! use supa_serve::{LoadConfig, ServeConfig, run_closed_loop};
+//!
+//! let data = taobao(0.01, 7);
+//! let model = Supa::from_dataset(&data, SupaConfig::small(), 7).unwrap();
+//! let load = LoadConfig { readers: 2, queries_per_reader: 20, ..LoadConfig::default() };
+//! let report = run_closed_loop(&data, model, ServeConfig::default(), load).unwrap();
+//! assert_eq!(report.metrics.torn_reads, 0);
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod loadgen;
+pub mod metrics;
+
+pub use cache::QueryCache;
+pub use engine::{
+    CheckpointOptions, EngineClosed, EpochSnapshot, QueryResult, ServeConfig, ServeEngine,
+    ServeHandle, ServeReport, StopCause,
+};
+pub use loadgen::{run_closed_loop, LoadConfig, LoadReport};
+pub use metrics::{LatencyHistogram, MetricsReport, ServeMetrics};

@@ -1,0 +1,180 @@
+//! Seeded closed-loop load generator: replays a dataset's event stream
+//! through a serving engine while reader threads issue query traffic, then
+//! reports throughput, latency, staleness, and consistency.
+//!
+//! The report separates *deterministic* fields (counts, the post-flush
+//! result digest — reproducible for a fixed seed) from *timing* fields
+//! (QPS, latency quantiles, cache hit rate — machine- and load-dependent),
+//! so seeded runs can be compared modulo timing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use supa::Supa;
+use supa_datasets::Dataset;
+use supa_eval::top_k_scored;
+use supa_graph::{NodeId, RelationId};
+
+use crate::engine::{ServeConfig, ServeEngine, StopCause};
+use crate::metrics::MetricsReport;
+
+/// Query-side knobs for [`run_closed_loop`].
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent reader threads.
+    pub readers: usize,
+    /// K for every top-K query.
+    pub top_k: usize,
+    /// Queries each reader issues.
+    pub queries_per_reader: usize,
+    /// Seed for the query mix (reader `i` uses `seed ^ i`-derived streams).
+    pub seed: u64,
+    /// Re-score every result against its claimed epoch's retained snapshot
+    /// and count mismatches as torn reads.
+    pub verify: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            readers: 4,
+            top_k: 10,
+            queries_per_reader: 500,
+            seed: 7,
+            verify: true,
+        }
+    }
+}
+
+/// Outcome of one closed-loop run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Events offered to the ingest queue (the full dataset stream).
+    pub events_offered: u64,
+    /// Queries whose claimed epoch had already aged out of the history ring
+    /// (only counted under `verify`; such results are *not* torn reads,
+    /// just unverifiable).
+    pub unverifiable: u64,
+    /// FNV-1a digest of deterministic probe queries issued after the final
+    /// flush, scored directly against the final snapshot. Identical across
+    /// runs with the same dataset, model seed, and serve/load seeds.
+    pub digest: u64,
+    /// Serving metrics at shutdown.
+    pub metrics: MetricsReport,
+    /// Why the writer stopped (normally `Shutdown`).
+    pub stop: StopCause,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "offered {} events", self.events_offered)?;
+        writeln!(f, "{}", self.metrics)?;
+        write!(
+            f,
+            "check:  {} unverifiable, probe digest {:#018x}",
+            self.unverifiable, self.digest
+        )
+    }
+}
+
+fn fnv1a(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Per-relation query-side universe: which nodes may ask, about what.
+struct QueryMix {
+    /// `(relation, users of its source type)`, relations with no possible
+    /// querier excluded.
+    per_relation: Vec<(RelationId, Vec<NodeId>)>,
+}
+
+impl QueryMix {
+    fn from_dataset(d: &Dataset) -> Self {
+        let schema = d.prototype.schema();
+        let per_relation = (0..schema.num_relations())
+            .filter_map(|r| {
+                let rel = RelationId(r as u16);
+                let users = d.prototype.nodes_of_type(schema.relation(rel)?.src_type);
+                (!users.is_empty()).then(|| (rel, users.to_vec()))
+            })
+            .collect();
+        QueryMix { per_relation }
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> (NodeId, RelationId) {
+        let (rel, users) = &self.per_relation[rng.random_range(0..self.per_relation.len())];
+        (users[rng.random_range(0..users.len())], *rel)
+    }
+}
+
+/// Replays `dataset`'s event stream into a fresh serving engine while
+/// `load.readers` threads issue `load.queries_per_reader` queries each,
+/// then flushes, runs deterministic probe queries, and shuts down.
+pub fn run_closed_loop(
+    dataset: &Dataset,
+    model: Supa,
+    serve_cfg: ServeConfig,
+    load: LoadConfig,
+) -> std::io::Result<LoadReport> {
+    let mix = QueryMix::from_dataset(dataset);
+    let handle = ServeEngine::start(dataset.prototype.clone(), model, serve_cfg)?;
+
+    let unverifiable = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for reader in 0..load.readers {
+            let handle = &handle;
+            let mix = &mix;
+            let unverifiable = &unverifiable;
+            let mut rng = SmallRng::seed_from_u64(load.seed ^ (reader as u64).wrapping_mul(0x9E37));
+            scope.spawn(move || {
+                for _ in 0..load.queries_per_reader {
+                    let (user, rel) = mix.sample(&mut rng);
+                    let result = handle.query(user, rel, load.top_k);
+                    if load.verify && handle.verify(user, rel, load.top_k, &result).is_none() {
+                        unverifiable.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+
+        // The ingest loop runs on this thread, concurrent with the readers;
+        // `ingest` blocks when the bounded queue fills (backpressure).
+        for &edge in &dataset.edges {
+            if handle.ingest(edge).is_err() {
+                break; // writer stopped (strict-policy fault)
+            }
+        }
+    });
+
+    // Drain the queue and train the final partial chunk so the probe sees
+    // every admitted event, then digest a deterministic query sample scored
+    // directly against the final snapshot (bypassing the cache, whose
+    // contents depend on reader timing).
+    let _ = handle.flush();
+    let snap = handle.snapshot();
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    let mut rng = SmallRng::seed_from_u64(load.seed);
+    for _ in 0..64 {
+        let (user, rel) = mix.sample(&mut rng);
+        let items = top_k_scored(&snap.scorer, user, handle.candidates(rel), rel, load.top_k);
+        fnv1a(&mut digest, &user.0.to_le_bytes());
+        fnv1a(&mut digest, &rel.0.to_le_bytes());
+        for (item, score) in items {
+            fnv1a(&mut digest, &item.0.to_le_bytes());
+            fnv1a(&mut digest, &score.to_bits().to_le_bytes());
+        }
+    }
+
+    let report = handle.shutdown();
+    Ok(LoadReport {
+        events_offered: dataset.edges.len() as u64,
+        unverifiable: unverifiable.into_inner(),
+        digest,
+        metrics: report.metrics,
+        stop: report.stop,
+    })
+}

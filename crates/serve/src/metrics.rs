@@ -1,0 +1,204 @@
+//! Lock-free serving metrics: counters, a log₂-bucketed latency histogram,
+//! and the derived report (p50/p99, QPS, cache hit rate, staleness).
+//!
+//! Everything is `AtomicU64` with relaxed ordering — metrics are advisory
+//! and must never serialize the query path. Staleness is defined as
+//! `events_ingested − events_applied`: how many admitted events the
+//! currently-published embeddings have not yet absorbed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ latency buckets; bucket `i` covers `[2^i, 2^{i+1})` ns,
+/// bucket 0 covers `[0, 2)` ns. 2⁴⁷ ns ≈ 39 h, comfortably past any query.
+const BUCKETS: usize = 48;
+
+/// A log₂-bucketed latency histogram over nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bound (ns) of the bucket containing quantile `q ∈ [0, 1]`,
+    /// or 0 if nothing was recorded. Bucketing bounds the error to 2×.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << 63
+    }
+}
+
+/// Shared serving counters (writer and readers both update these).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Events admitted by the guard and inserted into the graph.
+    pub events_ingested: AtomicU64,
+    /// Events the guard quarantined.
+    pub events_quarantined: AtomicU64,
+    /// Admitted events whose training update has been applied.
+    pub events_applied: AtomicU64,
+    /// Snapshots published (the current epoch number).
+    pub epochs_published: AtomicU64,
+    /// Queries answered.
+    pub queries: AtomicU64,
+    /// Queries answered from the per-user cache.
+    pub cache_hits: AtomicU64,
+    /// Verified queries whose result matched no published epoch. Any value
+    /// above zero is a consistency bug.
+    pub torn_reads: AtomicU64,
+    /// Query latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    /// Current staleness: admitted events not yet reflected in published
+    /// embeddings.
+    pub fn staleness(&self) -> u64 {
+        self.events_ingested
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.events_applied.load(Ordering::Relaxed))
+    }
+
+    /// Derives the human-facing report. `elapsed` is the serving wall-clock
+    /// window the QPS is computed over.
+    pub fn report(&self, elapsed: Duration) -> MetricsReport {
+        let queries = self.queries.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        MetricsReport {
+            events_ingested: self.events_ingested.load(Ordering::Relaxed),
+            events_quarantined: self.events_quarantined.load(Ordering::Relaxed),
+            events_applied: self.events_applied.load(Ordering::Relaxed),
+            epochs_published: self.epochs_published.load(Ordering::Relaxed),
+            queries,
+            cache_hit_rate: if queries == 0 {
+                0.0
+            } else {
+                hits as f64 / queries as f64
+            },
+            torn_reads: self.torn_reads.load(Ordering::Relaxed),
+            qps: if elapsed.as_secs_f64() > 0.0 {
+                queries as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            p50_us: self.latency.quantile_ns(0.50) as f64 / 1e3,
+            p99_us: self.latency.quantile_ns(0.99) as f64 / 1e3,
+            staleness: self.staleness(),
+        }
+    }
+}
+
+/// A point-in-time summary of [`ServeMetrics`].
+///
+/// `events_*`, `epochs_published`, `queries` and `torn_reads` are
+/// deterministic for a seeded run; `qps`, latency quantiles, cache hit rate
+/// and `staleness` depend on thread timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    pub events_ingested: u64,
+    pub events_quarantined: u64,
+    pub events_applied: u64,
+    pub epochs_published: u64,
+    pub queries: u64,
+    pub cache_hit_rate: f64,
+    pub torn_reads: u64,
+    pub qps: f64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub staleness: u64,
+}
+
+impl std::fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "ingest: {} admitted, {} quarantined, {} applied ({} epochs, staleness {})",
+            self.events_ingested,
+            self.events_quarantined,
+            self.events_applied,
+            self.epochs_published,
+            self.staleness,
+        )?;
+        write!(
+            f,
+            "serve:  {} queries @ {:.0} QPS, p50 {:.1} µs, p99 {:.1} µs, \
+             cache hit {:.1}%, torn reads {}",
+            self.queries,
+            self.qps,
+            self.p50_us,
+            self.p99_us,
+            100.0 * self.cache_hit_rate,
+            self.torn_reads,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_observations() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_ns(0.5), 0);
+        for us in [1u64, 2, 4, 100, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        // p100 bucket upper bound is ≥ the max observation and ≤ 2× it.
+        let p100 = h.quantile_ns(1.0);
+        assert!(p100 >= 1_000_000, "{p100}");
+        assert!(p100 <= 2_000_000, "{p100}");
+        // p50 covers the median (4 µs) within its 2× bucket.
+        let p50 = h.quantile_ns(0.5);
+        assert!((4_000..=8_000).contains(&p50), "{p50}");
+    }
+
+    #[test]
+    fn report_derives_rates() {
+        let m = ServeMetrics::default();
+        m.events_ingested.store(100, Ordering::Relaxed);
+        m.events_applied.store(90, Ordering::Relaxed);
+        m.queries.store(50, Ordering::Relaxed);
+        m.cache_hits.store(10, Ordering::Relaxed);
+        let r = m.report(Duration::from_secs(2));
+        assert_eq!(r.staleness, 10);
+        assert_eq!(r.qps, 25.0);
+        assert!((r.cache_hit_rate - 0.2).abs() < 1e-12);
+        assert_eq!(r.torn_reads, 0);
+        let text = r.to_string();
+        assert!(text.contains("torn reads 0"), "{text}");
+        assert!(text.contains("staleness 10"), "{text}");
+    }
+}

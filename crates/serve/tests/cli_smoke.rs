@@ -137,6 +137,32 @@ fn full_pipeline_runs() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("1."), "no ranked list: {stdout}");
+
+    // serve (tiny closed loop: 2 readers × 40 queries, epoch verification on)
+    let out = bin()
+        .args([
+            "serve",
+            "--data",
+            data.to_str().unwrap(),
+            "--dim",
+            "16",
+            "--readers",
+            "2",
+            "--queries",
+            "40",
+            "--batch",
+            "128",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("torn reads 0"), "serve output: {stdout}");
+    assert!(stdout.contains("probe digest"), "serve output: {stdout}");
 }
 
 #[test]
@@ -209,9 +235,19 @@ fn bad_invocations_fail_cleanly() {
             "/tmp/x",
         ],
         vec!["generate", "--dataset", "taobao"], // missing --out
+        // typo'd flag: must be rejected by name, not silently defaulted
+        vec!["train", "--data", "/tmp/x.tsv", "--checkpont-dir", "/tmp/c"],
     ] {
         let out = bin().args(&args).output().unwrap();
         assert!(!out.status.success(), "args {args:?} should fail");
         assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
     }
+
+    let out = bin()
+        .args(["serve", "--data", "/tmp/x.tsv", "--cheese", "brie"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--cheese"), "error must name the flag: {err}");
 }
