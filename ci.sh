@@ -9,8 +9,25 @@ cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 
 # Bounded serving smoke: seeded closed-loop ingest + queries with epoch
-# verification on. Exits non-zero on any torn read or zero QPS.
+# verification on. Exits non-zero on any torn read or zero QPS. The second
+# run exercises the parallel writer (conflict-aware event micro-batching).
 cargo run --release -p supa-bench --bin serve_bench -- \
   --scale 0.01 --events 1500 --readers 4 --queries 200 --verify --seed 7
+cargo run --release -p supa-bench --bin serve_bench -- \
+  --scale 0.01 --events 1500 --readers 4 --queries 200 --verify --seed 7 \
+  --workers 4
+
+# Kernel timing gate: ns-per-call for dot/axpy/adam_step_row without
+# Criterion. The budget is generous (1 ms/call) — it catches pathological
+# regressions (accidental allocation, quadratic inner loop), not noise.
+cargo run --release -p supa-bench --bin microbench
+
+# Bounded throughput smoke: train/eval/serve rates at workers 1 and 4 on a
+# tiny quick-mode dataset; writes BENCH_throughput.json at the repo root.
+SUPA_SCALE=0.01 cargo run --release -p supa-bench --bin expt -- --quick throughput
+
+# The tuned kernels must also build when the compiler is allowed to use the
+# host's full vector ISA (this is how benchmark numbers are collected).
+RUSTFLAGS="-C target-cpu=native" cargo build --release -p supa-embed
 
 echo "ci: all checks passed"

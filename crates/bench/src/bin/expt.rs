@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! expt [--scale F] [--seed N] [--quick] <table5|table6|fig4|fig5|fig6|table7|table8|fig7|fig8|fig9|sig|coldstart|all>
+//! expt [--scale F] [--seed N] [--quick] <table5|table6|fig4|fig5|fig6|table7|table8|fig7|fig8|fig9|sig|coldstart|throughput|all>
 //! ```
 //!
 //! Results print to stdout and are saved as TSV under `target/experiments/`.
@@ -39,7 +39,8 @@ fn main() {
     let command = command.unwrap_or_else(|| {
         eprintln!(
             "usage: expt [--scale F] [--seed N] [--quick] \
-             <table5|table6|fig4|fig5|fig6|table7|table8|fig7|fig8|fig9|sig|coldstart|all>"
+             <table5|table6|fig4|fig5|fig6|table7|table8|fig7|fig8|fig9|sig|coldstart|\
+             throughput|all>"
         );
         std::process::exit(2);
     });
@@ -60,6 +61,7 @@ fn main() {
         "fig9" => experiments::fig_9(&cfg),
         "sig" => experiments::significance(&cfg),
         "coldstart" => experiments::coldstart(&cfg),
+        "throughput" => experiments::throughput(&cfg),
         "all" => experiments::run_all(&cfg),
         other => {
             eprintln!("unknown experiment '{other}'");

@@ -1,0 +1,112 @@
+//! `microbench` — dependency-free kernel timing gate for CI.
+//!
+//! Times the hot `supa-embed` kernels (`vecmath::dot`, `vecmath::axpy`,
+//! `EmbeddingTable::adam_step_row`) with `std::time::Instant` and prints
+//! ns-per-call, so the kernel-tuning work in this workspace has a
+//! harness-free smoke check that runs anywhere `cargo run` does (no
+//! Criterion, no registry access).
+//!
+//! ```text
+//! microbench [--dim 64] [--budget-ns 1000000]
+//! ```
+//!
+//! Each kernel is first checked against a naive reference for correctness,
+//! then timed over several repetitions; the *median* rep is reported.
+//! The gate is deliberately generous — it exits non-zero only when a call
+//! exceeds `--budget-ns` (default 1 ms), which on any machine means a
+//! pathological regression (e.g. an accidental allocation or quadratic
+//! blow-up in the inner loop), not ordinary machine noise.
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use supa_embed::vecmath::{axpy, dot};
+use supa_embed::EmbeddingTable;
+
+/// Runs `f` for `iters` calls and returns nanoseconds per call.
+fn time_ns<F: FnMut()>(iters: u64, mut f: F) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Median ns-per-call over `reps` repetitions (first rep is warm-up only).
+fn median_ns<F: FnMut()>(reps: usize, iters: u64, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..=reps).map(|_| time_ns(iters, &mut f)).collect();
+    samples.remove(0);
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn run() -> Result<(), String> {
+    let mut dim = 64usize;
+    let mut budget_ns = 1_000_000.0f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--dim" => dim = v.parse().map_err(|_| format!("--dim: bad '{v}'"))?,
+            "--budget-ns" => {
+                budget_ns = v.parse().map_err(|_| format!("--budget-ns: bad '{v}'"))?
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(7);
+    let a: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let b: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let mut y = b.clone();
+    let grad: Vec<f32> = (0..dim).map(|_| rng.random_range(-0.1..0.1)).collect();
+    let mut table = EmbeddingTable::new(8, dim, 0.1, &mut rng);
+
+    // Correctness first, so a timing gate can't pass on a broken kernel.
+    let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+    let fast = dot(&a, &b);
+    if (naive - fast).abs() > 1e-4 * naive.abs().max(1.0) {
+        return Err(format!("dot mismatch: naive {naive} vs kernel {fast}"));
+    }
+
+    let iters: u64 = 100_000;
+    let reps = 5;
+    let dot_ns = median_ns(reps, iters, || {
+        black_box(dot(black_box(&a), black_box(&b)));
+    });
+    let axpy_ns = median_ns(reps, iters, || {
+        axpy(black_box(0.5f32), black_box(&a), black_box(&mut y));
+    });
+    let adam_ns = median_ns(reps, iters, || {
+        table.adam_step_row(black_box(3), black_box(&grad), black_box(1e-3));
+    });
+
+    println!("microbench (dim {dim}, {iters} iters × {reps} reps, median):");
+    let mut worst = 0.0f64;
+    for (name, ns) in [
+        ("dot", dot_ns),
+        ("axpy", axpy_ns),
+        ("adam_step_row", adam_ns),
+    ] {
+        println!("  {name:<14} {ns:>10.1} ns/call");
+        worst = worst.max(ns);
+    }
+    if !worst.is_finite() || worst > budget_ns {
+        return Err(format!(
+            "kernel budget exceeded: worst {worst:.1} ns/call > {budget_ns:.0} ns"
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! ```text
 //! serve_bench [--dataset taobao] [--scale 0.02] [--events 0(=all)]
 //!             [--readers 4] [--queries 500] [--top 10] [--batch 64]
-//!             [--dim 16] [--seed 7] [--verify]
+//!             [--dim 16] [--seed 7] [--workers 1] [--verify]
 //! ```
 //!
 //! The `events offered / admitted / applied` counts, epoch count, and probe
@@ -31,6 +31,7 @@ struct Args {
     batch: usize,
     dim: usize,
     seed: u64,
+    workers: usize,
     verify: bool,
 }
 
@@ -49,6 +50,7 @@ fn parse_args() -> Result<Args, String> {
         batch: 64,
         dim: 16,
         seed: 7,
+        workers: 1,
         verify: false,
     };
     let mut it = std::env::args().skip(1);
@@ -68,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
             "--batch" => a.batch = num(&flag, &v)?,
             "--dim" => a.dim = num(&flag, &v)?,
             "--seed" => a.seed = num(&flag, &v)?,
+            "--workers" => a.workers = num(&flag, &v)?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -112,6 +115,7 @@ fn run() -> Result<(), String> {
         model,
         ServeConfig {
             train_batch: a.batch,
+            workers: a.workers,
             ..ServeConfig::default()
         },
         LoadConfig {

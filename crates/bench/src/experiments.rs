@@ -683,6 +683,195 @@ pub fn significance(cfg: &HarnessConfig) -> Vec<Table> {
     vec![t]
 }
 
+/// Workspace throughput benchmark (PR 3 parallel execution layer): ingest
+/// (the per-event sample→update→propagate pipeline via `train_pass`),
+/// evaluation ranking, and closed-loop serving — each measured at
+/// `workers = 1` (exact serial) and `workers = 4` (conflict-aware event
+/// micro-batching / deterministic evaluation fan-out).
+///
+/// Besides the usual table/TSV, writes machine-readable
+/// `BENCH_throughput.json` at the repo root with worker counts and the
+/// machine's available parallelism in the metadata. Rates are
+/// machine-dependent; the result *values* are not (see
+/// `tests/parallel.rs`).
+pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
+    use std::time::Instant;
+    use supa_serve::{run_closed_loop, LoadConfig, ServeConfig};
+
+    const WORKERS: [usize; 2] = [1, 4];
+    let d = make_dataset("Taobao", cfg);
+    let holdout = (d.edges.len() / 5).max(1);
+    let split = d.edges.len() - holdout;
+    let (train, test) = d.edges.split_at(split);
+    let mut g_train = d.prototype.clone();
+    for e in train {
+        g_train
+            .add_edge(e.src, e.dst, e.relation, e.time)
+            .expect("dataset edges are schema-valid");
+    }
+    let g_full = d.full_graph();
+
+    let mut t = Table::new(
+        "Throughput — train / eval / serve at workers 1 and 4",
+        vec![
+            "leg".into(),
+            "workers".into(),
+            "rate".into(),
+            "secs".into(),
+            "detail".into(),
+        ],
+    );
+
+    // --- training ingest -------------------------------------------------
+    let mut train_runs = Vec::new();
+    let mut scorer_model = None;
+    for &w in &WORKERS {
+        let mut m = make_supa(&d, cfg).with_workers(w);
+        m.resolve_time_scale(&g_train);
+        let t0 = Instant::now();
+        let loss = m.train_pass(&g_train, train);
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let eps = train.len() as f64 / secs;
+        eprintln!("[throughput] train workers={w}: {eps:.0} events/s (loss {loss:.4})");
+        t.push(vec![
+            "train".into(),
+            w.to_string(),
+            format!("{eps:.0} ev/s"),
+            fmt_secs(secs),
+            format!("loss {loss:.4}"),
+        ]);
+        train_runs.push((w, eps, secs));
+        if w == 1 {
+            scorer_model = Some(m);
+        }
+    }
+    let model = scorer_model.expect("serial train run present");
+
+    // --- evaluation ranking ----------------------------------------------
+    let ev = evaluator(cfg);
+    let total_candidates: f64 = if cfg.quick {
+        (test.len() * 50) as f64
+    } else {
+        test.iter()
+            .map(|e| g_full.nodes_of_type(g_full.node_type(e.dst)).len() as f64)
+            .sum()
+    };
+    let mut eval_runs = Vec::new();
+    for &w in &WORKERS {
+        let t0 = Instant::now();
+        let acc = ev.evaluate_parallel(&g_full, &model, test, w);
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let qps = test.len() as f64 / secs;
+        let cps = total_candidates / secs;
+        eprintln!(
+            "[throughput] eval workers={w}: {qps:.0} q/s, {cps:.0} cand/s (mrr {:.4})",
+            acc.mrr()
+        );
+        t.push(vec![
+            "eval".into(),
+            w.to_string(),
+            format!("{qps:.0} q/s"),
+            fmt_secs(secs),
+            format!("{cps:.0} cand/s"),
+        ]);
+        eval_runs.push((w, qps, cps, secs));
+    }
+
+    // --- closed-loop serving ---------------------------------------------
+    let mut serve_runs = Vec::new();
+    for &w in &WORKERS {
+        let m = make_supa(&d, cfg);
+        let report = run_closed_loop(
+            &d,
+            m,
+            ServeConfig {
+                train_batch: 64,
+                workers: w,
+                ..ServeConfig::default()
+            },
+            LoadConfig {
+                readers: 2,
+                top_k: 10,
+                queries_per_reader: if cfg.quick { 100 } else { 400 },
+                seed: cfg.seed,
+                verify: false,
+            },
+        )
+        .expect("closed-loop serving");
+        let mt = &report.metrics;
+        eprintln!(
+            "[throughput] serve workers={w}: {:.0} qps, p50 {:.0}µs, p99 {:.0}µs",
+            mt.qps, mt.p50_us, mt.p99_us
+        );
+        t.push(vec![
+            "serve".into(),
+            w.to_string(),
+            format!("{:.0} qps", mt.qps),
+            "-".into(),
+            format!("p50 {:.0}µs p99 {:.0}µs", mt.p50_us, mt.p99_us),
+        ]);
+        serve_runs.push((w, mt.qps, mt.p50_us, mt.p99_us, mt.events_applied));
+    }
+
+    // --- machine-readable artefact at the repo root ----------------------
+    let jarr = |items: Vec<String>| format!("[\n    {}\n  ]", items.join(",\n    "));
+    let train_json = jarr(
+        train_runs
+            .iter()
+            .map(|(w, eps, secs)| {
+                format!("{{\"workers\": {w}, \"events_per_sec\": {eps:.1}, \"secs\": {secs:.4}}}")
+            })
+            .collect(),
+    );
+    let eval_json = jarr(
+        eval_runs
+            .iter()
+            .map(|(w, qps, cps, secs)| {
+                format!(
+                    "{{\"workers\": {w}, \"queries_per_sec\": {qps:.1}, \
+                     \"candidates_per_sec\": {cps:.1}, \"secs\": {secs:.4}}}"
+                )
+            })
+            .collect(),
+    );
+    let serve_json = jarr(
+        serve_runs
+            .iter()
+            .map(|(w, qps, p50, p99, applied)| {
+                format!(
+                    "{{\"workers\": {w}, \"qps\": {qps:.1}, \"p50_us\": {p50:.1}, \
+                     \"p99_us\": {p99:.1}, \"events_applied\": {applied}}}"
+                )
+            })
+            .collect(),
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"throughput\",\n  \"dataset\": \"{}\",\n  \
+         \"scale\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
+         \"workers_measured\": [1, 4],\n  \"nproc\": {},\n  \
+         \"train_events\": {},\n  \"test_edges\": {},\n  \
+         \"train\": {},\n  \"eval\": {},\n  \"serve\": {}\n}}\n",
+        d.name,
+        cfg.scale,
+        cfg.seed,
+        cfg.quick,
+        supa_par::available_workers(),
+        train.len(),
+        test.len(),
+        train_json,
+        eval_json,
+        serve_json,
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_throughput.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[throughput] wrote {}", path.display()),
+        Err(e) => eprintln!("[throughput] could not write {}: {e}", path.display()),
+    }
+    t.save_tsv("throughput.tsv").ok();
+    vec![t]
+}
+
 /// Renders the Figure 9 scatter (user-item pairs joined by lines) as an SVG
 /// per method, mirroring the paper's visual.
 pub fn fig9_svg(coords: &Table) -> std::io::Result<std::path::PathBuf> {

@@ -97,6 +97,24 @@ fn f64_next_up(x: f64) -> f64 {
     f64::from_bits(x.to_bits() + 1)
 }
 
+/// Collects every node id whose embedding rows one event's gradient step can
+/// read *or* write: the endpoints, every walk-step node, and every negative.
+/// For SUPA the per-row read set equals the write set, so two events with
+/// disjoint touched sets commute exactly (only the `α` drift scalars are
+/// shared — the batched path handles those by freezing them per wave).
+fn touched_nodes(e: &TemporalEdge, s: &EventSample, out: &mut Vec<u32>) {
+    out.clear();
+    out.push(e.src.0);
+    out.push(e.dst.0);
+    for walk in s.walks_u.iter().chain(&s.walks_v) {
+        for step in &walk.steps {
+            out.push(step.node.0);
+        }
+    }
+    out.extend_from_slice(&s.negs_u);
+    out.extend_from_slice(&s.negs_v);
+}
+
 impl Supa {
     /// Draws the event's stochastic choices: `k` walks per endpoint over the
     /// influenced graph (§III-B), and `N_neg` negatives per flow from the
@@ -307,13 +325,108 @@ impl Supa {
     /// Convenience: train an entire (time-sorted) edge slice once, returning
     /// the mean total loss. Shuffles nothing — the stream order *is* the
     /// curriculum.
+    ///
+    /// With [`Supa::set_workers`] > 1 this dispatches to
+    /// [`Supa::train_pass_batched`]; the default (`workers = 1`) is the
+    /// exact serial per-event loop.
     pub fn train_pass(&mut self, g: &Dmhg, edges: &[TemporalEdge]) -> f64 {
+        if self.workers > 1 {
+            return self.train_pass_batched(g, edges, self.workers);
+        }
         if edges.is_empty() {
             return 0.0;
         }
         let mut total = 0.0;
         for e in edges {
             total += self.train_edge(g, e).total();
+        }
+        total / edges.len() as f64
+    }
+
+    /// Conflict-aware event micro-batching: trains `edges` with gradient
+    /// computation fanned out across `workers` threads while preserving the
+    /// stream curriculum.
+    ///
+    /// How it stays deterministic (and faithful):
+    ///
+    /// 1. **Sampling is serial.** Every event's walks and negatives are drawn
+    ///    up front in stream order; sampling reads no embedding state, so the
+    ///    RNG stream is *identical* to the serial path's.
+    /// 2. **Waves are contiguous.** A wave is the maximal run of consecutive
+    ///    events whose touched-node sets (endpoints ∪ walk steps ∪
+    ///    negatives) are pairwise disjoint. Within a wave the events' sparse
+    ///    row reads/writes land on disjoint rows, so their updates commute
+    ///    exactly; across waves, stream order (and thus event causality) is
+    ///    preserved.
+    /// 3. **Gradients are pure reads** against the frozen pre-wave state and
+    ///    are reassembled in input order by [`supa_par::WorkerPool::map`], so
+    ///    the result does not depend on thread scheduling.
+    /// 4. **Application is serial**, in event order — per-row Adam, the `α`
+    ///    drift scalars, and the touch log all see the serial order.
+    ///
+    /// `workers ≤ 1` falls back to the per-event loop and is bit-identical
+    /// to [`Supa::train_pass`] with `workers = 1`. Any `workers ≥ 2` yields
+    /// one deterministic result, independent of the actual worker count; it
+    /// can differ from the serial result only in that the `α` scalars are
+    /// frozen per wave instead of per event.
+    pub fn train_pass_batched(&mut self, g: &Dmhg, edges: &[TemporalEdge], workers: usize) -> f64 {
+        let workers = supa_par::effective_workers(workers).max(1);
+        if edges.is_empty() {
+            return 0.0;
+        }
+        if workers <= 1 {
+            let mut total = 0.0;
+            for e in edges {
+                total += self.train_edge(g, e).total();
+            }
+            return total / edges.len() as f64;
+        }
+
+        // Preamble, once per pass (equivalent to `train_edge`'s per-event
+        // preamble: capacity depends only on the graph, and the sampler
+        // rebuild only triggers when all samplers are absent).
+        self.ensure_capacity(g.num_nodes());
+        if self.variant.use_neg && self.neg_samplers.iter().all(Option::is_none) {
+            self.rebuild_negative_samplers(g);
+        }
+
+        // Phase 1 — draw all stochastic choices serially, in stream order.
+        let samples: Vec<EventSample> = edges.iter().map(|e| self.sample_event(g, e)).collect();
+
+        let pool = supa_par::WorkerPool::new(workers);
+        let mut total = 0.0;
+        let mut occupied: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut nodes: Vec<u32> = Vec::new();
+        let mut start = 0usize;
+        while start < edges.len() {
+            // Phase 2 — extend the wave while touched sets stay disjoint.
+            occupied.clear();
+            let mut end = start;
+            while end < edges.len() {
+                touched_nodes(&edges[end], &samples[end], &mut nodes);
+                if end > start && nodes.iter().any(|n| occupied.contains(n)) {
+                    break;
+                }
+                occupied.extend(nodes.iter().copied());
+                end += 1;
+            }
+
+            // Phase 3 — parallel pure-read gradients against frozen state.
+            let wave_edges = &edges[start..end];
+            let wave_samples = &samples[start..end];
+            let results = {
+                let this: &Supa = self;
+                pool.map(wave_samples, |k, s| {
+                    this.grads_given_sample(g, &wave_edges[k], s)
+                })
+            };
+
+            // Phase 4 — serial, in-order application.
+            for (loss, grads) in &results {
+                total += loss.total();
+                self.apply_grads(grads);
+            }
+            start = end;
         }
         total / edges.len() as f64
     }

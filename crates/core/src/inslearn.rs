@@ -293,7 +293,10 @@ impl Supa {
         }
         self.resolve_time_scale(g);
         self.ensure_capacity(g.num_nodes());
-        self.rebuild_negative_samplers(g);
+        // Incremental refresh: callers hand InsLearn one chunk of the stream
+        // at a time, and a full per-chunk alias-table rebuild dominated the
+        // small-chunk cost. Samplers are rebuilt only on real degree drift.
+        self.refresh_negative_samplers(g);
 
         let mut global_iter: u64 = 0;
         let mut last_saved: Option<u64> = None;

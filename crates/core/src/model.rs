@@ -129,6 +129,12 @@ pub struct Supa {
     /// appended here (the serving layer's cache-invalidation feed). `None`
     /// costs nothing on the training path.
     pub(crate) touch_log: Option<Vec<u32>>,
+    /// Worker threads used by `train_pass` for conflict-aware event
+    /// micro-batching. `1` (the default) is the exact serial path.
+    pub(crate) workers: usize,
+    /// Per node type: `(node count, total degree)` observed at the last
+    /// negative-sampler rebuild, for the degree-delta refresh gate.
+    pub(crate) sampler_stats: Vec<(usize, f64)>,
     name: String,
 }
 
@@ -189,6 +195,8 @@ impl Supa {
             num_node_types: schema.num_node_types(),
             inslearn_cfg: crate::inslearn::InsLearnConfig::default(),
             touch_log: None,
+            workers: 1,
+            sampler_stats: vec![(0, 0.0); schema.num_node_types()],
             name: "SUPA".to_string(),
         })
     }
@@ -316,19 +324,78 @@ impl Supa {
         }
     }
 
+    /// Sets the worker-thread count used by [`Supa::train_pass`] (and hence
+    /// InsLearn and the serving writer) for conflict-aware event
+    /// micro-batching. `1` is the exact serial path; `0` resolves to the
+    /// machine's available parallelism. Results with `workers = 1` are
+    /// bit-identical to the serial implementation; any `workers ≥ 2` gives a
+    /// single deterministic batched result (see `train_pass_batched`).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = supa_par::effective_workers(workers).max(1);
+    }
+
+    /// Builder-style [`Supa::set_workers`].
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.set_workers(workers);
+        self
+    }
+
+    /// The configured training worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Relative total-degree drift above which a per-type negative sampler
+    /// is considered stale and rebuilt by `refresh_negative_samplers`. The
+    /// sampling weights are `deg^{0.75}`, so a 25 % mass shift bounds the
+    /// per-node weight error well inside the noise of negative sampling.
+    const SAMPLER_REFRESH_REL_DELTA: f64 = 0.25;
+
     /// Rebuilds the per-type `deg^{0.75}` negative samplers from the current
-    /// graph (InsLearn does this once per batch).
+    /// graph, unconditionally.
     pub fn rebuild_negative_samplers(&mut self, g: &Dmhg) {
+        for ty in 0..self.num_node_types {
+            self.rebuild_sampler_for_type(g, ty);
+        }
+    }
+
+    /// Rebuilds negative samplers *incrementally*: a type's alias table is
+    /// reconstructed only when it is missing, its node population changed,
+    /// or its total degree drifted by more than
+    /// [`Self::SAMPLER_REFRESH_REL_DELTA`] relatively since the last build.
+    /// The gate itself is a cheap O(nodes) sum — the saving is skipping the
+    /// alias-table construction on the per-chunk hot path of InsLearn.
+    pub fn refresh_negative_samplers(&mut self, g: &Dmhg) {
         for ty in 0..self.num_node_types {
             let nodes = g.nodes_of_type(supa_graph::NodeTypeId(ty as u16));
             if nodes.is_empty() {
                 self.neg_samplers[ty] = None;
+                self.sampler_stats[ty] = (0, 0.0);
                 continue;
             }
-            let ids: Vec<u32> = nodes.iter().map(|n| n.0).collect();
-            let degs: Vec<f64> = nodes.iter().map(|&n| g.degree(n) as f64).collect();
-            self.neg_samplers[ty] = Some(NegativeSampler::new(ids, &degs, self.cfg.neg_power));
+            let (last_n, last_deg) = self.sampler_stats[ty];
+            let stale = self.neg_samplers[ty].is_none() || nodes.len() != last_n || {
+                let total_deg: f64 = nodes.iter().map(|&n| g.degree(n) as f64).sum();
+                (total_deg - last_deg).abs() > Self::SAMPLER_REFRESH_REL_DELTA * last_deg.max(1.0)
+            };
+            if stale {
+                self.rebuild_sampler_for_type(g, ty);
+            }
         }
+    }
+
+    /// Rebuilds one type's sampler and records its refresh-gate statistics.
+    fn rebuild_sampler_for_type(&mut self, g: &Dmhg, ty: usize) {
+        let nodes = g.nodes_of_type(supa_graph::NodeTypeId(ty as u16));
+        if nodes.is_empty() {
+            self.neg_samplers[ty] = None;
+            self.sampler_stats[ty] = (0, 0.0);
+            return;
+        }
+        let ids: Vec<u32> = nodes.iter().map(|n| n.0).collect();
+        let degs: Vec<f64> = nodes.iter().map(|&n| g.degree(n) as f64).collect();
+        self.sampler_stats[ty] = (nodes.len(), degs.iter().sum());
+        self.neg_samplers[ty] = Some(NegativeSampler::new(ids, &degs, self.cfg.neg_power));
     }
 
     /// Index into the context tables for relation `r` (shared-context aware).
@@ -621,6 +688,56 @@ mod tests {
         let mut m2 = Supa::from_dataset(&d, cfg, 3).unwrap();
         m2.resolve_time_scale(&g);
         assert_eq!(m2.time_scale(), 7.0);
+    }
+
+    #[test]
+    fn sampler_refresh_gates_on_degree_drift_and_matches_full_rebuild() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let d = taobao(0.05, 7);
+        let half = d.edges.len() / 2;
+        let mut g = d.prototype.clone();
+        for e in &d.edges[..half] {
+            g.add_edge(e.src, e.dst, e.relation, e.time).unwrap();
+        }
+        let mut m = Supa::from_dataset(&d, SupaConfig::small(), 3).unwrap();
+        m.refresh_negative_samplers(&g); // first call always builds
+        assert!(m.neg_samplers.iter().any(Option::is_some));
+        let stats_after_build = m.sampler_stats.clone();
+
+        // Tiny drift (one edge ≪ the 25 % gate): the refresh must skip the
+        // rebuild, leaving the recorded build statistics untouched.
+        let mut g2 = g.clone();
+        let e = &d.edges[half];
+        g2.add_edge(e.src, e.dst, e.relation, e.time).unwrap();
+        m.refresh_negative_samplers(&g2);
+        assert_eq!(
+            m.sampler_stats, stats_after_build,
+            "a one-edge drift must not trigger a rebuild"
+        );
+
+        // Large drift (total degree doubles): the refresh rebuilds, and the
+        // refreshed samplers draw the exact same negative sequence as an
+        // unconditional full rebuild — the distributions match.
+        let g_full = d.full_graph();
+        m.refresh_negative_samplers(&g_full);
+        assert_ne!(m.sampler_stats, stats_after_build);
+        let mut fresh = Supa::from_dataset(&d, SupaConfig::small(), 3).unwrap();
+        fresh.rebuild_negative_samplers(&g_full);
+        for ty in 0..m.num_node_types {
+            match (&m.neg_samplers[ty], &fresh.neg_samplers[ty]) {
+                (Some(a), Some(b)) => {
+                    let mut ra = SmallRng::seed_from_u64(42);
+                    let mut rb = SmallRng::seed_from_u64(42);
+                    let (mut oa, mut ob) = (Vec::new(), Vec::new());
+                    a.sample_many(500, u32::MAX, &mut ra, &mut oa);
+                    b.sample_many(500, u32::MAX, &mut rb, &mut ob);
+                    assert_eq!(oa, ob, "type {ty}");
+                }
+                (None, None) => {}
+                _ => panic!("sampler presence mismatch for type {ty}"),
+            }
+        }
     }
 
     #[test]

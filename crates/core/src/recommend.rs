@@ -44,6 +44,7 @@ impl Supa {
         }
         self.rng = rng;
         self.neg_samplers.iter_mut().for_each(|s| *s = None);
+        self.sampler_stats.iter_mut().for_each(|s| *s = (0, 0.0));
     }
 }
 

@@ -120,27 +120,38 @@ impl EmbeddingTable {
     ///
     /// Bias correction uses the row's own step count (lazy Adam), so rarely
     /// touched rows are corrected as if freshly started.
+    ///
+    /// The inner loop iterates exact-size zipped slices rather than
+    /// indexing, so the compiler proves all four streams in-bounds once and
+    /// emits no per-element bounds checks. Each element's arithmetic is
+    /// independent and unchanged — the result is bit-identical to the naive
+    /// indexed loop, which the checkpoint-compatibility tests rely on.
+    #[inline]
     pub fn adam_step_row(&mut self, i: usize, grad: &[f32], lr: f32) {
         debug_assert_eq!(grad.len(), self.dim);
         self.adam_t[i] += 1;
         let t = self.adam_t[i] as f32;
         let bc1 = 1.0 - self.beta1.powf(t);
         let bc2 = 1.0 - self.beta2.powf(t);
-        let span = i * self.dim..(i + 1) * self.dim;
+        let (beta1, beta2) = (self.beta1, self.beta2);
+        let (wd, eps) = (self.weight_decay, self.eps);
+        let d = self.dim.min(grad.len());
+        let span = i * self.dim..i * self.dim + d;
         let m = &mut self.adam_m[span.clone()];
         let v = &mut self.adam_v[span.clone()];
         let x = &mut self.data[span];
-        for k in 0..grad.len() {
-            let g = grad[k] + self.weight_decay * x[k];
-            m[k] = self.beta1 * m[k] + (1.0 - self.beta1) * g;
-            v[k] = self.beta2 * v[k] + (1.0 - self.beta2) * g * g;
-            let mhat = m[k] / bc1;
-            let vhat = v[k] / bc2;
-            x[k] -= lr * mhat / (vhat.sqrt() + self.eps);
+        for ((x, (m, v)), &gk) in x.iter_mut().zip(m.iter_mut().zip(v.iter_mut())).zip(grad) {
+            let g = gk + wd * *x;
+            *m = beta1 * *m + (1.0 - beta1) * g;
+            *v = beta2 * *v + (1.0 - beta2) * g * g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            *x -= lr * mhat / (vhat.sqrt() + eps);
         }
     }
 
     /// Applies one plain SGD step to row `i`.
+    #[inline]
     pub fn sgd_step_row(&mut self, i: usize, grad: &[f32], lr: f32) {
         debug_assert_eq!(grad.len(), self.dim);
         let row = self.row_mut(i);
@@ -368,6 +379,47 @@ mod tests {
         let n: f32 = t.row(1).iter().map(|&x| x * x).sum();
         assert!(n < 1e-4, "row norm² still {n}");
         assert_eq!(t.row(0), table(3, 4).row(0));
+    }
+
+    #[test]
+    fn adam_step_matches_indexed_reference_bitwise() {
+        // The zipped loop must reproduce the naive indexed Adam step bit for
+        // bit — checkpoint compatibility across releases depends on it.
+        let mut t = table(3, 7).with_weight_decay(1e-4);
+        let mut reference = t.clone();
+        let grad: Vec<f32> = (0..7).map(|k| ((k as f32) - 3.0) * 0.11).collect();
+        for step in 0..5 {
+            let lr = 0.01 * (step + 1) as f32;
+            t.adam_step_row(1, &grad, lr);
+            // Naive indexed replica of the documented per-element math.
+            {
+                let r = &mut reference;
+                r.adam_t[1] += 1;
+                let tt = r.adam_t[1] as f32;
+                let bc1 = 1.0 - r.beta1.powf(tt);
+                let bc2 = 1.0 - r.beta2.powf(tt);
+                let span = 7..14;
+                for k in 0..7 {
+                    let g = grad[k] + r.weight_decay * r.data[span.start + k];
+                    r.adam_m[span.start + k] =
+                        r.beta1 * r.adam_m[span.start + k] + (1.0 - r.beta1) * g;
+                    r.adam_v[span.start + k] =
+                        r.beta2 * r.adam_v[span.start + k] + (1.0 - r.beta2) * g * g;
+                    let mhat = r.adam_m[span.start + k] / bc1;
+                    let vhat = r.adam_v[span.start + k] / bc2;
+                    r.data[span.start + k] -= lr * mhat / (vhat.sqrt() + r.eps);
+                }
+            }
+            assert!(
+                t.row(1)
+                    .iter()
+                    .zip(reference.row(1))
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "diverged at step {step}"
+            );
+            assert_eq!(t.adam_m, reference.adam_m);
+            assert_eq!(t.adam_v, reference.adam_v);
+        }
     }
 
     #[test]

@@ -5,21 +5,52 @@
 //! [`crate::EmbeddingTable`] or any other contiguous storage.
 
 /// Inner product of two equal-length slices.
+///
+/// Runs 8 lanes per iteration over four independent accumulators, so the
+/// multiply-adds of different lanes have no serial dependency and the
+/// compiler is free to keep them in vector registers (and fuse them on FMA
+/// hardware). Accumulation order therefore differs from a naive serial sum
+/// — callers that need a *specific* float result (bit-identity contracts)
+/// keep their own inline loops, as `Supa::gamma` does.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut s = 0.0;
-    for (&x, &y) in a.iter().zip(b) {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f32; 4];
+    let mut chunks = a.chunks_exact(8).zip(b.chunks_exact(8));
+    for (ca, cb) in chunks.by_ref() {
+        acc[0] += ca[0] * cb[0] + ca[4] * cb[4];
+        acc[1] += ca[1] * cb[1] + ca[5] * cb[5];
+        acc[2] += ca[2] * cb[2] + ca[6] * cb[6];
+        acc[3] += ca[3] * cb[3] + ca[7] * cb[7];
+    }
+    let tail = n - n % 8;
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (&x, &y) in a[tail..].iter().zip(&b[tail..]) {
         s += x * y;
     }
     s
 }
 
 /// `y += alpha * x`.
+///
+/// Chunked 8-wide; each element is updated independently, so the result is
+/// bit-identical to the plain loop — the unroll only removes bounds checks
+/// and exposes lane-level parallelism.
 #[inline]
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, &xi) in y.iter_mut().zip(x) {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &mut y[..n]);
+    let mut chunks = y.chunks_exact_mut(8).zip(x.chunks_exact(8));
+    for (cy, cx) in chunks.by_ref() {
+        for k in 0..8 {
+            cy[k] += alpha * cx[k];
+        }
+    }
+    let tail = n - n % 8;
+    for (yi, &xi) in y[tail..].iter_mut().zip(&x[tail..]) {
         *yi += alpha * xi;
     }
 }
@@ -108,6 +139,31 @@ mod tests {
         }
         assert_eq!(log_sigmoid(100.0), 0.0);
         assert_eq!(log_sigmoid(-100.0), -100.0);
+    }
+
+    #[test]
+    fn unrolled_kernels_match_reference_loops() {
+        // Lengths straddling the 8-wide chunk boundary, including tails.
+        for n in [0usize, 1, 7, 8, 9, 16, 31, 32, 100, 128] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.71).cos()).collect();
+            let naive: f32 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+            let got = dot(&a, &b);
+            // dot reassociates; agreement is to accumulation tolerance.
+            assert!((got - naive).abs() <= 1e-4 * (1.0 + naive.abs()), "n={n}");
+
+            // axpy is per-element: bit-identical to the plain loop.
+            let mut y1 = b.clone();
+            let mut y2 = b.clone();
+            axpy(0.8125, &a, &mut y1);
+            for (yi, &xi) in y2.iter_mut().zip(&a) {
+                *yi += 0.8125 * xi;
+            }
+            assert!(
+                y1.iter().zip(&y2).all(|(p, q)| p.to_bits() == q.to_bits()),
+                "n={n}"
+            );
+        }
     }
 
     #[test]

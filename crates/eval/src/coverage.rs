@@ -13,7 +13,7 @@
 
 use supa_graph::{NodeId, RelationId};
 
-use crate::ranking::{top_k_in_place, Scorer};
+use crate::ranking::{Scorer, TopKScratch};
 
 /// Coverage/concentration measurements at one K.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,18 +42,17 @@ pub fn coverage_at_k<S: Scorer + ?Sized>(
     assert!(!users.is_empty() && !candidates.is_empty());
     let k = k.min(candidates.len());
     let mut exposure = vec![0usize; candidates.len()];
-    let mut scored: Vec<(usize, f32)> = Vec::with_capacity(candidates.len());
+    let mut scratch: TopKScratch<usize> = TopKScratch::default();
     for &u in users {
-        scored.clear();
-        scored.extend(
+        // Partial selection of the top-K by score (deterministic ties).
+        let top = scratch.select_from(
             candidates
                 .iter()
                 .enumerate()
                 .map(|(i, &v)| (i, scorer.score(u, v, r))),
+            k,
         );
-        // Partial selection of the top-K by score (deterministic ties).
-        top_k_in_place(&mut scored, k);
-        for &(i, _) in &scored[..k] {
+        for &(i, _) in &top[..k] {
             exposure[i] += 1;
         }
     }

@@ -32,7 +32,8 @@ pub use protocol::{
     DynamicStepResult, EvalContext, LinkPredictionResult, SplitRatios,
 };
 pub use ranking::{
-    rank_of_target, top_k_in_place, top_k_scored, CandidateSet, RankingEvaluator, Scorer,
+    rank_of_target, top_k_in_place, top_k_scored, top_k_scored_with, CandidateSet,
+    RankingEvaluator, Scorer, TopKScratch,
 };
 pub use recommender::Recommender;
 pub use segmented::{evaluate_segmented, SegmentResult};

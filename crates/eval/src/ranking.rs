@@ -88,9 +88,49 @@ pub fn top_k_in_place<I: Copy + Ord>(scored: &mut Vec<(I, f32)>, k: usize) {
     scored.sort_unstable_by(cmp);
 }
 
+/// Reusable buffers for repeated top-K selection. Steady-state query paths
+/// (the serving read side, coverage sweeps) call top-K once per request;
+/// keeping the score and ranking buffers in a caller-owned scratch makes
+/// those calls allocation-free once the buffers have warmed up.
+#[derive(Debug, Clone)]
+pub struct TopKScratch<I = NodeId> {
+    scores: Vec<f32>,
+    scored: Vec<(I, f32)>,
+}
+
+impl<I> Default for TopKScratch<I> {
+    fn default() -> Self {
+        TopKScratch {
+            scores: Vec::new(),
+            scored: Vec::new(),
+        }
+    }
+}
+
+impl<I: Copy + Ord> TopKScratch<I> {
+    /// Fills the scratch from `(id, score)` pairs and reduces it to the top
+    /// `k`, with the same ordering contract as [`top_k_in_place`]. The
+    /// returned slice borrows the scratch — copy it out if it must outlive
+    /// the next call.
+    pub fn select_from(
+        &mut self,
+        pairs: impl IntoIterator<Item = (I, f32)>,
+        k: usize,
+    ) -> &[(I, f32)] {
+        self.scored.clear();
+        self.scored.extend(pairs);
+        top_k_in_place(&mut self.scored, k);
+        &self.scored
+    }
+}
+
 /// Scores every candidate for `u` under `r` and returns the top `k` as
 /// `(candidate, score)` pairs, highest score first, ties broken by ascending
 /// [`NodeId`] (see [`top_k_in_place`]).
+///
+/// Allocates fresh buffers per call; hot paths should hold a
+/// [`TopKScratch`] and call [`top_k_scored_with`] instead — the results are
+/// identical.
 pub fn top_k_scored<S: Scorer + ?Sized>(
     scorer: &S,
     u: NodeId,
@@ -98,11 +138,29 @@ pub fn top_k_scored<S: Scorer + ?Sized>(
     r: RelationId,
     k: usize,
 ) -> Vec<(NodeId, f32)> {
-    let mut scores = Vec::new();
-    scorer.score_batch(u, candidates, r, &mut scores);
-    let mut scored: Vec<(NodeId, f32)> = candidates.iter().copied().zip(scores).collect();
-    top_k_in_place(&mut scored, k);
-    scored
+    let mut scratch = TopKScratch::default();
+    top_k_scored_with(scorer, u, candidates, r, k, &mut scratch).to_vec()
+}
+
+/// Allocation-free [`top_k_scored`]: identical results, with both the score
+/// buffer and the ranked list living in the caller's [`TopKScratch`].
+pub fn top_k_scored_with<'a, S: Scorer + ?Sized>(
+    scorer: &S,
+    u: NodeId,
+    candidates: &[NodeId],
+    r: RelationId,
+    k: usize,
+    scratch: &'a mut TopKScratch<NodeId>,
+) -> &'a [(NodeId, f32)] {
+    scratch.scores.clear();
+    scorer.score_batch(u, candidates, r, &mut scratch.scores);
+    scratch.scored.clear();
+    let scores = &scratch.scores;
+    scratch
+        .scored
+        .extend(candidates.iter().copied().zip(scores.iter().copied()));
+    top_k_in_place(&mut scratch.scored, k);
+    &scratch.scored
 }
 
 /// How candidates are chosen for each test edge.
@@ -159,11 +217,16 @@ impl RankingEvaluator {
 
 impl RankingEvaluator {
     /// Multi-threaded variant of [`RankingEvaluator::evaluate`]: the test
-    /// edges are split across `threads` workers. Results are identical to
-    /// the sequential path (each edge's candidate sampling is keyed by the
-    /// edge's global index). Experiments in this repo run single-threaded
-    /// for determinism of *timing*; metric values do not depend on this
-    /// choice.
+    /// edges are split across `threads` workers on a
+    /// [`supa_par::WorkerPool`]. Results are *bit-identical* to the
+    /// sequential path for every worker count: each edge's candidate
+    /// sampling is keyed by the edge's *global* index, the partition
+    /// ([`supa_par::split_even`]) depends only on `(len, threads)`, workers
+    /// return per-edge [`RankMetrics`] rather than partial sums, and the
+    /// final accumulator is folded serially in input order — the exact
+    /// `push` sequence of the sequential run, with no floating-point
+    /// re-association. `threads = 0` resolves to the machine's available
+    /// parallelism.
     pub fn evaluate_parallel<S: Scorer + Sync + ?Sized>(
         &self,
         g: &Dmhg,
@@ -171,28 +234,18 @@ impl RankingEvaluator {
         test: &[TemporalEdge],
         threads: usize,
     ) -> MetricAccumulator {
-        let threads = threads.max(1);
+        let threads = supa_par::effective_workers(threads).max(1);
         if threads == 1 || test.len() < 2 * threads {
             return self.evaluate(g, scorer, test);
         }
-        let chunk = test.len().div_ceil(threads);
-        let mut partials: Vec<MetricAccumulator> = Vec::new();
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = test
-                .chunks(chunk)
-                .enumerate()
-                .map(|(ci, edges)| {
-                    scope.spawn(move |_| self.evaluate_offset(g, scorer, edges, ci * chunk))
-                })
-                .collect();
-            for h in handles {
-                partials.push(h.join().expect("evaluation worker panicked"));
-            }
-        })
-        .expect("crossbeam scope");
+        let ranges = supa_par::split_even(test.len(), threads);
+        let pool = supa_par::WorkerPool::new(ranges.len());
+        let partials = pool.map(&ranges, |_, range| {
+            self.per_edge_metrics(g, scorer, &test[range.clone()], range.start)
+        });
         let mut acc = MetricAccumulator::new();
-        for p in &partials {
-            acc.merge(p);
+        for m in partials.iter().flatten() {
+            acc.push(*m);
         }
         acc
     }
@@ -207,6 +260,23 @@ impl RankingEvaluator {
         offset: usize,
     ) -> MetricAccumulator {
         let mut acc = MetricAccumulator::new();
+        for m in self.per_edge_metrics(g, scorer, test, offset) {
+            acc.push(m);
+        }
+        acc
+    }
+
+    /// The per-edge metric contributions, in test order. Skipped edges
+    /// (degenerate candidate universes) produce no entry, matching
+    /// [`RankingEvaluator::evaluate`].
+    fn per_edge_metrics<S: Scorer + ?Sized>(
+        &self,
+        g: &Dmhg,
+        scorer: &S,
+        test: &[TemporalEdge],
+        offset: usize,
+    ) -> Vec<RankMetrics> {
+        let mut out = Vec::with_capacity(test.len());
         let mut sampled_buf: Vec<NodeId> = Vec::new();
         for (i, e) in test.iter().enumerate() {
             let target_ty = g.node_type(e.dst);
@@ -230,9 +300,9 @@ impl RankingEvaluator {
                     rank_of_target(scorer, e.src, e.dst, &sampled_buf, e.relation)
                 }
             };
-            acc.push(RankMetrics::from_rank(rank));
+            out.push(RankMetrics::from_rank(rank));
         }
-        acc
+        out
     }
 }
 
@@ -298,6 +368,21 @@ mod tests {
     }
 
     #[test]
+    fn scratch_top_k_matches_allocating_top_k() {
+        let (_, users, items, buy) = graph();
+        let mut scratch = TopKScratch::default();
+        for k in [0usize, 1, 3, 10, 20] {
+            let want = top_k_scored(&FixedScorer, users[0], &items, buy, k);
+            let got = top_k_scored_with(&FixedScorer, users[0], &items, buy, k, &mut scratch);
+            assert_eq!(got, want.as_slice(), "k={k}");
+        }
+        // Reusing a warmed scratch on a smaller query must not leak entries.
+        let want = top_k_scored(&FixedScorer, users[1], &items[..2], buy, 5);
+        let got = top_k_scored_with(&FixedScorer, users[1], &items[..2], buy, 5, &mut scratch);
+        assert_eq!(got, want.as_slice());
+    }
+
+    #[test]
     fn rank_reflects_score_order() {
         let (_, users, items, buy) = graph();
         // Highest-id item ranks 1.
@@ -345,14 +430,21 @@ mod tests {
             for threads in [1usize, 2, 3, 8] {
                 let par = ev.evaluate_parallel(&g, &FixedScorer, &test, threads);
                 assert_eq!(par.len(), seq.len(), "threads={threads}");
-                // Identical ranks; means may differ by summation order (ulps).
-                assert!((par.mrr() - seq.mrr()).abs() < 1e-12, "threads={threads}");
-                assert!(
-                    (par.hit20() - seq.hit20()).abs() < 1e-12,
+                // Workers hand back per-edge contributions folded serially
+                // in input order, so means are bit-identical, not just close.
+                assert_eq!(
+                    par.mrr().to_bits(),
+                    seq.mrr().to_bits(),
                     "threads={threads}"
                 );
-                assert!(
-                    (par.ndcg10() - seq.ndcg10()).abs() < 1e-12,
+                assert_eq!(
+                    par.hit20().to_bits(),
+                    seq.hit20().to_bits(),
+                    "threads={threads}"
+                );
+                assert_eq!(
+                    par.ndcg10().to_bits(),
+                    seq.ndcg10().to_bits(),
                     "threads={threads}"
                 );
             }

@@ -1,0 +1,206 @@
+//! # supa-par — scoped worker pool with deterministic partitioning
+//!
+//! The workspace's numeric hot paths (InsLearn event micro-batches,
+//! evaluation ranking) fan work out across threads, but every result must be
+//! *independent of thread scheduling*: the same inputs and the same worker
+//! count must produce the same output, and where the computation itself is
+//! order-free the output must not depend on the worker count at all.
+//!
+//! This crate provides the one primitive both paths share: map a slice
+//! through a function on `w` scoped threads, with the items split into `w`
+//! *contiguous, deterministically sized* chunks and the results reassembled
+//! in input order. Because the partition depends only on `(len, workers)`
+//! and results are collected by chunk index — never by completion order —
+//! the output `Vec` is always exactly what a serial `map` would produce.
+//!
+//! Threads are scoped (`crossbeam::scope`), so borrowed data flows in
+//! without `Arc` or `'static` bounds and every worker is joined before the
+//! call returns. Pools are trivially cheap to construct; they hold no
+//! threads between calls.
+
+use std::ops::Range;
+
+/// Clamps a requested worker count to at least one.
+///
+/// `0` is read as "let the machine decide": it resolves to
+/// [`available_workers`]. Any positive count is taken literally — callers
+/// that need a serial guarantee pass `1`.
+pub fn effective_workers(requested: usize) -> usize {
+    if requested == 0 {
+        available_workers()
+    } else {
+        requested
+    }
+}
+
+/// The machine's available parallelism (≥ 1 even when detection fails).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..n` into at most `parts` contiguous ranges whose lengths differ
+/// by at most one, earlier ranges taking the extra element. Deterministic in
+/// `(n, parts)`; empty ranges are never produced.
+pub fn split_even(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// A reusable scoped worker pool: a worker count plus the deterministic
+/// fan-out/fan-in logic. Holds no threads — each [`WorkerPool::map`] call
+/// spawns scoped workers and joins them before returning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool of `workers` threads (`0` = machine parallelism, clamped ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        WorkerPool {
+            workers: effective_workers(workers).max(1),
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maps `items` through `f` in input order, fanning contiguous chunks
+    /// out across the pool's workers. `f` receives the item's *global*
+    /// index, so index-keyed computations (e.g. per-item RNG streams) are
+    /// chunking-independent.
+    ///
+    /// The result is element-for-element identical to
+    /// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()` for every
+    /// worker count — chunk results are reassembled by chunk index, never by
+    /// completion order.
+    ///
+    /// # Panics
+    /// Propagates a panic from `f` (workers are joined either way).
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        // Serial fast path: no threads, no scope, same result.
+        if self.workers == 1 || items.len() < 2 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let ranges = split_even(items.len(), self.workers);
+        let f = &f;
+        let mut chunks: Vec<Vec<R>> = Vec::with_capacity(ranges.len());
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|range| {
+                    let slice = &items[range.clone()];
+                    let offset = range.start;
+                    scope.spawn(move |_| {
+                        slice
+                            .iter()
+                            .enumerate()
+                            .map(|(i, t)| f(offset + i, t))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                chunks.push(h.join().expect("worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        let mut out = Vec::with_capacity(items.len());
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_even_covers_everything_once() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 1000] {
+                let ranges = split_even(n, parts);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+                // Contiguous and ordered.
+                let mut expect = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    expect = r.end;
+                }
+                // Near-even: lengths differ by at most one.
+                if let (Some(max), Some(min)) = (
+                    ranges.iter().map(|r| r.len()).max(),
+                    ranges.iter().map(|r| r.len()).min(),
+                ) {
+                    assert!(max - min <= 1, "n={n} parts={parts}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_matches_serial_for_every_worker_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let serial: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x * 3 + i as u64)
+            .collect();
+        for w in [1usize, 2, 3, 4, 7, 16, 200] {
+            let pool = WorkerPool::new(w);
+            let got = pool.map(&items, |i, &x| x * 3 + i as u64);
+            assert_eq!(got, serial, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn map_handles_degenerate_inputs() {
+        let pool = WorkerPool::new(4);
+        assert!(pool.map(&[] as &[u32], |_, &x| x).is_empty());
+        assert_eq!(pool.map(&[9u32], |i, &x| x + i as u32), vec![9]);
+    }
+
+    #[test]
+    fn zero_workers_resolves_to_machine_parallelism() {
+        assert_eq!(effective_workers(0), available_workers());
+        assert!(WorkerPool::new(0).workers() >= 1);
+        assert_eq!(effective_workers(3), 3);
+    }
+
+    #[test]
+    fn global_indices_are_chunking_independent() {
+        let items: Vec<u8> = vec![0; 50];
+        for w in [1usize, 2, 5, 13] {
+            let idx = WorkerPool::new(w).map(&items, |i, _| i);
+            assert_eq!(idx, (0..50).collect::<Vec<_>>(), "workers={w}");
+        }
+    }
+}

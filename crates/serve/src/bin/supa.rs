@@ -7,7 +7,7 @@
 //! supa train     --data data.tsv --out model.ckpt [--dim 32] [--holdout 0.2]
 //!                [--n-iter 20] [--batch 1024] [--seed 7] [--mine]
 //!                [--checkpoint-dir DIR] [--checkpoint-every N] [--keep K]
-//!                [--resume] [--on-bad-event strict|skip|clamp]
+//!                [--resume] [--on-bad-event strict|skip|clamp] [--workers N]
 //! supa evaluate  --data data.tsv --checkpoint model.ckpt [--dim 32]
 //!                [--holdout 0.2] [--sampled N]
 //! supa recommend --data data.tsv --checkpoint model.ckpt --user 3
@@ -16,7 +16,7 @@
 //!                [--queries 500] [--top 10] [--batch 64] [--queue 1024]
 //!                [--snapshot-every 1] [--cache 4096] [--checkpoint-dir DIR]
 //!                [--checkpoint-every 8] [--keep 3] [--resume]
-//!                [--on-bad-event strict|skip|clamp]
+//!                [--on-bad-event strict|skip|clamp] [--workers N]
 //! ```
 //!
 //! Data is the self-describing TSV of `supa_datasets::load_tsv`; checkpoints
@@ -30,6 +30,10 @@
 //! to skip. `--on-bad-event` chooses what happens to malformed stream
 //! events: `strict` aborts on the first (the default), `skip` quarantines
 //! them, `clamp` repairs what is repairable and quarantines the rest.
+//!
+//! `--workers N` fans the training gradient computation out across `N`
+//! threads via conflict-aware event micro-batching (`0` = machine
+//! parallelism). `--workers 1` (the default) is the exact serial path.
 //!
 //! `serve` runs the closed-loop serving engine of `supa-serve`: the
 //! dataset's event stream is replayed through a bounded ingest queue into
@@ -102,6 +106,7 @@ const COMMANDS: &[CommandSpec] = &[
             "checkpoint-every",
             "keep",
             "on-bad-event",
+            "workers",
         ],
         bool_flags: &["mine", "resume"],
     },
@@ -140,6 +145,7 @@ const COMMANDS: &[CommandSpec] = &[
             "checkpoint-every",
             "keep",
             "on-bad-event",
+            "workers",
         ],
         bool_flags: &["mine", "resume"],
     },
@@ -327,6 +333,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("--on-bad-event: {e}"))?
                 .unwrap_or(QuarantinePolicy::Strict);
             let mut model = build_model(&d, &flags)?;
+            model.set_workers(get(&flags, "workers", 1)?);
             let il = InsLearnConfig {
                 batch_size: get(&flags, "batch", 1024)?,
                 n_iter: get(&flags, "n-iter", 20)?,
@@ -506,6 +513,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 policy,
                 cache_capacity: get(&flags, "cache", 4096)?,
                 checkpoint,
+                workers: get(&flags, "workers", 1)?,
                 ..ServeConfig::default()
             };
             let load = LoadConfig {

@@ -27,7 +27,7 @@ use std::time::Instant;
 use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 use supa::{CheckpointManager, ServingSnapshot, Supa};
-use supa_eval::{top_k_scored, Recommender};
+use supa_eval::{top_k_scored_with, Recommender, TopKScratch};
 use supa_graph::{
     Dmhg, NodeId, QuarantineError, QuarantinePolicy, QuarantineReport, RelationId, StreamGuard,
     TemporalEdge,
@@ -35,6 +35,12 @@ use supa_graph::{
 
 use crate::cache::QueryCache;
 use crate::metrics::{MetricsReport, ServeMetrics};
+
+thread_local! {
+    /// Per-reader top-K buffers for the query and verify paths.
+    static TOPK_SCRATCH: std::cell::RefCell<TopKScratch> =
+        std::cell::RefCell::new(TopKScratch::default());
+}
 
 /// Checkpointing behaviour for a serving engine (all via PR 1's
 /// [`CheckpointManager`]: atomic writes, CRC validation, rotation).
@@ -84,6 +90,11 @@ pub struct ServeConfig {
     pub keep_history: usize,
     /// Optional checkpointing (see [`CheckpointOptions`]).
     pub checkpoint: Option<CheckpointOptions>,
+    /// Worker threads for the writer's training passes (conflict-aware event
+    /// micro-batching inside the single-writer model; `1` = exact serial
+    /// training, `0` = machine parallelism). Only the gradient computation
+    /// fans out — ingest, admission, and publication stay single-writer.
+    pub workers: usize,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +107,7 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             keep_history: 8,
             checkpoint: None,
+            workers: 1,
         }
     }
 }
@@ -204,6 +216,7 @@ impl ServeEngine {
     /// reflect them).
     pub fn start(graph: Dmhg, mut model: Supa, cfg: ServeConfig) -> std::io::Result<ServeHandle> {
         model.enable_touch_tracking();
+        model.set_workers(cfg.workers);
 
         let mut manager = None;
         let mut resume_skip = 0u64;
@@ -453,7 +466,12 @@ impl ServeHandle {
             .get(rel.index())
             .map(Vec::as_slice)
             .unwrap_or(&[]);
-        let items = top_k_scored(&snap.scorer, user, candidates, rel, k);
+        // Thread-local scratch: concurrent readers each keep their own
+        // buffers, so the scoring pass allocates nothing once warm and
+        // readers never serialise on a shared buffer.
+        let items = TOPK_SCRATCH.with(|s| {
+            top_k_scored_with(&snap.scorer, user, candidates, rel, k, &mut s.borrow_mut()).to_vec()
+        });
         self.shared
             .cache
             .put(user.0, rel.0, k, snap.epoch, items.clone());
@@ -485,12 +503,15 @@ impl ServeHandle {
             .get(rel.index())
             .map(Vec::as_slice)
             .unwrap_or(&[]);
-        let expect = top_k_scored(&snap.scorer, user, candidates, rel, k);
-        let ok = expect.len() == result.items.len()
-            && expect
-                .iter()
-                .zip(&result.items)
-                .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+        let ok = TOPK_SCRATCH.with(|s| {
+            let mut s = s.borrow_mut();
+            let expect = top_k_scored_with(&snap.scorer, user, candidates, rel, k, &mut s);
+            expect.len() == result.items.len()
+                && expect
+                    .iter()
+                    .zip(&result.items)
+                    .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits())
+        });
         if !ok {
             self.shared
                 .metrics

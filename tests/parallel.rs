@@ -1,0 +1,120 @@
+//! Determinism guarantees for the parallel execution layer (supa-par):
+//!
+//! - batched training with `workers = 1` is the *exact* serial path —
+//!   bit-identical learnable state and loss;
+//! - batched training gives identical results for any worker count ≥ 2
+//!   (waves and per-wave gradients do not depend on the thread count);
+//! - parallel ranking evaluation is bit-identical to the sequential
+//!   evaluator for every thread count.
+//!
+//! The single-core CI box cannot observe speedups, so these tests pin down
+//! the *values*; throughput is measured by the `throughput` experiment.
+
+use supa::Supa;
+use supa_bench::harness::{make_dataset, make_supa, HarnessConfig};
+use supa_eval::RankingEvaluator;
+
+fn quick() -> HarnessConfig {
+    HarnessConfig::default().quickened()
+}
+
+/// Every learnable f32/f64 in the model, as raw bits (bit-equality is
+/// stricter than `==`: it also distinguishes `0.0` from `-0.0`).
+fn state_bits(m: &Supa) -> Vec<u64> {
+    let s = m.state();
+    let mut out = Vec::new();
+    for table in [&s.h_long, &s.h_short].into_iter().chain(s.ctx.iter()) {
+        out.extend(table.data().iter().map(|x| u64::from(x.to_bits())));
+    }
+    out.extend(s.alpha.iter().map(|a| a.value.to_bits()));
+    out
+}
+
+#[test]
+fn batched_training_with_one_worker_is_bit_identical_to_serial() {
+    let cfg = quick();
+    let d = make_dataset("Taobao", &cfg);
+    let g = d.full_graph();
+
+    let mut serial = make_supa(&d, &cfg);
+    serial.resolve_time_scale(&g);
+    let loss_serial = serial.train_pass(&g, &d.edges);
+
+    let mut batched = make_supa(&d, &cfg);
+    batched.resolve_time_scale(&g);
+    let loss_batched = batched.train_pass_batched(&g, &d.edges, 1);
+
+    assert_eq!(loss_serial.to_bits(), loss_batched.to_bits());
+    assert_eq!(state_bits(&serial), state_bits(&batched));
+}
+
+#[test]
+fn batched_training_is_identical_across_worker_counts() {
+    let cfg = quick();
+    let d = make_dataset("Taobao", &cfg);
+    let g = d.full_graph();
+
+    let run = |workers: usize| {
+        let mut m = make_supa(&d, &cfg).with_workers(workers);
+        m.resolve_time_scale(&g);
+        let loss = m.train_pass(&g, &d.edges);
+        (loss.to_bits(), state_bits(&m))
+    };
+    let two = run(2);
+    let four = run(4);
+    assert_eq!(two.0, four.0, "loss differs between 2 and 4 workers");
+    assert_eq!(two.1, four.1, "state differs between 2 and 4 workers");
+}
+
+#[test]
+fn parallel_evaluation_is_bit_identical_to_serial() {
+    let cfg = quick();
+    let d = make_dataset("Taobao", &cfg);
+    let g = d.full_graph();
+    let holdout = (d.edges.len() / 5).max(1);
+    let (train, test) = d.edges.split_at(d.edges.len() - holdout);
+
+    let mut m = make_supa(&d, &cfg);
+    m.resolve_time_scale(&g);
+    let _ = m.train_pass(&g, train);
+
+    for ev in [RankingEvaluator::sampled(40, 2), RankingEvaluator::full()] {
+        let seq = ev.evaluate(&g, &m, test);
+        for threads in [2usize, 3, 4, 8] {
+            let par = ev.evaluate_parallel(&g, &m, test, threads);
+            assert_eq!(par.len(), seq.len(), "threads={threads}");
+            assert_eq!(
+                par.mrr().to_bits(),
+                seq.mrr().to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                par.hit20().to_bits(),
+                seq.hit20().to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                par.hit50().to_bits(),
+                seq.hit50().to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                par.ndcg10().to_bits(),
+                seq.ndcg10().to_bits(),
+                "threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn set_workers_resolves_zero_to_machine_parallelism() {
+    let cfg = quick();
+    let d = make_dataset("Taobao", &cfg);
+    let mut m = make_supa(&d, &cfg);
+    assert_eq!(m.workers(), 1, "default is the exact serial path");
+    m.set_workers(0);
+    assert_eq!(m.workers(), supa_par::available_workers().max(1));
+    m.set_workers(3);
+    assert_eq!(m.workers(), 3);
+}
