@@ -17,10 +17,13 @@ cargo run --release -p supa-bench --bin serve_bench -- \
   --scale 0.01 --events 1500 --readers 4 --queries 200 --verify --seed 7 \
   --workers 4
 
-# Kernel timing gate: ns-per-call for dot/axpy/adam_step_row without
-# Criterion. The budget is generous (1 ms/call) — it catches pathological
-# regressions (accidental allocation, quadratic inner loop), not noise.
-cargo run --release -p supa-bench --bin microbench
+# Kernel timing gate: ns-per-call for the vector kernels plus the
+# adjacency-scan and whole-train-event macro benches, diffed against the
+# checked-in baseline. Fails on a >25% regression vs baseline or on the
+# generous 1 ms/call absolute budget. Regenerate the baseline on the CI
+# machine with `microbench --write-baseline MICROBENCH_baseline.json`.
+cargo run --release -p supa-bench --bin microbench -- \
+  --baseline MICROBENCH_baseline.json
 
 # Bounded throughput smoke: train/eval/serve rates at workers 1 and 4 on a
 # tiny quick-mode dataset; writes BENCH_throughput.json at the repo root.

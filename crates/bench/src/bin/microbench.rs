@@ -1,21 +1,34 @@
 //! `microbench` — dependency-free kernel timing gate for CI.
 //!
-//! Times the hot `supa-embed` kernels (`vecmath::dot`, `vecmath::axpy`,
-//! `EmbeddingTable::adam_step_row`) with `std::time::Instant` and prints
-//! ns-per-call, so the kernel-tuning work in this workspace has a
-//! harness-free smoke check that runs anywhere `cargo run` does (no
-//! Criterion, no registry access).
+//! Times the hot kernels with `std::time::Instant` and prints ns-per-call,
+//! so the kernel-tuning work in this workspace has a harness-free smoke
+//! check that runs anywhere `cargo run` does (no Criterion, no registry
+//! access). Five benches:
+//!
+//! - `dot`, `axpy`, `adam_step_row` — the `supa-embed` inner kernels;
+//! - `adjacency_scan` — `Dmhg::neighbors_before` over cycling `(node, t)`
+//!   probes on a replayed dataset, exercising the arena's dense time
+//!   column (`partition_point` + contiguous slice);
+//! - `train_event` — one full `Supa::train_edge` (sample → update →
+//!   propagate) against a warm model, the per-event cost the throughput
+//!   benchmark amortises.
 //!
 //! ```text
-//! microbench [--dim 64] [--budget-ns 1000000]
+//! microbench [--dim 64] [--budget-ns 1000000] [--json]
+//!            [--baseline FILE] [--write-baseline FILE]
 //! ```
 //!
 //! Each kernel is first checked against a naive reference for correctness,
-//! then timed over several repetitions; the *median* rep is reported.
-//! The gate is deliberately generous — it exits non-zero only when a call
-//! exceeds `--budget-ns` (default 1 ms), which on any machine means a
-//! pathological regression (e.g. an accidental allocation or quadratic
-//! blow-up in the inner loop), not ordinary machine noise.
+//! then timed over several repetitions; the *median* rep is reported. Two
+//! gates can fail the run:
+//!
+//! - `--budget-ns` (default 1 ms/call): absolute ceiling, deliberately
+//!   generous — it catches pathological regressions (an accidental
+//!   allocation, a quadratic inner loop), not machine noise.
+//! - `--baseline FILE`: relative ceiling against a checked-in JSON
+//!   baseline — any bench more than 25% (and 2 ns, so sub-ns jitter on the
+//!   tiny kernels can't flake) slower than its recorded value fails.
+//!   Regenerate the baseline with `--write-baseline` on the CI machine.
 
 use std::hint::black_box;
 use std::process::ExitCode;
@@ -23,8 +36,16 @@ use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use supa::{Supa, SupaConfig};
+use supa_datasets::taobao;
 use supa_embed::vecmath::{axpy, dot};
 use supa_embed::EmbeddingTable;
+
+/// Allowed slowdown vs the baseline before the gate fails.
+const BASELINE_RATIO: f64 = 1.25;
+/// Absolute grace on top of the ratio, so single-digit-ns kernels cannot
+/// fail on scheduler jitter alone.
+const BASELINE_GRACE_NS: f64 = 2.0;
 
 /// Runs `f` for `iters` calls and returns nanoseconds per call.
 fn time_ns<F: FnMut()>(iters: u64, mut f: F) -> f64 {
@@ -43,17 +64,55 @@ fn median_ns<F: FnMut()>(reps: usize, iters: u64, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Renders the results as a stable one-object JSON document.
+fn to_json(results: &[(&str, f64)]) -> String {
+    let fields: Vec<String> = results
+        .iter()
+        .map(|(name, ns)| format!("  \"{name}\": {ns:.1}"))
+        .collect();
+    format!("{{\n{}\n}}\n", fields.join(",\n"))
+}
+
+/// Extracts `"name": <number>` pairs from a baseline JSON document (the
+/// subset `to_json` emits; no serde in this binary).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for part in text.split(',') {
+        let Some((key, value)) = part.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches(|c| c == '{' || c == '}').trim();
+        let Some(name) = key.strip_prefix('"').and_then(|k| k.strip_suffix('"')) else {
+            continue;
+        };
+        let value = value.trim().trim_end_matches('}').trim();
+        if let Ok(ns) = value.parse::<f64>() {
+            out.push((name.to_string(), ns));
+        }
+    }
+    out
+}
+
 fn run() -> Result<(), String> {
     let mut dim = 64usize;
     let mut budget_ns = 1_000_000.0f64;
+    let mut json = false;
+    let mut baseline: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
+        if flag == "--json" {
+            json = true;
+            continue;
+        }
         let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
         match flag.as_str() {
             "--dim" => dim = v.parse().map_err(|_| format!("--dim: bad '{v}'"))?,
             "--budget-ns" => {
                 budget_ns = v.parse().map_err(|_| format!("--budget-ns: bad '{v}'"))?
             }
+            "--baseline" => baseline = Some(v),
+            "--write-baseline" => write_baseline = Some(v),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -83,20 +142,97 @@ fn run() -> Result<(), String> {
         table.adam_step_row(black_box(3), black_box(&grad), black_box(1e-3));
     });
 
-    println!("microbench (dim {dim}, {iters} iters × {reps} reps, median):");
-    let mut worst = 0.0f64;
-    for (name, ns) in [
+    // Graph + model fixture for the two macro benches: a replayed dataset
+    // (arena adjacency at its steady-state layout) and a model warmed over
+    // the first half of the stream, matching the zero-allocation gate.
+    let d = taobao(0.01, 7);
+    let g = d.full_graph();
+    let probes: Vec<(supa_graph::NodeId, f64)> = d.edges.iter().map(|e| (e.src, e.time)).collect();
+    if probes.is_empty() {
+        return Err("fixture dataset has no edges".into());
+    }
+    let mut probe = 0usize;
+    let scan_ns = median_ns(reps, iters, || {
+        let (v, t) = probes[probe];
+        probe = (probe + 1) % probes.len();
+        black_box(g.neighbors_before(black_box(v), black_box(t)).len());
+    });
+
+    let mut model = Supa::from_dataset(&d, SupaConfig::small(), 7)
+        .map_err(|e| format!("fixture model: {e}"))?;
+    model.resolve_time_scale(&g);
+    model.rebuild_negative_samplers(&g);
+    let half = d.edges.len() / 2;
+    for e in &d.edges[..half] {
+        model.train_edge(&g, e);
+    }
+    let tail = &d.edges[half..];
+    let mut event = 0usize;
+    // train_edge is ~four orders of magnitude above the vector kernels;
+    // scale the iteration count down to keep the gate's runtime bounded.
+    let train_iters = 2_000u64;
+    let train_ns = median_ns(reps, train_iters, || {
+        let e = &tail[event];
+        event = (event + 1) % tail.len();
+        black_box(model.train_edge(black_box(&g), black_box(e)).total());
+    });
+
+    let results = [
         ("dot", dot_ns),
         ("axpy", axpy_ns),
         ("adam_step_row", adam_ns),
-    ] {
-        println!("  {name:<14} {ns:>10.1} ns/call");
-        worst = worst.max(ns);
+        ("adjacency_scan", scan_ns),
+        ("train_event", train_ns),
+    ];
+
+    if json {
+        print!("{}", to_json(&results));
+    } else {
+        println!("microbench (dim {dim}, median of {reps} reps):");
+        for (name, ns) in results {
+            println!("  {name:<14} {ns:>10.1} ns/call");
+        }
     }
+    if let Some(path) = write_baseline {
+        std::fs::write(&path, to_json(&results)).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote baseline {path}");
+    }
+
+    let worst = results.iter().fold(0.0f64, |w, (_, ns)| w.max(*ns));
     if !worst.is_finite() || worst > budget_ns {
         return Err(format!(
             "kernel budget exceeded: worst {worst:.1} ns/call > {budget_ns:.0} ns"
         ));
+    }
+
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let base = parse_baseline(&text);
+        if base.is_empty() {
+            return Err(format!("{path}: no benchmarks parsed"));
+        }
+        let mut regressions = Vec::new();
+        for (name, base_ns) in &base {
+            let Some((_, ns)) = results.iter().find(|(n, _)| n == name) else {
+                return Err(format!("{path}: unknown benchmark '{name}'"));
+            };
+            let limit = base_ns * BASELINE_RATIO + BASELINE_GRACE_NS;
+            let status = if *ns > limit { "REGRESSED" } else { "ok" };
+            println!(
+                "  vs baseline: {name:<14} {ns:>10.1} ns (base {base_ns:.1}, \
+                 limit {limit:.1}) {status}"
+            );
+            if *ns > limit {
+                regressions.push(name.clone());
+            }
+        }
+        if !regressions.is_empty() {
+            return Err(format!(
+                "regression vs {path} (> {:.0}% + {BASELINE_GRACE_NS:.0} ns): {}",
+                (BASELINE_RATIO - 1.0) * 100.0,
+                regressions.join(", ")
+            ));
+        }
     }
     Ok(())
 }

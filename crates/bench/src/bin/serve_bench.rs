@@ -123,6 +123,7 @@ fn run() -> Result<(), String> {
             top_k: a.top,
             queries_per_reader: a.queries,
             seed: a.seed,
+            warmup_per_reader: 8,
             verify: a.verify,
         },
     )

@@ -704,6 +704,7 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
     let split = d.edges.len() - holdout;
     let (train, test) = d.edges.split_at(split);
     let mut g_train = d.prototype.clone();
+    g_train.reserve_for_stream(train);
     for e in train {
         g_train
             .add_edge(e.src, e.dst, e.relation, e.time)
@@ -794,6 +795,7 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
                 top_k: 10,
                 queries_per_reader: if cfg.quick { 100 } else { 400 },
                 seed: cfg.seed,
+                warmup_per_reader: 8,
                 verify: false,
             },
         )

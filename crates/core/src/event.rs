@@ -6,12 +6,18 @@
 //! embeddings of the endpoints, influenced nodes and negatives, and the
 //! node-type drift scalars `α_o`. Gradients are verified against central
 //! finite differences in this module's tests.
+//!
+//! The whole step runs on reusable buffers from [`crate::scratch`]: walks
+//! land in a flat [`supa_graph::FlatWalks`] arena, negatives in a flat pool,
+//! and gradients in pooled rows — once warm, training one event allocates
+//! nothing (enforced by `tests/alloc.rs` with a counting global allocator).
 
 use rand::RngExt;
-use supa_graph::{Dmhg, TemporalEdge, Walk, WalkConfig};
+use supa_graph::{Dmhg, TemporalEdge, WalkConfig};
 
 use crate::decay::{filter, g_decay, g_decay_prime, log_sigmoid, sigmoid, sigmoid_prime};
 use crate::model::Supa;
+use crate::scratch::{touched_nodes, GradScratch, SampleArena};
 
 /// The three loss components of one event (Eq. 13).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -31,56 +37,59 @@ impl EventLoss {
     }
 }
 
-/// The stochastic choices of one event, frozen so the loss/gradient
-/// computation itself is deterministic (and finite-difference checkable).
-#[derive(Debug, Clone)]
-pub(crate) struct EventSample {
-    pub walks_u: Vec<Walk>,
-    pub walks_v: Vec<Walk>,
-    /// Negative node ids contrasted against `h*_u`.
-    pub negs_u: Vec<u32>,
-    /// Negative node ids contrasted against `h*_v`.
-    pub negs_v: Vec<u32>,
-}
-
 /// Which embedding table a gradient row belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Kind {
+pub(crate) enum Kind {
     Long,
     Short,
-    /// `.1` carries the (already collapsed) context-table index.
+    /// `.0` carries the (already collapsed) context-table index.
     Ctx(usize),
 }
 
-/// Sparse gradient bundle for one event.
+/// One pooled gradient row: its key plus a grad buffer that keeps its
+/// allocation across events.
+#[derive(Debug, Default)]
+struct GradRow {
+    kind: Option<(Kind, u32)>,
+    grad: Vec<f32>,
+}
+
+/// Sparse gradient bundle for one event. Rows are pooled: [`EventGrads::clear`]
+/// resets the live count without dropping any buffer, and
+/// [`EventGrads::prepare`] pre-allocates the per-event worst case so the
+/// warm path never grows.
 #[derive(Debug, Default)]
 pub(crate) struct EventGrads {
-    rows: Vec<(Kind, u32, Vec<f32>)>,
+    rows: Vec<GradRow>,
+    live: usize,
     alpha: Vec<(usize, f64)>,
 }
 
 impl EventGrads {
     /// Accumulates `scale · vec` into the (kind, node) row.
-    fn add(&mut self, kind: Kind, node: u32, scale: f32, vec: &[f32]) {
+    pub(crate) fn add(&mut self, kind: Kind, node: u32, scale: f32, vec: &[f32]) {
         if scale == 0.0 {
             return;
         }
-        for (k, n, g) in &mut self.rows {
-            if *k == kind && *n == node {
-                for (gi, &vi) in g.iter_mut().zip(vec) {
+        for row in &mut self.rows[..self.live] {
+            if row.kind == Some((kind, node)) {
+                for (gi, &vi) in row.grad.iter_mut().zip(vec) {
                     *gi += scale * vi;
                 }
                 return;
             }
         }
-        let mut g = vec![0.0f32; vec.len()];
-        for (gi, &vi) in g.iter_mut().zip(vec) {
-            *gi = scale * vi;
+        if self.live == self.rows.len() {
+            self.rows.push(GradRow::default());
         }
-        self.rows.push((kind, node, g));
+        let row = &mut self.rows[self.live];
+        self.live += 1;
+        row.kind = Some((kind, node));
+        row.grad.clear();
+        row.grad.extend(vec.iter().map(|&vi| scale * vi));
     }
 
-    fn add_alpha(&mut self, idx: usize, grad: f64) {
+    pub(crate) fn add_alpha(&mut self, idx: usize, grad: f64) {
         for (i, g) in &mut self.alpha {
             if *i == idx {
                 *g += grad;
@@ -88,6 +97,40 @@ impl EventGrads {
             }
         }
         self.alpha.push((idx, grad));
+    }
+
+    /// Drops the event's rows, keeping every allocation warm.
+    pub(crate) fn clear(&mut self) {
+        self.live = 0;
+        self.alpha.clear();
+    }
+
+    /// The live rows, in insertion order.
+    pub(crate) fn iter_rows(&self) -> impl Iterator<Item = (Kind, u32, &[f32])> {
+        self.rows[..self.live].iter().map(|r| {
+            let (kind, node) = r.kind.expect("live row always has a key");
+            (kind, node, r.grad.as_slice())
+        })
+    }
+
+    /// The `α` gradients, in insertion order.
+    pub(crate) fn alpha(&self) -> &[(usize, f64)] {
+        &self.alpha
+    }
+
+    /// Pre-allocates `rows` pooled rows of `dim` capacity (plus the two
+    /// possible `α` slots) so `add` never allocates once warm.
+    pub(crate) fn prepare(&mut self, rows: usize, dim: usize) {
+        if self.rows.len() < rows {
+            self.rows.reserve(rows - self.rows.len());
+            while self.rows.len() < rows {
+                self.rows.push(GradRow {
+                    kind: None,
+                    grad: Vec::with_capacity(dim),
+                });
+            }
+        }
+        self.alpha.reserve(2);
     }
 }
 
@@ -97,118 +140,133 @@ fn f64_next_up(x: f64) -> f64 {
     f64::from_bits(x.to_bits() + 1)
 }
 
-/// Collects every node id whose embedding rows one event's gradient step can
-/// read *or* write: the endpoints, every walk-step node, and every negative.
-/// For SUPA the per-row read set equals the write set, so two events with
-/// disjoint touched sets commute exactly (only the `α` drift scalars are
-/// shared — the batched path handles those by freezing them per wave).
-fn touched_nodes(e: &TemporalEdge, s: &EventSample, out: &mut Vec<u32>) {
-    out.clear();
-    out.push(e.src.0);
-    out.push(e.dst.0);
-    for walk in s.walks_u.iter().chain(&s.walks_v) {
-        for step in &walk.steps {
-            out.push(step.node.0);
-        }
-    }
-    out.extend_from_slice(&s.negs_u);
-    out.extend_from_slice(&s.negs_v);
-}
+/// Below this many events per worker a wave is processed inline: spawning
+/// scoped threads costs tens of microseconds, which only pays off when each
+/// worker gets a meaningful slice of gradient work.
+const MIN_EVENTS_PER_WORKER: usize = 8;
 
 impl Supa {
-    /// Draws the event's stochastic choices: `k` walks per endpoint over the
-    /// influenced graph (§III-B), and `N_neg` negatives per flow from the
-    /// *counterpart* node type's `deg^{0.75}` distribution.
+    /// Draws one event's stochastic choices into `arena`: `k` walks per
+    /// endpoint over the influenced graph (§III-B), and `N_neg` negatives
+    /// per flow from the *counterpart* node type's `deg^{0.75}` distribution.
+    /// Returns the event's index within the arena.
     ///
     /// Edges established up to and *including* `t` are walkable (the cutoff
     /// is the next float above `t`): simultaneous edges — in particular every
     /// edge of a static graph, where all timestamps coincide (§III-A) —
     /// belong to the influenced graph, while strictly-future edges never do.
     /// In streaming use the event edge itself is not yet inserted.
-    pub(crate) fn sample_event(&mut self, g: &Dmhg, e: &TemporalEdge) -> EventSample {
+    ///
+    /// The RNG draw sequence is identical for any arena state, so batching
+    /// many events into one arena samples exactly what per-event arenas
+    /// would.
+    pub(crate) fn sample_event_into(
+        &mut self,
+        g: &Dmhg,
+        e: &TemporalEdge,
+        arena: &mut SampleArena,
+        neg_tmp: &mut Vec<u32>,
+    ) -> usize {
         let cfg = WalkConfig {
             num_walks: self.cfg.num_walks,
             walk_length: self.cfg.walk_length,
             neighbor_cap: None,
             before: Some(f64_next_up(e.time)),
         };
-        let walks_u = self.walker.sample_walks(g, e.src, &cfg, &mut self.rng);
-        let walks_v = self.walker.sample_walks(g, e.dst, &cfg, &mut self.rng);
-        let mut negs_u = Vec::new();
-        let mut negs_v = Vec::new();
+        let w0 = arena.walks.num_walks() as u32;
+        let nu = self
+            .walker
+            .sample_walks_into(g, e.src, &cfg, &mut self.rng, &mut arena.walks)
+            as u32;
+        let nv = self
+            .walker
+            .sample_walks_into(g, e.dst, &cfg, &mut self.rng, &mut arena.walks)
+            as u32;
+        let n0 = arena.negs.len() as u32;
+        let mut n1 = n0;
+        let mut n2 = n0;
         if self.variant.use_neg {
             let ty_v = g.node_type(e.dst).index();
             let ty_u = g.node_type(e.src).index();
             if let Some(s) = &self.neg_samplers[ty_v] {
-                s.sample_many(self.cfg.n_neg, e.dst.0, &mut self.rng, &mut negs_u);
+                s.sample_many(self.cfg.n_neg, e.dst.0, &mut self.rng, neg_tmp);
+                arena.negs.extend_from_slice(neg_tmp);
             }
+            n1 = arena.negs.len() as u32;
             if let Some(s) = &self.neg_samplers[ty_u] {
-                s.sample_many(self.cfg.n_neg, e.src.0, &mut self.rng, &mut negs_v);
+                s.sample_many(self.cfg.n_neg, e.src.0, &mut self.rng, neg_tmp);
+                arena.negs.extend_from_slice(neg_tmp);
             }
+            n2 = arena.negs.len() as u32;
         }
-        EventSample {
-            walks_u,
-            walks_v,
-            negs_u,
-            negs_v,
-        }
+        arena.events.push(crate::scratch::SampleMeta {
+            walks_u: (w0, w0 + nu),
+            walks_v: (w0 + nu, w0 + nu + nv),
+            negs_u: (n0, n1),
+            negs_v: (n1, n2),
+        });
+        arena.events.len() - 1
     }
 
-    /// Deterministic loss + analytic gradients given frozen samples.
-    pub(crate) fn grads_given_sample(
+    /// Deterministic loss + analytic gradients for event `idx` of the arena,
+    /// computed into `ws` (a pure read of the model, so waves of events can
+    /// run this concurrently against frozen state). `ws.grads` holds the
+    /// result; all other `ws` buffers are intermediates.
+    pub(crate) fn grads_into(
         &self,
         g: &Dmhg,
         e: &TemporalEdge,
-        sample: &EventSample,
-    ) -> (EventLoss, EventGrads) {
+        arena: &SampleArena,
+        idx: usize,
+        ws: &mut GradScratch,
+    ) -> EventLoss {
         let t = e.time;
         let r_ctx = self.ctx_idx(e.relation);
-        let parts_u = self.target_parts(g, e.src, t);
-        let parts_v = self.target_parts(g, e.dst, t);
+        let meta_u = self.target_parts_into(g, e.src, t, &mut ws.hstar_u);
+        let meta_v = self.target_parts_into(g, e.dst, t, &mut ws.hstar_v);
         let dim = self.cfg.dim;
 
         let mut loss = EventLoss::default();
-        let mut grads = EventGrads::default();
-        let mut grad_hstar_u = vec![0.0f32; dim];
-        let mut grad_hstar_v = vec![0.0f32; dim];
+        ws.grads.clear();
+        ws.grad_hstar_u.clear();
+        ws.grad_hstar_u.resize(dim, 0.0);
+        ws.grad_hstar_v.clear();
+        ws.grad_hstar_v.resize(dim, 0.0);
 
         // ---- interaction loss (Eq. 6–7) --------------------------------
         if self.variant.use_inter {
             let c_u = self.state.ctx[r_ctx].row(e.src.index());
             let c_v = self.state.ctx[r_ctx].row(e.dst.index());
-            let hr_u: Vec<f32> = parts_u
-                .hstar
-                .iter()
-                .zip(c_u)
-                .map(|(&h, &c)| 0.5 * (h + c))
-                .collect();
-            let hr_v: Vec<f32> = parts_v
-                .hstar
-                .iter()
-                .zip(c_v)
-                .map(|(&h, &c)| 0.5 * (h + c))
-                .collect();
-            let s: f32 = hr_u.iter().zip(&hr_v).map(|(a, b)| a * b).sum();
+            ws.hr_u.clear();
+            ws.hr_u
+                .extend(ws.hstar_u.iter().zip(c_u).map(|(&h, &c)| 0.5 * (h + c)));
+            ws.hr_v.clear();
+            ws.hr_v
+                .extend(ws.hstar_v.iter().zip(c_v).map(|(&h, &c)| 0.5 * (h + c)));
+            let s: f32 = ws.hr_u.iter().zip(&ws.hr_v).map(|(a, b)| a * b).sum();
             loss.inter = -log_sigmoid(s as f64);
             let ds = (sigmoid(s as f64) - 1.0) as f32;
             // ∂L/∂h*_u = ½·ds·h_v^r ; ∂L/∂c_u^r = ½·ds·h_v^r (and symmetric).
             for k in 0..dim {
-                grad_hstar_u[k] += 0.5 * ds * hr_v[k];
-                grad_hstar_v[k] += 0.5 * ds * hr_u[k];
+                ws.grad_hstar_u[k] += 0.5 * ds * ws.hr_v[k];
+                ws.grad_hstar_v[k] += 0.5 * ds * ws.hr_u[k];
             }
-            grads.add(Kind::Ctx(r_ctx), e.src.0, 0.5 * ds, &hr_v);
-            grads.add(Kind::Ctx(r_ctx), e.dst.0, 0.5 * ds, &hr_u);
+            ws.grads.add(Kind::Ctx(r_ctx), e.src.0, 0.5 * ds, &ws.hr_v);
+            ws.grads.add(Kind::Ctx(r_ctx), e.dst.0, 0.5 * ds, &ws.hr_u);
         }
+
+        let m = arena.events[idx];
 
         // ---- propagation loss (Eq. 8–10) --------------------------------
         if self.variant.use_prop {
-            for (walks, parts, grad_hstar) in [
-                (&sample.walks_u, &parts_u, &mut grad_hstar_u),
-                (&sample.walks_v, &parts_v, &mut grad_hstar_v),
+            let grads = &mut ws.grads;
+            for (range, hstar, grad_hstar) in [
+                (m.walks_u, &ws.hstar_u, &mut ws.grad_hstar_u),
+                (m.walks_v, &ws.hstar_v, &mut ws.grad_hstar_v),
             ] {
-                for walk in walks.iter() {
+                for steps in arena.walk_steps(range) {
                     let mut a = 1.0f64; // cumulative attenuation along the path
-                    for step in &walk.steps {
+                    for step in steps {
                         if !self.variant.no_decay {
                             let de = ((t - step.edge_time) / self.time_scale).max(0.0);
                             a *= filter(de, self.cfg.tau) * g_decay(de);
@@ -218,11 +276,11 @@ impl Supa {
                         }
                         let z_ctx = self.ctx_idx(step.relation);
                         let c_z = self.state.ctx[z_ctx].row(step.node.index());
-                        let dot: f32 = c_z.iter().zip(&parts.hstar).map(|(a, b)| a * b).sum();
+                        let dot: f32 = c_z.iter().zip(hstar.iter()).map(|(a, b)| a * b).sum();
                         let s = a * dot as f64; // c_z · d where d = a·h*
                         loss.prop += -log_sigmoid(s);
                         let coef = ((sigmoid(s) - 1.0) * a) as f32;
-                        grads.add(Kind::Ctx(z_ctx), step.node.0, coef, &parts.hstar);
+                        grads.add(Kind::Ctx(z_ctx), step.node.0, coef, hstar);
                         for k in 0..dim {
                             grad_hstar[k] += coef * c_z[k];
                         }
@@ -233,21 +291,32 @@ impl Supa {
 
         // ---- negative-sampling loss (Eq. 12) ----------------------------
         if self.variant.use_neg {
-            for (negs, parts, grad_hstar, positive) in [
-                (&sample.negs_u, &parts_u, &mut grad_hstar_u, e.dst.0),
-                (&sample.negs_v, &parts_v, &mut grad_hstar_v, e.src.0),
+            let grads = &mut ws.grads;
+            for (negs, hstar, grad_hstar, positive) in [
+                (
+                    arena.negs_u(idx),
+                    &ws.hstar_u,
+                    &mut ws.grad_hstar_u,
+                    e.dst.0,
+                ),
+                (
+                    arena.negs_v(idx),
+                    &ws.hstar_v,
+                    &mut ws.grad_hstar_v,
+                    e.src.0,
+                ),
             ] {
-                for &i in negs.iter() {
+                for &i in negs {
                     if i == positive {
                         // A tiny universe can collide the negative with the
                         // true counterpart; skip rather than fight L_inter.
                         continue;
                     }
                     let c_i = self.state.ctx[r_ctx].row(i as usize);
-                    let s: f32 = c_i.iter().zip(&parts.hstar).map(|(a, b)| a * b).sum();
+                    let s: f32 = c_i.iter().zip(hstar.iter()).map(|(a, b)| a * b).sum();
                     loss.neg += -log_sigmoid(-s as f64);
                     let coef = sigmoid(s as f64) as f32;
-                    grads.add(Kind::Ctx(r_ctx), i, coef, &parts.hstar);
+                    grads.add(Kind::Ctx(r_ctx), i, coef, hstar);
                     for k in 0..dim {
                         grad_hstar[k] += coef * c_i[k];
                     }
@@ -256,13 +325,14 @@ impl Supa {
         }
 
         // ---- backprop h* → (h^L, h^S, α) (Eq. 5) -------------------------
-        for (node, parts, grad_hstar) in [
-            (e.src, &parts_u, &grad_hstar_u),
-            (e.dst, &parts_v, &grad_hstar_v),
+        for (node, meta, grad_hstar) in [
+            (e.src, meta_u, &ws.grad_hstar_u),
+            (e.dst, meta_v, &ws.grad_hstar_v),
         ] {
-            grads.add(Kind::Long, node.0, 1.0, grad_hstar);
+            ws.grads.add(Kind::Long, node.0, 1.0, grad_hstar);
             if !self.variant.no_forget {
-                grads.add(Kind::Short, node.0, parts.forget as f32, grad_hstar);
+                ws.grads
+                    .add(Kind::Short, node.0, meta.forget as f32, grad_hstar);
                 // ∂L/∂α = (∂L/∂h*)·h^S · g'(x)·Δ·σ'(α)
                 let hs = self.state.h_short.row(node.index());
                 let dot: f64 = grad_hstar
@@ -270,44 +340,54 @@ impl Supa {
                     .zip(hs)
                     .map(|(&g, &h)| (g * h) as f64)
                     .sum();
-                let alpha_val = self.state.alpha[parts.alpha_idx].value;
-                let dalpha = dot * g_decay_prime(parts.x) * parts.delta * sigmoid_prime(alpha_val);
-                grads.add_alpha(parts.alpha_idx, dalpha);
+                let alpha_val = self.state.alpha[meta.alpha_idx].value;
+                let dalpha = dot * g_decay_prime(meta.x) * meta.delta * sigmoid_prime(alpha_val);
+                ws.grads.add_alpha(meta.alpha_idx, dalpha);
             }
         }
 
-        (loss, grads)
+        loss
     }
 
     /// Applies a gradient bundle with per-row Adam (and Adam on the `α`s).
     pub(crate) fn apply_grads(&mut self, grads: &EventGrads) {
         let lr = self.cfg.learning_rate;
         if let Some(log) = &mut self.touch_log {
-            log.extend(grads.rows.iter().map(|(_, node, _)| *node));
+            log.extend(grads.iter_rows().map(|(_, node, _)| node));
         }
-        for (kind, node, g) in &grads.rows {
-            let node = *node as usize;
+        for (kind, node, g) in grads.iter_rows() {
+            let node = node as usize;
             match kind {
                 Kind::Long => self.state.h_long.adam_step_row(node, g, lr),
                 Kind::Short => self.state.h_short.adam_step_row(node, g, lr),
-                Kind::Ctx(i) => self.state.ctx[*i].adam_step_row(node, g, lr),
+                Kind::Ctx(i) => self.state.ctx[i].adam_step_row(node, g, lr),
             }
         }
-        for (idx, g) in &grads.alpha {
-            self.state.alpha[*idx].step(*g, lr as f64);
+        for &(idx, g) in grads.alpha() {
+            self.state.alpha[idx].step(g, lr as f64);
         }
     }
 
     /// One full SUPA training step on a new edge (the graph must already
     /// contain the event's past; edges at `time ≥ e.time` are never walked).
+    ///
+    /// Steady state, this performs no heap allocation: samples, walks,
+    /// negatives, and gradient rows all live in the model's [`SupaScratch`]
+    /// pools (see `tests/alloc.rs`).
+    ///
+    /// [`SupaScratch`]: crate::scratch::SupaScratch
     pub fn train_edge(&mut self, g: &Dmhg, e: &TemporalEdge) -> EventLoss {
         self.ensure_capacity(g.num_nodes());
         if self.variant.use_neg && self.neg_samplers.iter().all(Option::is_none) {
             self.rebuild_negative_samplers(g);
         }
-        let sample = self.sample_event(g, e);
-        let (loss, grads) = self.grads_given_sample(g, e, &sample);
-        self.apply_grads(&grads);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.prepare(&self.cfg);
+        scratch.arena.clear();
+        let idx = self.sample_event_into(g, e, &mut scratch.arena, &mut scratch.neg_tmp);
+        let loss = self.grads_into(g, e, &scratch.arena, idx, &mut scratch.work);
+        self.apply_grads(&scratch.work.grads);
+        self.scratch = scratch;
         loss
     }
 
@@ -318,8 +398,13 @@ impl Supa {
         if self.variant.use_neg && self.neg_samplers.iter().all(Option::is_none) {
             self.rebuild_negative_samplers(g);
         }
-        let sample = self.sample_event(g, e);
-        self.grads_given_sample(g, e, &sample).0
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.prepare(&self.cfg);
+        scratch.arena.clear();
+        let idx = self.sample_event_into(g, e, &mut scratch.arena, &mut scratch.neg_tmp);
+        let loss = self.grads_into(g, e, &scratch.arena, idx, &mut scratch.work);
+        self.scratch = scratch;
+        loss
     }
 
     /// Convenience: train an entire (time-sorted) edge slice once, returning
@@ -350,31 +435,45 @@ impl Supa {
     /// How it stays deterministic (and faithful):
     ///
     /// 1. **Sampling is serial.** Every event's walks and negatives are drawn
-    ///    up front in stream order; sampling reads no embedding state, so the
-    ///    RNG stream is *identical* to the serial path's.
+    ///    up front in stream order into one [`SampleArena`]; sampling reads
+    ///    no embedding state, so the RNG stream is *identical* to the serial
+    ///    path's.
     /// 2. **Waves are contiguous.** A wave is the maximal run of consecutive
     ///    events whose touched-node sets (endpoints ∪ walk steps ∪
-    ///    negatives) are pairwise disjoint. Within a wave the events' sparse
-    ///    row reads/writes land on disjoint rows, so their updates commute
-    ///    exactly; across waves, stream order (and thus event causality) is
-    ///    preserved.
+    ///    negatives) are pairwise disjoint — tracked with a stamp-based mark
+    ///    set, no per-wave hashing or allocation. Within a wave the events'
+    ///    sparse row reads/writes land on disjoint rows, so their updates
+    ///    commute exactly; across waves, stream order (and thus event
+    ///    causality) is preserved.
     /// 3. **Gradients are pure reads** against the frozen pre-wave state and
     ///    are reassembled in input order by [`supa_par::WorkerPool::map`], so
-    ///    the result does not depend on thread scheduling.
+    ///    the result does not depend on thread scheduling. Short waves
+    ///    (fewer than [`MIN_EVENTS_PER_WORKER`] events per worker, where a
+    ///    thread spawn would cost more than it buys) run inline on pooled
+    ///    buffers with the *same* frozen-state semantics, so the result is
+    ///    also independent of where that threshold falls.
     /// 4. **Application is serial**, in event order — per-row Adam, the `α`
     ///    drift scalars, and the touch log all see the serial order.
     ///
-    /// `workers ≤ 1` falls back to the per-event loop and is bit-identical
-    /// to [`Supa::train_pass`] with `workers = 1`. Any `workers ≥ 2` yields
-    /// one deterministic result, independent of the actual worker count; it
-    /// can differ from the serial result only in that the `α` scalars are
-    /// frozen per wave instead of per event.
+    /// The worker fan-out is additionally clamped to the machine's available
+    /// parallelism: oversubscribed spawns only add overhead, never change
+    /// results.
+    ///
+    /// When the effective fan-out is 1 — `workers ≤ 1`, or a single-core
+    /// machine — the pass falls back to the exact per-event serial loop,
+    /// bit-identical to [`Supa::train_pass`] with `workers = 1`: with no
+    /// threads to overlap, bulk sampling and wave building are pure
+    /// overhead. Any fan-out ≥ 2 yields one deterministic result,
+    /// independent of the actual worker count; it can differ from the
+    /// serial result only in that the `α` scalars are frozen per wave
+    /// instead of per event.
     pub fn train_pass_batched(&mut self, g: &Dmhg, edges: &[TemporalEdge], workers: usize) -> f64 {
         let workers = supa_par::effective_workers(workers).max(1);
         if edges.is_empty() {
             return 0.0;
         }
-        if workers <= 1 {
+        let fan_out = workers.min(supa_par::available_workers()).max(1);
+        if fan_out <= 1 {
             let mut total = 0.0;
             for e in edges {
                 total += self.train_edge(g, e).total();
@@ -390,44 +489,77 @@ impl Supa {
             self.rebuild_negative_samplers(g);
         }
 
-        // Phase 1 — draw all stochastic choices serially, in stream order.
-        let samples: Vec<EventSample> = edges.iter().map(|e| self.sample_event(g, e)).collect();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.prepare(&self.cfg);
+        scratch.arena.clear();
 
-        let pool = supa_par::WorkerPool::new(workers);
+        // Phase 1 — draw all stochastic choices serially, in stream order.
+        for e in edges {
+            self.sample_event_into(g, e, &mut scratch.arena, &mut scratch.neg_tmp);
+        }
+
+        let pool = supa_par::WorkerPool::new(fan_out);
         let mut total = 0.0;
-        let mut occupied: std::collections::HashSet<u32> = std::collections::HashSet::new();
-        let mut nodes: Vec<u32> = Vec::new();
+        scratch.marks.ensure_len(g.num_nodes());
         let mut start = 0usize;
         while start < edges.len() {
             // Phase 2 — extend the wave while touched sets stay disjoint.
-            occupied.clear();
+            scratch.marks.clear();
             let mut end = start;
             while end < edges.len() {
-                touched_nodes(&edges[end], &samples[end], &mut nodes);
-                if end > start && nodes.iter().any(|n| occupied.contains(n)) {
+                touched_nodes(&edges[end], &scratch.arena, end, &mut scratch.touched);
+                if end > start && scratch.touched.iter().any(|&n| scratch.marks.is_marked(n)) {
                     break;
                 }
-                occupied.extend(nodes.iter().copied());
+                for &n in &scratch.touched {
+                    scratch.marks.mark(n);
+                }
                 end += 1;
             }
 
-            // Phase 3 — parallel pure-read gradients against frozen state.
-            let wave_edges = &edges[start..end];
-            let wave_samples = &samples[start..end];
-            let results = {
-                let this: &Supa = self;
-                pool.map(wave_samples, |k, s| {
-                    this.grads_given_sample(g, &wave_edges[k], s)
-                })
-            };
-
-            // Phase 4 — serial, in-order application.
-            for (loss, grads) in &results {
-                total += loss.total();
-                self.apply_grads(grads);
+            // Phase 3 — pure-read gradients against frozen pre-wave state,
+            // threaded for long waves and inline (on pooled buffers) for
+            // short ones; either way all of the wave's gradients see the
+            // same frozen state.
+            let wave = end - start;
+            if wave < fan_out * MIN_EVENTS_PER_WORKER {
+                while scratch.wave.len() < wave {
+                    scratch.wave.push(GradScratch::default());
+                }
+                for k in 0..wave {
+                    let loss = self.grads_into(
+                        g,
+                        &edges[start + k],
+                        &scratch.arena,
+                        start + k,
+                        &mut scratch.wave[k],
+                    );
+                    scratch.wave[k].loss = loss;
+                }
+                // Phase 4 — serial, in-order application.
+                for ws in &scratch.wave[..wave] {
+                    total += ws.loss.total();
+                    self.apply_grads(&ws.grads);
+                }
+            } else {
+                let wave_edges = &edges[start..end];
+                let arena = &scratch.arena;
+                let results = {
+                    let this: &Supa = self;
+                    pool.map(wave_edges, |k, e| {
+                        let mut ws = GradScratch::default();
+                        let loss = this.grads_into(g, e, arena, start + k, &mut ws);
+                        (loss, ws)
+                    })
+                };
+                for (loss, ws) in &results {
+                    total += loss.total();
+                    self.apply_grads(&ws.grads);
+                }
             }
             start = end;
         }
+        self.scratch = scratch;
         total / edges.len() as f64
     }
 
@@ -556,16 +688,23 @@ mod tests {
         let f = fixture();
         let e = TemporalEdge::new(f.u0, f.i2, f.r0, 10.0);
         let mut m = model(&f, SupaVariant::full());
-        let sample = m.sample_event(&f.g, &e);
-        let (_, grads) = m.grads_given_sample(&f.g, &e, &sample);
+        let mut arena = SampleArena::default();
+        let mut neg_tmp = Vec::new();
+        let idx = m.sample_event_into(&f.g, &e, &mut arena, &mut neg_tmp);
+        let mut ws = GradScratch::default();
+        m.grads_into(&f.g, &e, &arena, idx, &mut ws);
+        // Snapshot the analytic gradients before re-running the loss.
+        let rows: Vec<(Kind, u32, Vec<f32>)> = ws
+            .grads
+            .iter_rows()
+            .map(|(k, n, g)| (k, n, g.to_vec()))
+            .collect();
+        let alphas: Vec<(usize, f64)> = ws.grads.alpha().to_vec();
 
         let eps = 5e-3f32;
         let tol = 3e-2f64;
-        // Gather analytic gradients into a lookup.
         let find = |kind: Kind, node: u32| -> Option<&Vec<f32>> {
-            grads
-                .rows
-                .iter()
+            rows.iter()
                 .find(|(k, n, _)| *k == kind && *n == node)
                 .map(|(_, _, g)| g)
         };
@@ -585,9 +724,9 @@ mod tests {
                     Kind::Ctx(i) => m.state.ctx[i].row_mut(node as usize)[k] += delta,
                 };
                 bump(&mut m, eps);
-                let up = m.grads_given_sample(&f.g, &e, &sample).0.total();
+                let up = m.grads_into(&f.g, &e, &arena, idx, &mut ws).total();
                 bump(&mut m, -2.0 * eps);
-                let down = m.grads_given_sample(&f.g, &e, &sample).0.total();
+                let down = m.grads_into(&f.g, &e, &arena, idx, &mut ws).total();
                 bump(&mut m, eps);
                 let numeric = (up - down) / (2.0 * eps as f64);
                 let a = analytic.get(k).copied().unwrap_or(0.0) as f64;
@@ -601,17 +740,16 @@ mod tests {
 
         // Check α for the user type.
         let alpha_idx = 0usize;
-        let analytic_alpha = grads
-            .alpha
+        let analytic_alpha = alphas
             .iter()
             .find(|(i, _)| *i == alpha_idx)
             .map(|(_, g)| *g)
             .unwrap_or(0.0);
         let eps_a = 1e-4f64;
         m.state.alpha[alpha_idx].value += eps_a;
-        let up = m.grads_given_sample(&f.g, &e, &sample).0.total();
+        let up = m.grads_into(&f.g, &e, &arena, idx, &mut ws).total();
         m.state.alpha[alpha_idx].value -= 2.0 * eps_a;
-        let down = m.grads_given_sample(&f.g, &e, &sample).0.total();
+        let down = m.grads_into(&f.g, &e, &arena, idx, &mut ws).total();
         m.state.alpha[alpha_idx].value += eps_a;
         let numeric = (up - down) / (2.0 * eps_a);
         let denom = analytic_alpha.abs().max(numeric.abs()).max(1e-3);
@@ -641,14 +779,17 @@ mod tests {
         let f = fixture();
         let e = TemporalEdge::new(f.u0, f.i2, f.r0, 10.0);
         let mut m = model(&f, SupaVariant::full());
+        let mut arena = SampleArena::default();
+        let mut neg_tmp = Vec::new();
         for _ in 0..50 {
-            let s = m.sample_event(&f.g, &e);
+            arena.clear();
+            let idx = m.sample_event_into(&f.g, &e, &mut arena, &mut neg_tmp);
             // With three items the sampler can always exclude the positive;
             // the two-user universe may collide (handled by the loss skip).
-            assert!(s.negs_u.iter().all(|&i| i != f.i2.0));
+            assert!(arena.negs_u(idx).iter().all(|&i| i != f.i2.0));
             // Counterpart typing: negs_u are items (ids ≥ 2 in this fixture).
-            assert!(s.negs_u.iter().all(|&i| i >= 2));
-            assert!(s.negs_v.iter().all(|&i| i < 2));
+            assert!(arena.negs_u(idx).iter().all(|&i| i >= 2));
+            assert!(arena.negs_v(idx).iter().all(|&i| i < 2));
         }
     }
 
@@ -687,16 +828,46 @@ mod tests {
     }
 
     #[test]
-    fn grad_accumulator_merges_duplicate_rows() {
+    fn grad_accumulator_merges_duplicate_rows_and_pools_buffers() {
         let mut g = EventGrads::default();
         g.add(Kind::Long, 3, 1.0, &[1.0, 2.0]);
         g.add(Kind::Long, 3, 0.5, &[2.0, 2.0]);
         g.add(Kind::Short, 3, 1.0, &[1.0, 1.0]);
-        assert_eq!(g.rows.len(), 2);
-        assert_eq!(g.rows[0].2, vec![2.0, 3.0]);
+        {
+            let rows: Vec<_> = g.iter_rows().collect();
+            assert_eq!(rows.len(), 2);
+            assert_eq!(rows[0].2, [2.0, 3.0].as_slice());
+        }
         g.add_alpha(0, 1.0);
         g.add_alpha(0, 0.25);
         g.add_alpha(1, 3.0);
-        assert_eq!(g.alpha, vec![(0, 1.25), (1, 3.0)]);
+        assert_eq!(g.alpha(), &[(0, 1.25), (1, 3.0)]);
+        // clear() retires the rows but keeps their buffers pooled.
+        g.clear();
+        assert_eq!(g.iter_rows().count(), 0);
+        assert!(g.alpha().is_empty());
+        g.add(Kind::Long, 9, 2.0, &[4.0, 5.0, 6.0]);
+        let rows: Vec<_> = g.iter_rows().collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, 9);
+        assert_eq!(rows[0].2, [8.0, 10.0, 12.0].as_slice());
+    }
+
+    /// After `prepare`, a worst-case event's worth of `add` calls performs
+    /// no row pushes beyond the pool.
+    #[test]
+    fn prepared_grads_never_grow_the_row_pool() {
+        let mut g = EventGrads::default();
+        g.prepare(8, 4);
+        let pooled = g.rows.len();
+        assert_eq!(pooled, 8);
+        for node in 0..8u32 {
+            g.add(Kind::Ctx(0), node, 1.0, &[1.0, 2.0, 3.0, 4.0]);
+        }
+        assert_eq!(g.rows.len(), pooled, "adds within bound reuse the pool");
+        g.clear();
+        g.add(Kind::Long, 0, 1.0, &[1.0]);
+        assert_eq!(g.rows.len(), pooled);
+        assert_eq!(g.iter_rows().count(), 1);
     }
 }

@@ -50,6 +50,7 @@ pub mod event;
 pub mod inslearn;
 pub mod model;
 pub mod recommend;
+pub(crate) mod scratch;
 pub mod serving;
 pub mod variants;
 

@@ -96,12 +96,11 @@ impl SupaState {
     }
 }
 
-/// Pieces of a node's target embedding needed by both the forward pass and
-/// the analytic gradients (Eq. 5).
-#[derive(Debug, Clone)]
-pub(crate) struct TargetParts {
-    /// `h* = h^L + h^S · g(σ(α)·Δ)` (or `h^L` under `no_forget`).
-    pub hstar: Vec<f32>,
+/// The scalar pieces of a node's target embedding (Eq. 5) — everything the
+/// analytic gradients need besides the `h*` vector itself, which the hot
+/// path writes into a reusable scratch buffer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TargetMeta {
     /// The forget factor `g(σ(α)·Δ)`.
     pub forget: f64,
     /// The decay input `x = σ(α)·Δ`.
@@ -110,6 +109,19 @@ pub(crate) struct TargetParts {
     pub delta: f64,
     /// Index into `state.alpha`.
     pub alpha_idx: usize,
+}
+
+/// [`TargetMeta`] plus an owned `h*` vector — the allocating convenience
+/// form, used by the white-box tests.
+#[cfg(test)]
+#[derive(Debug, Clone)]
+pub(crate) struct TargetParts {
+    /// `h* = h^L + h^S · g(σ(α)·Δ)` (or `h^L` under `no_forget`).
+    pub hstar: Vec<f32>,
+    /// The forget factor `g(σ(α)·Δ)`.
+    pub forget: f64,
+    /// The scaled inactive interval `Δ_V`.
+    pub delta: f64,
 }
 
 /// The SUPA model (see the crate docs for the architecture overview).
@@ -135,6 +147,10 @@ pub struct Supa {
     /// Per node type: `(node count, total degree)` observed at the last
     /// negative-sampler rebuild, for the degree-delta refresh gate.
     pub(crate) sampler_stats: Vec<(usize, f64)>,
+    /// Reusable hot-path buffers: sample arena, gradient pools, wave marks.
+    /// Taken by value (`std::mem::take`) around each training step so the
+    /// steady-state path allocates nothing; never serialized.
+    pub(crate) scratch: crate::scratch::SupaScratch,
     name: String,
 }
 
@@ -197,6 +213,7 @@ impl Supa {
             touch_log: None,
             workers: 1,
             sampler_stats: vec![(0, 0.0); schema.num_node_types()],
+            scratch: crate::scratch::SupaScratch::default(),
             name: "SUPA".to_string(),
         })
     }
@@ -418,12 +435,20 @@ impl Supa {
         }
     }
 
-    /// Computes Eq. 5 for one node at event time `t` against graph `g`.
+    /// Computes Eq. 5 for one node at event time `t` against graph `g`,
+    /// writing `h*` into the caller's reusable buffer (no allocation once
+    /// the buffer has `dim` capacity).
     ///
     /// `Δ_V` is read from the graph: the time since the node's latest
     /// interaction strictly before `t` (or since stream start for fresh
     /// nodes), divided by the time scale.
-    pub(crate) fn target_parts(&self, g: &Dmhg, node: NodeId, t: Timestamp) -> TargetParts {
+    pub(crate) fn target_parts_into(
+        &self,
+        g: &Dmhg,
+        node: NodeId,
+        t: Timestamp,
+        hstar: &mut Vec<f32>,
+    ) -> TargetMeta {
         let ty = g.node_type(node).index();
         let alpha_idx = self.alpha_idx(ty);
         let last = g
@@ -433,9 +458,10 @@ impl Supa {
             .unwrap_or(0.0);
         let delta = ((t - last) / self.time_scale).max(0.0);
         let hl = self.state.h_long.row(node.index());
+        hstar.clear();
         if self.variant.no_forget {
-            return TargetParts {
-                hstar: hl.to_vec(),
+            hstar.extend_from_slice(hl);
+            return TargetMeta {
                 forget: 0.0,
                 x: 0.0,
                 delta,
@@ -445,17 +471,24 @@ impl Supa {
         let x = sigmoid(self.state.alpha[alpha_idx].value) * delta;
         let forget = g_decay(x);
         let hs = self.state.h_short.row(node.index());
-        let hstar = hl
-            .iter()
-            .zip(hs)
-            .map(|(&l, &s)| l + s * forget as f32)
-            .collect();
-        TargetParts {
-            hstar,
+        hstar.extend(hl.iter().zip(hs).map(|(&l, &s)| l + s * forget as f32));
+        TargetMeta {
             forget,
             x,
             delta,
             alpha_idx,
+        }
+    }
+
+    /// Allocating convenience form of [`Supa::target_parts_into`].
+    #[cfg(test)]
+    pub(crate) fn target_parts(&self, g: &Dmhg, node: NodeId, t: Timestamp) -> TargetParts {
+        let mut hstar = Vec::new();
+        let meta = self.target_parts_into(g, node, t, &mut hstar);
+        TargetParts {
+            hstar,
+            forget: meta.forget,
+            delta: meta.delta,
         }
     }
 

@@ -38,6 +38,9 @@ impl Dataset {
     /// A graph containing the whole edge stream.
     pub fn full_graph(&self) -> Dmhg {
         let mut g = self.prototype.clone();
+        // One degree-counting pass sizes every adjacency region up front,
+        // so the replay below never relocates an arena region.
+        g.reserve_for_stream(&self.edges);
         for e in &self.edges {
             g.add_edge(e.src, e.dst, e.relation, e.time)
                 .expect("dataset edges are schema-valid");

@@ -57,6 +57,12 @@ impl EvalContext {
     pub fn graph_with(&self, edges: &[TemporalEdge], cap: Option<usize>) -> Dmhg {
         let mut g = self.prototype.clone();
         g.set_neighbor_cap(cap);
+        if cap.is_none() {
+            // Uncapped replay keeps every entry: size the adjacency arena in
+            // one pass so inserts never relocate. (Capped replay evicts, so
+            // full-degree reservations would mostly be wasted.)
+            g.reserve_for_stream(edges);
+        }
         for e in edges {
             g.add_edge(e.src, e.dst, e.relation, e.time)
                 .expect("context edges must be valid for the prototype schema");

@@ -1,0 +1,395 @@
+//! Arena-backed, structure-of-arrays temporal adjacency storage.
+//!
+//! The naive layout (`Vec<Vec<Neighbor>>`) costs one heap allocation per
+//! node and scatters neighbourhoods across the heap; every timestamp
+//! `partition_point` then strides over 16-byte `Neighbor` structs touching
+//! cache lines it only needs 8 bytes of. This module replaces it with a
+//! single slab:
+//!
+//! - `entries` — one contiguous `Vec<Neighbor>` holding every node's
+//!   neighbourhood as a sub-slice, so [`AdjArena::neighbors`] still hands
+//!   out real `&[Neighbor]` slices (bit-identical to the old layout's);
+//! - `times` — a parallel dense `f64` column mirroring `entries[i].time`,
+//!   so timestamp binary searches scan 8-byte keys at full cache density;
+//! - `start`/`len`/`cap` — per-node extents into the slab.
+//!
+//! Growth is amortised relocation-with-doubling: when a node's region is
+//! full it moves to the end of the slab with twice the capacity and the old
+//! region becomes *dead*. Dead space is bounded by compaction (triggered
+//! when more than half the slab is dead), which rebuilds the slab in node
+//! order. Under a neighbour cap η the region never grows: the oldest entry
+//! is evicted *in place* by a short `memmove`, so steady-state capped
+//! insertion allocates nothing.
+
+use crate::graph::Neighbor;
+use crate::ids::{NodeId, RelationId, Timestamp};
+
+/// Filler for slab slots that are reserved but not live. Never observable
+/// through the public API — `len` bounds every slice handed out.
+const DUMMY: Neighbor = Neighbor {
+    node: NodeId(0),
+    relation: RelationId(0),
+    time: 0.0,
+};
+
+/// Smallest region capacity allocated on a node's first insertion.
+const MIN_REGION: usize = 4;
+
+/// Slab size below which compaction is never triggered (relocation churn on
+/// tiny graphs is cheaper than rebuilding).
+const COMPACT_MIN_SLAB: usize = 4096;
+
+/// The slab allocator behind [`crate::Dmhg`]'s adjacency (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct AdjArena {
+    /// Per-node offset of the region in `entries`/`times`.
+    start: Vec<usize>,
+    /// Per-node live entry count.
+    len: Vec<u32>,
+    /// Per-node region capacity.
+    cap: Vec<u32>,
+    /// The AoS slab: every node's neighbourhood as a contiguous sub-slice.
+    entries: Vec<Neighbor>,
+    /// Dense copy of `entries[i].time` for cache-friendly binary searches.
+    times: Vec<Timestamp>,
+    /// Slab slots belonging to no current region (left behind by
+    /// relocations); drives the compaction trigger.
+    dead: usize,
+}
+
+impl AdjArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes tracked.
+    pub fn num_nodes(&self) -> usize {
+        self.start.len()
+    }
+
+    /// Appends a node with an empty neighbourhood.
+    pub fn push_node(&mut self) {
+        self.start.push(self.entries.len());
+        self.len.push(0);
+        self.cap.push(0);
+    }
+
+    /// Reserves extent bookkeeping for `additional` more nodes.
+    pub fn reserve_nodes(&mut self, additional: usize) {
+        self.start.reserve(additional);
+        self.len.reserve(additional);
+        self.cap.reserve(additional);
+    }
+
+    /// Reserves slab space for `additional` more adjacency entries.
+    pub fn reserve_entries(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+        self.times.reserve(additional);
+    }
+
+    /// Grows node `v`'s region capacity to at least `want` entries (a
+    /// single relocation now instead of `log₂ want` doublings later).
+    pub fn reserve_node_capacity(&mut self, v: usize, want: usize) {
+        if (self.cap[v] as usize) < want {
+            self.relocate(v, want);
+        }
+    }
+
+    /// Live entry count of node `v`.
+    #[inline]
+    pub fn len(&self, v: usize) -> usize {
+        self.len[v] as usize
+    }
+
+    /// Whether node `v` has no live entries.
+    #[inline]
+    pub fn is_empty(&self, v: usize) -> bool {
+        self.len[v] == 0
+    }
+
+    /// Node `v`'s neighbourhood, oldest first.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[Neighbor] {
+        let s = self.start[v];
+        &self.entries[s..s + self.len[v] as usize]
+    }
+
+    /// The dense timestamp column of node `v`'s neighbourhood.
+    #[inline]
+    pub fn times(&self, v: usize) -> &[Timestamp] {
+        let s = self.start[v];
+        &self.times[s..s + self.len[v] as usize]
+    }
+
+    /// Number of entries of `v` with time strictly before `t` (they form the
+    /// prefix of the region — entries are time-sorted).
+    #[inline]
+    pub fn prefix_before(&self, v: usize, t: Timestamp) -> usize {
+        self.times(v).partition_point(|&x| x < t)
+    }
+
+    /// Total live entries across all nodes.
+    pub fn total_entries(&self) -> usize {
+        self.len.iter().map(|&l| l as usize).sum()
+    }
+
+    /// Current slab length (live + reserved + dead), for diagnostics.
+    pub fn slab_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Dead slab slots awaiting compaction, for diagnostics.
+    pub fn dead_slots(&self) -> usize {
+        self.dead
+    }
+
+    /// Inserts `n` into `v`'s time-sorted neighbourhood. Ties append after
+    /// existing equal-time entries (stable), and in-order streams hit the
+    /// O(1) append fast path — exactly the old `Vec` insertion semantics.
+    pub fn insert_sorted(&mut self, v: usize, n: Neighbor) {
+        let len = self.len[v] as usize;
+        if len == self.cap[v] as usize {
+            self.grow(v);
+        }
+        let s = self.start[v];
+        let pos = if len == 0 || self.times[s + len - 1] <= n.time {
+            len
+        } else {
+            self.times[s..s + len].partition_point(|&x| x <= n.time)
+        };
+        if pos < len {
+            self.entries.copy_within(s + pos..s + len, s + pos + 1);
+            self.times.copy_within(s + pos..s + len, s + pos + 1);
+        }
+        self.entries[s + pos] = n;
+        self.times[s + pos] = n.time;
+        self.len[v] += 1;
+    }
+
+    /// Capped insertion: the neighbourhood holds at most `eta` entries and
+    /// the oldest is evicted *in place* — no region growth, no allocation.
+    ///
+    /// Equivalent to `insert_sorted` followed by dropping the oldest
+    /// entries beyond `eta` (the old layout's insert-then-truncate), but a
+    /// full region never relocates: when the new entry itself would be the
+    /// evicted one (`eta` newer entries already present) nothing moves.
+    pub fn insert_sorted_capped(&mut self, v: usize, n: Neighbor, eta: usize) {
+        if eta == 0 {
+            return;
+        }
+        let len = self.len[v] as usize;
+        if len < eta {
+            self.insert_sorted(v, n);
+            return;
+        }
+        if len > eta {
+            // Only reachable if the cap was tightened without the global
+            // truncate; restore the invariant before the one-slot path.
+            self.truncate_front(v, len - eta);
+        }
+        let len = self.len[v] as usize;
+        let s = self.start[v];
+        let pos = if self.times[s + len - 1] <= n.time {
+            len
+        } else {
+            self.times[s..s + len].partition_point(|&x| x <= n.time)
+        };
+        if pos == 0 {
+            // Inserting at the front of a full region and evicting the
+            // oldest is a net no-op: the new entry *is* the evictee.
+            return;
+        }
+        // Evict index 0 by sliding [1..pos) one slot left; the new entry
+        // lands at pos-1, preserving sort order.
+        self.entries.copy_within(s + 1..s + pos, s);
+        self.times.copy_within(s + 1..s + pos, s);
+        self.entries[s + pos - 1] = n;
+        self.times[s + pos - 1] = n.time;
+    }
+
+    /// Drops the `k` oldest entries of `v` (front of the region).
+    pub fn truncate_front(&mut self, v: usize, k: usize) {
+        if k == 0 {
+            return;
+        }
+        let len = self.len[v] as usize;
+        let k = k.min(len);
+        let s = self.start[v];
+        self.entries.copy_within(s + k..s + len, s);
+        self.times.copy_within(s + k..s + len, s);
+        self.len[v] -= k as u32;
+    }
+
+    /// Removes the entry at position `i` of node `v`'s neighbourhood.
+    pub fn remove_at(&mut self, v: usize, i: usize) {
+        let len = self.len[v] as usize;
+        debug_assert!(i < len);
+        let s = self.start[v];
+        self.entries.copy_within(s + i + 1..s + len, s + i);
+        self.times.copy_within(s + i + 1..s + len, s + i);
+        self.len[v] -= 1;
+    }
+
+    /// Doubles `v`'s region (relocating it to the slab tail).
+    fn grow(&mut self, v: usize) {
+        let new_cap = (self.cap[v] as usize * 2).max(MIN_REGION);
+        self.relocate(v, new_cap);
+    }
+
+    /// Moves `v`'s region to a fresh tail region of `new_cap` slots and
+    /// compacts the slab if relocations have left more than half of it dead.
+    fn relocate(&mut self, v: usize, new_cap: usize) {
+        let s = self.start[v];
+        let len = self.len[v] as usize;
+        let new_start = self.entries.len();
+        self.entries.resize(new_start + new_cap, DUMMY);
+        self.times.resize(new_start + new_cap, 0.0);
+        self.entries.copy_within(s..s + len, new_start);
+        self.times.copy_within(s..s + len, new_start);
+        self.dead += self.cap[v] as usize;
+        self.start[v] = new_start;
+        self.cap[v] = new_cap as u32;
+        if self.dead > self.entries.len() / 2 && self.entries.len() >= COMPACT_MIN_SLAB {
+            self.compact();
+        }
+    }
+
+    /// Rebuilds the slab in node order, dropping dead space. Region
+    /// capacities are preserved, so growth behaviour is unchanged.
+    fn compact(&mut self) {
+        let total_cap: usize = self.cap.iter().map(|&c| c as usize).sum();
+        let mut entries = Vec::with_capacity(total_cap);
+        let mut times = Vec::with_capacity(total_cap);
+        for v in 0..self.start.len() {
+            let s = self.start[v];
+            let len = self.len[v] as usize;
+            let cap = self.cap[v] as usize;
+            self.start[v] = entries.len();
+            entries.extend_from_slice(&self.entries[s..s + len]);
+            entries.resize(entries.len() + (cap - len), DUMMY);
+            times.extend_from_slice(&self.times[s..s + len]);
+            times.resize(times.len() + (cap - len), 0.0);
+        }
+        self.entries = entries;
+        self.times = times;
+        self.dead = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(node: u32, rel: u16, time: f64) -> Neighbor {
+        Neighbor {
+            node: NodeId(node),
+            relation: RelationId(rel),
+            time,
+        }
+    }
+
+    #[test]
+    fn insert_keeps_time_order_and_time_column_in_sync() {
+        let mut a = AdjArena::new();
+        a.push_node();
+        for &t in &[5.0, 2.0, 7.0, 2.5, 2.0] {
+            a.insert_sorted(0, nb(1, 0, t));
+        }
+        let times: Vec<f64> = a.neighbors(0).iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![2.0, 2.0, 2.5, 5.0, 7.0]);
+        assert_eq!(a.times(0), times.as_slice());
+        assert_eq!(a.prefix_before(0, 2.5), 2);
+        assert_eq!(a.len(0), 5);
+    }
+
+    #[test]
+    fn equal_time_inserts_are_stable() {
+        let mut a = AdjArena::new();
+        a.push_node();
+        a.insert_sorted(0, nb(1, 0, 1.0));
+        a.insert_sorted(0, nb(2, 0, 1.0));
+        a.insert_sorted(0, nb(3, 0, 2.0)); // force non-append path next
+        a.insert_sorted(0, nb(4, 0, 1.0));
+        let order: Vec<u32> = a.neighbors(0).iter().map(|e| e.node.0).collect();
+        assert_eq!(order, vec![1, 2, 4, 3]);
+    }
+
+    #[test]
+    fn capped_insert_evicts_oldest_in_place() {
+        let mut a = AdjArena::new();
+        a.push_node();
+        for t in 0..3 {
+            a.insert_sorted_capped(0, nb(t, 0, t as f64), 3);
+        }
+        let cap_before = a.slab_len();
+        for t in 3..50 {
+            a.insert_sorted_capped(0, nb(t, 0, t as f64), 3);
+        }
+        assert_eq!(a.slab_len(), cap_before, "capped insert must not grow");
+        let nodes: Vec<u32> = a.neighbors(0).iter().map(|e| e.node.0).collect();
+        assert_eq!(nodes, vec![47, 48, 49]);
+    }
+
+    #[test]
+    fn capped_insert_of_stale_entry_is_a_noop() {
+        let mut a = AdjArena::new();
+        a.push_node();
+        for t in 10..13 {
+            a.insert_sorted_capped(0, nb(t, 0, t as f64), 3);
+        }
+        a.insert_sorted_capped(0, nb(99, 0, 1.0), 3); // older than everything
+        let nodes: Vec<u32> = a.neighbors(0).iter().map(|e| e.node.0).collect();
+        assert_eq!(nodes, vec![10, 11, 12]);
+        a.insert_sorted_capped(0, nb(99, 0, 1.0), 0); // η = 0 stores nothing
+        assert_eq!(a.len(0), 3);
+    }
+
+    #[test]
+    fn truncate_and_remove_shift_within_region() {
+        let mut a = AdjArena::new();
+        a.push_node();
+        for t in 0..6 {
+            a.insert_sorted(0, nb(t, 0, t as f64));
+        }
+        a.truncate_front(0, 2);
+        a.remove_at(0, 1);
+        let nodes: Vec<u32> = a.neighbors(0).iter().map(|e| e.node.0).collect();
+        assert_eq!(nodes, vec![2, 4, 5]);
+        assert_eq!(a.times(0), &[2.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn relocation_tracks_dead_space_and_compaction_reclaims_it() {
+        let mut a = AdjArena::new();
+        for v in 0..64 {
+            a.push_node();
+            // Enough inserts to force several doublings per node.
+            for t in 0..40 {
+                a.insert_sorted(v, nb(t, 0, t as f64));
+            }
+        }
+        assert_eq!(a.total_entries(), 64 * 40);
+        // Compaction must have been triggered at least once and bounded
+        // dead space at half the slab.
+        assert!(a.slab_len() >= COMPACT_MIN_SLAB);
+        assert!(a.dead_slots() <= a.slab_len() / 2);
+        for v in 0..64 {
+            let times: Vec<f64> = (0..40).map(|t| t as f64).collect();
+            assert_eq!(a.times(v), times.as_slice(), "node {v} region corrupt");
+        }
+    }
+
+    #[test]
+    fn reserve_node_capacity_prevents_relocation() {
+        let mut a = AdjArena::new();
+        a.push_node();
+        a.reserve_node_capacity(0, 100);
+        let slab = a.slab_len();
+        for t in 0..100 {
+            a.insert_sorted(0, nb(t, 0, t as f64));
+        }
+        assert_eq!(a.slab_len(), slab, "pre-reserved region must not move");
+        assert_eq!(a.dead_slots(), 0);
+    }
+}

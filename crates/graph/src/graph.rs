@@ -9,9 +9,11 @@
 
 use rand::{Rng, RngExt};
 
+use crate::arena::AdjArena;
 use crate::error::GraphError;
 use crate::ids::{NodeId, NodeTypeId, RelationId, RelationSet, Timestamp};
 use crate::schema::GraphSchema;
+use crate::stream::TemporalEdge;
 
 /// One adjacency entry: the neighbour, the edge type, and the edge timestamp.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,12 +27,16 @@ pub struct Neighbor {
 }
 
 /// A dynamic multiplex heterogeneous graph (Definition 1 of the paper).
+///
+/// Adjacency lives in an [`AdjArena`]: one contiguous slab with per-node
+/// extents and a dense timestamp column, instead of one heap `Vec` per node
+/// (see the [`crate::arena`] module docs for the layout).
 #[derive(Debug, Clone)]
 pub struct Dmhg {
     schema: GraphSchema,
     node_types: Vec<NodeTypeId>,
     nodes_by_type: Vec<Vec<NodeId>>,
-    adj: Vec<Vec<Neighbor>>,
+    adj: AdjArena,
     num_edges: usize,
     cap: Option<usize>,
     max_time: Timestamp,
@@ -44,7 +50,7 @@ impl Dmhg {
             schema,
             node_types: Vec::new(),
             nodes_by_type,
-            adj: Vec::new(),
+            adj: AdjArena::new(),
             num_edges: 0,
             cap: None,
             max_time: 0.0,
@@ -78,13 +84,48 @@ impl Dmhg {
         );
         self.node_types.push(ty);
         self.nodes_by_type[ty.index()].push(id);
-        self.adj.push(Vec::new());
+        self.adj.push_node();
         Ok(id)
     }
 
-    /// Adds `n` nodes of the given type; returns their ids.
+    /// Adds `n` nodes of the given type; returns their ids. Node storage is
+    /// reserved up front, so bulk population performs O(1) reallocations.
     pub fn add_nodes(&mut self, ty: NodeTypeId, n: usize) -> Vec<NodeId> {
+        self.node_types.reserve(n);
+        self.nodes_by_type[ty.index()].reserve(n);
+        self.adj.reserve_nodes(n);
         (0..n).map(|_| self.add_node(ty)).collect()
+    }
+
+    /// Reserves slab space for `additional` more edges (2 adjacency entries
+    /// per edge), so a bulk insert does not repeatedly regrow the slab.
+    pub fn reserve_edges(&mut self, additional: usize) {
+        self.adj.reserve_entries(2 * additional);
+    }
+
+    /// Sizes every node's adjacency region for the exact degrees `edges`
+    /// will produce, eliminating region relocations for a bulk replay of
+    /// that stream (edges referencing unknown nodes are ignored here — they
+    /// will fail in [`Dmhg::add_edge`] anyway).
+    pub fn reserve_for_stream(&mut self, edges: &[TemporalEdge]) {
+        let n = self.num_nodes();
+        let mut deg = vec![0u32; n];
+        for e in edges {
+            if let Some(d) = deg.get_mut(e.src.index()) {
+                *d += 1;
+            }
+            if let Some(d) = deg.get_mut(e.dst.index()) {
+                *d += 1;
+            }
+        }
+        let total: usize = deg.iter().map(|&d| d as usize).sum();
+        self.adj.reserve_entries(total);
+        for (v, &d) in deg.iter().enumerate() {
+            if d > 0 {
+                self.adj
+                    .reserve_node_capacity(v, self.adj.len(v) + d as usize);
+            }
+        }
     }
 
     /// Inserts a temporal edge `(u, v, r, t)`.
@@ -114,47 +155,31 @@ impl Dmhg {
             .ok_or(GraphError::UnknownNode(v))?;
         self.schema.check_edge(r, tu, tv)?;
 
-        Self::insert_sorted(
-            &mut self.adj[u.index()],
-            Neighbor {
-                node: v,
-                relation: r,
-                time: t,
-            },
-        );
-        Self::insert_sorted(
-            &mut self.adj[v.index()],
-            Neighbor {
-                node: u,
-                relation: r,
-                time: t,
-            },
-        );
-        if let Some(cap) = self.cap {
-            Self::truncate_to_cap(&mut self.adj[u.index()], cap);
-            Self::truncate_to_cap(&mut self.adj[v.index()], cap);
+        let to_v = Neighbor {
+            node: v,
+            relation: r,
+            time: t,
+        };
+        let to_u = Neighbor {
+            node: u,
+            relation: r,
+            time: t,
+        };
+        match self.cap {
+            Some(cap) => {
+                self.adj.insert_sorted_capped(u.index(), to_v, cap);
+                self.adj.insert_sorted_capped(v.index(), to_u, cap);
+            }
+            None => {
+                self.adj.insert_sorted(u.index(), to_v);
+                self.adj.insert_sorted(v.index(), to_u);
+            }
         }
         self.num_edges += 1;
         if t > self.max_time {
             self.max_time = t;
         }
         Ok(())
-    }
-
-    fn insert_sorted(list: &mut Vec<Neighbor>, n: Neighbor) {
-        match list.last() {
-            Some(last) if last.time > n.time => {
-                let pos = list.partition_point(|e| e.time <= n.time);
-                list.insert(pos, n);
-            }
-            _ => list.push(n),
-        }
-    }
-
-    fn truncate_to_cap(list: &mut Vec<Neighbor>, cap: usize) {
-        if list.len() > cap {
-            list.drain(..list.len() - cap);
-        }
     }
 
     /// Sets (or clears) the per-node neighbour cap η.
@@ -167,8 +192,9 @@ impl Dmhg {
     pub fn set_neighbor_cap(&mut self, cap: Option<usize>) {
         self.cap = cap;
         if let Some(c) = cap {
-            for list in &mut self.adj {
-                Self::truncate_to_cap(list, c);
+            for v in 0..self.adj.num_nodes() {
+                let excess = self.adj.len(v).saturating_sub(c);
+                self.adj.truncate_front(v, excess);
             }
         }
     }
@@ -214,31 +240,31 @@ impl Dmhg {
 
     /// Current (possibly capped) degree of a node.
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.index()].len()
+        self.adj.len(v.index())
     }
 
     /// The node's full (possibly capped) neighbourhood, oldest first.
     pub fn neighbors(&self, v: NodeId) -> &[Neighbor] {
-        &self.adj[v.index()]
+        self.adj.neighbors(v.index())
     }
 
     /// Neighbours connected strictly before time `t`, oldest first.
+    /// The binary search runs over the arena's dense timestamp column.
     pub fn neighbors_before(&self, v: NodeId, t: Timestamp) -> &[Neighbor] {
-        let list = &self.adj[v.index()];
-        let end = list.partition_point(|e| e.time < t);
-        &list[..end]
+        let end = self.adj.prefix_before(v.index(), t);
+        &self.adj.neighbors(v.index())[..end]
     }
 
     /// The `η` most recent neighbours (all of them if `η ≥ degree`).
     pub fn latest_neighbors(&self, v: NodeId, eta: usize) -> &[Neighbor] {
-        let list = &self.adj[v.index()];
+        let list = self.adj.neighbors(v.index());
         let start = list.len().saturating_sub(eta);
         &list[start..]
     }
 
     /// Timestamp of the node's most recent interaction, if any.
     pub fn last_interaction_time(&self, v: NodeId) -> Option<Timestamp> {
-        self.adj[v.index()].last().map(|e| e.time)
+        self.adj.times(v.index()).last().copied()
     }
 
     /// Uniformly samples one neighbour of `v` subject to constraints, without
@@ -255,13 +281,12 @@ impl Dmhg {
         cap: Option<usize>,
         rng: &mut R,
     ) -> Option<Neighbor> {
-        let list = &self.adj[v.index()];
         let list = match before {
             Some(t) => {
-                let end = list.partition_point(|e| e.time < t);
-                &list[..end]
+                let end = self.adj.prefix_before(v.index(), t);
+                &self.adj.neighbors(v.index())[..end]
             }
-            None => &list[..],
+            None => self.adj.neighbors(v.index()),
         };
         let list = match cap {
             Some(c) => &list[list.len().saturating_sub(c)..],
@@ -293,14 +318,14 @@ impl Dmhg {
     /// neighbour cap the two sides can diverge — an edge evicted from a hub
     /// may survive on its low-degree endpoint.
     pub fn contains_edge(&self, u: NodeId, v: NodeId, r: RelationId, t: Timestamp) -> bool {
-        let side = |list: &[Neighbor], other: NodeId| {
-            let start = list.partition_point(|e| e.time < t);
-            list[start..]
+        let side = |node: NodeId, other: NodeId| {
+            let start = self.adj.prefix_before(node.index(), t);
+            self.adj.neighbors(node.index())[start..]
                 .iter()
                 .take_while(|e| e.time == t)
                 .any(|e| e.node == other && e.relation == r)
         };
-        side(&self.adj[u.index()], v) || side(&self.adj[v.index()], u)
+        side(u, v) || side(v, u)
     }
 
     /// Removes one specific edge `(u, v, r, t)` from both adjacency lists.
@@ -311,22 +336,21 @@ impl Dmhg {
     /// hard-delete interactions (GDPR erasure, retracted likes). The logical
     /// edge count is decremented.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId, r: RelationId, t: Timestamp) -> bool {
-        let find = |list: &[Neighbor], node: NodeId| {
+        let find = |adj: &AdjArena, of: NodeId, node: NodeId| {
             // Entries are time-sorted: binary-search to the timestamp run,
             // then scan it for the exact entry.
-            let start = list.partition_point(|e| e.time < t);
-            list[start..]
+            let start = adj.prefix_before(of.index(), t);
+            adj.neighbors(of.index())[start..]
                 .iter()
                 .take_while(|e| e.time == t)
                 .position(|e| e.node == node && e.relation == r)
                 .map(|off| start + off)
         };
-        let (Some(iu), Some(iv)) = (find(&self.adj[u.index()], v), find(&self.adj[v.index()], u))
-        else {
+        let (Some(iu), Some(iv)) = (find(&self.adj, u, v), find(&self.adj, v, u)) else {
             return false;
         };
-        self.adj[u.index()].remove(iu);
-        self.adj[v.index()].remove(iv);
+        self.adj.remove_at(u.index(), iu);
+        self.adj.remove_at(v.index(), iv);
         self.num_edges -= 1;
         true
     }
@@ -335,18 +359,16 @@ impl Dmhg {
     /// "outdated nodes and edges are deleted" storage constraint. The logical
     /// edge count is unchanged (see [`Dmhg::set_neighbor_cap`]).
     pub fn retain_recent(&mut self, threshold: Timestamp) {
-        for list in &mut self.adj {
-            let start = list.partition_point(|e| e.time < threshold);
-            if start > 0 {
-                list.drain(..start);
-            }
+        for v in 0..self.adj.num_nodes() {
+            let start = self.adj.prefix_before(v, threshold);
+            self.adj.truncate_front(v, start);
         }
     }
 
     /// Total number of adjacency entries currently stored (= 2·edges when no
     /// cap/eviction has removed anything).
     pub fn adjacency_entries(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum()
+        self.adj.total_entries()
     }
 }
 

@@ -19,8 +19,9 @@
 //! - neighbour caps (the `η` of the paper's neighbourhood-disturbance
 //!   experiments) and streaming edge utilities.
 //!
-//! Everything is plain CPU data structures: adjacency lists are contiguous
-//! `Vec`s sorted by timestamp, relation filters are 64-bit sets, and walks
+//! Everything is plain CPU data structures: adjacency lives in a single
+//! arena slab ([`AdjArena`]) with per-node extents and a dense timestamp
+//! column for binary searches, relation filters are 64-bit sets, and walks
 //! use reservoir sampling so that a step allocates nothing.
 //!
 //! ```
@@ -39,17 +40,21 @@
 //! assert_eq!(g.degree(u), 1);
 //! ```
 
+pub mod arena;
 pub mod error;
 pub mod graph;
 pub mod guard;
 pub mod ids;
 pub mod metapath;
 pub mod mining;
+#[cfg(test)]
+mod reference;
 pub mod schema;
 pub mod stats;
 pub mod stream;
 pub mod walker;
 
+pub use arena::AdjArena;
 pub use error::GraphError;
 pub use graph::{Dmhg, Neighbor};
 pub use guard::{
@@ -61,4 +66,4 @@ pub use mining::{mine_metapaths, MinedMetapath, MiningConfig};
 pub use schema::GraphSchema;
 pub use stats::GraphStats;
 pub use stream::{sequential_batches, sort_by_time, temporal_slices, TemporalEdge};
-pub use walker::{MetapathWalker, Walk, WalkConfig, WalkStep};
+pub use walker::{FlatWalks, MetapathWalker, Walk, WalkConfig, WalkStep};

@@ -1,0 +1,249 @@
+//! The pre-arena adjacency layout (`Vec<Vec<Neighbor>>`), kept as a
+//! test-only reference implementation.
+//!
+//! [`RefAdjacency`] reproduces, operation for operation, the insertion /
+//! eviction / removal semantics the old `Dmhg` had before adjacency moved
+//! into [`crate::arena::AdjArena`]. The property tests below drive both
+//! layouts with the same random edge streams (with and without an η cap,
+//! with removals and retention cut-offs) and assert the arena returns
+//! *byte-identical* `neighbors` / `neighbors_before` slices.
+
+use crate::graph::Neighbor;
+use crate::ids::Timestamp;
+
+/// One `Vec<Neighbor>` per node — the old layout's exact operations.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RefAdjacency {
+    adj: Vec<Vec<Neighbor>>,
+}
+
+impl RefAdjacency {
+    pub fn push_node(&mut self) {
+        self.adj.push(Vec::new());
+    }
+
+    /// Old `Dmhg::insert_sorted` + `truncate_to_cap` pair.
+    pub fn insert(&mut self, v: usize, n: Neighbor, cap: Option<usize>) {
+        let list = &mut self.adj[v];
+        match list.last() {
+            Some(last) if last.time > n.time => {
+                let pos = list.partition_point(|e| e.time <= n.time);
+                list.insert(pos, n);
+            }
+            _ => list.push(n),
+        }
+        if let Some(cap) = cap {
+            if list.len() > cap {
+                list.drain(..list.len() - cap);
+            }
+        }
+    }
+
+    pub fn truncate_to_cap(&mut self, v: usize, cap: usize) {
+        let list = &mut self.adj[v];
+        if list.len() > cap {
+            list.drain(..list.len() - cap);
+        }
+    }
+
+    pub fn remove_at(&mut self, v: usize, i: usize) {
+        self.adj[v].remove(i);
+    }
+
+    pub fn retain_recent(&mut self, v: usize, threshold: Timestamp) {
+        let list = &mut self.adj[v];
+        let start = list.partition_point(|e| e.time < threshold);
+        if start > 0 {
+            list.drain(..start);
+        }
+    }
+
+    pub fn neighbors(&self, v: usize) -> &[Neighbor] {
+        &self.adj[v]
+    }
+
+    pub fn neighbors_before(&self, v: usize, t: Timestamp) -> &[Neighbor] {
+        let list = &self.adj[v];
+        &list[..list.partition_point(|e| e.time < t)]
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+#[cfg(test)]
+mod equivalence {
+    use super::*;
+    use crate::arena::AdjArena;
+    use crate::ids::{NodeId, RelationId};
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    const N_NODES: usize = 10;
+
+    /// Bit-level slice equality: node/relation ids exactly, times by f64
+    /// bit pattern (stricter than `==`, distinguishes `0.0` / `-0.0`).
+    fn assert_bytes_equal(a: &[Neighbor], b: &[Neighbor], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.node, y.node, "{what}[{i}].node");
+            assert_eq!(x.relation, y.relation, "{what}[{i}].relation");
+            assert_eq!(x.time.to_bits(), y.time.to_bits(), "{what}[{i}].time bits");
+        }
+    }
+
+    fn check_all_views(arena: &AdjArena, refi: &RefAdjacency, probes: &[f64]) {
+        for v in 0..N_NODES {
+            assert_bytes_equal(arena.neighbors(v), refi.neighbors(v), "neighbors");
+            // The dense time column must mirror the entry times bit for bit.
+            for (i, (&tc, e)) in arena.times(v).iter().zip(arena.neighbors(v)).enumerate() {
+                assert_eq!(tc.to_bits(), e.time.to_bits(), "time column [{i}]");
+            }
+            for &t in probes {
+                let end = arena.prefix_before(v, t);
+                assert_bytes_equal(
+                    &arena.neighbors(v)[..end],
+                    refi.neighbors_before(v, t),
+                    "neighbors_before",
+                );
+            }
+        }
+    }
+
+    /// One random operation applied to both layouts.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert {
+            v: usize,
+            node: u32,
+            rel: u16,
+            t: f64,
+        },
+        RemoveAt {
+            v: usize,
+            i: usize,
+        },
+        Retain {
+            v: usize,
+            t: f64,
+        },
+    }
+
+    /// Deterministic random operation stream (8:1:1 insert/remove/retain).
+    /// Plain `SmallRng` instead of a property-testing framework so the
+    /// equivalence suite runs in dependency-starved environments too; the
+    /// proptest variant lives in `tests/graph_properties.rs`.
+    fn random_ops(seed: u64, n: usize) -> Vec<Op> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| match rng.random_range(0..10u32) {
+                0 => Op::RemoveAt {
+                    v: rng.random_range(0..N_NODES),
+                    i: rng.random_range(0..8),
+                },
+                1 => Op::Retain {
+                    v: rng.random_range(0..N_NODES),
+                    t: rng.random_range(0.0..100.0),
+                },
+                _ => Op::Insert {
+                    v: rng.random_range(0..N_NODES),
+                    node: rng.random_range(0..64),
+                    rel: rng.random_range(0..3u32) as u16,
+                    t: rng.random_range(0.0..100.0),
+                },
+            })
+            .collect()
+    }
+
+    fn run_stream(ops: &[Op], cap: Option<usize>) {
+        let mut arena = AdjArena::new();
+        let mut refi = RefAdjacency::default();
+        for _ in 0..N_NODES {
+            arena.push_node();
+            refi.push_node();
+        }
+        let probes: Vec<f64> = vec![0.0, 12.5, 50.0, 99.0, 1000.0];
+        for op in ops {
+            match *op {
+                Op::Insert { v, node, rel, t } => {
+                    let n = Neighbor {
+                        node: NodeId(node),
+                        relation: RelationId(rel),
+                        time: t,
+                    };
+                    match cap {
+                        Some(c) => arena.insert_sorted_capped(v, n, c),
+                        None => arena.insert_sorted(v, n),
+                    }
+                    refi.insert(v, n, cap);
+                }
+                Op::RemoveAt { v, i } => {
+                    if i < arena.len(v) {
+                        arena.remove_at(v, i);
+                        refi.remove_at(v, i);
+                    }
+                }
+                Op::Retain { v, t } => {
+                    let k = arena.prefix_before(v, t);
+                    arena.truncate_front(v, k);
+                    refi.retain_recent(v, t);
+                }
+            }
+            check_all_views(&arena, &refi, &probes);
+        }
+        assert_eq!(arena.num_nodes(), refi.num_nodes());
+    }
+
+    /// Uncapped: arena slices are byte-identical to the old layout after
+    /// every operation of a random stream.
+    #[test]
+    fn arena_matches_reference_uncapped() {
+        for seed in 0..48u64 {
+            let len = 1 + (seed as usize * 7) % 150;
+            run_stream(&random_ops(seed, len), None);
+        }
+    }
+
+    /// With an η cap: in-place eviction gives the same visible state as the
+    /// old insert-then-truncate.
+    #[test]
+    fn arena_matches_reference_capped() {
+        for seed in 0..48u64 {
+            let len = 1 + (seed as usize * 11) % 150;
+            let cap = 1 + (seed as usize) % 5;
+            run_stream(&random_ops(1000 + seed, len), Some(cap));
+        }
+    }
+
+    /// Tightening the cap mid-stream (the old global truncate) agrees.
+    #[test]
+    fn cap_tightening_matches_reference() {
+        for seed in 0..24u64 {
+            let cap = 1 + (seed as usize) % 4;
+            let mut arena = AdjArena::new();
+            let mut refi = RefAdjacency::default();
+            for _ in 0..N_NODES {
+                arena.push_node();
+                refi.push_node();
+            }
+            for op in &random_ops(2000 + seed, 80) {
+                if let Op::Insert { v, node, rel, t } = *op {
+                    let n = Neighbor {
+                        node: NodeId(node),
+                        relation: RelationId(rel),
+                        time: t,
+                    };
+                    arena.insert_sorted(v, n);
+                    refi.insert(v, n, None);
+                }
+            }
+            for v in 0..N_NODES {
+                let excess = arena.len(v).saturating_sub(cap);
+                arena.truncate_front(v, excess);
+                refi.truncate_to_cap(v, cap);
+            }
+            check_all_views(&arena, &refi, &[0.0, 40.0, 100.0]);
+        }
+    }
+}

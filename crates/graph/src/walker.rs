@@ -52,6 +52,83 @@ impl Walk {
     }
 }
 
+/// A flat, reusable store for sampled walks: every hop of every walk in one
+/// `steps` vector, with per-walk end offsets. Clearing and refilling a warm
+/// `FlatWalks` performs no heap allocation, which is what keeps the
+/// steady-state training path allocation-free (walks are short and bounded
+/// by `k·l`, so capacity converges after the first few events).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlatWalks {
+    steps: Vec<WalkStep>,
+    /// `ends[i]` = one past the last step of walk `i` in `steps`; walk `i`
+    /// starts at `ends[i-1]` (or 0). Walk starts live in `starts`.
+    ends: Vec<u32>,
+    starts: Vec<NodeId>,
+}
+
+impl FlatWalks {
+    /// Drops all walks, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.steps.clear();
+        self.ends.clear();
+        self.starts.clear();
+    }
+
+    /// Number of stored walks.
+    pub fn num_walks(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether no walks are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Total hops across all walks.
+    pub fn total_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The hops of walk `i` (may be empty if the walk got stuck at once).
+    pub fn steps_of(&self, i: usize) -> &[WalkStep] {
+        let lo = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.steps[lo..self.ends[i] as usize]
+    }
+
+    /// The origin of walk `i`.
+    pub fn start_of(&self, i: usize) -> NodeId {
+        self.starts[i]
+    }
+
+    /// Iterates `(start, steps)` over a range of walk indices.
+    pub fn iter_range(
+        &self,
+        range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = (NodeId, &[WalkStep])> + '_ {
+        range.map(move |i| (self.start_of(i), self.steps_of(i)))
+    }
+
+    /// Reserves for `walks` walks of up to `len` hops each.
+    pub fn reserve(&mut self, walks: usize, len: usize) {
+        self.steps.reserve(walks * len);
+        self.ends.reserve(walks);
+        self.starts.reserve(walks);
+    }
+
+    /// Appends one walk via a step-pushing closure (used by the walker).
+    fn begin_walk(&mut self, start: NodeId) {
+        self.starts.push(start);
+    }
+
+    fn push_step(&mut self, s: WalkStep) {
+        self.steps.push(s);
+    }
+
+    fn end_walk(&mut self) {
+        self.ends.push(self.steps.len() as u32);
+    }
+}
+
 /// Parameters of influenced-graph sampling.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WalkConfig {
@@ -168,6 +245,59 @@ impl MetapathWalker {
             walks.push(self.sample_walk(g, &self.schemas[idx], start, cfg, rng));
         }
         walks
+    }
+
+    /// Allocation-free [`MetapathWalker::sample_walks`]: appends `k` walks
+    /// into `out` (which is *not* cleared — callers batch many events into
+    /// one [`FlatWalks`]) and returns how many walks were appended (0 if no
+    /// schema starts at this node's type).
+    ///
+    /// Draws the exact same RNG sequence as `sample_walks`: one
+    /// `random_range(0..n_applicable)` per walk, then one reservoir draw
+    /// per qualifying neighbour per hop — so a model using either entry
+    /// point produces bit-identical samples.
+    pub fn sample_walks_into<R: Rng + ?Sized>(
+        &self,
+        g: &Dmhg,
+        start: NodeId,
+        cfg: &WalkConfig,
+        rng: &mut R,
+        out: &mut FlatWalks,
+    ) -> usize {
+        let ty = g.node_type(start);
+        let applicable = self.schemas.iter().filter(|p| p.head_type() == ty).count();
+        if applicable == 0 {
+            return 0;
+        }
+        for _ in 0..cfg.num_walks {
+            let pick = rng.random_range(0..applicable);
+            let schema = self
+                .schemas
+                .iter()
+                .filter(|p| p.head_type() == ty)
+                .nth(pick)
+                .expect("pick < applicable count");
+            out.begin_walk(start);
+            let mut cur = start;
+            for j in 0..cfg.walk_length {
+                let rels = schema.rel_set_at(j);
+                let target = schema.node_type_at(j + 1);
+                match g.sample_neighbor(cur, rels, Some(target), cfg.before, cfg.neighbor_cap, rng)
+                {
+                    Some(n) => {
+                        out.push_step(WalkStep {
+                            node: n.node,
+                            relation: n.relation,
+                            edge_time: n.time,
+                        });
+                        cur = n.node;
+                    }
+                    None => break,
+                }
+            }
+            out.end_walk();
+        }
+        cfg.num_walks
     }
 }
 
@@ -364,6 +494,68 @@ mod tests {
         let nodes: Vec<NodeId> = w.nodes().collect();
         assert_eq!(nodes[0], f.users[0]);
         assert_eq!(nodes.len(), w.len() + 1);
+    }
+
+    #[test]
+    fn flat_walks_match_vec_walks_bit_for_bit() {
+        let f = fixture();
+        let clickset = RelationSet::single(f.click);
+        let asym = MetapathSchema::new(vec![f.user, f.video], vec![clickset]).unwrap();
+        let walker = MetapathWalker::new(vec![uvu_schema(&f), asym], f.g.schema()).unwrap();
+        let cfg = WalkConfig {
+            num_walks: 6,
+            walk_length: 4,
+            ..Default::default()
+        };
+        // Same seed through both entry points: identical RNG consumption
+        // must give identical walks AND leave the RNGs in the same state.
+        let mut rng_a = SmallRng::seed_from_u64(17);
+        let mut rng_b = rng_a.clone();
+        let mut flat = FlatWalks::default();
+        for &start in f.users.iter().chain(&f.videos) {
+            let vecs = walker.sample_walks(&f.g, start, &cfg, &mut rng_a);
+            flat.clear();
+            let n = walker.sample_walks_into(&f.g, start, &cfg, &mut rng_b, &mut flat);
+            assert_eq!(n, vecs.len());
+            assert_eq!(flat.num_walks(), vecs.len());
+            for (i, w) in vecs.iter().enumerate() {
+                assert_eq!(flat.start_of(i), w.start);
+                assert_eq!(flat.steps_of(i), w.steps.as_slice());
+            }
+        }
+        assert_eq!(
+            rng_a.random_range(0..u64::MAX),
+            rng_b.random_range(0..u64::MAX),
+            "RNG streams diverged between the two entry points"
+        );
+    }
+
+    #[test]
+    fn flat_walks_appends_across_events_and_clears_without_freeing() {
+        let f = fixture();
+        let walker = MetapathWalker::new(vec![uvu_schema(&f)], f.g.schema()).unwrap();
+        let cfg = WalkConfig {
+            num_walks: 3,
+            walk_length: 2,
+            ..Default::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut flat = FlatWalks::default();
+        let n1 = walker.sample_walks_into(&f.g, f.users[0], &cfg, &mut rng, &mut flat);
+        let n2 = walker.sample_walks_into(&f.g, f.users[1], &cfg, &mut rng, &mut flat);
+        assert_eq!(flat.num_walks(), n1 + n2);
+        // Walks of the second event start where the first event's ended.
+        for (start, _) in flat.iter_range(n1..n1 + n2) {
+            assert_eq!(start, f.users[1]);
+        }
+        // Unmatched start type appends nothing.
+        assert_eq!(
+            walker.sample_walks_into(&f.g, f.videos[0], &cfg, &mut rng, &mut flat),
+            0
+        );
+        flat.clear();
+        assert!(flat.is_empty());
+        assert_eq!(flat.total_steps(), 0);
     }
 
     #[test]

@@ -145,6 +145,64 @@ proptest! {
         prop_assert_eq!(g.adjacency_entries(), 0);
     }
 
+    /// The arena-backed adjacency returns byte-identical `neighbors` /
+    /// `neighbors_before` slices to the old per-node `Vec<Neighbor>` layout
+    /// (reproduced inline below), with and without an η cap.
+    #[test]
+    fn arena_adjacency_matches_vec_layout(
+        stream in edge_stream(),
+        cap in prop::option::of(1usize..6),
+    ) {
+        let (mut g, users, items) = bipartite_graph();
+        g.set_neighbor_cap(cap);
+        // The pre-arena layout: one Vec per node, insert sorted (stable on
+        // ties), then truncate the oldest entries beyond the cap.
+        let mut reference: Vec<Vec<supa_graph::Neighbor>> = vec![Vec::new(); g.num_nodes()];
+        let mut insert_ref = |list: &mut Vec<supa_graph::Neighbor>, n: supa_graph::Neighbor| {
+            match list.last() {
+                Some(last) if last.time > n.time => {
+                    let pos = list.partition_point(|e| e.time <= n.time);
+                    list.insert(pos, n);
+                }
+                _ => list.push(n),
+            }
+            if let Some(c) = cap {
+                if list.len() > c {
+                    list.drain(..list.len() - c);
+                }
+            }
+        };
+        for &(u, v, r, t) in &stream {
+            let (u, v) = (users[u as usize], items[v as usize]);
+            g.add_edge(u, v, RelationId(r), t).unwrap();
+            insert_ref(&mut reference[u.index()], supa_graph::Neighbor {
+                node: v, relation: RelationId(r), time: t,
+            });
+            insert_ref(&mut reference[v.index()], supa_graph::Neighbor {
+                node: u, relation: RelationId(r), time: t,
+            });
+        }
+        for id in users.iter().chain(items.iter()) {
+            let got = g.neighbors(*id);
+            let want = &reference[id.index()];
+            prop_assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(want) {
+                prop_assert_eq!(a.node, b.node);
+                prop_assert_eq!(a.relation, b.relation);
+                prop_assert_eq!(a.time.to_bits(), b.time.to_bits());
+            }
+            for probe in [0.0, 250.0, 500.0, 1500.0] {
+                let got = g.neighbors_before(*id, probe);
+                let end = want.partition_point(|e| e.time < probe);
+                prop_assert_eq!(got.len(), end);
+                for (a, b) in got.iter().zip(&want[..end]) {
+                    prop_assert_eq!(a.node, b.node);
+                    prop_assert_eq!(a.time.to_bits(), b.time.to_bits());
+                }
+            }
+        }
+    }
+
     /// retain_recent leaves only edges at/after the threshold.
     #[test]
     fn retain_recent_is_a_time_filter(stream in edge_stream(), frac in 0.0f64..1.0) {

@@ -17,6 +17,7 @@
 //!                [--snapshot-every 1] [--cache 4096] [--checkpoint-dir DIR]
 //!                [--checkpoint-every 8] [--keep 3] [--resume]
 //!                [--on-bad-event strict|skip|clamp] [--workers N]
+//!                [--warmup 8]
 //! ```
 //!
 //! Data is the self-describing TSV of `supa_datasets::load_tsv`; checkpoints
@@ -146,6 +147,7 @@ const COMMANDS: &[CommandSpec] = &[
             "keep",
             "on-bad-event",
             "workers",
+            "warmup",
         ],
         bool_flags: &["mine", "resume"],
     },
@@ -521,6 +523,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 top_k: get(&flags, "top", 10)?,
                 queries_per_reader: get(&flags, "queries", 500)?,
                 seed: get(&flags, "seed", 7u64)?,
+                warmup_per_reader: get(&flags, "warmup", 8)?,
                 verify: true,
             };
             let report = run_closed_loop(&d, model, serve_cfg, load).map_err(|e| e.to_string())?;

@@ -8,6 +8,12 @@
 //! everything else stays valid — an untouched entry still scores bit-identically
 //! under the new epoch for its user/candidate pairs, but we keep its recorded
 //! epoch so readers can attribute the result to the snapshot that produced it.
+//!
+//! The cache is **sharded by user**: each shard has its own mutex, map, and
+//! capacity slice. Readers on different users never contend with each other,
+//! and — the part that matters for tail latency — the writer's invalidation
+//! sweep locks one shard at a time, so a reader is blocked for at most one
+//! shard-sized retain instead of a full-cache scan.
 
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -18,6 +24,9 @@ use supa_graph::NodeId;
 /// Key: (user row, relation index, k).
 type Key = (u32, u16, usize);
 
+/// Upper bound on the number of lock shards.
+const MAX_SHARDS: usize = 8;
+
 #[derive(Debug, Clone)]
 struct CacheEntry {
     /// Epoch of the snapshot the result was computed against.
@@ -27,32 +36,44 @@ struct CacheEntry {
 }
 
 #[derive(Debug, Default)]
-struct CacheInner {
+struct Shard {
     map: HashMap<Key, CacheEntry>,
     /// Insertion order for capacity eviction (stale keys are skipped lazily).
     order: VecDeque<Key>,
 }
 
-/// A bounded, invalidation-aware cache of top-K query results.
+/// A bounded, invalidation-aware cache of top-K query results, sharded by
+/// user so that readers and the invalidating writer contend at shard
+/// granularity only.
 #[derive(Debug)]
 pub struct QueryCache {
-    inner: Mutex<CacheInner>,
-    capacity: usize,
+    shards: Vec<Mutex<Shard>>,
+    /// Entries allowed per shard (total capacity ≈ `shards · shard_capacity`).
+    shard_capacity: usize,
 }
 
 impl QueryCache {
-    /// A cache holding at most `capacity` entries (0 disables caching).
+    /// A cache holding at most `capacity` entries (0 disables caching),
+    /// spread over `min(capacity, 8)` user-hashed shards.
     pub fn new(capacity: usize) -> Self {
+        let n_shards = capacity.clamp(1, MAX_SHARDS);
         QueryCache {
-            inner: Mutex::new(CacheInner::default()),
-            capacity,
+            shards: (0..n_shards)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            shard_capacity: capacity.div_ceil(n_shards),
         }
+    }
+
+    #[inline]
+    fn shard(&self, user: u32) -> &Mutex<Shard> {
+        &self.shards[user as usize % self.shards.len()]
     }
 
     /// Looks up a cached result, returning its epoch and items.
     pub fn get(&self, user: u32, rel: u16, k: usize) -> Option<(u64, Vec<(NodeId, f32)>)> {
-        let inner = self.inner.lock();
-        inner
+        let shard = self.shard(user).lock();
+        shard
             .map
             .get(&(user, rel, k))
             .map(|e| (e.epoch, e.items.clone()))
@@ -60,24 +81,24 @@ impl QueryCache {
 
     /// Stores a freshly computed result.
     pub fn put(&self, user: u32, rel: u16, k: usize, epoch: u64, items: Vec<(NodeId, f32)>) {
-        if self.capacity == 0 {
+        if self.shard_capacity == 0 {
             return;
         }
-        let mut inner = self.inner.lock();
-        match inner.map.entry((user, rel, k)) {
+        let mut shard = self.shard(user).lock();
+        match shard.map.entry((user, rel, k)) {
             MapEntry::Occupied(mut o) => {
                 // Refresh in place; the old order entry is skipped lazily.
                 o.insert(CacheEntry { epoch, items });
             }
             MapEntry::Vacant(v) => {
                 v.insert(CacheEntry { epoch, items });
-                inner.order.push_back((user, rel, k));
+                shard.order.push_back((user, rel, k));
             }
         }
-        while inner.map.len() > self.capacity {
-            match inner.order.pop_front() {
+        while shard.map.len() > self.shard_capacity {
+            match shard.order.pop_front() {
                 Some(key) => {
-                    inner.map.remove(&key);
+                    shard.map.remove(&key);
                 }
                 None => break,
             }
@@ -86,32 +107,40 @@ impl QueryCache {
 
     /// Drops every entry whose user or any cached item is in `touched`
     /// (sorted node rows, as produced by `Supa::take_touched`).
+    ///
+    /// Locks one shard at a time: concurrent readers of other shards are
+    /// never blocked, and a same-shard reader waits for at most one
+    /// shard-sized sweep.
     pub fn invalidate_touched(&self, touched: &[u32]) {
         if touched.is_empty() {
             return;
         }
         let touched: HashSet<u32> = touched.iter().copied().collect();
-        let mut inner = self.inner.lock();
-        inner.map.retain(|&(user, _, _), entry| {
-            !touched.contains(&user)
-                && !entry
-                    .items
-                    .iter()
-                    .any(|(item, _)| touched.contains(&item.0))
-        });
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.map.retain(|&(user, _, _), entry| {
+                !touched.contains(&user)
+                    && !entry
+                        .items
+                        .iter()
+                        .any(|(item, _)| touched.contains(&item.0))
+            });
+        }
     }
 
     /// Removes everything (used when a snapshot is rebuilt wholesale, e.g.
     /// after checkpoint resume).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.map.clear();
-        inner.order.clear();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.map.clear();
+            shard.order.clear();
+        }
     }
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// Whether the cache is empty.
@@ -130,14 +159,15 @@ mod tests {
 
     #[test]
     fn get_put_roundtrip_and_capacity_eviction() {
+        // Capacity 2 → two shards of one entry each (eviction is per shard).
         let cache = QueryCache::new(2);
         cache.put(1, 0, 5, 7, items(&[10, 11]));
         assert_eq!(cache.get(1, 0, 5).unwrap().0, 7);
         assert!(cache.get(1, 0, 4).is_none(), "k is part of the key");
 
         cache.put(2, 0, 5, 7, items(&[12]));
+        // User 3 lands in user 1's shard (3 % 2 == 1 % 2) and evicts it.
         cache.put(3, 0, 5, 8, items(&[13]));
-        // Capacity 2: the oldest entry (user 1) was evicted.
         assert!(cache.get(1, 0, 5).is_none());
         assert!(cache.get(2, 0, 5).is_some());
         assert!(cache.get(3, 0, 5).is_some());
@@ -173,5 +203,24 @@ mod tests {
         assert_eq!(epoch, 2);
         assert_eq!(got, items(&[11]));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shards_evict_independently_up_to_total_capacity() {
+        // Capacity 8 → 8 shards of one entry each: eight users with distinct
+        // shard residues all fit simultaneously.
+        let cache = QueryCache::new(8);
+        for u in 0..8u32 {
+            cache.put(u, 0, 3, 1, items(&[100 + u]));
+        }
+        assert_eq!(cache.len(), 8);
+        for u in 0..8u32 {
+            assert!(cache.get(u, 0, 3).is_some(), "user {u} evicted early");
+        }
+        // A ninth user collides with user 0's shard and evicts only it.
+        cache.put(8, 0, 3, 2, items(&[200]));
+        assert_eq!(cache.len(), 8);
+        assert!(cache.get(0, 0, 3).is_none());
+        assert!(cache.get(1, 0, 3).is_some());
     }
 }

@@ -30,6 +30,12 @@ pub struct LoadConfig {
     pub queries_per_reader: usize,
     /// Seed for the query mix (reader `i` uses `seed ^ i`-derived streams).
     pub seed: u64,
+    /// Unmetered warm-up queries each reader issues before its metered loop
+    /// (drawn from a separate rng stream, so the metered mix is unchanged).
+    /// The first query on a fresh thread pays one-off costs — thread-local
+    /// scratch allocation, faulting the embedding tables in — that would
+    /// otherwise show up as a multi-millisecond p99 outlier.
+    pub warmup_per_reader: usize,
     /// Re-score every result against its claimed epoch's retained snapshot
     /// and count mismatches as torn reads.
     pub verify: bool,
@@ -42,6 +48,7 @@ impl Default for LoadConfig {
             top_k: 10,
             queries_per_reader: 500,
             seed: 7,
+            warmup_per_reader: 8,
             verify: true,
         }
     }
@@ -130,7 +137,14 @@ pub fn run_closed_loop(
             let mix = &mix;
             let unverifiable = &unverifiable;
             let mut rng = SmallRng::seed_from_u64(load.seed ^ (reader as u64).wrapping_mul(0x9E37));
+            let mut warm_rng = SmallRng::seed_from_u64(
+                load.seed ^ 0x5741_524D ^ (reader as u64).wrapping_mul(0x9E37),
+            );
             scope.spawn(move || {
+                for _ in 0..load.warmup_per_reader {
+                    let (user, rel) = mix.sample(&mut warm_rng);
+                    let _ = handle.warm_query(user, rel, load.top_k);
+                }
                 for _ in 0..load.queries_per_reader {
                     let (user, rel) = mix.sample(&mut rng);
                     let result = handle.query(user, rel, load.top_k);
