@@ -5,7 +5,7 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 
 # Bounded serving smoke: seeded closed-loop ingest + queries with epoch
@@ -16,6 +16,14 @@ cargo run --release -p supa-bench --bin serve_bench -- \
 cargo run --release -p supa-bench --bin serve_bench -- \
   --scale 0.01 --events 1500 --readers 4 --queries 200 --verify --seed 7 \
   --workers 4
+
+# ANN serving smoke: replay with --ann and a dense recall guard; the run
+# exits non-zero if the sampled recall@10 against exact scoring drops below
+# 0.95, or on any torn read — the approximate path must stay both accurate
+# and epoch-consistent.
+cargo run --release -p supa-bench --bin serve_bench -- \
+  --scale 0.02 --events 1500 --readers 2 --queries 300 --seed 7 \
+  --ann --guard-every 8 --min-recall 0.95
 
 # Kernel timing gate: ns-per-call for the vector kernels plus the
 # adjacency-scan and whole-train-event macro benches, diffed against the

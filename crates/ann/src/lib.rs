@@ -1,0 +1,782 @@
+//! # supa-ann — deterministic incremental ANN retrieval for SUPA serving
+//!
+//! A hierarchical navigable-small-world (HNSW-style) index over item
+//! embedding vectors, specialised for the serving path of this workspace:
+//!
+//! - **Inner-product similarity.** SUPA's Eq. 15 readout is
+//!   `γ(u, v, r) = 0.25 · ⟨e_u, e_v⟩` over per-relation *composite* vectors
+//!   (`h_long + h_short + ctx_r`), so maximum-inner-product search over the
+//!   composite item vectors ranks exactly like γ. The index returns
+//!   *candidates only*; callers re-score them exactly, so any returned
+//!   score is bit-identical to the brute-force path.
+//! - **Determinism.** Layer assignment is a pure function of
+//!   `(seed, external id)` — independent of insertion order — and every
+//!   traversal breaks score ties by ascending id using [`f32::total_cmp`].
+//!   Two indexes built by the same operation sequence are structurally
+//!   identical, and [`HnswIndex::search_into`] is a pure function of the
+//!   index state. [`HnswIndex::fingerprint`] digests the full structure so
+//!   tests can pin bit-determinism.
+//! - **Incremental updates.** [`HnswIndex::update`] re-links a single dirty
+//!   node in `O(ef_construction · log n)` — the serving engine refreshes
+//!   only the items touched by a training chunk between epochs instead of
+//!   rebuilding the index.
+//! - **Symmetric links.** Neighbor lists are kept bidirectional (a prune
+//!   that drops `a → b` also drops `b → a`), which makes unlinking a dirty
+//!   node exact: its neighbors are the only nodes pointing back at it.
+//!
+//! The crate is dependency-free; vectors are plain `&[f32]` rows.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Hard cap on layer height; with per-layer probability `1/m ≤ 1/2`, sixteen
+/// layers cover indexes far beyond any catalog this workspace serves.
+const MAX_LEVEL: usize = 16;
+
+/// Construction/search knobs for [`HnswIndex`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnConfig {
+    /// Max neighbors per node on layers ≥ 1 (layer 0 keeps `2m`).
+    pub m: usize,
+    /// Beam width while linking a node (higher = better graphs, slower
+    /// inserts).
+    pub ef_construction: usize,
+    /// Seed for the per-id layer assignment.
+    pub seed: u64,
+}
+
+impl Default for AnnConfig {
+    fn default() -> Self {
+        AnnConfig {
+            m: 16,
+            ef_construction: 128,
+            seed: 7,
+        }
+    }
+}
+
+/// How far a neighbor list may overflow its cap before the diversity
+/// reselection in [`HnswIndex::prune`] runs. Reselection costs O(cap²)
+/// dot products; triggering it on every single-link overflow (one per
+/// backlink of every insert) would dominate insert/update time. Letting the
+/// list run `PRUNE_SLACK` entries hot amortises that cost ~8× at the price
+/// of slightly longer neighbor scans, and every list still prunes back down
+/// to its cap.
+const PRUNE_SLACK: usize = 8;
+
+/// SplitMix64 — the layer-assignment hash. Chosen for full 64-bit avalanche
+/// so consecutive item ids land on independent layer draws.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0f32;
+    for k in 0..a.len() {
+        s += a[k] * b[k];
+    }
+    s
+}
+
+/// A `(score, slot)` pair with the total, deterministic ordering used
+/// everywhere in the index: higher score first, ties broken by *ascending*
+/// slot. `Ord::max` on two distinct hits is therefore unambiguous even for
+/// equal scores, and NaN orders below every real score via `total_cmp`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Hit {
+    score: f32,
+    slot: u32,
+}
+
+impl Eq for Hit {}
+
+impl Ord for Hit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.slot.cmp(&self.slot))
+    }
+}
+
+impl PartialOrd for Hit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable buffers for [`HnswIndex::search_into`]. Once warm, a search
+/// allocates nothing; serving readers keep one per thread.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Expansion frontier (max-heap: best candidate first).
+    cand: BinaryHeap<Hit>,
+    /// Current best set (min-heap via `Reverse`: worst kept hit on top).
+    best: BinaryHeap<std::cmp::Reverse<Hit>>,
+    /// Per-slot visited stamps (`stamp` marks this search's generation).
+    visited: Vec<u32>,
+    stamp: u32,
+    /// Result ids, best first.
+    out: Vec<u32>,
+    /// Entry points carried between layers during insert.
+    entries: Vec<u32>,
+}
+
+impl SearchScratch {
+    fn begin(&mut self, slots: usize) {
+        self.cand.clear();
+        self.best.clear();
+        if self.visited.len() < slots {
+            self.visited.resize(slots, 0);
+        }
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // u32 wrap: stale stamps could collide, so reset the marks.
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.stamp = 1;
+        }
+    }
+
+    #[inline]
+    fn visit(&mut self, slot: u32) -> bool {
+        let seen = self.visited[slot as usize] == self.stamp;
+        self.visited[slot as usize] = self.stamp;
+        !seen
+    }
+}
+
+/// A deterministic, incrementally-updatable HNSW index over inner-product
+/// similarity. External ids are `u32` (the workspace's node ids).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HnswIndex {
+    cfg: AnnConfig,
+    dim: usize,
+    /// External id per slot (slots are never freed; `update` reuses them).
+    ids: Vec<u32>,
+    /// Layer height per slot (a node exists on layers `0..=levels[slot]`).
+    levels: Vec<u8>,
+    /// Row-major vectors, one `dim`-row per slot.
+    vectors: Vec<f32>,
+    /// `links[slot][layer]` = neighbor slots, kept symmetric.
+    links: Vec<Vec<Vec<u32>>>,
+    /// External id → slot.
+    slot_of: std::collections::HashMap<u32, u32>,
+    /// Slot of the current top entry point (the highest-level node).
+    entry: Option<u32>,
+}
+
+impl HnswIndex {
+    /// An empty index over `dim`-dimensional vectors.
+    pub fn new(dim: usize, cfg: AnnConfig) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert!(cfg.m >= 2, "m must be at least 2");
+        assert!(cfg.ef_construction >= 1, "ef_construction must be positive");
+        HnswIndex {
+            cfg,
+            dim,
+            ids: Vec::new(),
+            levels: Vec::new(),
+            vectors: Vec::new(),
+            links: Vec::new(),
+            slot_of: std::collections::HashMap::new(),
+            entry: None,
+        }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the index holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether `id` is indexed.
+    pub fn contains(&self, id: u32) -> bool {
+        self.slot_of.contains_key(&id)
+    }
+
+    /// The layer height assigned to `id` — a pure function of
+    /// `(cfg.seed, id)`, so a node keeps its level across updates and
+    /// rebuilds (the determinism contract's first leg).
+    pub fn level_for(&self, id: u32) -> usize {
+        let mut h = splitmix64(self.cfg.seed ^ ((id as u64) << 1 | 1));
+        let mut level = 0usize;
+        while level < MAX_LEVEL && (h as usize).is_multiple_of(self.cfg.m) {
+            level += 1;
+            h = splitmix64(h);
+        }
+        level
+    }
+
+    #[inline]
+    fn vec_of(&self, slot: u32) -> &[f32] {
+        let i = slot as usize * self.dim;
+        &self.vectors[i..i + self.dim]
+    }
+
+    #[inline]
+    fn cap(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.cfg.m * 2
+        } else {
+            self.cfg.m
+        }
+    }
+
+    /// Inserts `id` with `vector`, or re-links it in place if already
+    /// present (then identical to [`HnswIndex::update`]).
+    pub fn insert(&mut self, id: u32, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        if let Some(&slot) = self.slot_of.get(&id) {
+            self.unlink(slot);
+            let i = slot as usize * self.dim;
+            self.vectors[i..i + self.dim].copy_from_slice(vector);
+            self.link(slot);
+            return;
+        }
+        let slot = self.ids.len() as u32;
+        let level = self.level_for(id);
+        self.ids.push(id);
+        self.levels.push(level as u8);
+        self.vectors.extend_from_slice(vector);
+        self.links.push(vec![Vec::new(); level + 1]);
+        self.slot_of.insert(id, slot);
+        self.link(slot);
+    }
+
+    /// Replaces `id`'s vector and repairs its links — the dirty-node refresh
+    /// the serving engine runs between epochs. Inserts if absent.
+    pub fn update(&mut self, id: u32, vector: &[f32]) {
+        self.insert(id, vector);
+    }
+
+    /// Removes `slot` from every neighbor list pointing at it (exact, thanks
+    /// to link symmetry) and clears its own lists, then repairs the holes:
+    /// each orphaned neighbor whose list dropped below its cap is offered the
+    /// removed node's *other* neighbors (best-scoring first) as replacement
+    /// links. Without this, repeated dirty-node updates thin the lists of
+    /// every node near an update site and beam recall decays epoch over
+    /// epoch — the graph loses exactly the edges that made the region
+    /// navigable. If `slot` was the entry point, the highest remaining node
+    /// (ties: lowest id) takes over.
+    fn unlink(&mut self, slot: u32) {
+        for layer in 0..self.links[slot as usize].len() {
+            let neighbors = std::mem::take(&mut self.links[slot as usize][layer]);
+            for &n in &neighbors {
+                self.links[n as usize][layer].retain(|&s| s != slot);
+            }
+            let cap = self.cap(layer);
+            for &n in &neighbors {
+                let deficit = cap.saturating_sub(self.links[n as usize][layer].len());
+                if deficit == 0 {
+                    continue;
+                }
+                let base = {
+                    let i = n as usize * self.dim;
+                    &self.vectors[i..i + self.dim]
+                };
+                let mut cands: Vec<Hit> = neighbors
+                    .iter()
+                    .filter(|&&m| {
+                        // Only pair with neighbors that also have room:
+                        // repair must not trigger overflow pruning of its
+                        // own (the prune/repair cascade dominates update
+                        // cost), and a full list has no hole to patch.
+                        m != n
+                            && self.links[m as usize][layer].len() < cap
+                            && !self.links[n as usize][layer].contains(&m)
+                    })
+                    .map(|&m| Hit {
+                        score: dot(base, {
+                            let i = m as usize * self.dim;
+                            &self.vectors[i..i + self.dim]
+                        }),
+                        slot: m,
+                    })
+                    .collect();
+                cands.sort_unstable_by(|a, b| b.cmp(a));
+                for h in cands.into_iter().take(deficit) {
+                    self.links[n as usize][layer].push(h.slot);
+                    self.links[h.slot as usize][layer].push(n);
+                }
+            }
+        }
+        if self.entry == Some(slot) {
+            self.entry = self
+                .ids
+                .iter()
+                .enumerate()
+                .filter(|&(s, _)| s as u32 != slot)
+                .max_by_key(|&(s, _)| (self.levels[s], std::cmp::Reverse(self.ids[s])))
+                .map(|(s, _)| s as u32);
+        }
+    }
+
+    /// Links `slot` into the graph: greedy descent through layers above its
+    /// level, then beam search + top-`cap` selection on each of its layers.
+    fn link(&mut self, slot: u32) {
+        let level = self.levels[slot as usize] as usize;
+        let Some(entry) = self.entry else {
+            self.entry = Some(slot);
+            return;
+        };
+        let entry_level = self.levels[entry as usize] as usize;
+        let q = {
+            // Borrow dance: the query vector aliases `self`, so copy it out
+            // once (dim is small; this is an insert, not the query path).
+            self.vec_of(slot).to_vec()
+        };
+        let mut scratch = SearchScratch::default();
+        let mut ep = entry;
+        for layer in ((level + 1)..=entry_level).rev() {
+            ep = self.greedy_step(&q, ep, layer);
+        }
+        scratch.entries.clear();
+        scratch.entries.push(ep);
+        for layer in (0..=level.min(entry_level)).rev() {
+            let entries = scratch.entries.clone();
+            self.search_layer(&q, &entries, self.cfg.ef_construction, layer, &mut scratch);
+            // Drain best-first: the heap pops worst-first, so reverse.
+            let mut found: Vec<Hit> = Vec::with_capacity(scratch.best.len());
+            while let Some(std::cmp::Reverse(h)) = scratch.best.pop() {
+                found.push(h);
+            }
+            found.reverse();
+            let cap = self.cap(layer);
+            let chosen = self.select_diverse(&found, slot, cap);
+            for &n in &chosen {
+                self.links[slot as usize][layer].push(n);
+                self.links[n as usize][layer].push(slot);
+                self.prune(n, layer);
+            }
+            scratch.entries.clear();
+            scratch.entries.extend(chosen.iter().copied());
+            if scratch.entries.is_empty() {
+                scratch.entries.push(ep);
+            }
+        }
+        if level > entry_level {
+            self.entry = Some(slot);
+        }
+    }
+
+    /// Neighbor-diversity selection (the HNSW paper's Algorithm 4, adapted
+    /// to inner-product scores): walk `found` best-first and keep a
+    /// candidate only if it scores higher against the query than against
+    /// every neighbor already chosen — plain top-`cap` selection links a
+    /// tight cluster to itself and leaves the region unreachable from
+    /// outside. Skipped candidates backfill in score order if the diverse
+    /// set comes up short of `cap`.
+    fn select_diverse(&self, found: &[Hit], slot: u32, cap: usize) -> Vec<u32> {
+        let mut chosen: Vec<u32> = Vec::with_capacity(cap);
+        let mut skipped: Vec<u32> = Vec::new();
+        for h in found {
+            if h.slot == slot {
+                continue;
+            }
+            if chosen.len() >= cap {
+                break;
+            }
+            let diverse = chosen.iter().all(|&s| {
+                dot(self.vec_of(h.slot), self.vec_of(s)).total_cmp(&h.score) == Ordering::Less
+            });
+            if diverse {
+                chosen.push(h.slot);
+            } else {
+                skipped.push(h.slot);
+            }
+        }
+        for s in skipped {
+            if chosen.len() >= cap {
+                break;
+            }
+            chosen.push(s);
+        }
+        chosen
+    }
+
+    /// If `slot`'s list on `layer` overflows its cap, re-select its
+    /// neighbors with the same diversity heuristic the insert path uses
+    /// (so overflow pruning cannot collapse a node's links back into one
+    /// cluster) and symmetrically drop the rest.
+    fn prune(&mut self, slot: u32, layer: usize) {
+        let cap = self.cap(layer);
+        if self.links[slot as usize][layer].len() <= cap + PRUNE_SLACK {
+            return;
+        }
+        let base = self.vec_of(slot);
+        let mut scored: Vec<Hit> = self.links[slot as usize][layer]
+            .iter()
+            .map(|&n| Hit {
+                score: dot(base, {
+                    let i = n as usize * self.dim;
+                    &self.vectors[i..i + self.dim]
+                }),
+                slot: n,
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| b.cmp(a));
+        let keep = self.select_diverse(&scored, slot, cap);
+        let dropped: Vec<u32> = scored
+            .iter()
+            .map(|h| h.slot)
+            .filter(|s| !keep.contains(s))
+            .collect();
+        self.links[slot as usize][layer] = keep;
+        for d in dropped {
+            self.links[d as usize][layer].retain(|&s| s != slot);
+        }
+    }
+
+    /// One layer of greedy descent: repeatedly move to the best-scoring
+    /// neighbor, ties broken by ascending slot. The move target is strictly
+    /// greater in `(score, ascending-id)` order, so the walk terminates.
+    fn greedy_step(&self, q: &[f32], mut cur: u32, layer: usize) -> u32 {
+        let mut cur_score = dot(q, self.vec_of(cur));
+        loop {
+            let mut moved = false;
+            for &n in &self.links[cur as usize][layer] {
+                let s = dot(q, self.vec_of(n));
+                let better = match s.total_cmp(&cur_score) {
+                    Ordering::Greater => true,
+                    Ordering::Equal => n < cur,
+                    Ordering::Less => false,
+                };
+                if better {
+                    cur = n;
+                    cur_score = s;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return cur;
+            }
+        }
+    }
+
+    /// Beam search on one layer: expands the frontier best-first, keeping
+    /// the `ef` best visited nodes in `scratch.best`.
+    fn search_layer(
+        &self,
+        q: &[f32],
+        entries: &[u32],
+        ef: usize,
+        layer: usize,
+        scratch: &mut SearchScratch,
+    ) {
+        scratch.begin(self.ids.len());
+        for &ep in entries {
+            if scratch.visit(ep) {
+                let h = Hit {
+                    score: dot(q, self.vec_of(ep)),
+                    slot: ep,
+                };
+                scratch.cand.push(h);
+                scratch.best.push(std::cmp::Reverse(h));
+            }
+        }
+        while scratch.best.len() > ef {
+            scratch.best.pop();
+        }
+        while let Some(c) = scratch.cand.pop() {
+            let worst = scratch.best.peek().map(|r| r.0);
+            if scratch.best.len() >= ef && worst.is_some_and(|w| c < w) {
+                break;
+            }
+            for &n in &self.links[c.slot as usize][layer] {
+                if !scratch.visit(n) {
+                    continue;
+                }
+                let h = Hit {
+                    score: dot(q, self.vec_of(n)),
+                    slot: n,
+                };
+                let worst = scratch.best.peek().map(|r| r.0);
+                if scratch.best.len() < ef || worst.is_some_and(|w| h > w) {
+                    scratch.cand.push(h);
+                    scratch.best.push(std::cmp::Reverse(h));
+                    while scratch.best.len() > ef {
+                        scratch.best.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Approximate top candidates for `query`: descends the layers greedily,
+    /// beam-searches layer 0 with width `max(ef, k)`, and writes the visited
+    /// best external ids into `scratch.out`, best score first (ties by
+    /// ascending id). Returns the ids as a slice borrowing the scratch.
+    ///
+    /// Callers re-score the returned candidates *exactly*, so the index only
+    /// has to get membership right, not scores — with `ef ≥ k` and a healthy
+    /// graph, recall@k is typically well above 0.95 (the serving layer's
+    /// recall guard measures it continuously).
+    pub fn search_into<'a>(
+        &self,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        scratch: &'a mut SearchScratch,
+    ) -> &'a [u32] {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        scratch.out.clear();
+        let Some(entry) = self.entry else {
+            return &scratch.out;
+        };
+        if k == 0 {
+            return &scratch.out;
+        }
+        let ef = ef.max(k).max(1);
+        let mut ep = entry;
+        for layer in (1..=self.levels[entry as usize] as usize).rev() {
+            ep = self.greedy_step(query, ep, layer);
+        }
+        self.search_layer(query, &[ep], ef, 0, scratch);
+        let mut found: Vec<Hit> = Vec::with_capacity(scratch.best.len());
+        while let Some(std::cmp::Reverse(h)) = scratch.best.pop() {
+            found.push(h);
+        }
+        for h in found.iter().rev() {
+            scratch.out.push(self.ids[h.slot as usize]);
+        }
+        &scratch.out
+    }
+
+    /// Allocating convenience wrapper over [`HnswIndex::search_into`].
+    pub fn search(&self, query: &[f32], k: usize, ef: usize) -> Vec<u32> {
+        let mut scratch = SearchScratch::default();
+        self.search_into(query, k, ef, &mut scratch).to_vec()
+    }
+
+    /// FNV-1a digest of the entire structure — ids, levels, links, entry,
+    /// and the exact vector bits. Equal fingerprints mean bit-identical
+    /// indexes; the determinism tests pin this across rebuilds.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(&(self.dim as u64).to_le_bytes());
+        eat(&self.entry.map(|e| e as u64 + 1).unwrap_or(0).to_le_bytes());
+        for (slot, &id) in self.ids.iter().enumerate() {
+            eat(&id.to_le_bytes());
+            eat(&[self.levels[slot]]);
+            for layer in &self.links[slot] {
+                eat(&(layer.len() as u32).to_le_bytes());
+                for &n in layer {
+                    eat(&n.to_le_bytes());
+                }
+            }
+        }
+        for v in &self.vectors {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        h
+    }
+
+    /// Exact brute-force top-`k` ids over the indexed vectors (reference for
+    /// recall measurement in tests and benches).
+    pub fn brute_force(&self, query: &[f32], k: usize) -> Vec<u32> {
+        let mut scored: Vec<Hit> = (0..self.ids.len() as u32)
+            .map(|s| Hit {
+                score: dot(query, self.vec_of(s)),
+                slot: s,
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| b.cmp(a));
+        scored
+            .iter()
+            .take(k)
+            .map(|h| self.ids[h.slot as usize])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.random_range(-1.0..1.0f32)).collect())
+            .collect()
+    }
+
+    fn build(vectors: &[Vec<f32>], cfg: AnnConfig) -> HnswIndex {
+        let mut idx = HnswIndex::new(vectors[0].len(), cfg);
+        for (i, v) in vectors.iter().enumerate() {
+            idx.insert(i as u32, v);
+        }
+        idx
+    }
+
+    fn recall(idx: &HnswIndex, queries: &[Vec<f32>], k: usize, ef: usize) -> f64 {
+        let mut scratch = SearchScratch::default();
+        let (mut hit, mut want) = (0usize, 0usize);
+        for q in queries {
+            let exact = idx.brute_force(q, k);
+            let approx = idx.search_into(q, k, ef, &mut scratch);
+            want += exact.len().min(k);
+            hit += exact
+                .iter()
+                .take(k)
+                .filter(|id| approx[..approx.len().min(ef)].contains(id))
+                .count();
+        }
+        hit as f64 / want.max(1) as f64
+    }
+
+    #[test]
+    fn empty_and_tiny_indexes_answer() {
+        let idx = HnswIndex::new(4, AnnConfig::default());
+        assert!(idx.is_empty());
+        assert!(idx.search(&[0.0; 4], 5, 10).is_empty());
+
+        let mut idx = HnswIndex::new(2, AnnConfig::default());
+        idx.insert(42, &[1.0, 0.0]);
+        assert_eq!(idx.search(&[1.0, 0.0], 3, 8), vec![42]);
+        assert!(idx.search(&[1.0, 0.0], 0, 8).is_empty());
+    }
+
+    #[test]
+    fn recall_is_high_on_random_vectors() {
+        let vectors = random_vectors(2_000, 16, 11);
+        let idx = build(&vectors, AnnConfig::default());
+        let queries = random_vectors(100, 16, 99);
+        let r = recall(&idx, &queries, 10, 64);
+        assert!(r >= 0.95, "recall@10 {r:.3} < 0.95");
+    }
+
+    #[test]
+    fn construction_and_search_are_bit_deterministic() {
+        let vectors = random_vectors(600, 8, 3);
+        let a = build(&vectors, AnnConfig::default());
+        let b = build(&vectors, AnnConfig::default());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+        let queries = random_vectors(20, 8, 5);
+        let mut sa = SearchScratch::default();
+        let mut sb = SearchScratch::default();
+        for q in &queries {
+            assert_eq!(
+                a.search_into(q, 10, 40, &mut sa),
+                b.search_into(q, 10, 40, &mut sb)
+            );
+        }
+    }
+
+    #[test]
+    fn levels_are_a_pure_function_of_seed_and_id() {
+        let idx = HnswIndex::new(4, AnnConfig::default());
+        let other = HnswIndex::new(9, AnnConfig::default());
+        for id in 0..2_000u32 {
+            assert_eq!(idx.level_for(id), other.level_for(id));
+        }
+        // Levels follow a geometric-ish distribution: most nodes at 0,
+        // some above, none at the cap.
+        let above: usize = (0..2_000u32).filter(|&i| idx.level_for(i) > 0).count();
+        assert!(above > 20 && above < 600, "{above} nodes above layer 0");
+    }
+
+    #[test]
+    fn updates_keep_the_index_searchable_and_deterministic() {
+        let mut vectors = random_vectors(800, 8, 17);
+        let mut idx = build(&vectors, AnnConfig::default());
+        // Dirty refresh: move 10% of the vectors, update in ascending id
+        // order (the serving engine's touched-set order).
+        let moved = random_vectors(80, 8, 18);
+        for (j, v) in moved.iter().enumerate() {
+            let id = (j * 10) as u32;
+            vectors[id as usize] = v.clone();
+            idx.update(id, v);
+        }
+        assert_eq!(idx.len(), 800);
+        let queries = random_vectors(50, 8, 19);
+        let r = recall(&idx, &queries, 10, 64);
+        assert!(r >= 0.95, "post-update recall@10 {r:.3} < 0.95");
+
+        // The same update sequence on a fresh build lands on the same bits.
+        let mut again = build(&random_vectors(800, 8, 17), AnnConfig::default());
+        for (j, v) in moved.iter().enumerate() {
+            again.update((j * 10) as u32, v);
+        }
+        assert_eq!(idx.fingerprint(), again.fingerprint());
+    }
+
+    #[test]
+    fn links_stay_symmetric_and_capped() {
+        let vectors = random_vectors(500, 8, 23);
+        let mut idx = build(
+            &vectors,
+            AnnConfig {
+                m: 4,
+                ..AnnConfig::default()
+            },
+        );
+        for (j, v) in random_vectors(50, 8, 24).iter().enumerate() {
+            idx.update((j * 7) as u32, v);
+        }
+        for slot in 0..idx.ids.len() as u32 {
+            for (layer, list) in idx.links[slot as usize].iter().enumerate() {
+                assert!(
+                    list.len() <= idx.cap(layer) + PRUNE_SLACK,
+                    "slot {slot} layer {layer}: {} links over the pruning bound",
+                    list.len()
+                );
+                for &n in list {
+                    assert!(
+                        idx.links[n as usize][layer].contains(&slot),
+                        "asymmetric link {slot} -> {n} on layer {layer}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_prefers_the_true_nearest_for_clustered_data() {
+        // Two well-separated clusters: a query near one cluster's center
+        // must return members of that cluster.
+        let dim = 8;
+        let mut vectors = Vec::new();
+        for i in 0..200 {
+            let mut v = vec![0.0f32; dim];
+            v[0] = 10.0 + (i as f32) * 1e-3;
+            vectors.push(v);
+        }
+        for i in 0..200 {
+            let mut v = vec![0.0f32; dim];
+            v[1] = 10.0 + (i as f32) * 1e-3;
+            vectors.push(v);
+        }
+        let idx = build(&vectors, AnnConfig::default());
+        let mut q = vec![0.0f32; dim];
+        q[1] = 1.0;
+        for id in idx.search(&q, 5, 32) {
+            assert!(
+                id >= 200,
+                "cluster-0 item {id} returned for a cluster-1 query"
+            );
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! Times the hot kernels with `std::time::Instant` and prints ns-per-call,
 //! so the kernel-tuning work in this workspace has a harness-free smoke
 //! check that runs anywhere `cargo run` does (no Criterion, no registry
-//! access). Five benches:
+//! access). Seven benches:
 //!
 //! - `dot`, `axpy`, `adam_step_row` — the `supa-embed` inner kernels;
 //! - `adjacency_scan` — `Dmhg::neighbors_before` over cycling `(node, t)`
@@ -11,7 +11,11 @@
 //!   column (`partition_point` + contiguous slice);
 //! - `train_event` — one full `Supa::train_edge` (sample → update →
 //!   propagate) against a warm model, the per-event cost the throughput
-//!   benchmark amortises.
+//!   benchmark amortises;
+//! - `ann_search`, `ann_insert` — the `supa-ann` serving-path kernels: one
+//!   beam search (ef 64, top-10) and one dirty-node re-insert against a
+//!   4096-vector index, the per-query and per-touched-node costs of ANN
+//!   serving.
 //!
 //! ```text
 //! microbench [--dim 64] [--budget-ns 1000000] [--json]
@@ -37,6 +41,7 @@ use std::time::Instant;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use supa::{Supa, SupaConfig};
+use supa_ann::{AnnConfig, HnswIndex, SearchScratch};
 use supa_datasets::taobao;
 use supa_embed::vecmath::{axpy, dot};
 use supa_embed::EmbeddingTable;
@@ -177,12 +182,55 @@ fn run() -> Result<(), String> {
         black_box(model.train_edge(black_box(&g), black_box(e)).total());
     });
 
+    // ANN fixture: a deterministic index over 4096 random vectors, sized so
+    // the default beam (ef 64) is well under the catalog.
+    let n_items = 4096usize;
+    let vecs: Vec<Vec<f32>> = (0..n_items)
+        .map(|_| (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect())
+        .collect();
+    let mut index = HnswIndex::new(dim, AnnConfig::default());
+    for (i, v) in vecs.iter().enumerate() {
+        index.insert(i as u32, v);
+    }
+    // Correctness first, as above: the beam must recover ≥ 90% of the exact
+    // top-10 before its timing means anything.
+    let mut hits = 0usize;
+    for q in vecs.iter().take(20) {
+        let approx = index.search(q, 10, 64);
+        hits += index
+            .brute_force(q, 10)
+            .iter()
+            .filter(|id| approx.contains(id))
+            .count();
+    }
+    if hits < 180 {
+        return Err(format!("ann_search recall too low: {hits}/200 exact hits"));
+    }
+    let mut scratch = SearchScratch::default();
+    let mut qi = 0usize;
+    let ann_iters = 20_000u64;
+    let ann_search_ns = median_ns(reps, ann_iters, || {
+        let q = &vecs[qi];
+        qi = (qi + 1) % n_items;
+        black_box(index.search_into(black_box(q), 10, 64, &mut scratch).len());
+    });
+    // Dirty-node refresh: re-insert an existing id (unlink + relink), the
+    // per-touched-node cost `publish` pays between epochs.
+    let mut ii = 0usize;
+    let ann_insert_ns = median_ns(reps, 2_000u64, || {
+        let id = (ii % n_items) as u32;
+        index.update(black_box(id), black_box(&vecs[ii % n_items]));
+        ii += 1;
+    });
+
     let results = [
         ("dot", dot_ns),
         ("axpy", axpy_ns),
         ("adam_step_row", adam_ns),
         ("adjacency_scan", scan_ns),
         ("train_event", train_ns),
+        ("ann_search", ann_search_ns),
+        ("ann_insert", ann_insert_ns),
     ];
 
     if json {

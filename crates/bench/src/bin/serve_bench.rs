@@ -9,17 +9,22 @@
 //! serve_bench [--dataset taobao] [--scale 0.02] [--events 0(=all)]
 //!             [--readers 4] [--queries 500] [--top 10] [--batch 64]
 //!             [--dim 16] [--seed 7] [--workers 1] [--verify]
+//!             [--ann] [--ef-search 64] [--guard-every 64] [--min-recall 0.95]
 //! ```
 //!
 //! The `events offered / admitted / applied` counts, epoch count, and probe
 //! digest are deterministic for a fixed seed; QPS and latency quantiles are
 //! machine-dependent.
+//!
+//! `--ann` serves queries through per-epoch `supa-ann` indexes; the run
+//! fails if the sampled guard recall drops below `--min-recall` (so CI can
+//! gate ANN serving quality exactly as it gates torn reads).
 
 use std::process::ExitCode;
 
 use supa::{InsLearnConfig, Supa, SupaConfig};
 use supa_datasets::all_datasets;
-use supa_serve::{run_closed_loop, LoadConfig, ServeConfig};
+use supa_serve::{run_closed_loop, AnnOptions, LoadConfig, ServeConfig};
 
 struct Args {
     dataset: String,
@@ -33,6 +38,10 @@ struct Args {
     seed: u64,
     workers: usize,
     verify: bool,
+    ann: bool,
+    ef_search: usize,
+    guard_every: u64,
+    min_recall: f64,
 }
 
 fn num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
@@ -52,11 +61,19 @@ fn parse_args() -> Result<Args, String> {
         seed: 7,
         workers: 1,
         verify: false,
+        ann: false,
+        ef_search: AnnOptions::default().ef_search,
+        guard_every: AnnOptions::default().guard_every,
+        min_recall: AnnOptions::default().min_recall,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         if flag == "--verify" {
             a.verify = true;
+            continue;
+        }
+        if flag == "--ann" {
+            a.ann = true;
             continue;
         }
         let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
@@ -71,6 +88,9 @@ fn parse_args() -> Result<Args, String> {
             "--dim" => a.dim = num(&flag, &v)?,
             "--seed" => a.seed = num(&flag, &v)?,
             "--workers" => a.workers = num(&flag, &v)?,
+            "--ef-search" => a.ef_search = num(&flag, &v)?,
+            "--guard-every" => a.guard_every = num(&flag, &v)?,
+            "--min-recall" => a.min_recall = num(&flag, &v)?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -100,7 +120,7 @@ fn run() -> Result<(), String> {
         });
 
     println!(
-        "serve_bench: {} ({} events), {} readers × {} queries, top-{}, chunk {}, seed {}{}",
+        "serve_bench: {} ({} events), {} readers × {} queries, top-{}, chunk {}, seed {}{}{}",
         d.name,
         d.edges.len(),
         a.readers,
@@ -109,13 +129,26 @@ fn run() -> Result<(), String> {
         a.batch,
         a.seed,
         if a.verify { ", verifying" } else { "" },
+        if a.ann {
+            format!(", ann ef={}", a.ef_search)
+        } else {
+            String::new()
+        },
     );
+    let ann = a.ann.then(|| AnnOptions {
+        ef_search: a.ef_search,
+        guard_every: a.guard_every,
+        min_recall: a.min_recall,
+        seed: a.seed,
+        ..AnnOptions::default()
+    });
     let report = run_closed_loop(
         &d,
         model,
         ServeConfig {
             train_batch: a.batch,
             workers: a.workers,
+            ann,
             ..ServeConfig::default()
         },
         LoadConfig {
@@ -138,6 +171,17 @@ fn run() -> Result<(), String> {
     }
     if report.metrics.queries == 0 || report.metrics.qps <= 0.0 {
         return Err("no queries served (zero QPS)".into());
+    }
+    if a.ann {
+        if report.metrics.ann_guard_checks == 0 {
+            return Err("--ann run performed no guard checks (no ANN-served queries?)".into());
+        }
+        if report.metrics.ann_recall < a.min_recall {
+            return Err(format!(
+                "ANN guard recall {:.4} below the --min-recall floor {:.4}",
+                report.metrics.ann_recall, a.min_recall
+            ));
+        }
     }
     Ok(())
 }

@@ -687,7 +687,9 @@ pub fn significance(cfg: &HarnessConfig) -> Vec<Table> {
 /// (the per-event sample→update→propagate pipeline via `train_pass`),
 /// evaluation ranking, and closed-loop serving — each measured at
 /// `workers = 1` (exact serial) and `workers = 4` (conflict-aware event
-/// micro-batching / deterministic evaluation fan-out).
+/// micro-batching / deterministic evaluation fan-out) — plus a query-phase
+/// serving comparison of the brute-force scan against `supa-ann` retrieval
+/// on a paper-scale catalog (quick mode: harness scale).
 ///
 /// Besides the usual table/TSV, writes machine-readable
 /// `BENCH_throughput.json` at the repo root with worker counts and the
@@ -815,6 +817,137 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
         serve_runs.push((w, mt.qps, mt.p50_us, mt.p99_us, mt.events_applied));
     }
 
+    // --- ANN query path: brute-force scan vs supa-ann retrieval ----------
+    // Query-phase-only comparison at serve workers = 1. The closed-loop QPS
+    // above folds ingest and index construction into its wall clock, which
+    // hides the per-query win; here we ingest a bounded event prefix, flush,
+    // and then time nothing but a single-threaded query sweep against the
+    // published epoch. Full runs use the paper-scale Taobao catalog
+    // (≥ 10 000 items) so the beam is genuinely sub-linear; quick mode keeps
+    // the harness scale. Recall@10 of the ANN leg is audited untimed against
+    // the exact ranking of the same snapshot.
+    let ann_scale = if cfg.quick {
+        cfg.scale
+    } else {
+        cfg.scale.max(1.0)
+    };
+    let ann_events = if cfg.quick { 600 } else { 2000 };
+    let ann_queries = if cfg.quick { 150 } else { 1000 };
+    let ann_opts = supa_serve::AnnOptions {
+        guard_every: 0, // audited below instead; keeps the timed loop pure
+        seed: cfg.seed,
+        ..supa_serve::AnnOptions::default()
+    };
+    let mut da = supa_datasets::taobao(ann_scale, cfg.seed.wrapping_add(4));
+    da.edges.truncate(ann_events);
+    let mut ann_runs = Vec::new(); // (label, qps, p50, p99, recall, catalog)
+    for ann_on in [false, true] {
+        let label = if ann_on { "ann" } else { "brute" };
+        let model = supa::Supa::from_dataset(&da, cfg.supa_config(), cfg.seed)
+            .expect("dataset metapaths validate")
+            .with_inslearn(supa::InsLearnConfig {
+                batch_size: 1024,
+                ..supa::InsLearnConfig::fast()
+            });
+        let handle = supa_serve::ServeEngine::start(
+            da.prototype.clone(),
+            model,
+            ServeConfig {
+                train_batch: 256,
+                workers: 1,
+                ann: ann_on.then(|| ann_opts.clone()),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("serve engine starts");
+        for &e in &da.edges {
+            handle.ingest(e).expect("schema-valid event");
+        }
+        handle.flush().expect("flush");
+
+        // Distinct (user, relation) pairs so the result cache cannot serve
+        // repeats; both legs sweep the identical sequence. Queries come from
+        // users observed in the ingested stream — the serving population.
+        // (A user with no events still carries its random initialisation;
+        // its "exact top-10" is noise, not a retrieval target.)
+        let schema = da.prototype.schema();
+        let mut warm: Vec<supa_graph::NodeId> = da.edges.iter().map(|e| e.src).collect();
+        warm.sort_unstable();
+        warm.dedup();
+        let users_of: Vec<Vec<supa_graph::NodeId>> = (0..schema.num_relations())
+            .map(|r| {
+                let src_type = schema
+                    .relation(supa_graph::RelationId(r as u16))
+                    .unwrap()
+                    .src_type;
+                warm.iter()
+                    .copied()
+                    .filter(|&u| da.prototype.node_type(u) == src_type)
+                    .collect()
+            })
+            .collect();
+        let mut pairs = Vec::new();
+        'fill: loop {
+            for (r, users) in users_of.iter().enumerate() {
+                if users.is_empty() {
+                    continue;
+                }
+                let rel = supa_graph::RelationId(r as u16);
+                pairs.push((users[pairs.len() % users.len()], rel));
+                if pairs.len() >= ann_queries {
+                    break 'fill;
+                }
+            }
+        }
+        let catalog = (0..schema.num_relations())
+            .map(|r| handle.candidates(supa_graph::RelationId(r as u16)).len())
+            .max()
+            .unwrap_or(0);
+
+        let mut lat_ns: Vec<u64> = Vec::with_capacity(pairs.len());
+        let sweep0 = Instant::now();
+        for &(u, r) in &pairs {
+            let t0 = Instant::now();
+            std::hint::black_box(handle.query(u, r, 10));
+            lat_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+        let secs = sweep0.elapsed().as_secs_f64().max(1e-9);
+        lat_ns.sort_unstable();
+        let q = |p: f64| lat_ns[(lat_ns.len() - 1).min((p * lat_ns.len() as f64) as usize)];
+        let (p50, p99) = (q(0.50) as f64 / 1e3, q(0.99) as f64 / 1e3);
+        let qps = pairs.len() as f64 / secs;
+
+        // Untimed recall audit: re-issue each query (cache-hit, identical
+        // answer at the same epoch) and compare against the exact top-10.
+        let recall = if ann_on {
+            use supa_eval::{top_k_scored, RecallAccumulator};
+            let snap = handle.snapshot();
+            let mut acc = RecallAccumulator::default();
+            for &(u, r) in &pairs {
+                let res = handle.query(u, r, 10);
+                let exact = top_k_scored(&snap.scorer, u, handle.candidates(r), r, 10);
+                acc.push(&exact, &res.items);
+            }
+            acc.mean()
+        } else {
+            1.0
+        };
+        handle.shutdown();
+
+        eprintln!(
+            "[throughput] query/{label}: {qps:.0} qps, p50 {p50:.0}µs, p99 {p99:.0}µs, \
+             recall@10 {recall:.4} ({catalog} items)"
+        );
+        t.push(vec![
+            format!("query-{label}"),
+            "1".into(),
+            format!("{qps:.0} qps"),
+            fmt_secs(secs),
+            format!("p50 {p50:.0}µs p99 {p99:.0}µs recall {recall:.4}"),
+        ]);
+        ann_runs.push((label, qps, p50, p99, recall, catalog));
+    }
+
     // --- machine-readable artefact at the repo root ----------------------
     let jarr = |items: Vec<String>| format!("[\n    {}\n  ]", items.join(",\n    "));
     let train_json = jarr(
@@ -847,12 +980,33 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
             })
             .collect(),
     );
+    let ann_legs = jarr(
+        ann_runs
+            .iter()
+            .map(|(label, qps, p50, p99, recall, _)| {
+                format!(
+                    "{{\"mode\": \"{label}\", \"workers\": 1, \"qps\": {qps:.1}, \
+                     \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}, \
+                     \"recall_at_10\": {recall:.4}}}"
+                )
+            })
+            .collect(),
+    );
+    let ann_catalog = ann_runs.first().map_or(0, |r| r.5);
+    let ann_json = format!(
+        "{{\n    \"dataset\": \"Taobao\",\n    \"scale\": {ann_scale},\n    \
+         \"catalog_items\": {ann_catalog},\n    \"events\": {},\n    \
+         \"queries\": {ann_queries},\n    \"ef_search\": {},\n    \
+         \"query_phase_only\": true,\n    \"legs\": {ann_legs}\n  }}",
+        da.edges.len(),
+        ann_opts.ef_search,
+    );
     let json = format!(
         "{{\n  \"benchmark\": \"throughput\",\n  \"dataset\": \"{}\",\n  \
          \"scale\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
          \"workers_measured\": [1, 4],\n  \"nproc\": {},\n  \
          \"train_events\": {},\n  \"test_edges\": {},\n  \
-         \"train\": {},\n  \"eval\": {},\n  \"serve\": {}\n}}\n",
+         \"train\": {},\n  \"eval\": {},\n  \"serve\": {},\n  \"ann\": {}\n}}\n",
         d.name,
         cfg.scale,
         cfg.seed,
@@ -863,6 +1017,7 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
         train_json,
         eval_json,
         serve_json,
+        ann_json,
     );
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let path = root.join("BENCH_throughput.json");

@@ -54,6 +54,37 @@ impl ServingSnapshot {
         }
     }
 
+    /// Writes node `n`'s *composite* vector under relation `r` into `out`:
+    /// the per-element sum `h_long + h_short + ctx_r` (or `h_long + ctx_r`
+    /// under `no_forget`), associated exactly as [`ServingSnapshot::gamma`]
+    /// associates it. Eq. 15 is then a pure inner product of composites,
+    ///
+    /// ```text
+    /// γ(u, v, r) = 0.25 · ⟨composite(u, r), composite(v, r)⟩
+    /// ```
+    ///
+    /// bit-for-bit — the ANN retrieval layer indexes item composites and
+    /// queries with user composites, so its candidate ranking is monotone in
+    /// the exact γ the brute-force path scores.
+    pub fn composite_into(&self, n: NodeId, r: RelationId, out: &mut Vec<f32>) {
+        let i = n.index();
+        let cidx = self.ctx_idx(r);
+        let (hl, c) = (self.h_long.row(i), self.ctx[cidx].row(i));
+        out.clear();
+        out.reserve(hl.len());
+        if self.no_forget {
+            for k in 0..hl.len() {
+                out.push(hl[k] + c[k]);
+            }
+        } else {
+            let hs = self.h_short.as_ref().expect("short-term memory exported");
+            let hs = hs.row(i);
+            for k in 0..hl.len() {
+                out.push(hl[k] + hs[k] + c[k]);
+            }
+        }
+    }
+
     /// Eq. 15 readout, identical op-for-op to [`Supa::gamma`].
     pub fn gamma(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {
         let (ui, vi) = (u.index(), v.index());
@@ -145,6 +176,34 @@ mod tests {
             "training should move the live score"
         );
         assert_eq!(snap.gamma(e.src, e.dst, e.relation), before);
+    }
+
+    #[test]
+    fn gamma_is_a_dot_product_of_composites() {
+        // The ANN layer's contract: γ(u, v, r) == 0.25 · ⟨comp_u, comp_v⟩,
+        // bit-for-bit, for both the full and no_forget variants.
+        let d = taobao(0.02, 14);
+        let g = d.full_graph();
+        for variant in [SupaVariant::full(), SupaVariant::nf()] {
+            let mut m = Supa::from_dataset_variant(&d, SupaConfig::small(), variant, 14).unwrap();
+            m.resolve_time_scale(&g);
+            m.rebuild_negative_samplers(&g);
+            m.train_pass(&g, &d.edges[..100]);
+            let snap = m.export_serving_snapshot();
+            let (mut cu, mut cv) = (Vec::new(), Vec::new());
+            for e in &d.edges[..50] {
+                snap.composite_into(e.src, e.relation, &mut cu);
+                snap.composite_into(e.dst, e.relation, &mut cv);
+                let mut s = 0.0f32;
+                for k in 0..cu.len() {
+                    s += cu[k] * cv[k];
+                }
+                assert_eq!(
+                    (0.25 * s).to_bits(),
+                    snap.gamma(e.src, e.dst, e.relation).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod ranking;
 pub mod recommender;
+pub mod retrieval;
 pub mod segmented;
 pub mod stats;
 pub mod tsne;
@@ -36,6 +37,7 @@ pub use ranking::{
     RankingEvaluator, Scorer, TopKScratch,
 };
 pub use recommender::Recommender;
+pub use retrieval::{recall_against_exact, RecallAccumulator, RetrievalProtocol, RetrievalReport};
 pub use segmented::{evaluate_segmented, SegmentResult};
 pub use stats::{mean_std, welch_t_test, WelchResult};
 pub use tsne::{mean_pair_distance, tsne_2d, TsneConfig};

@@ -382,6 +382,100 @@ mod tests {
         assert_eq!(got, want.as_slice());
     }
 
+    /// Naive reference for the top-K ordering contract: stable full sort by
+    /// (non-NaN first, score descending via total_cmp, id ascending), then
+    /// truncate. `top_k_in_place` must match this exactly for every k.
+    fn naive_top_k<I: Copy + Ord>(scored: &[(I, f32)], k: usize) -> Vec<(I, f32)> {
+        let mut v = scored.to_vec();
+        v.sort_by(|a, b| {
+            a.1.is_nan()
+                .cmp(&b.1.is_nan())
+                .then_with(|| b.1.total_cmp(&a.1))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        v.truncate(k);
+        v
+    }
+
+    /// Scorer that maps a fixed score table over the item candidates (whose
+    /// node indices start after the users), including NaNs, so the edge
+    /// cases below are exercised through the full `top_k_scored_with` path
+    /// (score_batch + select).
+    struct TableScorer {
+        base: usize,
+        scores: Vec<f32>,
+    }
+    impl Scorer for TableScorer {
+        fn score(&self, _u: NodeId, v: NodeId, _r: RelationId) -> f32 {
+            self.scores[v.index() - self.base]
+        }
+    }
+
+    #[test]
+    fn top_k_edge_cases_match_naive_reference() {
+        let (_, users, items, buy) = graph();
+        let scores = vec![2.0, f32::NAN, 1.0, 1.0, -0.5, f32::NAN, 1.0, 0.0, 3.0, 1.0];
+        let scorer = TableScorer {
+            base: items[0].index(),
+            scores: scores.clone(),
+        };
+        let pairs: Vec<(NodeId, f32)> = items.iter().zip(&scores).map(|(&v, &s)| (v, s)).collect();
+        let mut scratch = TopKScratch::default();
+        // k == 0, k == len, k > len, and every value in between. Compare by
+        // score *bits*: `NaN != NaN` under `PartialEq`, but the contract is
+        // bit-exact propagation.
+        let bits = |xs: &[(NodeId, f32)]| -> Vec<(NodeId, u32)> {
+            xs.iter().map(|&(v, s)| (v, s.to_bits())).collect()
+        };
+        for k in 0..=items.len() + 3 {
+            let want = naive_top_k(&pairs, k);
+            let got = top_k_scored_with(&scorer, users[0], &items, buy, k, &mut scratch);
+            assert_eq!(bits(got), bits(&want), "k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_all_nan_scores_fall_back_to_id_order() {
+        let (_, users, items, buy) = graph();
+        let scorer = TableScorer {
+            base: items[0].index(),
+            scores: vec![f32::NAN; items.len()],
+        };
+        let mut scratch = TopKScratch::default();
+        let got = top_k_scored_with(&scorer, users[0], &items, buy, 4, &mut scratch);
+        // Every score is NaN: the ordering degenerates to ascending id, and
+        // no comparison may panic.
+        let ids: Vec<NodeId> = got.iter().map(|&(v, _)| v).collect();
+        assert_eq!(ids, items[..4].to_vec());
+        assert!(got.iter().all(|(_, s)| s.is_nan()));
+        // And the naive reference agrees.
+        let pairs: Vec<(NodeId, f32)> = items.iter().map(|&v| (v, f32::NAN)).collect();
+        let want = naive_top_k(&pairs, 4);
+        let w: Vec<NodeId> = want.iter().map(|&(v, _)| v).collect();
+        assert_eq!(ids, w);
+    }
+
+    #[test]
+    fn top_k_tie_break_is_stable_against_reference() {
+        // Many duplicate scores: the k-cut lands inside a tie group, where
+        // an unstable select could diverge from the reference if ids were
+        // not part of the comparator.
+        let pairs: Vec<(usize, f32)> = (0..64).map(|i| (63 - i, (i % 4) as f32)).collect();
+        for k in [1usize, 3, 4, 5, 16, 63] {
+            let mut got = pairs.clone();
+            top_k_in_place(&mut got, k);
+            assert_eq!(got, naive_top_k(&pairs, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_empty_candidates_yield_empty_result() {
+        let (_, users, _, buy) = graph();
+        let mut scratch = TopKScratch::default();
+        let got = top_k_scored_with(&FixedScorer, users[0], &[], buy, 5, &mut scratch);
+        assert!(got.is_empty());
+    }
+
     #[test]
     fn rank_reflects_score_order() {
         let (_, users, items, buy) = graph();

@@ -1,0 +1,185 @@
+//! Recall@K-vs-exact protocol for approximate retrieval.
+//!
+//! The ANN serving path (`supa-ann` + `supa-serve --ann`) answers top-K
+//! queries from an index instead of scoring the full candidate set. Its
+//! correctness currency is *recall against the exact ranking*: the fraction
+//! of the brute-force top-K that the approximate top-K recovers. This module
+//! owns that measurement so the serving engine's per-query recall guard, the
+//! CI recall smoke, and the bench recall/latency trade-off curve all agree
+//! on the definition.
+//!
+//! Scores are deliberately ignored: the serving path re-scores ANN
+//! candidates exactly, so an id that appears in both lists carries an
+//! identical score by construction — membership is the only thing that can
+//! differ.
+
+use std::time::Instant;
+
+use supa_graph::{NodeId, RelationId};
+
+/// Recall of `approx` against the `exact` top-K list: `|exact ∩ approx| /
+/// |exact|`, or 1.0 when the exact list is empty (nothing to recover).
+/// Both lists are `(id, score)` ranked best-first; only ids matter.
+pub fn recall_against_exact(exact: &[(NodeId, f32)], approx: &[(NodeId, f32)]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let hit = exact
+        .iter()
+        .filter(|(id, _)| approx.iter().any(|(a, _)| a == id))
+        .count();
+    hit as f64 / exact.len() as f64
+}
+
+/// Streaming mean recall over many queries, accumulated as exact integer
+/// counts (`matched / expected`) so the aggregate is deterministic and
+/// independent of accumulation order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecallAccumulator {
+    /// Exact-top-K entries the approximate lists recovered.
+    pub matched: u64,
+    /// Exact-top-K entries there were to recover.
+    pub expected: u64,
+}
+
+impl RecallAccumulator {
+    /// Folds one query's exact/approximate lists into the tally.
+    pub fn push(&mut self, exact: &[(NodeId, f32)], approx: &[(NodeId, f32)]) {
+        self.expected += exact.len() as u64;
+        self.matched += exact
+            .iter()
+            .filter(|(id, _)| approx.iter().any(|(a, _)| a == id))
+            .count() as u64;
+    }
+
+    /// Mean recall so far (1.0 before any query — vacuous truth, matching
+    /// [`recall_against_exact`] on empty lists).
+    pub fn mean(&self) -> f64 {
+        if self.expected == 0 {
+            1.0
+        } else {
+            self.matched as f64 / self.expected as f64
+        }
+    }
+
+    /// Number of exact entries tallied.
+    pub fn is_empty(&self) -> bool {
+        self.expected == 0
+    }
+}
+
+/// One measured point of the recall/latency trade-off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrievalReport {
+    /// Queries measured.
+    pub queries: usize,
+    /// Mean recall@K of the approximate path against the exact path.
+    pub recall: f64,
+    /// Mean exact-path latency per query, microseconds.
+    pub exact_mean_us: f64,
+    /// Mean approximate-path latency per query, microseconds.
+    pub approx_mean_us: f64,
+}
+
+impl RetrievalReport {
+    /// Exact-over-approximate latency ratio (> 1 means the approximate path
+    /// is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.approx_mean_us > 0.0 {
+            self.exact_mean_us / self.approx_mean_us
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The recall@K-vs-exact protocol: run every query through an exact and an
+/// approximate top-K function and report mean recall plus per-path mean
+/// latency. Generic over the two retrieval closures so `supa-eval` needs no
+/// dependency on the index implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct RetrievalProtocol {
+    /// K for every query.
+    pub k: usize,
+}
+
+impl RetrievalProtocol {
+    /// Measures `approx` against `exact` over `queries`. Recall is
+    /// deterministic for deterministic retrievers; the latency fields are
+    /// machine-dependent.
+    pub fn measure<E, A>(
+        &self,
+        queries: &[(NodeId, RelationId)],
+        mut exact: E,
+        mut approx: A,
+    ) -> RetrievalReport
+    where
+        E: FnMut(NodeId, RelationId, usize) -> Vec<(NodeId, f32)>,
+        A: FnMut(NodeId, RelationId, usize) -> Vec<(NodeId, f32)>,
+    {
+        let mut acc = RecallAccumulator::default();
+        let (mut exact_ns, mut approx_ns) = (0u128, 0u128);
+        for &(u, r) in queries {
+            let t0 = Instant::now();
+            let e = exact(u, r, self.k);
+            exact_ns += t0.elapsed().as_nanos();
+            let t1 = Instant::now();
+            let a = approx(u, r, self.k);
+            approx_ns += t1.elapsed().as_nanos();
+            acc.push(&e, &a);
+        }
+        let n = queries.len().max(1) as f64;
+        RetrievalReport {
+            queries: queries.len(),
+            recall: acc.mean(),
+            exact_mean_us: exact_ns as f64 / n / 1e3,
+            approx_mean_us: approx_ns as f64 / n / 1e3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<(NodeId, f32)> {
+        xs.iter().map(|&x| (NodeId(x), x as f32)).collect()
+    }
+
+    #[test]
+    fn recall_counts_membership_only() {
+        let exact = ids(&[1, 2, 3, 4]);
+        assert_eq!(recall_against_exact(&exact, &exact), 1.0);
+        assert_eq!(recall_against_exact(&exact, &ids(&[4, 3, 2, 1])), 1.0);
+        assert_eq!(recall_against_exact(&exact, &ids(&[1, 2])), 0.5);
+        assert_eq!(recall_against_exact(&exact, &ids(&[9, 8])), 0.0);
+        assert_eq!(recall_against_exact(&[], &ids(&[1])), 1.0);
+    }
+
+    #[test]
+    fn accumulator_matches_pointwise_mean_of_counts() {
+        let mut acc = RecallAccumulator::default();
+        assert_eq!(acc.mean(), 1.0);
+        acc.push(&ids(&[1, 2]), &ids(&[1, 2]));
+        acc.push(&ids(&[3, 4]), &ids(&[3, 9]));
+        assert_eq!(acc.matched, 3);
+        assert_eq!(acc.expected, 4);
+        assert!((acc.mean() - 0.75).abs() < 1e-12);
+        assert!(!acc.is_empty());
+    }
+
+    #[test]
+    fn protocol_reports_recall_and_latency() {
+        let queries: Vec<(NodeId, RelationId)> =
+            (0..10).map(|i| (NodeId(i), RelationId(0))).collect();
+        let p = RetrievalProtocol { k: 4 };
+        let report = p.measure(
+            &queries,
+            |u, _, k| ids(&(0..k as u32).map(|i| u.0 + i).collect::<Vec<_>>()),
+            |u, _, k| ids(&(0..k as u32 - 1).map(|i| u.0 + i).collect::<Vec<_>>()),
+        );
+        assert_eq!(report.queries, 10);
+        assert!((report.recall - 0.75).abs() < 1e-12);
+        assert!(report.exact_mean_us >= 0.0 && report.approx_mean_us >= 0.0);
+    }
+}

@@ -17,7 +17,8 @@
 //!                [--snapshot-every 1] [--cache 4096] [--checkpoint-dir DIR]
 //!                [--checkpoint-every 8] [--keep 3] [--resume]
 //!                [--on-bad-event strict|skip|clamp] [--workers N]
-//!                [--warmup 8]
+//!                [--warmup 8] [--ann] [--ef-search 64] [--guard-every 64]
+//!                [--min-recall 0.95]
 //! ```
 //!
 //! Data is the self-describing TSV of `supa_datasets::load_tsv`; checkpoints
@@ -43,6 +44,13 @@
 //! throughput/latency/staleness report. With `--checkpoint-dir` the writer
 //! checkpoints every `--checkpoint-every` chunks, and `--resume` warm-starts
 //! from the newest valid checkpoint.
+//!
+//! `--ann` serves top-K through per-epoch HNSW indexes (`supa-ann`) instead
+//! of brute-force scoring the full catalog: `--ef-search` sets the query
+//! beam width, and one in `--guard-every` ANN answers is re-scored exactly,
+//! with recall below `--min-recall` tallied (and reported) as a guard
+//! breach. ANN answers are re-scored exactly, so reported scores stay
+//! bit-identical to brute force — only top-K membership can differ.
 
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -54,7 +62,7 @@ use supa::{CheckpointManager, InsLearnConfig, Supa, SupaConfig, TrainOptions};
 use supa_datasets::{all_datasets, load_tsv, save_tsv, Dataset};
 use supa_eval::{RankingEvaluator, Scorer};
 use supa_graph::{guard_stream, mine_metapaths, MiningConfig, NodeId, QuarantinePolicy};
-use supa_serve::{run_closed_loop, CheckpointOptions, LoadConfig, ServeConfig};
+use supa_serve::{run_closed_loop, AnnOptions, CheckpointOptions, LoadConfig, ServeConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -148,8 +156,11 @@ const COMMANDS: &[CommandSpec] = &[
             "on-bad-event",
             "workers",
             "warmup",
+            "ef-search",
+            "guard-every",
+            "min-recall",
         ],
-        bool_flags: &["mine", "resume"],
+        bool_flags: &["mine", "resume", "ann"],
     },
 ];
 
@@ -508,6 +519,23 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
             };
             let model = build_model(&d, &flags)?;
+            let ann = if flags.contains_key("ann") {
+                let defaults = AnnOptions::default();
+                Some(AnnOptions {
+                    ef_search: get(&flags, "ef-search", defaults.ef_search)?,
+                    guard_every: get(&flags, "guard-every", defaults.guard_every)?,
+                    min_recall: get(&flags, "min-recall", defaults.min_recall)?,
+                    seed: get(&flags, "seed", defaults.seed)?,
+                    ..defaults
+                })
+            } else {
+                for f in ["ef-search", "guard-every", "min-recall"] {
+                    if flags.contains_key(f) {
+                        return Err(format!("--{f} needs --ann"));
+                    }
+                }
+                None
+            };
             let serve_cfg = ServeConfig {
                 queue_capacity: get(&flags, "queue", 1024)?,
                 train_batch: get(&flags, "batch", 64)?,
@@ -516,6 +544,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 cache_capacity: get(&flags, "cache", 4096)?,
                 checkpoint,
                 workers: get(&flags, "workers", 1)?,
+                ann,
                 ..ServeConfig::default()
             };
             let load = LoadConfig {

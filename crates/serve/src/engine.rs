@@ -27,7 +27,8 @@ use std::time::Instant;
 use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 use supa::{CheckpointManager, ServingSnapshot, Supa, TrainOptions};
-use supa_eval::{top_k_scored_with, TopKScratch};
+use supa_ann::{AnnConfig, HnswIndex, SearchScratch};
+use supa_eval::{top_k_scored_with, RecallAccumulator, TopKScratch};
 use supa_graph::{
     Dmhg, NodeId, QuarantineError, QuarantinePolicy, QuarantineReport, RelationId, StreamGuard,
     TemporalEdge,
@@ -40,6 +41,17 @@ thread_local! {
     /// Per-reader top-K buffers for the query and verify paths.
     static TOPK_SCRATCH: std::cell::RefCell<TopKScratch> =
         std::cell::RefCell::new(TopKScratch::default());
+    /// Per-reader ANN buffers: the user's composite query vector, the beam
+    /// search scratch, and the candidate list handed to exact re-scoring.
+    static ANN_SCRATCH: std::cell::RefCell<AnnReaderScratch> =
+        std::cell::RefCell::new(AnnReaderScratch::default());
+}
+
+#[derive(Default)]
+struct AnnReaderScratch {
+    query: Vec<f32>,
+    search: SearchScratch,
+    cand: Vec<NodeId>,
 }
 
 /// Checkpointing behaviour for a serving engine (all via PR 1's
@@ -70,6 +82,58 @@ impl CheckpointOptions {
     }
 }
 
+/// Tuning for the approximate-nearest-neighbor serving path
+/// ([`ServeConfig::ann`]).
+///
+/// When enabled, each published epoch carries per-relation [`HnswIndex`]es
+/// over the item composites; queries beam-search the index and re-score the
+/// surviving candidates *exactly*, so every returned score is bit-identical
+/// to what the brute-force path would assign — only membership of the top-K
+/// can differ, and the recall guard meters exactly that.
+#[derive(Debug, Clone)]
+pub struct AnnOptions {
+    /// Query beam width (clamped to ≥ k per query). Larger means higher
+    /// recall and more exact re-scores per query.
+    pub ef_search: usize,
+    /// Max neighbors per node on upper index layers (layer 0 keeps `2·m`).
+    pub m: usize,
+    /// Beam width while inserting/refreshing index nodes.
+    pub ef_construction: usize,
+    /// Re-score one in `guard_every` ANN-served queries against the full
+    /// candidate set and record recall@K (0 disables the guard). The guard
+    /// only *observes* — it never substitutes the exact answer — so query
+    /// results stay a pure function of the published epoch and `verify`
+    /// remains an exact torn-read check.
+    pub guard_every: u64,
+    /// Recall floor: a guard check below this tallies a breach in metrics.
+    pub min_recall: f64,
+    /// Seed for the index's deterministic level assignment.
+    pub seed: u64,
+}
+
+impl Default for AnnOptions {
+    fn default() -> Self {
+        AnnOptions {
+            ef_search: 64,
+            m: 16,
+            ef_construction: 128,
+            guard_every: 64,
+            min_recall: 0.95,
+            seed: 7,
+        }
+    }
+}
+
+impl AnnOptions {
+    fn config(&self) -> AnnConfig {
+        AnnConfig {
+            m: self.m,
+            ef_construction: self.ef_construction,
+            seed: self.seed,
+        }
+    }
+}
+
 /// Tuning knobs for [`ServeEngine::start`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -95,6 +159,9 @@ pub struct ServeConfig {
     /// training, `0` = machine parallelism). Only the gradient computation
     /// fans out — ingest, admission, and publication stay single-writer.
     pub workers: usize,
+    /// Approximate top-K serving via per-epoch ANN indexes (`None` = exact
+    /// brute-force scoring of the full candidate list on every query).
+    pub ann: Option<AnnOptions>,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +175,7 @@ impl Default for ServeConfig {
             keep_history: 8,
             checkpoint: None,
             workers: 1,
+            ann: None,
         }
     }
 }
@@ -119,6 +187,82 @@ pub struct EpochSnapshot {
     pub epoch: u64,
     /// The frozen scorer (bit-identical to the model at publication time).
     pub scorer: ServingSnapshot,
+    /// Per-relation ANN indexes frozen with the scorer (`None` when ANN
+    /// serving is disabled). Retained with the snapshot in the history ring
+    /// so `verify` re-runs the *identical* retrieval path of the epoch a
+    /// result claims.
+    pub ann: Option<Arc<AnnEpoch>>,
+}
+
+/// The per-relation ANN indexes of one published epoch.
+#[derive(Debug)]
+pub struct AnnEpoch {
+    indexes: Vec<Option<HnswIndex>>,
+}
+
+impl AnnEpoch {
+    /// The index over `rel`'s candidate items (`None` when the relation has
+    /// no candidates).
+    pub fn index(&self, rel: RelationId) -> Option<&HnswIndex> {
+        self.indexes.get(rel.index()).and_then(Option::as_ref)
+    }
+}
+
+/// Writer-owned master copies of the per-relation indexes. Between epochs
+/// only the nodes the training interval touched are re-inserted; `freeze`
+/// then clones the masters into an immutable [`AnnEpoch`] for publication.
+struct AnnMaster {
+    opts: AnnOptions,
+    indexes: Vec<Option<HnswIndex>>,
+    buf: Vec<f32>,
+}
+
+impl AnnMaster {
+    /// Builds the initial indexes over every relation's full candidate list
+    /// in ascending-id order (candidate lists are sorted and deduplicated).
+    fn build(opts: AnnOptions, scorer: &ServingSnapshot, candidates: &[Vec<NodeId>]) -> AnnMaster {
+        let mut master = AnnMaster {
+            opts,
+            indexes: Vec::with_capacity(candidates.len()),
+            buf: Vec::new(),
+        };
+        for (r, cands) in candidates.iter().enumerate() {
+            if cands.is_empty() {
+                master.indexes.push(None);
+                continue;
+            }
+            let mut index = HnswIndex::new(scorer.dim(), master.opts.config());
+            for &item in cands {
+                scorer.composite_into(item, RelationId(r as u16), &mut master.buf);
+                index.insert(item.0, &master.buf);
+            }
+            master.indexes.push(Some(index));
+        }
+        master
+    }
+
+    /// Re-inserts every touched candidate item with its new composite. Both
+    /// the touched set and the candidate lists are ascending, so the update
+    /// order — and therefore the refreshed index — is deterministic.
+    fn refresh(&mut self, scorer: &ServingSnapshot, touched: &[u32], candidates: &[Vec<NodeId>]) {
+        for (r, index) in self.indexes.iter_mut().enumerate() {
+            let Some(index) = index else { continue };
+            let cands = &candidates[r];
+            for &id in touched {
+                if cands.binary_search(&NodeId(id)).is_ok() {
+                    scorer.composite_into(NodeId(id), RelationId(r as u16), &mut self.buf);
+                    index.update(id, &self.buf);
+                }
+            }
+        }
+    }
+
+    /// Freezes the current masters into a publishable epoch.
+    fn freeze(&self) -> Arc<AnnEpoch> {
+        Arc::new(AnnEpoch {
+            indexes: self.indexes.clone(),
+        })
+    }
 }
 
 /// State shared between the writer thread and all reader threads.
@@ -128,9 +272,13 @@ struct Shared {
     cache: QueryCache,
     metrics: ServeMetrics,
     /// Per-relation candidate item lists (all nodes of the relation's
-    /// destination type). The node universe is fixed at start — the guard
-    /// rejects events naming unknown nodes — so these never change.
+    /// destination type), ascending and duplicate-free. The node universe is
+    /// fixed at start — the guard rejects events naming unknown nodes — so
+    /// these never change.
     candidates: Vec<Vec<NodeId>>,
+    /// ANN serving configuration (readers need `ef_search` and the guard
+    /// cadence); `None` when serving exactly.
+    ann_opts: Option<AnnOptions>,
 }
 
 /// A ranked answer, attributable to one published epoch.
@@ -215,6 +363,23 @@ impl ServeEngine {
     /// into the graph without retraining (the restored embeddings already
     /// reflect them).
     pub fn start(graph: Dmhg, mut model: Supa, cfg: ServeConfig) -> std::io::Result<ServeHandle> {
+        if let Some(ann) = &cfg.ann {
+            if !ann.min_recall.is_finite() || !(0.0..=1.0).contains(&ann.min_recall) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!(
+                        "ann min_recall must be a finite value in [0, 1], got {}",
+                        ann.min_recall
+                    ),
+                ));
+            }
+            if ann.ef_search == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "ann ef_search must be at least 1",
+                ));
+            }
+        }
         model.enable_touch_tracking();
         model.set_workers(cfg.workers);
 
@@ -231,16 +396,34 @@ impl ServeEngine {
             manager = Some(mgr);
         }
 
-        let candidates = (0..graph.schema().num_relations())
+        let candidates: Vec<Vec<NodeId>> = (0..graph.schema().num_relations())
             .map(|r| {
                 let spec = graph.schema().relation(RelationId(r as u16)).unwrap();
-                graph.nodes_of_type(spec.dst_type).to_vec()
+                let mut list = graph.nodes_of_type(spec.dst_type).to_vec();
+                let before = list.len();
+                list.sort_unstable();
+                list.dedup();
+                // The graph hands out each node of a type exactly once; a
+                // duplicate here would double-score (and double-index) an
+                // item, so treat it as the logic bug it is.
+                assert_eq!(
+                    list.len(),
+                    before,
+                    "duplicate candidate items for relation {r}"
+                );
+                list
             })
             .collect();
 
+        let scorer = model.export_serving_snapshot();
+        let ann_master = cfg
+            .ann
+            .clone()
+            .map(|opts| AnnMaster::build(opts, &scorer, &candidates));
         let initial = Arc::new(EpochSnapshot {
             epoch: 0,
-            scorer: model.export_serving_snapshot(),
+            scorer,
+            ann: ann_master.as_ref().map(AnnMaster::freeze),
         });
         let shared = Arc::new(Shared {
             current: RwLock::new(initial.clone()),
@@ -248,6 +431,7 @@ impl ServeEngine {
             cache: QueryCache::new(cfg.cache_capacity),
             metrics: ServeMetrics::default(),
             candidates,
+            ann_opts: cfg.ann.clone(),
         });
 
         let (tx, rx) = channel::bounded(cfg.queue_capacity.max(1));
@@ -255,7 +439,16 @@ impl ServeEngine {
         let writer = std::thread::Builder::new()
             .name("supa-serve-writer".into())
             .spawn(move || {
-                writer_loop(rx, writer_shared, graph, model, manager, resume_skip, cfg)
+                writer_loop(
+                    rx,
+                    writer_shared,
+                    graph,
+                    model,
+                    manager,
+                    resume_skip,
+                    ann_master,
+                    cfg,
+                )
             })?;
 
         Ok(ServeHandle {
@@ -273,6 +466,7 @@ struct Writer {
     model: Supa,
     guard: StreamGuard,
     manager: Option<CheckpointManager>,
+    ann: Option<AnnMaster>,
     cfg: ServeConfig,
     pending: Vec<TemporalEdge>,
     admitted: u64,
@@ -289,6 +483,7 @@ fn writer_loop(
     model: Supa,
     manager: Option<CheckpointManager>,
     resume_skip: u64,
+    ann: Option<AnnMaster>,
     cfg: ServeConfig,
 ) -> WriterExit {
     let guard = StreamGuard::new(cfg.policy);
@@ -298,6 +493,7 @@ fn writer_loop(
         model,
         guard,
         manager,
+        ann,
         cfg,
         pending: Vec::new(),
         admitted: 0,
@@ -424,13 +620,21 @@ impl Writer {
         self.chunks += 1;
     }
 
-    /// Publishes the current model state as a new epoch and invalidates the
-    /// touched neighborhood in the query cache.
+    /// Publishes the current model state as a new epoch — refreshing the ANN
+    /// indexes for exactly the nodes the interval touched — and invalidates
+    /// the touched neighborhood in the query cache.
     fn publish(&mut self) {
         self.epoch += 1;
+        let scorer = self.model.export_serving_snapshot();
+        let touched = self.model.take_touched();
+        let ann = self.ann.as_mut().map(|master| {
+            master.refresh(&scorer, &touched, &self.shared.candidates);
+            master.freeze()
+        });
         let snap = Arc::new(EpochSnapshot {
             epoch: self.epoch,
-            scorer: self.model.export_serving_snapshot(),
+            scorer,
+            ann,
         });
         {
             let mut h = self.shared.history.lock();
@@ -445,8 +649,79 @@ impl Writer {
             .metrics
             .epochs_published
             .store(self.epoch, std::sync::atomic::Ordering::Relaxed);
-        let touched = self.model.take_touched();
         self.shared.cache.invalidate_touched(&touched);
+    }
+}
+
+impl Shared {
+    /// Scores `user` against `rel`'s candidates under `snap`, through the
+    /// snapshot's ANN index when one applies and exact brute force otherwise.
+    /// Returns the ranked items plus whether the ANN path answered. A pure
+    /// function of `snap` — identical inputs give bit-identical results,
+    /// which is what lets `verify` re-run it against historical epochs.
+    ///
+    /// The ANN arm beam-searches `ef_search` candidates and re-scores every
+    /// survivor exactly via the same `top_k_scored_with` the brute-force path
+    /// uses, so scores (and tie-breaks) are bit-identical to brute force;
+    /// only top-K *membership* can differ.
+    fn score_snapshot(
+        &self,
+        snap: &EpochSnapshot,
+        user: NodeId,
+        rel: RelationId,
+        k: usize,
+    ) -> (Vec<(NodeId, f32)>, bool) {
+        let candidates = self
+            .candidates
+            .get(rel.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        if let (Some(opts), Some(index)) = (
+            &self.ann_opts,
+            snap.ann.as_deref().and_then(|a| a.index(rel)),
+        ) {
+            let ef = opts.ef_search.max(k);
+            // The index only pays off when the beam is narrower than the
+            // catalog; tiny catalogs (and k covering everything) fall back
+            // to the exact scan.
+            if k > 0 && ef < candidates.len() {
+                let items = ANN_SCRATCH.with(|s| {
+                    let s = &mut *s.borrow_mut();
+                    snap.scorer.composite_into(user, rel, &mut s.query);
+                    let found = index.search_into(&s.query, ef, ef, &mut s.search);
+                    s.cand.clear();
+                    s.cand.extend(found.iter().map(|&id| NodeId(id)));
+                    TOPK_SCRATCH.with(|t| {
+                        top_k_scored_with(&snap.scorer, user, &s.cand, rel, k, &mut t.borrow_mut())
+                            .to_vec()
+                    })
+                });
+                return (items, true);
+            }
+        }
+        (self.score_exact(snap, user, rel, k), false)
+    }
+
+    /// Brute-force exact top-K over the full candidate list (the guard's
+    /// ground truth and the non-ANN serving path).
+    fn score_exact(
+        &self,
+        snap: &EpochSnapshot,
+        user: NodeId,
+        rel: RelationId,
+        k: usize,
+    ) -> Vec<(NodeId, f32)> {
+        let candidates = self
+            .candidates
+            .get(rel.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        // Thread-local scratch: concurrent readers each keep their own
+        // buffers, so the scoring pass allocates nothing once warm and
+        // readers never serialise on a shared buffer.
+        TOPK_SCRATCH.with(|s| {
+            top_k_scored_with(&snap.scorer, user, candidates, rel, k, &mut s.borrow_mut()).to_vec()
+        })
     }
 }
 
@@ -482,7 +757,7 @@ impl ServeHandle {
             return QueryResult { epoch, items };
         }
 
-        let result = self.score_fresh(user, rel, k);
+        let result = self.score_fresh(user, rel, k, true);
         m.latency.record(t0.elapsed());
         result
     }
@@ -496,24 +771,18 @@ impl ServeHandle {
         if let Some((epoch, items)) = self.shared.cache.get(user.0, rel.0, k) {
             return QueryResult { epoch, items };
         }
-        self.score_fresh(user, rel, k)
+        self.score_fresh(user, rel, k, false)
     }
 
-    /// Scores against the current snapshot and fills the cache.
-    fn score_fresh(&self, user: NodeId, rel: RelationId, k: usize) -> QueryResult {
+    /// Scores against the current snapshot and fills the cache. `metered`
+    /// queries additionally tick the ANN counters and, one in
+    /// [`AnnOptions::guard_every`] ANN-served answers, the recall guard.
+    fn score_fresh(&self, user: NodeId, rel: RelationId, k: usize, metered: bool) -> QueryResult {
         let snap = self.shared.current.read().clone();
-        let candidates = self
-            .shared
-            .candidates
-            .get(rel.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[]);
-        // Thread-local scratch: concurrent readers each keep their own
-        // buffers, so the scoring pass allocates nothing once warm and
-        // readers never serialise on a shared buffer.
-        let items = TOPK_SCRATCH.with(|s| {
-            top_k_scored_with(&snap.scorer, user, candidates, rel, k, &mut s.borrow_mut()).to_vec()
-        });
+        let (items, ann_used) = self.shared.score_snapshot(&snap, user, rel, k);
+        if metered && ann_used {
+            self.recall_guard(&snap, user, rel, k, &items);
+        }
         self.shared
             .cache
             .put(user.0, rel.0, k, snap.epoch, items.clone());
@@ -523,10 +792,43 @@ impl ServeHandle {
         }
     }
 
-    /// Re-scores `result` against the retained snapshot of the epoch it
-    /// claims and compares bit-for-bit. Returns `None` if that epoch has
-    /// aged out of the history ring, `Some(true)` if consistent. A
-    /// `Some(false)` (torn read) is also tallied in the metrics.
+    /// Ticks the ANN query counter and, every `guard_every`-th ANN answer,
+    /// re-scores the query exactly and tallies recall@K. Observation only:
+    /// the served `items` are never replaced, so results stay bit-reproducible
+    /// from the epoch snapshot whether or not this query was guarded.
+    fn recall_guard(
+        &self,
+        snap: &EpochSnapshot,
+        user: NodeId,
+        rel: RelationId,
+        k: usize,
+        items: &[(NodeId, f32)],
+    ) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let m = &self.shared.metrics;
+        let nth = m.ann_queries.fetch_add(1, Relaxed) + 1;
+        let Some(opts) = &self.shared.ann_opts else {
+            return;
+        };
+        if opts.guard_every == 0 || !nth.is_multiple_of(opts.guard_every) {
+            return;
+        }
+        let exact = self.shared.score_exact(snap, user, rel, k);
+        let mut acc = RecallAccumulator::default();
+        acc.push(&exact, items);
+        m.ann_guard_checks.fetch_add(1, Relaxed);
+        m.ann_guard_expected.fetch_add(acc.expected, Relaxed);
+        m.ann_guard_matched.fetch_add(acc.matched, Relaxed);
+        if acc.mean() < opts.min_recall {
+            m.ann_guard_breaches.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Re-runs the retrieval path (ANN or exact — whichever served it)
+    /// against the retained snapshot of the epoch `result` claims and
+    /// compares bit-for-bit. Returns `None` if that epoch has aged out of
+    /// the history ring, `Some(true)` if consistent. A `Some(false)` (torn
+    /// read) is also tallied in the metrics.
     pub fn verify(
         &self,
         user: NodeId,
@@ -538,21 +840,12 @@ impl ServeHandle {
             let h = self.shared.history.lock();
             h.iter().find(|s| s.epoch == result.epoch).cloned()?
         };
-        let candidates = self
-            .shared
-            .candidates
-            .get(rel.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[]);
-        let ok = TOPK_SCRATCH.with(|s| {
-            let mut s = s.borrow_mut();
-            let expect = top_k_scored_with(&snap.scorer, user, candidates, rel, k, &mut s);
-            expect.len() == result.items.len()
-                && expect
-                    .iter()
-                    .zip(&result.items)
-                    .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits())
-        });
+        let (expect, _) = self.shared.score_snapshot(&snap, user, rel, k);
+        let ok = expect.len() == result.items.len()
+            && expect
+                .iter()
+                .zip(&result.items)
+                .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
         if !ok {
             self.shared
                 .metrics

@@ -23,6 +23,11 @@
 //!
 //! - [`engine::ServeEngine`] — start serving; [`engine::ServeHandle`] —
 //!   ingest events, query top-K, verify epoch consistency, shut down.
+//! - [`engine::AnnOptions`] — optional sub-linear retrieval: each epoch
+//!   carries per-relation `supa-ann` HNSW indexes (only touched nodes are
+//!   re-inserted between epochs); queries beam-search the index, re-score
+//!   candidates exactly, and a sampling recall guard meters recall@K
+//!   against brute force without perturbing results.
 //! - [`cache::QueryCache`] — per-user result cache invalidated by the
 //!   rows each training chunk actually touched (SUPA's propagate step).
 //! - [`metrics::ServeMetrics`] — QPS, p50/p99 latency, cache hit rate,
@@ -49,8 +54,8 @@ pub mod metrics;
 
 pub use cache::QueryCache;
 pub use engine::{
-    CheckpointOptions, EngineClosed, EpochSnapshot, QueryResult, ServeConfig, ServeEngine,
-    ServeHandle, ServeReport, StopCause,
+    AnnEpoch, AnnOptions, CheckpointOptions, EngineClosed, EpochSnapshot, QueryResult, ServeConfig,
+    ServeEngine, ServeHandle, ServeReport, StopCause,
 };
 pub use loadgen::{run_closed_loop, LoadConfig, LoadReport};
 pub use metrics::{LatencyHistogram, MetricsReport, ServeMetrics};

@@ -77,6 +77,17 @@ pub struct ServeMetrics {
     /// Verified queries whose result matched no published epoch. Any value
     /// above zero is a consistency bug.
     pub torn_reads: AtomicU64,
+    /// Metered queries answered through the ANN index (cache hits and
+    /// brute-force fallbacks excluded).
+    pub ann_queries: AtomicU64,
+    /// ANN answers the recall guard re-scored against the full candidate set.
+    pub ann_guard_checks: AtomicU64,
+    /// Exact-top-K entries the guard expected, summed over all checks.
+    pub ann_guard_expected: AtomicU64,
+    /// Exact-top-K entries the ANN answers recovered, summed over all checks.
+    pub ann_guard_matched: AtomicU64,
+    /// Guard checks whose recall fell below the configured floor.
+    pub ann_guard_breaches: AtomicU64,
     /// Query latency distribution.
     pub latency: LatencyHistogram,
 }
@@ -107,6 +118,17 @@ impl ServeMetrics {
                 hits as f64 / queries as f64
             },
             torn_reads: self.torn_reads.load(Ordering::Relaxed),
+            ann_queries: self.ann_queries.load(Ordering::Relaxed),
+            ann_guard_checks: self.ann_guard_checks.load(Ordering::Relaxed),
+            ann_recall: {
+                let expected = self.ann_guard_expected.load(Ordering::Relaxed);
+                if expected == 0 {
+                    1.0
+                } else {
+                    self.ann_guard_matched.load(Ordering::Relaxed) as f64 / expected as f64
+                }
+            },
+            ann_guard_breaches: self.ann_guard_breaches.load(Ordering::Relaxed),
             qps: if elapsed.as_secs_f64() > 0.0 {
                 queries as f64 / elapsed.as_secs_f64()
             } else {
@@ -133,6 +155,12 @@ pub struct MetricsReport {
     pub queries: u64,
     pub cache_hit_rate: f64,
     pub torn_reads: u64,
+    pub ann_queries: u64,
+    pub ann_guard_checks: u64,
+    /// Mean guard-measured recall@K (exact integer tally `matched /
+    /// expected`; 1.0 when no guard check has run).
+    pub ann_recall: f64,
+    pub ann_guard_breaches: u64,
     pub qps: f64,
     pub p50_us: f64,
     pub p99_us: f64,
@@ -160,7 +188,15 @@ impl std::fmt::Display for MetricsReport {
             self.p99_us,
             100.0 * self.cache_hit_rate,
             self.torn_reads,
-        )
+        )?;
+        if self.ann_queries > 0 {
+            write!(
+                f,
+                "\nann:    {} ann queries, {} guard checks, recall {:.4}, {} breaches",
+                self.ann_queries, self.ann_guard_checks, self.ann_recall, self.ann_guard_breaches,
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,279 @@
+//! Integration tests for the `supa-ann` serving path: recall@K against the
+//! brute-force ranking, exactness of re-scored answers, determinism of the
+//! dirty-node index refresh, epoch-consistent verification, and the
+//! brute-force fallback for beams that cover the whole catalog.
+
+use supa::{InsLearnConfig, Supa, SupaConfig};
+use supa_datasets::{taobao, Dataset};
+use supa_eval::{top_k_scored, RecallAccumulator};
+use supa_graph::RelationId;
+use supa_serve::{AnnOptions, ServeConfig, ServeEngine, ServeHandle};
+
+fn fast_model(d: &Dataset, seed: u64) -> Supa {
+    let cfg = SupaConfig {
+        dim: 16,
+        ..SupaConfig::small()
+    };
+    Supa::from_dataset(d, cfg, seed)
+        .unwrap()
+        .with_inslearn(InsLearnConfig {
+            batch_size: 4096,
+            n_iter: 2,
+            valid_interval: 2,
+            ..InsLearnConfig::fast()
+        })
+}
+
+/// Query-side sample: `(user, relation)` pairs valid under the schema.
+fn query_pairs(d: &Dataset, n: usize) -> Vec<(supa_graph::NodeId, RelationId)> {
+    let schema = d.prototype.schema();
+    let mut pairs = Vec::new();
+    'outer: loop {
+        for r in 0..schema.num_relations() {
+            let rel = RelationId(r as u16);
+            let users = d
+                .prototype
+                .nodes_of_type(schema.relation(rel).unwrap().src_type);
+            if users.is_empty() {
+                continue;
+            }
+            pairs.push((users[pairs.len() % users.len()], rel));
+            if pairs.len() >= n {
+                break 'outer;
+            }
+        }
+    }
+    pairs
+}
+
+/// Serves the whole event stream with ANN enabled and flushes, leaving the
+/// final epoch published.
+fn serve_all(d: &Dataset, seed: u64, ann: AnnOptions) -> ServeHandle {
+    let handle = ServeEngine::start(
+        d.prototype.clone(),
+        fast_model(d, seed),
+        ServeConfig {
+            train_batch: 64,
+            keep_history: 1_000_000,
+            ann: Some(ann),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    for &e in &d.edges {
+        handle.ingest(e).unwrap();
+    }
+    handle.flush().unwrap();
+    handle
+}
+
+/// ANN answers must recover ≥ 95% of the brute-force top-10 in aggregate,
+/// and every score they return must be bit-identical to the exact γ of that
+/// item — the index only proposes candidates, it never invents scores.
+#[test]
+fn ann_serving_recall_meets_floor_against_brute_force() {
+    let d = taobao(0.05, 23);
+    let handle = serve_all(
+        &d,
+        23,
+        AnnOptions {
+            guard_every: 1, // guard every ANN answer: full-coverage metric
+            ..AnnOptions::default()
+        },
+    );
+
+    let snap = handle.snapshot();
+    let mut acc = RecallAccumulator::default();
+    for (user, rel) in query_pairs(&d, 60) {
+        let res = handle.query(user, rel, 10);
+        assert_eq!(res.epoch, snap.epoch);
+        let exact = top_k_scored(&snap.scorer, user, handle.candidates(rel), rel, 10);
+        for &(item, score) in &res.items {
+            assert_eq!(
+                score.to_bits(),
+                snap.scorer.gamma(user, item, rel).to_bits(),
+                "user {} rel {}: ANN score for item {} is not the exact γ",
+                user.0,
+                rel.0,
+                item.0
+            );
+        }
+        acc.push(&exact, &res.items);
+    }
+    assert!(acc.mean() >= 0.95, "recall@10 = {}", acc.mean());
+
+    let m = handle.metrics();
+    assert!(m.ann_queries > 0, "queries should have used the index");
+    assert!(
+        m.ann_guard_checks > 0,
+        "guard_every=1 must check every answer"
+    );
+    assert!(m.ann_recall >= 0.95, "guard recall {}", m.ann_recall);
+    handle.shutdown();
+}
+
+/// Two identical runs must produce bit-identical ANN answers and identical
+/// index fingerprints, and every answer must verify against the epoch it
+/// claims — the dirty-node refresh is deterministic and the retained
+/// history re-runs the same ANN path.
+#[test]
+fn ann_serving_is_deterministic_and_epoch_verifiable() {
+    let d = taobao(0.02, 29);
+    let pairs = query_pairs(&d, 30);
+
+    let run = |verify: bool| {
+        let handle = serve_all(&d, 29, AnnOptions::default());
+        let mut answers = Vec::new();
+        for &(user, rel) in &pairs {
+            let res = handle.query(user, rel, 10);
+            if verify {
+                assert_eq!(
+                    handle.verify(user, rel, 10, &res),
+                    Some(true),
+                    "user {} rel {}: ANN answer failed epoch verification",
+                    user.0,
+                    rel.0
+                );
+            }
+            answers.push((
+                res.epoch,
+                res.items
+                    .iter()
+                    .map(|&(v, s)| (v, s.to_bits()))
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        let snap = handle.snapshot();
+        let ann = snap.ann.as_ref().expect("ANN epoch published");
+        let fingerprints: Vec<Option<u64>> = (0..d.prototype.schema().num_relations())
+            .map(|r| ann.index(RelationId(r as u16)).map(|i| i.fingerprint()))
+            .collect();
+        let report = handle.shutdown();
+        assert_eq!(report.metrics.torn_reads, 0);
+        (answers, fingerprints)
+    };
+
+    let (answers_a, prints_a) = run(true);
+    let (answers_b, prints_b) = run(false);
+    assert_eq!(answers_a, answers_b, "ANN answers must be bit-reproducible");
+    assert_eq!(
+        prints_a, prints_b,
+        "index fingerprints must be reproducible"
+    );
+    assert!(
+        prints_a.iter().any(Option::is_some),
+        "at least one relation should carry an index"
+    );
+}
+
+/// After training, the incrementally-refreshed index must hold the *current*
+/// composite of every candidate: an exact scan over its stored vectors must
+/// rank items identically to brute-forcing the published scorer.
+#[test]
+fn dirty_node_refresh_keeps_index_vectors_current() {
+    let d = taobao(0.02, 37);
+    let handle = serve_all(&d, 37, AnnOptions::default());
+    let snap = handle.snapshot();
+    let ann = snap.ann.as_ref().expect("ANN epoch published");
+    assert!(
+        snap.epoch > 1,
+        "stream should have published multiple epochs (got {})",
+        snap.epoch
+    );
+
+    let mut query = Vec::new();
+    for (user, rel) in query_pairs(&d, 20) {
+        let Some(index) = ann.index(rel) else {
+            continue;
+        };
+        snap.scorer.composite_into(user, rel, &mut query);
+        let mut stored: Vec<u32> = index.brute_force(&query, 10);
+        let mut exact: Vec<u32> = top_k_scored(&snap.scorer, user, handle.candidates(rel), rel, 10)
+            .iter()
+            .map(|&(v, _)| v.0)
+            .collect();
+        stored.sort_unstable();
+        exact.sort_unstable();
+        assert_eq!(
+            stored, exact,
+            "user {} rel {}: stored vectors diverge from the published scorer",
+            user.0, rel.0
+        );
+    }
+    handle.shutdown();
+}
+
+/// A beam as wide as the catalog cannot beat the scan, so the engine must
+/// fall back to exact brute force: answers bit-match the exact ranking and
+/// the ANN query counter stays at zero.
+#[test]
+fn catalog_wide_beam_falls_back_to_exact_scoring() {
+    let d = taobao(0.01, 43);
+    let handle = serve_all(
+        &d,
+        43,
+        AnnOptions {
+            ef_search: usize::MAX,
+            ..AnnOptions::default()
+        },
+    );
+    let snap = handle.snapshot();
+    for (user, rel) in query_pairs(&d, 12) {
+        let res = handle.query(user, rel, 10);
+        let exact = top_k_scored(&snap.scorer, user, handle.candidates(rel), rel, 10);
+        assert_eq!(res.items.len(), exact.len());
+        for (a, b) in res.items.iter().zip(&exact) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+    let report = handle.shutdown();
+    assert_eq!(
+        report.metrics.ann_queries, 0,
+        "fallback must skip the index"
+    );
+    assert_eq!(report.metrics.ann_guard_checks, 0);
+}
+
+/// The engine rejects unusable ANN configurations at startup instead of
+/// silently disabling the guard (a NaN floor compares false forever) or
+/// searching with an empty beam.
+#[test]
+fn engine_rejects_invalid_ann_options() {
+    let d = taobao(0.005, 41);
+    for (opts, needle) in [
+        (
+            AnnOptions {
+                min_recall: f64::NAN,
+                ..AnnOptions::default()
+            },
+            "min_recall",
+        ),
+        (
+            AnnOptions {
+                min_recall: 1.5,
+                ..AnnOptions::default()
+            },
+            "min_recall",
+        ),
+        (
+            AnnOptions {
+                ef_search: 0,
+                ..AnnOptions::default()
+            },
+            "ef_search",
+        ),
+    ] {
+        let err = ServeEngine::start(
+            d.prototype.clone(),
+            fast_model(&d, 41),
+            ServeConfig {
+                ann: Some(opts),
+                ..ServeConfig::default()
+            },
+        )
+        .err()
+        .expect("invalid ANN options must be rejected");
+        assert!(err.to_string().contains(needle), "{err}");
+    }
+}
