@@ -25,6 +25,48 @@ cargo run --release -p supa-bench --bin serve_bench -- \
   --scale 0.02 --events 1500 --readers 2 --queries 300 --seed 7 \
   --ann --guard-every 8 --min-recall 0.95
 
+# Block-mode bit-identity smoke: the admission layer's default policy must
+# leave the serving path byte-for-byte unchanged — the deterministic probe
+# digest of a run with every admission flag at its default must equal one
+# with the policy spelled out, and equal a sample-1-in-k run whose weighted
+# path degenerates to weight 1 off overload (large queue keeps the
+# detector calm).
+# (--batch 256 keeps the staleness-lag trigger, 8 chunks, beyond the
+# 1500-event stream, so the sampling run's detector can never go hot.)
+digest_of() { grep -o 'probe digest 0x[0-9a-f]*' | tail -n 1; }
+base_digest=$(cargo run --release -p supa-bench --bin serve_bench -- \
+  --scale 0.01 --events 1500 --readers 2 --queries 100 --seed 7 \
+  --batch 256 | digest_of)
+block_digest=$(cargo run --release -p supa-bench --bin serve_bench -- \
+  --scale 0.01 --events 1500 --readers 2 --queries 100 --seed 7 \
+  --batch 256 --shed-policy block | digest_of)
+sample_digest=$(cargo run --release -p supa-bench --bin serve_bench -- \
+  --scale 0.01 --events 1500 --readers 2 --queries 100 --seed 7 \
+  --batch 256 --shed-policy sample-1-in-k --queue 8192 | digest_of)
+[ -n "$base_digest" ] || { echo "ci: no probe digest in serve_bench output" >&2; exit 1; }
+[ "$base_digest" = "$block_digest" ] || {
+  echo "ci: --shed-policy block changed the probe digest ($base_digest vs $block_digest)" >&2
+  exit 1
+}
+[ "$base_digest" = "$sample_digest" ] || {
+  echo "ci: calm sample-1-in-k diverged from block ($base_digest vs $sample_digest)" >&2
+  exit 1
+}
+
+# Overload smoke: an open-loop Poisson burst calibrated to 2× the
+# sustainable ingest rate against a tiny queue. serve_bench exits non-zero
+# unless the admission layer shed events (--expect-shed), on any torn
+# read, and if query p99 exceeds the (generous, absolute) bound — shedding
+# must keep readers fast while the writer drowns.
+cargo run --release -p supa-bench --bin serve_bench -- \
+  --scale 0.01 --events 2000 --readers 2 --seed 7 --verify \
+  --open-loop --overload-factor 2.0 --queue 64 \
+  --shed-policy drop-oldest --expect-shed --max-p99-us 50000
+cargo run --release -p supa-bench --bin serve_bench -- \
+  --scale 0.01 --events 2000 --readers 2 --seed 7 --verify \
+  --open-loop --overload-factor 2.0 --queue 64 \
+  --shed-policy sample-1-in-k --sample-k 4 --expect-shed --max-p99-us 50000
+
 # Kernel timing gate: ns-per-call for the vector kernels plus the
 # adjacency-scan and whole-train-event macro benches, diffed against the
 # checked-in baseline. Fails on a >25% regression vs baseline or on the

@@ -1,4 +1,4 @@
-//! `serve_bench` — seeded closed-loop serving benchmark.
+//! `serve_bench` — seeded serving benchmark, closed- or open-loop.
 //!
 //! Replays a synthetic dataset's event stream through the `supa-serve`
 //! engine while reader threads issue query traffic, then prints the
@@ -10,6 +10,11 @@
 //!             [--readers 4] [--queries 500] [--top 10] [--batch 64]
 //!             [--dim 16] [--seed 7] [--workers 1] [--verify]
 //!             [--ann] [--ef-search 64] [--guard-every 64] [--min-recall 0.95]
+//!             [--shed-policy block|drop-oldest|sample-1-in-k] [--sample-k 8]
+//!             [--queue 0(=default)] [--metrics-dump FILE]
+//!             [--open-loop] [--arrival-rate 0(=calibrate)]
+//!             [--overload-factor 2.0] [--max-p99-us 0(=unbounded)]
+//!             [--expect-shed]
 //! ```
 //!
 //! The `events offered / admitted / applied` counts, epoch count, and probe
@@ -19,12 +24,25 @@
 //! `--ann` serves queries through per-epoch `supa-ann` indexes; the run
 //! fails if the sampled guard recall drops below `--min-recall` (so CI can
 //! gate ANN serving quality exactly as it gates torn reads).
+//!
+//! `--open-loop` switches to Poisson arrivals at `--arrival-rate` events/s
+//! that do **not** slow down when the engine lags — the overload scenario
+//! admission control exists for. With `--arrival-rate 0` the bench first
+//! times a closed-loop replay to estimate the sustainable ingest rate, then
+//! offers `--overload-factor` times that. The run fails on any torn read,
+//! on a query p99 above `--max-p99-us` (when set), and — under
+//! `--expect-shed` — if the admission layer shed nothing (the overload was
+//! not an overload).
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use supa::{InsLearnConfig, Supa, SupaConfig};
-use supa_datasets::all_datasets;
-use supa_serve::{run_closed_loop, AnnOptions, LoadConfig, ServeConfig};
+use supa_datasets::{all_datasets, Dataset};
+use supa_serve::{
+    run_closed_loop, run_open_loop, AdmissionOptions, AnnOptions, LoadConfig, OpenLoopConfig,
+    ServeConfig, ShedPolicy,
+};
 
 struct Args {
     dataset: String,
@@ -42,6 +60,15 @@ struct Args {
     ef_search: usize,
     guard_every: u64,
     min_recall: f64,
+    shed_policy: ShedPolicy,
+    sample_k: u32,
+    queue: usize,
+    metrics_dump: Option<std::path::PathBuf>,
+    open_loop: bool,
+    arrival_rate: f64,
+    overload_factor: f64,
+    max_p99_us: f64,
+    expect_shed: bool,
 }
 
 fn num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
@@ -65,6 +92,15 @@ fn parse_args() -> Result<Args, String> {
         ef_search: AnnOptions::default().ef_search,
         guard_every: AnnOptions::default().guard_every,
         min_recall: AnnOptions::default().min_recall,
+        shed_policy: ShedPolicy::Block,
+        sample_k: AdmissionOptions::default().sample_k,
+        queue: 0,
+        metrics_dump: None,
+        open_loop: false,
+        arrival_rate: 0.0,
+        overload_factor: 2.0,
+        max_p99_us: 0.0,
+        expect_shed: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,6 +110,14 @@ fn parse_args() -> Result<Args, String> {
         }
         if flag == "--ann" {
             a.ann = true;
+            continue;
+        }
+        if flag == "--open-loop" {
+            a.open_loop = true;
+            continue;
+        }
+        if flag == "--expect-shed" {
+            a.expect_shed = true;
             continue;
         }
         let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
@@ -91,36 +135,95 @@ fn parse_args() -> Result<Args, String> {
             "--ef-search" => a.ef_search = num(&flag, &v)?,
             "--guard-every" => a.guard_every = num(&flag, &v)?,
             "--min-recall" => a.min_recall = num(&flag, &v)?,
+            "--shed-policy" => a.shed_policy = v.parse().map_err(|e| format!("{flag}: {e}"))?,
+            "--sample-k" => a.sample_k = num(&flag, &v)?,
+            "--queue" => a.queue = num(&flag, &v)?,
+            "--metrics-dump" => a.metrics_dump = Some(v.clone().into()),
+            "--arrival-rate" => a.arrival_rate = num(&flag, &v)?,
+            "--overload-factor" => a.overload_factor = num(&flag, &v)?,
+            "--max-p99-us" => a.max_p99_us = num(&flag, &v)?,
             other => return Err(format!("unknown flag {other}")),
         }
     }
     Ok(a)
 }
 
-fn run() -> Result<(), String> {
-    let a = parse_args()?;
-    let mut d = all_datasets(a.scale, a.seed)
-        .into_iter()
-        .find(|d| {
-            d.name.to_lowercase().replace('.', "") == a.dataset.to_lowercase().replace('.', "")
-        })
-        .ok_or_else(|| format!("unknown dataset '{}'", a.dataset))?;
-    if a.events > 0 {
-        d.edges.truncate(a.events);
-    }
+fn build_model(d: &Dataset, a: &Args) -> Result<Supa, String> {
     let cfg = SupaConfig {
         dim: a.dim,
         ..SupaConfig::small()
     };
-    let model = Supa::from_dataset(&d, cfg, a.seed)
+    Ok(Supa::from_dataset(d, cfg, a.seed)
         .map_err(|e| e.to_string())?
         .with_inslearn(InsLearnConfig {
             batch_size: a.batch.max(1024),
             ..InsLearnConfig::fast()
-        });
+        }))
+}
 
+fn serve_config(a: &Args) -> ServeConfig {
+    let mut cfg = ServeConfig {
+        train_batch: a.batch,
+        workers: a.workers,
+        ann: a.ann.then(|| AnnOptions {
+            ef_search: a.ef_search,
+            guard_every: a.guard_every,
+            min_recall: a.min_recall,
+            seed: a.seed,
+            ..AnnOptions::default()
+        }),
+        admission: AdmissionOptions {
+            policy: a.shed_policy,
+            sample_k: a.sample_k,
+            ..AdmissionOptions::default()
+        },
+        ..ServeConfig::default()
+    };
+    if a.queue > 0 {
+        cfg.queue_capacity = a.queue;
+    }
+    cfg
+}
+
+fn load_config(a: &Args) -> LoadConfig {
+    LoadConfig {
+        readers: a.readers,
+        top_k: a.top,
+        queries_per_reader: a.queries,
+        seed: a.seed,
+        warmup_per_reader: 8,
+        verify: a.verify,
+        metrics_dump: a.metrics_dump.clone(),
+    }
+}
+
+/// Times a quiet closed-loop replay (no readers, default `block` admission)
+/// to estimate the sustainable ingest rate in events/s.
+fn calibrate_rate(d: &Dataset, a: &Args) -> Result<f64, String> {
+    let model = build_model(d, a)?;
+    let cfg = ServeConfig {
+        train_batch: a.batch,
+        workers: a.workers,
+        ..ServeConfig::default()
+    };
+    let load = LoadConfig {
+        readers: 0,
+        queries_per_reader: 0,
+        seed: a.seed,
+        verify: false,
+        metrics_dump: None,
+        ..LoadConfig::default()
+    };
+    let t0 = Instant::now();
+    let report = run_closed_loop(d, model, cfg, load).map_err(|e| e.to_string())?;
+    let secs = t0.elapsed().as_secs_f64().max(1e-6);
+    Ok((report.events_offered as f64 / secs).max(1.0))
+}
+
+fn run_closed(d: &Dataset, a: &Args) -> Result<(), String> {
+    let model = build_model(d, a)?;
     println!(
-        "serve_bench: {} ({} events), {} readers × {} queries, top-{}, chunk {}, seed {}{}{}",
+        "serve_bench: {} ({} events), {} readers × {} queries, top-{}, chunk {}, seed {}, {}{}{}",
         d.name,
         d.edges.len(),
         a.readers,
@@ -128,6 +231,7 @@ fn run() -> Result<(), String> {
         a.top,
         a.batch,
         a.seed,
+        a.shed_policy,
         if a.verify { ", verifying" } else { "" },
         if a.ann {
             format!(", ann ef={}", a.ef_search)
@@ -135,32 +239,8 @@ fn run() -> Result<(), String> {
             String::new()
         },
     );
-    let ann = a.ann.then(|| AnnOptions {
-        ef_search: a.ef_search,
-        guard_every: a.guard_every,
-        min_recall: a.min_recall,
-        seed: a.seed,
-        ..AnnOptions::default()
-    });
-    let report = run_closed_loop(
-        &d,
-        model,
-        ServeConfig {
-            train_batch: a.batch,
-            workers: a.workers,
-            ann,
-            ..ServeConfig::default()
-        },
-        LoadConfig {
-            readers: a.readers,
-            top_k: a.top,
-            queries_per_reader: a.queries,
-            seed: a.seed,
-            warmup_per_reader: 8,
-            verify: a.verify,
-        },
-    )
-    .map_err(|e| e.to_string())?;
+    let report =
+        run_closed_loop(d, model, serve_config(a), load_config(a)).map_err(|e| e.to_string())?;
     println!("{report}");
 
     if report.metrics.torn_reads > 0 {
@@ -184,6 +264,89 @@ fn run() -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn run_open(d: &Dataset, a: &Args) -> Result<(), String> {
+    let rate = if a.arrival_rate > 0.0 {
+        a.arrival_rate
+    } else {
+        if !(a.overload_factor.is_finite() && a.overload_factor > 0.0) {
+            return Err(format!(
+                "--overload-factor: must be positive, got {}",
+                a.overload_factor
+            ));
+        }
+        let sustainable = calibrate_rate(d, a)?;
+        let rate = sustainable * a.overload_factor;
+        println!(
+            "calibrated: ~{sustainable:.0} ev/s sustainable, offering {rate:.0} ev/s \
+             ({}× overload)",
+            a.overload_factor
+        );
+        rate
+    };
+    let model = build_model(d, a)?;
+    println!(
+        "serve_bench: {} ({} events), open loop @ {:.0} ev/s, {} readers, top-{}, chunk {}, \
+         seed {}, {}",
+        d.name,
+        d.edges.len(),
+        rate,
+        a.readers,
+        a.top,
+        a.batch,
+        a.seed,
+        a.shed_policy,
+    );
+    let open = OpenLoopConfig {
+        arrival_rate: rate,
+        events: d.edges.len(),
+        ..OpenLoopConfig::default()
+    };
+    let report = run_open_loop(d, model, serve_config(a), load_config(a), open)
+        .map_err(|e| e.to_string())?;
+    println!("{report}");
+
+    if report.metrics.torn_reads > 0 {
+        return Err(format!(
+            "{} torn reads — epoch consistency violated",
+            report.metrics.torn_reads
+        ));
+    }
+    if report.queries == 0 {
+        return Err("no queries served during the burst".into());
+    }
+    if a.expect_shed && report.metrics.events_shed() == 0 {
+        return Err(format!(
+            "--expect-shed: the admission layer shed nothing at {rate:.0} ev/s \
+             (overload did not overload; raise --arrival-rate or shrink --queue)"
+        ));
+    }
+    if a.max_p99_us > 0.0 && report.query_p99_us > a.max_p99_us {
+        return Err(format!(
+            "query p99 {:.1} µs above the --max-p99-us bound {:.1} µs",
+            report.query_p99_us, a.max_p99_us
+        ));
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let a = parse_args()?;
+    let mut d = all_datasets(a.scale, a.seed)
+        .into_iter()
+        .find(|d| {
+            d.name.to_lowercase().replace('.', "") == a.dataset.to_lowercase().replace('.', "")
+        })
+        .ok_or_else(|| format!("unknown dataset '{}'", a.dataset))?;
+    if a.events > 0 {
+        d.edges.truncate(a.events);
+    }
+    if a.open_loop {
+        run_open(&d, &a)
+    } else {
+        run_closed(&d, &a)
+    }
 }
 
 fn main() -> ExitCode {

@@ -799,6 +799,7 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
                 seed: cfg.seed,
                 warmup_per_reader: 8,
                 verify: false,
+                metrics_dump: None,
             },
         )
         .expect("closed-loop serving");
@@ -1026,6 +1027,180 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
         Err(e) => eprintln!("[throughput] could not write {}: {e}", path.display()),
     }
     t.save_tsv("throughput.tsv").ok();
+    vec![t]
+}
+
+/// Overload robustness benchmark (admission-control PR): times a quiet
+/// closed-loop replay to calibrate the sustainable ingest rate, then
+/// offers a 2× open-loop Poisson burst under each shedding policy and
+/// records shed counts per priority class, the degradation ladder's peak
+/// and recovery, achieved rate, and exact query tail latency. `block` runs
+/// as the contrast row: it sheds nothing but its achieved rate sags to the
+/// sustainable rate (backpressure), which is exactly the trade the
+/// shedding policies exist to escape.
+///
+/// Besides the usual table/TSV, writes machine-readable
+/// `BENCH_overload.json` at the repo root. Rates and latencies are
+/// machine-dependent; shed/ladder *behavior* under a genuine 2× burst is
+/// not (see `tests/overload.rs`).
+pub fn overload(cfg: &HarnessConfig) -> Vec<Table> {
+    use std::time::{Duration, Instant};
+    use supa_serve::{
+        run_closed_loop, run_open_loop, AdmissionOptions, LoadConfig, OpenLoopConfig, ServeConfig,
+        ShedPolicy,
+    };
+
+    const FACTOR: f64 = 2.0;
+    let mut d = make_dataset("Taobao", cfg);
+    if cfg.quick {
+        d.edges.truncate(2_000);
+    }
+    let serve_cfg = |policy: ShedPolicy| ServeConfig {
+        train_batch: 64,
+        queue_capacity: 256,
+        admission: AdmissionOptions {
+            policy,
+            ..AdmissionOptions::default()
+        },
+        ..ServeConfig::default()
+    };
+
+    // Calibrate: a quiet closed-loop replay (block policy, no readers)
+    // bounds the sustainable ingest rate; the burst offers FACTOR times it.
+    let t0 = Instant::now();
+    let cal = run_closed_loop(
+        &d,
+        make_supa(&d, cfg),
+        serve_cfg(ShedPolicy::Block),
+        LoadConfig {
+            readers: 0,
+            queries_per_reader: 0,
+            seed: cfg.seed,
+            verify: false,
+            ..LoadConfig::default()
+        },
+    )
+    .expect("calibration replay");
+    let cal_secs = t0.elapsed().as_secs_f64().max(1e-6);
+    let sustainable = (cal.events_offered as f64 / cal_secs).max(1.0);
+    let rate = sustainable * FACTOR;
+    eprintln!(
+        "[overload] ~{sustainable:.0} ev/s sustainable, bursting at {rate:.0} ev/s ({FACTOR}×)"
+    );
+
+    let mut t = Table::new(
+        "Overload — 2× open-loop burst per shedding policy",
+        vec![
+            "policy".into(),
+            "achieved".into(),
+            "shed".into(),
+            "resampled".into(),
+            "ladder".into(),
+            "p99".into(),
+            "torn".into(),
+        ],
+    );
+    let mut runs = Vec::new();
+    for policy in [
+        ShedPolicy::Block,
+        ShedPolicy::DropOldest,
+        ShedPolicy::SampleOneInK,
+    ] {
+        let report = run_open_loop(
+            &d,
+            make_supa(&d, cfg),
+            serve_cfg(policy),
+            LoadConfig {
+                readers: 2,
+                seed: cfg.seed,
+                verify: true,
+                ..LoadConfig::default()
+            },
+            OpenLoopConfig {
+                arrival_rate: rate,
+                events: d.edges.len(),
+                recovery_timeout: Duration::from_secs(15),
+            },
+        )
+        .expect("open-loop burst");
+        let m = &report.metrics;
+        eprintln!(
+            "[overload] {policy}: ~{:.0} ev/s achieved, {} shed, {} resampled, \
+             ladder max {} final {}, p99 {:.0}µs",
+            report.achieved_rate,
+            m.events_shed(),
+            m.events_resampled,
+            m.degradation_max,
+            report.final_level,
+            report.query_p99_us,
+        );
+        t.push(vec![
+            policy.to_string(),
+            format!("{:.0} ev/s", report.achieved_rate),
+            format!(
+                "{} (l {} / n {} / h {})",
+                m.events_shed(),
+                m.events_shed_low,
+                m.events_shed_normal,
+                m.events_shed_high
+            ),
+            m.events_resampled.to_string(),
+            format!("max {} final {}", m.degradation_max, report.final_level),
+            format!("{:.0}µs", report.query_p99_us),
+            m.torn_reads.to_string(),
+        ]);
+        runs.push((policy, report));
+    }
+
+    // --- machine-readable artefact at the repo root ----------------------
+    let jarr = |items: Vec<String>| format!("[\n    {}\n  ]", items.join(",\n    "));
+    let runs_json = jarr(
+        runs.iter()
+            .map(|(policy, r)| {
+                let m = &r.metrics;
+                format!(
+                    "{{\"policy\": \"{policy}\", \"offered\": {}, \
+                     \"achieved_rate\": {:.1}, \"events_shed\": {}, \
+                     \"shed_low\": {}, \"shed_normal\": {}, \"shed_high\": {}, \
+                     \"events_resampled\": {}, \"degradation_max\": {}, \
+                     \"final_level\": {}, \"queries\": {}, \"p50_us\": {:.1}, \
+                     \"p99_us\": {:.1}, \"torn_reads\": {}}}",
+                    r.events_offered,
+                    r.achieved_rate,
+                    m.events_shed(),
+                    m.events_shed_low,
+                    m.events_shed_normal,
+                    m.events_shed_high,
+                    m.events_resampled,
+                    m.degradation_max,
+                    r.final_level,
+                    r.queries,
+                    r.query_p50_us,
+                    r.query_p99_us,
+                    m.torn_reads,
+                )
+            })
+            .collect(),
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"overload\",\n  \"dataset\": \"{}\",\n  \
+         \"scale\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
+         \"events\": {},\n  \"sustainable_rate\": {sustainable:.1},\n  \
+         \"offered_rate\": {rate:.1},\n  \"overload_factor\": {FACTOR},\n  \
+         \"queue_capacity\": 256,\n  \"runs\": {runs_json}\n}}\n",
+        d.name,
+        cfg.scale,
+        cfg.seed,
+        cfg.quick,
+        d.edges.len(),
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_overload.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[overload] wrote {}", path.display()),
+        Err(e) => eprintln!("[overload] could not write {}: {e}", path.display()),
+    }
+    t.save_tsv("overload.tsv").ok();
     vec![t]
 }
 

@@ -350,8 +350,15 @@ impl Supa {
     }
 
     /// Applies a gradient bundle with per-row Adam (and Adam on the `α`s).
+    ///
+    /// The event's importance weight scales the *learning rate*, not the
+    /// gradient: Adam's `m̂/√v̂` step is invariant to gradient scale, so an
+    /// lr scale is the only knob that actually applies `w×` the update mass
+    /// (the basis of sample-1-in-k shedding's unbiased reweighting). With
+    /// the default weight of exactly `1.0` the product is bit-identical to
+    /// the unweighted rate.
     pub(crate) fn apply_grads(&mut self, grads: &EventGrads) {
-        let lr = self.cfg.learning_rate;
+        let lr = self.cfg.learning_rate * self.event_weight;
         if let Some(log) = &mut self.touch_log {
             log.extend(grads.iter_rows().map(|(_, node, _)| node));
         }
@@ -428,6 +435,43 @@ impl Supa {
         total / edges.len() as f64
     }
 
+    /// [`Supa::train_pass`] with an optional per-event importance weight:
+    /// event `i`'s parameter update (the applied Adam step, see
+    /// [`Supa::apply_grads`]) is scaled by `weights[i]`. A shedding sampler
+    /// that admits 1-in-`k` events and trains the survivors with weight `k`
+    /// preserves the stream's expected update mass.
+    ///
+    /// `weights: None` is the exact unweighted pass — same code path,
+    /// bit-identical results.
+    pub fn train_pass_weighted(
+        &mut self,
+        g: &Dmhg,
+        edges: &[TemporalEdge],
+        weights: Option<&[f32]>,
+    ) -> f64 {
+        let Some(w) = weights else {
+            return self.train_pass(g, edges);
+        };
+        assert_eq!(
+            edges.len(),
+            w.len(),
+            "train_pass_weighted: one weight per event"
+        );
+        if self.workers > 1 {
+            return self.train_pass_batched_impl(g, edges, Some(w), self.workers);
+        }
+        if edges.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for (e, &wt) in edges.iter().zip(w) {
+            self.event_weight = wt;
+            total += self.train_edge(g, e).total();
+        }
+        self.event_weight = 1.0;
+        total / edges.len() as f64
+    }
+
     /// Conflict-aware event micro-batching: trains `edges` with gradient
     /// computation fanned out across `workers` threads while preserving the
     /// stream curriculum.
@@ -468,6 +512,20 @@ impl Supa {
     /// serial result only in that the `α` scalars are frozen per wave
     /// instead of per event.
     pub fn train_pass_batched(&mut self, g: &Dmhg, edges: &[TemporalEdge], workers: usize) -> f64 {
+        self.train_pass_batched_impl(g, edges, None, workers)
+    }
+
+    /// Batched pass body; `weights` (if any) scales event `i`'s applied
+    /// update exactly as in [`Supa::train_pass_weighted`]. Application is
+    /// serial and in stream order in every branch, so the per-event weight
+    /// is set immediately before each `apply_grads`.
+    fn train_pass_batched_impl(
+        &mut self,
+        g: &Dmhg,
+        edges: &[TemporalEdge],
+        weights: Option<&[f32]>,
+        workers: usize,
+    ) -> f64 {
         let workers = supa_par::effective_workers(workers).max(1);
         if edges.is_empty() {
             return 0.0;
@@ -475,8 +533,14 @@ impl Supa {
         let fan_out = workers.min(supa_par::available_workers()).max(1);
         if fan_out <= 1 {
             let mut total = 0.0;
-            for e in edges {
+            for (k, e) in edges.iter().enumerate() {
+                if let Some(w) = weights {
+                    self.event_weight = w[k];
+                }
                 total += self.train_edge(g, e).total();
+            }
+            if weights.is_some() {
+                self.event_weight = 1.0;
             }
             return total / edges.len() as f64;
         }
@@ -537,7 +601,10 @@ impl Supa {
                     scratch.wave[k].loss = loss;
                 }
                 // Phase 4 — serial, in-order application.
-                for ws in &scratch.wave[..wave] {
+                for (k, ws) in scratch.wave[..wave].iter().enumerate() {
+                    if let Some(w) = weights {
+                        self.event_weight = w[start + k];
+                    }
                     total += ws.loss.total();
                     self.apply_grads(&ws.grads);
                 }
@@ -552,12 +619,18 @@ impl Supa {
                         (loss, ws)
                     })
                 };
-                for (loss, ws) in &results {
+                for (k, (loss, ws)) in results.iter().enumerate() {
+                    if let Some(w) = weights {
+                        self.event_weight = w[start + k];
+                    }
                     total += loss.total();
                     self.apply_grads(&ws.grads);
                 }
             }
             start = end;
+        }
+        if weights.is_some() {
+            self.event_weight = 1.0;
         }
         self.scratch = scratch;
         total / edges.len() as f64

@@ -147,6 +147,11 @@ pub struct TrainOptions<'a> {
     pub resume: bool,
     /// Called after every training iteration. Not for production use.
     pub iter_hook: Option<IterHook<'a>>,
+    /// Per-event importance weights, aligned with `edges` (one per event).
+    /// Event `i`'s applied update is scaled by `weights[i]`; validation is
+    /// never weighted. `None` (the default) is the exact unweighted run.
+    /// See [`Supa::train_pass_weighted`].
+    pub weights: Option<&'a [f32]>,
 }
 
 /// What happened during one InsLearn run.
@@ -287,6 +292,14 @@ impl Supa {
                 resume_outcome = Some(outcome);
             }
         }
+        if let Some(w) = opts.weights {
+            assert_eq!(
+                w.len(),
+                edges.len(),
+                "TrainOptions::weights must carry one weight per edge"
+            );
+        }
+        let weights = opts.weights.map(|w| &w[consumed as usize..]);
         let edges = &edges[consumed as usize..];
         if edges.is_empty() {
             return Ok((report, resume_outcome));
@@ -302,6 +315,12 @@ impl Supa {
         let mut last_saved: Option<u64> = None;
         for batch in sequential_batches(edges, cfg.batch_size) {
             report.batches += 1;
+            // `sequential_batches` yields subslices of `edges`, so the
+            // batch's offset (and thus its weight window) falls out of
+            // pointer arithmetic.
+            let offset =
+                (batch.as_ptr() as usize - edges.as_ptr() as usize) / size_of::<TemporalEdge>();
+            let batch_weights = weights.map(|w| &w[offset..offset + batch.len()]);
             // STEP 2: split off the validation suffix (clamped so tiny
             // batches still mostly train).
             let valid_size = cfg.valid_size.min(batch.len() / 5);
@@ -309,7 +328,7 @@ impl Supa {
                 // Unvalidatable batch: single pass, but still guarded.
                 let entry = guard.enabled.then(|| self.snapshot());
                 report.iterations += 1;
-                report.final_loss = self.train_pass(g, batch);
+                report.final_loss = self.train_pass_weighted(g, batch, batch_weights);
                 if let Some(hook) = opts.iter_hook.as_mut() {
                     hook(self, global_iter);
                 }
@@ -335,7 +354,11 @@ impl Supa {
                 let mut retries = 0usize;
                 for i in 1..=cfg.n_iter {
                     report.iterations += 1;
-                    let loss = self.train_pass(g, train_part);
+                    let loss = self.train_pass_weighted(
+                        g,
+                        train_part,
+                        batch_weights.map(|w| &w[..train_part.len()]),
+                    );
                     report.final_loss = loss;
                     if let Some(hook) = opts.iter_hook.as_mut() {
                         hook(self, global_iter);

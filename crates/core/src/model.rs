@@ -144,6 +144,12 @@ pub struct Supa {
     /// Worker threads used by `train_pass` for conflict-aware event
     /// micro-batching. `1` (the default) is the exact serial path.
     pub(crate) workers: usize,
+    /// Importance weight applied to the *next* event's parameter update.
+    /// Scales the Adam step (the learning rate), not the raw gradient:
+    /// Adam's `m̂/√v̂` normalisation is scale-invariant in the gradient, so
+    /// only an lr scale actually moves `w×` the update mass. `1.0` outside
+    /// weighted passes; see `Supa::train_pass_weighted`.
+    pub(crate) event_weight: f32,
     /// Per node type: `(node count, total degree)` observed at the last
     /// negative-sampler rebuild, for the degree-delta refresh gate.
     pub(crate) sampler_stats: Vec<(usize, f64)>,
@@ -212,6 +218,7 @@ impl Supa {
             inslearn_cfg: crate::inslearn::InsLearnConfig::default(),
             touch_log: None,
             workers: 1,
+            event_weight: 1.0,
             sampler_stats: vec![(0, 0.0); schema.num_node_types()],
             scratch: crate::scratch::SupaScratch::default(),
             name: "SUPA".to_string(),

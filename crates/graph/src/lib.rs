@@ -47,6 +47,7 @@ pub mod guard;
 pub mod ids;
 pub mod metapath;
 pub mod mining;
+pub mod priority;
 #[cfg(test)]
 mod reference;
 pub mod schema;
@@ -63,6 +64,7 @@ pub use guard::{
 pub use ids::{NodeId, NodeTypeId, RelationId, RelationSet, Timestamp};
 pub use metapath::MetapathSchema;
 pub use mining::{mine_metapaths, MinedMetapath, MiningConfig};
+pub use priority::{EventPriority, PriorityMap};
 pub use schema::GraphSchema;
 pub use stats::GraphStats;
 pub use stream::{sequential_batches, sort_by_time, temporal_slices, TemporalEdge};

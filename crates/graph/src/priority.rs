@@ -1,0 +1,215 @@
+//! Event priority classes for ingest admission control.
+//!
+//! Lives next to the [`StreamGuard`](crate::guard::StreamGuard): both
+//! classify raw stream events before they reach training — the guard by
+//! well-formedness, this module by business value. When an overloaded
+//! serving engine must shed load, a purchase event should outlive an
+//! impression; a [`PriorityMap`] encodes that ordering per relation so the
+//! shedding policies in `supa-serve` can consult it on the ingest hot path
+//! (a single indexed load, no hashing).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::ids::RelationId;
+use crate::schema::GraphSchema;
+
+/// How much an event class is worth when load must be shed. Ordered:
+/// `Low < Normal < High`; the degradation ladder sheds `Low` first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum EventPriority {
+    /// First to go under overload (impressions, page views).
+    Low,
+    /// The default class for unmapped relations.
+    #[default]
+    Normal,
+    /// Shed only when the ladder reaches uniform shedding (purchases).
+    High,
+}
+
+impl EventPriority {
+    /// Dense index (0, 1, 2) for per-class counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            EventPriority::Low => 0,
+            EventPriority::Normal => 1,
+            EventPriority::High => 2,
+        }
+    }
+
+    /// The flag-style name (`low` / `normal` / `high`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventPriority::Low => "low",
+            EventPriority::Normal => "normal",
+            EventPriority::High => "high",
+        }
+    }
+}
+
+impl fmt::Display for EventPriority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EventPriority {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "low" => Ok(EventPriority::Low),
+            "normal" => Ok(EventPriority::Normal),
+            "high" => Ok(EventPriority::High),
+            other => Err(format!(
+                "unknown event priority '{other}' (expected low|normal|high)"
+            )),
+        }
+    }
+}
+
+/// Per-relation priority classes with a default for unmapped relations.
+///
+/// The map is dense over relation ids so [`PriorityMap::classify`] is one
+/// bounds-checked load — cheap enough for every admission decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PriorityMap {
+    by_relation: Vec<EventPriority>,
+    default: EventPriority,
+}
+
+impl Default for PriorityMap {
+    fn default() -> Self {
+        PriorityMap {
+            by_relation: Vec::new(),
+            default: EventPriority::Normal,
+        }
+    }
+}
+
+impl PriorityMap {
+    /// A map with no per-relation overrides; everything classifies as
+    /// `default`. Note such a map [`is_empty`](PriorityMap::is_empty) —
+    /// configuring one for admission control is rejected as nonsensical.
+    pub fn uniform(default: EventPriority) -> Self {
+        PriorityMap {
+            by_relation: Vec::new(),
+            default,
+        }
+    }
+
+    /// Assigns a class to one relation (growing the dense table as needed).
+    pub fn set(&mut self, rel: RelationId, priority: EventPriority) {
+        let idx = rel.0 as usize;
+        if idx >= self.by_relation.len() {
+            self.by_relation.resize(idx + 1, self.default);
+        }
+        self.by_relation[idx] = priority;
+    }
+
+    /// Builder-style [`PriorityMap::set`].
+    pub fn with(mut self, rel: RelationId, priority: EventPriority) -> Self {
+        self.set(rel, priority);
+        self
+    }
+
+    /// The class of `rel` (the default for unmapped relations).
+    #[inline]
+    pub fn classify(&self, rel: RelationId) -> EventPriority {
+        self.by_relation
+            .get(rel.0 as usize)
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// `true` when the map carries no per-relation overrides at all.
+    pub fn is_empty(&self) -> bool {
+        self.by_relation.is_empty()
+    }
+
+    /// Parses a `Rel=class[,Rel=class...]` spec (e.g. `Buy=high,Pv=low`)
+    /// against the schema's relation names. Empty specs, unknown relations,
+    /// unknown classes, and malformed entries are all named errors.
+    pub fn parse(spec: &str, schema: &GraphSchema) -> Result<Self, String> {
+        if spec.trim().is_empty() {
+            return Err(
+                "empty priority map: expected 'Relation=low|normal|high[,...]'".to_string(),
+            );
+        }
+        let mut map = PriorityMap::default();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            let (name, class) = entry.split_once('=').ok_or_else(|| {
+                format!("malformed priority entry '{entry}' (expected Relation=low|normal|high)")
+            })?;
+            let rel = schema.relation_by_name(name.trim()).ok_or_else(|| {
+                let known: Vec<&str> = schema.relations().map(|(_, s)| s.name.as_str()).collect();
+                format!(
+                    "unknown relation '{}' in priority map (schema has: {})",
+                    name.trim(),
+                    known.join(", ")
+                )
+            })?;
+            map.set(rel, class.trim().parse::<EventPriority>()?);
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> GraphSchema {
+        let mut s = GraphSchema::new();
+        let user = s.add_node_type("User");
+        let item = s.add_node_type("Item");
+        s.add_relation("Pv", user, item);
+        s.add_relation("Buy", user, item);
+        s
+    }
+
+    #[test]
+    fn priorities_order_and_roundtrip() {
+        assert!(EventPriority::Low < EventPriority::Normal);
+        assert!(EventPriority::Normal < EventPriority::High);
+        for p in [
+            EventPriority::Low,
+            EventPriority::Normal,
+            EventPriority::High,
+        ] {
+            assert_eq!(p.name().parse::<EventPriority>().unwrap(), p);
+        }
+        let err = "urgent".parse::<EventPriority>().unwrap_err();
+        assert!(err.contains("urgent") && err.contains("low|normal|high"));
+    }
+
+    #[test]
+    fn classify_defaults_to_normal_for_unmapped_relations() {
+        let map = PriorityMap::default().with(RelationId(1), EventPriority::High);
+        assert_eq!(map.classify(RelationId(1)), EventPriority::High);
+        assert_eq!(map.classify(RelationId(0)), EventPriority::Normal);
+        assert_eq!(map.classify(RelationId(999)), EventPriority::Normal);
+        assert!(!map.is_empty());
+        assert!(PriorityMap::default().is_empty());
+        assert!(PriorityMap::uniform(EventPriority::High).is_empty());
+    }
+
+    #[test]
+    fn parse_resolves_names_and_rejects_bad_specs() {
+        let s = schema();
+        let map = PriorityMap::parse("Buy=high, Pv=low", &s).unwrap();
+        assert_eq!(map.classify(RelationId(1)), EventPriority::High);
+        assert_eq!(map.classify(RelationId(0)), EventPriority::Low);
+
+        let err = PriorityMap::parse("", &s).unwrap_err();
+        assert!(err.contains("empty priority map"), "{err}");
+        let err = PriorityMap::parse("Nope=high", &s).unwrap_err();
+        assert!(err.contains("unknown relation 'Nope'"), "{err}");
+        assert!(err.contains("Pv") && err.contains("Buy"), "{err}");
+        let err = PriorityMap::parse("Buy=urgent", &s).unwrap_err();
+        assert!(err.contains("unknown event priority"), "{err}");
+        let err = PriorityMap::parse("Buy", &s).unwrap_err();
+        assert!(err.contains("malformed priority entry"), "{err}");
+    }
+}

@@ -1,0 +1,514 @@
+//! Admission control: shedding policies, the overload detector, and the
+//! degradation ladder.
+//!
+//! The serving engine's only overload response used to be blocking
+//! producers on a full queue — correct, but under sustained overload it
+//! turns into upstream collapse. This module puts an explicit policy in
+//! front of the writer:
+//!
+//! - **[`ShedPolicy::Block`]** (default): today's behavior, bit-identical —
+//!   producers block, nothing is shed, the ladder stays at level 0.
+//! - **[`ShedPolicy::DropOldest`]**: on a full queue at shedding levels the
+//!   oldest queued event is evicted (uniform shedding) or the incoming
+//!   low-priority event is dropped (priority shedding); producers never
+//!   block once the ladder reaches uniform shedding.
+//! - **[`ShedPolicy::SampleOneInK`]**: deterministic 1-in-`k` counter
+//!   sampling per priority class; survivors carry weight `k` so their
+//!   training update is scaled by `k` (via the learning rate — under Adam
+//!   the applied step is the unit that carries update mass), keeping the
+//!   *expected* update mass of the stream unbiased.
+//!
+//! The overload detector ([`AdmissionCtl::observe`]) watches queue
+//! occupancy and writer staleness and steps through the degradation
+//! ladder ([`DegradeLevel`]): full service → larger training chunks →
+//! shed low-priority → shed uniformly. Escalation requires a streak of
+//! hot observations and de-escalation a (longer) streak of calm ones, so
+//! the level never flaps at a watermark boundary.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering::Relaxed};
+
+use supa_graph::{EventPriority, PriorityMap, RelationId};
+
+use crate::metrics::ServeMetrics;
+
+/// What to do with an incoming event when the engine is overloaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Block the producer until the queue has room (classic backpressure;
+    /// never sheds, degradation ladder disabled).
+    #[default]
+    Block,
+    /// Evict the oldest queued event to admit the newest (at the
+    /// priority-shedding level, drop incoming low-priority events instead).
+    DropOldest,
+    /// Admit 1 in `sample_k` shed-eligible events, reweighting survivors by
+    /// `k` so expected update mass is preserved.
+    SampleOneInK,
+}
+
+impl ShedPolicy {
+    /// The flag-style name (`block` / `drop-oldest` / `sample-1-in-k`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedPolicy::Block => "block",
+            ShedPolicy::DropOldest => "drop-oldest",
+            ShedPolicy::SampleOneInK => "sample-1-in-k",
+        }
+    }
+}
+
+impl fmt::Display for ShedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ShedPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "block" => Ok(ShedPolicy::Block),
+            "drop-oldest" => Ok(ShedPolicy::DropOldest),
+            "sample-1-in-k" | "sample" => Ok(ShedPolicy::SampleOneInK),
+            other => Err(format!(
+                "unknown shed policy '{other}' (expected block|drop-oldest|sample-1-in-k)"
+            )),
+        }
+    }
+}
+
+/// The degradation ladder: each level trades a little service quality for
+/// headroom, and the engine climbs/descends one rung at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum DegradeLevel {
+    /// Full service: nothing shed, normal chunking.
+    Full = 0,
+    /// Training chunks are scaled up ([`AdmissionOptions::chunk_scale`]) so
+    /// the writer amortizes publication and catches up.
+    WideChunks = 1,
+    /// Low-priority events are shed (by the configured policy).
+    ShedLow = 2,
+    /// All events are shed-eligible, regardless of priority.
+    ShedAll = 3,
+}
+
+impl DegradeLevel {
+    /// Ladder level as a small integer (0–3).
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    pub(crate) fn from_u8(v: u8) -> DegradeLevel {
+        match v {
+            0 => DegradeLevel::Full,
+            1 => DegradeLevel::WideChunks,
+            2 => DegradeLevel::ShedLow,
+            _ => DegradeLevel::ShedAll,
+        }
+    }
+}
+
+const MAX_LEVEL: u8 = DegradeLevel::ShedAll as u8;
+
+/// Admission-control configuration ([`crate::ServeConfig::admission`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionOptions {
+    /// The shedding policy (default [`ShedPolicy::Block`]: exact legacy
+    /// behavior, detector off).
+    pub policy: ShedPolicy,
+    /// Admit 1 in `sample_k` shed-eligible events under
+    /// [`ShedPolicy::SampleOneInK`]; survivors train with weight `k`.
+    pub sample_k: u32,
+    /// Per-relation priority classes; `None` treats every event as
+    /// [`EventPriority::Normal`]. A supplied map must carry at least one
+    /// per-relation entry.
+    pub priorities: Option<PriorityMap>,
+    /// Queue occupancy fraction at or above which an observation counts as
+    /// hot (overloaded).
+    pub high_watermark: f64,
+    /// Queue occupancy fraction at or below which an observation counts as
+    /// calm (eligible for de-escalation).
+    pub low_watermark: f64,
+    /// Consecutive hot observations required per escalation step.
+    pub escalate_window: u32,
+    /// Consecutive calm observations required per de-escalation step
+    /// (recovery hysteresis; larger = slower, smoother descent).
+    pub recovery_window: u32,
+    /// Staleness at or above `lag_chunks × train_batch` events also counts
+    /// as hot, so a writer that falls behind without a full queue (large
+    /// capacities) still degrades.
+    pub lag_chunks: u64,
+    /// Training-chunk multiplier applied from [`DegradeLevel::WideChunks`]
+    /// upward.
+    pub chunk_scale: usize,
+}
+
+impl Default for AdmissionOptions {
+    fn default() -> Self {
+        AdmissionOptions {
+            policy: ShedPolicy::Block,
+            sample_k: 8,
+            priorities: None,
+            high_watermark: 0.875,
+            low_watermark: 0.5,
+            escalate_window: 8,
+            recovery_window: 32,
+            lag_chunks: 8,
+            chunk_scale: 4,
+        }
+    }
+}
+
+impl AdmissionOptions {
+    /// Rejects nonsensical configuration with a named error (no silent
+    /// clamping): zero queue capacity, a zero sampling divisor, an empty
+    /// priority map, inverted or non-finite watermarks, and zero windows.
+    pub fn validate(&self, queue_capacity: usize) -> Result<(), String> {
+        if queue_capacity == 0 {
+            return Err(
+                "queue_capacity must be at least 1 (a zero-capacity ingest queue \
+                 can never admit an event)"
+                    .to_string(),
+            );
+        }
+        if self.policy == ShedPolicy::SampleOneInK && self.sample_k == 0 {
+            return Err(
+                "sample_k must be at least 1 under the sample-1-in-k shed policy \
+                 (k = 0 would admit nothing)"
+                    .to_string(),
+            );
+        }
+        if let Some(p) = &self.priorities {
+            if p.is_empty() {
+                return Err(
+                    "priority map is empty: supply at least one Relation=low|normal|high \
+                     entry, or omit the map to treat all events as normal priority"
+                        .to_string(),
+                );
+            }
+        }
+        if self.policy != ShedPolicy::Block {
+            let watermarks_ordered = self.high_watermark.is_finite()
+                && self.low_watermark.is_finite()
+                && 0.0 < self.low_watermark
+                && self.low_watermark < self.high_watermark
+                && self.high_watermark <= 1.0;
+            if !watermarks_ordered {
+                return Err(format!(
+                    "watermarks must satisfy 0 < low < high <= 1, got low {} / high {}",
+                    self.low_watermark, self.high_watermark
+                ));
+            }
+            if self.escalate_window == 0 || self.recovery_window == 0 {
+                return Err(format!(
+                    "escalate_window and recovery_window must be at least 1, got {} / {}",
+                    self.escalate_window, self.recovery_window
+                ));
+            }
+            if self.chunk_scale == 0 {
+                return Err("chunk_scale must be at least 1".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The live overload detector: ladder level plus streak counters. Shared
+/// by producers (who observe on every ingest) and the writer (who observes
+/// per processed event and on idle ticks, so recovery completes even after
+/// producers go quiet).
+pub(crate) struct AdmissionCtl {
+    opts: AdmissionOptions,
+    /// Queue capacity (events), for occupancy fractions.
+    capacity: usize,
+    /// Staleness threshold in events (`lag_chunks × train_batch`).
+    lag_events: u64,
+    /// Current [`DegradeLevel`] as its `u8` code.
+    level: AtomicU8,
+    /// Consecutive hot observations (escalation streak).
+    hot: AtomicU32,
+    /// Consecutive calm observations (recovery streak).
+    calm: AtomicU32,
+    /// Per-priority-class sampling counters for [`ShedPolicy::SampleOneInK`].
+    sample_ctr: [AtomicU32; 3],
+}
+
+impl AdmissionCtl {
+    pub(crate) fn new(opts: AdmissionOptions, queue_capacity: usize, train_batch: usize) -> Self {
+        let lag_events = opts
+            .lag_chunks
+            .saturating_mul(train_batch.max(1) as u64)
+            .max(1);
+        AdmissionCtl {
+            opts,
+            capacity: queue_capacity.max(1),
+            lag_events,
+            level: AtomicU8::new(0),
+            hot: AtomicU32::new(0),
+            calm: AtomicU32::new(0),
+            sample_ctr: [AtomicU32::new(0), AtomicU32::new(0), AtomicU32::new(0)],
+        }
+    }
+
+    pub(crate) fn policy(&self) -> ShedPolicy {
+        self.opts.policy
+    }
+
+    pub(crate) fn sample_k(&self) -> u32 {
+        self.opts.sample_k.max(1)
+    }
+
+    pub(crate) fn chunk_scale(&self) -> usize {
+        self.opts.chunk_scale.max(1)
+    }
+
+    pub(crate) fn level(&self) -> DegradeLevel {
+        DegradeLevel::from_u8(self.level.load(Relaxed))
+    }
+
+    /// The priority class of an event on relation `rel`.
+    pub(crate) fn classify(&self, rel: RelationId) -> EventPriority {
+        self.opts
+            .priorities
+            .as_ref()
+            .map_or(EventPriority::Normal, |p| p.classify(rel))
+    }
+
+    /// Whether an event of class `prio` is shed-eligible at `level`.
+    pub(crate) fn shed_eligible(level: DegradeLevel, prio: EventPriority) -> bool {
+        level == DegradeLevel::ShedAll
+            || (level == DegradeLevel::ShedLow && prio == EventPriority::Low)
+    }
+
+    /// Ticks the 1-in-k counter for `prio` and reports whether this event
+    /// is the admitted survivor of its window.
+    // `u64::is_multiple_of` needs Rust 1.87; the workspace MSRV is 1.80.
+    #[allow(unknown_lints, clippy::manual_is_multiple_of)]
+    pub(crate) fn sample_admit(&self, prio: EventPriority) -> bool {
+        let n = self.sample_ctr[prio.index()].fetch_add(1, Relaxed);
+        n % self.sample_k() == 0
+    }
+
+    /// Feeds one (occupancy, staleness) observation to the detector and
+    /// returns the ladder level in force for the observed event. Escalates
+    /// one rung after [`AdmissionOptions::escalate_window`] consecutive hot
+    /// observations, de-escalates one rung after
+    /// [`AdmissionOptions::recovery_window`] consecutive calm ones; mixed
+    /// signals reset both streaks (hysteresis).
+    pub(crate) fn observe(
+        &self,
+        occupancy: usize,
+        staleness: u64,
+        metrics: &ServeMetrics,
+    ) -> DegradeLevel {
+        let frac = occupancy as f64 / self.capacity as f64;
+        let lagging = staleness >= self.lag_events;
+        let hot = frac >= self.opts.high_watermark || lagging;
+        let calm = frac <= self.opts.low_watermark && !lagging;
+        let cur = self.level.load(Relaxed);
+        if hot {
+            self.calm.store(0, Relaxed);
+            let streak = self.hot.fetch_add(1, Relaxed) + 1;
+            if streak >= self.opts.escalate_window && cur < MAX_LEVEL {
+                // One rung per streak; CAS so racing observers move it once.
+                if self
+                    .level
+                    .compare_exchange(cur, cur + 1, Relaxed, Relaxed)
+                    .is_ok()
+                {
+                    self.hot.store(0, Relaxed);
+                    metrics.record_level(cur + 1);
+                }
+            }
+        } else if calm {
+            self.hot.store(0, Relaxed);
+            if cur > 0 {
+                let streak = self.calm.fetch_add(1, Relaxed) + 1;
+                if streak >= self.opts.recovery_window {
+                    if self
+                        .level
+                        .compare_exchange(cur, cur - 1, Relaxed, Relaxed)
+                        .is_ok()
+                    {
+                        metrics.record_level(cur - 1);
+                    }
+                    self.calm.store(0, Relaxed);
+                }
+            }
+        } else {
+            // Between the watermarks: neither streak may grow.
+            self.hot.store(0, Relaxed);
+            self.calm.store(0, Relaxed);
+        }
+        DegradeLevel::from_u8(self.level.load(Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl(opts: AdmissionOptions) -> AdmissionCtl {
+        AdmissionCtl::new(opts, 64, 16)
+    }
+
+    fn shed_opts() -> AdmissionOptions {
+        AdmissionOptions {
+            policy: ShedPolicy::DropOldest,
+            escalate_window: 4,
+            recovery_window: 8,
+            ..AdmissionOptions::default()
+        }
+    }
+
+    #[test]
+    fn policy_names_roundtrip_and_reject_unknown() {
+        for p in [
+            ShedPolicy::Block,
+            ShedPolicy::DropOldest,
+            ShedPolicy::SampleOneInK,
+        ] {
+            assert_eq!(p.name().parse::<ShedPolicy>().unwrap(), p);
+        }
+        let err = "drop-newest".parse::<ShedPolicy>().unwrap_err();
+        assert!(
+            err.contains("drop-newest") && err.contains("block|drop-oldest|sample-1-in-k"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn validate_names_each_bad_field() {
+        let ok = AdmissionOptions::default();
+        assert!(ok.validate(1).is_ok());
+        let err = ok.validate(0).unwrap_err();
+        assert!(err.contains("queue_capacity"), "{err}");
+
+        let err = AdmissionOptions {
+            policy: ShedPolicy::SampleOneInK,
+            sample_k: 0,
+            ..AdmissionOptions::default()
+        }
+        .validate(8)
+        .unwrap_err();
+        assert!(err.contains("sample_k"), "{err}");
+
+        let err = AdmissionOptions {
+            priorities: Some(PriorityMap::default()),
+            ..AdmissionOptions::default()
+        }
+        .validate(8)
+        .unwrap_err();
+        assert!(err.contains("priority map is empty"), "{err}");
+
+        let err = AdmissionOptions {
+            policy: ShedPolicy::DropOldest,
+            low_watermark: 0.9,
+            high_watermark: 0.5,
+            ..AdmissionOptions::default()
+        }
+        .validate(8)
+        .unwrap_err();
+        assert!(err.contains("watermarks"), "{err}");
+
+        let err = AdmissionOptions {
+            policy: ShedPolicy::DropOldest,
+            recovery_window: 0,
+            ..AdmissionOptions::default()
+        }
+        .validate(8)
+        .unwrap_err();
+        assert!(err.contains("recovery_window"), "{err}");
+    }
+
+    #[test]
+    fn ladder_escalates_on_hot_streaks_and_recovers_with_hysteresis() {
+        let c = ctl(shed_opts());
+        let m = ServeMetrics::default();
+        assert_eq!(c.level(), DegradeLevel::Full);
+        // Hot streaks climb one rung per escalate_window observations.
+        for _ in 0..4 {
+            c.observe(64, 0, &m);
+        }
+        assert_eq!(c.level(), DegradeLevel::WideChunks);
+        for _ in 0..8 {
+            c.observe(64, 0, &m);
+        }
+        assert_eq!(c.level(), DegradeLevel::ShedAll);
+        // Further hot observations saturate at the top rung.
+        c.observe(64, 0, &m);
+        assert_eq!(c.level(), DegradeLevel::ShedAll);
+        // A single calm observation does not de-escalate...
+        c.observe(0, 0, &m);
+        assert_eq!(c.level(), DegradeLevel::ShedAll);
+        // ...and a hot interruption resets the recovery streak.
+        for _ in 0..6 {
+            c.observe(0, 0, &m);
+        }
+        c.observe(64, 0, &m);
+        for _ in 0..7 {
+            c.observe(0, 0, &m);
+        }
+        assert_eq!(c.level(), DegradeLevel::ShedAll);
+        // Full calm windows walk it back down rung by rung.
+        for _ in 0..24 {
+            c.observe(0, 0, &m);
+        }
+        assert_eq!(c.level(), DegradeLevel::Full);
+        use std::sync::atomic::Ordering::Relaxed;
+        assert_eq!(m.degradation_level.load(Relaxed), 0);
+        assert_eq!(m.degradation_max.load(Relaxed), 3);
+        assert_eq!(m.level_escalations.load(Relaxed), 3);
+        assert_eq!(m.level_deescalations.load(Relaxed), 3);
+    }
+
+    #[test]
+    fn writer_lag_counts_as_hot_even_with_an_empty_queue() {
+        let c = ctl(shed_opts());
+        let m = ServeMetrics::default();
+        // lag_events = lag_chunks (8) × train_batch (16) = 128.
+        for _ in 0..4 {
+            c.observe(0, 200, &m);
+        }
+        assert_eq!(c.level(), DegradeLevel::WideChunks);
+        // Occupancy calm but still lagging: not a calm observation.
+        for _ in 0..16 {
+            c.observe(0, 200, &m);
+        }
+        assert!(c.level() >= DegradeLevel::WideChunks);
+    }
+
+    #[test]
+    fn sampler_admits_exactly_one_in_k_per_class() {
+        let c = ctl(AdmissionOptions {
+            policy: ShedPolicy::SampleOneInK,
+            sample_k: 4,
+            ..AdmissionOptions::default()
+        });
+        let admitted = (0..20)
+            .filter(|_| c.sample_admit(EventPriority::Normal))
+            .count();
+        assert_eq!(admitted, 5);
+        // Classes tick independent counters.
+        assert!(c.sample_admit(EventPriority::High));
+        assert!(!c.sample_admit(EventPriority::High));
+    }
+
+    #[test]
+    fn shed_eligibility_follows_the_ladder() {
+        use EventPriority::*;
+        let at = AdmissionCtl::shed_eligible;
+        for prio in [Low, Normal, High] {
+            assert!(!at(DegradeLevel::Full, prio));
+            assert!(!at(DegradeLevel::WideChunks, prio));
+            assert!(at(DegradeLevel::ShedAll, prio));
+        }
+        assert!(at(DegradeLevel::ShedLow, Low));
+        assert!(!at(DegradeLevel::ShedLow, Normal));
+        assert!(!at(DegradeLevel::ShedLow, High));
+    }
+}

@@ -19,6 +19,9 @@
 //!                [--on-bad-event strict|skip|clamp] [--workers N]
 //!                [--warmup 8] [--ann] [--ef-search 64] [--guard-every 64]
 //!                [--min-recall 0.95]
+//!                [--shed-policy block|drop-oldest|sample-1-in-k]
+//!                [--sample-k 8] [--priority Rel=low|normal|high,...]
+//!                [--metrics-dump FILE]
 //! ```
 //!
 //! Data is the self-describing TSV of `supa_datasets::load_tsv`; checkpoints
@@ -51,6 +54,16 @@
 //! with recall below `--min-recall` tallied (and reported) as a guard
 //! breach. ANN answers are re-scored exactly, so reported scores stay
 //! bit-identical to brute force — only top-K membership can differ.
+//!
+//! Overload: `--shed-policy` picks what happens when the ingest queue fills —
+//! `block` (the default; producers wait, exactly today's backpressure),
+//! `drop-oldest` (evict the stalest queued event once the degradation ladder
+//! escalates), or `sample-1-in-k` (admit one event in `--sample-k` per
+//! priority class, reweighting survivors by `k` so expected gradient mass is
+//! preserved). `--priority Buy=high,View=low` tags relations with shedding
+//! priority classes (unlisted relations are `normal`). `--metrics-dump FILE`
+//! appends a JSON line of serving metrics — including shed counts and the
+//! current degradation level — every ~200 ms while the run is live.
 
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -61,8 +74,13 @@ use rand::SeedableRng;
 use supa::{CheckpointManager, InsLearnConfig, Supa, SupaConfig, TrainOptions};
 use supa_datasets::{all_datasets, load_tsv, save_tsv, Dataset};
 use supa_eval::{RankingEvaluator, Scorer};
-use supa_graph::{guard_stream, mine_metapaths, MiningConfig, NodeId, QuarantinePolicy};
-use supa_serve::{run_closed_loop, AnnOptions, CheckpointOptions, LoadConfig, ServeConfig};
+use supa_graph::{
+    guard_stream, mine_metapaths, MiningConfig, NodeId, PriorityMap, QuarantinePolicy,
+};
+use supa_serve::{
+    run_closed_loop, AdmissionOptions, AnnOptions, CheckpointOptions, LoadConfig, ServeConfig,
+    ShedPolicy, StopCause,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -159,6 +177,10 @@ const COMMANDS: &[CommandSpec] = &[
             "ef-search",
             "guard-every",
             "min-recall",
+            "shed-policy",
+            "sample-k",
+            "priority",
+            "metrics-dump",
         ],
         bool_flags: &["mine", "resume", "ann"],
     },
@@ -536,6 +558,24 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 None
             };
+            let shed_policy: ShedPolicy = flags
+                .get("shed-policy")
+                .map(|s| s.parse())
+                .transpose()
+                .map_err(|e| format!("--shed-policy: {e}"))?
+                .unwrap_or_default();
+            let priorities = flags
+                .get("priority")
+                .map(|spec| PriorityMap::parse(spec, d.prototype.schema()))
+                .transpose()
+                .map_err(|e| format!("--priority: {e}"))?;
+            let admission_defaults = AdmissionOptions::default();
+            let admission = AdmissionOptions {
+                policy: shed_policy,
+                sample_k: get(&flags, "sample-k", admission_defaults.sample_k)?,
+                priorities,
+                ..admission_defaults
+            };
             let serve_cfg = ServeConfig {
                 queue_capacity: get(&flags, "queue", 1024)?,
                 train_batch: get(&flags, "batch", 64)?,
@@ -545,6 +585,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 checkpoint,
                 workers: get(&flags, "workers", 1)?,
                 ann,
+                admission,
                 ..ServeConfig::default()
             };
             let load = LoadConfig {
@@ -554,9 +595,19 @@ fn run(args: &[String]) -> Result<(), String> {
                 seed: get(&flags, "seed", 7u64)?,
                 warmup_per_reader: get(&flags, "warmup", 8)?,
                 verify: true,
+                metrics_dump: flags.get("metrics-dump").map(Into::into),
             };
             let report = run_closed_loop(&d, model, serve_cfg, load).map_err(|e| e.to_string())?;
             println!("{report}");
+            match &report.stop {
+                StopCause::Panicked(msg) => {
+                    return Err(format!("writer thread panicked: {msg}"));
+                }
+                StopCause::Fault(e) => {
+                    return Err(format!("strict policy stopped ingest: {e}"));
+                }
+                StopCause::Shutdown | StopCause::Killed => {}
+            }
             if report.metrics.torn_reads > 0 {
                 return Err(format!(
                     "{} torn reads — epoch consistency violated",
@@ -661,6 +712,37 @@ mod tests {
             .unwrap_err();
             assert!(err.contains("--scale"), "scale {s}: {err}");
         }
+    }
+
+    #[test]
+    fn serve_overload_flags_parse_and_stay_serve_only() {
+        let (_, flags) = parse(&sargs(&[
+            "serve",
+            "--shed-policy",
+            "drop-oldest",
+            "--sample-k",
+            "4",
+            "--priority",
+            "Buy=high",
+            "--metrics-dump",
+            "/tmp/m.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(flags.get("shed-policy").unwrap(), "drop-oldest");
+        assert_eq!(get(&flags, "sample-k", 8u32).unwrap(), 4);
+        assert_eq!(flags.get("priority").unwrap(), "Buy=high");
+        assert_eq!(flags.get("metrics-dump").unwrap(), "/tmp/m.jsonl");
+        assert!(parse(&sargs(&["train", "--shed-policy", "block"])).is_err());
+    }
+
+    #[test]
+    fn shed_policy_flag_values_parse_or_error() {
+        assert_eq!("block".parse::<ShedPolicy>().unwrap(), ShedPolicy::Block);
+        assert_eq!(
+            "sample-1-in-k".parse::<ShedPolicy>().unwrap(),
+            ShedPolicy::SampleOneInK
+        );
+        assert!("drop-newest".parse::<ShedPolicy>().is_err());
     }
 
     #[test]

@@ -4,8 +4,16 @@
 //!
 //! # Concurrency model
 //!
-//! - **Ingest** is a bounded MPMC channel: producers block when the writer
-//!   falls behind (backpressure, never unbounded growth).
+//! - **Ingest** is a bounded MPMC channel: under the default
+//!   [`ShedPolicy::Block`] producers block when the writer falls behind
+//!   (backpressure, never unbounded growth). The other shedding policies
+//!   trade completeness for bounded producer latency — see
+//!   [`crate::admission`] for the degradation ladder that decides *when*
+//!   events are shed and [`AdmissionOptions`] for the knobs.
+//! - **Control** (flush/shutdown/kill) travels on a separate unbounded
+//!   channel; the writer drains every already-queued event before honoring
+//!   a control message, so the observable event order is exactly the queue
+//!   order — identical to the single-queue engine this replaced.
 //! - **Training** is single-writer: the writer thread exclusively owns the
 //!   graph, the model, the guard, and the checkpoint manager. No lock is
 //!   ever held during training.
@@ -14,15 +22,17 @@
 //!   for nanoseconds and then score lock-free against an immutable snapshot,
 //!   so a query can never observe a half-written embedding table — results
 //!   are torn-free *by construction*, and every answer is attributable to
-//!   exactly one published epoch.
+//!   exactly one published epoch. Shedding never touches this path: a
+//!   degraded engine drops *ingest* work, never read consistency.
 //! - **Verification**: the last [`ServeConfig::keep_history`] snapshots are
 //!   retained so a result claiming epoch `e` can be re-scored against the
 //!   actual epoch-`e` tables and compared bit-for-bit.
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::mpsc as std_mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
@@ -30,10 +40,11 @@ use supa::{CheckpointManager, ServingSnapshot, Supa, TrainOptions};
 use supa_ann::{AnnConfig, HnswIndex, SearchScratch};
 use supa_eval::{top_k_scored_with, RecallAccumulator, TopKScratch};
 use supa_graph::{
-    Dmhg, NodeId, QuarantineError, QuarantinePolicy, QuarantineReport, RelationId, StreamGuard,
-    TemporalEdge,
+    Dmhg, EventPriority, NodeId, QuarantineError, QuarantinePolicy, QuarantineReport, RelationId,
+    StreamGuard, TemporalEdge,
 };
 
+use crate::admission::{AdmissionCtl, AdmissionOptions, DegradeLevel, ShedPolicy};
 use crate::cache::QueryCache;
 use crate::metrics::{MetricsReport, ServeMetrics};
 
@@ -137,11 +148,15 @@ impl AnnOptions {
 /// Tuning knobs for [`ServeEngine::start`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Ingest queue capacity; producers block when it is full (clamped ≥ 1).
+    /// Ingest queue capacity; must be ≥ 1 ([`ServeEngine::start`] rejects 0
+    /// with a named error). What happens when it fills is the admission
+    /// policy's call ([`ServeConfig::admission`]): `block` producers, or
+    /// shed.
     pub queue_capacity: usize,
     /// Admitted events per training chunk (one `fit_incremental` call;
     /// clamped ≥ 1). Smaller chunks mean fresher embeddings, larger chunks
-    /// mean higher ingest throughput.
+    /// mean higher ingest throughput. Under overload the degradation ladder
+    /// may temporarily widen chunks by [`AdmissionOptions::chunk_scale`].
     pub train_batch: usize,
     /// Publish a snapshot every this many trained chunks (clamped ≥ 1).
     pub snapshot_every: usize,
@@ -162,6 +177,15 @@ pub struct ServeConfig {
     /// Approximate top-K serving via per-epoch ANN indexes (`None` = exact
     /// brute-force scoring of the full candidate list on every query).
     pub ann: Option<AnnOptions>,
+    /// Overload admission control: shedding policy, priority classes, and
+    /// the degradation-ladder detector. The default ([`ShedPolicy::Block`])
+    /// is bit-identical to the pre-admission engine.
+    pub admission: AdmissionOptions,
+    /// Test seam: panic the writer thread after absorbing this many events,
+    /// exercising the panic-propagation path (`EngineClosed` with a
+    /// [`ClosedCause::Panic`] cause). Never set in production.
+    #[doc(hidden)]
+    pub panic_after: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -176,6 +200,8 @@ impl Default for ServeConfig {
             checkpoint: None,
             workers: 1,
             ann: None,
+            admission: AdmissionOptions::default(),
+            panic_after: None,
         }
     }
 }
@@ -265,6 +291,14 @@ impl AnnMaster {
     }
 }
 
+/// Writer-exit codes for [`Shared::closed`]. `OPEN` means the writer is
+/// (as far as anyone knows) still consuming.
+const OPEN: u8 = 0;
+const CLOSED_SHUTDOWN: u8 = 1;
+const CLOSED_FAULT: u8 = 2;
+const CLOSED_PANIC: u8 = 3;
+const CLOSED_KILLED: u8 = 4;
+
 /// State shared between the writer thread and all reader threads.
 struct Shared {
     current: RwLock<Arc<EpochSnapshot>>,
@@ -279,6 +313,43 @@ struct Shared {
     /// ANN serving configuration (readers need `ef_search` and the guard
     /// cadence); `None` when serving exactly.
     ann_opts: Option<AnnOptions>,
+    /// Overload detector and ladder state; `None` under [`ShedPolicy::Block`]
+    /// (detector off, classic backpressure, zero hot-path overhead).
+    admission: Option<AdmissionCtl>,
+    /// Why the writer stopped (`OPEN` while it runs). Written exactly once:
+    /// by the writer on a clean exit, or by its panic guard. Producers that
+    /// keep a queue receiver alive (drop-oldest) poll this instead of
+    /// relying on channel disconnection.
+    closed: AtomicU8,
+}
+
+impl Shared {
+    /// The closed-cause for producer-facing errors. Racing a writer that
+    /// has stopped but not yet stored its code resolves as `Shutdown`.
+    fn closed_cause(&self) -> ClosedCause {
+        match self.closed.load(Ordering::SeqCst) {
+            CLOSED_FAULT => ClosedCause::Fault,
+            CLOSED_PANIC => ClosedCause::Panic,
+            CLOSED_KILLED => ClosedCause::Killed,
+            _ => ClosedCause::Shutdown,
+        }
+    }
+}
+
+/// Sets [`Shared::closed`] to `Panic` if the writer unwinds without storing
+/// a clean exit code. Declared as the writer's *first* local so it drops
+/// after every other local but before the function's channel-receiver
+/// parameters — producers blocked on the queue observe the disconnect only
+/// after the cause is already published.
+struct PanicFlag(Arc<Shared>);
+
+impl Drop for PanicFlag {
+    fn drop(&mut self) {
+        let _ =
+            self.0
+                .closed
+                .compare_exchange(OPEN, CLOSED_PANIC, Ordering::SeqCst, Ordering::SeqCst);
+    }
 }
 
 /// A ranked answer, attributable to one published epoch.
@@ -299,6 +370,9 @@ pub enum StopCause {
     Killed,
     /// A malformed event under [`QuarantinePolicy::Strict`].
     Fault(QuarantineError),
+    /// The writer thread panicked; the payload message is preserved so the
+    /// operator sees *what* died, not just that ingest stopped.
+    Panicked(String),
 }
 
 /// Final report returned by [`ServeHandle::shutdown`].
@@ -314,21 +388,46 @@ pub struct ServeReport {
     pub events_admitted: u64,
 }
 
-enum Msg {
-    Event(TemporalEdge),
+/// Control messages; events travel on their own bounded channel so control
+/// can never be shed and never waits behind a full queue.
+enum Ctrl {
     Flush(std_mpsc::Sender<()>),
     Shutdown,
     Kill,
 }
 
-/// The ingest channel closed (writer stopped — strict-policy fault or
-/// shutdown).
+/// Why an [`EngineClosed`] producer error happened — a panicked writer is a
+/// different operational event than a strict-policy stop or a clean
+/// shutdown, and callers (and the `supa serve` exit message) tell them
+/// apart by this cause.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EngineClosed;
+pub enum ClosedCause {
+    /// Clean shutdown (or the handle was dropped).
+    Shutdown,
+    /// A malformed event stopped ingest under [`QuarantinePolicy::Strict`].
+    Fault,
+    /// The writer thread panicked.
+    Panic,
+    /// [`ServeHandle::kill`] simulated a crash.
+    Killed,
+}
+
+/// The ingest channel closed: the writer stopped for [`EngineClosed::cause`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineClosed {
+    /// Why the writer stopped accepting events.
+    pub cause: ClosedCause,
+}
 
 impl std::fmt::Display for EngineClosed {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "serving engine is no longer accepting events")
+        let why = match self.cause {
+            ClosedCause::Shutdown => "writer shut down",
+            ClosedCause::Fault => "strict quarantine policy stopped ingest",
+            ClosedCause::Panic => "writer thread panicked",
+            ClosedCause::Killed => "writer was killed",
+        };
+        write!(f, "serving engine is no longer accepting events ({why})")
     }
 }
 
@@ -344,7 +443,14 @@ struct WriterExit {
 /// single handle can be shared by reference across producer and reader
 /// threads; `shutdown`/`kill` consume it.
 pub struct ServeHandle {
-    tx: channel::Sender<Msg>,
+    data_tx: channel::Sender<(TemporalEdge, f32)>,
+    ctrl_tx: channel::Sender<Ctrl>,
+    /// Drop-oldest eviction: a second receiver on the data queue so a
+    /// producer facing a full queue can pop the oldest event itself. Only
+    /// the drop-oldest policy holds one — for the other policies the writer
+    /// keeps the sole receiver, preserving send-fails-when-writer-dies
+    /// disconnect semantics.
+    evict_rx: Option<channel::Receiver<(TemporalEdge, f32)>>,
     shared: Arc<Shared>,
     writer: Option<JoinHandle<WriterExit>>,
     started: Instant,
@@ -362,6 +468,10 @@ impl ServeEngine {
     /// stream position tells the writer how many admitted events to replay
     /// into the graph without retraining (the restored embeddings already
     /// reflect them).
+    ///
+    /// Rejects invalid configuration with a named `InvalidInput` error:
+    /// ANN options out of range, a zero-capacity queue, a zero sampling
+    /// divisor, or an empty priority map.
     pub fn start(graph: Dmhg, mut model: Supa, cfg: ServeConfig) -> std::io::Result<ServeHandle> {
         if let Some(ann) = &cfg.ann {
             if !ann.min_recall.is_finite() || !(0.0..=1.0).contains(&ann.min_recall) {
@@ -380,6 +490,9 @@ impl ServeEngine {
                 ));
             }
         }
+        cfg.admission.validate(cfg.queue_capacity).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("admission: {e}"))
+        })?;
         model.enable_touch_tracking();
         model.set_workers(cfg.workers);
 
@@ -425,6 +538,8 @@ impl ServeEngine {
             scorer,
             ann: ann_master.as_ref().map(AnnMaster::freeze),
         });
+        let admission = (cfg.admission.policy != ShedPolicy::Block)
+            .then(|| AdmissionCtl::new(cfg.admission.clone(), cfg.queue_capacity, cfg.train_batch));
         let shared = Arc::new(Shared {
             current: RwLock::new(initial.clone()),
             history: Mutex::new(std::collections::VecDeque::from([initial])),
@@ -432,15 +547,20 @@ impl ServeEngine {
             metrics: ServeMetrics::default(),
             candidates,
             ann_opts: cfg.ann.clone(),
+            admission,
+            closed: AtomicU8::new(OPEN),
         });
 
-        let (tx, rx) = channel::bounded(cfg.queue_capacity.max(1));
+        let (data_tx, data_rx) = channel::bounded(cfg.queue_capacity);
+        let (ctrl_tx, ctrl_rx) = channel::unbounded();
+        let evict_rx = (cfg.admission.policy == ShedPolicy::DropOldest).then(|| data_rx.clone());
         let writer_shared = shared.clone();
         let writer = std::thread::Builder::new()
             .name("supa-serve-writer".into())
             .spawn(move || {
                 writer_loop(
-                    rx,
+                    data_rx,
+                    ctrl_rx,
                     writer_shared,
                     graph,
                     model,
@@ -452,7 +572,9 @@ impl ServeEngine {
             })?;
 
         Ok(ServeHandle {
-            tx,
+            data_tx,
+            ctrl_tx,
+            evict_rx,
             shared,
             writer: Some(writer),
             started: Instant::now(),
@@ -469,6 +591,11 @@ struct Writer {
     ann: Option<AnnMaster>,
     cfg: ServeConfig,
     pending: Vec<TemporalEdge>,
+    /// Per-event importance weights, aligned with `pending`. Maintained only
+    /// under 1-in-k sampling (`weighted`); every other policy trains the
+    /// exact unweighted path.
+    pending_w: Vec<f32>,
+    weighted: bool,
     admitted: u64,
     resume_skip: u64,
     epoch: u64,
@@ -477,7 +604,8 @@ struct Writer {
 
 #[allow(clippy::too_many_arguments)]
 fn writer_loop(
-    rx: channel::Receiver<Msg>,
+    data_rx: channel::Receiver<(TemporalEdge, f32)>,
+    ctrl_rx: channel::Receiver<Ctrl>,
     shared: Arc<Shared>,
     graph: Dmhg,
     model: Supa,
@@ -486,7 +614,24 @@ fn writer_loop(
     ann: Option<AnnMaster>,
     cfg: ServeConfig,
 ) -> WriterExit {
+    // First local: drops last, after `w` and friends but before the channel
+    // receivers (function parameters drop after all locals), so a panicking
+    // writer publishes its cause before producers see the disconnect.
+    let _panic_flag = PanicFlag(shared.clone());
     let guard = StreamGuard::new(cfg.policy);
+    let weighted = shared
+        .admission
+        .as_ref()
+        .is_some_and(|c| c.policy() == ShedPolicy::SampleOneInK);
+    // With the detector on, an idle writer still ticks it every couple of
+    // milliseconds so the ladder recovers after a burst even if no further
+    // event or query arrives. Under `block` the ladder is pinned at level 0
+    // and the tick is effectively never (plain blocking receive).
+    let idle = if shared.admission.is_some() {
+        Duration::from_millis(2)
+    } else {
+        Duration::from_secs(86_400)
+    };
     let mut w = Writer {
         shared,
         graph,
@@ -496,6 +641,8 @@ fn writer_loop(
         ann,
         cfg,
         pending: Vec::new(),
+        pending_w: Vec::new(),
+        weighted,
         admitted: 0,
         resume_skip,
         epoch: 0,
@@ -503,37 +650,67 @@ fn writer_loop(
     };
 
     let stop = loop {
-        match rx.recv() {
-            Ok(Msg::Event(edge)) => match w.guard.admit(&w.graph, edge) {
-                Ok(Some(e)) => w.absorb(e),
-                Ok(None) => {
-                    w.shared
-                        .metrics
-                        .events_quarantined
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        crossbeam::select! {
+            recv(data_rx) -> msg => match msg {
+                Ok((edge, weight)) => {
+                    w.observe(data_rx.len());
+                    if let Some(stop) = w.handle_event(edge, weight) {
+                        break stop;
+                    }
                 }
-                Err(err) => {
-                    // Strict policy: stop consuming. Whatever trained so far
-                    // stays published; producers see EngineClosed.
-                    break StopCause::Fault(err);
+                Err(_) => {
+                    // Every producer hung up: final train/publish/checkpoint.
+                    w.train_pending();
+                    w.publish();
+                    if let Some(mgr) = &mut w.manager {
+                        let _ = mgr.save(&w.model, w.admitted);
+                    }
+                    break StopCause::Shutdown;
                 }
             },
-            Ok(Msg::Flush(ack)) => {
-                w.train_pending();
-                w.publish();
-                let _ = ack.send(());
-            }
-            Ok(Msg::Shutdown) | Err(_) => {
-                w.train_pending();
-                w.publish();
-                if let Some(mgr) = &mut w.manager {
-                    let _ = mgr.save(&w.model, w.admitted);
+            recv(ctrl_rx) -> msg => match msg {
+                Ok(Ctrl::Flush(ack)) => {
+                    // Drain first: everything enqueued before the flush is
+                    // trained under it, exactly like the single-queue engine.
+                    if let Some(stop) = w.drain(&data_rx) {
+                        break stop;
+                    }
+                    w.train_pending();
+                    w.publish();
+                    let _ = ack.send(());
                 }
-                break StopCause::Shutdown;
-            }
-            Ok(Msg::Kill) => break StopCause::Killed,
+                Ok(Ctrl::Shutdown) | Err(_) => {
+                    if let Some(stop) = w.drain(&data_rx) {
+                        break stop;
+                    }
+                    w.train_pending();
+                    w.publish();
+                    if let Some(mgr) = &mut w.manager {
+                        let _ = mgr.save(&w.model, w.admitted);
+                    }
+                    break StopCause::Shutdown;
+                }
+                Ok(Ctrl::Kill) => {
+                    // Simulated crash. Events enqueued before the kill are
+                    // still absorbed (they preceded it in program order) but
+                    // nothing is flushed, published, or checkpointed.
+                    if let Some(stop) = w.drain(&data_rx) {
+                        break stop;
+                    }
+                    break StopCause::Killed;
+                }
+            },
+            default(idle) => w.observe(data_rx.len()),
         }
     };
+
+    let code = match &stop {
+        StopCause::Shutdown => CLOSED_SHUTDOWN,
+        StopCause::Killed => CLOSED_KILLED,
+        StopCause::Fault(_) => CLOSED_FAULT,
+        StopCause::Panicked(_) => CLOSED_PANIC,
+    };
+    w.shared.closed.store(code, Ordering::SeqCst);
 
     WriterExit {
         quarantine: w.guard.into_report(),
@@ -543,9 +720,65 @@ fn writer_loop(
 }
 
 impl Writer {
+    /// Feeds the overload detector one (occupancy, staleness) observation.
+    fn observe(&self, occupancy: usize) {
+        if let Some(ctl) = &self.shared.admission {
+            ctl.observe(
+                occupancy,
+                self.shared.metrics.staleness(),
+                &self.shared.metrics,
+            );
+        }
+    }
+
+    /// Guards and absorbs one dequeued event; `Some` stops the loop
+    /// (strict-policy fault).
+    fn handle_event(&mut self, edge: TemporalEdge, weight: f32) -> Option<StopCause> {
+        match self.guard.admit(&self.graph, edge) {
+            Ok(Some(e)) => {
+                self.absorb(e, weight);
+                None
+            }
+            Ok(None) => {
+                self.shared
+                    .metrics
+                    .events_quarantined
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            // Strict policy: stop consuming. Whatever trained so far stays
+            // published; producers see EngineClosed.
+            Err(err) => Some(StopCause::Fault(err)),
+        }
+    }
+
+    /// Processes every event already in the queue (used before honoring a
+    /// control message, so control never overtakes data).
+    fn drain(&mut self, data_rx: &channel::Receiver<(TemporalEdge, f32)>) -> Option<StopCause> {
+        while let Ok((edge, weight)) = data_rx.try_recv() {
+            if let Some(stop) = self.handle_event(edge, weight) {
+                return Some(stop);
+            }
+        }
+        None
+    }
+
+    /// The training-chunk size currently in force: the configured batch,
+    /// widened by the ladder's chunk scale from level 1 upward.
+    fn effective_batch(&self) -> usize {
+        let base = self.cfg.train_batch.max(1);
+        match &self.shared.admission {
+            Some(ctl) if ctl.level() >= DegradeLevel::WideChunks => {
+                base.saturating_mul(ctl.chunk_scale())
+            }
+            _ => base,
+        }
+    }
+
     /// Handles one admitted event: insert into the graph, then either count
-    /// it as already applied (checkpoint replay) or queue it for training.
-    fn absorb(&mut self, e: TemporalEdge) {
+    /// it as already applied (checkpoint replay) or queue it for training
+    /// with its importance weight.
+    fn absorb(&mut self, e: TemporalEdge, weight: f32) {
         use std::sync::atomic::Ordering::Relaxed;
         // `admit` validated everything `add_edge` checks; a failure here is
         // a logic bug, but serving must not panic — quarantine instead.
@@ -559,13 +792,21 @@ impl Writer {
         }
         self.admitted += 1;
         self.shared.metrics.events_ingested.fetch_add(1, Relaxed);
+        if let Some(limit) = self.cfg.panic_after {
+            if self.admitted >= limit {
+                panic!("injected writer fault after {limit} events");
+            }
+        }
         if self.admitted <= self.resume_skip {
             // Replay: the restored embeddings already reflect this event.
             self.shared.metrics.events_applied.fetch_add(1, Relaxed);
             return;
         }
         self.pending.push(e);
-        if self.pending.len() >= self.cfg.train_batch.max(1) {
+        if self.weighted {
+            self.pending_w.push(weight);
+        }
+        if self.pending.len() >= self.effective_batch() {
             self.train_pending();
             if self
                 .chunks
@@ -594,12 +835,18 @@ impl Writer {
     /// every runnable reader, and that starvation lands directly in the
     /// query p99. Yielding once per pass caps a reader's wait at roughly
     /// one `train_pass` over the chunk.
+    ///
+    /// Under 1-in-k sampling the chunk carries per-event weights (k for
+    /// resampled survivors, 1 otherwise) so the surviving events' updates
+    /// preserve the stream's expected gradient mass; every other policy
+    /// passes no weights and takes the exact legacy path.
     fn train_pending(&mut self) {
         if self.pending.is_empty() {
             return;
         }
         let cfg = self.model.inslearn_config().clone();
         let mut yield_hook = |_: &mut Supa, _: u64| std::thread::yield_now();
+        let weights = self.weighted.then_some(self.pending_w.as_slice());
         self.model
             .train_inslearn_ft(
                 &self.graph,
@@ -607,6 +854,7 @@ impl Writer {
                 &cfg,
                 TrainOptions {
                     iter_hook: Some(&mut yield_hook),
+                    weights,
                     ..TrainOptions::default()
                 },
             )
@@ -617,6 +865,7 @@ impl Writer {
             std::sync::atomic::Ordering::Relaxed,
         );
         self.pending.clear();
+        self.pending_w.clear();
         self.chunks += 1;
     }
 
@@ -726,18 +975,118 @@ impl Shared {
 }
 
 impl ServeHandle {
-    /// Enqueues one raw event. Blocks while the queue is full
-    /// (backpressure); errors once the writer has stopped.
+    /// Enqueues one raw event through the admission layer.
+    ///
+    /// Under the default `block` policy this blocks while the queue is full
+    /// (backpressure) — bit-identical to the pre-admission engine. The
+    /// shedding policies consult the degradation ladder instead and may
+    /// drop the event (or an older queued one); every shed is tallied in
+    /// [`ServeMetrics`]. Errors once the writer has stopped, with the
+    /// stop's [`ClosedCause`].
     pub fn ingest(&self, edge: TemporalEdge) -> Result<(), EngineClosed> {
-        self.tx.send(Msg::Event(edge)).map_err(|_| EngineClosed)
+        use std::sync::atomic::Ordering::Relaxed;
+        let Some(ctl) = &self.shared.admission else {
+            // Block policy: plain backpressure send, no detector on the path.
+            return self
+                .data_tx
+                .send((edge, 1.0))
+                .map_err(|_| self.closed_error());
+        };
+        let m = &self.shared.metrics;
+        let level = ctl.observe(self.data_tx.len(), m.staleness(), m);
+        let prio = ctl.classify(edge.relation);
+        match ctl.policy() {
+            // Unreachable in practice (`admission` is `None` under block),
+            // but backpressure is the only sensible meaning regardless.
+            ShedPolicy::Block => self.send_data(edge, 1.0),
+            ShedPolicy::SampleOneInK => {
+                if !AdmissionCtl::shed_eligible(level, prio) {
+                    self.send_data(edge, 1.0)
+                } else if ctl.sample_admit(prio) {
+                    // The survivor speaks for its whole 1-in-k window:
+                    // weight k keeps the expected update mass unbiased.
+                    m.events_resampled.fetch_add(1, Relaxed);
+                    self.send_data(edge, ctl.sample_k() as f32)
+                } else {
+                    m.count_shed(prio, self.data_tx.len());
+                    Ok(())
+                }
+            }
+            ShedPolicy::DropOldest => match self.data_tx.try_send((edge, 1.0)) {
+                Ok(()) => Ok(()),
+                Err(channel::TrySendError::Disconnected(_)) => Err(self.closed_error()),
+                Err(channel::TrySendError::Full((edge, w))) => {
+                    if level == DegradeLevel::ShedAll {
+                        // Uniform shedding: evict the oldest queued event to
+                        // make room for the newest.
+                        let evict = self
+                            .evict_rx
+                            .as_ref()
+                            .expect("drop-oldest keeps an eviction receiver");
+                        if let Ok((old, _)) = evict.try_recv() {
+                            m.count_shed(ctl.classify(old.relation), self.data_tx.len());
+                        }
+                        self.send_data(edge, w)
+                    } else if level == DegradeLevel::ShedLow && prio == EventPriority::Low {
+                        // Priority shedding: the incoming low-value event is
+                        // the one that loses.
+                        m.count_shed(prio, self.data_tx.len());
+                        Ok(())
+                    } else {
+                        self.send_data(edge, w)
+                    }
+                }
+            },
+        }
+    }
+
+    /// Blocking send that stays correct when this handle holds an eviction
+    /// receiver: the queue can then never disconnect while the handle
+    /// lives, so a dead writer is detected via [`Shared::closed`] instead
+    /// (polled between short send timeouts).
+    fn send_data(&self, edge: TemporalEdge, weight: f32) -> Result<(), EngineClosed> {
+        if self.evict_rx.is_none() {
+            return self
+                .data_tx
+                .send((edge, weight))
+                .map_err(|_| self.closed_error());
+        }
+        let mut item = (edge, weight);
+        loop {
+            if self.shared.closed.load(Ordering::SeqCst) != OPEN {
+                return Err(self.closed_error());
+            }
+            match self.data_tx.send_timeout(item, Duration::from_millis(20)) {
+                Ok(()) => return Ok(()),
+                Err(channel::SendTimeoutError::Timeout(it)) => item = it,
+                Err(channel::SendTimeoutError::Disconnected(_)) => return Err(self.closed_error()),
+            }
+        }
+    }
+
+    fn closed_error(&self) -> EngineClosed {
+        EngineClosed {
+            cause: self.shared.closed_cause(),
+        }
+    }
+
+    /// The degradation-ladder level currently in force (0 = full service;
+    /// always 0 under the `block` policy).
+    pub fn degradation_level(&self) -> u8 {
+        self.shared
+            .admission
+            .as_ref()
+            .map_or(0, |c| c.level().as_u8())
     }
 
     /// Trains any partial chunk, publishes a snapshot, and returns once the
     /// writer has processed everything enqueued before this call.
     pub fn flush(&self) -> Result<(), EngineClosed> {
         let (ack_tx, ack_rx) = std_mpsc::channel();
-        self.tx.send(Msg::Flush(ack_tx)).map_err(|_| EngineClosed)?;
-        ack_rx.recv().map_err(|_| EngineClosed)
+        self.ctrl_tx
+            .send(Ctrl::Flush(ack_tx))
+            .map_err(|_| self.closed_error())?;
+        ack_rx.recv().map_err(|_| self.closed_error())
     }
 
     /// Answers a top-K query against the current snapshot (or the cache).
@@ -877,23 +1226,39 @@ impl ServeHandle {
     /// Clean shutdown: trains the partial chunk, publishes, writes a final
     /// checkpoint (if configured), joins the writer, and reports.
     pub fn shutdown(self) -> ServeReport {
-        self.stop_with(Msg::Shutdown)
+        self.stop_with(Ctrl::Shutdown)
     }
 
     /// Simulated crash: the writer exits immediately — no final flush, no
     /// final checkpoint. Used by the fault-injection tests.
     pub fn kill(self) -> ServeReport {
-        self.stop_with(Msg::Kill)
+        self.stop_with(Ctrl::Kill)
     }
 
-    fn stop_with(mut self, msg: Msg) -> ServeReport {
-        let _ = self.tx.send(msg);
-        let exit = self
-            .writer
-            .take()
-            .expect("writer joined once")
-            .join()
-            .unwrap_or_else(|p| std::panic::resume_unwind(p));
+    fn stop_with(mut self, msg: Ctrl) -> ServeReport {
+        let _ = self.ctrl_tx.send(msg);
+        let exit = match self.writer.take().expect("writer joined once").join() {
+            Ok(exit) => exit,
+            // A panicked writer is reported, not re-thrown: the shutdown
+            // caller gets a report whose stop cause carries the panic
+            // message, matching the EngineClosed cause producers saw.
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "writer thread panicked".to_string());
+                WriterExit {
+                    quarantine: QuarantineReport::default(),
+                    stop: StopCause::Panicked(msg),
+                    events_admitted: self
+                        .shared
+                        .metrics
+                        .events_ingested
+                        .load(std::sync::atomic::Ordering::Relaxed),
+                }
+            }
+        };
         ServeReport {
             quarantine: exit.quarantine,
             metrics: self.shared.metrics.report(self.started.elapsed()),
@@ -906,7 +1271,7 @@ impl ServeHandle {
 impl Drop for ServeHandle {
     fn drop(&mut self) {
         if let Some(writer) = self.writer.take() {
-            let _ = self.tx.send(Msg::Shutdown);
+            let _ = self.ctrl_tx.send(Ctrl::Shutdown);
             let _ = writer.join();
         }
     }

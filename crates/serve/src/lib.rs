@@ -6,23 +6,30 @@
 //!
 //! ```text
 //!            ingest                north star: readers never block on
-//!  producers ──────▶ bounded queue          training, never see torn state
-//!                        │
-//!                 writer thread ── StreamGuard (admit / clamp / quarantine)
-//!                        │            │
-//!                        │            ▼
-//!                        │      Dmhg + Supa  ── fit_incremental per chunk
-//!                        │            │
-//!                        ▼            ▼
-//!                  CheckpointManager  Arc<EpochSnapshot> swap ──▶ readers
-//!                  (periodic, atomic)        │                     │
-//!                                            ▼                     ▼
-//!                                     touched-set cache      top_k(user, r, k)
-//!                                     invalidation
+//!  producers ──────▶ admission ──▶ bounded   training, never see torn state
+//!                    control        queue
+//!               (shed policy ×       │
+//!                degradation    writer thread ── StreamGuard (admit / clamp
+//!                ladder)             │            │            / quarantine)
+//!                                    │            ▼
+//!                                    │      Dmhg + Supa ── fit_incremental
+//!                                    │            │            per chunk
+//!                                    ▼            ▼
+//!                          CheckpointManager  Arc<EpochSnapshot> ──▶ readers
+//!                          (periodic, atomic)     swap │               │
+//!                                                      ▼               ▼
+//!                                             touched-set cache  top_k(user,
+//!                                             invalidation          r, k)
 //! ```
 //!
 //! - [`engine::ServeEngine`] — start serving; [`engine::ServeHandle`] —
 //!   ingest events, query top-K, verify epoch consistency, shut down.
+//! - [`admission`] — overload control in front of the writer: shedding
+//!   policies (`block` / `drop-oldest` / `sample-1-in-k` with unbiased
+//!   reweighting), per-relation event priorities, and an occupancy/lag
+//!   detector that climbs an explicit degradation ladder and recovers with
+//!   hysteresis. The default `block` policy is bit-identical to classic
+//!   backpressure.
 //! - [`engine::AnnOptions`] — optional sub-linear retrieval: each epoch
 //!   carries per-relation `supa-ann` HNSW indexes (only touched nodes are
 //!   re-inserted between epochs); queries beam-search the index, re-score
@@ -31,9 +38,13 @@
 //! - [`cache::QueryCache`] — per-user result cache invalidated by the
 //!   rows each training chunk actually touched (SUPA's propagate step).
 //! - [`metrics::ServeMetrics`] — QPS, p50/p99 latency, cache hit rate,
-//!   staleness (admitted events not yet trained into published state).
+//!   staleness (admitted events not yet trained into published state),
+//!   shed counts per priority class, and the degradation-level gauge.
 //! - [`loadgen::run_closed_loop`] — seeded replay + query traffic with a
-//!   reproducible result digest, used by `serve_bench` and CI.
+//!   reproducible result digest, used by `serve_bench` and CI;
+//!   [`loadgen::run_open_loop`] — Poisson-arrival overload traffic that
+//!   does *not* slow the producer down when the engine lags, for proving
+//!   shed behavior and tail-latency bounds.
 //!
 //! ```
 //! use supa::{Supa, SupaConfig};
@@ -47,15 +58,19 @@
 //! assert_eq!(report.metrics.torn_reads, 0);
 //! ```
 
+pub mod admission;
 pub mod cache;
 pub mod engine;
 pub mod loadgen;
 pub mod metrics;
 
+pub use admission::{AdmissionOptions, DegradeLevel, ShedPolicy};
 pub use cache::QueryCache;
 pub use engine::{
-    AnnEpoch, AnnOptions, CheckpointOptions, EngineClosed, EpochSnapshot, QueryResult, ServeConfig,
-    ServeEngine, ServeHandle, ServeReport, StopCause,
+    AnnEpoch, AnnOptions, CheckpointOptions, ClosedCause, EngineClosed, EpochSnapshot, QueryResult,
+    ServeConfig, ServeEngine, ServeHandle, ServeReport, StopCause,
 };
-pub use loadgen::{run_closed_loop, LoadConfig, LoadReport};
+pub use loadgen::{
+    run_closed_loop, run_open_loop, LoadConfig, LoadReport, OpenLoopConfig, OpenLoopReport,
+};
 pub use metrics::{LatencyHistogram, MetricsReport, ServeMetrics};

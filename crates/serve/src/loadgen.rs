@@ -1,13 +1,29 @@
-//! Seeded closed-loop load generator: replays a dataset's event stream
-//! through a serving engine while reader threads issue query traffic, then
-//! reports throughput, latency, staleness, and consistency.
+//! Seeded load generators: replay a dataset's event stream through a
+//! serving engine while reader threads issue query traffic, then report
+//! throughput, latency, staleness, and consistency.
 //!
-//! The report separates *deterministic* fields (counts, the post-flush
-//! result digest — reproducible for a fixed seed) from *timing* fields
-//! (QPS, latency quantiles, cache hit rate — machine- and load-dependent),
-//! so seeded runs can be compared modulo timing.
+//! Two arrival models:
+//!
+//! - [`run_closed_loop`] — the producer offers the next event as soon as
+//!   the previous `ingest` returns, so a lagging engine slows the producer
+//!   down (backpressure hides overload). The report separates
+//!   *deterministic* fields (counts, the post-flush result digest —
+//!   reproducible for a fixed seed) from *timing* fields (QPS, latency
+//!   quantiles, cache hit rate — machine- and load-dependent), so seeded
+//!   runs can be compared modulo timing.
+//! - [`run_open_loop`] — seeded Poisson arrivals at a fixed mean rate that
+//!   do **not** slow down when the engine lags; the backlog is the
+//!   experiment. Readers hammer queries for the whole burst and their
+//!   latencies are recorded exactly (not histogram-bucketed), so the
+//!   report can prove tail-latency bounds under overload, alongside shed
+//!   counts and the degradation ladder's peak and recovery.
+//!
+//! Both runners can periodically append one JSON line of [`MetricsReport`]
+//! to [`LoadConfig::metrics_dump`] while they run.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -16,17 +32,18 @@ use supa_datasets::Dataset;
 use supa_eval::top_k_scored;
 use supa_graph::{NodeId, RelationId};
 
-use crate::engine::{ServeConfig, ServeEngine, StopCause};
+use crate::engine::{ServeConfig, ServeEngine, ServeHandle, StopCause};
 use crate::metrics::MetricsReport;
 
-/// Query-side knobs for [`run_closed_loop`].
+/// Query-side knobs for [`run_closed_loop`] and [`run_open_loop`].
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
     /// Concurrent reader threads.
     pub readers: usize,
     /// K for every top-K query.
     pub top_k: usize,
-    /// Queries each reader issues.
+    /// Queries each reader issues (closed loop only; open-loop readers run
+    /// for the duration of the burst).
     pub queries_per_reader: usize,
     /// Seed for the query mix (reader `i` uses `seed ^ i`-derived streams).
     pub seed: u64,
@@ -39,6 +56,9 @@ pub struct LoadConfig {
     /// Re-score every result against its claimed epoch's retained snapshot
     /// and count mismatches as torn reads.
     pub verify: bool,
+    /// Append a [`MetricsReport`] JSON line here every ~200 ms while the
+    /// run is live (plus one final line), for offline overload analysis.
+    pub metrics_dump: Option<std::path::PathBuf>,
 }
 
 impl Default for LoadConfig {
@@ -50,6 +70,7 @@ impl Default for LoadConfig {
             seed: 7,
             warmup_per_reader: 8,
             verify: true,
+            metrics_dump: None,
         }
     }
 }
@@ -118,6 +139,35 @@ impl QueryMix {
     }
 }
 
+/// Appends one [`MetricsReport`] JSON line (prefixed with a `t_ms` relative
+/// timestamp) every ~200 ms until `stop` is raised, then a final line.
+fn dump_loop(handle: &ServeHandle, file: std::fs::File, stop: &AtomicBool) {
+    use std::io::Write;
+    let mut wtr = std::io::BufWriter::new(file);
+    let t0 = Instant::now();
+    loop {
+        let done = stop.load(Ordering::Relaxed);
+        let line = handle.metrics().to_json();
+        // Splice the timestamp into the report object: both are flat JSON.
+        let _ = writeln!(
+            wtr,
+            "{{\"t_ms\":{},{}",
+            t0.elapsed().as_millis(),
+            &line[1..]
+        );
+        if done {
+            break;
+        }
+        for _ in 0..10 {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    let _ = wtr.flush();
+}
+
 /// Replays `dataset`'s event stream into a fresh serving engine while
 /// `load.readers` threads issue `load.queries_per_reader` queries each,
 /// then flushes, runs deterministic probe queries, and shuts down.
@@ -128,66 +178,295 @@ pub fn run_closed_loop(
     load: LoadConfig,
 ) -> std::io::Result<LoadReport> {
     let mix = QueryMix::from_dataset(dataset);
+    let mut dump_file = match &load.metrics_dump {
+        Some(path) => Some(std::fs::File::create(path)?),
+        None => None,
+    };
     let handle = ServeEngine::start(dataset.prototype.clone(), model, serve_cfg)?;
 
     let unverifiable = AtomicU64::new(0);
-    std::thread::scope(|scope| {
-        for reader in 0..load.readers {
+    let dump_stop = AtomicBool::new(false);
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    std::thread::scope(|outer| {
+        if let Some(file) = dump_file.take() {
             let handle = &handle;
-            let mix = &mix;
-            let unverifiable = &unverifiable;
-            let mut rng = SmallRng::seed_from_u64(load.seed ^ (reader as u64).wrapping_mul(0x9E37));
-            let mut warm_rng = SmallRng::seed_from_u64(
-                load.seed ^ 0x5741_524D ^ (reader as u64).wrapping_mul(0x9E37),
-            );
-            scope.spawn(move || {
-                for _ in 0..load.warmup_per_reader {
-                    let (user, rel) = mix.sample(&mut warm_rng);
-                    let _ = handle.warm_query(user, rel, load.top_k);
-                }
-                for _ in 0..load.queries_per_reader {
-                    let (user, rel) = mix.sample(&mut rng);
-                    let result = handle.query(user, rel, load.top_k);
-                    if load.verify && handle.verify(user, rel, load.top_k, &result).is_none() {
-                        unverifiable.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            });
+            let dump_stop = &dump_stop;
+            outer.spawn(move || dump_loop(handle, file, dump_stop));
         }
+        std::thread::scope(|scope| {
+            for reader in 0..load.readers {
+                let handle = &handle;
+                let mix = &mix;
+                let unverifiable = &unverifiable;
+                let mut rng =
+                    SmallRng::seed_from_u64(load.seed ^ (reader as u64).wrapping_mul(0x9E37));
+                let mut warm_rng = SmallRng::seed_from_u64(
+                    load.seed ^ 0x5741_524D ^ (reader as u64).wrapping_mul(0x9E37),
+                );
+                scope.spawn(move || {
+                    for _ in 0..load.warmup_per_reader {
+                        let (user, rel) = mix.sample(&mut warm_rng);
+                        let _ = handle.warm_query(user, rel, load.top_k);
+                    }
+                    for _ in 0..load.queries_per_reader {
+                        let (user, rel) = mix.sample(&mut rng);
+                        let result = handle.query(user, rel, load.top_k);
+                        if load.verify && handle.verify(user, rel, load.top_k, &result).is_none() {
+                            unverifiable.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
 
-        // The ingest loop runs on this thread, concurrent with the readers;
-        // `ingest` blocks when the bounded queue fills (backpressure).
-        for &edge in &dataset.edges {
-            if handle.ingest(edge).is_err() {
-                break; // writer stopped (strict-policy fault)
+            // The ingest loop runs on this thread, concurrent with the
+            // readers; under the default `block` policy `ingest` blocks when
+            // the bounded queue fills (backpressure).
+            for &edge in &dataset.edges {
+                if handle.ingest(edge).is_err() {
+                    break; // writer stopped (strict-policy fault)
+                }
+            }
+        });
+
+        // Drain the queue and train the final partial chunk so the probe
+        // sees every admitted event, then digest a deterministic query
+        // sample scored directly against the final snapshot (bypassing the
+        // cache, whose contents depend on reader timing).
+        let _ = handle.flush();
+        let snap = handle.snapshot();
+        let mut rng = SmallRng::seed_from_u64(load.seed);
+        for _ in 0..64 {
+            let (user, rel) = mix.sample(&mut rng);
+            let items = top_k_scored(&snap.scorer, user, handle.candidates(rel), rel, load.top_k);
+            fnv1a(&mut digest, &user.0.to_le_bytes());
+            fnv1a(&mut digest, &rel.0.to_le_bytes());
+            for (item, score) in items {
+                fnv1a(&mut digest, &item.0.to_le_bytes());
+                fnv1a(&mut digest, &score.to_bits().to_le_bytes());
             }
         }
+        dump_stop.store(true, Ordering::Relaxed);
     });
-
-    // Drain the queue and train the final partial chunk so the probe sees
-    // every admitted event, then digest a deterministic query sample scored
-    // directly against the final snapshot (bypassing the cache, whose
-    // contents depend on reader timing).
-    let _ = handle.flush();
-    let snap = handle.snapshot();
-    let mut digest = 0xCBF2_9CE4_8422_2325u64;
-    let mut rng = SmallRng::seed_from_u64(load.seed);
-    for _ in 0..64 {
-        let (user, rel) = mix.sample(&mut rng);
-        let items = top_k_scored(&snap.scorer, user, handle.candidates(rel), rel, load.top_k);
-        fnv1a(&mut digest, &user.0.to_le_bytes());
-        fnv1a(&mut digest, &rel.0.to_le_bytes());
-        for (item, score) in items {
-            fnv1a(&mut digest, &item.0.to_le_bytes());
-            fnv1a(&mut digest, &score.to_bits().to_le_bytes());
-        }
-    }
 
     let report = handle.shutdown();
     Ok(LoadReport {
         events_offered: dataset.edges.len() as u64,
         unverifiable: unverifiable.into_inner(),
         digest,
+        metrics: report.metrics,
+        stop: report.stop,
+    })
+}
+
+/// Arrival-side knobs for [`run_open_loop`].
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Mean Poisson arrival rate, events per second. Offered load, not
+    /// achieved load: the producer never slows down for a lagging engine.
+    pub arrival_rate: f64,
+    /// Events to offer (truncated to the dataset's stream length).
+    pub events: usize,
+    /// After the burst is flushed, how long to wait for the degradation
+    /// ladder to walk back to level 0 before giving up (the report records
+    /// the level actually reached).
+    pub recovery_timeout: Duration,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            arrival_rate: 50_000.0,
+            events: 4096,
+            recovery_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Outcome of one open-loop (Poisson-arrival) overload run.
+#[derive(Debug)]
+pub struct OpenLoopReport {
+    /// Events actually offered to admission control.
+    pub events_offered: u64,
+    /// Wall-clock duration of the arrival burst.
+    pub burst_secs: f64,
+    /// `events_offered / burst_secs` — sags below the configured rate only
+    /// if the admission path itself blocked (e.g. pre-escalation
+    /// backpressure), since the pacer never waits for the engine.
+    pub achieved_rate: f64,
+    /// Metered queries answered during the burst.
+    pub queries: u64,
+    /// Exact (sorted-sample, not histogram) query latency median, µs.
+    pub query_p50_us: f64,
+    /// Exact query latency 99th percentile, µs.
+    pub query_p99_us: f64,
+    /// Verified queries whose epoch aged out of the history ring.
+    pub unverifiable: u64,
+    /// Highest degradation-ladder level the burst forced.
+    pub max_level: u64,
+    /// Ladder level after the recovery wait (0 = fully recovered).
+    pub final_level: u8,
+    /// Serving metrics at shutdown (shed counts live here).
+    pub metrics: MetricsReport,
+    /// Why the writer stopped (normally `Shutdown`).
+    pub stop: StopCause,
+}
+
+impl std::fmt::Display for OpenLoopReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "offered {} events in {:.2}s (~{:.0} ev/s achieved)",
+            self.events_offered, self.burst_secs, self.achieved_rate
+        )?;
+        writeln!(f, "{}", self.metrics)?;
+        writeln!(
+            f,
+            "open:   {} queries, exact p50 {:.1} µs, p99 {:.1} µs, {} unverifiable",
+            self.queries, self.query_p50_us, self.query_p99_us, self.unverifiable
+        )?;
+        write!(
+            f,
+            "ladder: peaked at level {}, finished at level {}",
+            self.max_level, self.final_level
+        )
+    }
+}
+
+/// Exact percentile over an ascending sample (0 for an empty sample).
+fn pctl(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = (p.clamp(0.0, 1.0) * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)]
+}
+
+/// Offers `open.events` events at seeded Poisson arrivals of
+/// `open.arrival_rate`/s while `load.readers` threads hammer queries, then
+/// flushes, waits for ladder recovery, and shuts down.
+///
+/// The producer is *open-loop*: when an arrival's scheduled time is already
+/// past it fires immediately and never re-paces, so a lagging engine faces
+/// the full configured rate — exactly the regime admission control exists
+/// for.
+pub fn run_open_loop(
+    dataset: &Dataset,
+    model: Supa,
+    serve_cfg: ServeConfig,
+    load: LoadConfig,
+    open: OpenLoopConfig,
+) -> std::io::Result<OpenLoopReport> {
+    if !open.arrival_rate.is_finite() || open.arrival_rate <= 0.0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "open-loop arrival_rate must be a positive finite rate, got {}",
+                open.arrival_rate
+            ),
+        ));
+    }
+    let mix = QueryMix::from_dataset(dataset);
+    let mut dump_file = match &load.metrics_dump {
+        Some(path) => Some(std::fs::File::create(path)?),
+        None => None,
+    };
+    let handle = ServeEngine::start(dataset.prototype.clone(), model, serve_cfg)?;
+
+    let unverifiable = AtomicU64::new(0);
+    let dump_stop = AtomicBool::new(false);
+    let read_stop = AtomicBool::new(false);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let events = open.events.min(dataset.edges.len());
+    let mut offered = 0u64;
+    let mut burst_secs = 0.0f64;
+    std::thread::scope(|outer| {
+        if let Some(file) = dump_file.take() {
+            let handle = &handle;
+            let dump_stop = &dump_stop;
+            outer.spawn(move || dump_loop(handle, file, dump_stop));
+        }
+        std::thread::scope(|scope| {
+            for reader in 0..load.readers {
+                let handle = &handle;
+                let mix = &mix;
+                let unverifiable = &unverifiable;
+                let read_stop = &read_stop;
+                let latencies = &latencies;
+                let mut rng =
+                    SmallRng::seed_from_u64(load.seed ^ (reader as u64).wrapping_mul(0x9E37));
+                let mut warm_rng = SmallRng::seed_from_u64(
+                    load.seed ^ 0x5741_524D ^ (reader as u64).wrapping_mul(0x9E37),
+                );
+                scope.spawn(move || {
+                    for _ in 0..load.warmup_per_reader {
+                        let (user, rel) = mix.sample(&mut warm_rng);
+                        let _ = handle.warm_query(user, rel, load.top_k);
+                    }
+                    let mut local = Vec::new();
+                    while !read_stop.load(Ordering::Relaxed) {
+                        let (user, rel) = mix.sample(&mut rng);
+                        let t0 = Instant::now();
+                        let result = handle.query(user, rel, load.top_k);
+                        local.push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                        if load.verify && handle.verify(user, rel, load.top_k, &result).is_none() {
+                            unverifiable.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    latencies.lock().unwrap().extend(local);
+                });
+            }
+
+            // Seeded Poisson pacer on this thread: exponential inter-arrival
+            // gaps, absolute-time targets (drift-free), never waits for the
+            // engine when behind schedule.
+            let mut rng = SmallRng::seed_from_u64(load.seed ^ 0x4F50_454E);
+            let start = Instant::now();
+            let mut next_s = 0.0f64;
+            for &edge in &dataset.edges[..events] {
+                next_s += -(1.0 - rng.random::<f64>()).ln() / open.arrival_rate;
+                let target = start + Duration::from_secs_f64(next_s);
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+                if handle.ingest(edge).is_err() {
+                    break; // writer stopped
+                }
+                offered += 1;
+            }
+            burst_secs = start.elapsed().as_secs_f64();
+            read_stop.store(true, Ordering::Relaxed);
+        });
+
+        // Drain and train everything that survived admission, then give the
+        // writer's idle ticks time to walk the ladder back to full service.
+        let _ = handle.flush();
+        let deadline = Instant::now() + open.recovery_timeout;
+        while handle.degradation_level() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        dump_stop.store(true, Ordering::Relaxed);
+    });
+
+    let mut lat = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+    lat.sort_unstable();
+    let final_level = handle.degradation_level();
+    let report = handle.shutdown();
+    let max_level = report.metrics.degradation_max;
+    Ok(OpenLoopReport {
+        events_offered: offered,
+        burst_secs,
+        achieved_rate: if burst_secs > 0.0 {
+            offered as f64 / burst_secs
+        } else {
+            0.0
+        },
+        queries: lat.len() as u64,
+        query_p50_us: pctl(&lat, 0.50) as f64 / 1e3,
+        query_p99_us: pctl(&lat, 0.99) as f64 / 1e3,
+        unverifiable: unverifiable.into_inner(),
+        max_level,
+        final_level,
         metrics: report.metrics,
         stop: report.stop,
     })

@@ -4,10 +4,14 @@
 //! Everything is `AtomicU64` with relaxed ordering — metrics are advisory
 //! and must never serialize the query path. Staleness is defined as
 //! `events_ingested − events_applied`: how many admitted events the
-//! currently-published embeddings have not yet absorbed.
+//! currently-published embeddings have not yet absorbed. Admission-control
+//! counters (`events_shed_*`, the degradation-level gauge and transition
+//! tallies) stay zero under the default `block` policy.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use supa_graph::EventPriority;
 
 /// Number of log₂ latency buckets; bucket `i` covers `[2^i, 2^{i+1})` ns,
 /// bucket 0 covers `[0, 2)` ns. 2⁴⁷ ns ≈ 39 h, comfortably past any query.
@@ -35,9 +39,12 @@ impl LatencyHistogram {
         self.counts[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Total observations.
+    /// Total observations (saturating: a histogram that has absorbed
+    /// `u64::MAX` samples reports `u64::MAX`, it does not wrap).
     pub fn count(&self) -> u64 {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+        self.counts
+            .iter()
+            .fold(0u64, |acc, c| acc.saturating_add(c.load(Ordering::Relaxed)))
     }
 
     /// The upper bound (ns) of the bucket containing quantile `q ∈ [0, 1]`,
@@ -50,7 +57,7 @@ impl LatencyHistogram {
         let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, c) in self.counts.iter().enumerate() {
-            seen += c.load(Ordering::Relaxed);
+            seen = seen.saturating_add(c.load(Ordering::Relaxed));
             if seen >= rank {
                 return 1u64 << (i + 1).min(63);
             }
@@ -88,6 +95,24 @@ pub struct ServeMetrics {
     pub ann_guard_matched: AtomicU64,
     /// Guard checks whose recall fell below the configured floor.
     pub ann_guard_breaches: AtomicU64,
+    /// Low-priority events shed by the admission layer.
+    pub events_shed_low: AtomicU64,
+    /// Normal-priority events shed by the admission layer.
+    pub events_shed_normal: AtomicU64,
+    /// High-priority events shed by the admission layer.
+    pub events_shed_high: AtomicU64,
+    /// Events admitted as 1-in-k survivors (their updates carry weight `k`).
+    pub events_resampled: AtomicU64,
+    /// Current degradation-ladder level (gauge, 0 = full service).
+    pub degradation_level: AtomicU64,
+    /// Highest ladder level reached over the engine's lifetime.
+    pub degradation_max: AtomicU64,
+    /// Ladder escalations (level increases).
+    pub level_escalations: AtomicU64,
+    /// Ladder de-escalations (recoveries toward full service).
+    pub level_deescalations: AtomicU64,
+    /// Queue occupancy at the most recent shed decision (gauge).
+    pub shed_occupancy: AtomicU64,
     /// Query latency distribution.
     pub latency: LatencyHistogram,
 }
@@ -99,6 +124,40 @@ impl ServeMetrics {
         self.events_ingested
             .load(Ordering::Relaxed)
             .saturating_sub(self.events_applied.load(Ordering::Relaxed))
+    }
+
+    /// Total events shed across all priority classes (saturating).
+    pub fn events_shed(&self) -> u64 {
+        self.events_shed_low
+            .load(Ordering::Relaxed)
+            .saturating_add(self.events_shed_normal.load(Ordering::Relaxed))
+            .saturating_add(self.events_shed_high.load(Ordering::Relaxed))
+    }
+
+    /// Tallies one shed event of class `prio`, observed at `occupancy`
+    /// queued events.
+    pub fn count_shed(&self, prio: EventPriority, occupancy: usize) {
+        let counter = match prio {
+            EventPriority::Low => &self.events_shed_low,
+            EventPriority::Normal => &self.events_shed_normal,
+            EventPriority::High => &self.events_shed_high,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.shed_occupancy
+            .store(occupancy as u64, Ordering::Relaxed);
+    }
+
+    /// Records a degradation-ladder transition to `level`, updating the
+    /// gauge, lifetime max, and the escalation/de-escalation tallies.
+    pub fn record_level(&self, level: u8) {
+        let prev = self.degradation_level.swap(level as u64, Ordering::Relaxed);
+        if (level as u64) > prev {
+            self.level_escalations.fetch_add(1, Ordering::Relaxed);
+        } else if (level as u64) < prev {
+            self.level_deescalations.fetch_add(1, Ordering::Relaxed);
+        }
+        self.degradation_max
+            .fetch_max(level as u64, Ordering::Relaxed);
     }
 
     /// Derives the human-facing report. `elapsed` is the serving wall-clock
@@ -129,6 +188,15 @@ impl ServeMetrics {
                 }
             },
             ann_guard_breaches: self.ann_guard_breaches.load(Ordering::Relaxed),
+            events_shed_low: self.events_shed_low.load(Ordering::Relaxed),
+            events_shed_normal: self.events_shed_normal.load(Ordering::Relaxed),
+            events_shed_high: self.events_shed_high.load(Ordering::Relaxed),
+            events_resampled: self.events_resampled.load(Ordering::Relaxed),
+            degradation_level: self.degradation_level.load(Ordering::Relaxed),
+            degradation_max: self.degradation_max.load(Ordering::Relaxed),
+            level_escalations: self.level_escalations.load(Ordering::Relaxed),
+            level_deescalations: self.level_deescalations.load(Ordering::Relaxed),
+            shed_occupancy: self.shed_occupancy.load(Ordering::Relaxed),
             qps: if elapsed.as_secs_f64() > 0.0 {
                 queries as f64 / elapsed.as_secs_f64()
             } else {
@@ -161,10 +229,65 @@ pub struct MetricsReport {
     /// expected`; 1.0 when no guard check has run).
     pub ann_recall: f64,
     pub ann_guard_breaches: u64,
+    pub events_shed_low: u64,
+    pub events_shed_normal: u64,
+    pub events_shed_high: u64,
+    pub events_resampled: u64,
+    /// Degradation-ladder level at report time (0 = full service).
+    pub degradation_level: u64,
+    pub degradation_max: u64,
+    pub level_escalations: u64,
+    pub level_deescalations: u64,
+    pub shed_occupancy: u64,
     pub qps: f64,
     pub p50_us: f64,
     pub p99_us: f64,
     pub staleness: u64,
+}
+
+impl MetricsReport {
+    /// Total events shed across all priority classes.
+    pub fn events_shed(&self) -> u64 {
+        self.events_shed_low
+            .saturating_add(self.events_shed_normal)
+            .saturating_add(self.events_shed_high)
+    }
+
+    /// The report as one line of JSON (for the `--metrics-dump` JSON-lines
+    /// stream). Hand-rolled: every field is a plain number and the float
+    /// fields are guaranteed finite by [`ServeMetrics::report`].
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::with_capacity(640);
+        s.push('{');
+        let _ = write!(s, "\"events_ingested\":{},", self.events_ingested);
+        let _ = write!(s, "\"events_quarantined\":{},", self.events_quarantined);
+        let _ = write!(s, "\"events_applied\":{},", self.events_applied);
+        let _ = write!(s, "\"epochs_published\":{},", self.epochs_published);
+        let _ = write!(s, "\"queries\":{},", self.queries);
+        let _ = write!(s, "\"cache_hit_rate\":{:.6},", self.cache_hit_rate);
+        let _ = write!(s, "\"torn_reads\":{},", self.torn_reads);
+        let _ = write!(s, "\"ann_queries\":{},", self.ann_queries);
+        let _ = write!(s, "\"ann_guard_checks\":{},", self.ann_guard_checks);
+        let _ = write!(s, "\"ann_recall\":{:.6},", self.ann_recall);
+        let _ = write!(s, "\"ann_guard_breaches\":{},", self.ann_guard_breaches);
+        let _ = write!(s, "\"events_shed_low\":{},", self.events_shed_low);
+        let _ = write!(s, "\"events_shed_normal\":{},", self.events_shed_normal);
+        let _ = write!(s, "\"events_shed_high\":{},", self.events_shed_high);
+        let _ = write!(s, "\"events_shed\":{},", self.events_shed());
+        let _ = write!(s, "\"events_resampled\":{},", self.events_resampled);
+        let _ = write!(s, "\"degradation_level\":{},", self.degradation_level);
+        let _ = write!(s, "\"degradation_max\":{},", self.degradation_max);
+        let _ = write!(s, "\"level_escalations\":{},", self.level_escalations);
+        let _ = write!(s, "\"level_deescalations\":{},", self.level_deescalations);
+        let _ = write!(s, "\"shed_occupancy\":{},", self.shed_occupancy);
+        let _ = write!(s, "\"qps\":{:.3},", self.qps);
+        let _ = write!(s, "\"p50_us\":{:.3},", self.p50_us);
+        let _ = write!(s, "\"p99_us\":{:.3},", self.p99_us);
+        let _ = write!(s, "\"staleness\":{}", self.staleness);
+        s.push('}');
+        s
+    }
 }
 
 impl std::fmt::Display for MetricsReport {
@@ -196,6 +319,22 @@ impl std::fmt::Display for MetricsReport {
                 self.ann_queries, self.ann_guard_checks, self.ann_recall, self.ann_guard_breaches,
             )?;
         }
+        if self.events_shed() > 0 || self.events_resampled > 0 || self.degradation_max > 0 {
+            write!(
+                f,
+                "\nshed:   {} shed (low {}, normal {}, high {}), {} resampled, \
+                 level {} (max {}, {} up / {} down)",
+                self.events_shed(),
+                self.events_shed_low,
+                self.events_shed_normal,
+                self.events_shed_high,
+                self.events_resampled,
+                self.degradation_level,
+                self.degradation_max,
+                self.level_escalations,
+                self.level_deescalations,
+            )?;
+        }
         Ok(())
     }
 }
@@ -222,6 +361,48 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_reports_zero_for_every_quantile() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 0);
+        }
+        // A report over zero samples is all-zero, not NaN.
+        let r = ServeMetrics::default().report(Duration::ZERO);
+        assert_eq!(r.p50_us, 0.0);
+        assert_eq!(r.p99_us, 0.0);
+        assert_eq!(r.qps, 0.0);
+        assert_eq!(r.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile_to_its_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(100));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let ns = h.quantile_ns(q);
+            // One observation: p50 == p99 == p100, within the 2× bucket.
+            assert!((100_000..=200_000).contains(&ns), "q={q} -> {ns}");
+        }
+    }
+
+    #[test]
+    fn saturated_counters_do_not_wrap_or_panic() {
+        let h = LatencyHistogram::default();
+        h.counts[10].store(u64::MAX, Ordering::Relaxed);
+        h.counts[20].store(u64::MAX, Ordering::Relaxed);
+        assert_eq!(h.count(), u64::MAX);
+        // Quantiles stay ordered and land in a populated bucket.
+        let p50 = h.quantile_ns(0.5);
+        let p99 = h.quantile_ns(0.99);
+        assert!(p50 >= 1u64 << 11, "{p50}");
+        assert!(p99 >= p50, "{p50} vs {p99}");
+        // An absurd observation saturates into the top bucket.
+        h.record(Duration::from_secs(u64::MAX));
+        assert_eq!(h.counts[BUCKETS - 1].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
     fn report_derives_rates() {
         let m = ServeMetrics::default();
         m.events_ingested.store(100, Ordering::Relaxed);
@@ -236,5 +417,36 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("torn reads 0"), "{text}");
         assert!(text.contains("staleness 10"), "{text}");
+        // No shed line when the admission layer never acted.
+        assert!(!text.contains("shed:"), "{text}");
+    }
+
+    #[test]
+    fn shed_counters_feed_the_report_and_json() {
+        let m = ServeMetrics::default();
+        m.count_shed(EventPriority::Low, 60);
+        m.count_shed(EventPriority::Low, 61);
+        m.count_shed(EventPriority::High, 62);
+        m.events_resampled.fetch_add(5, Ordering::Relaxed);
+        m.record_level(1);
+        m.record_level(2);
+        m.record_level(1);
+        let r = m.report(Duration::from_secs(1));
+        assert_eq!(r.events_shed(), 3);
+        assert_eq!(r.events_shed_low, 2);
+        assert_eq!(r.events_shed_high, 1);
+        assert_eq!(r.shed_occupancy, 62);
+        assert_eq!(r.degradation_level, 1);
+        assert_eq!(r.degradation_max, 2);
+        assert_eq!(r.level_escalations, 2);
+        assert_eq!(r.level_deescalations, 1);
+        let text = r.to_string();
+        assert!(text.contains("shed:   3 shed"), "{text}");
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(!json.contains('\n'), "{json}");
+        assert!(json.contains("\"events_shed\":3,"), "{json}");
+        assert!(json.contains("\"degradation_max\":2,"), "{json}");
+        assert!(json.contains("\"staleness\":0"), "{json}");
     }
 }

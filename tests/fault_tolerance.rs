@@ -211,3 +211,43 @@ fn one_percent_malformed_stream_is_quarantined_or_rejected() {
     let msg = err.to_string();
     assert!(!msg.is_empty());
 }
+
+/// A panicking writer thread must surface to producers as a *panic*-caused
+/// `EngineClosed` — distinct from a strict-policy stop or a clean shutdown
+/// — and the shutdown report must preserve the panic message so operators
+/// see what died, not just that ingest stopped.
+#[test]
+fn writer_panic_surfaces_as_distinct_engine_closed_cause() {
+    use supa_serve::{ClosedCause, ServeConfig, ServeEngine, StopCause};
+
+    let d = taobao(0.02, 19);
+    let handle = ServeEngine::start(
+        d.prototype.clone(),
+        model(&d, 19).with_inslearn(il_config()),
+        ServeConfig {
+            train_batch: 16,
+            panic_after: Some(40),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut closed = None;
+    for &e in &d.edges {
+        if let Err(err) = handle.ingest(e) {
+            closed = Some(err);
+            break;
+        }
+    }
+    let closed = closed.expect("ingest must start failing once the writer has panicked");
+    assert_eq!(closed.cause, ClosedCause::Panic);
+    assert!(closed.to_string().contains("panicked"), "{closed}");
+
+    let report = handle.shutdown();
+    match report.stop {
+        StopCause::Panicked(msg) => {
+            assert!(msg.contains("injected"), "panic payload lost: {msg}")
+        }
+        other => panic!("expected a panic stop cause, got {other:?}"),
+    }
+}
