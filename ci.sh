@@ -67,6 +67,45 @@ cargo run --release -p supa-bench --bin serve_bench -- \
   --open-loop --overload-factor 2.0 --queue 64 \
   --shed-policy sample-1-in-k --sample-k 4 --expect-shed --max-p99-us 50000
 
+# Replication smoke: one writer publishing per-epoch deltas, one replica
+# tailing them. The replica's probe digest must equal the writer's
+# bit-for-bit (same epoch ⇒ byte-identical top-K ids and scores), and
+# both processes must exit cleanly. The writer publishes over both
+# transports at once: a loopback TCP stream (--publish-wait 1 blocks the
+# engine until the replica attaches at epoch 0) and the append-only
+# segment file, which a second replica then replays offline.
+repl_data=$(mktemp)
+repl_seg=$(mktemp)
+repl_log=$(mktemp)
+repl_port=$(( 20000 + RANDOM % 20000 ))
+cargo run --release -p supa-serve --bin supa -- generate \
+  --dataset uci --scale 0.01 --seed 7 --out "$repl_data"
+cargo run --release -p supa-serve --bin supa -- serve \
+  --data "$repl_data" --readers 2 --queries 100 --seed 7 \
+  --publish-addr 127.0.0.1:"$repl_port" --publish-wait 1 \
+  --publish-segment "$repl_seg" > "$repl_log" 2>&1 &
+writer_pid=$!
+tcp_digest=$(cargo run --release -p supa-serve --bin supa -- replica \
+  --data "$repl_data" --connect 127.0.0.1:"$repl_port" --seed 7 | digest_of)
+wait "$writer_pid" || {
+  cat "$repl_log" >&2
+  echo "ci: replication writer exited non-zero" >&2
+  exit 1
+}
+writer_digest=$(digest_of < "$repl_log")
+segment_digest=$(cargo run --release -p supa-serve --bin supa -- replica \
+  --data "$repl_data" --segment "$repl_seg" --seed 7 | digest_of)
+[ -n "$writer_digest" ] || { echo "ci: no probe digest in replication writer output" >&2; exit 1; }
+[ "$writer_digest" = "$tcp_digest" ] || {
+  echo "ci: TCP replica diverged from writer ($writer_digest vs $tcp_digest)" >&2
+  exit 1
+}
+[ "$writer_digest" = "$segment_digest" ] || {
+  echo "ci: segment replica diverged from writer ($writer_digest vs $segment_digest)" >&2
+  exit 1
+}
+rm -f "$repl_data" "$repl_seg" "$repl_log"
+
 # Kernel timing gate: ns-per-call for the vector kernels plus the
 # adjacency-scan and whole-train-event macro benches, diffed against the
 # checked-in baseline. Fails on a >25% regression vs baseline or on the

@@ -1204,6 +1204,273 @@ pub fn overload(cfg: &HarnessConfig) -> Vec<Table> {
     vec![t]
 }
 
+/// Replication: delta wire economy and read scaling.
+///
+/// Part 1 replays the stream with segment publication and sizes the frames:
+/// mean/max delta bytes per epoch against the full-baseline bytes (the
+/// ratio is what makes per-epoch deltas shippable at all), plus the mean
+/// apply cost per delta on a cold replica.
+///
+/// Part 2 runs the writer under query load with 0, 1, and 2 TCP replicas
+/// attached from epoch 0; once each replica has caught up (clean EOF) it
+/// answers its own query batch, and the aggregate of writer + replica QPS
+/// is the multi-process read-scaling curve.
+///
+/// Besides the usual table/TSV, writes machine-readable
+/// `BENCH_replication.json` at the repo root. Byte counts and epoch counts
+/// are deterministic for a seeded run; QPS and timing are machine-dependent
+/// (bit-identity of replica answers is asserted in `tests/replication.rs`,
+/// not here).
+pub fn replication(cfg: &HarnessConfig) -> Vec<Table> {
+    use std::time::Instant;
+    use supa::delta::{decode_frame, Frame};
+    use supa_graph::{NodeId, RelationId};
+    use supa_replica::{replay_segment, run_tcp, PublishOptions, Replica};
+    use supa_serve::{run_closed_loop, LoadConfig, ServeConfig};
+
+    let mut d = make_dataset("Taobao", cfg);
+    if cfg.quick {
+        d.edges.truncate(2_000);
+    }
+    // Wire economy is a ratio of full-graph bytes to touched-set bytes, so
+    // it needs the paper-scale node population: at bench scales the item
+    // floor (1 400) makes the graph so small that one 64-event epoch
+    // touches most rows. Only the stream length is truncated for speed.
+    let economy_scale = cfg.scale.max(1.0);
+    let mut econ = make_dataset(
+        "Taobao",
+        &HarnessConfig {
+            scale: economy_scale,
+            ..*cfg
+        },
+    );
+    econ.edges.truncate(if cfg.quick { 1_000 } else { 2_000 });
+    // Publication cadence for the economy run. Delta bytes scale with the
+    // rows an epoch touches, so the economy of the wire format is a
+    // function of how often the writer publishes: small epochs ship small
+    // deltas. 8 events/epoch is the fine-grained end of the cadence.
+    let economy_train_batch = 8usize;
+    let load = |readers: usize| LoadConfig {
+        readers,
+        queries_per_reader: if cfg.quick { 200 } else { 500 },
+        seed: cfg.seed,
+        verify: false,
+        ..LoadConfig::default()
+    };
+    let replica_queries = if cfg.quick { 500 } else { 2_000 };
+
+    // Query mix for the replica side: every (relation, source node) pair
+    // universe, cycled — the same shape the serving load generator uses.
+    let pairs: Vec<(NodeId, RelationId)> = {
+        let schema = d.prototype.schema();
+        let mut pairs = Vec::new();
+        for r in 0..schema.num_relations() {
+            let rel = RelationId(r as u16);
+            let users = d
+                .prototype
+                .nodes_of_type(schema.relation(rel).unwrap().src_type);
+            for &u in users.iter().take(64) {
+                pairs.push((u, rel));
+            }
+        }
+        pairs
+    };
+
+    // --- part 1: frame economy over the segment transport ---------------
+    let seg_path = std::env::temp_dir().join(format!("supa-bench-replication-{}.seg", cfg.seed));
+    let _ = std::fs::remove_file(&seg_path);
+    let report = run_closed_loop(
+        &econ,
+        make_supa(&econ, cfg),
+        ServeConfig {
+            train_batch: economy_train_batch,
+            replication: Some(PublishOptions {
+                segment: Some(seg_path.clone()),
+                ..PublishOptions::default()
+            }),
+            ..ServeConfig::default()
+        },
+        load(0),
+    )
+    .expect("segment-publishing replay");
+    let buf = std::fs::read(&seg_path).expect("segment file");
+    let (mut baseline_bytes, mut delta_bytes, mut max_delta, mut epochs) = (0u64, 0u64, 0u64, 0u64);
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let (frame, consumed) = decode_frame(&buf[pos..]).expect("well-formed segment");
+        match frame {
+            Frame::Baseline(_) => baseline_bytes = consumed as u64,
+            Frame::Delta(_) => {
+                delta_bytes += consumed as u64;
+                max_delta = max_delta.max(consumed as u64);
+                epochs += 1;
+            }
+        }
+        pos += consumed;
+    }
+    let mean_delta = delta_bytes as f64 / (epochs.max(1)) as f64;
+    let ratio = baseline_bytes as f64 / mean_delta.max(1.0);
+    let t0 = Instant::now();
+    let mut cold = Replica::new(econ.prototype.clone(), None);
+    replay_segment(&seg_path, &mut cold).expect("cold replay");
+    let apply_us = t0.elapsed().as_secs_f64() * 1e6 / (epochs.max(1)) as f64;
+    let _ = std::fs::remove_file(&seg_path);
+    eprintln!(
+        "[replication] {} epochs: baseline {} B, mean delta {:.0} B (max {}), \
+         {ratio:.1}× smaller, cold apply {apply_us:.0} µs/epoch",
+        epochs, baseline_bytes, mean_delta, max_delta
+    );
+    if ratio < 10.0 {
+        eprintln!("[replication] WARNING: delta/baseline ratio below the 10× target");
+    }
+
+    // --- part 2: aggregate QPS with 0/1/2 replicas -----------------------
+    let mut t = Table::new(
+        "Replication — read scaling, writer + R replicas",
+        vec![
+            "replicas".into(),
+            "writer qps".into(),
+            "replica qps".into(),
+            "aggregate".into(),
+            "catchup".into(),
+        ],
+    );
+    let mut scaling = Vec::new();
+    for replicas in [0usize, 1, 2] {
+        // Pre-bind to learn a free port, then let the engine take it; the
+        // replicas' connect loop retries through the hand-off window.
+        let addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+            probe.local_addr().expect("probe addr").to_string()
+        };
+        let replication = (replicas > 0).then(|| PublishOptions {
+            tcp_addr: Some(addr.clone()),
+            wait_subscribers: replicas,
+            ..PublishOptions::default()
+        });
+        let model = make_supa(&d, cfg);
+        let (writer_report, replica_stats) = std::thread::scope(|scope| {
+            let tails: Vec<_> = (0..replicas)
+                .map(|_| {
+                    let addr = &addr;
+                    let d = &d;
+                    let pairs = &pairs;
+                    scope.spawn(move || {
+                        let mut replica = Replica::new(d.prototype.clone(), None);
+                        run_tcp(addr, &mut replica, 4).expect("replica tail");
+                        let caught_up = Instant::now();
+                        let t0 = Instant::now();
+                        for i in 0..replica_queries {
+                            let (user, rel) = pairs[i % pairs.len()];
+                            std::hint::black_box(replica.query(user, rel, 10));
+                        }
+                        let qps = replica_queries as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+                        (qps, caught_up, replica.counters)
+                    })
+                })
+                .collect();
+            let report = run_closed_loop(
+                &d,
+                model,
+                ServeConfig {
+                    train_batch: 64,
+                    replication,
+                    ..ServeConfig::default()
+                },
+                load(2),
+            )
+            .expect("writer under query load");
+            let writer_done = Instant::now();
+            let stats: Vec<(f64, f64, u64)> = tails
+                .into_iter()
+                .map(|h| {
+                    let (qps, caught_up, counters) = h.join().expect("replica thread");
+                    let catchup_ms = caught_up
+                        .saturating_duration_since(writer_done)
+                        .as_secs_f64()
+                        * 1e3;
+                    assert_eq!(counters.crc_failures, 0, "clean run must not tear frames");
+                    (qps, catchup_ms, counters.deltas_applied)
+                })
+                .collect();
+            (report, stats)
+        });
+        let writer_qps = writer_report.metrics.qps;
+        let replica_qps = replica_stats.iter().fold(0.0f64, |acc, &(q, _, _)| acc + q);
+        let catchup_ms = replica_stats
+            .iter()
+            .map(|&(_, c, _)| c)
+            .fold(0.0f64, f64::max);
+        eprintln!(
+            "[replication] {replicas} replicas: writer {writer_qps:.0} qps + \
+             replicas {replica_qps:.0} qps = {:.0} aggregate, catchup ≤{catchup_ms:.0} ms",
+            writer_qps + replica_qps
+        );
+        t.push(vec![
+            replicas.to_string(),
+            format!("{writer_qps:.0}"),
+            format!("{replica_qps:.0}"),
+            format!("{:.0}", writer_qps + replica_qps),
+            format!("{catchup_ms:.0} ms"),
+        ]);
+        scaling.push((replicas, writer_qps, replica_qps, catchup_ms, replica_stats));
+    }
+
+    // --- machine-readable artefact at the repo root ----------------------
+    let jarr = |items: Vec<String>| format!("[\n    {}\n  ]", items.join(",\n    "));
+    let scaling_json = jarr(
+        scaling
+            .iter()
+            .map(|(replicas, writer_qps, replica_qps, catchup_ms, stats)| {
+                let per_replica = stats
+                    .iter()
+                    .map(|&(q, _, deltas)| {
+                        format!("{{\"qps\": {q:.1}, \"deltas_applied\": {deltas}}}")
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "{{\"replicas\": {replicas}, \"writer_qps\": {writer_qps:.1}, \
+                     \"replica_qps\": {replica_qps:.1}, \"aggregate_qps\": {:.1}, \
+                     \"max_catchup_ms\": {catchup_ms:.1}, \"per_replica\": [{per_replica}]}}",
+                    writer_qps + replica_qps,
+                )
+            })
+            .collect(),
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"replication\",\n  \"dataset\": \"{}\",\n  \
+         \"scale\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
+         \"economy_scale\": {economy_scale},\n  \
+         \"economy_nodes\": {},\n  \
+         \"economy_train_batch\": {economy_train_batch},\n  \
+         \"events\": {},\n  \"epochs\": {epochs},\n  \
+         \"events_applied\": {},\n  \
+         \"baseline_bytes\": {baseline_bytes},\n  \
+         \"mean_delta_bytes\": {mean_delta:.1},\n  \
+         \"max_delta_bytes\": {max_delta},\n  \
+         \"total_delta_bytes\": {delta_bytes},\n  \
+         \"baseline_to_mean_delta_ratio\": {ratio:.2},\n  \
+         \"cold_apply_us_per_epoch\": {apply_us:.1},\n  \
+         \"scaling\": {scaling_json}\n}}\n",
+        d.name,
+        cfg.scale,
+        cfg.seed,
+        cfg.quick,
+        econ.num_nodes(),
+        econ.edges.len(),
+        report.metrics.events_applied,
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_replication.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[replication] wrote {}", path.display()),
+        Err(e) => eprintln!("[replication] could not write {}: {e}", path.display()),
+    }
+    t.save_tsv("replication.tsv").ok();
+    vec![t]
+}
+
 /// Renders the Figure 9 scatter (user-item pairs joined by lines) as an SVG
 /// per method, mirroring the paper's visual.
 pub fn fig9_svg(coords: &Table) -> std::io::Result<std::path::PathBuf> {

@@ -36,47 +36,11 @@ use std::path::{Path, PathBuf};
 
 use supa_embed::EmbeddingTable;
 
+use crate::framing::{crc32_finish, crc32_update, CRC_INIT};
 use crate::model::{AdamScalar, Supa, SupaState};
 
 const MAGIC_V1: &[u8; 8] = b"SUPAv001";
 const MAGIC_V2: &[u8; 8] = b"SUPAv002";
-
-/// IEEE CRC-32 lookup table (polynomial 0xEDB88320), built at compile time
-/// so no external crate is needed.
-const CRC32_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-/// Feeds `data` into a running CRC-32. Start with [`CRC_INIT`], finish with
-/// [`crc32_finish`].
-fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
-    for &b in data {
-        crc = CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
-    }
-    crc
-}
-
-const CRC_INIT: u32 = 0xFFFF_FFFF;
-
-fn crc32_finish(crc: u32) -> u32 {
-    !crc
-}
 
 /// Metadata recovered from a checkpoint header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -688,13 +652,6 @@ mod tests {
         let p = mgr2.save(&m, 2).unwrap();
         assert!(p.to_string_lossy().contains("ckpt-0000000001"));
         std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn crc32_matches_known_vector() {
-        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
-        let crc = crc32_finish(crc32_update(CRC_INIT, b"123456789"));
-        assert_eq!(crc, 0xCBF4_3926);
     }
 
     fn tempdir(tag: &str) -> PathBuf {

@@ -1,0 +1,948 @@
+//! Epoch-delta replication codec: `SUPADELTAv001` / `SUPABASEv0001`.
+//!
+//! The serving layer publishes one [`crate::ServingSnapshot`] per epoch; the
+//! instant-update property means each epoch only *changes* the rows touched
+//! by that epoch's events. A [`DeltaFrame`] encodes exactly that touched set
+//! — embedding rows per table, the raw edge events (so a replica can extend
+//! its adjacency and candidate catalogs), the ANN dirty list, and the
+//! writer's degradation/guard state — chained to its parent epoch so a
+//! replica can detect gaps. A [`BaselineFrame`] carries a full snapshot and
+//! (re)seeds a replica at a known epoch.
+//!
+//! Framing follows the same envelope discipline as the `SUPAv002`
+//! checkpoint ([`crate::checkpoint`]), sharing its CRC-32 implementation
+//! ([`crate::framing`]):
+//!
+//! ```text
+//! magic (13 bytes) | payload_len (u64 LE) | payload | crc32 (u32 LE)
+//! ```
+//!
+//! with the CRC computed over everything after the magic (length header +
+//! payload). Every malformed input maps to a named [`WireError`] — decode
+//! and apply never panic, and [`ServingSnapshot::apply_delta`] validates the
+//! whole frame before writing a single row, so a failed apply leaves the
+//! replica state untouched.
+
+use std::fmt;
+
+use supa_embed::EmbeddingValues;
+use supa_graph::{NodeId, RelationId, TemporalEdge};
+
+use crate::framing::{crc32_finish, crc32_update, CRC_INIT};
+use crate::serving::ServingSnapshot;
+
+/// Magic prefix of a delta frame.
+pub const MAGIC_DELTA: &[u8; 13] = b"SUPADELTAv001";
+/// Magic prefix of a full-snapshot baseline frame.
+pub const MAGIC_BASELINE: &[u8; 13] = b"SUPABASEv0001";
+
+/// Upper bound on a frame payload (1 GiB). A corrupt length header would
+/// otherwise make a reader attempt an absurd allocation before the CRC
+/// check can catch the corruption.
+pub const MAX_PAYLOAD: u64 = 1 << 30;
+
+/// A named replication wire/apply error. Every way a frame can be malformed
+/// or inapplicable maps to one of these — never a panic.
+#[derive(Debug)]
+pub enum WireError {
+    /// The 13-byte magic matched neither known frame kind.
+    WrongMagic,
+    /// The input ended mid-frame (torn write / truncated segment).
+    Truncated,
+    /// The CRC-32 footer did not match the received bytes.
+    CrcMismatch { expected: u32, got: u32 },
+    /// The length header exceeds [`MAX_PAYLOAD`] — treated as corruption
+    /// without attempting the allocation.
+    ImplausibleLength(u64),
+    /// The frame chain skipped an epoch: a delta's parent did not match the
+    /// replica's current epoch. Recovery is a checkpoint/baseline resync.
+    EpochGap { expected: u64, got: u64 },
+    /// The frame's layout (dim, variant flags, table count, row ids) is
+    /// inconsistent with itself or with the snapshot it is applied to.
+    LayoutMismatch(&'static str),
+    /// An underlying transport error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::WrongMagic => write!(f, "unrecognised frame magic"),
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::CrcMismatch { expected, got } => {
+                write!(
+                    f,
+                    "frame crc mismatch (expected {expected:#010x}, got {got:#010x})"
+                )
+            }
+            WireError::ImplausibleLength(n) => {
+                write!(
+                    f,
+                    "implausible frame payload length {n} (max {MAX_PAYLOAD})"
+                )
+            }
+            WireError::EpochGap { expected, got } => {
+                write!(
+                    f,
+                    "epoch chain gap: expected parent {expected}, frame has {got}"
+                )
+            }
+            WireError::LayoutMismatch(what) => write!(f, "frame layout mismatch: {what}"),
+            WireError::Io(e) => write!(f, "replication i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// The writer's degradation/guard state at an epoch boundary, mirrored to
+/// replicas so operators see the same overload picture on every process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardState {
+    /// Degradation ladder level (0 = Full service).
+    pub level: u8,
+    /// Cumulative events shed by admission control.
+    pub events_shed: u64,
+    /// Cumulative events quarantined by the stream guard.
+    pub events_quarantined: u64,
+}
+
+/// Per-epoch delta: everything a replica needs to advance its snapshot,
+/// graph, and ANN index from `parent` to `epoch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaFrame {
+    /// Epoch this delta produces.
+    pub epoch: u64,
+    /// Epoch this delta applies on top of (chain link).
+    pub parent: u64,
+    /// Embedding dimensionality (layout check).
+    pub dim: u32,
+    /// Variant flag: no short-term memory table.
+    pub no_forget: bool,
+    /// Variant flag: one shared context table.
+    pub shared_context: bool,
+    /// Number of context tables.
+    pub n_ctx: u16,
+    /// Strictly ascending node ids whose rows changed this epoch.
+    pub touched: Vec<u32>,
+    /// `touched.len() × dim` replacement rows for the long-term table.
+    pub h_long: Vec<f32>,
+    /// Replacement rows for the short-term table (absent under `no_forget`).
+    pub h_short: Option<Vec<f32>>,
+    /// Replacement rows per context table, `n_ctx` blocks.
+    pub ctx: Vec<Vec<f32>>,
+    /// The raw edge events absorbed during this epoch, in arrival order —
+    /// replicas extend adjacency and candidate catalogs from these.
+    pub events: Vec<TemporalEdge>,
+    /// Nodes whose ANN entries must be refreshed, in the writer's refresh
+    /// order (ascending, matching the touched set).
+    pub ann_dirty: Vec<u32>,
+    /// Writer guard/degradation state at publish time.
+    pub guard: GuardState,
+}
+
+/// Full-snapshot baseline: (re)seeds a replica at `epoch`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineFrame {
+    /// Epoch the snapshot corresponds to.
+    pub epoch: u64,
+    /// The complete serving snapshot at that epoch.
+    pub snapshot: ServingSnapshot,
+    /// Writer guard/degradation state at publish time.
+    pub guard: GuardState,
+}
+
+/// A decoded replication frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Full snapshot (stream head / resync point).
+    Baseline(BaselineFrame),
+    /// Incremental epoch delta.
+    Delta(DeltaFrame),
+}
+
+impl Frame {
+    /// The epoch this frame produces when applied.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            Frame::Baseline(b) => b.epoch,
+            Frame::Delta(d) => d.epoch,
+        }
+    }
+
+    /// Encodes the frame with magic, length header and CRC footer.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Frame::Baseline(b) => b.encode(),
+            Frame::Delta(d) => d.encode(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, x: u16) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_f32s(out: &mut Vec<u8>, xs: &[f32]) {
+    out.reserve(xs.len() * 4);
+    for &x in xs {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_guard(out: &mut Vec<u8>, g: &GuardState) {
+    out.push(g.level);
+    put_u64(out, g.events_shed);
+    put_u64(out, g.events_quarantined);
+}
+
+/// Wraps a payload in the shared envelope: magic, length, payload, CRC over
+/// (length bytes + payload).
+fn seal(magic: &[u8; 13], payload: Vec<u8>) -> Vec<u8> {
+    let len = payload.len() as u64;
+    let mut out = Vec::with_capacity(13 + 8 + payload.len() + 4);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&payload);
+    let mut crc = CRC_INIT;
+    crc = crc32_update(crc, &len.to_le_bytes());
+    crc = crc32_update(crc, &payload);
+    out.extend_from_slice(&crc32_finish(crc).to_le_bytes());
+    out
+}
+
+impl DeltaFrame {
+    /// Encodes the delta as a complete `SUPADELTAv001` frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        put_u64(&mut p, self.epoch);
+        put_u64(&mut p, self.parent);
+        put_u32(&mut p, self.dim);
+        p.push(self.no_forget as u8);
+        p.push(self.shared_context as u8);
+        put_u16(&mut p, self.n_ctx);
+        put_u32(&mut p, self.touched.len() as u32);
+        for &id in &self.touched {
+            put_u32(&mut p, id);
+        }
+        put_f32s(&mut p, &self.h_long);
+        match &self.h_short {
+            Some(rows) => {
+                p.push(1);
+                put_f32s(&mut p, rows);
+            }
+            None => p.push(0),
+        }
+        for block in &self.ctx {
+            put_f32s(&mut p, block);
+        }
+        put_u32(&mut p, self.events.len() as u32);
+        for e in &self.events {
+            put_u32(&mut p, e.src.0);
+            put_u32(&mut p, e.dst.0);
+            put_u16(&mut p, e.relation.0);
+            put_u64(&mut p, e.time.to_bits());
+        }
+        put_u32(&mut p, self.ann_dirty.len() as u32);
+        for &id in &self.ann_dirty {
+            put_u32(&mut p, id);
+        }
+        put_guard(&mut p, &self.guard);
+        seal(MAGIC_DELTA, p)
+    }
+}
+
+impl BaselineFrame {
+    /// Encodes the baseline as a complete `SUPABASEv0001` frame.
+    pub fn encode(&self) -> Vec<u8> {
+        encode_baseline(self.epoch, &self.snapshot, self.guard)
+    }
+}
+
+/// Encodes a baseline frame without taking ownership of the snapshot (the
+/// publisher serves one baseline per subscriber from a shared copy).
+pub fn encode_baseline(epoch: u64, s: &ServingSnapshot, guard: GuardState) -> Vec<u8> {
+    let mut p = Vec::new();
+    put_u64(&mut p, epoch);
+    put_u32(&mut p, s.dim as u32);
+    p.push(s.no_forget as u8);
+    p.push(s.shared_context as u8);
+    put_u16(&mut p, s.ctx.len() as u16);
+    put_u64(&mut p, s.h_long.len() as u64);
+    put_f32s(&mut p, s.h_long.data());
+    match &s.h_short {
+        Some(t) => {
+            p.push(1);
+            put_f32s(&mut p, t.data());
+        }
+        None => p.push(0),
+    }
+    for t in &s.ctx {
+        put_f32s(&mut p, t.data());
+    }
+    put_guard(&mut p, &guard);
+    seal(MAGIC_BASELINE, p)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian cursor over a payload slice.
+struct Cur<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Cur { b, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.b.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn flag(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::LayoutMismatch("boolean flag out of range")),
+        }
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, WireError> {
+        let bytes = self.take(n.checked_mul(4).ok_or(WireError::Truncated)?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn guard(&mut self) -> Result<GuardState, WireError> {
+        Ok(GuardState {
+            level: self.u8()?,
+            events_shed: self.u64()?,
+            events_quarantined: self.u64()?,
+        })
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.b.len() {
+            Ok(())
+        } else {
+            Err(WireError::LayoutMismatch("trailing bytes after payload"))
+        }
+    }
+}
+
+fn decode_delta_payload(payload: &[u8]) -> Result<DeltaFrame, WireError> {
+    let mut c = Cur::new(payload);
+    let epoch = c.u64()?;
+    let parent = c.u64()?;
+    let dim = c.u32()?;
+    if dim == 0 {
+        return Err(WireError::LayoutMismatch("zero embedding dimension"));
+    }
+    let no_forget = c.flag()?;
+    let shared_context = c.flag()?;
+    let n_ctx = c.u16()?;
+    let n_touched = c.u32()? as usize;
+    let mut touched = Vec::with_capacity(n_touched.min(payload.len() / 4));
+    for _ in 0..n_touched {
+        touched.push(c.u32()?);
+    }
+    if !touched.windows(2).all(|w| w[0] < w[1]) {
+        return Err(WireError::LayoutMismatch(
+            "touched ids not strictly ascending",
+        ));
+    }
+    let rows = n_touched
+        .checked_mul(dim as usize)
+        .ok_or(WireError::LayoutMismatch("touched row block overflows"))?;
+    let h_long = c.f32s(rows)?;
+    let h_short = if c.flag()? { Some(c.f32s(rows)?) } else { None };
+    if no_forget && h_short.is_some() {
+        return Err(WireError::LayoutMismatch("no_forget frame carries h_short"));
+    }
+    if !no_forget && h_short.is_none() {
+        return Err(WireError::LayoutMismatch(
+            "full-variant frame lacks h_short",
+        ));
+    }
+    let mut ctx = Vec::with_capacity(n_ctx as usize);
+    for _ in 0..n_ctx {
+        ctx.push(c.f32s(rows)?);
+    }
+    let n_events = c.u32()? as usize;
+    let mut events = Vec::with_capacity(n_events.min(payload.len() / 18));
+    for _ in 0..n_events {
+        let src = NodeId(c.u32()?);
+        let dst = NodeId(c.u32()?);
+        let relation = RelationId(c.u16()?);
+        let time = f64::from_bits(c.u64()?);
+        events.push(TemporalEdge::new(src, dst, relation, time));
+    }
+    let n_dirty = c.u32()? as usize;
+    let mut ann_dirty = Vec::with_capacity(n_dirty.min(payload.len() / 4));
+    for _ in 0..n_dirty {
+        ann_dirty.push(c.u32()?);
+    }
+    let guard = c.guard()?;
+    c.done()?;
+    Ok(DeltaFrame {
+        epoch,
+        parent,
+        dim,
+        no_forget,
+        shared_context,
+        n_ctx,
+        touched,
+        h_long,
+        h_short,
+        ctx,
+        events,
+        ann_dirty,
+        guard,
+    })
+}
+
+fn decode_baseline_payload(payload: &[u8]) -> Result<BaselineFrame, WireError> {
+    let mut c = Cur::new(payload);
+    let epoch = c.u64()?;
+    let dim = c.u32()? as usize;
+    if dim == 0 {
+        return Err(WireError::LayoutMismatch("zero embedding dimension"));
+    }
+    let no_forget = c.flag()?;
+    let shared_context = c.flag()?;
+    let n_ctx = c.u16()? as usize;
+    let n_nodes = c.u64()? as usize;
+    let cells = n_nodes
+        .checked_mul(dim)
+        .ok_or(WireError::LayoutMismatch("table size overflows"))?;
+    let h_long = EmbeddingValues::from_vec(dim, c.f32s(cells)?);
+    let h_short = if c.flag()? {
+        Some(EmbeddingValues::from_vec(dim, c.f32s(cells)?))
+    } else {
+        None
+    };
+    if no_forget && h_short.is_some() {
+        return Err(WireError::LayoutMismatch("no_forget frame carries h_short"));
+    }
+    if !no_forget && h_short.is_none() {
+        return Err(WireError::LayoutMismatch(
+            "full-variant frame lacks h_short",
+        ));
+    }
+    let mut ctx = Vec::with_capacity(n_ctx);
+    for _ in 0..n_ctx {
+        ctx.push(EmbeddingValues::from_vec(dim, c.f32s(cells)?));
+    }
+    let guard = c.guard()?;
+    c.done()?;
+    Ok(BaselineFrame {
+        epoch,
+        snapshot: ServingSnapshot {
+            dim,
+            no_forget,
+            shared_context,
+            h_long,
+            h_short,
+            ctx,
+        },
+        guard,
+    })
+}
+
+/// Decodes one frame from the front of `buf`, returning the frame and the
+/// number of bytes it occupied. Validation order: magic, length plausibility,
+/// completeness, CRC, then payload layout — so a torn tail reads as
+/// [`WireError::Truncated`] and bit-rot as [`WireError::CrcMismatch`] before
+/// any layout interpretation happens.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+    if buf.len() < 13 {
+        return Err(WireError::Truncated);
+    }
+    let magic: &[u8; 13] = buf[..13].try_into().unwrap();
+    let is_delta = magic == MAGIC_DELTA;
+    if !is_delta && magic != MAGIC_BASELINE {
+        return Err(WireError::WrongMagic);
+    }
+    if buf.len() < 13 + 8 {
+        return Err(WireError::Truncated);
+    }
+    let len_bytes: [u8; 8] = buf[13..21].try_into().unwrap();
+    let len = u64::from_le_bytes(len_bytes);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::ImplausibleLength(len));
+    }
+    let payload_end = 21 + len as usize;
+    if buf.len() < payload_end + 4 {
+        return Err(WireError::Truncated);
+    }
+    let payload = &buf[21..payload_end];
+    let got = u32::from_le_bytes(buf[payload_end..payload_end + 4].try_into().unwrap());
+    let mut crc = CRC_INIT;
+    crc = crc32_update(crc, &len_bytes);
+    crc = crc32_update(crc, payload);
+    let expected = crc32_finish(crc);
+    if got != expected {
+        return Err(WireError::CrcMismatch { expected, got });
+    }
+    let frame = if is_delta {
+        Frame::Delta(decode_delta_payload(payload)?)
+    } else {
+        Frame::Baseline(decode_baseline_payload(payload)?)
+    };
+    Ok((frame, payload_end + 4))
+}
+
+/// Reads one frame from a byte stream (the TCP transport). Returns
+/// `Ok(None)` on a clean EOF at a frame boundary; an EOF mid-frame is a
+/// [`WireError::Truncated`].
+pub fn read_frame<R: std::io::Read>(r: &mut R) -> Result<Option<Frame>, WireError> {
+    let mut magic = [0u8; 13];
+    // Distinguish clean EOF (no bytes at all) from a torn frame.
+    let mut got = 0;
+    while got < magic.len() {
+        match r.read(&mut magic[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let is_delta = &magic == MAGIC_DELTA;
+    if !is_delta && &magic != MAGIC_BASELINE {
+        return Err(WireError::WrongMagic);
+    }
+    let mut len_bytes = [0u8; 8];
+    read_fully(r, &mut len_bytes)?;
+    let len = u64::from_le_bytes(len_bytes);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::ImplausibleLength(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_fully(r, &mut payload)?;
+    let mut crc_bytes = [0u8; 4];
+    read_fully(r, &mut crc_bytes)?;
+    let got_crc = u32::from_le_bytes(crc_bytes);
+    let mut crc = CRC_INIT;
+    crc = crc32_update(crc, &len_bytes);
+    crc = crc32_update(crc, &payload);
+    let expected = crc32_finish(crc);
+    if got_crc != expected {
+        return Err(WireError::CrcMismatch {
+            expected,
+            got: got_crc,
+        });
+    }
+    let frame = if is_delta {
+        Frame::Delta(decode_delta_payload(&payload)?)
+    } else {
+        Frame::Baseline(decode_baseline_payload(&payload)?)
+    };
+    Ok(Some(frame))
+}
+
+fn read_fully<R: std::io::Read>(r: &mut R, buf: &mut [u8]) -> Result<(), WireError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Err(WireError::Truncated),
+        Err(e) => Err(WireError::Io(e)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot extract / apply
+// ---------------------------------------------------------------------------
+
+impl ServingSnapshot {
+    /// Extracts the delta that carries this snapshot's rows for `touched`
+    /// (writer side). `touched` must be strictly ascending and in bounds —
+    /// [`crate::Supa::take_touched`] guarantees both.
+    pub fn extract_delta(
+        &self,
+        epoch: u64,
+        parent: u64,
+        touched: &[u32],
+        events: Vec<TemporalEdge>,
+        guard: GuardState,
+    ) -> DeltaFrame {
+        debug_assert!(touched.windows(2).all(|w| w[0] < w[1]));
+        let dim = self.dim;
+        let gather = |t: &EmbeddingValues| {
+            let mut rows = Vec::with_capacity(touched.len() * dim);
+            for &id in touched {
+                rows.extend_from_slice(t.row(id as usize));
+            }
+            rows
+        };
+        DeltaFrame {
+            epoch,
+            parent,
+            dim: dim as u32,
+            no_forget: self.no_forget,
+            shared_context: self.shared_context,
+            n_ctx: self.ctx.len() as u16,
+            touched: touched.to_vec(),
+            h_long: gather(&self.h_long),
+            h_short: self.h_short.as_ref().map(&gather),
+            ctx: self.ctx.iter().map(&gather).collect(),
+            ann_dirty: touched.to_vec(),
+            events,
+            guard,
+        }
+    }
+
+    /// Applies a delta's rows in place (replica side). Validates the entire
+    /// frame against this snapshot's layout *before* writing anything, so a
+    /// rejected frame leaves the snapshot bit-identical to before the call.
+    /// Epoch-chain checking is the caller's job ([`WireError::EpochGap`]) —
+    /// this method only cares about shape.
+    pub fn apply_delta(&mut self, d: &DeltaFrame) -> Result<(), WireError> {
+        if d.dim as usize != self.dim {
+            return Err(WireError::LayoutMismatch("dimension differs from snapshot"));
+        }
+        if d.no_forget != self.no_forget || d.shared_context != self.shared_context {
+            return Err(WireError::LayoutMismatch(
+                "variant flags differ from snapshot",
+            ));
+        }
+        if d.n_ctx as usize != self.ctx.len() || d.ctx.len() != self.ctx.len() {
+            return Err(WireError::LayoutMismatch("context table count differs"));
+        }
+        if d.h_short.is_some() != self.h_short.is_some() {
+            return Err(WireError::LayoutMismatch(
+                "short-term table presence differs",
+            ));
+        }
+        if !d.touched.windows(2).all(|w| w[0] < w[1]) {
+            return Err(WireError::LayoutMismatch(
+                "touched ids not strictly ascending",
+            ));
+        }
+        if let Some(&max) = d.touched.last() {
+            if max as usize >= self.h_long.len() {
+                return Err(WireError::LayoutMismatch("touched id beyond snapshot rows"));
+            }
+        }
+        let rows = d.touched.len() * self.dim;
+        if d.h_long.len() != rows
+            || d.h_short.as_ref().is_some_and(|r| r.len() != rows)
+            || d.ctx.iter().any(|b| b.len() != rows)
+        {
+            return Err(WireError::LayoutMismatch("row block size differs"));
+        }
+        let dim = self.dim;
+        let scatter = |t: &mut EmbeddingValues, rows: &[f32]| {
+            for (k, &id) in d.touched.iter().enumerate() {
+                t.row_mut(id as usize)
+                    .copy_from_slice(&rows[k * dim..(k + 1) * dim]);
+            }
+        };
+        scatter(&mut self.h_long, &d.h_long);
+        if let (Some(t), Some(r)) = (self.h_short.as_mut(), d.h_short.as_ref()) {
+            scatter(t, r);
+        }
+        for (t, b) in self.ctx.iter_mut().zip(&d.ctx) {
+            scatter(t, b);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SupaConfig;
+    use crate::model::Supa;
+    use crate::variants::SupaVariant;
+    use supa_datasets::taobao;
+
+    fn trained_pair() -> (
+        ServingSnapshot,
+        ServingSnapshot,
+        Vec<u32>,
+        Vec<TemporalEdge>,
+    ) {
+        let d = taobao(0.02, 21);
+        let mut m = Supa::from_dataset(&d, SupaConfig::small(), 21).unwrap();
+        let g = d.full_graph();
+        m.resolve_time_scale(&g);
+        m.rebuild_negative_samplers(&g);
+        m.enable_touch_tracking();
+        m.train_pass(&g, &d.edges[..200]);
+        m.take_touched();
+        let before = m.export_serving_snapshot();
+        let events: Vec<TemporalEdge> = d.edges[200..260].to_vec();
+        m.train_pass(&g, &events);
+        let touched = m.take_touched();
+        assert!(!touched.is_empty());
+        let after = m.export_serving_snapshot();
+        (before, after, touched, events)
+    }
+
+    fn assert_snapshots_bit_identical(a: &ServingSnapshot, b: &ServingSnapshot) {
+        let bits = |t: &EmbeddingValues| t.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.h_long), bits(&b.h_long));
+        assert_eq!(a.h_short.is_some(), b.h_short.is_some());
+        if let (Some(x), Some(y)) = (&a.h_short, &b.h_short) {
+            assert_eq!(bits(x), bits(y));
+        }
+        assert_eq!(a.ctx.len(), b.ctx.len());
+        for (x, y) in a.ctx.iter().zip(&b.ctx) {
+            assert_eq!(bits(x), bits(y));
+        }
+    }
+
+    #[test]
+    fn extract_apply_reproduces_trained_snapshot_bit_for_bit() {
+        let (mut before, after, touched, events) = trained_pair();
+        let guard = GuardState {
+            level: 2,
+            events_shed: 7,
+            events_quarantined: 1,
+        };
+        let delta = after.extract_delta(5, 4, &touched, events, guard);
+        before.apply_delta(&delta).unwrap();
+        assert_snapshots_bit_identical(&before, &after);
+    }
+
+    #[test]
+    fn delta_frame_round_trips_through_wire_bytes() {
+        let (_, after, touched, events) = trained_pair();
+        let delta = after.extract_delta(9, 8, &touched, events, GuardState::default());
+        let bytes = delta.encode();
+        let (frame, consumed) = decode_frame(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        match frame {
+            Frame::Delta(d) => {
+                assert_eq!(d.epoch, 9);
+                assert_eq!(d.parent, 8);
+                assert_eq!(d, delta);
+            }
+            other => panic!("expected delta frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn baseline_frame_round_trips_through_wire_bytes() {
+        let (_, after, _, _) = trained_pair();
+        let b = BaselineFrame {
+            epoch: 3,
+            snapshot: after.clone(),
+            guard: GuardState {
+                level: 1,
+                events_shed: 2,
+                events_quarantined: 3,
+            },
+        };
+        let bytes = b.encode();
+        let (frame, consumed) = decode_frame(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        match frame {
+            Frame::Baseline(got) => {
+                assert_eq!(got.epoch, 3);
+                assert_eq!(got.guard, b.guard);
+                assert_snapshots_bit_identical(&got.snapshot, &after);
+            }
+            other => panic!("expected baseline frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_forget_variant_round_trips_without_short_term_rows() {
+        let d = taobao(0.02, 22);
+        let mut m =
+            Supa::from_dataset_variant(&d, SupaConfig::small(), SupaVariant::nf(), 22).unwrap();
+        let g = d.full_graph();
+        m.resolve_time_scale(&g);
+        m.rebuild_negative_samplers(&g);
+        m.enable_touch_tracking();
+        m.train_pass(&g, &d.edges[..100]);
+        let touched = m.take_touched();
+        let snap = m.export_serving_snapshot();
+        let delta = snap.extract_delta(1, 0, &touched, Vec::new(), GuardState::default());
+        assert!(delta.h_short.is_none());
+        let bytes = delta.encode();
+        match decode_frame(&bytes).unwrap().0 {
+            Frame::Delta(got) => assert_eq!(got, delta),
+            other => panic!("expected delta frame, got {other:?}"),
+        }
+        let bytes = BaselineFrame {
+            epoch: 1,
+            snapshot: snap.clone(),
+            guard: GuardState::default(),
+        }
+        .encode();
+        match decode_frame(&bytes).unwrap().0 {
+            Frame::Baseline(got) => assert_snapshots_bit_identical(&got.snapshot, &snap),
+            other => panic!("expected baseline frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_a_named_error() {
+        let (_, after, touched, _) = trained_pair();
+        let mut bytes = after
+            .extract_delta(1, 0, &touched, Vec::new(), GuardState::default())
+            .encode();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode_frame(&bytes), Err(WireError::WrongMagic)));
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_a_named_error() {
+        let (_, after, touched, events) = trained_pair();
+        let bytes = after
+            .extract_delta(1, 0, &touched, events, GuardState::default())
+            .encode();
+        // Every proper prefix must fail with Truncated (or WrongMagic for
+        // sub-magic prefixes read as a partial magic) — never a panic.
+        for cut in [0, 5, 13, 15, 21, 30, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode_frame(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated),
+                "prefix of {cut} bytes gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_anywhere_after_magic_are_caught_by_crc() {
+        let (_, after, touched, events) = trained_pair();
+        let bytes = after
+            .extract_delta(1, 0, &touched, events, GuardState::default())
+            .encode();
+        // Flip a bit in the length header, payload head/middle/tail and the
+        // CRC footer itself.
+        for pos in [
+            13,
+            21,
+            25,
+            bytes.len() / 2,
+            bytes.len() - 5,
+            bytes.len() - 1,
+        ] {
+            let mut b = bytes.clone();
+            b[pos] ^= 0x10;
+            let err = decode_frame(&b).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WireError::CrcMismatch { .. }
+                        | WireError::Truncated
+                        | WireError::ImplausibleLength(_)
+                ),
+                "flip at {pos} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn implausible_length_is_rejected_before_allocation() {
+        let (_, after, touched, _) = trained_pair();
+        let mut bytes = after
+            .extract_delta(1, 0, &touched, Vec::new(), GuardState::default())
+            .encode();
+        bytes[13..21].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::ImplausibleLength(u64::MAX))
+        ));
+    }
+
+    #[test]
+    fn failed_apply_leaves_snapshot_untouched() {
+        let (before, after, touched, events) = trained_pair();
+        let mut replica = before.clone();
+        let mut delta = after.extract_delta(2, 1, &touched, events, GuardState::default());
+        // Sabotage layout: wrong dimension must be rejected up front.
+        delta.dim += 1;
+        assert!(matches!(
+            replica.apply_delta(&delta),
+            Err(WireError::LayoutMismatch(_))
+        ));
+        assert_snapshots_bit_identical(&replica, &before);
+        // Out-of-bounds row id likewise.
+        delta.dim -= 1;
+        let n = replica.num_nodes() as u32;
+        delta.touched.push(n + 10);
+        assert!(matches!(
+            replica.apply_delta(&delta),
+            Err(WireError::LayoutMismatch(_))
+        ));
+        assert_snapshots_bit_identical(&replica, &before);
+    }
+
+    #[test]
+    fn read_frame_streams_frames_and_reports_clean_eof() {
+        let (_, after, touched, events) = trained_pair();
+        let b = BaselineFrame {
+            epoch: 1,
+            snapshot: after.clone(),
+            guard: GuardState::default(),
+        };
+        let d = after.extract_delta(2, 1, &touched, events, GuardState::default());
+        let mut stream = b.encode();
+        stream.extend_from_slice(&d.encode());
+        let mut r = &stream[..];
+        assert!(matches!(
+            read_frame(&mut r).unwrap(),
+            Some(Frame::Baseline(_))
+        ));
+        assert!(matches!(read_frame(&mut r).unwrap(), Some(Frame::Delta(_))));
+        assert!(read_frame(&mut r).unwrap().is_none());
+        // Torn tail: EOF mid-frame is Truncated, not a clean end.
+        let torn = &stream[..stream.len() - 3];
+        let mut r = torn;
+        assert!(matches!(
+            read_frame(&mut r).unwrap(),
+            Some(Frame::Baseline(_))
+        ));
+        assert!(matches!(read_frame(&mut r), Err(WireError::Truncated)));
+    }
+}

@@ -1,0 +1,78 @@
+//! Shared CRC-32 and frame-envelope helpers.
+//!
+//! One CRC implementation serves every on-disk and on-wire format in the
+//! workspace: the `SUPAv002` checkpoint envelope ([`crate::checkpoint`]) and
+//! the `SUPADELTAv001`/`SUPABASEv0001` replication frames
+//! ([`crate::delta`]). All of them share the same envelope discipline —
+//! magic, little-endian length header, payload, then an IEEE CRC-32 footer
+//! computed over *everything after the magic* — so torn writes and silent
+//! bit-rot surface as clean, named load errors instead of corrupt state.
+
+/// IEEE CRC-32 lookup table (polynomial 0xEDB88320), built at compile time
+/// so no external crate is needed.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Initial value for a running CRC-32 (feed with [`crc32_update`], close
+/// with [`crc32_finish`]).
+pub const CRC_INIT: u32 = 0xFFFF_FFFF;
+
+/// Feeds `data` into a running CRC-32.
+pub fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        crc = CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// Finalises a running CRC-32.
+pub fn crc32_finish(crc: u32) -> u32 {
+    !crc
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_finish(crc32_update(CRC_INIT, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        // Streaming in pieces is identical to one shot.
+        let mut crc = CRC_INIT;
+        crc = crc32_update(crc, b"1234");
+        crc = crc32_update(crc, b"56789");
+        assert_eq!(crc32_finish(crc), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_distinguishes_single_bit_flips() {
+        let a = crc32(b"hello frames");
+        let mut flipped = b"hello frames".to_vec();
+        flipped[3] ^= 0x01;
+        assert_ne!(a, crc32(&flipped));
+        assert_eq!(crc32(b""), 0);
+    }
+}

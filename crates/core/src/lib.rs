@@ -46,7 +46,9 @@
 pub mod checkpoint;
 pub mod config;
 pub mod decay;
+pub mod delta;
 pub mod event;
+pub mod framing;
 pub mod inslearn;
 pub mod model;
 pub mod recommend;
@@ -56,6 +58,7 @@ pub mod variants;
 
 pub use checkpoint::{CheckpointManager, CheckpointMeta, ResumeOutcome};
 pub use config::SupaConfig;
+pub use delta::{BaselineFrame, DeltaFrame, Frame, GuardState, WireError};
 pub use event::EventLoss;
 pub use inslearn::{GuardConfig, InsLearnConfig, InsLearnReport, TrainOptions};
 pub use model::{Supa, SupaState};

@@ -22,14 +22,14 @@ use crate::model::Supa;
 /// An immutable, query-only copy of a [`Supa`] model's embeddings.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingSnapshot {
-    dim: usize,
-    no_forget: bool,
-    shared_context: bool,
-    h_long: EmbeddingValues,
+    pub(crate) dim: usize,
+    pub(crate) no_forget: bool,
+    pub(crate) shared_context: bool,
+    pub(crate) h_long: EmbeddingValues,
     /// Absent under the `no_forget` variant, whose readout never touches
     /// the short-term memory.
-    h_short: Option<EmbeddingValues>,
-    ctx: Vec<EmbeddingValues>,
+    pub(crate) h_short: Option<EmbeddingValues>,
+    pub(crate) ctx: Vec<EmbeddingValues>,
 }
 
 impl ServingSnapshot {

@@ -286,6 +286,23 @@ pub struct EmbeddingValues {
 }
 
 impl EmbeddingValues {
+    /// Builds a values matrix from a raw row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim` —
+    /// callers deserialising untrusted bytes must validate the shape first.
+    pub fn from_vec(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "value buffer length must be a multiple of the dimension"
+        );
+        EmbeddingValues {
+            dim,
+            data: data.into_boxed_slice(),
+        }
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.data.len().checked_div(self.dim).unwrap_or(0)
@@ -305,6 +322,18 @@ impl EmbeddingValues {
     #[inline]
     pub fn row(&self, i: usize) -> &[f32] {
         &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Row `i` as a mutable slice. Replication applies per-row epoch deltas
+    /// in place rather than re-allocating the whole matrix per epoch.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The raw row-major value buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
     }
 }
 

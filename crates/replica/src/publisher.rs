@@ -1,0 +1,224 @@
+//! Writer-side delta publication: one encode per epoch, fanned out to an
+//! append-only segment file and/or every connected TCP subscriber.
+//!
+//! The critical invariant is *baseline/delta ordering*: a subscriber that
+//! attaches while epochs are being published must receive a baseline at
+//! some epoch `E` followed by every delta with `parent ≥ E` and none
+//! before. Both the accept path and [`DeltaPublisher::publish`] serialize
+//! on one mutex over the publisher state (latest snapshot + connection
+//! registry), which makes that ordering a lock-order fact rather than a
+//! timing hope.
+
+use std::io::{BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+
+use supa::delta::{encode_baseline, GuardState};
+use supa::ServingSnapshot;
+use supa_graph::TemporalEdge;
+
+/// Where a writer publishes its epoch deltas.
+#[derive(Debug, Clone, Default)]
+pub struct PublishOptions {
+    /// TCP listen address (e.g. `127.0.0.1:7001`, or port 0 for an
+    /// OS-assigned port — read it back via [`DeltaPublisher::bound_addr`]).
+    pub tcp_addr: Option<String>,
+    /// Append-only segment file for offline replay.
+    pub segment: Option<PathBuf>,
+    /// Block publisher start-up until this many TCP subscribers have
+    /// attached. Guarantees those subscribers receive the epoch-0 baseline
+    /// and therefore build bit-identical ANN index structure.
+    pub wait_subscribers: usize,
+}
+
+/// Connection registry + the snapshot new subscribers bootstrap from.
+struct PubState {
+    /// The most recently published epoch, kept as a full snapshot so a
+    /// subscriber attaching mid-stream starts from a baseline instead of an
+    /// unusable half-chain. `None` only when TCP publishing is disabled.
+    latest: Option<(u64, ServingSnapshot, GuardState)>,
+    /// One frame queue per live subscriber; a failed send marks the
+    /// connection dead and drops it from the registry.
+    conns: Vec<mpsc::Sender<Arc<Vec<u8>>>>,
+    /// Total subscribers ever accepted (monotonic; drives `wait_subscribers`).
+    accepted_total: usize,
+}
+
+struct PubShared {
+    state: Mutex<PubState>,
+    accepted: Condvar,
+    closed: AtomicBool,
+}
+
+/// Writer-side publisher. Owned by the serving writer thread; `publish` is
+/// called once per epoch from the publish path.
+pub struct DeltaPublisher {
+    shared: Arc<PubShared>,
+    segment: Option<BufWriter<std::fs::File>>,
+    bound: Option<SocketAddr>,
+    tcp: bool,
+}
+
+impl DeltaPublisher {
+    /// Starts publishing. Writes the epoch-0 baseline to the segment file
+    /// (if configured), binds and starts accepting TCP subscribers (if
+    /// configured), then blocks until `wait_subscribers` have attached.
+    pub fn start(
+        opts: &PublishOptions,
+        epoch: u64,
+        snapshot: &ServingSnapshot,
+        guard: GuardState,
+    ) -> std::io::Result<DeltaPublisher> {
+        let mut segment = None;
+        if let Some(path) = &opts.segment {
+            let mut w = BufWriter::new(std::fs::File::create(path)?);
+            w.write_all(&encode_baseline(epoch, snapshot, guard))?;
+            w.flush()?;
+            segment = Some(w);
+        }
+        let shared = Arc::new(PubShared {
+            state: Mutex::new(PubState {
+                latest: opts
+                    .tcp_addr
+                    .is_some()
+                    .then(|| (epoch, snapshot.clone(), guard)),
+                conns: Vec::new(),
+                accepted_total: 0,
+            }),
+            accepted: Condvar::new(),
+            closed: AtomicBool::new(false),
+        });
+        let mut bound = None;
+        if let Some(addr) = &opts.tcp_addr {
+            let listener = TcpListener::bind(addr)?;
+            bound = Some(listener.local_addr()?);
+            let accept_shared = shared.clone();
+            std::thread::Builder::new()
+                .name("supa-replica-accept".into())
+                .spawn(move || accept_loop(listener, accept_shared))?;
+        }
+        if opts.wait_subscribers > 0 {
+            if bound.is_none() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "wait_subscribers requires a TCP publish address",
+                ));
+            }
+            let mut st = shared.state.lock().expect("publisher lock");
+            while st.accepted_total < opts.wait_subscribers {
+                st = shared.accepted.wait(st).expect("publisher lock");
+            }
+        }
+        Ok(DeltaPublisher {
+            shared,
+            segment,
+            bound,
+            tcp: opts.tcp_addr.is_some(),
+        })
+    }
+
+    /// The bound TCP listen address (`None` when publishing to a segment
+    /// file only). With port 0 this is how callers learn the real port.
+    pub fn bound_addr(&self) -> Option<SocketAddr> {
+        self.bound
+    }
+
+    /// Live TCP subscribers right now (dead connections are reaped on the
+    /// next publish).
+    pub fn subscribers(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("publisher lock")
+            .conns
+            .len()
+    }
+
+    /// Publishes one epoch: extracts the touched rows from `scorer`, frames
+    /// them, appends to the segment file, and fans the frame out to every
+    /// subscriber. Returns the encoded frame size in bytes.
+    pub fn publish(
+        &mut self,
+        epoch: u64,
+        parent: u64,
+        scorer: &ServingSnapshot,
+        touched: &[u32],
+        events: Vec<TemporalEdge>,
+        guard: GuardState,
+    ) -> std::io::Result<u64> {
+        let frame = scorer.extract_delta(epoch, parent, touched, events, guard);
+        let bytes = Arc::new(frame.encode());
+        if let Some(seg) = &mut self.segment {
+            seg.write_all(&bytes)?;
+            // Flush per epoch so a tailing replay sees whole frames and a
+            // crashed writer leaves at most one torn frame at the tail.
+            seg.flush()?;
+        }
+        if self.tcp {
+            let mut st = self.shared.state.lock().expect("publisher lock");
+            st.latest = Some((epoch, scorer.clone(), guard));
+            st.conns.retain(|tx| tx.send(bytes.clone()).is_ok());
+        }
+        Ok(bytes.len() as u64)
+    }
+}
+
+impl Drop for DeltaPublisher {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::SeqCst);
+        // Dropping the senders lets each connection thread drain its queue
+        // and exit; subscribers then see a clean EOF at a frame boundary.
+        self.shared
+            .state
+            .lock()
+            .expect("publisher lock")
+            .conns
+            .clear();
+        // Unblock the accept thread with a throwaway connection.
+        if let Some(addr) = self.bound {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<PubShared>) {
+    for conn in listener.incoming() {
+        if shared.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let (tx, rx) = mpsc::channel::<Arc<Vec<u8>>>();
+        {
+            // Same lock as `publish`: the baseline we enqueue here and the
+            // deltas published afterwards form a gap-free chain.
+            let mut st = shared.state.lock().expect("publisher lock");
+            let Some((epoch, snap, guard)) = &st.latest else {
+                continue;
+            };
+            if tx
+                .send(Arc::new(encode_baseline(*epoch, snap, *guard)))
+                .is_err()
+            {
+                continue;
+            }
+            st.conns.push(tx);
+            st.accepted_total += 1;
+        }
+        shared.accepted.notify_all();
+        std::thread::Builder::new()
+            .name("supa-replica-conn".into())
+            .spawn(move || {
+                let mut stream = stream;
+                while let Ok(frame) = rx.recv() {
+                    if stream.write_all(&frame).is_err() {
+                        return;
+                    }
+                }
+                let _ = stream.flush();
+            })
+            .ok();
+    }
+}

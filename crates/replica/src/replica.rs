@@ -1,0 +1,411 @@
+//! Reader-side replica: applies baseline/delta frames to a local serving
+//! snapshot + ANN indexes and answers top-K queries bit-identically to the
+//! writer's serving path at the same epoch.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+use supa::delta::{
+    decode_frame, read_frame, DeltaFrame, Frame, WireError, MAGIC_BASELINE, MAGIC_DELTA,
+};
+use supa::ServingSnapshot;
+use supa_ann::{AnnConfig, HnswIndex, SearchScratch};
+use supa_eval::{top_k_scored_with, TopKScratch};
+use supa_graph::{Dmhg, NodeId, RelationId};
+
+/// ANN parameters a replica mirrors from the writer. Must match the
+/// writer's [`supa-serve` AnnOptions] for bit-identical index structure
+/// (`ef_search` only shapes queries, not the index).
+#[derive(Debug, Clone)]
+pub struct AnnParams {
+    /// Max neighbors per node on upper index layers.
+    pub m: usize,
+    /// Beam width while inserting/refreshing index nodes.
+    pub ef_construction: usize,
+    /// Query beam width (clamped to ≥ k per query).
+    pub ef_search: usize,
+    /// Seed for deterministic level assignment.
+    pub seed: u64,
+}
+
+impl Default for AnnParams {
+    fn default() -> Self {
+        AnnParams {
+            m: 16,
+            ef_construction: 128,
+            ef_search: 64,
+            seed: 7,
+        }
+    }
+}
+
+impl AnnParams {
+    fn config(&self) -> AnnConfig {
+        AnnConfig {
+            m: self.m,
+            ef_construction: self.ef_construction,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Replication counters a replica accumulates while tailing a stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaCounters {
+    /// Baseline frames applied (initial bootstrap + resyncs).
+    pub baselines_applied: u64,
+    /// Delta frames applied.
+    pub deltas_applied: u64,
+    /// Wire bytes of applied frames.
+    pub bytes_applied: u64,
+    /// Edge events appended to the local graph.
+    pub events_appended: u64,
+    /// Frames rejected by CRC/framing (torn or corrupt).
+    pub crc_failures: u64,
+    /// Epoch-chain gaps detected.
+    pub gaps: u64,
+    /// Resyncs performed (TCP reconnect or segment scan to a baseline).
+    pub resyncs: u64,
+    /// A segment replay ended on a torn tail frame (writer died mid-append).
+    pub torn_tail: u64,
+}
+
+/// A read replica: local graph + snapshot + ANN indexes, advanced purely by
+/// replication frames.
+pub struct Replica {
+    graph: Dmhg,
+    /// Per-relation candidate lists, ascending and duplicate-free —
+    /// constructed exactly like the writer's serving engine, from the same
+    /// fixed node universe.
+    candidates: Vec<Vec<NodeId>>,
+    snapshot: Option<ServingSnapshot>,
+    epoch: u64,
+    ann: Option<AnnParams>,
+    indexes: Vec<Option<HnswIndex>>,
+    buf: Vec<f32>,
+    topk: TopKScratch,
+    search: SearchScratch,
+    cand_buf: Vec<NodeId>,
+    /// Stream counters (public: the CLI bridges these into serve metrics).
+    pub counters: ReplicaCounters,
+}
+
+impl Replica {
+    /// Creates an empty replica over the writer's node universe (`graph` is
+    /// typically the dataset prototype — same schema and nodes, no edges).
+    /// Queries return nothing until a baseline frame arrives.
+    pub fn new(graph: Dmhg, ann: Option<AnnParams>) -> Replica {
+        let candidates: Vec<Vec<NodeId>> = (0..graph.schema().num_relations())
+            .map(|r| {
+                let spec = graph.schema().relation(RelationId(r as u16)).unwrap();
+                let mut list = graph.nodes_of_type(spec.dst_type).to_vec();
+                list.sort_unstable();
+                list.dedup();
+                list
+            })
+            .collect();
+        Replica {
+            graph,
+            candidates,
+            snapshot: None,
+            epoch: 0,
+            ann,
+            indexes: Vec::new(),
+            buf: Vec::new(),
+            topk: TopKScratch::default(),
+            search: SearchScratch::default(),
+            cand_buf: Vec::new(),
+            counters: ReplicaCounters::default(),
+        }
+    }
+
+    /// The epoch of the last applied frame (0 before any baseline).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether a baseline has been applied yet.
+    pub fn bootstrapped(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// The current snapshot, if bootstrapped.
+    pub fn snapshot(&self) -> Option<&ServingSnapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// Candidate items for a relation (all nodes of its destination type).
+    pub fn candidates(&self, rel: RelationId) -> &[NodeId] {
+        self.candidates
+            .get(rel.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Applies one frame. Baselines always apply (they *are* the resync
+    /// mechanism); deltas must chain onto the current epoch or the call
+    /// fails with [`WireError::EpochGap`] without touching any state.
+    pub fn apply(&mut self, frame: &Frame) -> Result<(), WireError> {
+        match frame {
+            Frame::Baseline(b) => {
+                for list in &self.candidates {
+                    if let Some(&max) = list.last() {
+                        if max.index() >= b.snapshot.num_nodes() {
+                            return Err(WireError::LayoutMismatch(
+                                "baseline smaller than local node universe",
+                            ));
+                        }
+                    }
+                }
+                self.snapshot = Some(b.snapshot.clone());
+                self.epoch = b.epoch;
+                self.rebuild_indexes();
+                self.counters.baselines_applied += 1;
+                Ok(())
+            }
+            Frame::Delta(d) => {
+                let Some(snapshot) = self.snapshot.as_mut() else {
+                    return Err(WireError::LayoutMismatch("delta before any baseline"));
+                };
+                if d.parent != self.epoch {
+                    return Err(WireError::EpochGap {
+                        expected: self.epoch,
+                        got: d.parent,
+                    });
+                }
+                snapshot.apply_delta(d)?;
+                for e in &d.events {
+                    if self
+                        .graph
+                        .add_edge(e.src, e.dst, e.relation, e.time)
+                        .is_ok()
+                    {
+                        self.counters.events_appended += 1;
+                    }
+                }
+                self.refresh_indexes(d);
+                self.epoch = d.epoch;
+                self.counters.deltas_applied += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Rebuilds every per-relation index from the current snapshot, in the
+    /// same ascending-candidate insertion order as the writer's initial
+    /// build. A replica that bootstraps from the writer's epoch-0 baseline
+    /// therefore holds structurally bit-identical indexes; after a
+    /// mid-stream resync the rebuilt structure may differ from the writer's
+    /// incrementally-maintained one, but answers keep exact scores (ANN
+    /// candidates are always re-scored exactly) — only top-K membership can
+    /// transiently differ, exactly as between ANN and brute force.
+    fn rebuild_indexes(&mut self) {
+        self.indexes.clear();
+        let (Some(opts), Some(snapshot)) = (&self.ann, &self.snapshot) else {
+            return;
+        };
+        for (r, cands) in self.candidates.iter().enumerate() {
+            if cands.is_empty() {
+                self.indexes.push(None);
+                continue;
+            }
+            let mut index = HnswIndex::new(snapshot.dim(), opts.config());
+            for &item in cands {
+                snapshot.composite_into(item, RelationId(r as u16), &mut self.buf);
+                index.insert(item.0, &self.buf);
+            }
+            self.indexes.push(Some(index));
+        }
+    }
+
+    /// Mirrors the writer's per-epoch refresh: re-insert every dirty
+    /// candidate with its new composite, in the frame's (ascending) order.
+    fn refresh_indexes(&mut self, d: &DeltaFrame) {
+        let Some(snapshot) = &self.snapshot else {
+            return;
+        };
+        for (r, index) in self.indexes.iter_mut().enumerate() {
+            let Some(index) = index else { continue };
+            let cands = &self.candidates[r];
+            for &id in &d.ann_dirty {
+                if cands.binary_search(&NodeId(id)).is_ok() {
+                    snapshot.composite_into(NodeId(id), RelationId(r as u16), &mut self.buf);
+                    index.update(id, &self.buf);
+                }
+            }
+        }
+    }
+
+    /// Answers a top-K query against the replica's current epoch, through
+    /// the ANN index when one applies and exact brute force otherwise —
+    /// the same decision rule and the same exact re-scoring as the writer's
+    /// serving path, so same epoch ⇒ byte-identical ids and scores.
+    pub fn query(&mut self, user: NodeId, rel: RelationId, k: usize) -> Vec<(NodeId, f32)> {
+        let Some(snapshot) = &self.snapshot else {
+            return Vec::new();
+        };
+        let candidates = self
+            .candidates
+            .get(rel.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        if let (Some(opts), Some(Some(index))) = (&self.ann, self.indexes.get(rel.index())) {
+            let ef = opts.ef_search.max(k);
+            if k > 0 && ef < candidates.len() {
+                snapshot.composite_into(user, rel, &mut self.buf);
+                let found = index.search_into(&self.buf, ef, ef, &mut self.search);
+                self.cand_buf.clear();
+                self.cand_buf.extend(found.iter().map(|&id| NodeId(id)));
+                return top_k_scored_with(snapshot, user, &self.cand_buf, rel, k, &mut self.topk)
+                    .to_vec();
+            }
+        }
+        top_k_scored_with(snapshot, user, candidates, rel, k, &mut self.topk).to_vec()
+    }
+
+    /// The guard state carried by the last applied frame chain is not
+    /// stored per-field here; expose the epoch-lag a caller computes
+    /// against a writer epoch.
+    pub fn lag_from(&self, writer_epoch: u64) -> u64 {
+        writer_epoch.saturating_sub(self.epoch)
+    }
+}
+
+/// Scans `buf` from `from` for the next frame magic (either kind).
+fn next_magic(buf: &[u8], from: usize) -> Option<usize> {
+    let window = 13;
+    if buf.len() < window {
+        return None;
+    }
+    (from..=buf.len() - window)
+        .find(|&i| &buf[i..i + window] == MAGIC_DELTA || &buf[i..i + window] == MAGIC_BASELINE)
+}
+
+/// Scans `buf` from `from` for the next *baseline* magic (resync point).
+fn next_baseline(buf: &[u8], from: usize) -> Option<usize> {
+    let window = 13;
+    if buf.len() < window {
+        return None;
+    }
+    (from..=buf.len() - window).find(|&i| &buf[i..i + window] == MAGIC_BASELINE)
+}
+
+/// Replays a segment file into `replica`.
+///
+/// Corrupt frames (CRC/magic/length) are counted and skipped by scanning to
+/// the next frame magic; the epoch gap that skipping creates is then healed
+/// by scanning to the next *baseline* frame (a resync) — if the segment has
+/// none, the gap is returned as the named error so the caller knows the
+/// replica needs a fresh checkpoint, rather than silently serving stale
+/// state. A torn tail (writer died mid-append) ends the replay cleanly with
+/// the `torn_tail` counter set.
+pub fn replay_segment(path: &Path, replica: &mut Replica) -> Result<(), WireError> {
+    let buf = std::fs::read(path)?;
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        match decode_frame(&buf[pos..]) {
+            Ok((frame, consumed)) => match replica.apply(&frame) {
+                Ok(()) => {
+                    replica.counters.bytes_applied += consumed as u64;
+                    pos += consumed;
+                }
+                Err(WireError::EpochGap { expected, got }) => {
+                    replica.counters.gaps += 1;
+                    match next_baseline(&buf, pos + consumed) {
+                        Some(next) => {
+                            replica.counters.resyncs += 1;
+                            pos = next;
+                        }
+                        None => return Err(WireError::EpochGap { expected, got }),
+                    }
+                }
+                Err(err) => return Err(err),
+            },
+            Err(WireError::Truncated) => {
+                // Only a tail can truncate a slice that runs to EOF.
+                replica.counters.torn_tail += 1;
+                return Ok(());
+            }
+            Err(
+                WireError::CrcMismatch { .. }
+                | WireError::WrongMagic
+                | WireError::ImplausibleLength(_),
+            ) => {
+                replica.counters.crc_failures += 1;
+                match next_magic(&buf, pos + 1) {
+                    Some(next) => pos = next,
+                    None => return Ok(()),
+                }
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Ok(())
+}
+
+/// Tails a writer's TCP delta stream until the writer closes it.
+///
+/// Every (re)connection starts with a baseline from the publisher, so a
+/// reconnect *is* the resync protocol: CRC failures, torn frames, and epoch
+/// gaps all tear the connection down, tick their counters, and reconnect up
+/// to `max_resyncs` times. Returns cleanly when the writer shuts the stream
+/// at a frame boundary.
+pub fn run_tcp(addr: &str, replica: &mut Replica, max_resyncs: usize) -> Result<(), WireError> {
+    let mut resyncs_left = max_resyncs;
+    loop {
+        let stream = connect_with_retry(addr)?;
+        let mut reader = BufReader::new(stream);
+        let disconnect = loop {
+            match read_frame(&mut reader) {
+                Ok(Some(frame)) => {
+                    // Frame sizes are re-derived from the encoding; close
+                    // enough for lag/bytes accounting without re-encoding.
+                    match replica.apply(&frame) {
+                        Ok(()) => {
+                            replica.counters.bytes_applied += frame.encode().len() as u64;
+                        }
+                        Err(WireError::EpochGap { .. }) => {
+                            replica.counters.gaps += 1;
+                            break None;
+                        }
+                        Err(err) => break Some(err),
+                    }
+                }
+                Ok(None) => return Ok(()),
+                Err(WireError::CrcMismatch { .. } | WireError::Truncated) => {
+                    replica.counters.crc_failures += 1;
+                    break None;
+                }
+                Err(err) => break Some(err),
+            }
+        };
+        if let Some(err) = disconnect {
+            return Err(err);
+        }
+        if resyncs_left == 0 {
+            return Err(WireError::LayoutMismatch("resync budget exhausted"));
+        }
+        resyncs_left -= 1;
+        replica.counters.resyncs += 1;
+    }
+}
+
+/// Connects with retries so a replica may be started moments before its
+/// writer finishes binding the publish socket.
+fn connect_with_retry(addr: &str) -> Result<TcpStream, WireError> {
+    let mut last = None;
+    for _ in 0..200 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+    Err(WireError::Io(last.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::TimedOut, "connect retries exhausted")
+    })))
+}

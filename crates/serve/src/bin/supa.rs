@@ -22,6 +22,11 @@
 //!                [--shed-policy block|drop-oldest|sample-1-in-k]
 //!                [--sample-k 8] [--priority Rel=low|normal|high,...]
 //!                [--metrics-dump FILE]
+//!                [--publish-addr 127.0.0.1:7001] [--publish-segment FILE]
+//!                [--publish-wait 0]
+//! supa replica   --data data.tsv (--connect HOST:PORT | --segment FILE)
+//!                [--top 10] [--seed 7] [--ann] [--ef-search 64]
+//!                [--max-resyncs 8] [--metrics-dump FILE]
 //! ```
 //!
 //! Data is the self-describing TSV of `supa_datasets::load_tsv`; checkpoints
@@ -64,6 +69,19 @@
 //! priority classes (unlisted relations are `normal`). `--metrics-dump FILE`
 //! appends a JSON line of serving metrics — including shed counts and the
 //! current degradation level — every ~200 ms while the run is live.
+//!
+//! Replication: `serve --publish-addr` streams every published epoch as a
+//! CRC-framed delta over TCP (each new subscriber first receives a full
+//! baseline), `--publish-segment` appends the same frames to a file for
+//! offline replay, and `--publish-wait N` holds the writer at epoch 0 until
+//! `N` subscribers have attached (which makes their ANN index structure
+//! bit-identical to the writer's). `replica` is the other side: it tails
+//! `--connect` (or replays `--segment`) over the *same* `--data` file the
+//! writer serves, applies baselines and deltas, and answers the seeded probe
+//! queries — printing a `probe digest` that matches the writer's exactly
+//! when replication was lossless. Corrupt frames and epoch gaps are counted
+//! and healed by resync (up to `--max-resyncs` reconnects over TCP), never
+//! silently applied.
 
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -73,13 +91,14 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use supa::{CheckpointManager, InsLearnConfig, Supa, SupaConfig, TrainOptions};
 use supa_datasets::{all_datasets, load_tsv, save_tsv, Dataset};
-use supa_eval::{RankingEvaluator, Scorer};
+use supa_eval::{top_k_scored, RankingEvaluator, Scorer};
 use supa_graph::{
     guard_stream, mine_metapaths, MiningConfig, NodeId, PriorityMap, QuarantinePolicy,
 };
+use supa_replica::{replay_segment, run_tcp, AnnParams, PublishOptions, Replica};
 use supa_serve::{
-    run_closed_loop, AdmissionOptions, AnnOptions, CheckpointOptions, LoadConfig, ServeConfig,
-    ShedPolicy, StopCause,
+    probe_digest, run_closed_loop, AdmissionOptions, AnnOptions, CheckpointOptions, LoadConfig,
+    ServeConfig, ServeMetrics, ShedPolicy, StopCause,
 };
 
 fn main() -> ExitCode {
@@ -181,8 +200,25 @@ const COMMANDS: &[CommandSpec] = &[
             "sample-k",
             "priority",
             "metrics-dump",
+            "publish-addr",
+            "publish-segment",
+            "publish-wait",
         ],
         bool_flags: &["mine", "resume", "ann"],
+    },
+    CommandSpec {
+        name: "replica",
+        value_flags: &[
+            "data",
+            "connect",
+            "segment",
+            "top",
+            "seed",
+            "ef-search",
+            "max-resyncs",
+            "metrics-dump",
+        ],
+        bool_flags: &["ann"],
     },
 ];
 
@@ -222,7 +258,7 @@ fn parse(args: &[String]) -> Result<(String, HashMap<String, String>), String> {
 }
 
 fn usage() -> String {
-    "usage: supa <generate|stats|mine|train|evaluate|recommend|serve> [--flags]; \
+    "usage: supa <generate|stats|mine|train|evaluate|recommend|serve|replica> [--flags]; \
      see the binary's module docs"
         .to_string()
 }
@@ -576,6 +612,19 @@ fn run(args: &[String]) -> Result<(), String> {
                 priorities,
                 ..admission_defaults
             };
+            let publish_wait: usize = get(&flags, "publish-wait", 0)?;
+            let replication = {
+                let tcp_addr = flags.get("publish-addr").cloned();
+                let segment = flags.get("publish-segment").map(Into::into);
+                if publish_wait > 0 && tcp_addr.is_none() {
+                    return Err("--publish-wait needs --publish-addr".into());
+                }
+                (tcp_addr.is_some() || segment.is_some()).then(|| PublishOptions {
+                    tcp_addr,
+                    segment,
+                    wait_subscribers: publish_wait,
+                })
+            };
             let serve_cfg = ServeConfig {
                 queue_capacity: get(&flags, "queue", 1024)?,
                 train_batch: get(&flags, "batch", 64)?,
@@ -586,6 +635,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 workers: get(&flags, "workers", 1)?,
                 ann,
                 admission,
+                replication,
                 ..ServeConfig::default()
             };
             let load = LoadConfig {
@@ -614,6 +664,91 @@ fn run(args: &[String]) -> Result<(), String> {
                     report.metrics.torn_reads
                 ));
             }
+            Ok(())
+        }
+        "replica" => {
+            use std::sync::atomic::Ordering::Relaxed;
+            let connect = flags.get("connect").cloned();
+            let segment = flags.get("segment").cloned();
+            if connect.is_some() == segment.is_some() {
+                return Err("replica needs exactly one of --connect or --segment".into());
+            }
+            let d = load_dataset(&flags)?;
+            let ann = if flags.contains_key("ann") {
+                let defaults = AnnParams::default();
+                Some(AnnParams {
+                    ef_search: get(&flags, "ef-search", defaults.ef_search)?,
+                    seed: get(&flags, "seed", defaults.seed)?,
+                    ..defaults
+                })
+            } else {
+                if flags.contains_key("ef-search") {
+                    return Err("--ef-search needs --ann".into());
+                }
+                None
+            };
+            let top: usize = get(&flags, "top", 10)?;
+            let seed: u64 = get(&flags, "seed", 7u64)?;
+            let mut replica = Replica::new(d.prototype.clone(), ann);
+            let started = std::time::Instant::now();
+            let stream = match (&connect, &segment) {
+                (Some(addr), None) => run_tcp(addr, &mut replica, get(&flags, "max-resyncs", 8)?),
+                (None, Some(path)) => replay_segment(std::path::Path::new(path), &mut replica),
+                _ => unreachable!("exactly one transport was checked above"),
+            };
+
+            // Bridge the stream counters into the shared serving metrics so
+            // the report and the --metrics-dump line speak the same schema
+            // as the writer's.
+            let c = replica.counters;
+            let metrics = ServeMetrics::default();
+            metrics.deltas_applied.store(c.deltas_applied, Relaxed);
+            metrics.delta_bytes_applied.store(c.bytes_applied, Relaxed);
+            metrics
+                .delta_crc_failures
+                .store(c.crc_failures.saturating_add(c.torn_tail), Relaxed);
+            metrics.delta_resyncs.store(c.resyncs, Relaxed);
+            let report = metrics.report(started.elapsed());
+            if let Some(path) = flags.get("metrics-dump") {
+                use std::io::Write;
+                let mut f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+                let line = report.to_json();
+                writeln!(
+                    f,
+                    "{{\"t_ms\":{},{}",
+                    started.elapsed().as_millis(),
+                    &line[1..]
+                )
+                .map_err(|e| format!("{path}: {e}"))?;
+            }
+            stream.map_err(|e| format!("replication stream: {e}"))?;
+            if !replica.bootstrapped() {
+                return Err("stream ended before any baseline frame; nothing to serve".into());
+            }
+
+            println!(
+                "replica: epoch {}, {} baselines + {} deltas applied ({} B), \
+                 {} events appended, {} crc failures, {} gaps, {} resyncs, {} torn tail",
+                replica.epoch(),
+                c.baselines_applied,
+                c.deltas_applied,
+                c.bytes_applied,
+                c.events_appended,
+                c.crc_failures,
+                c.gaps,
+                c.resyncs,
+                c.torn_tail,
+            );
+            println!("{report}");
+            // The writer's probe digest scores the probe mix directly
+            // against its final snapshot (brute force, cache-free); answer
+            // the same way here so the two digests compare state, not
+            // retrieval strategy.
+            let snap = replica.snapshot().expect("bootstrapped was checked above");
+            let digest = probe_digest(&d, seed, top, |user, rel, k| {
+                top_k_scored(snap, user, replica.candidates(rel), rel, k)
+            });
+            println!("check:  probe digest {digest:#018x}");
             Ok(())
         }
         other => Err(format!("unknown command '{other}'; {}", usage())),
@@ -743,6 +878,53 @@ mod tests {
             ShedPolicy::SampleOneInK
         );
         assert!("drop-newest".parse::<ShedPolicy>().is_err());
+    }
+
+    #[test]
+    fn replica_and_publish_flags_parse_per_command() {
+        let (cmd, flags) = parse(&sargs(&[
+            "replica",
+            "--data",
+            "x.tsv",
+            "--connect",
+            "127.0.0.1:7001",
+            "--ann",
+            "--max-resyncs",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "replica");
+        assert_eq!(flags.get("connect").unwrap(), "127.0.0.1:7001");
+        assert!(flags.contains_key("ann"));
+        assert_eq!(get(&flags, "max-resyncs", 8usize).unwrap(), 3);
+        // The publish flags belong to `serve`, and the replication transports
+        // belong to `replica` — never the other way around.
+        assert!(parse(&sargs(&[
+            "serve",
+            "--publish-addr",
+            "127.0.0.1:0",
+            "--publish-segment",
+            "/tmp/x.seg",
+            "--publish-wait",
+            "1",
+        ]))
+        .is_ok());
+        assert!(parse(&sargs(&["replica", "--publish-addr", "x"])).is_err());
+        assert!(parse(&sargs(&["serve", "--connect", "x"])).is_err());
+        // Exactly one transport is required at run time.
+        let err = run(&sargs(&["replica", "--data", "x.tsv"])).unwrap_err();
+        assert!(err.contains("--connect or --segment"), "{err}");
+        let err = run(&sargs(&[
+            "replica",
+            "--data",
+            "x.tsv",
+            "--connect",
+            "a",
+            "--segment",
+            "b",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--connect or --segment"), "{err}");
     }
 
     #[test]

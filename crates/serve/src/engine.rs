@@ -44,6 +44,9 @@ use supa_graph::{
     StreamGuard, TemporalEdge,
 };
 
+use supa::delta::GuardState;
+use supa_replica::{DeltaPublisher, PublishOptions};
+
 use crate::admission::{AdmissionCtl, AdmissionOptions, DegradeLevel, ShedPolicy};
 use crate::cache::QueryCache;
 use crate::metrics::{MetricsReport, ServeMetrics};
@@ -181,6 +184,9 @@ pub struct ServeConfig {
     /// the degradation-ladder detector. The default ([`ShedPolicy::Block`])
     /// is bit-identical to the pre-admission engine.
     pub admission: AdmissionOptions,
+    /// Epoch-delta replication: publish every epoch's touched set to a TCP
+    /// stream and/or an append-only segment file (`None` = no replication).
+    pub replication: Option<PublishOptions>,
     /// Test seam: panic the writer thread after absorbing this many events,
     /// exercising the panic-propagation path (`EngineClosed` with a
     /// [`ClosedCause::Panic`] cause). Never set in production.
@@ -201,6 +207,7 @@ impl Default for ServeConfig {
             workers: 1,
             ann: None,
             admission: AdmissionOptions::default(),
+            replication: None,
             panic_after: None,
         }
     }
@@ -454,6 +461,9 @@ pub struct ServeHandle {
     shared: Arc<Shared>,
     writer: Option<JoinHandle<WriterExit>>,
     started: Instant,
+    /// Bound address of the delta publisher's TCP listener (`None` without
+    /// TCP replication). With port 0 this is how callers learn the port.
+    replication_addr: Option<std::net::SocketAddr>,
 }
 
 /// Builder entry point: spawn the writer thread and return a handle.
@@ -538,6 +548,21 @@ impl ServeEngine {
             scorer,
             ann: ann_master.as_ref().map(AnnMaster::freeze),
         });
+        // Replication starts against the epoch-0 state: the segment file
+        // opens with a full baseline, and `wait_subscribers` holds the
+        // engine here until the required TCP replicas have attached — those
+        // replicas then share the writer's epoch-0 ANN build and stay
+        // structurally bit-identical through incremental refreshes.
+        let publisher = match &cfg.replication {
+            Some(opts) => Some(DeltaPublisher::start(
+                opts,
+                0,
+                &initial.scorer,
+                GuardState::default(),
+            )?),
+            None => None,
+        };
+        let replication_addr = publisher.as_ref().and_then(DeltaPublisher::bound_addr);
         let admission = (cfg.admission.policy != ShedPolicy::Block)
             .then(|| AdmissionCtl::new(cfg.admission.clone(), cfg.queue_capacity, cfg.train_batch));
         let shared = Arc::new(Shared {
@@ -567,6 +592,7 @@ impl ServeEngine {
                     manager,
                     resume_skip,
                     ann_master,
+                    publisher,
                     cfg,
                 )
             })?;
@@ -578,6 +604,7 @@ impl ServeEngine {
             shared,
             writer: Some(writer),
             started: Instant::now(),
+            replication_addr,
         })
     }
 }
@@ -589,6 +616,10 @@ struct Writer {
     guard: StreamGuard,
     manager: Option<CheckpointManager>,
     ann: Option<AnnMaster>,
+    publisher: Option<DeltaPublisher>,
+    /// Events absorbed into the graph since the last publish — the
+    /// adjacency part of the next delta frame.
+    interval_events: Vec<TemporalEdge>,
     cfg: ServeConfig,
     pending: Vec<TemporalEdge>,
     /// Per-event importance weights, aligned with `pending`. Maintained only
@@ -612,6 +643,7 @@ fn writer_loop(
     manager: Option<CheckpointManager>,
     resume_skip: u64,
     ann: Option<AnnMaster>,
+    publisher: Option<DeltaPublisher>,
     cfg: ServeConfig,
 ) -> WriterExit {
     // First local: drops last, after `w` and friends but before the channel
@@ -639,6 +671,8 @@ fn writer_loop(
         guard,
         manager,
         ann,
+        publisher,
+        interval_events: Vec::new(),
         cfg,
         pending: Vec::new(),
         pending_w: Vec::new(),
@@ -792,6 +826,9 @@ impl Writer {
         }
         self.admitted += 1;
         self.shared.metrics.events_ingested.fetch_add(1, Relaxed);
+        if self.publisher.is_some() {
+            self.interval_events.push(e);
+        }
         if let Some(limit) = self.cfg.panic_after {
             if self.admitted >= limit {
                 panic!("injected writer fault after {limit} events");
@@ -880,6 +917,30 @@ impl Writer {
             master.refresh(&scorer, &touched, &self.shared.candidates);
             master.freeze()
         });
+        if let Some(publisher) = &mut self.publisher {
+            let m = &self.shared.metrics;
+            let guard = GuardState {
+                level: self
+                    .shared
+                    .admission
+                    .as_ref()
+                    .map_or(0, |c| c.level().as_u8()),
+                events_shed: m.events_shed(),
+                events_quarantined: m.events_quarantined.load(Ordering::Relaxed),
+            };
+            let events = std::mem::take(&mut self.interval_events);
+            match publisher.publish(self.epoch, self.epoch - 1, &scorer, &touched, events, guard) {
+                Ok(bytes) => {
+                    m.deltas_published.fetch_add(1, Ordering::Relaxed);
+                    m.delta_bytes_published.fetch_add(bytes, Ordering::Relaxed);
+                }
+                // A full disk must not take down serving; the failure is
+                // visible as a publish-error count and a replica gap.
+                Err(_) => {
+                    m.delta_publish_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         let snap = Arc::new(EpochSnapshot {
             epoch: self.epoch,
             scorer,
@@ -1212,6 +1273,12 @@ impl ServeHandle {
     /// Point-in-time metrics over the serving wall-clock so far.
     pub fn metrics(&self) -> MetricsReport {
         self.shared.metrics.report(self.started.elapsed())
+    }
+
+    /// Bound address of the delta publisher's TCP listener, if epoch-delta
+    /// replication over TCP is enabled ([`ServeConfig::replication`]).
+    pub fn replication_addr(&self) -> Option<std::net::SocketAddr> {
+        self.replication_addr
     }
 
     /// Candidate items for a relation (all nodes of its destination type).

@@ -71,6 +71,7 @@ pub use engine::{
     ServeConfig, ServeEngine, ServeHandle, ServeReport, StopCause,
 };
 pub use loadgen::{
-    run_closed_loop, run_open_loop, LoadConfig, LoadReport, OpenLoopConfig, OpenLoopReport,
+    probe_digest, run_closed_loop, run_open_loop, LoadConfig, LoadReport, OpenLoopConfig,
+    OpenLoopReport,
 };
 pub use metrics::{LatencyHistogram, MetricsReport, ServeMetrics};

@@ -88,16 +88,35 @@ pub struct LoadReport {
     /// flush, scored directly against the final snapshot. Identical across
     /// runs with the same dataset, model seed, and serve/load seeds.
     pub digest: u64,
+    /// Throughput each reader achieved over its own metered window, indexed
+    /// by reader (empty when no reader issued metered queries). The
+    /// aggregate `metrics.qps` divides by wall clock, so with staggered
+    /// reader lifetimes it can sit well below the per-reader rates; this is
+    /// the skew view.
+    pub reader_qps: Vec<f64>,
     /// Serving metrics at shutdown.
     pub metrics: MetricsReport,
     /// Why the writer stopped (normally `Shutdown`).
     pub stop: StopCause,
 }
 
+/// Formats per-reader rates as `[r0 .., r1 .., ...]` for the reports.
+fn fmt_reader_qps(qps: &[f64]) -> String {
+    let cells: Vec<String> = qps
+        .iter()
+        .enumerate()
+        .map(|(i, q)| format!("r{i} {q:.0}"))
+        .collect();
+    format!("[{}]", cells.join(", "))
+}
+
 impl std::fmt::Display for LoadReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "offered {} events", self.events_offered)?;
         writeln!(f, "{}", self.metrics)?;
+        if self.reader_qps.len() > 1 {
+            writeln!(f, "qps/r:  {}", fmt_reader_qps(&self.reader_qps))?;
+        }
         write!(
             f,
             "check:  {} unverifiable, probe digest {:#018x}",
@@ -111,6 +130,33 @@ fn fnv1a(digest: &mut u64, bytes: &[u8]) {
         *digest ^= b as u64;
         *digest = digest.wrapping_mul(0x0000_0100_0000_01B3);
     }
+}
+
+/// Issues the 64 seeded probe queries against `answer` and folds users,
+/// relations, item ids, and score bits into the FNV-1a digest the load
+/// reports print as `probe digest 0x…`.
+///
+/// The probe mix is a pure function of `(dataset, seed)`, so any two
+/// answerers — the writer's post-flush snapshot, a replica that tailed its
+/// delta stream, a segment replay — produce the same digest exactly when
+/// their top-K answers are bit-identical.
+pub fn probe_digest<F>(dataset: &Dataset, seed: u64, top_k: usize, mut answer: F) -> u64
+where
+    F: FnMut(NodeId, RelationId, usize) -> Vec<(NodeId, f32)>,
+{
+    let mix = QueryMix::from_dataset(dataset);
+    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..64 {
+        let (user, rel) = mix.sample(&mut rng);
+        fnv1a(&mut digest, &user.0.to_le_bytes());
+        fnv1a(&mut digest, &rel.0.to_le_bytes());
+        for (item, score) in answer(user, rel, top_k) {
+            fnv1a(&mut digest, &item.0.to_le_bytes());
+            fnv1a(&mut digest, &score.to_bits().to_le_bytes());
+        }
+    }
+    digest
 }
 
 /// Per-relation query-side universe: which nodes may ask, about what.
@@ -186,7 +232,8 @@ pub fn run_closed_loop(
 
     let unverifiable = AtomicU64::new(0);
     let dump_stop = AtomicBool::new(false);
-    let mut digest = 0xCBF2_9CE4_8422_2325u64;
+    let reader_qps: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
+    let mut digest = 0u64;
     std::thread::scope(|outer| {
         if let Some(file) = dump_file.take() {
             let handle = &handle;
@@ -198,6 +245,7 @@ pub fn run_closed_loop(
                 let handle = &handle;
                 let mix = &mix;
                 let unverifiable = &unverifiable;
+                let reader_qps = &reader_qps;
                 let mut rng =
                     SmallRng::seed_from_u64(load.seed ^ (reader as u64).wrapping_mul(0x9E37));
                 let mut warm_rng = SmallRng::seed_from_u64(
@@ -208,12 +256,20 @@ pub fn run_closed_loop(
                         let (user, rel) = mix.sample(&mut warm_rng);
                         let _ = handle.warm_query(user, rel, load.top_k);
                     }
+                    let t0 = Instant::now();
                     for _ in 0..load.queries_per_reader {
                         let (user, rel) = mix.sample(&mut rng);
                         let result = handle.query(user, rel, load.top_k);
                         if load.verify && handle.verify(user, rel, load.top_k, &result).is_none() {
                             unverifiable.fetch_add(1, Ordering::Relaxed);
                         }
+                    }
+                    let secs = t0.elapsed().as_secs_f64();
+                    if load.queries_per_reader > 0 && secs > 0.0 {
+                        reader_qps
+                            .lock()
+                            .unwrap()
+                            .push((reader, load.queries_per_reader as f64 / secs));
                     }
                 });
             }
@@ -234,25 +290,20 @@ pub fn run_closed_loop(
         // cache, whose contents depend on reader timing).
         let _ = handle.flush();
         let snap = handle.snapshot();
-        let mut rng = SmallRng::seed_from_u64(load.seed);
-        for _ in 0..64 {
-            let (user, rel) = mix.sample(&mut rng);
-            let items = top_k_scored(&snap.scorer, user, handle.candidates(rel), rel, load.top_k);
-            fnv1a(&mut digest, &user.0.to_le_bytes());
-            fnv1a(&mut digest, &rel.0.to_le_bytes());
-            for (item, score) in items {
-                fnv1a(&mut digest, &item.0.to_le_bytes());
-                fnv1a(&mut digest, &score.to_bits().to_le_bytes());
-            }
-        }
+        digest = probe_digest(dataset, load.seed, load.top_k, |user, rel, k| {
+            top_k_scored(&snap.scorer, user, handle.candidates(rel), rel, k)
+        });
         dump_stop.store(true, Ordering::Relaxed);
     });
 
+    let mut per_reader = reader_qps.into_inner().unwrap_or_else(|e| e.into_inner());
+    per_reader.sort_by_key(|&(reader, _)| reader);
     let report = handle.shutdown();
     Ok(LoadReport {
         events_offered: dataset.edges.len() as u64,
         unverifiable: unverifiable.into_inner(),
         digest,
+        reader_qps: per_reader.into_iter().map(|(_, qps)| qps).collect(),
         metrics: report.metrics,
         stop: report.stop,
     })
@@ -301,6 +352,9 @@ pub struct OpenLoopReport {
     pub query_p99_us: f64,
     /// Verified queries whose epoch aged out of the history ring.
     pub unverifiable: u64,
+    /// Throughput each reader achieved over its own metered window, indexed
+    /// by reader (the aggregate `queries / burst_secs` hides skew).
+    pub reader_qps: Vec<f64>,
     /// Highest degradation-ladder level the burst forced.
     pub max_level: u64,
     /// Ladder level after the recovery wait (0 = fully recovered).
@@ -324,6 +378,9 @@ impl std::fmt::Display for OpenLoopReport {
             "open:   {} queries, exact p50 {:.1} µs, p99 {:.1} µs, {} unverifiable",
             self.queries, self.query_p50_us, self.query_p99_us, self.unverifiable
         )?;
+        if self.reader_qps.len() > 1 {
+            writeln!(f, "qps/r:  {}", fmt_reader_qps(&self.reader_qps))?;
+        }
         write!(
             f,
             "ladder: peaked at level {}, finished at level {}",
@@ -376,6 +433,7 @@ pub fn run_open_loop(
     let dump_stop = AtomicBool::new(false);
     let read_stop = AtomicBool::new(false);
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let reader_qps: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
     let events = open.events.min(dataset.edges.len());
     let mut offered = 0u64;
     let mut burst_secs = 0.0f64;
@@ -392,6 +450,7 @@ pub fn run_open_loop(
                 let unverifiable = &unverifiable;
                 let read_stop = &read_stop;
                 let latencies = &latencies;
+                let reader_qps = &reader_qps;
                 let mut rng =
                     SmallRng::seed_from_u64(load.seed ^ (reader as u64).wrapping_mul(0x9E37));
                 let mut warm_rng = SmallRng::seed_from_u64(
@@ -403,6 +462,7 @@ pub fn run_open_loop(
                         let _ = handle.warm_query(user, rel, load.top_k);
                     }
                     let mut local = Vec::new();
+                    let metered_from = Instant::now();
                     while !read_stop.load(Ordering::Relaxed) {
                         let (user, rel) = mix.sample(&mut rng);
                         let t0 = Instant::now();
@@ -411,6 +471,13 @@ pub fn run_open_loop(
                         if load.verify && handle.verify(user, rel, load.top_k, &result).is_none() {
                             unverifiable.fetch_add(1, Ordering::Relaxed);
                         }
+                    }
+                    let secs = metered_from.elapsed().as_secs_f64();
+                    if !local.is_empty() && secs > 0.0 {
+                        reader_qps
+                            .lock()
+                            .unwrap()
+                            .push((reader, local.len() as f64 / secs));
                     }
                     latencies.lock().unwrap().extend(local);
                 });
@@ -450,6 +517,8 @@ pub fn run_open_loop(
 
     let mut lat = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
     lat.sort_unstable();
+    let mut per_reader = reader_qps.into_inner().unwrap_or_else(|e| e.into_inner());
+    per_reader.sort_by_key(|&(reader, _)| reader);
     let final_level = handle.degradation_level();
     let report = handle.shutdown();
     let max_level = report.metrics.degradation_max;
@@ -465,6 +534,7 @@ pub fn run_open_loop(
         query_p50_us: pctl(&lat, 0.50) as f64 / 1e3,
         query_p99_us: pctl(&lat, 0.99) as f64 / 1e3,
         unverifiable: unverifiable.into_inner(),
+        reader_qps: per_reader.into_iter().map(|(_, qps)| qps).collect(),
         max_level,
         final_level,
         metrics: report.metrics,

@@ -113,6 +113,22 @@ pub struct ServeMetrics {
     pub level_deescalations: AtomicU64,
     /// Queue occupancy at the most recent shed decision (gauge).
     pub shed_occupancy: AtomicU64,
+    /// Epoch-delta frames published by the replication publisher.
+    pub deltas_published: AtomicU64,
+    /// Wire bytes of published delta frames.
+    pub delta_bytes_published: AtomicU64,
+    /// Publish attempts that failed on transport I/O (disk full, etc.).
+    pub delta_publish_errors: AtomicU64,
+    /// Replication frames applied on the replica side (CLI bridge).
+    pub deltas_applied: AtomicU64,
+    /// Wire bytes of applied replication frames (CLI bridge).
+    pub delta_bytes_applied: AtomicU64,
+    /// Replica lag behind the writer, in epochs (gauge; CLI bridge).
+    pub replica_lag_epochs: AtomicU64,
+    /// Replication frames rejected by CRC/framing checks.
+    pub delta_crc_failures: AtomicU64,
+    /// Replication resyncs (TCP reconnect or segment baseline scan).
+    pub delta_resyncs: AtomicU64,
     /// Query latency distribution.
     pub latency: LatencyHistogram,
 }
@@ -197,6 +213,14 @@ impl ServeMetrics {
             level_escalations: self.level_escalations.load(Ordering::Relaxed),
             level_deescalations: self.level_deescalations.load(Ordering::Relaxed),
             shed_occupancy: self.shed_occupancy.load(Ordering::Relaxed),
+            deltas_published: self.deltas_published.load(Ordering::Relaxed),
+            delta_bytes_published: self.delta_bytes_published.load(Ordering::Relaxed),
+            delta_publish_errors: self.delta_publish_errors.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            delta_bytes_applied: self.delta_bytes_applied.load(Ordering::Relaxed),
+            replica_lag_epochs: self.replica_lag_epochs.load(Ordering::Relaxed),
+            delta_crc_failures: self.delta_crc_failures.load(Ordering::Relaxed),
+            delta_resyncs: self.delta_resyncs.load(Ordering::Relaxed),
             qps: if elapsed.as_secs_f64() > 0.0 {
                 queries as f64 / elapsed.as_secs_f64()
             } else {
@@ -239,6 +263,15 @@ pub struct MetricsReport {
     pub level_escalations: u64,
     pub level_deescalations: u64,
     pub shed_occupancy: u64,
+    pub deltas_published: u64,
+    pub delta_bytes_published: u64,
+    pub delta_publish_errors: u64,
+    pub deltas_applied: u64,
+    pub delta_bytes_applied: u64,
+    /// Replica lag behind the writer in epochs (gauge, replica side).
+    pub replica_lag_epochs: u64,
+    pub delta_crc_failures: u64,
+    pub delta_resyncs: u64,
     pub qps: f64,
     pub p50_us: f64,
     pub p99_us: f64,
@@ -281,6 +314,18 @@ impl MetricsReport {
         let _ = write!(s, "\"level_escalations\":{},", self.level_escalations);
         let _ = write!(s, "\"level_deescalations\":{},", self.level_deescalations);
         let _ = write!(s, "\"shed_occupancy\":{},", self.shed_occupancy);
+        let _ = write!(s, "\"deltas_published\":{},", self.deltas_published);
+        let _ = write!(
+            s,
+            "\"delta_bytes_published\":{},",
+            self.delta_bytes_published
+        );
+        let _ = write!(s, "\"delta_publish_errors\":{},", self.delta_publish_errors);
+        let _ = write!(s, "\"deltas_applied\":{},", self.deltas_applied);
+        let _ = write!(s, "\"delta_bytes_applied\":{},", self.delta_bytes_applied);
+        let _ = write!(s, "\"replica_lag_epochs\":{},", self.replica_lag_epochs);
+        let _ = write!(s, "\"delta_crc_failures\":{},", self.delta_crc_failures);
+        let _ = write!(s, "\"delta_resyncs\":{},", self.delta_resyncs);
         let _ = write!(s, "\"qps\":{:.3},", self.qps);
         let _ = write!(s, "\"p50_us\":{:.3},", self.p50_us);
         let _ = write!(s, "\"p99_us\":{:.3},", self.p99_us);
@@ -333,6 +378,25 @@ impl std::fmt::Display for MetricsReport {
                 self.degradation_max,
                 self.level_escalations,
                 self.level_deescalations,
+            )?;
+        }
+        if self.deltas_published > 0
+            || self.deltas_applied > 0
+            || self.delta_crc_failures > 0
+            || self.delta_publish_errors > 0
+        {
+            write!(
+                f,
+                "\nrepl:   {} published ({} B), {} applied ({} B), lag {} epochs, \
+                 {} crc failures, {} resyncs, {} publish errors",
+                self.deltas_published,
+                self.delta_bytes_published,
+                self.deltas_applied,
+                self.delta_bytes_applied,
+                self.replica_lag_epochs,
+                self.delta_crc_failures,
+                self.delta_resyncs,
+                self.delta_publish_errors,
             )?;
         }
         Ok(())
@@ -419,6 +483,37 @@ mod tests {
         assert!(text.contains("staleness 10"), "{text}");
         // No shed line when the admission layer never acted.
         assert!(!text.contains("shed:"), "{text}");
+    }
+
+    #[test]
+    fn replication_counters_feed_the_report_and_json() {
+        let m = ServeMetrics::default();
+        m.deltas_published.fetch_add(4, Ordering::Relaxed);
+        m.delta_bytes_published.fetch_add(1024, Ordering::Relaxed);
+        m.deltas_applied.fetch_add(3, Ordering::Relaxed);
+        m.delta_bytes_applied.fetch_add(768, Ordering::Relaxed);
+        m.replica_lag_epochs.store(1, Ordering::Relaxed);
+        m.delta_crc_failures.fetch_add(2, Ordering::Relaxed);
+        m.delta_resyncs.fetch_add(1, Ordering::Relaxed);
+        let r = m.report(Duration::from_secs(1));
+        assert_eq!(r.deltas_published, 4);
+        assert_eq!(r.delta_bytes_published, 1024);
+        assert_eq!(r.deltas_applied, 3);
+        assert_eq!(r.delta_bytes_applied, 768);
+        assert_eq!(r.replica_lag_epochs, 1);
+        assert_eq!(r.delta_crc_failures, 2);
+        assert_eq!(r.delta_resyncs, 1);
+        let text = r.to_string();
+        assert!(text.contains("repl:   4 published (1024 B)"), "{text}");
+        assert!(text.contains("2 crc failures, 1 resyncs"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"deltas_published\":4,"), "{json}");
+        assert!(json.contains("\"delta_bytes_applied\":768,"), "{json}");
+        assert!(json.contains("\"replica_lag_epochs\":1,"), "{json}");
+        assert!(json.contains("\"delta_resyncs\":1,"), "{json}");
+        // No repl line while replication has never acted.
+        let quiet = ServeMetrics::default().report(Duration::ZERO).to_string();
+        assert!(!quiet.contains("repl:"), "{quiet}");
     }
 
     #[test]
