@@ -53,6 +53,30 @@ sample_digest=$(cargo run --release -p supa-bench --bin serve_bench -- \
   exit 1
 }
 
+# Sharding smoke: --shards 1 must be bit-identical to the unsharded engine
+# (same probe digest as the base run above), and every shard count >= 2
+# must pin one deterministic result (shards 2 == shards 4; the N >= 2
+# regime freezes the α drift scalars per conflict-free wave, so it is
+# pinned separately from the serial path — DESIGN.md §15). The shards=4
+# run additionally verifies epoch consistency under concurrent readers.
+shard1_digest=$(cargo run --release -p supa-bench --bin serve_bench -- \
+  --scale 0.01 --events 1500 --readers 2 --queries 100 --seed 7 \
+  --batch 256 --shards 1 | digest_of)
+shard2_digest=$(cargo run --release -p supa-bench --bin serve_bench -- \
+  --scale 0.01 --events 1500 --readers 2 --queries 100 --seed 7 \
+  --batch 256 --shards 2 | digest_of)
+shard4_digest=$(cargo run --release -p supa-bench --bin serve_bench -- \
+  --scale 0.01 --events 1500 --readers 2 --queries 100 --seed 7 \
+  --batch 256 --shards 4 --verify | digest_of)
+[ "$base_digest" = "$shard1_digest" ] || {
+  echo "ci: --shards 1 diverged from the unsharded engine ($base_digest vs $shard1_digest)" >&2
+  exit 1
+}
+[ "$shard2_digest" = "$shard4_digest" ] || {
+  echo "ci: shards 2 and 4 must pin one result ($shard2_digest vs $shard4_digest)" >&2
+  exit 1
+}
+
 # Overload smoke: an open-loop Poisson burst calibrated to 2× the
 # sustainable ingest rate against a tiny queue. serve_bench exits non-zero
 # unless the admission layer shed events (--expect-shed), on any torn

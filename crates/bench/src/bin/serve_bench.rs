@@ -8,7 +8,7 @@
 //! ```text
 //! serve_bench [--dataset taobao] [--scale 0.02] [--events 0(=all)]
 //!             [--readers 4] [--queries 500] [--top 10] [--batch 64]
-//!             [--dim 16] [--seed 7] [--workers 1] [--verify]
+//!             [--dim 16] [--seed 7] [--workers 1] [--shards 1] [--verify]
 //!             [--ann] [--ef-search 64] [--guard-every 64] [--min-recall 0.95]
 //!             [--shed-policy block|drop-oldest|sample-1-in-k] [--sample-k 8]
 //!             [--queue 0(=default)] [--metrics-dump FILE]
@@ -19,7 +19,14 @@
 //!
 //! The `events offered / admitted / applied` counts, epoch count, and probe
 //! digest are deterministic for a fixed seed; QPS and latency quantiles are
-//! machine-dependent.
+//! machine-dependent. The report splits cached and uncached query traffic
+//! into separate QPS/latency columns, since cache hits otherwise flatter
+//! the aggregate p50.
+//!
+//! `--shards N` runs the N-way user-sharded engine. `--shards 1` (the
+//! default) is the single-writer engine, bit-identical to prior releases;
+//! every `N >= 2` pins one deterministic probe digest, independent of the
+//! shard count and the host's core count.
 //!
 //! `--ann` serves queries through per-epoch `supa-ann` indexes; the run
 //! fails if the sampled guard recall drops below `--min-recall` (so CI can
@@ -55,6 +62,7 @@ struct Args {
     dim: usize,
     seed: u64,
     workers: usize,
+    shards: usize,
     verify: bool,
     ann: bool,
     ef_search: usize,
@@ -87,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
         dim: 16,
         seed: 7,
         workers: 1,
+        shards: 1,
         verify: false,
         ann: false,
         ef_search: AnnOptions::default().ef_search,
@@ -132,6 +141,7 @@ fn parse_args() -> Result<Args, String> {
             "--dim" => a.dim = num(&flag, &v)?,
             "--seed" => a.seed = num(&flag, &v)?,
             "--workers" => a.workers = num(&flag, &v)?,
+            "--shards" => a.shards = num(&flag, &v)?,
             "--ef-search" => a.ef_search = num(&flag, &v)?,
             "--guard-every" => a.guard_every = num(&flag, &v)?,
             "--min-recall" => a.min_recall = num(&flag, &v)?,
@@ -165,6 +175,7 @@ fn serve_config(a: &Args) -> ServeConfig {
     let mut cfg = ServeConfig {
         train_batch: a.batch,
         workers: a.workers,
+        shards: a.shards,
         ann: a.ann.then(|| AnnOptions {
             ef_search: a.ef_search,
             guard_every: a.guard_every,
@@ -223,7 +234,7 @@ fn calibrate_rate(d: &Dataset, a: &Args) -> Result<f64, String> {
 fn run_closed(d: &Dataset, a: &Args) -> Result<(), String> {
     let model = build_model(d, a)?;
     println!(
-        "serve_bench: {} ({} events), {} readers × {} queries, top-{}, chunk {}, seed {}, {}{}{}",
+        "serve_bench: {} ({} events), {} readers × {} queries, top-{}, chunk {}, seed {}, {}{}{}{}",
         d.name,
         d.edges.len(),
         a.readers,
@@ -232,6 +243,11 @@ fn run_closed(d: &Dataset, a: &Args) -> Result<(), String> {
         a.batch,
         a.seed,
         a.shed_policy,
+        if a.shards > 1 {
+            format!(", {} shards", a.shards)
+        } else {
+            String::new()
+        },
         if a.verify { ", verifying" } else { "" },
         if a.ann {
             format!(", ann ef={}", a.ef_search)

@@ -691,11 +691,17 @@ pub fn significance(cfg: &HarnessConfig) -> Vec<Table> {
 /// serving comparison of the brute-force scan against `supa-ann` retrieval
 /// on a paper-scale catalog (quick mode: harness scale).
 ///
+/// A shard sweep (`shards ∈ {1, 2, 4}`, the N-way user-sharded engine)
+/// rides along, recording ingest rate, cached/uncached query QPS, and the
+/// probe digest — which the sweep asserts is invariant across shard
+/// counts ≥ 2 (shards = 1 is the exact serial path, see
+/// `tests/sharding.rs`).
+///
 /// Besides the usual table/TSV, writes machine-readable
-/// `BENCH_throughput.json` at the repo root with worker counts and the
-/// machine's available parallelism in the metadata. Rates are
-/// machine-dependent; the result *values* are not (see
-/// `tests/parallel.rs`).
+/// `BENCH_throughput.json` at the repo root with worker counts, shard
+/// counts, and the machine's available parallelism in the metadata. Rates
+/// are machine-dependent; the result *values* are not (see
+/// `tests/parallel.rs` and `tests/sharding.rs`).
 pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
     use std::time::Instant;
     use supa_serve::{run_closed_loop, LoadConfig, ServeConfig};
@@ -805,18 +811,99 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
         .expect("closed-loop serving");
         let mt = &report.metrics;
         eprintln!(
-            "[throughput] serve workers={w}: {:.0} qps, p50 {:.0}µs, p99 {:.0}µs",
-            mt.qps, mt.p50_us, mt.p99_us
+            "[throughput] serve workers={w}: {:.0} qps (cached {:.0} / uncached {:.0}), \
+             p50 {:.0}µs, p99 {:.0}µs",
+            mt.qps, mt.cached_qps, mt.uncached_qps, mt.p50_us, mt.p99_us
         );
         t.push(vec![
             "serve".into(),
             w.to_string(),
-            format!("{:.0} qps", mt.qps),
+            format!(
+                "{:.0} qps (c {:.0} / u {:.0})",
+                mt.qps, mt.cached_qps, mt.uncached_qps
+            ),
             "-".into(),
-            format!("p50 {:.0}µs p99 {:.0}µs", mt.p50_us, mt.p99_us),
+            format!(
+                "p50 {:.0}µs p99 {:.0}µs (uncached p50 {:.0}µs)",
+                mt.p50_us, mt.p99_us, mt.uncached_p50_us
+            ),
         ]);
-        serve_runs.push((w, mt.qps, mt.p50_us, mt.p99_us, mt.events_applied));
+        serve_runs.push((
+            w,
+            mt.qps,
+            mt.cached_qps,
+            mt.uncached_qps,
+            mt.p50_us,
+            mt.p99_us,
+            mt.cached_p50_us,
+            mt.uncached_p50_us,
+            mt.events_applied,
+        ));
     }
+
+    // --- sharded closed-loop serving -------------------------------------
+    // Shard sweep at the default worker count: the N-way user-sharded
+    // engine against the same replay. Ingest rate divides events applied by
+    // the run's wall clock (the query phase overlaps ingest, so this is a
+    // floor). The probe digest is pinned invariant across shard counts ≥ 2.
+    const SHARDS: [usize; 3] = [1, 2, 4];
+    let mut shard_runs = Vec::new();
+    for &s in &SHARDS {
+        let m = make_supa(&d, cfg);
+        let t0 = Instant::now();
+        let report = run_closed_loop(
+            &d,
+            m,
+            ServeConfig {
+                train_batch: 64,
+                shards: s,
+                ..ServeConfig::default()
+            },
+            LoadConfig {
+                readers: 2,
+                top_k: 10,
+                queries_per_reader: if cfg.quick { 100 } else { 400 },
+                seed: cfg.seed,
+                warmup_per_reader: 8,
+                verify: false,
+                metrics_dump: None,
+            },
+        )
+        .expect("sharded closed-loop serving");
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let mt = &report.metrics;
+        let ingest_eps = mt.events_applied as f64 / secs;
+        eprintln!(
+            "[throughput] serve shards={s}: {ingest_eps:.0} ev/s ingest, {:.0} qps \
+             (cached {:.0} / uncached {:.0}), digest {:#018x}",
+            mt.qps, mt.cached_qps, mt.uncached_qps, report.digest
+        );
+        t.push(vec![
+            "serve-sharded".into(),
+            format!("s={s}"),
+            format!("{ingest_eps:.0} ev/s"),
+            fmt_secs(secs),
+            format!(
+                "{:.0} qps (c {:.0} / u {:.0}), digest {:#018x}",
+                mt.qps, mt.cached_qps, mt.uncached_qps, report.digest
+            ),
+        ]);
+        shard_runs.push((
+            s,
+            ingest_eps,
+            mt.qps,
+            mt.cached_qps,
+            mt.uncached_qps,
+            report.digest,
+            mt.events_applied,
+        ));
+    }
+    // shards = 1 is the serial path (per-event α); every N ≥ 2 pins one
+    // result (per-wave α) — so 2 and 4 must agree exactly.
+    assert!(
+        shard_runs[1..].windows(2).all(|w| w[0].5 == w[1].5),
+        "probe digest must be invariant across shard counts >= 2"
+    );
 
     // --- ANN query path: brute-force scan vs supa-ann retrieval ----------
     // Query-phase-only comparison at serve workers = 1. The closed-loop QPS
@@ -973,10 +1060,25 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
     let serve_json = jarr(
         serve_runs
             .iter()
-            .map(|(w, qps, p50, p99, applied)| {
+            .map(|(w, qps, cqps, uqps, p50, p99, cp50, up50, applied)| {
                 format!(
-                    "{{\"workers\": {w}, \"qps\": {qps:.1}, \"p50_us\": {p50:.1}, \
-                     \"p99_us\": {p99:.1}, \"events_applied\": {applied}}}"
+                    "{{\"workers\": {w}, \"qps\": {qps:.1}, \"cached_qps\": {cqps:.1}, \
+                     \"uncached_qps\": {uqps:.1}, \"p50_us\": {p50:.1}, \
+                     \"p99_us\": {p99:.1}, \"cached_p50_us\": {cp50:.1}, \
+                     \"uncached_p50_us\": {up50:.1}, \"events_applied\": {applied}}}"
+                )
+            })
+            .collect(),
+    );
+    let shards_json = jarr(
+        shard_runs
+            .iter()
+            .map(|(s, eps, qps, cqps, uqps, digest, applied)| {
+                format!(
+                    "{{\"shards\": {s}, \"ingest_events_per_sec\": {eps:.1}, \
+                     \"qps\": {qps:.1}, \"cached_qps\": {cqps:.1}, \
+                     \"uncached_qps\": {uqps:.1}, \"probe_digest\": \"{digest:#018x}\", \
+                     \"events_applied\": {applied}}}"
                 )
             })
             .collect(),
@@ -1005,9 +1107,11 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
     let json = format!(
         "{{\n  \"benchmark\": \"throughput\",\n  \"dataset\": \"{}\",\n  \
          \"scale\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
-         \"workers_measured\": [1, 4],\n  \"nproc\": {},\n  \
+         \"workers_measured\": [1, 4],\n  \"shards_measured\": [1, 2, 4],\n  \
+         \"nproc\": {},\n  \
          \"train_events\": {},\n  \"test_edges\": {},\n  \
-         \"train\": {},\n  \"eval\": {},\n  \"serve\": {},\n  \"ann\": {}\n}}\n",
+         \"train\": {},\n  \"eval\": {},\n  \"serve\": {},\n  \
+         \"sharded_serve\": {},\n  \"ann\": {}\n}}\n",
         d.name,
         cfg.scale,
         cfg.seed,
@@ -1018,6 +1122,7 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
         train_json,
         eval_json,
         serve_json,
+        shards_json,
         ann_json,
     );
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -1027,6 +1132,123 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
         Err(e) => eprintln!("[throughput] could not write {}: {e}", path.display()),
     }
     t.save_tsv("throughput.tsv").ok();
+    vec![t]
+}
+
+/// Shard-key study: how local is the splitmix64 source-user shard key?
+///
+/// Replays a stream, sampling each event's training footprint (endpoints ∪
+/// walk steps ∪ negatives — exactly the conflict set the wave builder
+/// marks) via `Supa::event_touched_nodes`, then reports for
+/// `N ∈ {2, 4, 8, 16}`: the fraction of events whose footprint crosses
+/// shards, the fraction of touched rows owned by a foreign shard, and the
+/// ownership balance (max/mean events per shard). Cross-shard events are
+/// the ones the sharded engine must serialize at the doorbell, so these
+/// rates are the empirical justification for the source-user key (see
+/// DESIGN.md §15).
+///
+/// Besides the usual table/TSV, writes machine-readable
+/// `BENCH_shardkey.json` at the repo root. The statistics are
+/// deterministic for a fixed dataset, scale, and seed.
+pub fn shardkey(cfg: &HarnessConfig) -> Vec<Table> {
+    use supa_par::{shard_of, ShardStats};
+
+    const SHARD_COUNTS: [usize; 4] = [2, 4, 8, 16];
+    let mut d = make_dataset("Taobao", cfg);
+    if cfg.quick {
+        d.edges.truncate(2_000);
+    }
+    let g = d.full_graph();
+    let mut m = make_supa(&d, cfg);
+    m.resolve_time_scale(&g);
+
+    // Sample every event's footprint once; the per-N statistics reuse it.
+    eprintln!("[shardkey] sampling {} event footprints", d.edges.len());
+    let footprints: Vec<(u32, Vec<u32>)> = d
+        .edges
+        .iter()
+        .map(|e| (e.src.0, m.event_touched_nodes(&g, e)))
+        .collect();
+    let mean_footprint = footprints.iter().map(|(_, t)| t.len() as f64).sum::<f64>()
+        / (footprints.len().max(1)) as f64;
+
+    let mut t = Table::new(
+        "Shard-key study — source-user splitmix64 locality",
+        vec![
+            "shards".into(),
+            "cross-event rate".into(),
+            "foreign-touch rate".into(),
+            "ownership max/mean".into(),
+            "events".into(),
+        ],
+    );
+    let mut rows = Vec::new();
+    for &n in &SHARD_COUNTS {
+        let mut stats = ShardStats::default();
+        let mut owned = vec![0u64; n];
+        for (src, touched) in &footprints {
+            let owner = shard_of(*src, n);
+            owned[owner] += 1;
+            stats.record(owner, touched.iter().map(|&x| shard_of(x, n)));
+        }
+        let mean_owned = footprints.len() as f64 / n as f64;
+        let balance = owned.iter().copied().max().unwrap_or(0) as f64 / mean_owned.max(1e-9);
+        eprintln!(
+            "[shardkey] N={n}: cross {:.4}, foreign touches {:.4}, balance {balance:.3}",
+            stats.cross_rate(),
+            stats.foreign_touch_rate(),
+        );
+        t.push(vec![
+            n.to_string(),
+            fmt4(stats.cross_rate()),
+            fmt4(stats.foreign_touch_rate()),
+            format!("{balance:.3}"),
+            stats.events.to_string(),
+        ]);
+        rows.push((n, stats, balance, owned));
+    }
+
+    // --- machine-readable artefact at the repo root ----------------------
+    let jarr = |items: Vec<String>| format!("[\n    {}\n  ]", items.join(",\n    "));
+    let rows_json = jarr(
+        rows.iter()
+            .map(|(n, stats, balance, owned)| {
+                let owned_json = owned
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "{{\"shards\": {n}, \"cross_event_rate\": {:.4}, \
+                     \"foreign_touch_rate\": {:.4}, \"events\": {}, \
+                     \"touches\": {}, \"ownership_max_over_mean\": {balance:.4}, \
+                     \"owned_events\": [{owned_json}]}}",
+                    stats.cross_rate(),
+                    stats.foreign_touch_rate(),
+                    stats.events,
+                    stats.touches,
+                )
+            })
+            .collect(),
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"shardkey\",\n  \"dataset\": \"{}\",\n  \
+         \"scale\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
+         \"events\": {},\n  \"mean_footprint_nodes\": {mean_footprint:.2},\n  \
+         \"shard_counts\": [2, 4, 8, 16],\n  \"rows\": {rows_json}\n}}\n",
+        d.name,
+        cfg.scale,
+        cfg.seed,
+        cfg.quick,
+        footprints.len(),
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_shardkey.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[shardkey] wrote {}", path.display()),
+        Err(e) => eprintln!("[shardkey] could not write {}: {e}", path.display()),
+    }
+    t.save_tsv("shardkey.tsv").ok();
     vec![t]
 }
 

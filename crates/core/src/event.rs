@@ -418,10 +418,15 @@ impl Supa {
     /// the mean total loss. Shuffles nothing — the stream order *is* the
     /// curriculum.
     ///
-    /// With [`Supa::set_workers`] > 1 this dispatches to
+    /// With [`Supa::set_shards`] ≥ 2 this dispatches to the user-partitioned
+    /// sharded pass (see [`Supa::set_shards`]); otherwise
+    /// [`Supa::set_workers`] > 1 dispatches to
     /// [`Supa::train_pass_batched`]; the default (`workers = 1`) is the
     /// exact serial per-event loop.
     pub fn train_pass(&mut self, g: &Dmhg, edges: &[TemporalEdge]) -> f64 {
+        if self.shards > 1 {
+            return self.train_pass_sharded_impl(g, edges, None);
+        }
         if self.workers > 1 {
             return self.train_pass_batched(g, edges, self.workers);
         }
@@ -457,6 +462,9 @@ impl Supa {
             w.len(),
             "train_pass_weighted: one weight per event"
         );
+        if self.shards > 1 {
+            return self.train_pass_sharded_impl(g, edges, Some(w));
+        }
         if self.workers > 1 {
             return self.train_pass_batched_impl(g, edges, Some(w), self.workers);
         }
@@ -634,6 +642,189 @@ impl Supa {
         }
         self.scratch = scratch;
         total / edges.len() as f64
+    }
+
+    /// User-partitioned sharded pass: the same serial-sampling /
+    /// disjoint-wave / frozen-state structure as
+    /// [`Supa::train_pass_batched`], with each wave's gradient work grouped
+    /// by the shard owning the event's source user
+    /// (`supa_par::shard_of(src, shards)`) instead of split into contiguous
+    /// worker chunks.
+    ///
+    /// Because a wave's gradients are pure reads of the frozen pre-wave
+    /// state reassembled by event index, *any* partition of the wave —
+    /// contiguous chunks, shard-keyed groups, inline execution — produces
+    /// bitwise-identical results. Three consequences this pass pins:
+    ///
+    /// - every shard count ≥ 2 yields the same result (the grouping drops
+    ///   out), equal to the `workers ≥ 2` micro-batched result;
+    /// - the result is host-independent: unlike the worker fan-out, the
+    ///   shard partition is never clamped to the machine's core count — on
+    ///   a single core the shard groups are computed serially with the same
+    ///   frozen-state semantics (no thread spawns, bounded overhead);
+    /// - it differs from the serial `shards = 1` path only in that the `α`
+    ///   drift scalars are frozen per wave instead of per event — exactly
+    ///   the batched path's deviation.
+    ///
+    /// Shard groups run on one scoped thread per non-empty shard when the
+    /// machine has the cores for it and the wave is long enough to amortize
+    /// the spawns; the thread ↔ shard affinity keeps each worker on its own
+    /// users' rows.
+    fn train_pass_sharded_impl(
+        &mut self,
+        g: &Dmhg,
+        edges: &[TemporalEdge],
+        weights: Option<&[f32]>,
+    ) -> f64 {
+        let shards = self.shards.max(2);
+        if edges.is_empty() {
+            return 0.0;
+        }
+
+        // Preamble, once per pass (as in the batched path).
+        self.ensure_capacity(g.num_nodes());
+        if self.variant.use_neg && self.neg_samplers.iter().all(Option::is_none) {
+            self.rebuild_negative_samplers(g);
+        }
+
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.prepare(&self.cfg);
+        scratch.arena.clear();
+
+        // Phase 1 — draw all stochastic choices serially, in stream order.
+        for e in edges {
+            self.sample_event_into(g, e, &mut scratch.arena, &mut scratch.neg_tmp);
+        }
+
+        let threads_available = supa_par::available_workers() > 1;
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        let mut total = 0.0;
+        scratch.marks.ensure_len(g.num_nodes());
+        let mut start = 0usize;
+        while start < edges.len() {
+            // Phase 2 — extend the wave while touched sets stay disjoint
+            // (identical to the batched path: same waves, same marks).
+            scratch.marks.clear();
+            let mut end = start;
+            while end < edges.len() {
+                touched_nodes(&edges[end], &scratch.arena, end, &mut scratch.touched);
+                if end > start && scratch.touched.iter().any(|&n| scratch.marks.is_marked(n)) {
+                    break;
+                }
+                for &n in &scratch.touched {
+                    scratch.marks.mark(n);
+                }
+                end += 1;
+            }
+
+            // Phase 3 — group the wave by owning shard of the source user.
+            let wave = end - start;
+            for grp in &mut groups {
+                grp.clear();
+            }
+            for k in 0..wave {
+                groups[supa_par::shard_of(edges[start + k].src.0, shards)].push(k);
+            }
+            let busy = groups.iter().filter(|grp| !grp.is_empty()).count();
+            if threads_available && busy >= 2 && wave >= 2 * MIN_EVENTS_PER_WORKER {
+                // One scoped thread per non-empty shard, each reading the
+                // frozen pre-wave state for its own users' events.
+                let arena = &scratch.arena;
+                let this: &Supa = self;
+                let computed: Vec<Vec<(usize, EventLoss, GradScratch)>> =
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = groups
+                            .iter()
+                            .filter(|grp| !grp.is_empty())
+                            .map(|grp| {
+                                scope.spawn(move || {
+                                    grp.iter()
+                                        .map(|&k| {
+                                            let mut ws = GradScratch::default();
+                                            let loss = this.grads_into(
+                                                g,
+                                                &edges[start + k],
+                                                arena,
+                                                start + k,
+                                                &mut ws,
+                                            );
+                                            (k, loss, ws)
+                                        })
+                                        .collect()
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("shard worker panicked"))
+                            .collect()
+                    });
+                // Scatter by wave index, then apply serially in stream
+                // order — identical bits to the inline branch below.
+                while scratch.wave.len() < wave {
+                    scratch.wave.push(GradScratch::default());
+                }
+                for shard_results in computed {
+                    for (k, loss, ws) in shard_results {
+                        scratch.wave[k] = ws;
+                        scratch.wave[k].loss = loss;
+                    }
+                }
+            } else {
+                // Single core (or a wave too short to amortize spawns):
+                // compute each shard group in place on the pooled buffers.
+                while scratch.wave.len() < wave {
+                    scratch.wave.push(GradScratch::default());
+                }
+                for grp in &groups {
+                    for &k in grp {
+                        let loss = self.grads_into(
+                            g,
+                            &edges[start + k],
+                            &scratch.arena,
+                            start + k,
+                            &mut scratch.wave[k],
+                        );
+                        scratch.wave[k].loss = loss;
+                    }
+                }
+            }
+            // Phase 4 — serial, in-order application.
+            for (k, ws) in scratch.wave[..wave].iter().enumerate() {
+                if let Some(w) = weights {
+                    self.event_weight = w[start + k];
+                }
+                total += ws.loss.total();
+                self.apply_grads(&ws.grads);
+            }
+            start = end;
+        }
+        if weights.is_some() {
+            self.event_weight = 1.0;
+        }
+        self.scratch = scratch;
+        total / edges.len() as f64
+    }
+
+    /// Samples `e`'s walks and negatives — advancing the model RNG exactly
+    /// as training would — and returns the event's touched row ids
+    /// (endpoints ∪ walk steps ∪ negatives). This is the conflict
+    /// footprint the wave builder marks; the shard-key study (`expt
+    /// shardkey`) replays a stream through it to measure how often an
+    /// event's footprint escapes the shard owning its source user.
+    pub fn event_touched_nodes(&mut self, g: &Dmhg, e: &TemporalEdge) -> Vec<u32> {
+        self.ensure_capacity(g.num_nodes());
+        if self.variant.use_neg && self.neg_samplers.iter().all(Option::is_none) {
+            self.rebuild_negative_samplers(g);
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.prepare(&self.cfg);
+        scratch.arena.clear();
+        let idx = self.sample_event_into(g, e, &mut scratch.arena, &mut scratch.neg_tmp);
+        touched_nodes(e, &scratch.arena, idx, &mut scratch.touched);
+        let out = scratch.touched.clone();
+        self.scratch = scratch;
+        out
     }
 
     /// Exposes the internal RNG for protocol-level sampling decisions.

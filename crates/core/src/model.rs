@@ -144,6 +144,12 @@ pub struct Supa {
     /// Worker threads used by `train_pass` for conflict-aware event
     /// micro-batching. `1` (the default) is the exact serial path.
     pub(crate) workers: usize,
+    /// User-partition shard count for `train_pass`. `1` (the default) leaves
+    /// dispatch to `workers`; `>= 2` routes gradient work by the owning
+    /// shard of each event's source user (`supa_par::shard_of`), producing a
+    /// pinned result that is identical for every shard count `>= 2` and
+    /// independent of the host's core count.
+    pub(crate) shards: usize,
     /// Importance weight applied to the *next* event's parameter update.
     /// Scales the Adam step (the learning rate), not the raw gradient:
     /// Adam's `m̂/√v̂` normalisation is scale-invariant in the gradient, so
@@ -218,6 +224,7 @@ impl Supa {
             inslearn_cfg: crate::inslearn::InsLearnConfig::default(),
             touch_log: None,
             workers: 1,
+            shards: 1,
             event_weight: 1.0,
             sampler_stats: vec![(0, 0.0); schema.num_node_types()],
             scratch: crate::scratch::SupaScratch::default(),
@@ -367,6 +374,32 @@ impl Supa {
     /// The configured training worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Sets the user-partition shard count used by [`Supa::train_pass`].
+    ///
+    /// `0` or `1` disables sharded dispatch (the `workers` setting then
+    /// decides between the exact serial path and conflict-aware
+    /// micro-batching). Any `shards >= 2` routes each wave's gradient work
+    /// by the shard owning the event's source user and yields one pinned
+    /// deterministic result: identical for every shard count `>= 2`,
+    /// identical on every host (the shard partition, unlike the worker
+    /// fan-out, is never clamped by the machine's core count), and equal to
+    /// the `workers >= 2` micro-batched result because both freeze the same
+    /// pre-wave state (see `train_pass_sharded`).
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// Builder-style [`Supa::set_shards`].
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.set_shards(shards);
+        self
+    }
+
+    /// The configured training shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Relative total-degree drift above which a per-type negative sampler

@@ -20,6 +20,76 @@
 
 use std::ops::Range;
 
+/// The shard owning node `node` under `shards`-way partitioning.
+///
+/// The key is a splitmix64 finalizer over the raw node id, so ownership is
+/// deterministic across hosts and independent of insertion order, and the
+/// avalanche keeps dense sequential user ids (the common dataset layout)
+/// spread evenly instead of striping. `shards <= 1` always owns everything
+/// at shard 0, so unsharded callers can route unconditionally.
+#[inline]
+pub fn shard_of(node: u32, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut x = node as u64 ^ 0x9E37_79B9_7F4A_7C15;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+/// Accumulates shard-locality statistics for a replayed event stream: how
+/// often an event's touched set (the node-disjointness footprint the
+/// conflict-aware micro-batcher computes) escapes the shard that owns the
+/// event's source user. Feeds the shard-key study (`expt shardkey`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Events recorded.
+    pub events: u64,
+    /// Events with at least one touched node outside the owning shard.
+    pub cross_shard: u64,
+    /// Touched nodes total (including the event's own endpoints).
+    pub touches: u64,
+    /// Touched nodes owned by a shard other than the event owner's.
+    pub foreign_touches: u64,
+}
+
+impl ShardStats {
+    /// Records one event owned by `owner` whose touched rows live on
+    /// `touched_shards` (one entry per touched node, owner included).
+    pub fn record(&mut self, owner: usize, touched_shards: impl IntoIterator<Item = usize>) {
+        self.events += 1;
+        let mut crossed = false;
+        for s in touched_shards {
+            self.touches += 1;
+            if s != owner {
+                self.foreign_touches += 1;
+                crossed = true;
+            }
+        }
+        if crossed {
+            self.cross_shard += 1;
+        }
+    }
+
+    /// Fraction of events whose touched set crosses shards.
+    pub fn cross_rate(&self) -> f64 {
+        if self.events == 0 {
+            return 0.0;
+        }
+        self.cross_shard as f64 / self.events as f64
+    }
+
+    /// Fraction of touched rows owned by a foreign shard.
+    pub fn foreign_touch_rate(&self) -> f64 {
+        if self.touches == 0 {
+            return 0.0;
+        }
+        self.foreign_touches as f64 / self.touches as f64
+    }
+}
+
 /// Clamps a requested worker count to at least one.
 ///
 /// `0` is read as "let the machine decide": it resolves to
@@ -193,6 +263,53 @@ mod tests {
         assert_eq!(effective_workers(0), available_workers());
         assert!(WorkerPool::new(0).workers() >= 1);
         assert_eq!(effective_workers(3), 3);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 4, 8, 16] {
+            for node in [0u32, 1, 7, 1000, u32::MAX] {
+                let s = shard_of(node, shards);
+                assert!(s < shards.max(1), "node={node} shards={shards} got {s}");
+                assert_eq!(s, shard_of(node, shards), "shard key must be pure");
+            }
+        }
+        // shards <= 1 owns everything at shard 0.
+        assert_eq!(shard_of(12345, 0), 0);
+        assert_eq!(shard_of(12345, 1), 0);
+    }
+
+    #[test]
+    fn shard_of_spreads_sequential_ids() {
+        // Dense sequential ids (the common dataset layout) must not stripe:
+        // every shard should own a non-trivial share of the first 10k ids.
+        for shards in [2usize, 4, 8] {
+            let mut counts = vec![0usize; shards];
+            for node in 0..10_000u32 {
+                counts[shard_of(node, shards)] += 1;
+            }
+            let expect = 10_000 / shards;
+            for (s, &c) in counts.iter().enumerate() {
+                assert!(
+                    c > expect / 2 && c < expect * 2,
+                    "shards={shards} shard={s} count={c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_stats_tally_cross_shard_events() {
+        let mut st = ShardStats::default();
+        st.record(0, [0, 0, 0]); // purely local
+        st.record(1, [1, 0, 2]); // two foreign touches
+        assert_eq!(st.events, 2);
+        assert_eq!(st.cross_shard, 1);
+        assert_eq!(st.touches, 6);
+        assert_eq!(st.foreign_touches, 2);
+        assert!((st.cross_rate() - 0.5).abs() < 1e-12);
+        assert!((st.foreign_touch_rate() - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(ShardStats::default().cross_rate(), 0.0);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //!                [--snapshot-every 1] [--cache 4096] [--checkpoint-dir DIR]
 //!                [--checkpoint-every 8] [--keep 3] [--resume]
 //!                [--on-bad-event strict|skip|clamp] [--workers N]
+//!                [--shards N]
 //!                [--warmup 8] [--ann] [--ef-search 64] [--guard-every 64]
 //!                [--min-recall 0.95]
 //!                [--shed-policy block|drop-oldest|sample-1-in-k]
@@ -44,6 +45,12 @@
 //! `--workers N` fans the training gradient computation out across `N`
 //! threads via conflict-aware event micro-batching (`0` = machine
 //! parallelism). `--workers 1` (the default) is the exact serial path.
+//!
+//! `--shards N` partitions the serving engine into `N` user-sharded writer
+//! lanes with a deterministic global event order, per-shard ANN indexes, and
+//! two-phase epoch publication. `--shards 1` (the default) is the
+//! single-writer engine, bit-identical to prior releases; every `N >= 2`
+//! produces one pinned, shard-count-independent result.
 //!
 //! `serve` runs the closed-loop serving engine of `supa-serve`: the
 //! dataset's event stream is replayed through a bounded ingest queue into
@@ -192,6 +199,7 @@ const COMMANDS: &[CommandSpec] = &[
             "keep",
             "on-bad-event",
             "workers",
+            "shards",
             "warmup",
             "ef-search",
             "guard-every",
@@ -633,6 +641,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 cache_capacity: get(&flags, "cache", 4096)?,
                 checkpoint,
                 workers: get(&flags, "workers", 1)?,
+                shards: get(&flags, "shards", 1)?,
                 ann,
                 admission,
                 replication,

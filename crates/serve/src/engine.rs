@@ -27,6 +27,28 @@
 //! - **Verification**: the last [`ServeConfig::keep_history`] snapshots are
 //!   retained so a result claiming epoch `e` can be re-scored against the
 //!   actual epoch-`e` tables and compared bit-for-bit.
+//!
+//! # Sharding ([`ServeConfig::shards`])
+//!
+//! With `shards = N > 1` the engine is partitioned by the owning shard of
+//! each event's *source user* (`supa_par::shard_of`, a splitmix64 hash, so
+//! ownership is host-independent): each shard gets its own bounded ingest
+//! lane, [`StreamGuard`], admission ladder, metrics block, and query cache.
+//! A producer stamps every event with a global sequence number under one
+//! mutex, deposits it in its shard's lane, and rings an unbounded *doorbell*
+//! channel with `(seq, shard)`; the writer spine consumes doorbells in order
+//! — that order **is** the deterministic global event order — and pulls each
+//! event from the fronted lane, so the trained result is a pure function of
+//! the producers' arrival order exactly as in the unsharded engine. Training
+//! partitions each conflict-free wave's gradient work by the same shard key
+//! (`Supa::set_shards`), and epoch publication is a two-phase barrier:
+//! per-shard ANN refreshes run (in parallel where cores allow) to the common
+//! epoch number, then one composed [`EpochSnapshot`] is swapped in atomically
+//! — readers can never observe two shards at different epochs. `shards = 1`
+//! routes through the legacy single-queue code paths untouched and is
+//! bit-identical to the pre-sharding engine; any `N ≥ 2` produces one
+//! pinned, deterministic result independent of N and of the host's core
+//! count.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::mpsc as std_mpsc;
@@ -187,11 +209,24 @@ pub struct ServeConfig {
     /// Epoch-delta replication: publish every epoch's touched set to a TCP
     /// stream and/or an append-only segment file (`None` = no replication).
     pub replication: Option<PublishOptions>,
+    /// Writer shards (clamped ≥ 1 by validation; 0 is rejected with a named
+    /// error). `1` is the legacy single-queue engine, bit-identical to every
+    /// prior release. `N ≥ 2` partitions ingest, guarding, admission,
+    /// caching, metrics, and ANN maintenance by the owning shard of each
+    /// event's source user — see the module docs for the ordering protocol
+    /// that keeps the result deterministic.
+    pub shards: usize,
     /// Test seam: panic the writer thread after absorbing this many events,
     /// exercising the panic-propagation path (`EngineClosed` with a
     /// [`ClosedCause::Panic`] cause). Never set in production.
     #[doc(hidden)]
     pub panic_after: Option<u64>,
+    /// Test seam: panic this shard's task during the next epoch publication,
+    /// exercising the kill-one-shard path (producers get `EngineClosed` with
+    /// [`ClosedCause::Panic`]; the stop cause names the shard). Never set in
+    /// production.
+    #[doc(hidden)]
+    pub panic_shard: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -208,7 +243,9 @@ impl Default for ServeConfig {
             ann: None,
             admission: AdmissionOptions::default(),
             replication: None,
+            shards: 1,
             panic_after: None,
+            panic_shard: None,
         }
     }
 }
@@ -227,73 +264,139 @@ pub struct EpochSnapshot {
     pub ann: Option<Arc<AnnEpoch>>,
 }
 
-/// The per-relation ANN indexes of one published epoch.
+/// The per-relation ANN indexes of one published epoch, shard-major:
+/// `indexes[shard][relation]`. Unsharded epochs have exactly one shard
+/// holding the full per-relation indexes.
 #[derive(Debug)]
 pub struct AnnEpoch {
-    indexes: Vec<Option<HnswIndex>>,
+    indexes: Vec<Vec<Option<HnswIndex>>>,
 }
 
 impl AnnEpoch {
-    /// The index over `rel`'s candidate items (`None` when the relation has
-    /// no candidates).
+    /// Shard 0's index over `rel`'s candidate items (`None` when that shard
+    /// owns no candidates of the relation). On an unsharded epoch this is
+    /// *the* index over the full catalog; sharded readers use
+    /// [`AnnEpoch::shard_indexes`] to query every shard's partition.
     pub fn index(&self, rel: RelationId) -> Option<&HnswIndex> {
-        self.indexes.get(rel.index()).and_then(Option::as_ref)
+        self.indexes
+            .first()
+            .and_then(|shard| shard.get(rel.index()))
+            .and_then(Option::as_ref)
+    }
+
+    /// Every shard's index over `rel`, in shard order (shards owning no
+    /// candidates of the relation are skipped). The shards partition the
+    /// catalog, so the yielded indexes cover disjoint item sets.
+    pub fn shard_indexes(&self, rel: RelationId) -> impl Iterator<Item = &HnswIndex> {
+        self.indexes
+            .iter()
+            .filter_map(move |shard| shard.get(rel.index()).and_then(Option::as_ref))
+    }
+
+    /// Whether any shard holds an index over `rel`.
+    fn has_index(&self, rel: RelationId) -> bool {
+        self.shard_indexes(rel).next().is_some()
     }
 }
 
-/// Writer-owned master copies of the per-relation indexes. Between epochs
-/// only the nodes the training interval touched are re-inserted; `freeze`
-/// then clones the masters into an immutable [`AnnEpoch`] for publication.
-struct AnnMaster {
-    opts: AnnOptions,
+/// One shard's writer-owned master indexes: per-relation HNSW indexes over
+/// the candidate items *this shard owns* (`shard_of(item) == shard`),
+/// together with the owned candidate lists used to filter refreshes.
+struct ShardAnn {
+    config: AnnConfig,
     indexes: Vec<Option<HnswIndex>>,
+    owned: Vec<Vec<NodeId>>,
     buf: Vec<f32>,
 }
 
-impl AnnMaster {
-    /// Builds the initial indexes over every relation's full candidate list
-    /// in ascending-id order (candidate lists are sorted and deduplicated).
-    fn build(opts: AnnOptions, scorer: &ServingSnapshot, candidates: &[Vec<NodeId>]) -> AnnMaster {
-        let mut master = AnnMaster {
-            opts,
-            indexes: Vec::with_capacity(candidates.len()),
+impl ShardAnn {
+    /// Builds this shard's indexes over its owned slice of every relation's
+    /// candidate list in ascending-id order. With one shard the owned lists
+    /// are the full (sorted, deduplicated) candidate lists, so the build is
+    /// identical to the unsharded engine's.
+    fn build(config: AnnConfig, scorer: &ServingSnapshot, owned: Vec<Vec<NodeId>>) -> ShardAnn {
+        let mut shard = ShardAnn {
+            config,
+            indexes: Vec::with_capacity(owned.len()),
+            owned,
             buf: Vec::new(),
         };
-        for (r, cands) in candidates.iter().enumerate() {
-            if cands.is_empty() {
-                master.indexes.push(None);
+        for r in 0..shard.owned.len() {
+            if shard.owned[r].is_empty() {
+                shard.indexes.push(None);
                 continue;
             }
-            let mut index = HnswIndex::new(scorer.dim(), master.opts.config());
-            for &item in cands {
-                scorer.composite_into(item, RelationId(r as u16), &mut master.buf);
-                index.insert(item.0, &master.buf);
+            let mut index = HnswIndex::new(scorer.dim(), shard.config.clone());
+            for i in 0..shard.owned[r].len() {
+                let item = shard.owned[r][i];
+                scorer.composite_into(item, RelationId(r as u16), &mut shard.buf);
+                index.insert(item.0, &shard.buf);
             }
-            master.indexes.push(Some(index));
+            shard.indexes.push(Some(index));
         }
-        master
+        shard
     }
 
-    /// Re-inserts every touched candidate item with its new composite. Both
-    /// the touched set and the candidate lists are ascending, so the update
-    /// order — and therefore the refreshed index — is deterministic.
-    fn refresh(&mut self, scorer: &ServingSnapshot, touched: &[u32], candidates: &[Vec<NodeId>]) {
+    /// Re-inserts every touched *owned* candidate item with its new
+    /// composite. Both the touched set and the owned lists are ascending, so
+    /// the update order — and therefore the refreshed index — is
+    /// deterministic; shards own disjoint items, so concurrent per-shard
+    /// refreshes touch disjoint indexes.
+    fn refresh(&mut self, scorer: &ServingSnapshot, touched: &[u32]) {
         for (r, index) in self.indexes.iter_mut().enumerate() {
             let Some(index) = index else { continue };
-            let cands = &candidates[r];
+            let owned = &self.owned[r];
             for &id in touched {
-                if cands.binary_search(&NodeId(id)).is_ok() {
+                if owned.binary_search(&NodeId(id)).is_ok() {
                     scorer.composite_into(NodeId(id), RelationId(r as u16), &mut self.buf);
                     index.update(id, &self.buf);
                 }
             }
         }
     }
+}
+
+/// Writer-owned master copies of the per-shard, per-relation indexes.
+/// Between epochs only the nodes the training interval touched are
+/// re-inserted; `freeze` then clones the masters into an immutable
+/// [`AnnEpoch`] for publication.
+struct AnnMaster {
+    shards: Vec<ShardAnn>,
+}
+
+impl AnnMaster {
+    /// Builds `shards` per-shard index sets partitioning every relation's
+    /// candidate list by owning shard.
+    fn build(
+        opts: AnnOptions,
+        scorer: &ServingSnapshot,
+        candidates: &[Vec<NodeId>],
+        shards: usize,
+    ) -> AnnMaster {
+        let n = shards.max(1);
+        let config = opts.config();
+        let shards = (0..n)
+            .map(|s| {
+                let owned: Vec<Vec<NodeId>> = candidates
+                    .iter()
+                    .map(|cands| {
+                        cands
+                            .iter()
+                            .copied()
+                            .filter(|c| supa_par::shard_of(c.0, n) == s)
+                            .collect()
+                    })
+                    .collect();
+                ShardAnn::build(config.clone(), scorer, owned)
+            })
+            .collect();
+        AnnMaster { shards }
+    }
 
     /// Freezes the current masters into a publishable epoch.
     fn freeze(&self) -> Arc<AnnEpoch> {
         Arc::new(AnnEpoch {
-            indexes: self.indexes.clone(),
+            indexes: self.shards.iter().map(|s| s.indexes.clone()).collect(),
         })
     }
 }
@@ -307,11 +410,28 @@ const CLOSED_PANIC: u8 = 3;
 const CLOSED_KILLED: u8 = 4;
 
 /// State shared between the writer thread and all reader threads.
+///
+/// The per-shard vectors (`caches`, `metrics`, `admission`) always have
+/// exactly [`Shared::shards`] entries; an unsharded engine is the
+/// one-element case, and `shard_of(_, 1) == 0` makes every routed access
+/// hit element 0 — identical to the pre-sharding engine.
 struct Shared {
     current: RwLock<Arc<EpochSnapshot>>,
     history: Mutex<std::collections::VecDeque<Arc<EpochSnapshot>>>,
-    cache: QueryCache,
-    metrics: ServeMetrics,
+    /// Per-shard query caches, keyed by the owning shard of the queried
+    /// user, so cache capacity and eviction pressure partition with the
+    /// users.
+    caches: Vec<QueryCache>,
+    /// Per-shard counters; engine-level facts (`epochs_published`, delta
+    /// counters) live on shard 0. Reports merge all shards.
+    metrics: Vec<ServeMetrics>,
+    /// Writer shard count (≥ 1).
+    shards: usize,
+    /// Global event sequence: producers stamp, lane-deposit, and ring the
+    /// doorbell under this lock, so doorbell order is a total order over
+    /// ingested events and `*seq` (read under the lock) counts exactly the
+    /// doorbells already rung. Uncontended (and untouched) when unsharded.
+    seq: Mutex<u64>,
     /// Per-relation candidate item lists (all nodes of the relation's
     /// destination type), ascending and duplicate-free. The node universe is
     /// fixed at start — the guard rejects events naming unknown nodes — so
@@ -320,9 +440,10 @@ struct Shared {
     /// ANN serving configuration (readers need `ef_search` and the guard
     /// cadence); `None` when serving exactly.
     ann_opts: Option<AnnOptions>,
-    /// Overload detector and ladder state; `None` under [`ShedPolicy::Block`]
-    /// (detector off, classic backpressure, zero hot-path overhead).
-    admission: Option<AdmissionCtl>,
+    /// Per-shard overload detectors and ladder state; `None` under
+    /// [`ShedPolicy::Block`] (detector off, classic backpressure, zero
+    /// hot-path overhead).
+    admission: Option<Vec<AdmissionCtl>>,
     /// Why the writer stopped (`OPEN` while it runs). Written exactly once:
     /// by the writer on a clean exit, or by its panic guard. Producers that
     /// keep a queue receiver alive (drop-oldest) poll this instead of
@@ -340,6 +461,61 @@ impl Shared {
             CLOSED_KILLED => ClosedCause::Killed,
             _ => ClosedCause::Shutdown,
         }
+    }
+
+    /// The metrics block of the shard owning `node`.
+    fn metrics_of(&self, node: u32) -> &ServeMetrics {
+        &self.metrics[supa_par::shard_of(node, self.shards)]
+    }
+
+    /// The query cache of the shard owning `node`.
+    fn cache_of(&self, node: u32) -> &QueryCache {
+        &self.caches[supa_par::shard_of(node, self.shards)]
+    }
+
+    /// Engine-wide staleness: Σ ingested − Σ applied across shards.
+    fn staleness(&self) -> u64 {
+        let ingested: u64 = self
+            .metrics
+            .iter()
+            .map(|m| m.events_ingested.load(Ordering::Relaxed))
+            .sum();
+        let applied: u64 = self
+            .metrics
+            .iter()
+            .map(|m| m.events_applied.load(Ordering::Relaxed))
+            .sum();
+        ingested.saturating_sub(applied)
+    }
+
+    /// Engine-wide shed tally across shards and priority classes.
+    fn total_shed(&self) -> u64 {
+        self.metrics.iter().map(|m| m.events_shed()).sum()
+    }
+
+    /// Engine-wide quarantine tally across shards.
+    fn total_quarantined(&self) -> u64 {
+        self.metrics
+            .iter()
+            .map(|m| m.events_quarantined.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The worst (highest) degradation level across shard ladders; 0 under
+    /// the block policy.
+    fn max_level(&self) -> u8 {
+        self.admission.as_ref().map_or(0, |ctls| {
+            ctls.iter().map(|c| c.level().as_u8()).max().unwrap_or(0)
+        })
+    }
+
+    /// All shards' counters folded into one engine-level block.
+    fn merged_metrics(&self) -> ServeMetrics {
+        let merged = ServeMetrics::default();
+        for m in &self.metrics {
+            merged.merge_from(m);
+        }
+        merged
     }
 }
 
@@ -446,11 +622,24 @@ struct WriterExit {
     events_admitted: u64,
 }
 
+/// The producer side of the ingest path: one bounded queue when unsharded,
+/// or per-shard lanes plus the doorbell channel that serializes the global
+/// event order.
+enum IngestTx {
+    Single {
+        data: channel::Sender<(TemporalEdge, f32)>,
+    },
+    Sharded {
+        lanes: Vec<channel::Sender<(TemporalEdge, f32)>>,
+        bell: channel::Sender<(u64, usize)>,
+    },
+}
+
 /// Handle to a running serving engine. `ingest`/`query` take `&self`, so a
 /// single handle can be shared by reference across producer and reader
 /// threads; `shutdown`/`kill` consume it.
 pub struct ServeHandle {
-    data_tx: channel::Sender<(TemporalEdge, f32)>,
+    ingest: IngestTx,
     ctrl_tx: channel::Sender<Ctrl>,
     /// Drop-oldest eviction: a second receiver on the data queue so a
     /// producer facing a full queue can pop the oldest event itself. Only
@@ -500,11 +689,25 @@ impl ServeEngine {
                 ));
             }
         }
-        cfg.admission.validate(cfg.queue_capacity).map_err(|e| {
+        if cfg.shards == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "shards must be at least 1 (got 0); use 1 for the unsharded engine",
+            ));
+        }
+        // Sharded lanes split the queue capacity; each lane (and its
+        // admission ladder) must still be able to hold an event.
+        let lane_capacity = if cfg.shards > 1 {
+            cfg.queue_capacity.div_ceil(cfg.shards)
+        } else {
+            cfg.queue_capacity
+        };
+        cfg.admission.validate(lane_capacity).map_err(|e| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("admission: {e}"))
         })?;
         model.enable_touch_tracking();
         model.set_workers(cfg.workers);
+        model.set_shards(cfg.shards);
 
         let mut manager = None;
         let mut resume_skip = 0u64;
@@ -542,7 +745,7 @@ impl ServeEngine {
         let ann_master = cfg
             .ann
             .clone()
-            .map(|opts| AnnMaster::build(opts, &scorer, &candidates));
+            .map(|opts| AnnMaster::build(opts, &scorer, &candidates, cfg.shards));
         let initial = Arc::new(EpochSnapshot {
             epoch: 0,
             scorer,
@@ -563,42 +766,92 @@ impl ServeEngine {
             None => None,
         };
         let replication_addr = publisher.as_ref().and_then(DeltaPublisher::bound_addr);
-        let admission = (cfg.admission.policy != ShedPolicy::Block)
-            .then(|| AdmissionCtl::new(cfg.admission.clone(), cfg.queue_capacity, cfg.train_batch));
+        let admission = (cfg.admission.policy != ShedPolicy::Block).then(|| {
+            (0..cfg.shards)
+                .map(|_| AdmissionCtl::new(cfg.admission.clone(), lane_capacity, cfg.train_batch))
+                .collect()
+        });
+        let caches = if cfg.shards > 1 {
+            (0..cfg.shards)
+                .map(|_| QueryCache::new(cfg.cache_capacity.div_ceil(cfg.shards)))
+                .collect()
+        } else {
+            vec![QueryCache::new(cfg.cache_capacity)]
+        };
         let shared = Arc::new(Shared {
             current: RwLock::new(initial.clone()),
             history: Mutex::new(std::collections::VecDeque::from([initial])),
-            cache: QueryCache::new(cfg.cache_capacity),
-            metrics: ServeMetrics::default(),
+            caches,
+            metrics: (0..cfg.shards).map(|_| ServeMetrics::default()).collect(),
+            shards: cfg.shards,
+            seq: Mutex::new(0),
             candidates,
             ann_opts: cfg.ann.clone(),
             admission,
             closed: AtomicU8::new(OPEN),
         });
 
-        let (data_tx, data_rx) = channel::bounded(cfg.queue_capacity);
         let (ctrl_tx, ctrl_rx) = channel::unbounded();
-        let evict_rx = (cfg.admission.policy == ShedPolicy::DropOldest).then(|| data_rx.clone());
         let writer_shared = shared.clone();
-        let writer = std::thread::Builder::new()
-            .name("supa-serve-writer".into())
-            .spawn(move || {
-                writer_loop(
-                    data_rx,
-                    ctrl_rx,
-                    writer_shared,
-                    graph,
-                    model,
-                    manager,
-                    resume_skip,
-                    ann_master,
-                    publisher,
-                    cfg,
-                )
-            })?;
+        let (ingest, evict_rx, writer) = if cfg.shards > 1 {
+            let mut lane_txs = Vec::with_capacity(cfg.shards);
+            let mut lane_rxs = Vec::with_capacity(cfg.shards);
+            for _ in 0..cfg.shards {
+                let (tx, rx) = channel::bounded(lane_capacity);
+                lane_txs.push(tx);
+                lane_rxs.push(rx);
+            }
+            let (bell_tx, bell_rx) = channel::unbounded();
+            let writer = std::thread::Builder::new()
+                .name("supa-serve-writer".into())
+                .spawn(move || {
+                    sharded_writer_loop(
+                        bell_rx,
+                        lane_rxs,
+                        ctrl_rx,
+                        writer_shared,
+                        graph,
+                        model,
+                        manager,
+                        resume_skip,
+                        ann_master,
+                        publisher,
+                        cfg,
+                    )
+                })?;
+            (
+                IngestTx::Sharded {
+                    lanes: lane_txs,
+                    bell: bell_tx,
+                },
+                None,
+                writer,
+            )
+        } else {
+            let (data_tx, data_rx) = channel::bounded(cfg.queue_capacity);
+            let evict_rx =
+                (cfg.admission.policy == ShedPolicy::DropOldest).then(|| data_rx.clone());
+            let writer = std::thread::Builder::new()
+                .name("supa-serve-writer".into())
+                .spawn(move || {
+                    writer_loop(
+                        data_rx,
+                        ctrl_rx,
+                        writer_shared,
+                        graph,
+                        model,
+                        manager,
+                        resume_skip,
+                        ann_master,
+                        publisher,
+                        cfg,
+                    )
+                })?;
+            (IngestTx::Single { data: data_tx }, evict_rx, writer)
+        };
 
         Ok(ServeHandle {
-            data_tx,
+            ingest,
             ctrl_tx,
             evict_rx,
             shared,
@@ -613,7 +866,10 @@ struct Writer {
     shared: Arc<Shared>,
     graph: Dmhg,
     model: Supa,
-    guard: StreamGuard,
+    /// One guard per shard, so quarantine state (dedup windows, order
+    /// tracking) partitions with the users; the unsharded engine is the
+    /// one-guard case. The final report merges all of them.
+    guards: Vec<StreamGuard>,
     manager: Option<CheckpointManager>,
     ann: Option<AnnMaster>,
     publisher: Option<DeltaPublisher>,
@@ -650,11 +906,11 @@ fn writer_loop(
     // receivers (function parameters drop after all locals), so a panicking
     // writer publishes its cause before producers see the disconnect.
     let _panic_flag = PanicFlag(shared.clone());
-    let guard = StreamGuard::new(cfg.policy);
+    let guards = vec![StreamGuard::new(cfg.policy)];
     let weighted = shared
         .admission
         .as_ref()
-        .is_some_and(|c| c.policy() == ShedPolicy::SampleOneInK);
+        .is_some_and(|c| c[0].policy() == ShedPolicy::SampleOneInK);
     // With the detector on, an idle writer still ticks it every couple of
     // milliseconds so the ladder recovers after a burst even if no further
     // event or query arrives. Under `block` the ladder is pinned at level 0
@@ -668,7 +924,7 @@ fn writer_loop(
         shared,
         graph,
         model,
-        guard,
+        guards,
         manager,
         ann,
         publisher,
@@ -687,7 +943,7 @@ fn writer_loop(
         crossbeam::select! {
             recv(data_rx) -> msg => match msg {
                 Ok((edge, weight)) => {
-                    w.observe(data_rx.len());
+                    w.observe_shard(0, data_rx.len());
                     if let Some(stop) = w.handle_event(edge, weight) {
                         break stop;
                     }
@@ -734,10 +990,153 @@ fn writer_loop(
                     break StopCause::Killed;
                 }
             },
-            default(idle) => w.observe(data_rx.len()),
+            default(idle) => w.observe_shard(0, data_rx.len()),
         }
     };
 
+    writer_exit(w, stop)
+}
+
+/// The sharded writer spine: consumes doorbells in global sequence order and
+/// pulls each belled event from its shard's fronted lane. A lane deposit
+/// always precedes its doorbell (both under the producers' sequence lock),
+/// so `lanes[s].recv()` after a doorbell for shard `s` returns immediately —
+/// the spine can never block on a lane while another lane has work.
+#[allow(clippy::too_many_arguments)]
+fn sharded_writer_loop(
+    bell_rx: channel::Receiver<(u64, usize)>,
+    lanes: Vec<channel::Receiver<(TemporalEdge, f32)>>,
+    ctrl_rx: channel::Receiver<Ctrl>,
+    shared: Arc<Shared>,
+    graph: Dmhg,
+    model: Supa,
+    manager: Option<CheckpointManager>,
+    resume_skip: u64,
+    ann: Option<AnnMaster>,
+    publisher: Option<DeltaPublisher>,
+    cfg: ServeConfig,
+) -> WriterExit {
+    let _panic_flag = PanicFlag(shared.clone());
+    let guards = (0..cfg.shards)
+        .map(|_| StreamGuard::new(cfg.policy))
+        .collect();
+    let weighted = shared
+        .admission
+        .as_ref()
+        .is_some_and(|c| c[0].policy() == ShedPolicy::SampleOneInK);
+    let idle = if shared.admission.is_some() {
+        Duration::from_millis(2)
+    } else {
+        Duration::from_secs(86_400)
+    };
+    let mut w = Writer {
+        shared,
+        graph,
+        model,
+        guards,
+        manager,
+        ann,
+        publisher,
+        interval_events: Vec::new(),
+        cfg,
+        pending: Vec::new(),
+        pending_w: Vec::new(),
+        weighted,
+        admitted: 0,
+        resume_skip,
+        epoch: 0,
+        chunks: 0,
+    };
+    // Doorbells consumed so far; always equal to the next expected sequence
+    // number, which `drain_sharded` compares against the producers' stamp
+    // counter to drain exactly the events enqueued before a control message.
+    let mut consumed: u64 = 0;
+
+    let stop = loop {
+        crossbeam::select! {
+            recv(bell_rx) -> msg => match msg {
+                Ok((seq, s)) => {
+                    debug_assert_eq!(seq, consumed, "doorbell out of order");
+                    consumed += 1;
+                    let (edge, weight) = lanes[s]
+                        .recv()
+                        .expect("belled event is already in its lane");
+                    w.observe_shard(s, lanes[s].len());
+                    if let Some(stop) = w.handle_event(edge, weight) {
+                        break stop;
+                    }
+                }
+                Err(_) => {
+                    // Every producer hung up. All doorbells (and therefore
+                    // all lane deposits) have been drained: the bell channel
+                    // delivers its backlog before disconnecting, and every
+                    // deposit rings before the producer releases the lock.
+                    w.train_pending();
+                    w.publish();
+                    if let Some(mgr) = &mut w.manager {
+                        let _ = mgr.save(&w.model, w.admitted);
+                    }
+                    break StopCause::Shutdown;
+                }
+            },
+            recv(ctrl_rx) -> msg => match msg {
+                Ok(Ctrl::Flush(ack)) => {
+                    if let Some(stop) = w.drain_sharded(&bell_rx, &lanes, &mut consumed) {
+                        break stop;
+                    }
+                    w.train_pending();
+                    w.publish();
+                    let _ = ack.send(());
+                }
+                Ok(Ctrl::Shutdown) | Err(_) => {
+                    if let Some(stop) = w.drain_sharded(&bell_rx, &lanes, &mut consumed) {
+                        break stop;
+                    }
+                    w.train_pending();
+                    w.publish();
+                    if let Some(mgr) = &mut w.manager {
+                        let _ = mgr.save(&w.model, w.admitted);
+                    }
+                    break StopCause::Shutdown;
+                }
+                Ok(Ctrl::Kill) => {
+                    if let Some(stop) = w.drain_sharded(&bell_rx, &lanes, &mut consumed) {
+                        break stop;
+                    }
+                    break StopCause::Killed;
+                }
+            },
+            default(idle) => {
+                for (s, lane) in lanes.iter().enumerate() {
+                    w.observe_shard(s, lane.len());
+                }
+            }
+        }
+    };
+
+    writer_exit(w, stop)
+}
+
+/// Field-wise sum of one shard guard's report into the engine-level one.
+/// Fault samples are concatenated in shard order (their stream positions are
+/// per-shard admission counts).
+fn merge_quarantine(into: &mut QuarantineReport, from: QuarantineReport) {
+    into.admitted += from.admitted;
+    into.clamped += from.clamped;
+    into.quarantined += from.quarantined;
+    into.non_finite_time += from.non_finite_time;
+    into.negative_time += from.negative_time;
+    into.unknown_node += from.unknown_node;
+    into.unknown_relation += from.unknown_relation;
+    into.endpoint_mismatch += from.endpoint_mismatch;
+    into.out_of_order += from.out_of_order;
+    into.duplicate += from.duplicate;
+    into.samples.extend(from.samples);
+}
+
+/// Publishes the writer's stop cause and merges the per-shard quarantine
+/// reports into the exit summary.
+fn writer_exit(w: Writer, stop: StopCause) -> WriterExit {
     let code = match &stop {
         StopCause::Shutdown => CLOSED_SHUTDOWN,
         StopCause::Killed => CLOSED_KILLED,
@@ -746,36 +1145,39 @@ fn writer_loop(
     };
     w.shared.closed.store(code, Ordering::SeqCst);
 
+    let mut quarantine = QuarantineReport::default();
+    for g in w.guards {
+        merge_quarantine(&mut quarantine, g.into_report());
+    }
     WriterExit {
-        quarantine: w.guard.into_report(),
+        quarantine,
         stop,
         events_admitted: w.admitted,
     }
 }
 
 impl Writer {
-    /// Feeds the overload detector one (occupancy, staleness) observation.
-    fn observe(&self, occupancy: usize) {
-        if let Some(ctl) = &self.shared.admission {
-            ctl.observe(
-                occupancy,
-                self.shared.metrics.staleness(),
-                &self.shared.metrics,
-            );
+    /// Feeds shard `s`'s overload detector one (occupancy, staleness)
+    /// observation. Occupancy is per-lane; staleness is the engine-wide lag
+    /// (training drains all lanes in one global order, so lag is a shared
+    /// fact).
+    fn observe_shard(&self, s: usize, occupancy: usize) {
+        if let Some(ctls) = &self.shared.admission {
+            ctls[s].observe(occupancy, self.shared.staleness(), &self.shared.metrics[s]);
         }
     }
 
     /// Guards and absorbs one dequeued event; `Some` stops the loop
     /// (strict-policy fault).
     fn handle_event(&mut self, edge: TemporalEdge, weight: f32) -> Option<StopCause> {
-        match self.guard.admit(&self.graph, edge) {
+        let s = supa_par::shard_of(edge.src.0, self.guards.len());
+        match self.guards[s].admit(&self.graph, edge) {
             Ok(Some(e)) => {
                 self.absorb(e, weight);
                 None
             }
             Ok(None) => {
-                self.shared
-                    .metrics
+                self.shared.metrics[s]
                     .events_quarantined
                     .fetch_add(1, Ordering::Relaxed);
                 None
@@ -797,13 +1199,45 @@ impl Writer {
         None
     }
 
+    /// Sharded drain: processes every event stamped before this call, in
+    /// doorbell order. The target is read under the sequence lock (so no
+    /// producer is mid-deposit at the instant it's taken), and every stamp
+    /// below the target already has its doorbell in the channel — the
+    /// blocking `recv` calls below can only wait for messages in flight,
+    /// never for future producers.
+    fn drain_sharded(
+        &mut self,
+        bell_rx: &channel::Receiver<(u64, usize)>,
+        lanes: &[channel::Receiver<(TemporalEdge, f32)>],
+        consumed: &mut u64,
+    ) -> Option<StopCause> {
+        let target = *self.shared.seq.lock();
+        while *consumed < target {
+            match bell_rx.recv() {
+                Ok((seq, s)) => {
+                    debug_assert_eq!(seq, *consumed, "doorbell out of order");
+                    *consumed += 1;
+                    let (edge, weight) = lanes[s]
+                        .recv()
+                        .expect("belled event is already in its lane");
+                    if let Some(stop) = self.handle_event(edge, weight) {
+                        return Some(stop);
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        None
+    }
+
     /// The training-chunk size currently in force: the configured batch,
-    /// widened by the ladder's chunk scale from level 1 upward.
+    /// widened by the ladder's chunk scale once any shard's ladder is at
+    /// level 1 or higher.
     fn effective_batch(&self) -> usize {
         let base = self.cfg.train_batch.max(1);
         match &self.shared.admission {
-            Some(ctl) if ctl.level() >= DegradeLevel::WideChunks => {
-                base.saturating_mul(ctl.chunk_scale())
+            Some(ctls) if ctls.iter().any(|c| c.level() >= DegradeLevel::WideChunks) => {
+                base.saturating_mul(ctls[0].chunk_scale())
             }
             _ => base,
         }
@@ -814,6 +1248,7 @@ impl Writer {
     /// with its importance weight.
     fn absorb(&mut self, e: TemporalEdge, weight: f32) {
         use std::sync::atomic::Ordering::Relaxed;
+        let m = self.shared.metrics_of(e.src.0);
         // `admit` validated everything `add_edge` checks; a failure here is
         // a logic bug, but serving must not panic — quarantine instead.
         if self
@@ -821,11 +1256,11 @@ impl Writer {
             .add_edge(e.src, e.dst, e.relation, e.time)
             .is_err()
         {
-            self.shared.metrics.events_quarantined.fetch_add(1, Relaxed);
+            m.events_quarantined.fetch_add(1, Relaxed);
             return;
         }
         self.admitted += 1;
-        self.shared.metrics.events_ingested.fetch_add(1, Relaxed);
+        m.events_ingested.fetch_add(1, Relaxed);
         if self.publisher.is_some() {
             self.interval_events.push(e);
         }
@@ -836,7 +1271,7 @@ impl Writer {
         }
         if self.admitted <= self.resume_skip {
             // Replay: the restored embeddings already reflect this event.
-            self.shared.metrics.events_applied.fetch_add(1, Relaxed);
+            m.events_applied.fetch_add(1, Relaxed);
             return;
         }
         self.pending.push(e);
@@ -897,38 +1332,107 @@ impl Writer {
             )
             // No checkpoint manager is passed, so no I/O can fail.
             .expect("training without checkpointing performs no I/O");
-        self.shared.metrics.events_applied.fetch_add(
-            self.pending.len() as u64,
-            std::sync::atomic::Ordering::Relaxed,
-        );
+        if self.shared.shards > 1 {
+            // Attribute each applied event to its owning shard so per-shard
+            // staleness stays meaningful.
+            for e in &self.pending {
+                self.shared
+                    .metrics_of(e.src.0)
+                    .events_applied
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        } else {
+            self.shared.metrics[0].events_applied.fetch_add(
+                self.pending.len() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        }
         self.pending.clear();
         self.pending_w.clear();
         self.chunks += 1;
     }
 
+    /// Phase 1 of the epoch barrier: every shard refreshes its ANN partition
+    /// to the common epoch number. Shards own disjoint item ids, so the
+    /// per-shard refreshes are independent — they run on scoped threads when
+    /// the host has cores to spare and serially otherwise, with bit-identical
+    /// results either way. A shard task that panics (the `panic_shard` test
+    /// seam, or a real fault) is re-raised on the writer thread after every
+    /// other shard has been joined, so the panic path is identical to any
+    /// other writer panic: cause published, producers see `EngineClosed`.
+    fn publish_phase1(
+        &mut self,
+        scorer: &ServingSnapshot,
+        touched: &[u32],
+    ) -> Option<Arc<AnnEpoch>> {
+        let seam = self.cfg.panic_shard;
+        let epoch = self.epoch;
+        let Some(master) = &mut self.ann else {
+            // ANN disabled: nothing to refresh, but the fault seam still
+            // fires so the kill-one-shard path is testable without an index.
+            if let Some(s) = seam {
+                if s < self.shared.shards {
+                    panic!(
+                        "injected shard fault: shard {s} failed during epoch {epoch} publication"
+                    );
+                }
+            }
+            return None;
+        };
+        let shard_task = |s: usize, sa: &mut ShardAnn| {
+            if seam == Some(s) {
+                panic!("injected shard fault: shard {s} failed during epoch {epoch} publication");
+            }
+            sa.refresh(scorer, touched);
+        };
+        if master.shards.len() == 1 || supa_par::available_workers() == 1 {
+            for (s, sa) in master.shards.iter_mut().enumerate() {
+                shard_task(s, sa);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = master
+                    .shards
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(s, sa)| scope.spawn(move || shard_task(s, sa)))
+                    .collect();
+                let mut first_panic = None;
+                for h in handles {
+                    if let Err(payload) = h.join() {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+                if let Some(payload) = first_panic {
+                    std::panic::resume_unwind(payload);
+                }
+            });
+        }
+        Some(master.freeze())
+    }
+
     /// Publishes the current model state as a new epoch — refreshing the ANN
-    /// indexes for exactly the nodes the interval touched — and invalidates
-    /// the touched neighborhood in the query cache.
+    /// indexes for exactly the nodes the interval touched (phase 1, the
+    /// per-shard barrier) — then composes and swaps in a single
+    /// [`EpochSnapshot`] (phase 2) and invalidates the touched neighborhood
+    /// in every shard's query cache. Readers always observe all shards at
+    /// the same epoch: the composed snapshot is the only thing published.
     fn publish(&mut self) {
         self.epoch += 1;
         let scorer = self.model.export_serving_snapshot();
         let touched = self.model.take_touched();
-        let ann = self.ann.as_mut().map(|master| {
-            master.refresh(&scorer, &touched, &self.shared.candidates);
-            master.freeze()
-        });
+        let ann = self.publish_phase1(&scorer, &touched);
         if let Some(publisher) = &mut self.publisher {
-            let m = &self.shared.metrics;
+            let m = &self.shared.metrics[0];
             let guard = GuardState {
-                level: self
-                    .shared
-                    .admission
-                    .as_ref()
-                    .map_or(0, |c| c.level().as_u8()),
-                events_shed: m.events_shed(),
-                events_quarantined: m.events_quarantined.load(Ordering::Relaxed),
+                level: self.shared.max_level(),
+                events_shed: self.shared.total_shed(),
+                events_quarantined: self.shared.total_quarantined(),
             };
             let events = std::mem::take(&mut self.interval_events);
+            // Replication publishes from the composed epoch: one delta frame
+            // carries the whole engine's touched set, so replicas stay
+            // shard-topology-agnostic.
             match publisher.publish(self.epoch, self.epoch - 1, &scorer, &touched, events, guard) {
                 Ok(bytes) => {
                     m.deltas_published.fetch_add(1, Ordering::Relaxed);
@@ -955,11 +1459,12 @@ impl Writer {
             }
         }
         *self.shared.current.write() = snap;
-        self.shared
-            .metrics
+        self.shared.metrics[0]
             .epochs_published
             .store(self.epoch, std::sync::atomic::Ordering::Relaxed);
-        self.shared.cache.invalidate_touched(&touched);
+        for cache in &self.shared.caches {
+            cache.invalidate_touched(&touched);
+        }
     }
 }
 
@@ -986,21 +1491,24 @@ impl Shared {
             .get(rel.index())
             .map(Vec::as_slice)
             .unwrap_or(&[]);
-        if let (Some(opts), Some(index)) = (
-            &self.ann_opts,
-            snap.ann.as_deref().and_then(|a| a.index(rel)),
-        ) {
+        if let (Some(opts), Some(ann)) = (&self.ann_opts, snap.ann.as_deref()) {
             let ef = opts.ef_search.max(k);
             // The index only pays off when the beam is narrower than the
             // catalog; tiny catalogs (and k covering everything) fall back
             // to the exact scan.
-            if k > 0 && ef < candidates.len() {
+            if k > 0 && ef < candidates.len() && ann.has_index(rel) {
                 let items = ANN_SCRATCH.with(|s| {
                     let s = &mut *s.borrow_mut();
                     snap.scorer.composite_into(user, rel, &mut s.query);
-                    let found = index.search_into(&s.query, ef, ef, &mut s.search);
                     s.cand.clear();
-                    s.cand.extend(found.iter().map(|&id| NodeId(id)));
+                    // Shards partition the catalog, so the per-shard beams
+                    // return disjoint candidate sets: concatenate and
+                    // re-score exactly — no dedup needed, and with one shard
+                    // this is exactly the unsharded retrieval.
+                    for index in ann.shard_indexes(rel) {
+                        let found = index.search_into(&s.query, ef, ef, &mut s.search);
+                        s.cand.extend(found.iter().map(|&id| NodeId(id)));
+                    }
                     TOPK_SCRATCH.with(|t| {
                         top_k_scored_with(&snap.scorer, user, &s.cand, rel, k, &mut t.borrow_mut())
                             .to_vec()
@@ -1045,35 +1553,45 @@ impl ServeHandle {
     /// [`ServeMetrics`]. Errors once the writer has stopped, with the
     /// stop's [`ClosedCause`].
     pub fn ingest(&self, edge: TemporalEdge) -> Result<(), EngineClosed> {
+        match &self.ingest {
+            IngestTx::Single { data } => self.ingest_single(data, edge),
+            IngestTx::Sharded { lanes, bell } => self.ingest_sharded(lanes, bell, edge),
+        }
+    }
+
+    /// The unsharded ingest path — unchanged from the single-queue engine.
+    fn ingest_single(
+        &self,
+        data_tx: &channel::Sender<(TemporalEdge, f32)>,
+        edge: TemporalEdge,
+    ) -> Result<(), EngineClosed> {
         use std::sync::atomic::Ordering::Relaxed;
-        let Some(ctl) = &self.shared.admission else {
+        let Some(ctls) = &self.shared.admission else {
             // Block policy: plain backpressure send, no detector on the path.
-            return self
-                .data_tx
-                .send((edge, 1.0))
-                .map_err(|_| self.closed_error());
+            return data_tx.send((edge, 1.0)).map_err(|_| self.closed_error());
         };
-        let m = &self.shared.metrics;
-        let level = ctl.observe(self.data_tx.len(), m.staleness(), m);
+        let ctl = &ctls[0];
+        let m = &self.shared.metrics[0];
+        let level = ctl.observe(data_tx.len(), m.staleness(), m);
         let prio = ctl.classify(edge.relation);
         match ctl.policy() {
             // Unreachable in practice (`admission` is `None` under block),
             // but backpressure is the only sensible meaning regardless.
-            ShedPolicy::Block => self.send_data(edge, 1.0),
+            ShedPolicy::Block => self.send_data(data_tx, edge, 1.0),
             ShedPolicy::SampleOneInK => {
                 if !AdmissionCtl::shed_eligible(level, prio) {
-                    self.send_data(edge, 1.0)
+                    self.send_data(data_tx, edge, 1.0)
                 } else if ctl.sample_admit(prio) {
                     // The survivor speaks for its whole 1-in-k window:
                     // weight k keeps the expected update mass unbiased.
                     m.events_resampled.fetch_add(1, Relaxed);
-                    self.send_data(edge, ctl.sample_k() as f32)
+                    self.send_data(data_tx, edge, ctl.sample_k() as f32)
                 } else {
-                    m.count_shed(prio, self.data_tx.len());
+                    m.count_shed(prio, data_tx.len());
                     Ok(())
                 }
             }
-            ShedPolicy::DropOldest => match self.data_tx.try_send((edge, 1.0)) {
+            ShedPolicy::DropOldest => match data_tx.try_send((edge, 1.0)) {
                 Ok(()) => Ok(()),
                 Err(channel::TrySendError::Disconnected(_)) => Err(self.closed_error()),
                 Err(channel::TrySendError::Full((edge, w))) => {
@@ -1085,19 +1603,117 @@ impl ServeHandle {
                             .as_ref()
                             .expect("drop-oldest keeps an eviction receiver");
                         if let Ok((old, _)) = evict.try_recv() {
-                            m.count_shed(ctl.classify(old.relation), self.data_tx.len());
+                            m.count_shed(ctl.classify(old.relation), data_tx.len());
                         }
-                        self.send_data(edge, w)
+                        self.send_data(data_tx, edge, w)
                     } else if level == DegradeLevel::ShedLow && prio == EventPriority::Low {
                         // Priority shedding: the incoming low-value event is
                         // the one that loses.
-                        m.count_shed(prio, self.data_tx.len());
+                        m.count_shed(prio, data_tx.len());
                         Ok(())
                     } else {
-                        self.send_data(edge, w)
+                        self.send_data(data_tx, edge, w)
                     }
                 }
             },
+        }
+    }
+
+    /// The sharded ingest path: route to the owning shard's lane and ring
+    /// the doorbell under the global sequence lock.
+    ///
+    /// Admission differs from the unsharded engine in one documented way:
+    /// under drop-oldest, a full lane at a shed-eligible ladder level sheds
+    /// the *incoming* event instead of evicting the oldest queued one —
+    /// popping a lane from the producer side would tear the lane/doorbell
+    /// correspondence that makes the global order deterministic.
+    fn ingest_sharded(
+        &self,
+        lanes: &[channel::Sender<(TemporalEdge, f32)>],
+        bell: &channel::Sender<(u64, usize)>,
+        edge: TemporalEdge,
+    ) -> Result<(), EngineClosed> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let s = supa_par::shard_of(edge.src.0, lanes.len());
+        let Some(ctls) = &self.shared.admission else {
+            return self.stamp_send(&lanes[s], bell, s, edge, 1.0);
+        };
+        let ctl = &ctls[s];
+        let m = &self.shared.metrics[s];
+        let level = ctl.observe(lanes[s].len(), self.shared.staleness(), m);
+        let prio = ctl.classify(edge.relation);
+        match ctl.policy() {
+            ShedPolicy::Block => self.stamp_send(&lanes[s], bell, s, edge, 1.0),
+            ShedPolicy::SampleOneInK => {
+                if !AdmissionCtl::shed_eligible(level, prio) {
+                    self.stamp_send(&lanes[s], bell, s, edge, 1.0)
+                } else if ctl.sample_admit(prio) {
+                    m.events_resampled.fetch_add(1, Relaxed);
+                    self.stamp_send(&lanes[s], bell, s, edge, ctl.sample_k() as f32)
+                } else {
+                    m.count_shed(prio, lanes[s].len());
+                    Ok(())
+                }
+            }
+            ShedPolicy::DropOldest => {
+                if AdmissionCtl::shed_eligible(level, prio) {
+                    if !self.stamp_try_send(&lanes[s], bell, s, edge, 1.0)? {
+                        m.count_shed(prio, lanes[s].len());
+                    }
+                    Ok(())
+                } else {
+                    self.stamp_send(&lanes[s], bell, s, edge, 1.0)
+                }
+            }
+        }
+    }
+
+    /// Stamps, deposits, and rings under the sequence lock (blocking when
+    /// the lane is full — per-shard backpressure that, by holding the lock,
+    /// also pauses other producers: global order admits no overtaking). The
+    /// deposit-before-ring order inside the critical section is what
+    /// guarantees the spine's `recv` after a doorbell never blocks.
+    fn stamp_send(
+        &self,
+        lane: &channel::Sender<(TemporalEdge, f32)>,
+        bell: &channel::Sender<(u64, usize)>,
+        s: usize,
+        edge: TemporalEdge,
+        weight: f32,
+    ) -> Result<(), EngineClosed> {
+        let mut seq = self.shared.seq.lock();
+        if lane.send((edge, weight)).is_err() {
+            return Err(self.closed_error());
+        }
+        let n = *seq;
+        // A dead writer makes this ring undeliverable, but then the lane
+        // send above (or the next one) fails first; the stranded event is
+        // moot either way.
+        let _ = bell.send((n, s));
+        *seq = n + 1;
+        Ok(())
+    }
+
+    /// Non-blocking variant: `Ok(false)` means the lane was full and the
+    /// event was *not* enqueued (the caller sheds it).
+    fn stamp_try_send(
+        &self,
+        lane: &channel::Sender<(TemporalEdge, f32)>,
+        bell: &channel::Sender<(u64, usize)>,
+        s: usize,
+        edge: TemporalEdge,
+        weight: f32,
+    ) -> Result<bool, EngineClosed> {
+        let mut seq = self.shared.seq.lock();
+        match lane.try_send((edge, weight)) {
+            Ok(()) => {
+                let n = *seq;
+                let _ = bell.send((n, s));
+                *seq = n + 1;
+                Ok(true)
+            }
+            Err(channel::TrySendError::Full(_)) => Ok(false),
+            Err(channel::TrySendError::Disconnected(_)) => Err(self.closed_error()),
         }
     }
 
@@ -1105,10 +1721,14 @@ impl ServeHandle {
     /// receiver: the queue can then never disconnect while the handle
     /// lives, so a dead writer is detected via [`Shared::closed`] instead
     /// (polled between short send timeouts).
-    fn send_data(&self, edge: TemporalEdge, weight: f32) -> Result<(), EngineClosed> {
+    fn send_data(
+        &self,
+        data_tx: &channel::Sender<(TemporalEdge, f32)>,
+        edge: TemporalEdge,
+        weight: f32,
+    ) -> Result<(), EngineClosed> {
         if self.evict_rx.is_none() {
-            return self
-                .data_tx
+            return data_tx
                 .send((edge, weight))
                 .map_err(|_| self.closed_error());
         }
@@ -1117,7 +1737,7 @@ impl ServeHandle {
             if self.shared.closed.load(Ordering::SeqCst) != OPEN {
                 return Err(self.closed_error());
             }
-            match self.data_tx.send_timeout(item, Duration::from_millis(20)) {
+            match data_tx.send_timeout(item, Duration::from_millis(20)) {
                 Ok(()) => return Ok(()),
                 Err(channel::SendTimeoutError::Timeout(it)) => item = it,
                 Err(channel::SendTimeoutError::Disconnected(_)) => return Err(self.closed_error()),
@@ -1131,13 +1751,11 @@ impl ServeHandle {
         }
     }
 
-    /// The degradation-ladder level currently in force (0 = full service;
-    /// always 0 under the `block` policy).
+    /// The degradation-ladder level currently in force — the worst shard's
+    /// level when sharded (0 = full service; always 0 under the `block`
+    /// policy).
     pub fn degradation_level(&self) -> u8 {
-        self.shared
-            .admission
-            .as_ref()
-            .map_or(0, |c| c.level().as_u8())
+        self.shared.max_level()
     }
 
     /// Trains any partial chunk, publishes a snapshot, and returns once the
@@ -1158,17 +1776,21 @@ impl ServeHandle {
     pub fn query(&self, user: NodeId, rel: RelationId, k: usize) -> QueryResult {
         use std::sync::atomic::Ordering::Relaxed;
         let t0 = Instant::now();
-        let m = &self.shared.metrics;
+        let m = self.shared.metrics_of(user.0);
         m.queries.fetch_add(1, Relaxed);
 
-        if let Some((epoch, items)) = self.shared.cache.get(user.0, rel.0, k) {
+        if let Some((epoch, items)) = self.shared.cache_of(user.0).get(user.0, rel.0, k) {
             m.cache_hits.fetch_add(1, Relaxed);
-            m.latency.record(t0.elapsed());
+            let dt = t0.elapsed();
+            m.latency.record(dt);
+            m.latency_hit.record(dt);
             return QueryResult { epoch, items };
         }
 
         let result = self.score_fresh(user, rel, k, true);
-        m.latency.record(t0.elapsed());
+        let dt = t0.elapsed();
+        m.latency.record(dt);
+        m.latency_miss.record(dt);
         result
     }
 
@@ -1178,7 +1800,7 @@ impl ServeHandle {
     /// the embedding tables into cache) that would otherwise land in the
     /// metered tail as a multi-millisecond p99 outlier.
     pub fn warm_query(&self, user: NodeId, rel: RelationId, k: usize) -> QueryResult {
-        if let Some((epoch, items)) = self.shared.cache.get(user.0, rel.0, k) {
+        if let Some((epoch, items)) = self.shared.cache_of(user.0).get(user.0, rel.0, k) {
             return QueryResult { epoch, items };
         }
         self.score_fresh(user, rel, k, false)
@@ -1194,7 +1816,7 @@ impl ServeHandle {
             self.recall_guard(&snap, user, rel, k, &items);
         }
         self.shared
-            .cache
+            .cache_of(user.0)
             .put(user.0, rel.0, k, snap.epoch, items.clone());
         QueryResult {
             epoch: snap.epoch,
@@ -1215,7 +1837,7 @@ impl ServeHandle {
         items: &[(NodeId, f32)],
     ) {
         use std::sync::atomic::Ordering::Relaxed;
-        let m = &self.shared.metrics;
+        let m = self.shared.metrics_of(user.0);
         let nth = m.ann_queries.fetch_add(1, Relaxed) + 1;
         let Some(opts) = &self.shared.ann_opts else {
             return;
@@ -1258,7 +1880,7 @@ impl ServeHandle {
                 .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
         if !ok {
             self.shared
-                .metrics
+                .metrics_of(user.0)
                 .torn_reads
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
@@ -1270,9 +1892,32 @@ impl ServeHandle {
         self.shared.current.read().clone()
     }
 
-    /// Point-in-time metrics over the serving wall-clock so far.
+    /// Point-in-time metrics over the serving wall-clock so far. When
+    /// sharded, the per-shard counters are merged (saturating sums; gauges
+    /// take the worst shard; latency histograms merge bucket-wise).
     pub fn metrics(&self) -> MetricsReport {
-        self.shared.metrics.report(self.started.elapsed())
+        self.shared.merged_metrics().report(self.started.elapsed())
+    }
+
+    /// The merged metrics as one JSON line; a sharded engine additionally
+    /// carries a `"shards":[...]` array with each shard's own report, so
+    /// `--metrics-dump` streams expose the per-shard breakdown. Unsharded
+    /// output is exactly [`MetricsReport::to_json`].
+    pub fn metrics_json(&self) -> String {
+        let elapsed = self.started.elapsed();
+        let mut s = self.shared.merged_metrics().report(elapsed).to_json();
+        if self.shared.shards > 1 {
+            s.pop();
+            s.push_str(",\"shards\":[");
+            for (i, m) in self.shared.metrics.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&m.report(elapsed).to_json());
+            }
+            s.push_str("]}");
+        }
+        s
     }
 
     /// Bound address of the delta publisher's TCP listener, if epoch-delta
@@ -1321,14 +1966,15 @@ impl ServeHandle {
                     events_admitted: self
                         .shared
                         .metrics
-                        .events_ingested
-                        .load(std::sync::atomic::Ordering::Relaxed),
+                        .iter()
+                        .map(|m| m.events_ingested.load(std::sync::atomic::Ordering::Relaxed))
+                        .sum(),
                 }
             }
         };
         ServeReport {
             quarantine: exit.quarantine,
-            metrics: self.shared.metrics.report(self.started.elapsed()),
+            metrics: self.shared.merged_metrics().report(self.started.elapsed()),
             stop: exit.stop,
             events_admitted: exit.events_admitted,
         }

@@ -186,14 +186,16 @@ impl QueryMix {
 }
 
 /// Appends one [`MetricsReport`] JSON line (prefixed with a `t_ms` relative
-/// timestamp) every ~200 ms until `stop` is raised, then a final line.
+/// timestamp) every ~200 ms until `stop` is raised, then a final line. On a
+/// sharded engine each line also carries the per-shard breakdown
+/// (`"shards":[...]`, see [`ServeHandle::metrics_json`]).
 fn dump_loop(handle: &ServeHandle, file: std::fs::File, stop: &AtomicBool) {
     use std::io::Write;
     let mut wtr = std::io::BufWriter::new(file);
     let t0 = Instant::now();
     loop {
         let done = stop.load(Ordering::Relaxed);
-        let line = handle.metrics().to_json();
+        let line = handle.metrics_json();
         // Splice the timestamp into the report object: both are flat JSON.
         let _ = writeln!(
             wtr,

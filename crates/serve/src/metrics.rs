@@ -64,6 +64,21 @@ impl LatencyHistogram {
         }
         1u64 << 63
     }
+
+    /// Folds `other`'s buckets into this histogram (saturating per bucket).
+    /// Because the buckets are aligned log₂ ranges, quantiles of the merged
+    /// histogram are exactly the quantiles of the combined sample set (to
+    /// bucket resolution) — this is how per-shard latency histograms merge
+    /// into one engine-level distribution without losing tail fidelity.
+    pub fn absorb(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter().zip(&other.counts) {
+            let add = theirs.load(Ordering::Relaxed);
+            if add != 0 {
+                let cur = mine.load(Ordering::Relaxed);
+                mine.store(cur.saturating_add(add), Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// Shared serving counters (writer and readers both update these).
@@ -131,6 +146,10 @@ pub struct ServeMetrics {
     pub delta_resyncs: AtomicU64,
     /// Query latency distribution.
     pub latency: LatencyHistogram,
+    /// Latency distribution of cache-hit queries only.
+    pub latency_hit: LatencyHistogram,
+    /// Latency distribution of uncached (freshly scored) queries only.
+    pub latency_miss: LatencyHistogram,
 }
 
 impl ServeMetrics {
@@ -174,6 +193,58 @@ impl ServeMetrics {
         }
         self.degradation_max
             .fetch_max(level as u64, Ordering::Relaxed);
+    }
+
+    /// Folds another metrics block's counters into this one. Used by the
+    /// sharded engine to compose per-shard [`ServeMetrics`] into a single
+    /// engine-level view: pure tallies add (saturating), point-in-time
+    /// gauges take the max across shards (the worst shard defines the
+    /// engine's degradation level and replica lag), and the latency
+    /// histograms merge bucket-wise so quantiles stay exact to bucket
+    /// resolution.
+    pub fn merge_from(&self, other: &ServeMetrics) {
+        fn add(dst: &AtomicU64, src: &AtomicU64) {
+            let v = src.load(Ordering::Relaxed);
+            if v != 0 {
+                let cur = dst.load(Ordering::Relaxed);
+                dst.store(cur.saturating_add(v), Ordering::Relaxed);
+            }
+        }
+        fn max(dst: &AtomicU64, src: &AtomicU64) {
+            dst.fetch_max(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        add(&self.events_ingested, &other.events_ingested);
+        add(&self.events_quarantined, &other.events_quarantined);
+        add(&self.events_applied, &other.events_applied);
+        max(&self.epochs_published, &other.epochs_published);
+        add(&self.queries, &other.queries);
+        add(&self.cache_hits, &other.cache_hits);
+        add(&self.torn_reads, &other.torn_reads);
+        add(&self.ann_queries, &other.ann_queries);
+        add(&self.ann_guard_checks, &other.ann_guard_checks);
+        add(&self.ann_guard_expected, &other.ann_guard_expected);
+        add(&self.ann_guard_matched, &other.ann_guard_matched);
+        add(&self.ann_guard_breaches, &other.ann_guard_breaches);
+        add(&self.events_shed_low, &other.events_shed_low);
+        add(&self.events_shed_normal, &other.events_shed_normal);
+        add(&self.events_shed_high, &other.events_shed_high);
+        add(&self.events_resampled, &other.events_resampled);
+        max(&self.degradation_level, &other.degradation_level);
+        max(&self.degradation_max, &other.degradation_max);
+        add(&self.level_escalations, &other.level_escalations);
+        add(&self.level_deescalations, &other.level_deescalations);
+        max(&self.shed_occupancy, &other.shed_occupancy);
+        add(&self.deltas_published, &other.deltas_published);
+        add(&self.delta_bytes_published, &other.delta_bytes_published);
+        add(&self.delta_publish_errors, &other.delta_publish_errors);
+        add(&self.deltas_applied, &other.deltas_applied);
+        add(&self.delta_bytes_applied, &other.delta_bytes_applied);
+        max(&self.replica_lag_epochs, &other.replica_lag_epochs);
+        add(&self.delta_crc_failures, &other.delta_crc_failures);
+        add(&self.delta_resyncs, &other.delta_resyncs);
+        self.latency.absorb(&other.latency);
+        self.latency_hit.absorb(&other.latency_hit);
+        self.latency_miss.absorb(&other.latency_miss);
     }
 
     /// Derives the human-facing report. `elapsed` is the serving wall-clock
@@ -226,8 +297,22 @@ impl ServeMetrics {
             } else {
                 0.0
             },
+            cached_qps: if elapsed.as_secs_f64() > 0.0 {
+                hits as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            uncached_qps: if elapsed.as_secs_f64() > 0.0 {
+                queries.saturating_sub(hits) as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
             p50_us: self.latency.quantile_ns(0.50) as f64 / 1e3,
             p99_us: self.latency.quantile_ns(0.99) as f64 / 1e3,
+            cached_p50_us: self.latency_hit.quantile_ns(0.50) as f64 / 1e3,
+            cached_p99_us: self.latency_hit.quantile_ns(0.99) as f64 / 1e3,
+            uncached_p50_us: self.latency_miss.quantile_ns(0.50) as f64 / 1e3,
+            uncached_p99_us: self.latency_miss.quantile_ns(0.99) as f64 / 1e3,
             staleness: self.staleness(),
         }
     }
@@ -273,8 +358,19 @@ pub struct MetricsReport {
     pub delta_crc_failures: u64,
     pub delta_resyncs: u64,
     pub qps: f64,
+    /// Cache-hit queries per second over the report window.
+    pub cached_qps: f64,
+    /// Freshly-scored (cache-miss) queries per second over the window.
+    pub uncached_qps: f64,
     pub p50_us: f64,
     pub p99_us: f64,
+    /// Latency quantiles over cache-hit queries only (0 until any hit).
+    pub cached_p50_us: f64,
+    pub cached_p99_us: f64,
+    /// Latency quantiles over cache-miss queries only — the honest cost of
+    /// a fresh score, unflattered by sub-µs cache hits.
+    pub uncached_p50_us: f64,
+    pub uncached_p99_us: f64,
     pub staleness: u64,
 }
 
@@ -327,8 +423,14 @@ impl MetricsReport {
         let _ = write!(s, "\"delta_crc_failures\":{},", self.delta_crc_failures);
         let _ = write!(s, "\"delta_resyncs\":{},", self.delta_resyncs);
         let _ = write!(s, "\"qps\":{:.3},", self.qps);
+        let _ = write!(s, "\"cached_qps\":{:.3},", self.cached_qps);
+        let _ = write!(s, "\"uncached_qps\":{:.3},", self.uncached_qps);
         let _ = write!(s, "\"p50_us\":{:.3},", self.p50_us);
         let _ = write!(s, "\"p99_us\":{:.3},", self.p99_us);
+        let _ = write!(s, "\"cached_p50_us\":{:.3},", self.cached_p50_us);
+        let _ = write!(s, "\"cached_p99_us\":{:.3},", self.cached_p99_us);
+        let _ = write!(s, "\"uncached_p50_us\":{:.3},", self.uncached_p50_us);
+        let _ = write!(s, "\"uncached_p99_us\":{:.3},", self.uncached_p99_us);
         let _ = write!(s, "\"staleness\":{}", self.staleness);
         s.push('}');
         s
@@ -357,6 +459,19 @@ impl std::fmt::Display for MetricsReport {
             100.0 * self.cache_hit_rate,
             self.torn_reads,
         )?;
+        if self.cached_p50_us > 0.0 || self.uncached_p50_us > 0.0 {
+            write!(
+                f,
+                "\ncache:  cached {:.0} QPS (p50 {:.1} µs, p99 {:.1} µs), \
+                 uncached {:.0} QPS (p50 {:.1} µs, p99 {:.1} µs)",
+                self.cached_qps,
+                self.cached_p50_us,
+                self.cached_p99_us,
+                self.uncached_qps,
+                self.uncached_p50_us,
+                self.uncached_p99_us,
+            )?;
+        }
         if self.ann_queries > 0 {
             write!(
                 f,
@@ -464,6 +579,88 @@ mod tests {
         // An absurd observation saturates into the top bucket.
         h.record(Duration::from_secs(u64::MAX));
         assert_eq!(h.counts[BUCKETS - 1].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn absorb_merges_buckets_and_preserves_quantiles() {
+        let a = LatencyHistogram::default();
+        let b = LatencyHistogram::default();
+        for _ in 0..9 {
+            a.record(Duration::from_micros(2));
+        }
+        b.record(Duration::from_micros(1000));
+        a.absorb(&b);
+        assert_eq!(a.count(), 10);
+        // Median still sits in the fast bucket, tail in the slow one.
+        assert!(a.quantile_ns(0.5) <= 4_000, "{}", a.quantile_ns(0.5));
+        assert!(a.quantile_ns(1.0) >= 1_000_000, "{}", a.quantile_ns(1.0));
+        // Saturating: absorbing into a full bucket does not wrap.
+        let full = LatencyHistogram::default();
+        full.counts[5].store(u64::MAX, Ordering::Relaxed);
+        let one = LatencyHistogram::default();
+        one.counts[5].store(3, Ordering::Relaxed);
+        full.absorb(&one);
+        assert_eq!(full.counts[5].load(Ordering::Relaxed), u64::MAX);
+    }
+
+    #[test]
+    fn merge_from_sums_counters_and_maxes_gauges() {
+        let a = ServeMetrics::default();
+        a.events_ingested.store(10, Ordering::Relaxed);
+        a.events_applied.store(8, Ordering::Relaxed);
+        a.queries.store(5, Ordering::Relaxed);
+        a.epochs_published.store(3, Ordering::Relaxed);
+        a.degradation_level.store(1, Ordering::Relaxed);
+        a.replica_lag_epochs.store(2, Ordering::Relaxed);
+        a.latency.record(Duration::from_micros(10));
+        let b = ServeMetrics::default();
+        b.events_ingested.store(7, Ordering::Relaxed);
+        b.events_applied.store(7, Ordering::Relaxed);
+        b.queries.store(2, Ordering::Relaxed);
+        b.cache_hits.store(1, Ordering::Relaxed);
+        b.epochs_published.store(3, Ordering::Relaxed);
+        b.degradation_level.store(2, Ordering::Relaxed);
+        b.latency.record(Duration::from_micros(20));
+        let merged = ServeMetrics::default();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.events_ingested.load(Ordering::Relaxed), 17);
+        assert_eq!(merged.events_applied.load(Ordering::Relaxed), 15);
+        assert_eq!(merged.queries.load(Ordering::Relaxed), 7);
+        assert_eq!(merged.cache_hits.load(Ordering::Relaxed), 1);
+        // Shards publish at a common epoch: max, not sum.
+        assert_eq!(merged.epochs_published.load(Ordering::Relaxed), 3);
+        // Worst shard defines the engine-level gauges.
+        assert_eq!(merged.degradation_level.load(Ordering::Relaxed), 2);
+        assert_eq!(merged.replica_lag_epochs.load(Ordering::Relaxed), 2);
+        // Merged staleness = Σ ingested − Σ applied across shards.
+        assert_eq!(merged.staleness(), 2);
+        assert_eq!(merged.latency.count(), 2);
+    }
+
+    #[test]
+    fn cached_and_uncached_latency_split_the_report() {
+        let m = ServeMetrics::default();
+        m.queries.store(4, Ordering::Relaxed);
+        m.cache_hits.store(3, Ordering::Relaxed);
+        for _ in 0..3 {
+            m.latency_hit.record(Duration::from_nanos(400));
+        }
+        m.latency_miss.record(Duration::from_micros(50));
+        let r = m.report(Duration::from_secs(1));
+        assert_eq!(r.cached_qps, 3.0);
+        assert_eq!(r.uncached_qps, 1.0);
+        assert!(r.cached_p50_us < 1.1, "{}", r.cached_p50_us);
+        assert!(r.uncached_p50_us >= 50.0, "{}", r.uncached_p50_us);
+        let text = r.to_string();
+        assert!(text.contains("cache:  cached 3 QPS"), "{text}");
+        assert!(text.contains("uncached 1 QPS"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"cached_qps\":3.000,"), "{json}");
+        assert!(json.contains("\"uncached_p50_us\":"), "{json}");
+        // No cache line until either split histogram has data.
+        let quiet = ServeMetrics::default().report(Duration::ZERO).to_string();
+        assert!(!quiet.contains("cache:"), "{quiet}");
     }
 
     #[test]
