@@ -130,6 +130,41 @@ segment_digest=$(cargo run --release -p supa-serve --bin supa -- replica \
 }
 rm -f "$repl_data" "$repl_seg" "$repl_log"
 
+# Persisted-index resume smoke: a serve run with --ann and --checkpoint-dir
+# saves its HNSW indexes into the checkpoint (v3 index section); a --resume
+# run over the same stream must restore them fingerprint-verified instead
+# of rebuilding, and answer the probe mix with a bit-identical digest.
+ann_data=$(mktemp)
+ann_dir=$(mktemp -d)
+ann_log1=$(mktemp)
+ann_log2=$(mktemp)
+cargo run --release -p supa-serve --bin supa -- generate \
+  --dataset taobao --scale 0.02 --seed 7 --out "$ann_data"
+cargo run --release -p supa-serve --bin supa -- serve \
+  --data "$ann_data" --readers 2 --queries 100 --seed 7 \
+  --ann --checkpoint-dir "$ann_dir" --checkpoint-every 4 > "$ann_log1" 2>&1
+cargo run --release -p supa-serve --bin supa -- serve \
+  --data "$ann_data" --readers 2 --queries 100 --seed 7 \
+  --ann --checkpoint-dir "$ann_dir" --resume > "$ann_log2" 2>&1
+save_digest=$(digest_of < "$ann_log1")
+resume_digest=$(digest_of < "$ann_log2")
+[ -n "$save_digest" ] || { echo "ci: no probe digest in ann checkpoint run" >&2; exit 1; }
+[ "$save_digest" = "$resume_digest" ] || {
+  echo "ci: persisted-index resume diverged ($save_digest vs $resume_digest)" >&2
+  exit 1
+}
+grep -q "ann indexes restored from checkpoint" "$ann_log2" || {
+  cat "$ann_log2" >&2
+  echo "ci: resume did not restore the persisted ann indexes" >&2
+  exit 1
+}
+if grep -q "rebuilding indexes" "$ann_log2"; then
+  cat "$ann_log2" >&2
+  echo "ci: resume fell back to an index rebuild" >&2
+  exit 1
+fi
+rm -rf "$ann_data" "$ann_dir" "$ann_log1" "$ann_log2"
+
 # Kernel timing gate: ns-per-call for the vector kernels plus the
 # adjacency-scan and whole-train-event macro benches, diffed against the
 # checked-in baseline. Fails on a >25% regression vs baseline or on the

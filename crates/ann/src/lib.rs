@@ -263,6 +263,155 @@ impl HnswIndex {
         self.insert(id, vector);
     }
 
+    /// Batched dirty-set refresh: updates every `(ids[j], vectors[j·dim..])`
+    /// pair in one graph-repair pass. `ids` must be strictly ascending
+    /// (sorted and deduplicated — the serving engine's touched-set order);
+    /// `vectors` is row-major with one `dim` row per id. Absent ids are
+    /// inserted.
+    ///
+    /// Compared to calling [`HnswIndex::update`] per id, the batch:
+    ///
+    /// 1. **Unlinks the whole touched set first** (symmetric removals only),
+    ///    recording hole-repair work instead of running it inline;
+    /// 2. **Amortises hole repair** — orphans that are themselves in the
+    ///    touched set are skipped entirely (their re-link rebuilds their
+    ///    lists anyway), and each surviving orphan is patched once against
+    ///    the post-removal graph;
+    /// 3. **Re-links with one shared beam scratch** in ascending-id order,
+    ///    so the per-update allocation of frontier/visited buffers is paid
+    ///    once per epoch, not once per touched node.
+    ///
+    /// A batch of one is bit-identical to a serial [`HnswIndex::update`] of
+    /// the same id. Larger batches are deterministic (a pure function of the
+    /// prior index state and the batch), but intentionally *not* structurally
+    /// identical to the serial sequence: deferring repair changes which
+    /// replacement links are chosen, never whether the graph stays navigable
+    /// — recall parity is pinned by tests, exact structure is not.
+    pub fn update_batch(&mut self, ids: &[u32], vectors: &[f32]) {
+        assert_eq!(
+            vectors.len(),
+            ids.len() * self.dim,
+            "update_batch: vectors must hold one row per id"
+        );
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "update_batch ids must be strictly ascending"
+        );
+        if ids.is_empty() {
+            return;
+        }
+        // Phase 1: allocate slots for new ids, copy every vector in place.
+        let mut slots: Vec<u32> = Vec::with_capacity(ids.len());
+        for (j, &id) in ids.iter().enumerate() {
+            let v = &vectors[j * self.dim..(j + 1) * self.dim];
+            let slot = match self.slot_of.get(&id) {
+                Some(&slot) => {
+                    let i = slot as usize * self.dim;
+                    self.vectors[i..i + self.dim].copy_from_slice(v);
+                    slot
+                }
+                None => {
+                    let slot = self.ids.len() as u32;
+                    let level = self.level_for(id);
+                    self.ids.push(id);
+                    self.levels.push(level as u8);
+                    self.vectors.extend_from_slice(v);
+                    self.links.push(vec![Vec::new(); level + 1]);
+                    self.slot_of.insert(id, slot);
+                    slot
+                }
+            };
+            slots.push(slot);
+        }
+        let mut touched = vec![false; self.ids.len()];
+        for &s in &slots {
+            touched[s as usize] = true;
+        }
+        // Phase 2: bulk unlink — symmetric removals only, repair deferred.
+        struct RepairJob {
+            layer: u32,
+            /// Orphaned neighbors outside the touched set, in list order.
+            orphans: Vec<u32>,
+            /// The removed node's full neighbor list: the replacement pool.
+            candidates: Vec<u32>,
+        }
+        let mut jobs: Vec<RepairJob> = Vec::new();
+        for &slot in &slots {
+            for layer in 0..self.links[slot as usize].len() {
+                let neighbors = std::mem::take(&mut self.links[slot as usize][layer]);
+                for &n in &neighbors {
+                    self.links[n as usize][layer].retain(|&s| s != slot);
+                }
+                let orphans: Vec<u32> = neighbors
+                    .iter()
+                    .copied()
+                    .filter(|&n| !touched[n as usize])
+                    .collect();
+                if !orphans.is_empty() {
+                    jobs.push(RepairJob {
+                        layer: layer as u32,
+                        orphans,
+                        candidates: neighbors,
+                    });
+                }
+            }
+        }
+        // Entry fallback once for the whole batch, not per touched node.
+        if let Some(e) = self.entry {
+            if touched[e as usize] {
+                self.entry = (0..self.ids.len())
+                    .filter(|&s| !touched[s])
+                    .max_by_key(|&s| (self.levels[s], std::cmp::Reverse(self.ids[s])))
+                    .map(|s| s as u32);
+            }
+        }
+        // Phase 3: deferred hole repair against the post-removal graph.
+        // Deficits and partner room are evaluated now, so an orphan that
+        // lost links to several touched nodes is patched once, and partners
+        // inside the touched set are skipped (their re-link refills them).
+        for job in &jobs {
+            let layer = job.layer as usize;
+            let cap = self.cap(layer);
+            for &n in &job.orphans {
+                let deficit = cap.saturating_sub(self.links[n as usize][layer].len());
+                if deficit == 0 {
+                    continue;
+                }
+                let base = {
+                    let i = n as usize * self.dim;
+                    &self.vectors[i..i + self.dim]
+                };
+                let mut cands: Vec<Hit> = job
+                    .candidates
+                    .iter()
+                    .filter(|&&m| {
+                        m != n
+                            && !touched[m as usize]
+                            && self.links[m as usize][layer].len() < cap
+                            && !self.links[n as usize][layer].contains(&m)
+                    })
+                    .map(|&m| Hit {
+                        score: dot(base, {
+                            let i = m as usize * self.dim;
+                            &self.vectors[i..i + self.dim]
+                        }),
+                        slot: m,
+                    })
+                    .collect();
+                cands.sort_unstable_by(|a, b| b.cmp(a));
+                for h in cands.into_iter().take(deficit) {
+                    self.links[n as usize][layer].push(h.slot);
+                    self.links[h.slot as usize][layer].push(n);
+                }
+            }
+        }
+        // Phase 4: re-link in ascending-id order with one shared beam.
+        let mut scratch = SearchScratch::default();
+        for &slot in &slots {
+            self.link_with(slot, &mut scratch);
+        }
+    }
+
     /// Removes `slot` from every neighbor list pointing at it (exact, thanks
     /// to link symmetry) and clears its own lists, then repairs the holes:
     /// each orphaned neighbor whose list dropped below its cap is offered the
@@ -325,9 +474,19 @@ impl HnswIndex {
         }
     }
 
+    /// Links `slot` into the graph with a fresh scratch (single-update
+    /// path). The batch path shares one scratch via
+    /// [`HnswIndex::link_with`].
+    fn link(&mut self, slot: u32) {
+        let mut scratch = SearchScratch::default();
+        self.link_with(slot, &mut scratch);
+    }
+
     /// Links `slot` into the graph: greedy descent through layers above its
     /// level, then beam search + top-`cap` selection on each of its layers.
-    fn link(&mut self, slot: u32) {
+    /// `scratch` is only reused storage — the result is identical to linking
+    /// with a fresh scratch.
+    fn link_with(&mut self, slot: u32, scratch: &mut SearchScratch) {
         let level = self.levels[slot as usize] as usize;
         let Some(entry) = self.entry else {
             self.entry = Some(slot);
@@ -339,7 +498,6 @@ impl HnswIndex {
             // once (dim is small; this is an insert, not the query path).
             self.vec_of(slot).to_vec()
         };
-        let mut scratch = SearchScratch::default();
         let mut ep = entry;
         for layer in ((level + 1)..=entry_level).rev() {
             ep = self.greedy_step(&q, ep, layer);
@@ -348,7 +506,7 @@ impl HnswIndex {
         scratch.entries.push(ep);
         for layer in (0..=level.min(entry_level)).rev() {
             let entries = scratch.entries.clone();
-            self.search_layer(&q, &entries, self.cfg.ef_construction, layer, &mut scratch);
+            self.search_layer(&q, &entries, self.cfg.ef_construction, layer, scratch);
             // Drain best-first: the heap pops worst-first, so reverse.
             let mut found: Vec<Hit> = Vec::with_capacity(scratch.best.len());
             while let Some(std::cmp::Reverse(h)) = scratch.best.pop() {
@@ -591,6 +749,22 @@ impl HnswIndex {
         h
     }
 
+    /// Estimated resident bytes of the index: vector slab, id/level columns,
+    /// neighbor lists (24 B `Vec` header + 4 B per link), and the id→slot
+    /// map. Used by benches to report index memory (the shared-base layout's
+    /// ÷R headline).
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.vectors.len() * 4 // vector slab
+            + self.ids.len() * (4 + 1)         // ids + levels
+            + self.slot_of.len() * 16; // id → slot entries (approx)
+        for per_slot in &self.links {
+            for layer in per_slot {
+                bytes += 24 + layer.len() * 4;
+            }
+        }
+        bytes
+    }
+
     /// Exact brute-force top-`k` ids over the indexed vectors (reference for
     /// recall measurement in tests and benches).
     pub fn brute_force(&self, query: &[f32], k: usize) -> Vec<u32> {
@@ -607,6 +781,352 @@ impl HnswIndex {
             .map(|h| self.ids[h.slot as usize])
             .collect()
     }
+}
+
+/// On-disk framing magic for a serialized [`HnswIndex`].
+const SERDE_MAGIC: &[u8; 8] = b"SUPANN01";
+
+/// Implausibility bounds for deserialization: a header claiming more than
+/// these is corruption, not a real index (prevents attacker/bitrot-sized
+/// allocations before any data is read).
+const MAX_ITEMS: u64 = 1 << 31;
+const MAX_DIM: u64 = 1 << 20;
+
+/// Errors from [`HnswIndex::write_to`] / [`HnswIndex::read_from`]. Decoding
+/// never panics and never yields a structurally invalid index: every failure
+/// is one of these named cases.
+#[derive(Debug)]
+pub enum AnnIoError {
+    /// Underlying reader/writer error.
+    Io(std::io::Error),
+    /// The stream does not start with the `SUPANN01` magic.
+    BadMagic,
+    /// Structural validation failed (bounds, counts, duplicate ids, …).
+    Corrupt(&'static str),
+    /// The structure decoded, but its recomputed fingerprint does not match
+    /// the stored one — bit rot inside otherwise-plausible data.
+    FingerprintMismatch { stored: u64, computed: u64 },
+}
+
+impl std::fmt::Display for AnnIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnnIoError::Io(e) => write!(f, "ann index io: {e}"),
+            AnnIoError::BadMagic => write!(f, "ann index: bad magic (not a SUPANN01 stream)"),
+            AnnIoError::Corrupt(what) => write!(f, "ann index corrupt: {what}"),
+            AnnIoError::FingerprintMismatch { stored, computed } => write!(
+                f,
+                "ann index fingerprint mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnnIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnnIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AnnIoError {
+    fn from(e: std::io::Error) -> Self {
+        AnnIoError::Io(e)
+    }
+}
+
+/// Persistence: the full structure — config, vector slab, neighbor lists,
+/// id↔slot map (implicit in slot order), entry point — is serialized
+/// little-endian with the fingerprint as a trailer, so a restored index is
+/// bit-identical to the saved one and verifiably so. Checkpoint v3 and
+/// replication baseline frames carry these bytes opaquely.
+impl HnswIndex {
+    /// Serializes the index. Layout (all little-endian):
+    ///
+    /// ```text
+    /// "SUPANN01" | dim u64 | m u64 | ef_construction u64 | seed u64
+    ///           | entry+1 u64 | n u64
+    ///           | ids   n×u32
+    ///           | levels n×u8
+    ///           | links  per slot: per layer (levels[slot]+1 of them):
+    ///                      len u32, then len×u32 neighbor slots
+    ///           | vectors n·dim×f32 (bit patterns)
+    ///           | fingerprint u64
+    /// ```
+    pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> Result<(), AnnIoError> {
+        w.write_all(SERDE_MAGIC)?;
+        let header = [
+            self.dim as u64,
+            self.cfg.m as u64,
+            self.cfg.ef_construction as u64,
+            self.cfg.seed,
+            self.entry.map(|e| e as u64 + 1).unwrap_or(0),
+            self.ids.len() as u64,
+        ];
+        for v in header {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        for &id in &self.ids {
+            w.write_all(&id.to_le_bytes())?;
+        }
+        w.write_all(&self.levels)?;
+        for per_slot in &self.links {
+            for layer in per_slot {
+                w.write_all(&(layer.len() as u32).to_le_bytes())?;
+                for &n in layer {
+                    w.write_all(&n.to_le_bytes())?;
+                }
+            }
+        }
+        let mut row = Vec::with_capacity(self.dim * 4);
+        for chunk in self.vectors.chunks(self.dim.max(1)) {
+            row.clear();
+            for v in chunk {
+                row.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            w.write_all(&row)?;
+        }
+        w.write_all(&self.fingerprint().to_le_bytes())?;
+        Ok(())
+    }
+
+    /// The serialized index as an owned byte buffer (what checkpoints and
+    /// baseline frames embed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.vectors.len() * 4);
+        self.write_to(&mut out)
+            .expect("Vec<u8> writes are infallible");
+        out
+    }
+
+    /// Deserializes an index written by [`HnswIndex::write_to`], validating
+    /// structure (bounds, counts, duplicate ids) and then the stored
+    /// fingerprint against a recomputation — a decode that returns `Ok` is
+    /// bit-identical to the index that was saved, never silently corrupt.
+    pub fn read_from<R: std::io::Read>(r: &mut R) -> Result<HnswIndex, AnnIoError> {
+        fn u64_of<R: std::io::Read>(r: &mut R) -> Result<u64, AnnIoError> {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            Ok(u64::from_le_bytes(b))
+        }
+        fn u32_of<R: std::io::Read>(r: &mut R) -> Result<u32, AnnIoError> {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            Ok(u32::from_le_bytes(b))
+        }
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != SERDE_MAGIC {
+            return Err(AnnIoError::BadMagic);
+        }
+        let dim = u64_of(r)?;
+        let m = u64_of(r)?;
+        let ef_construction = u64_of(r)?;
+        let seed = u64_of(r)?;
+        let entry = u64_of(r)?;
+        let n = u64_of(r)?;
+        if dim == 0 || dim > MAX_DIM {
+            return Err(AnnIoError::Corrupt("implausible dimension"));
+        }
+        if !(2..=MAX_DIM).contains(&m) || !(1..=MAX_DIM).contains(&ef_construction) {
+            return Err(AnnIoError::Corrupt("implausible config"));
+        }
+        if n > MAX_ITEMS {
+            return Err(AnnIoError::Corrupt("implausible item count"));
+        }
+        let n = n as usize;
+        if entry > n as u64 {
+            return Err(AnnIoError::Corrupt("entry point out of bounds"));
+        }
+        if entry == 0 && n > 0 || entry > 0 && n == 0 {
+            return Err(AnnIoError::Corrupt(
+                "entry point inconsistent with item count",
+            ));
+        }
+        let mut ids = Vec::with_capacity(n);
+        for _ in 0..n {
+            ids.push(u32_of(r)?);
+        }
+        let mut levels = vec![0u8; n];
+        r.read_exact(&mut levels)?;
+        if levels.iter().any(|&l| l as usize > MAX_LEVEL) {
+            return Err(AnnIoError::Corrupt("level above MAX_LEVEL"));
+        }
+        let mut links = Vec::with_capacity(n);
+        for &level in &levels {
+            let mut per_slot = Vec::with_capacity(level as usize + 1);
+            for _ in 0..=level {
+                let len = u32_of(r)? as usize;
+                if len > n {
+                    return Err(AnnIoError::Corrupt("neighbor list longer than index"));
+                }
+                let mut layer = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let s = u32_of(r)?;
+                    if s as usize >= n {
+                        return Err(AnnIoError::Corrupt("neighbor slot out of bounds"));
+                    }
+                    layer.push(s);
+                }
+                per_slot.push(layer);
+            }
+            links.push(per_slot);
+        }
+        let mut vectors = Vec::with_capacity(n * dim as usize);
+        let mut row = vec![0u8; dim as usize * 4];
+        for _ in 0..n {
+            r.read_exact(&mut row)?;
+            for b in row.chunks_exact(4) {
+                vectors.push(f32::from_bits(u32::from_le_bytes([b[0], b[1], b[2], b[3]])));
+            }
+        }
+        let stored = u64_of(r)?;
+        let mut slot_of = std::collections::HashMap::with_capacity(n);
+        for (slot, &id) in ids.iter().enumerate() {
+            if slot_of.insert(id, slot as u32).is_some() {
+                return Err(AnnIoError::Corrupt("duplicate external id"));
+            }
+        }
+        let idx = HnswIndex {
+            cfg: AnnConfig {
+                m: m as usize,
+                ef_construction: ef_construction as usize,
+                seed,
+            },
+            dim: dim as usize,
+            ids,
+            levels,
+            vectors,
+            links,
+            slot_of,
+            entry: if entry == 0 {
+                None
+            } else {
+                Some(entry as u32 - 1)
+            },
+        };
+        let computed = idx.fingerprint();
+        if computed != stored {
+            return Err(AnnIoError::FingerprintMismatch { stored, computed });
+        }
+        Ok(idx)
+    }
+
+    /// Deserializes from an in-memory buffer, rejecting trailing garbage.
+    pub fn from_bytes(bytes: &[u8]) -> Result<HnswIndex, AnnIoError> {
+        let mut cursor = bytes;
+        let idx = HnswIndex::read_from(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(AnnIoError::Corrupt("trailing bytes after index"));
+        }
+        Ok(idx)
+    }
+}
+
+/// Framing magic for a serialized index *set* (the serving layer's
+/// shard-major `[shard][group]` family of indexes).
+const SET_MAGIC: &[u8; 8] = b"SUPANNS1";
+
+/// One shard's family of per-destination-group indexes. A `None` slot means
+/// the group had no candidates when the set was published.
+pub type IndexSet = Vec<Option<HnswIndex>>;
+
+/// Implausibility bound on the outer set dimensions: more shards or groups
+/// than this is corruption, not a real deployment.
+const MAX_SET_AXIS: u64 = 1 << 12;
+
+/// Serializes a shard-major set of optional indexes plus two opaque `u64`
+/// stamps (the serving layer records the effective `ef_search`/`ef_margin`
+/// there so a restored engine resumes the tuner where it left off). The
+/// inner indexes use the [`HnswIndex::write_to`] format, each guarded by
+/// its own fingerprint trailer.
+///
+/// ```text
+/// "SUPANNS1" | stamp0 u64 | stamp1 u64 | n_shards u64
+///           | per shard: n_groups u64,
+///                        per group: present u8 (0/1),
+///                                   if 1: len u64 + index bytes
+/// ```
+pub fn encode_index_set(shards: &[IndexSet], stamps: [u64; 2]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(SET_MAGIC);
+    out.extend_from_slice(&stamps[0].to_le_bytes());
+    out.extend_from_slice(&stamps[1].to_le_bytes());
+    out.extend_from_slice(&(shards.len() as u64).to_le_bytes());
+    for groups in shards {
+        out.extend_from_slice(&(groups.len() as u64).to_le_bytes());
+        for index in groups {
+            match index {
+                Some(idx) => {
+                    out.push(1);
+                    let bytes = idx.to_bytes();
+                    out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+                    out.extend_from_slice(&bytes);
+                }
+                None => out.push(0),
+            }
+        }
+    }
+    out
+}
+
+/// Deserializes an index set written by [`encode_index_set`], validating the
+/// outer framing and every inner index (structure + fingerprint). Trailing
+/// garbage is rejected, so adopting a decoded set is all-or-nothing — a
+/// caller either gets the exact saved family or a named error and rebuilds.
+pub fn decode_index_set(bytes: &[u8]) -> Result<(Vec<IndexSet>, [u64; 2]), AnnIoError> {
+    let mut cur = bytes;
+    fn u64_of(cur: &mut &[u8]) -> Result<u64, AnnIoError> {
+        if cur.len() < 8 {
+            return Err(AnnIoError::Corrupt("index set truncated"));
+        }
+        let (head, rest) = cur.split_at(8);
+        *cur = rest;
+        Ok(u64::from_le_bytes(head.try_into().unwrap()))
+    }
+    if cur.len() < 8 || &cur[..8] != SET_MAGIC {
+        return Err(AnnIoError::BadMagic);
+    }
+    cur = &cur[8..];
+    let stamps = [u64_of(&mut cur)?, u64_of(&mut cur)?];
+    let n_shards = u64_of(&mut cur)?;
+    if n_shards > MAX_SET_AXIS {
+        return Err(AnnIoError::Corrupt("implausible shard count"));
+    }
+    let mut shards = Vec::with_capacity(n_shards as usize);
+    for _ in 0..n_shards {
+        let n_groups = u64_of(&mut cur)?;
+        if n_groups > MAX_SET_AXIS {
+            return Err(AnnIoError::Corrupt("implausible group count"));
+        }
+        let mut groups = Vec::with_capacity(n_groups as usize);
+        for _ in 0..n_groups {
+            let Some((&flag, rest)) = cur.split_first() else {
+                return Err(AnnIoError::Corrupt("index set truncated"));
+            };
+            cur = rest;
+            match flag {
+                0 => groups.push(None),
+                1 => {
+                    let len = u64_of(&mut cur)? as usize;
+                    if len > cur.len() {
+                        return Err(AnnIoError::Corrupt("index set truncated"));
+                    }
+                    let (head, rest) = cur.split_at(len);
+                    cur = rest;
+                    groups.push(Some(HnswIndex::from_bytes(head)?));
+                }
+                _ => return Err(AnnIoError::Corrupt("index presence flag out of range")),
+            }
+        }
+        shards.push(groups);
+    }
+    if !cur.is_empty() {
+        return Err(AnnIoError::Corrupt("trailing bytes after index set"));
+    }
+    Ok((shards, stamps))
 }
 
 #[cfg(test)]
@@ -778,5 +1298,239 @@ mod tests {
                 "cluster-0 item {id} returned for a cluster-1 query"
             );
         }
+    }
+
+    /// Row-major concatenation helper for `update_batch`.
+    fn rows(vs: &[Vec<f32>]) -> Vec<f32> {
+        vs.iter().flat_map(|v| v.iter().copied()).collect()
+    }
+
+    #[test]
+    fn update_of_a_never_inserted_id_inserts_it() {
+        let vectors = random_vectors(100, 8, 51);
+        let mut idx = build(&vectors, AnnConfig::default());
+        assert!(!idx.contains(7_000));
+        let v = random_vectors(1, 8, 52).remove(0);
+        idx.update(7_000, &v);
+        assert!(idx.contains(7_000));
+        assert_eq!(idx.len(), 101);
+        assert!(idx.search(&v, 5, 32).contains(&7_000));
+        // Same through the batch path.
+        let mut idx2 = build(&vectors, AnnConfig::default());
+        idx2.update_batch(&[7_000], &v);
+        assert_eq!(idx.fingerprint(), idx2.fingerprint());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let vectors = random_vectors(300, 8, 53);
+        let mut idx = build(&vectors, AnnConfig::default());
+        let before = idx.fingerprint();
+        idx.update_batch(&[], &[]);
+        assert_eq!(idx.fingerprint(), before);
+        // An empty index accepts an empty batch too.
+        let mut empty = HnswIndex::new(8, AnnConfig::default());
+        empty.update_batch(&[], &[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn batch_of_one_is_bit_identical_to_a_serial_update() {
+        let vectors = random_vectors(500, 8, 55);
+        let mut serial = build(&vectors, AnnConfig::default());
+        let mut batched = build(&vectors, AnnConfig::default());
+        let moved = random_vectors(40, 8, 56);
+        for (j, v) in moved.iter().enumerate() {
+            let id = (j * 11) as u32;
+            serial.update(id, v);
+            batched.update_batch(&[id], v);
+            assert_eq!(
+                serial.fingerprint(),
+                batched.fingerprint(),
+                "batch-of-1 diverged at update {j}"
+            );
+        }
+        assert_eq!(serial, batched);
+    }
+
+    #[test]
+    fn whole_catalog_batch_keeps_the_index_searchable() {
+        // Touched set == entire catalog: every node is unlinked, the entry
+        // point falls back to None, and the re-link pass rebuilds the graph
+        // from scratch — recall and determinism must survive.
+        let n = 600;
+        let vectors = random_vectors(n, 8, 57);
+        let mut idx = build(&vectors, AnnConfig::default());
+        let replaced = random_vectors(n, 8, 58);
+        let ids: Vec<u32> = (0..n as u32).collect();
+        idx.update_batch(&ids, &rows(&replaced));
+        assert_eq!(idx.len(), n);
+        let queries = random_vectors(50, 8, 59);
+        let r = recall(&idx, &queries, 10, 64);
+        assert!(r >= 0.95, "whole-catalog batch recall@10 {r:.3} < 0.95");
+        // Bit-determinism: the same batch on a fresh build lands on the
+        // same structure.
+        let mut again = build(&random_vectors(n, 8, 57), AnnConfig::default());
+        again.update_batch(&ids, &rows(&replaced));
+        assert_eq!(idx.fingerprint(), again.fingerprint());
+    }
+
+    #[test]
+    fn batch_and_serial_updates_have_recall_parity_on_a_seeded_stream() {
+        // Replay the same seeded dirty-stream through per-id updates and
+        // through one batch per "epoch": the structures legitimately differ
+        // (deferred repair picks different patch links), but both must hold
+        // the same vectors and keep recall at the contract floor.
+        let n = 800;
+        let base = random_vectors(n, 8, 61);
+        let mut serial = build(&base, AnnConfig::default());
+        let mut batched = build(&base, AnnConfig::default());
+        for epoch in 0..5u64 {
+            let moved = random_vectors(60, 8, 100 + epoch);
+            let ids: Vec<u32> = (0..60)
+                .map(|j| ((j * 13 + epoch as usize) % n) as u32)
+                .collect();
+            let mut sorted: Vec<(u32, &Vec<f32>)> = ids.iter().copied().zip(moved.iter()).collect();
+            sorted.sort_unstable_by_key(|&(id, _)| id);
+            sorted.dedup_by_key(|&mut (id, _)| id);
+            for &(id, v) in &sorted {
+                serial.update(id, v);
+            }
+            let ids: Vec<u32> = sorted.iter().map(|&(id, _)| id).collect();
+            let flat: Vec<f32> = sorted
+                .iter()
+                .flat_map(|&(_, v)| v.iter().copied())
+                .collect();
+            batched.update_batch(&ids, &flat);
+        }
+        let queries = random_vectors(60, 8, 62);
+        for q in &queries {
+            // Same vectors stored: exact scans agree bit-for-bit.
+            assert_eq!(serial.brute_force(q, 10), batched.brute_force(q, 10));
+        }
+        let rs = recall(&serial, &queries, 10, 64);
+        let rb = recall(&batched, &queries, 10, 64);
+        assert!(rs >= 0.95, "serial recall@10 {rs:.3} < 0.95");
+        assert!(rb >= 0.95, "batched recall@10 {rb:.3} < 0.95");
+    }
+
+    #[test]
+    fn persist_roundtrip_is_bit_identical() {
+        let vectors = random_vectors(400, 8, 63);
+        let mut idx = build(&vectors, AnnConfig::default());
+        for (j, v) in random_vectors(30, 8, 64).iter().enumerate() {
+            idx.update((j * 9) as u32, v);
+        }
+        let bytes = idx.to_bytes();
+        let restored = HnswIndex::from_bytes(&bytes).expect("roundtrip decodes");
+        assert_eq!(idx, restored);
+        assert_eq!(idx.fingerprint(), restored.fingerprint());
+        let queries = random_vectors(20, 8, 65);
+        let mut sa = SearchScratch::default();
+        let mut sb = SearchScratch::default();
+        for q in &queries {
+            assert_eq!(
+                idx.search_into(q, 10, 48, &mut sa),
+                restored.search_into(q, 10, 48, &mut sb)
+            );
+        }
+        // Empty index round-trips too.
+        let empty = HnswIndex::new(8, AnnConfig::default());
+        let back = HnswIndex::from_bytes(&empty.to_bytes()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(empty.fingerprint(), back.fingerprint());
+    }
+
+    #[test]
+    fn persist_rejects_corruption_with_named_errors() {
+        let vectors = random_vectors(200, 8, 67);
+        let idx = build(&vectors, AnnConfig::default());
+        let bytes = idx.to_bytes();
+
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            HnswIndex::from_bytes(&bad),
+            Err(AnnIoError::BadMagic)
+        ));
+
+        // Truncation anywhere surfaces as Io (read_exact hits EOF).
+        assert!(matches!(
+            HnswIndex::from_bytes(&bytes[..bytes.len() / 2]),
+            Err(AnnIoError::Io(_))
+        ));
+
+        // A flipped bit inside the vector slab decodes structurally but
+        // fails the fingerprint — never a silent corruption.
+        let mut rot = bytes.clone();
+        let slab_byte = rot.len() - 12; // inside the last vector row
+        rot[slab_byte] ^= 0x01;
+        assert!(matches!(
+            HnswIndex::from_bytes(&rot),
+            Err(AnnIoError::FingerprintMismatch { .. })
+        ));
+
+        // Trailing garbage is rejected.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            HnswIndex::from_bytes(&long),
+            Err(AnnIoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn index_set_round_trips_with_holes_and_stamps() {
+        let a = build(&random_vectors(150, 8, 70), AnnConfig::default());
+        let b = build(&random_vectors(90, 8, 71), AnnConfig::default());
+        let set = vec![vec![Some(a.clone()), None], vec![None, Some(b.clone())]];
+        let bytes = encode_index_set(&set, [96, 32]);
+        let (back, stamps) = decode_index_set(&bytes).expect("set decodes");
+        assert_eq!(stamps, [96, 32]);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0][0].as_ref().unwrap().fingerprint(), a.fingerprint());
+        assert!(back[0][1].is_none());
+        assert!(back[1][0].is_none());
+        assert_eq!(back[1][1].as_ref().unwrap().fingerprint(), b.fingerprint());
+        // Empty set (ANN off / no shards) round-trips too.
+        let (empty, stamps) = decode_index_set(&encode_index_set(&[], [0, 0])).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(stamps, [0, 0]);
+    }
+
+    #[test]
+    fn index_set_rejects_corruption_with_named_errors() {
+        let a = build(&random_vectors(60, 4, 72), AnnConfig::default());
+        let bytes = encode_index_set(&[vec![Some(a)]], [64, 16]);
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(decode_index_set(&bad), Err(AnnIoError::BadMagic)));
+        assert!(matches!(
+            decode_index_set(&bytes[..bytes.len() - 5]),
+            Err(AnnIoError::Corrupt(_)) | Err(AnnIoError::Io(_))
+        ));
+        // A presence flag outside {0, 1} is named, not interpreted.
+        let mut flag = bytes.clone();
+        flag[8 + 8 + 8 + 8 + 8] = 7; // magic + stamps + n_shards + n_groups
+        assert!(matches!(
+            decode_index_set(&flag),
+            Err(AnnIoError::Corrupt(_))
+        ));
+        // Inner-index bit rot surfaces as the inner fingerprint error.
+        let mut rot = bytes.clone();
+        let n = rot.len();
+        rot[n - 12] ^= 0x01;
+        assert!(matches!(
+            decode_index_set(&rot),
+            Err(AnnIoError::FingerprintMismatch { .. })
+        ));
+        // Trailing garbage is all-or-nothing rejected.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            decode_index_set(&long),
+            Err(AnnIoError::Corrupt(_))
+        ));
     }
 }

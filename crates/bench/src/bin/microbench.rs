@@ -3,7 +3,7 @@
 //! Times the hot kernels with `std::time::Instant` and prints ns-per-call,
 //! so the kernel-tuning work in this workspace has a harness-free smoke
 //! check that runs anywhere `cargo run` does (no Criterion, no registry
-//! access). Seven benches:
+//! access). Nine benches:
 //!
 //! - `dot`, `axpy`, `adam_step_row` — the `supa-embed` inner kernels;
 //! - `adjacency_scan` — `Dmhg::neighbors_before` over cycling `(node, t)`
@@ -15,7 +15,14 @@
 //! - `ann_search`, `ann_insert` — the `supa-ann` serving-path kernels: one
 //!   beam search (ef 64, top-10) and one dirty-node re-insert against a
 //!   4096-vector index, the per-query and per-touched-node costs of ANN
-//!   serving.
+//!   serving;
+//! - `ann_update_batch` — the batched touched-set refresh (`update_batch`
+//!   over a 64-node ascending window), reported *per node* so the win over
+//!   serial `ann_insert` is read off directly;
+//! - `ann_persist_roundtrip` — serialize + deserialize (fingerprint
+//!   verified) the whole 4096-vector index, reported *per stored vector*:
+//!   the checkpoint save/restore cost that replaces an index rebuild on
+//!   `--resume`.
 //!
 //! ```text
 //! microbench [--dim 64] [--budget-ns 1000000] [--json]
@@ -223,6 +230,33 @@ fn run() -> Result<(), String> {
         ii += 1;
     });
 
+    // Batched refresh: one `update_batch` over a 64-node ascending window —
+    // the staged touched-set path `publish` actually takes — divided by the
+    // batch size so it compares per-node against `ann_insert`.
+    let batch = 64usize;
+    let mut ids: Vec<u32> = Vec::with_capacity(batch);
+    let mut rows: Vec<f32> = Vec::with_capacity(batch * dim);
+    let mut start = 0usize;
+    let ann_batch_ns = median_ns(reps, 100u64, || {
+        ids.clear();
+        rows.clear();
+        for (id, row) in vecs.iter().enumerate().skip(start).take(batch) {
+            ids.push(id as u32);
+            rows.extend_from_slice(row);
+        }
+        start = (start + batch) % (n_items - batch + 1);
+        index.update_batch(black_box(&ids), black_box(&rows));
+    }) / batch as f64;
+
+    // Checkpoint persistence: full serialize + fingerprint-verified
+    // deserialize of the index, divided by the vector count — the per-node
+    // cost of restoring on `--resume` instead of rebuilding.
+    let ann_persist_ns = median_ns(reps, 5u64, || {
+        let bytes = index.to_bytes();
+        let back = HnswIndex::from_bytes(black_box(&bytes)).expect("persist roundtrip");
+        black_box(back.len());
+    }) / n_items as f64;
+
     let results = [
         ("dot", dot_ns),
         ("axpy", axpy_ns),
@@ -231,6 +265,8 @@ fn run() -> Result<(), String> {
         ("train_event", train_ns),
         ("ann_search", ann_search_ns),
         ("ann_insert", ann_insert_ns),
+        ("ann_update_batch", ann_batch_ns),
+        ("ann_persist_roundtrip", ann_persist_ns),
     ];
 
     if json {
@@ -238,7 +274,7 @@ fn run() -> Result<(), String> {
     } else {
         println!("microbench (dim {dim}, median of {reps} reps):");
         for (name, ns) in results {
-            println!("  {name:<14} {ns:>10.1} ns/call");
+            println!("  {name:<22} {ns:>10.1} ns/call");
         }
     }
     if let Some(path) = write_baseline {
@@ -267,7 +303,7 @@ fn run() -> Result<(), String> {
             let limit = base_ns * BASELINE_RATIO + BASELINE_GRACE_NS;
             let status = if *ns > limit { "REGRESSED" } else { "ok" };
             println!(
-                "  vs baseline: {name:<14} {ns:>10.1} ns (base {base_ns:.1}, \
+                "  vs baseline: {name:<22} {ns:>10.1} ns (base {base_ns:.1}, \
                  limit {limit:.1}) {status}"
             );
             if *ns > limit {

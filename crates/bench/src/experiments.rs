@@ -929,6 +929,19 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
     let mut da = supa_datasets::taobao(ann_scale, cfg.seed.wrapping_add(4));
     da.edges.truncate(ann_events);
     let mut ann_runs = Vec::new(); // (label, qps, p50, p99, recall, catalog)
+    struct AnnIndexStats {
+        groups: usize,
+        live_bytes: usize,
+        shared_bytes: usize,
+        shared_us: u64,
+        per_rel_bytes: usize,
+        per_rel_us: u64,
+        publish_last_us: u64,
+        refresh_batch: u64,
+        ef_search: u64,
+        ef_margin: u64,
+    }
+    let mut ann_index_stats: Option<AnnIndexStats> = None;
     for ann_on in [false, true] {
         let label = if ann_on { "ann" } else { "brute" };
         let model = supa::Supa::from_dataset(&da, cfg.supa_config(), cfg.seed)
@@ -1020,6 +1033,96 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
         } else {
             1.0
         };
+
+        // Index economics: the published epoch holds one shared *base*
+        // index per destination-type group, while the pre-collapse layout
+        // held one *composite* index per relation. Rebuild both layouts
+        // from the same snapshot with identical construction parameters so
+        // the artefact reports each one's build cost and memory, alongside
+        // the live publish/refresh counters of the serving engine.
+        if ann_on {
+            use supa_ann::{AnnConfig, HnswIndex};
+            let snap = handle.snapshot();
+            let ann = snap.ann.as_ref().expect("ann epoch published");
+            let (group_of, num_groups) = schema.dst_type_groups();
+            let mut live_bytes = 0usize;
+            let mut seen = vec![false; num_groups];
+            for (r, &g) in group_of.iter().enumerate() {
+                let rel = supa_graph::RelationId(r as u16);
+                if let Some(i) = ann.index(rel) {
+                    if !seen[g] {
+                        seen[g] = true;
+                        live_bytes += i.memory_bytes();
+                    }
+                }
+            }
+            let acfg = AnnConfig {
+                m: ann_opts.m,
+                ef_construction: ann_opts.ef_construction,
+                seed: ann_opts.seed,
+            };
+            let mut buf = Vec::new();
+            let t0 = Instant::now();
+            let mut shared_bytes = 0usize;
+            let mut built = vec![false; num_groups];
+            for (r, &g) in group_of.iter().enumerate() {
+                let rel = supa_graph::RelationId(r as u16);
+                if built[g] {
+                    continue;
+                }
+                built[g] = true;
+                let cands = handle.candidates(rel);
+                if cands.is_empty() {
+                    continue;
+                }
+                snap.scorer.base_into(cands[0], &mut buf);
+                let mut idx = HnswIndex::new(buf.len(), acfg.clone());
+                for &v in cands {
+                    snap.scorer.base_into(v, &mut buf);
+                    idx.insert(v.0, &buf);
+                }
+                shared_bytes += idx.memory_bytes();
+            }
+            let shared_us = t0.elapsed().as_micros() as u64;
+            let t0 = Instant::now();
+            let mut per_rel_bytes = 0usize;
+            for r in 0..schema.num_relations() {
+                let rel = supa_graph::RelationId(r as u16);
+                let cands = handle.candidates(rel);
+                if cands.is_empty() {
+                    continue;
+                }
+                snap.scorer.composite_into(cands[0], rel, &mut buf);
+                let mut idx = HnswIndex::new(buf.len(), acfg.clone());
+                for &v in cands {
+                    snap.scorer.composite_into(v, rel, &mut buf);
+                    idx.insert(v.0, &buf);
+                }
+                per_rel_bytes += idx.memory_bytes();
+            }
+            let per_rel_us = t0.elapsed().as_micros() as u64;
+            let m = handle.metrics();
+            eprintln!(
+                "[throughput] ann index: {} relation(s) -> {num_groups} group(s), \
+                 shared {shared_bytes} B in {shared_us}µs vs per-relation \
+                 {per_rel_bytes} B in {per_rel_us}µs (publish {}µs, refresh {})",
+                schema.num_relations(),
+                m.ann_publish_last_us,
+                m.ann_refresh_batch,
+            );
+            ann_index_stats = Some(AnnIndexStats {
+                groups: num_groups,
+                live_bytes,
+                shared_bytes,
+                shared_us,
+                per_rel_bytes,
+                per_rel_us,
+                publish_last_us: m.ann_publish_last_us,
+                refresh_batch: m.ann_refresh_batch,
+                ef_search: m.ann_ef_search,
+                ef_margin: m.ann_ef_margin,
+            });
+        }
         handle.shutdown();
 
         eprintln!(
@@ -1096,13 +1199,41 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
             .collect(),
     );
     let ann_catalog = ann_runs.first().map_or(0, |r| r.5);
+    let ann_index_json = match ann_index_stats {
+        Some(s) => {
+            let ratio = s.per_rel_bytes as f64 / (s.shared_bytes.max(1)) as f64;
+            format!(
+                "{{\"relations\": {}, \"groups\": {}, \
+                 \"live_bytes\": {}, \"shared_base_bytes\": {}, \
+                 \"per_relation_bytes\": {}, \"bytes_ratio\": {ratio:.2}, \
+                 \"shared_build_us\": {}, \
+                 \"per_relation_build_us\": {}, \
+                 \"publish_last_us\": {}, \"refresh_batch\": {}, \
+                 \"effective_ef_search\": {}, \"effective_ef_margin\": {}}}",
+                da.prototype.schema().num_relations(),
+                s.groups,
+                s.live_bytes,
+                s.shared_bytes,
+                s.per_rel_bytes,
+                s.shared_us,
+                s.per_rel_us,
+                s.publish_last_us,
+                s.refresh_batch,
+                s.ef_search,
+                s.ef_margin,
+            )
+        }
+        None => "null".to_string(),
+    };
     let ann_json = format!(
         "{{\n    \"dataset\": \"Taobao\",\n    \"scale\": {ann_scale},\n    \
          \"catalog_items\": {ann_catalog},\n    \"events\": {},\n    \
          \"queries\": {ann_queries},\n    \"ef_search\": {},\n    \
-         \"query_phase_only\": true,\n    \"legs\": {ann_legs}\n  }}",
+         \"ef_margin\": {},\n    \"query_phase_only\": true,\n    \
+         \"index\": {ann_index_json},\n    \"legs\": {ann_legs}\n  }}",
         da.edges.len(),
         ann_opts.ef_search,
+        ann_opts.ef_margin,
     );
     let json = format!(
         "{{\n  \"benchmark\": \"throughput\",\n  \"dataset\": \"{}\",\n  \

@@ -6,18 +6,28 @@
 //! bit-exactly). The graph itself is not checkpointed (platforms already
 //! persist their event logs).
 //!
-//! # Format (v2)
+//! # Format (v2 / v3)
 //!
 //! Little-endian throughout:
 //!
 //! ```text
-//! magic            8 bytes  b"SUPAv002"
+//! magic            8 bytes  b"SUPAv002" | b"SUPAv003"
 //! events_consumed  u64      stream position the state corresponds to
 //! payload_len      u64      byte length of the payload that follows
 //! payload          ...      h_long, h_short, ctx count + tables, α count + αs
+//! index_len        u64      (v3 only) byte length of the index section
+//! index            ...      (v3 only) opaque serving-index bytes
 //! crc32            u32      IEEE CRC-32 over everything after the magic
-//!                           (header fields + payload)
+//!                           (header fields + payload + index section)
 //! ```
+//!
+//! The v3 index section carries the serving layer's ANN index state as
+//! *opaque bytes* — this crate does not depend on `supa-ann`; the serving
+//! engine serializes/deserializes the section itself, and its own
+//! per-index fingerprints catch corruption inside it independently of the
+//! whole-file CRC. A v2 (or index-less v3) checkpoint simply yields no
+//! index bytes, and the engine rebuilds — a named fallback, never silent
+//! corruption.
 //!
 //! The CRC footer turns silent bit-rot and torn writes into clean load
 //! errors. v1 checkpoints (`SUPAv001`, no header fields, no CRC) are still
@@ -41,6 +51,7 @@ use crate::model::{AdamScalar, Supa, SupaState};
 
 const MAGIC_V1: &[u8; 8] = b"SUPAv001";
 const MAGIC_V2: &[u8; 8] = b"SUPAv002";
+const MAGIC_V3: &[u8; 8] = b"SUPAv003";
 
 /// Metadata recovered from a checkpoint header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +59,7 @@ pub struct CheckpointMeta {
     /// Number of stream events the checkpointed state had consumed (0 for
     /// v1 checkpoints, which predate the field).
     pub events_consumed: u64,
-    /// Format version (1 or 2).
+    /// Format version (1, 2 or 3).
     pub version: u8,
 }
 
@@ -156,6 +167,38 @@ impl Supa {
         Ok(())
     }
 
+    /// Writes a v3 checkpoint: the learnable state plus an opaque serving
+    /// `index` section (the serving engine's serialized ANN indexes), all
+    /// under one CRC. Restoring with
+    /// [`Supa::load_checkpoint_meta_with_index`] hands the bytes back so a
+    /// resume can skip the index rebuild.
+    pub fn save_checkpoint_with_index<W: Write>(
+        &self,
+        w: &mut W,
+        events_consumed: u64,
+        index: &[u8],
+    ) -> Result<()> {
+        let mut payload = Vec::new();
+        write_state_body(self.state(), &mut payload)?;
+        let events = events_consumed.to_le_bytes();
+        let len = (payload.len() as u64).to_le_bytes();
+        let index_len = (index.len() as u64).to_le_bytes();
+        let mut crc = CRC_INIT;
+        crc = crc32_update(crc, &events);
+        crc = crc32_update(crc, &len);
+        crc = crc32_update(crc, &payload);
+        crc = crc32_update(crc, &index_len);
+        crc = crc32_update(crc, index);
+        w.write_all(MAGIC_V3)?;
+        w.write_all(&events)?;
+        w.write_all(&len)?;
+        w.write_all(&payload)?;
+        w.write_all(&index_len)?;
+        w.write_all(index)?;
+        w.write_all(&crc32_finish(crc).to_le_bytes())?;
+        Ok(())
+    }
+
     /// Restores a checkpoint written by [`Supa::save_checkpoint`] (either
     /// format version).
     ///
@@ -169,71 +212,118 @@ impl Supa {
     /// Like [`Supa::load_checkpoint`], additionally returning the header
     /// metadata (stream position, format version).
     pub fn load_checkpoint_meta<R: Read>(&mut self, r: &mut R) -> Result<CheckpointMeta> {
+        self.load_checkpoint_meta_with_index(r)
+            .map(|(meta, _)| meta)
+    }
+
+    /// Like [`Supa::load_checkpoint_meta`], additionally returning the v3
+    /// opaque index section. `None` for v1/v2 checkpoints and for v3
+    /// checkpoints saved without an index — the caller's rebuild fallback,
+    /// reported by version, never silently wrong (the whole file is CRC'd).
+    pub fn load_checkpoint_meta_with_index<R: Read>(
+        &mut self,
+        r: &mut R,
+    ) -> Result<(CheckpointMeta, Option<Vec<u8>>)> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
-        let (staged, meta) = if &magic == MAGIC_V2 {
-            let mut events_buf = [0u8; 8];
-            r.read_exact(&mut events_buf)?;
-            let mut len_buf = [0u8; 8];
-            r.read_exact(&mut len_buf)?;
-            let payload_len = u64::from_le_bytes(len_buf);
-            // `take` + `read_to_end` instead of a `with_capacity` prealloc:
-            // a corrupt length field must not OOM us before the CRC check.
-            let mut payload = Vec::new();
-            let n = r.take(payload_len).read_to_end(&mut payload)?;
-            if n as u64 != payload_len {
-                return Err(Error::new(
-                    ErrorKind::UnexpectedEof,
-                    "truncated checkpoint: payload shorter than header claims",
-                ));
-            }
-            let mut crc_buf = [0u8; 4];
-            r.read_exact(&mut crc_buf).map_err(|_| {
-                Error::new(
-                    ErrorKind::UnexpectedEof,
-                    "truncated checkpoint: missing CRC",
-                )
-            })?;
-            let mut crc = CRC_INIT;
-            crc = crc32_update(crc, &events_buf);
-            crc = crc32_update(crc, &len_buf);
-            crc = crc32_update(crc, &payload);
-            if crc32_finish(crc) != u32::from_le_bytes(crc_buf) {
-                return Err(Error::new(
-                    ErrorKind::InvalidData,
-                    "corrupt checkpoint: CRC mismatch",
-                ));
-            }
-            let mut cursor = payload.as_slice();
-            let staged = read_state_body(&mut cursor)?;
-            if !cursor.is_empty() {
-                return Err(Error::new(
-                    ErrorKind::InvalidData,
-                    "corrupt checkpoint: trailing bytes after state",
-                ));
-            }
-            (
-                staged,
-                CheckpointMeta {
-                    events_consumed: u64::from_le_bytes(events_buf),
-                    version: 2,
-                },
-            )
+        let version: u8 = if &magic == MAGIC_V3 {
+            3
+        } else if &magic == MAGIC_V2 {
+            2
         } else if &magic == MAGIC_V1 {
+            1
+        } else {
+            return Err(Error::new(ErrorKind::InvalidData, "not a SUPA checkpoint"));
+        };
+        if version == 1 {
             // Legacy format: bare body, no stream position, no CRC.
-            (
-                read_state_body(r)?,
+            let staged = read_state_body(r)?;
+            self.validate_state_layout(&staged)?;
+            self.restore(staged);
+            return Ok((
                 CheckpointMeta {
                     events_consumed: 0,
                     version: 1,
                 },
+                None,
+            ));
+        }
+        let mut events_buf = [0u8; 8];
+        r.read_exact(&mut events_buf)?;
+        let mut len_buf = [0u8; 8];
+        r.read_exact(&mut len_buf)?;
+        let payload_len = u64::from_le_bytes(len_buf);
+        // `take` + `read_to_end` instead of a `with_capacity` prealloc:
+        // a corrupt length field must not OOM us before the CRC check.
+        let mut payload = Vec::new();
+        let n = r.take(payload_len).read_to_end(&mut payload)?;
+        if n as u64 != payload_len {
+            return Err(Error::new(
+                ErrorKind::UnexpectedEof,
+                "truncated checkpoint: payload shorter than header claims",
+            ));
+        }
+        // v3 appends the opaque index section before the CRC.
+        let mut index_len_buf = [0u8; 8];
+        let mut index = Vec::new();
+        if version == 3 {
+            r.read_exact(&mut index_len_buf).map_err(|_| {
+                Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "truncated checkpoint: missing index length",
+                )
+            })?;
+            let index_len = u64::from_le_bytes(index_len_buf);
+            let n = r.take(index_len).read_to_end(&mut index)?;
+            if n as u64 != index_len {
+                return Err(Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "truncated checkpoint: index shorter than header claims",
+                ));
+            }
+        }
+        let mut crc_buf = [0u8; 4];
+        r.read_exact(&mut crc_buf).map_err(|_| {
+            Error::new(
+                ErrorKind::UnexpectedEof,
+                "truncated checkpoint: missing CRC",
             )
-        } else {
-            return Err(Error::new(ErrorKind::InvalidData, "not a SUPA checkpoint"));
-        };
+        })?;
+        let mut crc = CRC_INIT;
+        crc = crc32_update(crc, &events_buf);
+        crc = crc32_update(crc, &len_buf);
+        crc = crc32_update(crc, &payload);
+        if version == 3 {
+            crc = crc32_update(crc, &index_len_buf);
+            crc = crc32_update(crc, &index);
+        }
+        if crc32_finish(crc) != u32::from_le_bytes(crc_buf) {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "corrupt checkpoint: CRC mismatch",
+            ));
+        }
+        let mut cursor = payload.as_slice();
+        let staged = read_state_body(&mut cursor)?;
+        if !cursor.is_empty() {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "corrupt checkpoint: trailing bytes after state",
+            ));
+        }
         self.validate_state_layout(&staged)?;
         self.restore(staged);
-        Ok(meta)
+        Ok((
+            CheckpointMeta {
+                events_consumed: u64::from_le_bytes(events_buf),
+                version,
+            },
+            if version == 3 && !index.is_empty() {
+                Some(index)
+            } else {
+                None
+            },
+        ))
     }
 }
 
@@ -342,6 +432,27 @@ impl CheckpointManager {
     /// `events_consumed`, then prunes beyond the retention limit. Returns
     /// the final path.
     pub fn save(&mut self, model: &Supa, events_consumed: u64) -> Result<PathBuf> {
+        self.save_inner(model, events_consumed, None)
+    }
+
+    /// Like [`CheckpointManager::save`], writing the v3 format with the
+    /// given opaque serving-index section (the serving engine's serialized
+    /// ANN indexes), so a resume can skip the index rebuild.
+    pub fn save_with_index(
+        &mut self,
+        model: &Supa,
+        events_consumed: u64,
+        index: &[u8],
+    ) -> Result<PathBuf> {
+        self.save_inner(model, events_consumed, Some(index))
+    }
+
+    fn save_inner(
+        &mut self,
+        model: &Supa,
+        events_consumed: u64,
+        index: Option<&[u8]>,
+    ) -> Result<PathBuf> {
         let seq = self.next_seq;
         let final_path = self
             .dir
@@ -350,7 +461,10 @@ impl CheckpointManager {
         {
             let mut f = fs::File::create(&tmp_path)?;
             let mut w = std::io::BufWriter::new(&mut f);
-            model.save_checkpoint_at(&mut w, events_consumed)?;
+            match index {
+                Some(index) => model.save_checkpoint_with_index(&mut w, events_consumed, index)?,
+                None => model.save_checkpoint_at(&mut w, events_consumed)?,
+            }
             w.flush()?;
             drop(w);
             // Durability point: the bytes must be on disk *before* the
@@ -395,22 +509,32 @@ impl CheckpointManager {
     /// reporting) any that are truncated, corrupt, or structurally
     /// incompatible. The model is untouched unless a checkpoint loads.
     pub fn resume(&self, model: &mut Supa) -> Result<ResumeOutcome> {
+        self.resume_with_index(model).map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`CheckpointManager::resume`], additionally returning the
+    /// loaded checkpoint's opaque index section (`None` when the loaded
+    /// checkpoint is v1/v2 or carries no index — the caller rebuilds).
+    pub fn resume_with_index(&self, model: &mut Supa) -> Result<(ResumeOutcome, Option<Vec<u8>>)> {
         let mut outcome = ResumeOutcome {
             loaded: None,
             skipped: Vec::new(),
         };
+        let mut index = None;
         for (_, path) in Self::scan(&self.dir)?.into_iter().rev() {
-            let attempt = fs::File::open(&path)
-                .and_then(|f| model.load_checkpoint_meta(&mut std::io::BufReader::new(f)));
+            let attempt = fs::File::open(&path).and_then(|f| {
+                model.load_checkpoint_meta_with_index(&mut std::io::BufReader::new(f))
+            });
             match attempt {
-                Ok(meta) => {
+                Ok((meta, idx)) => {
                     outcome.loaded = Some((path, meta.events_consumed));
+                    index = idx;
                     break;
                 }
                 Err(e) => outcome.skipped.push((path, e.to_string())),
             }
         }
-        Ok(outcome)
+        Ok((outcome, index))
     }
 }
 
@@ -564,6 +688,105 @@ mod tests {
                 "cut={cut}"
             );
         }
+    }
+
+    #[test]
+    fn v3_roundtrip_carries_the_index_section() {
+        let (m, d) = trained_model();
+        let index: Vec<u8> = (0..1000u32).flat_map(|x| x.to_le_bytes()).collect();
+        let mut blob = Vec::new();
+        m.save_checkpoint_with_index(&mut blob, 4242, &index)
+            .unwrap();
+
+        let mut m2 = fresh_model(&d, 9);
+        let (meta, got) = m2
+            .load_checkpoint_meta_with_index(&mut blob.as_slice())
+            .unwrap();
+        assert_eq!(meta.version, 3);
+        assert_eq!(meta.events_consumed, 4242);
+        assert_eq!(got.as_deref(), Some(index.as_slice()));
+        assert_eq!(m.state().h_long.data(), m2.state().h_long.data());
+
+        // The plain meta loader accepts v3 too (drops the index).
+        let mut m3 = fresh_model(&d, 10);
+        let meta = m3.load_checkpoint_meta(&mut blob.as_slice()).unwrap();
+        assert_eq!(meta.version, 3);
+
+        // An empty index section reads back as None (rebuild fallback).
+        let mut empty = Vec::new();
+        m.save_checkpoint_with_index(&mut empty, 1, &[]).unwrap();
+        let (_, got) = m2
+            .load_checkpoint_meta_with_index(&mut empty.as_slice())
+            .unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn v2_checkpoints_yield_no_index_bytes() {
+        let (m, d) = trained_model();
+        let mut blob = Vec::new();
+        m.save_checkpoint_at(&mut blob, 77).unwrap();
+        let mut m2 = fresh_model(&d, 9);
+        let (meta, idx) = m2
+            .load_checkpoint_meta_with_index(&mut blob.as_slice())
+            .unwrap();
+        assert_eq!(meta.version, 2);
+        assert!(
+            idx.is_none(),
+            "v2 must fall back to rebuild, not invent bytes"
+        );
+    }
+
+    #[test]
+    fn v3_index_corruption_fails_the_crc_and_leaves_the_model_unchanged() {
+        let (m, d) = trained_model();
+        let index = vec![0xABu8; 512];
+        let mut blob = Vec::new();
+        m.save_checkpoint_with_index(&mut blob, 5, &index).unwrap();
+        let mut m2 = fresh_model(&d, 9);
+        let before = m2.snapshot();
+        // Flip a byte inside the index section (it sits just before the CRC).
+        let mut bad = blob.clone();
+        let pos = blob.len() - 100;
+        bad[pos] ^= 0x10;
+        let err = m2
+            .load_checkpoint_meta_with_index(&mut bad.as_slice())
+            .unwrap_err();
+        assert!(err.to_string().contains("CRC"), "{err}");
+        // Truncating the index mid-section is a clean EOF error.
+        let mut cut = blob.clone();
+        cut.truncate(blob.len() - 50);
+        assert!(m2
+            .load_checkpoint_meta_with_index(&mut cut.as_slice())
+            .is_err());
+        assert_eq!(m2.state().h_long.data(), before.h_long.data());
+    }
+
+    #[test]
+    fn manager_save_with_index_resumes_with_the_bytes() {
+        let dir = tempdir("with-index");
+        let (m, d) = trained_model();
+        let mut mgr = CheckpointManager::new(&dir, 3).unwrap();
+        // Mixed history: a v2 save, then a v3 save with index bytes.
+        mgr.save(&m, 100).unwrap();
+        let index = b"opaque serving index bytes".to_vec();
+        mgr.save_with_index(&m, 200, &index).unwrap();
+
+        let mut m2 = fresh_model(&d, 5);
+        let (out, got) = mgr.resume_with_index(&mut m2).unwrap();
+        assert_eq!(out.loaded.as_ref().unwrap().1, 200);
+        assert_eq!(got.as_deref(), Some(index.as_slice()));
+
+        // Corrupt the newest: resume falls back to the v2 save, no index.
+        let newest = mgr.list().unwrap().last().unwrap().1.clone();
+        let blob = fs::read(&newest).unwrap();
+        fs::write(&newest, &blob[..blob.len() - 8]).unwrap();
+        let mut m3 = fresh_model(&d, 5);
+        let (out, got) = mgr.resume_with_index(&mut m3).unwrap();
+        assert_eq!(out.loaded.as_ref().unwrap().1, 100);
+        assert!(got.is_none());
+        assert_eq!(out.skipped.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

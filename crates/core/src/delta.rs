@@ -156,6 +156,12 @@ pub struct BaselineFrame {
     pub snapshot: ServingSnapshot,
     /// Writer guard/degradation state at publish time.
     pub guard: GuardState,
+    /// Opaque serialized ANN index state, when the writer chose to carry it.
+    /// The codec never interprets these bytes — the serving layer owns the
+    /// framing — so a replica without them (or one that fails to decode
+    /// them) falls back to rebuilding its indexes from the snapshot. Frames
+    /// written before this section existed decode as `None`.
+    pub index: Option<Vec<u8>>,
 }
 
 /// A decoded replication frame.
@@ -273,13 +279,31 @@ impl DeltaFrame {
 impl BaselineFrame {
     /// Encodes the baseline as a complete `SUPABASEv0001` frame.
     pub fn encode(&self) -> Vec<u8> {
-        encode_baseline(self.epoch, &self.snapshot, self.guard)
+        encode_baseline_with_index(
+            self.epoch,
+            &self.snapshot,
+            self.guard,
+            self.index.as_deref(),
+        )
     }
 }
 
 /// Encodes a baseline frame without taking ownership of the snapshot (the
 /// publisher serves one baseline per subscriber from a shared copy).
 pub fn encode_baseline(epoch: u64, s: &ServingSnapshot, guard: GuardState) -> Vec<u8> {
+    encode_baseline_with_index(epoch, s, guard, None)
+}
+
+/// [`encode_baseline`] plus an optional trailing opaque index section, so a
+/// replica cold-start can adopt the writer's ANN indexes instead of
+/// rebuilding them. The section is written only when `index` holds bytes;
+/// without it the frame is byte-identical to the pre-index format.
+pub fn encode_baseline_with_index(
+    epoch: u64,
+    s: &ServingSnapshot,
+    guard: GuardState,
+    index: Option<&[u8]>,
+) -> Vec<u8> {
     let mut p = Vec::new();
     put_u64(&mut p, epoch);
     put_u32(&mut p, s.dim as u32);
@@ -299,6 +323,12 @@ pub fn encode_baseline(epoch: u64, s: &ServingSnapshot, guard: GuardState) -> Ve
         put_f32s(&mut p, t.data());
     }
     put_guard(&mut p, &guard);
+    if let Some(bytes) = index {
+        if !bytes.is_empty() {
+            put_u64(&mut p, bytes.len() as u64);
+            p.extend_from_slice(bytes);
+        }
+    }
     seal(MAGIC_BASELINE, p)
 }
 
@@ -480,6 +510,22 @@ fn decode_baseline_payload(payload: &[u8]) -> Result<BaselineFrame, WireError> {
         ctx.push(EmbeddingValues::from_vec(dim, c.f32s(cells)?));
     }
     let guard = c.guard()?;
+    // Optional trailing index section: pre-index frames end at the guard,
+    // newer writers may append `len (u64 LE) | bytes`.
+    let index = if c.pos < c.b.len() {
+        let n = c.u64()?;
+        if n > MAX_PAYLOAD {
+            return Err(WireError::ImplausibleLength(n));
+        }
+        let bytes = c.take(n as usize)?.to_vec();
+        if bytes.is_empty() {
+            None
+        } else {
+            Some(bytes)
+        }
+    } else {
+        None
+    };
     c.done()?;
     Ok(BaselineFrame {
         epoch,
@@ -492,6 +538,7 @@ fn decode_baseline_payload(payload: &[u8]) -> Result<BaselineFrame, WireError> {
             ctx,
         },
         guard,
+        index,
     })
 }
 
@@ -779,6 +826,7 @@ mod tests {
                 events_shed: 2,
                 events_quarantined: 3,
             },
+            index: None,
         };
         let bytes = b.encode();
         let (frame, consumed) = decode_frame(&bytes).unwrap();
@@ -816,12 +864,58 @@ mod tests {
             epoch: 1,
             snapshot: snap.clone(),
             guard: GuardState::default(),
+            index: None,
         }
         .encode();
         match decode_frame(&bytes).unwrap().0 {
             Frame::Baseline(got) => assert_snapshots_bit_identical(&got.snapshot, &snap),
             other => panic!("expected baseline frame, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn baseline_index_section_round_trips_and_is_optional() {
+        let (_, after, _, _) = trained_pair();
+        // With an index: the opaque bytes come back verbatim.
+        let index: Vec<u8> = (0u16..512).map(|x| (x % 251) as u8).collect();
+        let b = BaselineFrame {
+            epoch: 7,
+            snapshot: after.clone(),
+            guard: GuardState::default(),
+            index: Some(index.clone()),
+        };
+        let bytes = b.encode();
+        match decode_frame(&bytes).unwrap().0 {
+            Frame::Baseline(got) => {
+                assert_eq!(got.index.as_deref(), Some(index.as_slice()));
+                assert_snapshots_bit_identical(&got.snapshot, &after);
+            }
+            other => panic!("expected baseline frame, got {other:?}"),
+        }
+        // Pre-index wire format (no trailing section) decodes as None —
+        // encode_baseline writes exactly that format.
+        let legacy = encode_baseline(7, &after, GuardState::default());
+        assert!(legacy.len() < bytes.len());
+        match decode_frame(&legacy).unwrap().0 {
+            Frame::Baseline(got) => assert!(got.index.is_none()),
+            other => panic!("expected baseline frame, got {other:?}"),
+        }
+        // A torn index section (length claims more than remains) is a named
+        // truncation error, never a panic or a silent partial read.
+        let with_index =
+            encode_baseline_with_index(7, &after, GuardState::default(), Some(index.as_slice()));
+        let mut torn = with_index.clone();
+        let cut = torn.len() - 4 - 100; // keep CRC position, drop index bytes
+        torn.drain(cut..cut + 100);
+        // Fix up the length header so the frame parses to payload stage.
+        let new_len = (with_index.len() - 13 - 8 - 4 - 100) as u64;
+        torn[13..21].copy_from_slice(&new_len.to_le_bytes());
+        let mut crc = CRC_INIT;
+        crc = crc32_update(crc, &new_len.to_le_bytes());
+        crc = crc32_update(crc, &torn[21..torn.len() - 4]);
+        let n = torn.len();
+        torn[n - 4..].copy_from_slice(&crc32_finish(crc).to_le_bytes());
+        assert!(matches!(decode_frame(&torn), Err(WireError::Truncated)));
     }
 
     #[test]
@@ -925,6 +1019,7 @@ mod tests {
             epoch: 1,
             snapshot: after.clone(),
             guard: GuardState::default(),
+            index: None,
         };
         let d = after.extract_delta(2, 1, &touched, events, GuardState::default());
         let mut stream = b.encode();

@@ -85,6 +85,31 @@ impl ServingSnapshot {
         }
     }
 
+    /// Writes node `n`'s relation-independent *base* vector into `out`:
+    /// `h_long + h_short` (or `h_long` alone under `no_forget`) — the
+    /// composite minus the per-relation context contribution. The
+    /// shared-base ANN layout indexes one base vector per item instead of R
+    /// composites; because `⟨comp_u, comp_v⟩ = ⟨comp_u, base_v⟩ +
+    /// ⟨comp_u, ctx_v(r)⟩` and the context tables move slowly relative to
+    /// the memories, ranking by `⟨comp_u, base_v⟩` recovers the exact
+    /// top-K after an `ef_margin`-widened exact rerank (audited online by
+    /// the recall guard).
+    pub fn base_into(&self, n: NodeId, out: &mut Vec<f32>) {
+        let i = n.index();
+        let hl = self.h_long.row(i);
+        out.clear();
+        out.reserve(hl.len());
+        if self.no_forget {
+            out.extend_from_slice(hl);
+        } else {
+            let hs = self.h_short.as_ref().expect("short-term memory exported");
+            let hs = hs.row(i);
+            for k in 0..hl.len() {
+                out.push(hl[k] + hs[k]);
+            }
+        }
+    }
+
     /// Eq. 15 readout, identical op-for-op to [`Supa::gamma`].
     pub fn gamma(&self, u: NodeId, v: NodeId, r: RelationId) -> f32 {
         let (ui, vi) = (u.index(), v.index());
@@ -202,6 +227,35 @@ mod tests {
                     (0.25 * s).to_bits(),
                     snap.gamma(e.src, e.dst, e.relation).to_bits()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn base_plus_context_row_equals_the_composite() {
+        // The shared-base ANN contract: composite(v, r) == base(v) + ctx_r(v)
+        // element-wise (same association order), for both variants.
+        let d = taobao(0.02, 15);
+        let g = d.full_graph();
+        for variant in [SupaVariant::full(), SupaVariant::nf()] {
+            let mut m = Supa::from_dataset_variant(&d, SupaConfig::small(), variant, 15).unwrap();
+            m.resolve_time_scale(&g);
+            m.rebuild_negative_samplers(&g);
+            m.train_pass(&g, &d.edges[..100]);
+            let snap = m.export_serving_snapshot();
+            let (mut comp, mut base) = (Vec::new(), Vec::new());
+            for e in &d.edges[..50] {
+                snap.composite_into(e.dst, e.relation, &mut comp);
+                snap.base_into(e.dst, &mut base);
+                let c = snap.ctx[snap.ctx_idx(e.relation)].row(e.dst.index());
+                assert_eq!(comp.len(), base.len());
+                for k in 0..comp.len() {
+                    assert_eq!(
+                        comp[k].to_bits(),
+                        (base[k] + c[k]).to_bits(),
+                        "composite != base + ctx at element {k}"
+                    );
+                }
             }
         }
     }

@@ -145,6 +145,31 @@ impl GraphSchema {
             .enumerate()
             .map(|(i, s)| (RelationId(i as u16), s))
     }
+
+    /// Groups relations by destination node type: returns `(group_of,
+    /// num_groups)` where `group_of[r]` is a dense group index shared by
+    /// every relation whose edges land on the same node type. Group numbering
+    /// follows first appearance in relation order, so the mapping is a pure
+    /// function of the schema — every process serving the same schema derives
+    /// the identical grouping.
+    ///
+    /// Relations in one group have the *same candidate item set* (all nodes
+    /// of the destination type), which is what lets the shared-base ANN
+    /// layout keep one index per group instead of one per relation.
+    pub fn dst_type_groups(&self) -> (Vec<usize>, usize) {
+        let mut group_of = Vec::with_capacity(self.relations.len());
+        let mut seen: Vec<NodeTypeId> = Vec::new();
+        for spec in &self.relations {
+            match seen.iter().position(|&t| t == spec.dst_type) {
+                Some(g) => group_of.push(g),
+                None => {
+                    group_of.push(seen.len());
+                    seen.push(spec.dst_type);
+                }
+            }
+        }
+        (group_of, seen.len())
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +223,20 @@ mod tests {
             s.check_edge(RelationId(9), user, video),
             Err(GraphError::UnknownRelation(RelationId(9)))
         );
+    }
+
+    #[test]
+    fn dst_type_groups_collapse_same_destination_relations() {
+        let (mut s, user, video, _) = toy();
+        let author = s.add_node_type("Author");
+        s.add_relation("Like", user, video); // same dst as Click → group 0
+        s.add_relation("Follow", user, author); // new dst → group 1
+        s.add_relation("Share", user, video); // back to group 0
+        let (group_of, n) = s.dst_type_groups();
+        assert_eq!(group_of, vec![0, 0, 1, 0]);
+        assert_eq!(n, 2);
+        // Empty schema: no relations, no groups.
+        assert_eq!(GraphSchema::new().dst_type_groups(), (Vec::new(), 0));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 
-use supa::delta::{encode_baseline, GuardState};
+use supa::delta::{encode_baseline_with_index, GuardState};
 use supa::ServingSnapshot;
 use supa_graph::TemporalEdge;
 
@@ -34,12 +34,20 @@ pub struct PublishOptions {
     pub wait_subscribers: usize,
 }
 
+/// Bootstrap state for a newly attached subscriber: epoch, full snapshot,
+/// guard state, and (epoch 0 only) the writer's serialized ANN index set.
+type BaselineState = (u64, ServingSnapshot, GuardState, Option<Arc<Vec<u8>>>);
+
 /// Connection registry + the snapshot new subscribers bootstrap from.
 struct PubState {
     /// The most recently published epoch, kept as a full snapshot so a
     /// subscriber attaching mid-stream starts from a baseline instead of an
     /// unusable half-chain. `None` only when TCP publishing is disabled.
-    latest: Option<(u64, ServingSnapshot, GuardState)>,
+    /// The optional bytes are the writer's serialized ANN index set —
+    /// carried only on the epoch-0 state (serializing the whole index every
+    /// epoch would dwarf the delta), so cold-starting subscribers skip the
+    /// index rebuild while late joiners rebuild as before.
+    latest: Option<BaselineState>,
     /// One frame queue per live subscriber; a failed send marks the
     /// connection dead and drops it from the registry.
     conns: Vec<mpsc::Sender<Arc<Vec<u8>>>>,
@@ -66,25 +74,32 @@ impl DeltaPublisher {
     /// Starts publishing. Writes the epoch-0 baseline to the segment file
     /// (if configured), binds and starts accepting TCP subscribers (if
     /// configured), then blocks until `wait_subscribers` have attached.
+    ///
+    /// `index` is the writer's serialized ANN index set at epoch 0; it is
+    /// embedded in the epoch-0 baseline (segment head and early TCP
+    /// subscribers) so replica cold-start adopts the indexes instead of
+    /// rebuilding them.
     pub fn start(
         opts: &PublishOptions,
         epoch: u64,
         snapshot: &ServingSnapshot,
         guard: GuardState,
+        index: Option<&[u8]>,
     ) -> std::io::Result<DeltaPublisher> {
         let mut segment = None;
         if let Some(path) = &opts.segment {
             let mut w = BufWriter::new(std::fs::File::create(path)?);
-            w.write_all(&encode_baseline(epoch, snapshot, guard))?;
+            w.write_all(&encode_baseline_with_index(epoch, snapshot, guard, index))?;
             w.flush()?;
             segment = Some(w);
         }
+        let index = index.map(|b| Arc::new(b.to_vec()));
         let shared = Arc::new(PubShared {
             state: Mutex::new(PubState {
                 latest: opts
                     .tcp_addr
                     .is_some()
-                    .then(|| (epoch, snapshot.clone(), guard)),
+                    .then(|| (epoch, snapshot.clone(), guard, index)),
                 conns: Vec::new(),
                 accepted_total: 0,
             }),
@@ -159,7 +174,10 @@ impl DeltaPublisher {
         }
         if self.tcp {
             let mut st = self.shared.state.lock().expect("publisher lock");
-            st.latest = Some((epoch, scorer.clone(), guard));
+            // Mid-stream baselines drop the index bytes: a late subscriber
+            // rebuilds (its resync path), which keeps per-epoch publish cost
+            // proportional to the delta, not the index.
+            st.latest = Some((epoch, scorer.clone(), guard, None));
             st.conns.retain(|tx| tx.send(bytes.clone()).is_ok());
         }
         Ok(bytes.len() as u64)
@@ -195,13 +213,16 @@ fn accept_loop(listener: TcpListener, shared: Arc<PubShared>) {
             // Same lock as `publish`: the baseline we enqueue here and the
             // deltas published afterwards form a gap-free chain.
             let mut st = shared.state.lock().expect("publisher lock");
-            let Some((epoch, snap, guard)) = &st.latest else {
+            let Some((epoch, snap, guard, index)) = &st.latest else {
                 continue;
             };
-            if tx
-                .send(Arc::new(encode_baseline(*epoch, snap, *guard)))
-                .is_err()
-            {
+            let baseline = encode_baseline_with_index(
+                *epoch,
+                snap,
+                *guard,
+                index.as_ref().map(|b| b.as_slice()),
+            );
+            if tx.send(Arc::new(baseline)).is_err() {
                 continue;
             }
             st.conns.push(tx);

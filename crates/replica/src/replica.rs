@@ -11,13 +11,13 @@ use supa::delta::{
     decode_frame, read_frame, DeltaFrame, Frame, WireError, MAGIC_BASELINE, MAGIC_DELTA,
 };
 use supa::ServingSnapshot;
-use supa_ann::{AnnConfig, HnswIndex, SearchScratch};
+use supa_ann::{decode_index_set, AnnConfig, HnswIndex, SearchScratch};
 use supa_eval::{top_k_scored_with, TopKScratch};
 use supa_graph::{Dmhg, NodeId, RelationId};
 
 /// ANN parameters a replica mirrors from the writer. Must match the
 /// writer's [`supa-serve` AnnOptions] for bit-identical index structure
-/// (`ef_search` only shapes queries, not the index).
+/// (`ef_search`/`ef_margin` only shape queries, not the index).
 #[derive(Debug, Clone)]
 pub struct AnnParams {
     /// Max neighbors per node on upper index layers.
@@ -26,6 +26,9 @@ pub struct AnnParams {
     pub ef_construction: usize,
     /// Query beam width (clamped to ≥ k per query).
     pub ef_search: usize,
+    /// Extra beam width recovering the candidate-side per-relation context
+    /// term the shared-base ranking omits (see the writer's `ef_margin`).
+    pub ef_margin: usize,
     /// Seed for deterministic level assignment.
     pub seed: u64,
 }
@@ -36,6 +39,7 @@ impl Default for AnnParams {
             m: 16,
             ef_construction: 128,
             ef_search: 64,
+            ef_margin: 32,
             seed: 7,
         }
     }
@@ -70,6 +74,12 @@ pub struct ReplicaCounters {
     pub resyncs: u64,
     /// A segment replay ended on a torn tail frame (writer died mid-append).
     pub torn_tail: u64,
+    /// Baselines whose embedded ANN index set was adopted verbatim (rebuild
+    /// skipped, fingerprints verified during decode).
+    pub index_adoptions: u64,
+    /// Baselines that forced a local index rebuild (no embedded index, or
+    /// an embedded set whose layout didn't match this replica's).
+    pub index_rebuilds: u64,
 }
 
 /// A read replica: local graph + snapshot + ANN indexes, advanced purely by
@@ -80,11 +90,20 @@ pub struct Replica {
     /// constructed exactly like the writer's serving engine, from the same
     /// fixed node universe.
     candidates: Vec<Vec<NodeId>>,
+    /// Relation → destination-type group: relations sharing a destination
+    /// type share one candidate set and one shared-base index (the same
+    /// pure-function-of-schema grouping the writer derives).
+    group_of: Vec<usize>,
+    /// One candidate list per group (the list of any relation in the group).
+    group_candidates: Vec<Vec<NodeId>>,
     snapshot: Option<ServingSnapshot>,
     epoch: u64,
     ann: Option<AnnParams>,
+    /// One shared-base index per destination-type group.
     indexes: Vec<Option<HnswIndex>>,
     buf: Vec<f32>,
+    batch_ids: Vec<u32>,
+    batch_rows: Vec<f32>,
     topk: TopKScratch,
     search: SearchScratch,
     cand_buf: Vec<NodeId>,
@@ -106,14 +125,27 @@ impl Replica {
                 list
             })
             .collect();
+        let (group_of, num_groups) = graph.schema().dst_type_groups();
+        let mut group_candidates: Vec<Vec<NodeId>> = vec![Vec::new(); num_groups];
+        let mut filled = vec![false; num_groups];
+        for (r, &g) in group_of.iter().enumerate() {
+            if !filled[g] {
+                group_candidates[g] = candidates[r].clone();
+                filled[g] = true;
+            }
+        }
         Replica {
             graph,
             candidates,
+            group_of,
+            group_candidates,
             snapshot: None,
             epoch: 0,
             ann,
             indexes: Vec::new(),
             buf: Vec::new(),
+            batch_ids: Vec::new(),
+            batch_rows: Vec::new(),
             topk: TopKScratch::default(),
             search: SearchScratch::default(),
             cand_buf: Vec::new(),
@@ -161,7 +193,17 @@ impl Replica {
                 }
                 self.snapshot = Some(b.snapshot.clone());
                 self.epoch = b.epoch;
-                self.rebuild_indexes();
+                if self.ann.is_some() {
+                    if b.index
+                        .as_deref()
+                        .is_some_and(|bytes| self.adopt_indexes(bytes))
+                    {
+                        self.counters.index_adoptions += 1;
+                    } else {
+                        self.rebuild_indexes();
+                        self.counters.index_rebuilds += 1;
+                    }
+                }
                 self.counters.baselines_applied += 1;
                 Ok(())
             }
@@ -193,47 +235,95 @@ impl Replica {
         }
     }
 
-    /// Rebuilds every per-relation index from the current snapshot, in the
-    /// same ascending-candidate insertion order as the writer's initial
-    /// build. A replica that bootstraps from the writer's epoch-0 baseline
-    /// therefore holds structurally bit-identical indexes; after a
-    /// mid-stream resync the rebuilt structure may differ from the writer's
-    /// incrementally-maintained one, but answers keep exact scores (ANN
-    /// candidates are always re-scored exactly) — only top-K membership can
-    /// transiently differ, exactly as between ANN and brute force.
+    /// Adopts a baseline's embedded serialized index set in place of a
+    /// rebuild. Returns `false` (caller rebuilds) unless the set decodes
+    /// (every fingerprint verified), comes from an unsharded writer, and
+    /// matches this replica's group layout exactly — adoption is
+    /// all-or-nothing, never a silently mismatched index.
+    fn adopt_indexes(&mut self, bytes: &[u8]) -> bool {
+        let Some(snapshot) = &self.snapshot else {
+            return false;
+        };
+        let Ok((mut sets, _stamps)) = decode_index_set(bytes) else {
+            return false;
+        };
+        // A sharded writer's set partitions the catalog per shard; this
+        // replica keeps one full-catalog index per group, so only an
+        // unsharded (single-partition) set is structurally adoptable.
+        if sets.len() != 1 {
+            return false;
+        }
+        let set = sets.pop().expect("length checked");
+        if set.len() != self.group_candidates.len() {
+            return false;
+        }
+        for (index, cands) in set.iter().zip(&self.group_candidates) {
+            match index {
+                Some(ix) => {
+                    if ix.dim() != snapshot.dim() || ix.len() != cands.len() {
+                        return false;
+                    }
+                }
+                None => {
+                    if !cands.is_empty() {
+                        return false;
+                    }
+                }
+            }
+        }
+        self.indexes = set;
+        true
+    }
+
+    /// Rebuilds every per-group shared-base index from the current
+    /// snapshot, in the same ascending-candidate insertion order as the
+    /// writer's initial build. A replica that bootstraps from the writer's
+    /// epoch-0 baseline therefore holds structurally bit-identical indexes;
+    /// after a mid-stream resync the rebuilt structure may differ from the
+    /// writer's incrementally-maintained one, but answers keep exact scores
+    /// (ANN candidates are always re-scored exactly) — only top-K
+    /// membership can transiently differ, exactly as between ANN and brute
+    /// force.
     fn rebuild_indexes(&mut self) {
         self.indexes.clear();
         let (Some(opts), Some(snapshot)) = (&self.ann, &self.snapshot) else {
             return;
         };
-        for (r, cands) in self.candidates.iter().enumerate() {
+        for cands in &self.group_candidates {
             if cands.is_empty() {
                 self.indexes.push(None);
                 continue;
             }
             let mut index = HnswIndex::new(snapshot.dim(), opts.config());
             for &item in cands {
-                snapshot.composite_into(item, RelationId(r as u16), &mut self.buf);
+                snapshot.base_into(item, &mut self.buf);
                 index.insert(item.0, &self.buf);
             }
             self.indexes.push(Some(index));
         }
     }
 
-    /// Mirrors the writer's per-epoch refresh: re-insert every dirty
-    /// candidate with its new composite, in the frame's (ascending) order.
+    /// Mirrors the writer's per-epoch refresh: one `update_batch` per group
+    /// over the frame's dirty ∩ candidate ids with their new base vectors,
+    /// in the frame's (ascending) order.
     fn refresh_indexes(&mut self, d: &DeltaFrame) {
         let Some(snapshot) = &self.snapshot else {
             return;
         };
-        for (r, index) in self.indexes.iter_mut().enumerate() {
+        for (g, index) in self.indexes.iter_mut().enumerate() {
             let Some(index) = index else { continue };
-            let cands = &self.candidates[r];
+            let cands = &self.group_candidates[g];
+            self.batch_ids.clear();
+            self.batch_rows.clear();
             for &id in &d.ann_dirty {
                 if cands.binary_search(&NodeId(id)).is_ok() {
-                    snapshot.composite_into(NodeId(id), RelationId(r as u16), &mut self.buf);
-                    index.update(id, &self.buf);
+                    snapshot.base_into(NodeId(id), &mut self.buf);
+                    self.batch_ids.push(id);
+                    self.batch_rows.extend_from_slice(&self.buf);
                 }
+            }
+            if !self.batch_ids.is_empty() {
+                index.update_batch(&self.batch_ids, &self.batch_rows);
             }
         }
     }
@@ -251,9 +341,17 @@ impl Replica {
             .get(rel.index())
             .map(Vec::as_slice)
             .unwrap_or(&[]);
-        if let (Some(opts), Some(Some(index))) = (&self.ann, self.indexes.get(rel.index())) {
-            let ef = opts.ef_search.max(k);
+        let group_index = self
+            .group_of
+            .get(rel.index())
+            .and_then(|&g| self.indexes.get(g))
+            .and_then(Option::as_ref);
+        if let (Some(opts), Some(index)) = (&self.ann, group_index) {
+            let ef = opts.ef_search.max(k).saturating_add(opts.ef_margin);
             if k > 0 && ef < candidates.len() {
+                // Query with the full composite (relation term included);
+                // the widened beam plus the exact re-score below recovers
+                // the candidate-side context the base index omits.
                 snapshot.composite_into(user, rel, &mut self.buf);
                 let found = index.search_into(&self.buf, ef, ef, &mut self.search);
                 self.cand_buf.clear();

@@ -18,8 +18,8 @@
 //!                [--checkpoint-every 8] [--keep 3] [--resume]
 //!                [--on-bad-event strict|skip|clamp] [--workers N]
 //!                [--shards N]
-//!                [--warmup 8] [--ann] [--ef-search 64] [--guard-every 64]
-//!                [--min-recall 0.95]
+//!                [--warmup 8] [--ann] [--ef-search 64] [--ef-margin 32]
+//!                [--guard-every 64] [--min-recall 0.95] [--ann-auto-tune]
 //!                [--shed-policy block|drop-oldest|sample-1-in-k]
 //!                [--sample-k 8] [--priority Rel=low|normal|high,...]
 //!                [--metrics-dump FILE]
@@ -27,7 +27,7 @@
 //!                [--publish-wait 0]
 //! supa replica   --data data.tsv (--connect HOST:PORT | --segment FILE)
 //!                [--top 10] [--seed 7] [--ann] [--ef-search 64]
-//!                [--max-resyncs 8] [--metrics-dump FILE]
+//!                [--ef-margin 32] [--max-resyncs 8] [--metrics-dump FILE]
 //! ```
 //!
 //! Data is the self-describing TSV of `supa_datasets::load_tsv`; checkpoints
@@ -61,11 +61,19 @@
 //! from the newest valid checkpoint.
 //!
 //! `--ann` serves top-K through per-epoch HNSW indexes (`supa-ann`) instead
-//! of brute-force scoring the full catalog: `--ef-search` sets the query
-//! beam width, and one in `--guard-every` ANN answers is re-scored exactly,
-//! with recall below `--min-recall` tallied (and reported) as a guard
-//! breach. ANN answers are re-scored exactly, so reported scores stay
-//! bit-identical to brute force — only top-K membership can differ.
+//! of brute-force scoring the full catalog. The indexes are *shared-base*:
+//! relations with the same destination node type share one index over
+//! `h_long + h_short`, and the per-relation context term is recovered by
+//! exact re-scoring over a beam widened by `--ef-margin` on top of the
+//! `--ef-search` query beam. One in `--guard-every` ANN answers is
+//! re-scored exactly, with recall below `--min-recall` tallied (and
+//! reported) as a guard breach; `--ann-auto-tune` lets the writer widen
+//! the effective beam on sustained breaches and relax it once recall
+//! holds, stamping the effective values into each published epoch. ANN
+//! answers are re-scored exactly, so reported scores stay bit-identical to
+//! brute force — only top-K membership can differ. With `--checkpoint-dir`
+//! the indexes persist inside checkpoints, and `--resume` restores them
+//! fingerprint-verified instead of rebuilding.
 //!
 //! Overload: `--shed-policy` picks what happens when the ingest queue fills —
 //! `block` (the default; producers wait, exactly today's backpressure),
@@ -202,6 +210,7 @@ const COMMANDS: &[CommandSpec] = &[
             "shards",
             "warmup",
             "ef-search",
+            "ef-margin",
             "guard-every",
             "min-recall",
             "shed-policy",
@@ -212,7 +221,7 @@ const COMMANDS: &[CommandSpec] = &[
             "publish-segment",
             "publish-wait",
         ],
-        bool_flags: &["mine", "resume", "ann"],
+        bool_flags: &["mine", "resume", "ann", "ann-auto-tune"],
     },
     CommandSpec {
         name: "replica",
@@ -223,6 +232,7 @@ const COMMANDS: &[CommandSpec] = &[
             "top",
             "seed",
             "ef-search",
+            "ef-margin",
             "max-resyncs",
             "metrics-dump",
         ],
@@ -589,13 +599,21 @@ fn run(args: &[String]) -> Result<(), String> {
                 let defaults = AnnOptions::default();
                 Some(AnnOptions {
                     ef_search: get(&flags, "ef-search", defaults.ef_search)?,
+                    ef_margin: get(&flags, "ef-margin", defaults.ef_margin)?,
                     guard_every: get(&flags, "guard-every", defaults.guard_every)?,
                     min_recall: get(&flags, "min-recall", defaults.min_recall)?,
+                    auto_tune: flags.contains_key("ann-auto-tune"),
                     seed: get(&flags, "seed", defaults.seed)?,
                     ..defaults
                 })
             } else {
-                for f in ["ef-search", "guard-every", "min-recall"] {
+                for f in [
+                    "ef-search",
+                    "ef-margin",
+                    "guard-every",
+                    "min-recall",
+                    "ann-auto-tune",
+                ] {
                     if flags.contains_key(f) {
                         return Err(format!("--{f} needs --ann"));
                     }
@@ -627,11 +645,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 if publish_wait > 0 && tcp_addr.is_none() {
                     return Err("--publish-wait needs --publish-addr".into());
                 }
-                (tcp_addr.is_some() || segment.is_some()).then(|| PublishOptions {
-                    tcp_addr,
-                    segment,
-                    wait_subscribers: publish_wait,
-                })
+                if tcp_addr.is_some() || segment.is_some() {
+                    Some(PublishOptions {
+                        tcp_addr,
+                        segment,
+                        wait_subscribers: publish_wait,
+                    })
+                } else {
+                    None
+                }
             };
             let serve_cfg = ServeConfig {
                 queue_capacity: get(&flags, "queue", 1024)?,
@@ -687,12 +709,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 let defaults = AnnParams::default();
                 Some(AnnParams {
                     ef_search: get(&flags, "ef-search", defaults.ef_search)?,
+                    ef_margin: get(&flags, "ef-margin", defaults.ef_margin)?,
                     seed: get(&flags, "seed", defaults.seed)?,
                     ..defaults
                 })
             } else {
-                if flags.contains_key("ef-search") {
-                    return Err("--ef-search needs --ann".into());
+                for f in ["ef-search", "ef-margin"] {
+                    if flags.contains_key(f) {
+                        return Err(format!("--{f} needs --ann"));
+                    }
                 }
                 None
             };

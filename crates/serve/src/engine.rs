@@ -121,16 +121,26 @@ impl CheckpointOptions {
 /// Tuning for the approximate-nearest-neighbor serving path
 /// ([`ServeConfig::ann`]).
 ///
-/// When enabled, each published epoch carries per-relation [`HnswIndex`]es
-/// over the item composites; queries beam-search the index and re-score the
-/// surviving candidates *exactly*, so every returned score is bit-identical
-/// to what the brute-force path would assign — only membership of the top-K
-/// can differ, and the recall guard meters exactly that.
+/// When enabled, each published epoch carries *shared-base* [`HnswIndex`]es:
+/// one index per destination-type group (relations whose edges land on the
+/// same node type share one candidate set and therefore one index) over the
+/// relation-independent base vectors `h_long + h_short`. A query beams the
+/// group's index with its composite vector, widened by [`AnnOptions::ef_margin`]
+/// to absorb the candidate-side `ctx_r` term the base ranking omits, then
+/// re-scores the surviving candidates *exactly* — so every returned score is
+/// bit-identical to what the brute-force path would assign; only membership
+/// of the top-K can differ, and the recall guard meters exactly that.
 #[derive(Debug, Clone)]
 pub struct AnnOptions {
     /// Query beam width (clamped to ≥ k per query). Larger means higher
     /// recall and more exact re-scores per query.
     pub ef_search: usize,
+    /// Extra beam width on top of `ef_search`. The shared-base index ranks
+    /// by `⟨composite_u, base_v⟩`, which differs from the served score by
+    /// the candidate's per-relation context term; the margin keeps enough
+    /// extra candidates in the beam for the exact re-score to recover the
+    /// true top-K.
+    pub ef_margin: usize,
     /// Max neighbors per node on upper index layers (layer 0 keeps `2·m`).
     pub m: usize,
     /// Beam width while inserting/refreshing index nodes.
@@ -143,6 +153,14 @@ pub struct AnnOptions {
     pub guard_every: u64,
     /// Recall floor: a guard check below this tallies a breach in metrics.
     pub min_recall: f64,
+    /// Let the writer nudge the effective `ef_search`/`ef_margin` up when
+    /// the recall guard sustains breaches and back toward the configured
+    /// base once recall is comfortably above the floor. The effective
+    /// values are stamped into each published epoch, so queries (and
+    /// `verify` replays) stay a pure function of the epoch they hit.
+    /// Requires `guard_every > 0`. Off by default: the static configuration
+    /// remains bit-identical to previous releases.
+    pub auto_tune: bool,
     /// Seed for the index's deterministic level assignment.
     pub seed: u64,
 }
@@ -151,10 +169,12 @@ impl Default for AnnOptions {
     fn default() -> Self {
         AnnOptions {
             ef_search: 64,
+            ef_margin: 32,
             m: 16,
             ef_construction: 128,
             guard_every: 64,
             min_recall: 0.95,
+            auto_tune: false,
             seed: 7,
         }
     }
@@ -257,61 +277,97 @@ pub struct EpochSnapshot {
     pub epoch: u64,
     /// The frozen scorer (bit-identical to the model at publication time).
     pub scorer: ServingSnapshot,
-    /// Per-relation ANN indexes frozen with the scorer (`None` when ANN
+    /// Shared-base ANN indexes frozen with the scorer (`None` when ANN
     /// serving is disabled). Retained with the snapshot in the history ring
     /// so `verify` re-runs the *identical* retrieval path of the epoch a
     /// result claims.
     pub ann: Option<Arc<AnnEpoch>>,
 }
 
-/// The per-relation ANN indexes of one published epoch, shard-major:
-/// `indexes[shard][relation]`. Unsharded epochs have exactly one shard
-/// holding the full per-relation indexes.
+/// The shared-base ANN indexes of one published epoch, shard-major:
+/// `indexes[shard][group]`, where a *group* is a set of relations whose
+/// edges land on the same destination node type
+/// ([`supa_graph::GraphSchema::dst_type_groups`]). Relations in one group
+/// have identical candidate sets, and the indexed base vectors
+/// (`h_long + h_short`) carry no relation term — so one index serves every
+/// relation of the group, cutting index memory and refresh work by the
+/// group size. Unsharded epochs have exactly one shard holding the full
+/// per-group indexes.
 #[derive(Debug)]
 pub struct AnnEpoch {
     indexes: Vec<Vec<Option<HnswIndex>>>,
+    /// Relation → group: which shared index answers each relation.
+    group_of: Vec<usize>,
+    /// The effective query beam width when this epoch was published. Epochs
+    /// stamp the values in force so a query (and any later `verify` replay)
+    /// is a pure function of the epoch it hits, even while the auto-tuner
+    /// moves the live values between epochs.
+    ef_search: usize,
+    /// The effective beam margin at publication (see [`AnnOptions::ef_margin`]).
+    ef_margin: usize,
 }
 
 impl AnnEpoch {
-    /// Shard 0's index over `rel`'s candidate items (`None` when that shard
-    /// owns no candidates of the relation). On an unsharded epoch this is
-    /// *the* index over the full catalog; sharded readers use
+    /// Shard 0's shared-base index answering `rel` (`None` when that shard
+    /// owns no candidates of the relation's group). On an unsharded epoch
+    /// this is *the* index over the full catalog; sharded readers use
     /// [`AnnEpoch::shard_indexes`] to query every shard's partition.
+    /// Relations with the same destination type return the *same* index.
     pub fn index(&self, rel: RelationId) -> Option<&HnswIndex> {
+        let g = *self.group_of.get(rel.index())?;
         self.indexes
             .first()
-            .and_then(|shard| shard.get(rel.index()))
+            .and_then(|shard| shard.get(g))
             .and_then(Option::as_ref)
     }
 
-    /// Every shard's index over `rel`, in shard order (shards owning no
-    /// candidates of the relation are skipped). The shards partition the
-    /// catalog, so the yielded indexes cover disjoint item sets.
+    /// Every shard's index answering `rel`, in shard order (shards owning no
+    /// candidates of the relation's group are skipped). The shards partition
+    /// the catalog, so the yielded indexes cover disjoint item sets.
     pub fn shard_indexes(&self, rel: RelationId) -> impl Iterator<Item = &HnswIndex> {
+        let g = self.group_of.get(rel.index()).copied();
         self.indexes
             .iter()
-            .filter_map(move |shard| shard.get(rel.index()).and_then(Option::as_ref))
+            .filter_map(move |shard| shard.get(g?).and_then(Option::as_ref))
     }
 
-    /// Whether any shard holds an index over `rel`.
+    /// The effective `ef_search` stamped at publication.
+    pub fn ef_search(&self) -> usize {
+        self.ef_search
+    }
+
+    /// The effective `ef_margin` stamped at publication.
+    pub fn ef_margin(&self) -> usize {
+        self.ef_margin
+    }
+
+    /// Whether any shard holds an index answering `rel`.
     fn has_index(&self, rel: RelationId) -> bool {
         self.shard_indexes(rel).next().is_some()
     }
 }
 
-/// One shard's writer-owned master indexes: per-relation HNSW indexes over
-/// the candidate items *this shard owns* (`shard_of(item) == shard`),
-/// together with the owned candidate lists used to filter refreshes.
+/// One shard's writer-owned master indexes: one shared-base HNSW index per
+/// destination-type group over the candidate items *this shard owns*
+/// (`shard_of(item) == shard`), together with the owned candidate lists
+/// used to filter refreshes.
 struct ShardAnn {
     config: AnnConfig,
     indexes: Vec<Option<HnswIndex>>,
     owned: Vec<Vec<NodeId>>,
     buf: Vec<f32>,
+    /// Batched-refresh staging: the touched ∩ owned ids of one group and
+    /// their base vectors, handed to `HnswIndex::update_batch` in one call
+    /// so the whole batch is unlinked first and re-linked with amortized
+    /// hole repair.
+    batch_ids: Vec<u32>,
+    batch_rows: Vec<f32>,
 }
 
 impl ShardAnn {
-    /// Builds this shard's indexes over its owned slice of every relation's
-    /// candidate list in ascending-id order. With one shard the owned lists
+    /// Builds this shard's per-group indexes over its owned slice of every
+    /// group's candidate list in ascending-id order, indexing the
+    /// relation-independent base vectors. With one shard the owned lists
     /// are the full (sorted, deduplicated) candidate lists, so the build is
     /// identical to the unsharded engine's.
     fn build(config: AnnConfig, scorer: &ServingSnapshot, owned: Vec<Vec<NodeId>>) -> ShardAnn {
@@ -320,16 +376,18 @@ impl ShardAnn {
             indexes: Vec::with_capacity(owned.len()),
             owned,
             buf: Vec::new(),
+            batch_ids: Vec::new(),
+            batch_rows: Vec::new(),
         };
-        for r in 0..shard.owned.len() {
-            if shard.owned[r].is_empty() {
+        for g in 0..shard.owned.len() {
+            if shard.owned[g].is_empty() {
                 shard.indexes.push(None);
                 continue;
             }
             let mut index = HnswIndex::new(scorer.dim(), shard.config.clone());
-            for i in 0..shard.owned[r].len() {
-                let item = shard.owned[r][i];
-                scorer.composite_into(item, RelationId(r as u16), &mut shard.buf);
+            for i in 0..shard.owned[g].len() {
+                let item = shard.owned[g][i];
+                scorer.base_into(item, &mut shard.buf);
                 index.insert(item.0, &shard.buf);
             }
             shard.indexes.push(Some(index));
@@ -337,67 +395,250 @@ impl ShardAnn {
         shard
     }
 
-    /// Re-inserts every touched *owned* candidate item with its new
-    /// composite. Both the touched set and the owned lists are ascending, so
-    /// the update order — and therefore the refreshed index — is
+    /// Re-inserts every touched *owned* candidate item with its new base
+    /// vector, one `update_batch` per group. Both the touched set and the
+    /// owned lists are ascending, so the staged batch is ascending — the
+    /// batch protocol's requirement — and the refreshed index is
     /// deterministic; shards own disjoint items, so concurrent per-shard
-    /// refreshes touch disjoint indexes.
-    fn refresh(&mut self, scorer: &ServingSnapshot, touched: &[u32]) {
-        for (r, index) in self.indexes.iter_mut().enumerate() {
+    /// refreshes touch disjoint indexes. Returns how many (id, group)
+    /// entries were refreshed.
+    fn refresh(&mut self, scorer: &ServingSnapshot, touched: &[u32]) -> usize {
+        let mut refreshed = 0;
+        for (g, index) in self.indexes.iter_mut().enumerate() {
             let Some(index) = index else { continue };
-            let owned = &self.owned[r];
+            let owned = &self.owned[g];
+            self.batch_ids.clear();
+            self.batch_rows.clear();
             for &id in touched {
                 if owned.binary_search(&NodeId(id)).is_ok() {
-                    scorer.composite_into(NodeId(id), RelationId(r as u16), &mut self.buf);
-                    index.update(id, &self.buf);
+                    scorer.base_into(NodeId(id), &mut self.buf);
+                    self.batch_ids.push(id);
+                    self.batch_rows.extend_from_slice(&self.buf);
                 }
             }
+            if !self.batch_ids.is_empty() {
+                index.update_batch(&self.batch_ids, &self.batch_rows);
+                refreshed += self.batch_ids.len();
+            }
         }
+        refreshed
     }
 }
 
-/// Writer-owned master copies of the per-shard, per-relation indexes.
+/// Writer-owned master copies of the per-shard, per-group indexes.
 /// Between epochs only the nodes the training interval touched are
 /// re-inserted; `freeze` then clones the masters into an immutable
-/// [`AnnEpoch`] for publication.
+/// [`AnnEpoch`] for publication. Also owns the *effective* beam widths
+/// (the configured values, possibly moved by the auto-tuner) that get
+/// stamped into each published epoch.
 struct AnnMaster {
     shards: Vec<ShardAnn>,
+    group_of: Vec<usize>,
+    ef_search: usize,
+    ef_margin: usize,
+    tuner: Option<AnnTuner>,
 }
 
 impl AnnMaster {
-    /// Builds `shards` per-shard index sets partitioning every relation's
+    /// Builds `shards` per-shard index sets partitioning every group's
     /// candidate list by owning shard.
     fn build(
-        opts: AnnOptions,
+        opts: &AnnOptions,
         scorer: &ServingSnapshot,
-        candidates: &[Vec<NodeId>],
+        group_candidates: &[Vec<NodeId>],
+        group_of: Vec<usize>,
         shards: usize,
     ) -> AnnMaster {
         let n = shards.max(1);
         let config = opts.config();
         let shards = (0..n)
             .map(|s| {
-                let owned: Vec<Vec<NodeId>> = candidates
-                    .iter()
-                    .map(|cands| {
-                        cands
-                            .iter()
-                            .copied()
-                            .filter(|c| supa_par::shard_of(c.0, n) == s)
-                            .collect()
-                    })
-                    .collect();
+                let owned = Self::owned_groups(group_candidates, n, s);
                 ShardAnn::build(config.clone(), scorer, owned)
             })
             .collect();
-        AnnMaster { shards }
+        AnnMaster {
+            shards,
+            group_of,
+            ef_search: opts.ef_search,
+            ef_margin: opts.ef_margin,
+            tuner: opts.auto_tune.then(|| AnnTuner::new(opts)),
+        }
+    }
+
+    /// The slice of every group's candidate list owned by shard `s`.
+    fn owned_groups(group_candidates: &[Vec<NodeId>], n: usize, s: usize) -> Vec<Vec<NodeId>> {
+        group_candidates
+            .iter()
+            .map(|cands| {
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|c| supa_par::shard_of(c.0, n) == s)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Serializes every shard's index set (with the effective beam widths as
+    /// stamps) for the checkpoint's opaque index section.
+    fn to_bytes(&self) -> Vec<u8> {
+        let sets: Vec<Vec<Option<HnswIndex>>> =
+            self.shards.iter().map(|s| s.indexes.clone()).collect();
+        supa_ann::encode_index_set(&sets, [self.ef_search as u64, self.ef_margin as u64])
+    }
+
+    /// Reconstructs the master from a checkpoint's index section instead of
+    /// rebuilding, after validating that the persisted layout matches what
+    /// this engine would build: same shard count, same group count, and per
+    /// (shard, group) the same item count with presence matching the owned
+    /// candidate lists. Every inner index already had its fingerprint
+    /// verified during decode, so a restored master is bit-identical to the
+    /// one that was saved. Any mismatch is a named error — the caller falls
+    /// back to a rebuild, never to silently wrong indexes.
+    fn restore(
+        opts: &AnnOptions,
+        scorer: &ServingSnapshot,
+        group_candidates: &[Vec<NodeId>],
+        group_of: Vec<usize>,
+        shards: usize,
+        bytes: &[u8],
+    ) -> Result<AnnMaster, String> {
+        let n = shards.max(1);
+        let (sets, stamps) = supa_ann::decode_index_set(bytes).map_err(|e| e.to_string())?;
+        if sets.len() != n {
+            return Err(format!(
+                "checkpoint index set has {} shard(s), engine runs {n}",
+                sets.len()
+            ));
+        }
+        let config = opts.config();
+        let mut built = Vec::with_capacity(n);
+        for (s, set) in sets.into_iter().enumerate() {
+            let owned = Self::owned_groups(group_candidates, n, s);
+            if set.len() != owned.len() {
+                return Err(format!(
+                    "checkpoint index set has {} group(s), schema derives {}",
+                    set.len(),
+                    owned.len()
+                ));
+            }
+            for (g, (index, own)) in set.iter().zip(&owned).enumerate() {
+                match index {
+                    Some(ix) => {
+                        if ix.dim() != scorer.dim() {
+                            return Err(format!(
+                                "shard {s} group {g}: index dim {} != model dim {}",
+                                ix.dim(),
+                                scorer.dim()
+                            ));
+                        }
+                        if ix.len() != own.len() {
+                            return Err(format!(
+                                "shard {s} group {g}: index holds {} item(s), candidate set has {}",
+                                ix.len(),
+                                own.len()
+                            ));
+                        }
+                    }
+                    None => {
+                        if !own.is_empty() {
+                            return Err(format!(
+                                "shard {s} group {g}: index missing for {} candidate(s)",
+                                own.len()
+                            ));
+                        }
+                    }
+                }
+            }
+            built.push(ShardAnn {
+                config: config.clone(),
+                indexes: set,
+                owned,
+                buf: Vec::new(),
+                batch_ids: Vec::new(),
+                batch_rows: Vec::new(),
+            });
+        }
+        // An auto-tuned engine resumes where the tuner left off (the stamps
+        // carry the effective widths, floored at the configured base); a
+        // static configuration ignores the stamps so behaviour stays exactly
+        // the configured one.
+        let (ef_search, ef_margin) = if opts.auto_tune {
+            (
+                (stamps[0] as usize).max(opts.ef_search),
+                (stamps[1] as usize).max(opts.ef_margin),
+            )
+        } else {
+            (opts.ef_search, opts.ef_margin)
+        };
+        Ok(AnnMaster {
+            shards: built,
+            group_of,
+            ef_search,
+            ef_margin,
+            tuner: opts.auto_tune.then(|| AnnTuner::new(opts)),
+        })
     }
 
     /// Freezes the current masters into a publishable epoch.
     fn freeze(&self) -> Arc<AnnEpoch> {
         Arc::new(AnnEpoch {
             indexes: self.shards.iter().map(|s| s.indexes.clone()).collect(),
+            group_of: self.group_of.clone(),
+            ef_search: self.ef_search,
+            ef_margin: self.ef_margin,
         })
+    }
+}
+
+/// Writer-side hysteresis for the effective beam widths, driven by the
+/// recall guard's counters (accumulated by readers, read at each publish).
+///
+/// - **Up**: an interval with at least [`TUNE_MIN_CHECKS`] guard checks and
+///   interval recall below the floor widens both `ef_search` and
+///   `ef_margin` by ~1.5× (capped at [`TUNE_MAX_SCALE`]× the configured
+///   base).
+/// - **Down**: [`TUNE_CALM_INTERVALS`] consecutive qualifying intervals
+///   with recall at least [`TUNE_HEADROOM`] above the floor step both
+///   widths a quarter of the way back toward the configured base (never
+///   below it).
+///
+/// Intervals with fewer than [`TUNE_MIN_CHECKS`] fresh checks are skipped
+/// without consuming the counters, so sparse guard traffic accumulates
+/// until a judgement is statistically worth making.
+struct AnnTuner {
+    base_ef: usize,
+    base_margin: usize,
+    min_recall: f64,
+    seen_checks: u64,
+    seen_expected: u64,
+    seen_matched: u64,
+    calm: u32,
+}
+
+/// Minimum fresh guard checks before the tuner judges an interval.
+const TUNE_MIN_CHECKS: u64 = 4;
+/// Recall headroom above the floor that counts as a calm interval.
+const TUNE_HEADROOM: f64 = 0.02;
+/// Consecutive calm intervals before stepping the widths back down.
+const TUNE_CALM_INTERVALS: u32 = 3;
+/// Cap on the widths: this multiple of the configured base.
+const TUNE_MAX_SCALE: usize = 8;
+/// Smallest widening step, so tiny configured widths still move.
+const TUNE_MIN_STEP: usize = 8;
+
+impl AnnTuner {
+    fn new(opts: &AnnOptions) -> AnnTuner {
+        AnnTuner {
+            base_ef: opts.ef_search,
+            base_margin: opts.ef_margin,
+            min_recall: opts.min_recall,
+            seen_checks: 0,
+            seen_expected: 0,
+            seen_matched: 0,
+            calm: 0,
+        }
     }
 }
 
@@ -688,6 +929,12 @@ impl ServeEngine {
                     "ann ef_search must be at least 1",
                 ));
             }
+            if ann.auto_tune && ann.guard_every == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "ann auto_tune requires the recall guard (guard_every > 0)",
+                ));
+            }
         }
         if cfg.shards == 0 {
             return Err(std::io::Error::new(
@@ -711,12 +958,16 @@ impl ServeEngine {
 
         let mut manager = None;
         let mut resume_skip = 0u64;
+        let mut resume_index: Option<Vec<u8>> = None;
+        let mut resumed = false;
         if let Some(ck) = &cfg.checkpoint {
             let mgr = CheckpointManager::new(&ck.dir, ck.keep)?;
             if ck.resume {
-                let outcome = mgr.resume(&mut model)?;
+                let (outcome, index) = mgr.resume_with_index(&mut model)?;
                 if let Some((_, events)) = outcome.loaded {
                     resume_skip = events;
+                    resume_index = index;
+                    resumed = true;
                 }
             }
             manager = Some(mgr);
@@ -742,10 +993,57 @@ impl ServeEngine {
             .collect();
 
         let scorer = model.export_serving_snapshot();
-        let ann_master = cfg
-            .ann
-            .clone()
-            .map(|opts| AnnMaster::build(opts, &scorer, &candidates, cfg.shards));
+        // Shared-base layout: relations grouped by destination type share
+        // one candidate set and one base index. The grouping is a pure
+        // function of the schema, so the writer, its replicas, and a resumed
+        // process all derive the identical layout.
+        let (group_of, num_groups) = graph.schema().dst_type_groups();
+        let mut group_candidates: Vec<Vec<NodeId>> = vec![Vec::new(); num_groups];
+        {
+            let mut filled = vec![false; num_groups];
+            for (r, &g) in group_of.iter().enumerate() {
+                if !filled[g] {
+                    group_candidates[g] = candidates[r].clone();
+                    filled[g] = true;
+                }
+            }
+        }
+        let ann_master = cfg.ann.as_ref().map(|opts| {
+            if let Some(bytes) = resume_index.as_deref() {
+                match AnnMaster::restore(
+                    opts,
+                    &scorer,
+                    &group_candidates,
+                    group_of.clone(),
+                    cfg.shards,
+                    bytes,
+                ) {
+                    Ok(master) => {
+                        eprintln!(
+                            "supa-serve: ann indexes restored from checkpoint \
+                             ({} shard(s) x {num_groups} group(s), fingerprints verified)",
+                            cfg.shards
+                        );
+                        return master;
+                    }
+                    // Named fallback: a checkpoint whose index section does
+                    // not match this engine's layout is reported and
+                    // rebuilt — never silently adopted.
+                    Err(why) => eprintln!(
+                        "supa-serve: checkpoint ann index rejected ({why}); rebuilding indexes"
+                    ),
+                }
+            } else if resumed {
+                eprintln!("supa-serve: checkpoint carries no ann index; rebuilding indexes");
+            }
+            AnnMaster::build(
+                opts,
+                &scorer,
+                &group_candidates,
+                group_of.clone(),
+                cfg.shards,
+            )
+        });
         let initial = Arc::new(EpochSnapshot {
             epoch: 0,
             scorer,
@@ -754,15 +1052,21 @@ impl ServeEngine {
         // Replication starts against the epoch-0 state: the segment file
         // opens with a full baseline, and `wait_subscribers` holds the
         // engine here until the required TCP replicas have attached — those
-        // replicas then share the writer's epoch-0 ANN build and stay
-        // structurally bit-identical through incremental refreshes.
+        // replicas adopt (or rebuild to) the writer's epoch-0 ANN state and
+        // stay structurally bit-identical through incremental refreshes.
+        // The epoch-0 baseline carries the serialized index set so replica
+        // cold-start can skip the O(n·ef_c·log n) rebuild.
         let publisher = match &cfg.replication {
-            Some(opts) => Some(DeltaPublisher::start(
-                opts,
-                0,
-                &initial.scorer,
-                GuardState::default(),
-            )?),
+            Some(opts) => {
+                let index_bytes = ann_master.as_ref().map(AnnMaster::to_bytes);
+                Some(DeltaPublisher::start(
+                    opts,
+                    0,
+                    &initial.scorer,
+                    GuardState::default(),
+                    index_bytes.as_deref(),
+                )?)
+            }
             None => None,
         };
         let replication_addr = publisher.as_ref().and_then(DeltaPublisher::bound_addr);
@@ -876,6 +1180,12 @@ struct Writer {
     /// Events absorbed into the graph since the last publish — the
     /// adjacency part of the next delta frame.
     interval_events: Vec<TemporalEdge>,
+    /// Whether the ANN masters reflect the model's current embeddings
+    /// (true right after a publish, false once training has moved the model
+    /// past the last refresh). Only a *fresh* master may be serialized into
+    /// a checkpoint — a stale one would resume with index vectors behind
+    /// the restored embeddings.
+    ann_fresh: bool,
     cfg: ServeConfig,
     pending: Vec<TemporalEdge>,
     /// Per-event importance weights, aligned with `pending`. Maintained only
@@ -929,6 +1239,7 @@ fn writer_loop(
         ann,
         publisher,
         interval_events: Vec::new(),
+        ann_fresh: true,
         cfg,
         pending: Vec::new(),
         pending_w: Vec::new(),
@@ -952,9 +1263,7 @@ fn writer_loop(
                     // Every producer hung up: final train/publish/checkpoint.
                     w.train_pending();
                     w.publish();
-                    if let Some(mgr) = &mut w.manager {
-                        let _ = mgr.save(&w.model, w.admitted);
-                    }
+                    w.save_checkpoint();
                     break StopCause::Shutdown;
                 }
             },
@@ -975,9 +1284,7 @@ fn writer_loop(
                     }
                     w.train_pending();
                     w.publish();
-                    if let Some(mgr) = &mut w.manager {
-                        let _ = mgr.save(&w.model, w.admitted);
-                    }
+                    w.save_checkpoint();
                     break StopCause::Shutdown;
                 }
                 Ok(Ctrl::Kill) => {
@@ -1038,6 +1345,7 @@ fn sharded_writer_loop(
         ann,
         publisher,
         interval_events: Vec::new(),
+        ann_fresh: true,
         cfg,
         pending: Vec::new(),
         pending_w: Vec::new(),
@@ -1073,9 +1381,7 @@ fn sharded_writer_loop(
                     // deposit rings before the producer releases the lock.
                     w.train_pending();
                     w.publish();
-                    if let Some(mgr) = &mut w.manager {
-                        let _ = mgr.save(&w.model, w.admitted);
-                    }
+                    w.save_checkpoint();
                     break StopCause::Shutdown;
                 }
             },
@@ -1094,9 +1400,7 @@ fn sharded_writer_loop(
                     }
                     w.train_pending();
                     w.publish();
-                    if let Some(mgr) = &mut w.manager {
-                        let _ = mgr.save(&w.model, w.admitted);
-                    }
+                    w.save_checkpoint();
                     break StopCause::Shutdown;
                 }
                 Ok(Ctrl::Kill) => {
@@ -1288,9 +1592,7 @@ impl Writer {
             }
             if let Some(every) = self.cfg.checkpoint.as_ref().map(|c| c.every.max(1) as u64) {
                 if self.chunks.is_multiple_of(every) {
-                    if let Some(mgr) = &mut self.manager {
-                        let _ = mgr.save(&self.model, self.admitted);
-                    }
+                    self.save_checkpoint();
                 }
             }
         }
@@ -1350,6 +1652,91 @@ impl Writer {
         self.pending.clear();
         self.pending_w.clear();
         self.chunks += 1;
+        // The model moved; the ANN masters are now behind until the next
+        // publish refreshes the touched set.
+        self.ann_fresh = false;
+    }
+
+    /// Writes a checkpoint. When the ANN masters are fresh (no training
+    /// since the last publish — always true at shutdown, which publishes
+    /// first) the serialized index set rides along in the v3 format so a
+    /// resume skips the rebuild; a stale master is simply omitted and the
+    /// resume rebuilds, never restores wrong vectors.
+    fn save_checkpoint(&mut self) {
+        let Some(mgr) = &mut self.manager else { return };
+        match &self.ann {
+            Some(master) if self.ann_fresh => {
+                let _ = mgr.save_with_index(&self.model, self.admitted, &master.to_bytes());
+            }
+            _ => {
+                let _ = mgr.save(&self.model, self.admitted);
+            }
+        }
+    }
+
+    /// Runs the auto-tuner (when enabled) against the guard counters that
+    /// accumulated since its last qualifying interval. See [`AnnTuner`].
+    fn tune_ann(&mut self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let Some(master) = &mut self.ann else { return };
+        let Some(tuner) = &mut master.tuner else {
+            return;
+        };
+        let mut checks = 0u64;
+        let mut expected = 0u64;
+        let mut matched = 0u64;
+        for m in &self.shared.metrics {
+            checks += m.ann_guard_checks.load(Relaxed);
+            expected += m.ann_guard_expected.load(Relaxed);
+            matched += m.ann_guard_matched.load(Relaxed);
+        }
+        let d_checks = checks.saturating_sub(tuner.seen_checks);
+        if d_checks < TUNE_MIN_CHECKS {
+            // Not enough fresh evidence; leave the counters unconsumed so
+            // sparse guard traffic accumulates toward the threshold.
+            return;
+        }
+        let d_expected = expected.saturating_sub(tuner.seen_expected);
+        let d_matched = matched.saturating_sub(tuner.seen_matched);
+        tuner.seen_checks = checks;
+        tuner.seen_expected = expected;
+        tuner.seen_matched = matched;
+        let recall = if d_expected == 0 {
+            1.0
+        } else {
+            d_matched as f64 / d_expected as f64
+        };
+        if recall < tuner.min_recall {
+            tuner.calm = 0;
+            let cap_ef = tuner.base_ef.saturating_mul(TUNE_MAX_SCALE);
+            let cap_margin = tuner
+                .base_margin
+                .max(TUNE_MIN_STEP)
+                .saturating_mul(TUNE_MAX_SCALE);
+            master.ef_search =
+                (master.ef_search + (master.ef_search / 2).max(TUNE_MIN_STEP)).min(cap_ef);
+            master.ef_margin =
+                (master.ef_margin + (master.ef_margin / 2).max(TUNE_MIN_STEP)).min(cap_margin);
+        } else if recall >= tuner.min_recall + TUNE_HEADROOM {
+            tuner.calm += 1;
+            if tuner.calm >= TUNE_CALM_INTERVALS {
+                tuner.calm = 0;
+                // A quarter of the way back toward base, always at least one
+                // step so the walk terminates at base instead of stalling
+                // just above it.
+                let step_down = |cur: usize, base: usize| {
+                    if cur > base {
+                        (cur - ((cur - base) / 4).max(1)).max(base)
+                    } else {
+                        base
+                    }
+                };
+                master.ef_search = step_down(master.ef_search, tuner.base_ef);
+                master.ef_margin = step_down(master.ef_margin, tuner.base_margin);
+            }
+        } else {
+            tuner.calm = 0;
+        }
     }
 
     /// Phase 1 of the epoch barrier: every shard refreshes its ANN partition
@@ -1364,7 +1751,7 @@ impl Writer {
         &mut self,
         scorer: &ServingSnapshot,
         touched: &[u32],
-    ) -> Option<Arc<AnnEpoch>> {
+    ) -> (Option<Arc<AnnEpoch>>, u64) {
         let seam = self.cfg.panic_shard;
         let epoch = self.epoch;
         let Some(master) = &mut self.ann else {
@@ -1377,17 +1764,18 @@ impl Writer {
                     );
                 }
             }
-            return None;
+            return (None, 0);
         };
-        let shard_task = |s: usize, sa: &mut ShardAnn| {
+        let shard_task = |s: usize, sa: &mut ShardAnn| -> usize {
             if seam == Some(s) {
                 panic!("injected shard fault: shard {s} failed during epoch {epoch} publication");
             }
-            sa.refresh(scorer, touched);
+            sa.refresh(scorer, touched)
         };
+        let mut refreshed = 0u64;
         if master.shards.len() == 1 || supa_par::available_workers() == 1 {
             for (s, sa) in master.shards.iter_mut().enumerate() {
-                shard_task(s, sa);
+                refreshed += shard_task(s, sa) as u64;
             }
         } else {
             std::thread::scope(|scope| {
@@ -1399,8 +1787,11 @@ impl Writer {
                     .collect();
                 let mut first_panic = None;
                 for h in handles {
-                    if let Err(payload) = h.join() {
-                        first_panic.get_or_insert(payload);
+                    match h.join() {
+                        Ok(n) => refreshed += n as u64,
+                        Err(payload) => {
+                            first_panic.get_or_insert(payload);
+                        }
                     }
                 }
                 if let Some(payload) = first_panic {
@@ -1408,7 +1799,7 @@ impl Writer {
                 }
             });
         }
-        Some(master.freeze())
+        (Some(master.freeze()), refreshed)
     }
 
     /// Publishes the current model state as a new epoch — refreshing the ANN
@@ -1418,10 +1809,36 @@ impl Writer {
     /// in every shard's query cache. Readers always observe all shards at
     /// the same epoch: the composed snapshot is the only thing published.
     fn publish(&mut self) {
+        use std::sync::atomic::Ordering::Relaxed;
         self.epoch += 1;
         let scorer = self.model.export_serving_snapshot();
-        let touched = self.model.take_touched();
-        let ann = self.publish_phase1(&scorer, &touched);
+        let mut touched = self.model.take_touched();
+        // The batched ANN refresh, the delta extraction, and cache
+        // invalidation all assume an ascending duplicate-free touched set;
+        // `take_touched` guarantees it, and a violation is a logic bug.
+        debug_assert!(
+            touched.windows(2).all(|w| w[0] < w[1]),
+            "touched set must be ascending and duplicate-free"
+        );
+        if !touched.windows(2).all(|w| w[0] < w[1]) {
+            touched.sort_unstable();
+            touched.dedup();
+        }
+        self.tune_ann();
+        let phase1_start = Instant::now();
+        let (ann, refreshed) = self.publish_phase1(&scorer, &touched);
+        if let Some(master) = &self.ann {
+            let us = u64::try_from(phase1_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let m = &self.shared.metrics[0];
+            m.ann_publish_us.fetch_add(us, Relaxed);
+            m.ann_publish_last_us.store(us, Relaxed);
+            m.ann_refresh_batch.store(refreshed, Relaxed);
+            m.ann_ef_search.store(master.ef_search as u64, Relaxed);
+            m.ann_ef_margin.store(master.ef_margin as u64, Relaxed);
+        }
+        // The masters now reflect the published model state; a checkpoint
+        // written before the next training chunk may carry them.
+        self.ann_fresh = true;
         if let Some(publisher) = &mut self.publisher {
             let m = &self.shared.metrics[0];
             let guard = GuardState {
@@ -1491,8 +1908,13 @@ impl Shared {
             .get(rel.index())
             .map(Vec::as_slice)
             .unwrap_or(&[]);
-        if let (Some(opts), Some(ann)) = (&self.ann_opts, snap.ann.as_deref()) {
-            let ef = opts.ef_search.max(k);
+        if let Some(ann) = snap.ann.as_deref() {
+            // The epoch's *stamped* widths, not the live options: queries
+            // against a historical epoch replay its exact beam even after
+            // the auto-tuner has moved the current values. The margin buys
+            // back the candidate-side context term the shared-base ranking
+            // omits — the widened beam is re-scored exactly below.
+            let ef = ann.ef_search.max(k).saturating_add(ann.ef_margin);
             // The index only pays off when the beam is narrower than the
             // catalog; tiny catalogs (and k covering everything) fall back
             // to the exact scan.
@@ -1851,6 +2273,7 @@ impl ServeHandle {
         m.ann_guard_checks.fetch_add(1, Relaxed);
         m.ann_guard_expected.fetch_add(acc.expected, Relaxed);
         m.ann_guard_matched.fetch_add(acc.matched, Relaxed);
+        m.record_guard_recall(acc.mean());
         if acc.mean() < opts.min_recall {
             m.ann_guard_breaches.fetch_add(1, Relaxed);
         }

@@ -110,6 +110,24 @@ pub struct ServeMetrics {
     pub ann_guard_matched: AtomicU64,
     /// Guard checks whose recall fell below the configured floor.
     pub ann_guard_breaches: AtomicU64,
+    /// Cumulative µs the writer spent refreshing ANN indexes at epoch
+    /// publication (phase 1 of the publish barrier).
+    pub ann_publish_us: AtomicU64,
+    /// µs of the most recent epoch's ANN refresh (gauge).
+    pub ann_publish_last_us: AtomicU64,
+    /// Touched ids refreshed into the ANN indexes at the most recent epoch
+    /// (gauge; counts ids × groups actually re-linked, so it reflects the
+    /// real batch size the shared beam amortizes over).
+    pub ann_refresh_batch: AtomicU64,
+    /// `ef_search` currently in effect (gauge; moves under auto-tuning).
+    pub ann_ef_search: AtomicU64,
+    /// `ef_margin` currently in effect (gauge; moves under auto-tuning).
+    pub ann_ef_margin: AtomicU64,
+    /// Exponential moving average of guard-measured recall, scaled as
+    /// `1 + round(ewma · 1e6)` so 0 means "no guard check yet". Updated by
+    /// [`ServeMetrics::record_guard_recall`]; merged across shards by
+    /// worst-of (the shard closest to breaching defines the engine's view).
+    pub ann_recall_ewma_scaled: AtomicU64,
     /// Low-priority events shed by the admission layer.
     pub events_shed_low: AtomicU64,
     /// Normal-priority events shed by the admission layer.
@@ -182,6 +200,32 @@ impl ServeMetrics {
             .store(occupancy as u64, Ordering::Relaxed);
     }
 
+    /// Feeds one guard-measured recall observation into the moving average
+    /// (α = 1/8; the first observation seeds the average). Guard checks are
+    /// sparse — one in `guard_every` ANN answers — so a racing pair of
+    /// readers at worst loses one observation, which an advisory EWMA
+    /// tolerates by design.
+    pub fn record_guard_recall(&self, recall: f64) {
+        const ALPHA: f64 = 0.125;
+        let prev = self.ann_recall_ewma_scaled.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            recall
+        } else {
+            let prev = (prev - 1) as f64 / 1e6;
+            prev * (1.0 - ALPHA) + recall * ALPHA
+        };
+        let scaled = 1 + (next.clamp(0.0, 1.0) * 1e6).round() as u64;
+        self.ann_recall_ewma_scaled.store(scaled, Ordering::Relaxed);
+    }
+
+    /// The guard-recall moving average (1.0 until any guard check has run).
+    pub fn guard_recall_ewma(&self) -> f64 {
+        match self.ann_recall_ewma_scaled.load(Ordering::Relaxed) {
+            0 => 1.0,
+            v => (v - 1) as f64 / 1e6,
+        }
+    }
+
     /// Records a degradation-ladder transition to `level`, updating the
     /// gauge, lifetime max, and the escalation/de-escalation tallies.
     pub fn record_level(&self, level: u8) {
@@ -225,6 +269,22 @@ impl ServeMetrics {
         add(&self.ann_guard_expected, &other.ann_guard_expected);
         add(&self.ann_guard_matched, &other.ann_guard_matched);
         add(&self.ann_guard_breaches, &other.ann_guard_breaches);
+        add(&self.ann_publish_us, &other.ann_publish_us);
+        max(&self.ann_publish_last_us, &other.ann_publish_last_us);
+        max(&self.ann_refresh_batch, &other.ann_refresh_batch);
+        max(&self.ann_ef_search, &other.ann_ef_search);
+        max(&self.ann_ef_margin, &other.ann_ef_margin);
+        {
+            // Worst-of merge for the recall EWMA, skipping unset (0) shards:
+            // the shard closest to breaching defines the engine-level view.
+            let v = other.ann_recall_ewma_scaled.load(Ordering::Relaxed);
+            if v != 0 {
+                let cur = self.ann_recall_ewma_scaled.load(Ordering::Relaxed);
+                if cur == 0 || v < cur {
+                    self.ann_recall_ewma_scaled.store(v, Ordering::Relaxed);
+                }
+            }
+        }
         add(&self.events_shed_low, &other.events_shed_low);
         add(&self.events_shed_normal, &other.events_shed_normal);
         add(&self.events_shed_high, &other.events_shed_high);
@@ -275,6 +335,12 @@ impl ServeMetrics {
                 }
             },
             ann_guard_breaches: self.ann_guard_breaches.load(Ordering::Relaxed),
+            ann_publish_us: self.ann_publish_us.load(Ordering::Relaxed),
+            ann_publish_last_us: self.ann_publish_last_us.load(Ordering::Relaxed),
+            ann_refresh_batch: self.ann_refresh_batch.load(Ordering::Relaxed),
+            ann_ef_search: self.ann_ef_search.load(Ordering::Relaxed),
+            ann_ef_margin: self.ann_ef_margin.load(Ordering::Relaxed),
+            ann_recall_ewma: self.guard_recall_ewma(),
             events_shed_low: self.events_shed_low.load(Ordering::Relaxed),
             events_shed_normal: self.events_shed_normal.load(Ordering::Relaxed),
             events_shed_high: self.events_shed_high.load(Ordering::Relaxed),
@@ -338,6 +404,18 @@ pub struct MetricsReport {
     /// expected`; 1.0 when no guard check has run).
     pub ann_recall: f64,
     pub ann_guard_breaches: u64,
+    /// Cumulative µs spent refreshing ANN indexes at epoch publication.
+    pub ann_publish_us: u64,
+    /// µs of the most recent epoch's ANN refresh.
+    pub ann_publish_last_us: u64,
+    /// Ids re-linked into the ANN indexes at the most recent epoch.
+    pub ann_refresh_batch: u64,
+    /// `ef_search` in effect at report time (0 when ANN is disabled).
+    pub ann_ef_search: u64,
+    /// `ef_margin` in effect at report time.
+    pub ann_ef_margin: u64,
+    /// Guard-recall moving average (α = 1/8; 1.0 until any guard check).
+    pub ann_recall_ewma: f64,
     pub events_shed_low: u64,
     pub events_shed_normal: u64,
     pub events_shed_high: u64,
@@ -400,6 +478,12 @@ impl MetricsReport {
         let _ = write!(s, "\"ann_guard_checks\":{},", self.ann_guard_checks);
         let _ = write!(s, "\"ann_recall\":{:.6},", self.ann_recall);
         let _ = write!(s, "\"ann_guard_breaches\":{},", self.ann_guard_breaches);
+        let _ = write!(s, "\"ann_publish_us\":{},", self.ann_publish_us);
+        let _ = write!(s, "\"ann_publish_last_us\":{},", self.ann_publish_last_us);
+        let _ = write!(s, "\"ann_refresh_batch\":{},", self.ann_refresh_batch);
+        let _ = write!(s, "\"ann_ef_search\":{},", self.ann_ef_search);
+        let _ = write!(s, "\"ann_ef_margin\":{},", self.ann_ef_margin);
+        let _ = write!(s, "\"ann_recall_ewma\":{:.6},", self.ann_recall_ewma);
         let _ = write!(s, "\"events_shed_low\":{},", self.events_shed_low);
         let _ = write!(s, "\"events_shed_normal\":{},", self.events_shed_normal);
         let _ = write!(s, "\"events_shed_high\":{},", self.events_shed_high);
@@ -472,11 +556,20 @@ impl std::fmt::Display for MetricsReport {
                 self.uncached_p99_us,
             )?;
         }
-        if self.ann_queries > 0 {
+        if self.ann_queries > 0 || self.ann_ef_search > 0 {
             write!(
                 f,
-                "\nann:    {} ann queries, {} guard checks, recall {:.4}, {} breaches",
-                self.ann_queries, self.ann_guard_checks, self.ann_recall, self.ann_guard_breaches,
+                "\nann:    {} ann queries, {} guard checks, recall {:.4} (ewma {:.4}), \
+                 {} breaches, ef {}+{}, last refresh {} ids in {} µs",
+                self.ann_queries,
+                self.ann_guard_checks,
+                self.ann_recall,
+                self.ann_recall_ewma,
+                self.ann_guard_breaches,
+                self.ann_ef_search,
+                self.ann_ef_margin,
+                self.ann_refresh_batch,
+                self.ann_publish_last_us,
             )?;
         }
         if self.events_shed() > 0 || self.events_resampled > 0 || self.degradation_max > 0 {
@@ -711,6 +804,54 @@ mod tests {
         // No repl line while replication has never acted.
         let quiet = ServeMetrics::default().report(Duration::ZERO).to_string();
         assert!(!quiet.contains("repl:"), "{quiet}");
+    }
+
+    #[test]
+    fn ann_observability_feeds_the_report_json_and_merge() {
+        let m = ServeMetrics::default();
+        // EWMA: first observation seeds, later ones blend at α = 1/8.
+        assert_eq!(m.guard_recall_ewma(), 1.0);
+        m.record_guard_recall(0.8);
+        assert!((m.guard_recall_ewma() - 0.8).abs() < 1e-5);
+        m.record_guard_recall(1.0);
+        let expect = 0.8 * 0.875 + 1.0 * 0.125;
+        assert!((m.guard_recall_ewma() - expect).abs() < 1e-5);
+        m.ann_queries.store(10, Ordering::Relaxed);
+        m.ann_publish_us.store(340, Ordering::Relaxed);
+        m.ann_publish_last_us.store(120, Ordering::Relaxed);
+        m.ann_refresh_batch.store(37, Ordering::Relaxed);
+        m.ann_ef_search.store(96, Ordering::Relaxed);
+        m.ann_ef_margin.store(32, Ordering::Relaxed);
+        let r = m.report(Duration::from_secs(1));
+        assert_eq!(r.ann_publish_us, 340);
+        assert_eq!(r.ann_publish_last_us, 120);
+        assert_eq!(r.ann_refresh_batch, 37);
+        assert_eq!(r.ann_ef_search, 96);
+        assert_eq!(r.ann_ef_margin, 32);
+        assert!((r.ann_recall_ewma - expect).abs() < 1e-5);
+        let json = r.to_json();
+        assert!(json.contains("\"ann_publish_us\":340,"), "{json}");
+        assert!(json.contains("\"ann_refresh_batch\":37,"), "{json}");
+        assert!(json.contains("\"ann_ef_search\":96,"), "{json}");
+        assert!(json.contains("\"ann_recall_ewma\":"), "{json}");
+        let text = r.to_string();
+        assert!(text.contains("ef 96+32"), "{text}");
+        assert!(text.contains("last refresh 37 ids in 120 µs"), "{text}");
+        // Merge: counters add, gauges take the max, EWMA takes the worst
+        // shard's value while skipping shards with no guard data.
+        let other = ServeMetrics::default();
+        other.ann_publish_us.store(60, Ordering::Relaxed);
+        other.ann_ef_search.store(64, Ordering::Relaxed);
+        other.record_guard_recall(0.5);
+        let merged = ServeMetrics::default();
+        merged.merge_from(&m);
+        merged.merge_from(&other);
+        assert_eq!(merged.ann_publish_us.load(Ordering::Relaxed), 400);
+        assert_eq!(merged.ann_ef_search.load(Ordering::Relaxed), 96);
+        assert!((merged.guard_recall_ewma() - 0.5).abs() < 1e-5);
+        // A shard with no guard data never drags the merge to "unset".
+        merged.merge_from(&ServeMetrics::default());
+        assert!((merged.guard_recall_ewma() - 0.5).abs() < 1e-5);
     }
 
     #[test]

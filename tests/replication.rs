@@ -181,6 +181,10 @@ fn ann_segment_replica_matches_writer_ann_answers() {
 
     let mut replica = Replica::new(d.prototype.clone(), Some(AnnParams::default()));
     replay_segment(&path, &mut replica).unwrap();
+    // The segment head is the epoch-0 baseline, which carries the writer's
+    // serialized index set: the replica must adopt it, not rebuild.
+    assert_eq!(replica.counters.index_adoptions, 1, "epoch-0 index carry");
+    assert_eq!(replica.counters.index_rebuilds, 0);
     assert_replica_matches(&mut replica, &pairs, 10, &expect);
     let _ = std::fs::remove_file(&path);
 }
@@ -283,6 +287,10 @@ fn tcp_replica_with_ann_matches_writer_from_epoch_zero() {
 
     assert_eq!(replica.counters.baselines_applied, 1);
     assert_eq!(replica.counters.resyncs, 0);
+    // Attached at epoch 0, so the baseline carried the writer's serialized
+    // indexes and the replica adopted them bit-identically.
+    assert_eq!(replica.counters.index_adoptions, 1, "epoch-0 index carry");
+    assert_eq!(replica.counters.index_rebuilds, 0);
     let mut replica = replica;
     assert_replica_matches(&mut replica, &pairs, 10, &expect);
 }
