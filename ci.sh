@@ -165,6 +165,62 @@ if grep -q "rebuilding indexes" "$ann_log2"; then
 fi
 rm -rf "$ann_data" "$ann_dir" "$ann_log1" "$ann_log2"
 
+# Streaming-ingestion smoke: generate a dump, replay it twice — once
+# materialised (--data), once streamed off disk (--stream-tsv) — and the
+# probe digests must be bit-identical (DESIGN.md §16 contract). The
+# validation pass (`supa ingest`) must report zero malformed lines.
+ing_data=$(mktemp --suffix=.tsv)
+ing_log=$(mktemp)
+cargo run --release -p supa-serve --bin supa -- generate \
+  --dataset taobao --scale 0.02 --seed 7 --out "$ing_data"
+ing_stats=$(cargo run --release -p supa-serve --bin supa -- ingest \
+  --data "$ing_data")
+printf '%s' "$ing_stats" | grep -q " 0 malformed" || {
+  printf '%s\n' "$ing_stats" >&2
+  echo "ci: supa ingest found malformed lines in a generated dump" >&2
+  exit 1
+}
+mat_digest=$(cargo run --release -p supa-serve --bin supa -- serve \
+  --data "$ing_data" --readers 2 --queries 100 --seed 7 | digest_of)
+stream_digest=$(cargo run --release -p supa-serve --bin supa -- serve \
+  --stream-tsv "$ing_data" --readers 2 --queries 100 --seed 7 | digest_of)
+[ -n "$mat_digest" ] || { echo "ci: no probe digest in materialised serve output" >&2; exit 1; }
+[ "$mat_digest" = "$stream_digest" ] || {
+  echo "ci: streamed replay diverged from load_tsv ($mat_digest vs $stream_digest)" >&2
+  exit 1
+}
+
+# Prometheus smoke: a streamed serve run exposing --prom-addr must answer
+# one real scrape with a supa_* text exposition; --prom-wait 1 holds the
+# run open until the scrape lands, so the background job exiting zero
+# means the scrape was served.
+prom_port=$(( 20000 + RANDOM % 20000 ))
+cargo run --release -p supa-serve --bin supa -- serve \
+  --stream-tsv "$ing_data" --readers 1 --queries 50 --seed 7 \
+  --prom-addr 127.0.0.1:"$prom_port" --prom-wait 1 > "$ing_log" 2>&1 &
+prom_pid=$!
+scrape=""
+for _ in $(seq 1 200); do
+  if scrape=$(exec 2>/dev/null 3<>/dev/tcp/127.0.0.1/"$prom_port" \
+      && printf 'GET /metrics HTTP/1.1\r\nHost: ci\r\n\r\n' >&3 \
+      && cat <&3; exec 3<&- 2>/dev/null); then
+    if printf '%s' "$scrape" | grep -q "supa_events_applied_total"; then
+      break
+    fi
+  fi
+  sleep 0.1
+done
+wait "$prom_pid" || {
+  cat "$ing_log" >&2
+  echo "ci: prom-gated serve run exited non-zero" >&2
+  exit 1
+}
+printf '%s' "$scrape" | grep -q "# TYPE supa_queries_total counter" || {
+  echo "ci: prometheus scrape missing the supa_* exposition" >&2
+  exit 1
+}
+rm -f "$ing_data" "$ing_log"
+
 # Kernel timing gate: ns-per-call for the vector kernels plus the
 # adjacency-scan and whole-train-event macro benches, diffed against the
 # checked-in baseline. Fails on a >25% regression vs baseline or on the

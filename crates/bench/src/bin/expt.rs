@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! expt [--scale F] [--seed N] [--quick] <table5|table6|fig4|fig5|fig6|table7|table8|fig7|fig8|fig9|sig|coldstart|throughput|shardkey|overload|replication|all>
+//! expt [--scale F] [--seed N] [--quick] <table5|table6|fig4|fig5|fig6|table7|table8|fig7|fig8|fig9|sig|coldstart|throughput|shardkey|overload|replication|ingest|all>
 //! ```
 //!
 //! Results print to stdout and are saved as TSV under `target/experiments/`.
@@ -40,7 +40,7 @@ fn main() {
         eprintln!(
             "usage: expt [--scale F] [--seed N] [--quick] \
              <table5|table6|fig4|fig5|fig6|table7|table8|fig7|fig8|fig9|sig|coldstart|\
-             throughput|shardkey|overload|replication|all>"
+             throughput|shardkey|overload|replication|ingest|all>"
         );
         std::process::exit(2);
     });
@@ -65,6 +65,7 @@ fn main() {
         "shardkey" => experiments::shardkey(&cfg),
         "overload" => experiments::overload(&cfg),
         "replication" => experiments::replication(&cfg),
+        "ingest" => experiments::ingest(&cfg),
         "all" => experiments::run_all(&cfg),
         other => {
             eprintln!("unknown experiment '{other}'");

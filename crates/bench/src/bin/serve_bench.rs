@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! serve_bench [--dataset taobao] [--scale 0.02] [--events 0(=all)]
+//!             [--stream-tsv FILE] [--interner-budget 0(=default)]
 //!             [--readers 4] [--queries 500] [--top 10] [--batch 64]
 //!             [--dim 16] [--seed 7] [--workers 1] [--shards 1] [--verify]
 //!             [--ann] [--ef-search 64] [--guard-every 64] [--min-recall 0.95]
@@ -16,6 +17,12 @@
 //!             [--overload-factor 2.0] [--max-p99-us 0(=unbounded)]
 //!             [--expect-shed]
 //! ```
+//!
+//! `--stream-tsv FILE` switches the closed-loop bench to file replay: the
+//! dump's edges are streamed straight off disk through `supa-ingest`
+//! (never materialised in memory) instead of generating a synthetic
+//! dataset. A well-formed dump written by `supa generate` produces the
+//! same probe digest either way.
 //!
 //! The `events offered / admitted / applied` counts, epoch count, and probe
 //! digest are deterministic for a fixed seed; QPS and latency quantiles are
@@ -46,9 +53,10 @@ use std::time::Instant;
 
 use supa::{InsLearnConfig, Supa, SupaConfig};
 use supa_datasets::{all_datasets, Dataset};
+use supa_ingest::{scan_tsv, IngestOptions};
 use supa_serve::{
-    run_closed_loop, run_open_loop, AdmissionOptions, AnnOptions, LoadConfig, OpenLoopConfig,
-    ServeConfig, ShedPolicy,
+    run_closed_loop, run_open_loop, run_streamed_closed_loop, AdmissionOptions, AnnOptions,
+    LoadConfig, OpenLoopConfig, ServeConfig, ShedPolicy,
 };
 
 struct Args {
@@ -72,6 +80,8 @@ struct Args {
     sample_k: u32,
     queue: usize,
     metrics_dump: Option<std::path::PathBuf>,
+    stream_tsv: Option<std::path::PathBuf>,
+    interner_budget: usize,
     open_loop: bool,
     arrival_rate: f64,
     overload_factor: f64,
@@ -105,6 +115,8 @@ fn parse_args() -> Result<Args, String> {
         sample_k: AdmissionOptions::default().sample_k,
         queue: 0,
         metrics_dump: None,
+        stream_tsv: None,
+        interner_budget: 0,
         open_loop: false,
         arrival_rate: 0.0,
         overload_factor: 2.0,
@@ -149,6 +161,8 @@ fn parse_args() -> Result<Args, String> {
             "--sample-k" => a.sample_k = num(&flag, &v)?,
             "--queue" => a.queue = num(&flag, &v)?,
             "--metrics-dump" => a.metrics_dump = Some(v.clone().into()),
+            "--stream-tsv" => a.stream_tsv = Some(v.clone().into()),
+            "--interner-budget" => a.interner_budget = num(&flag, &v)?,
             "--arrival-rate" => a.arrival_rate = num(&flag, &v)?,
             "--overload-factor" => a.overload_factor = num(&flag, &v)?,
             "--max-p99-us" => a.max_p99_us = num(&flag, &v)?,
@@ -205,6 +219,7 @@ fn load_config(a: &Args) -> LoadConfig {
         warmup_per_reader: 8,
         verify: a.verify,
         metrics_dump: a.metrics_dump.clone(),
+        ..LoadConfig::default()
     }
 }
 
@@ -258,7 +273,61 @@ fn run_closed(d: &Dataset, a: &Args) -> Result<(), String> {
     let report =
         run_closed_loop(d, model, serve_config(a), load_config(a)).map_err(|e| e.to_string())?;
     println!("{report}");
+    gate_closed(&report, a)
+}
 
+/// Closed-loop bench against a TSV dump on disk: the dump is scanned once
+/// (validation + node universe), then its edges are streamed straight into
+/// the engine's ingest lanes without ever being materialised.
+fn run_streamed(path: &std::path::Path, a: &Args) -> Result<(), String> {
+    let opts = IngestOptions {
+        interner_budget: if a.interner_budget > 0 {
+            a.interner_budget
+        } else {
+            IngestOptions::default().interner_budget
+        },
+        ..IngestOptions::default()
+    };
+    let scan = scan_tsv(path, &opts).map_err(|e| e.to_string())?;
+    let stats = scan.stats;
+    let (d, mut stream) = scan.into_stream().map_err(|e| e.to_string())?;
+    if d.metapaths.is_empty() {
+        return Err(format!(
+            "{}: dump declares no metapaths; serve_bench cannot mine them from a stream",
+            path.display()
+        ));
+    }
+    let model = build_model(&d, a)?;
+    println!(
+        "serve_bench: {} ({} streamed events, {} interned nodes), {} readers × {} queries, \
+         top-{}, chunk {}, seed {}, {}",
+        path.display(),
+        stats.edges,
+        stats.interner.interned,
+        a.readers,
+        a.queries,
+        a.top,
+        a.batch,
+        a.seed,
+        a.shed_policy,
+    );
+    let report = run_streamed_closed_loop(&d, model, serve_config(a), load_config(a), &mut stream)
+        .map_err(|e| e.to_string())?;
+    println!("{report}");
+    let end = stream.stats();
+    println!(
+        "stream: {} lines ({} B), {} edges, {} malformed, interner peak {} B ({} spills)",
+        end.lines,
+        end.bytes,
+        end.edges,
+        end.malformed,
+        end.interner.peak_mem_bytes,
+        end.interner.spills,
+    );
+    gate_closed(&report, a)
+}
+
+fn gate_closed(report: &supa_serve::LoadReport, a: &Args) -> Result<(), String> {
     if report.metrics.torn_reads > 0 {
         return Err(format!(
             "{} torn reads — epoch consistency violated",
@@ -349,6 +418,12 @@ fn run_open(d: &Dataset, a: &Args) -> Result<(), String> {
 
 fn run() -> Result<(), String> {
     let a = parse_args()?;
+    if let Some(path) = a.stream_tsv.clone() {
+        if a.open_loop {
+            return Err("--stream-tsv drives the closed loop; drop --open-loop".into());
+        }
+        return run_streamed(&path, &a);
+    }
     let mut d = all_datasets(a.scale, a.seed)
         .into_iter()
         .find(|d| {

@@ -806,6 +806,7 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
                 warmup_per_reader: 8,
                 verify: false,
                 metrics_dump: None,
+                ..LoadConfig::default()
             },
         )
         .expect("closed-loop serving");
@@ -867,6 +868,7 @@ pub fn throughput(cfg: &HarnessConfig) -> Vec<Table> {
                 warmup_per_reader: 8,
                 verify: false,
                 metrics_dump: None,
+                ..LoadConfig::default()
             },
         )
         .expect("sharded closed-loop serving");
@@ -1821,6 +1823,152 @@ pub fn replication(cfg: &HarnessConfig) -> Vec<Table> {
         Err(e) => eprintln!("[replication] could not write {}: {e}", path.display()),
     }
     t.save_tsv("replication.tsv").ok();
+    vec![t]
+}
+
+/// Streaming-ingestion benchmark: writes a generator dataset to a TSV dump
+/// on disk, then replays that same dump through the materialised path
+/// (`load_tsv` → closed loop) and the streaming path (`scan_tsv` →
+/// `run_streamed_closed_loop`), asserting the probe digests are
+/// bit-identical. Emits `BENCH_ingest.json` at the repo root with both
+/// legs' events/s and the streaming path's bounded-memory proxy: the
+/// interner's peak resident bytes plus the ingest-queue bound, against the
+/// materialised leg's O(events) edge buffer.
+pub fn ingest(cfg: &HarnessConfig) -> Vec<Table> {
+    use std::time::Instant;
+    use supa_graph::TemporalEdge;
+    use supa_ingest::{scan_tsv, IngestOptions};
+    use supa_serve::{run_closed_loop, run_streamed_closed_loop, LoadConfig, ServeConfig};
+
+    let mut d = make_dataset("Taobao", cfg);
+    if cfg.quick {
+        d.edges.truncate(2_000);
+    }
+    let dump = std::env::temp_dir().join(format!("supa-bench-ingest-{}.tsv", cfg.seed));
+    // The streamed dataset is named after the dump's file stem, and the
+    // model builder keys a tweak off the dataset name — give the
+    // materialised leg the same name so both legs build the same model.
+    let stem = dump
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .expect("utf-8 stem")
+        .to_string();
+    {
+        let f = std::fs::File::create(&dump).expect("create dump");
+        let mut w = std::io::BufWriter::new(f);
+        supa_datasets::save_tsv(&d, &mut w).expect("write dump");
+    }
+    let dump_bytes = std::fs::metadata(&dump).expect("dump metadata").len();
+    let serve = || ServeConfig {
+        train_batch: 64,
+        ..ServeConfig::default()
+    };
+    let load = || LoadConfig {
+        readers: 2,
+        queries_per_reader: if cfg.quick { 100 } else { 400 },
+        seed: cfg.seed,
+        verify: false,
+        ..LoadConfig::default()
+    };
+
+    // --- materialised leg: load_tsv buffers every edge, then replays -----
+    let t0 = Instant::now();
+    let md = {
+        let f = std::fs::File::open(&dump).expect("open dump");
+        supa_datasets::load_tsv(&stem, std::io::BufReader::new(f)).expect("load_tsv")
+    };
+    let load_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mrep =
+        run_closed_loop(&md, make_supa(&md, cfg), serve(), load()).expect("materialised replay");
+    let mat_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let mat_eps = mrep.events_offered as f64 / (mat_secs + load_secs);
+
+    // --- streamed leg: edges go disk → ingest lanes, never a Vec ---------
+    let t0 = Instant::now();
+    let scan = scan_tsv(&dump, &IngestOptions::default()).expect("scan dump");
+    let scan_secs = t0.elapsed().as_secs_f64();
+    let (sd, mut stream) = scan.into_stream().expect("open stream");
+    let t0 = Instant::now();
+    let srep = run_streamed_closed_loop(&sd, make_supa(&sd, cfg), serve(), load(), &mut stream)
+        .expect("streamed replay");
+    let stream_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let stream_eps = srep.events_offered as f64 / (stream_secs + scan_secs);
+    let st = stream.stats();
+    let _ = std::fs::remove_file(&dump);
+
+    assert_eq!(
+        mrep.digest, srep.digest,
+        "streamed replay must reproduce the materialised probe digest"
+    );
+    assert_eq!(mrep.events_offered, srep.events_offered, "same event count");
+
+    let edge_bytes = (md.edges.len() * std::mem::size_of::<TemporalEdge>()) as u64;
+    let queue_bytes =
+        (ServeConfig::default().queue_capacity * std::mem::size_of::<TemporalEdge>()) as u64;
+    let stream_resident = st.interner.peak_mem_bytes + queue_bytes;
+    eprintln!(
+        "[ingest] {} events ({dump_bytes} B on disk): materialised {mat_eps:.0} ev/s \
+         (load {load_secs:.2}s + replay {mat_secs:.2}s, {edge_bytes} B buffered), \
+         streamed {stream_eps:.0} ev/s (scan {scan_secs:.2}s + replay {stream_secs:.2}s, \
+         {stream_resident} B resident), digest {:#018x}",
+        srep.events_offered, srep.digest
+    );
+
+    let mut t = Table::new(
+        "Streaming ingestion — materialised vs streamed replay of one dump",
+        vec![
+            "leg".into(),
+            "events/s".into(),
+            "resident bytes".into(),
+            "digest".into(),
+        ],
+    );
+    t.push(vec![
+        "materialised".into(),
+        format!("{mat_eps:.0}"),
+        edge_bytes.to_string(),
+        format!("{:#018x}", mrep.digest),
+    ]);
+    t.push(vec![
+        "streamed".into(),
+        format!("{stream_eps:.0}"),
+        stream_resident.to_string(),
+        format!("{:#018x}", srep.digest),
+    ]);
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"ingest\",\n  \"dataset\": \"{}\",\n  \
+         \"scale\": {},\n  \"seed\": {},\n  \"quick\": {},\n  \
+         \"events\": {},\n  \"dump_bytes\": {dump_bytes},\n  \
+         \"digest\": \"{:#018x}\",\n  \"digests_equal\": true,\n  \
+         \"materialised\": {{\"events_per_s\": {mat_eps:.1}, \
+         \"load_secs\": {load_secs:.3}, \"replay_secs\": {mat_secs:.3}, \
+         \"edge_buffer_bytes\": {edge_bytes}}},\n  \
+         \"streamed\": {{\"events_per_s\": {stream_eps:.1}, \
+         \"scan_secs\": {scan_secs:.3}, \"replay_secs\": {stream_secs:.3}, \
+         \"resident_bytes\": {stream_resident}, \
+         \"interner_peak_bytes\": {}, \"interner_spills\": {}, \
+         \"queue_bound_bytes\": {queue_bytes}, \
+         \"lines\": {}, \"malformed\": {}}}\n}}\n",
+        d.name,
+        cfg.scale,
+        cfg.seed,
+        cfg.quick,
+        srep.events_offered,
+        srep.digest,
+        st.interner.peak_mem_bytes,
+        st.interner.spills,
+        st.lines,
+        st.malformed,
+    );
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_ingest.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[ingest] wrote {}", path.display()),
+        Err(e) => eprintln!("[ingest] could not write {}: {e}", path.display()),
+    }
+    t.save_tsv("ingest.tsv").ok();
     vec![t]
 }
 

@@ -30,4 +30,4 @@ pub mod loader;
 pub use catalog::{all_datasets, amazon, kuaishou, lastfm, movielens, taobao, uci};
 pub use dataset::Dataset;
 pub use generator::{BipartiteConfig, GeneratorEngine};
-pub use loader::{load_tsv, save_tsv};
+pub use loader::{load_tsv, save_header, save_tsv, write_edge_line, LoadError, LoadErrorKind};

@@ -16,6 +16,11 @@
 //! `metapath` lines (optional) declare multiplex metapath schemas as an
 //! alternating `type rel[,rel…] type …` sequence; `node` lines must precede
 //! the edges that reference them and use dense, in-order ids.
+//!
+//! Malformed input surfaces as a [`LoadError`]: the 1-based line number plus
+//! a matchable [`LoadErrorKind`], shared by this materialising loader and by
+//! `supa-ingest`'s streaming parser so CLI exit paths and tests can match on
+//! the kind instead of grepping strings.
 
 use std::io::{BufRead, Write};
 
@@ -23,151 +28,267 @@ use supa_graph::{Dmhg, GraphSchema, MetapathSchema, NodeId, RelationSet, Tempora
 
 use crate::dataset::Dataset;
 
+/// A TSV parse failure: where (1-based line number) and what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadError {
+    /// 1-based line number of the offending line (0 when not line-specific).
+    pub line: usize,
+    /// What went wrong, matchable in tests and CLI exit paths.
+    pub kind: LoadErrorKind,
+}
+
+impl LoadError {
+    /// Builds an error pinned to a 1-based line number.
+    pub fn at(line: usize, kind: LoadErrorKind) -> Self {
+        LoadError { line, kind }
+    }
+}
+
+/// The matchable failure classes of the TSV parsers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LoadErrorKind {
+    /// The underlying reader failed.
+    Io(String),
+    /// A line that starts with none of the known directives.
+    UnknownDirective(String),
+    /// A `nodetype`/`relation` line after the first `node` line.
+    SchemaAfterNodes,
+    /// A directive line ended before a required field.
+    MissingField(&'static str),
+    /// A `nodetype`/`relation`/`metapath` declared twice.
+    Duplicate(&'static str),
+    /// A name that was never declared (`what` is "node type", "src type",
+    /// "dst type", or "relation").
+    UnknownName { what: &'static str, name: String },
+    /// A field that failed to parse (`what` is "node id", "src", "dst", or
+    /// "timestamp").
+    BadField { what: &'static str, token: String },
+    /// A `node` line whose id is not the next dense id.
+    NonDenseNodeId { expected: u32, got: u32 },
+    /// An `edge` line before any `node` line.
+    EdgeBeforeNodes,
+    /// An `edge` endpoint beyond the declared node universe.
+    UndeclaredEndpoint { node: u32, num_nodes: usize },
+    /// Extra tokens after a directive's declared fields — trailing garbage
+    /// is rejected by name, never silently dropped.
+    TrailingFields {
+        directive: &'static str,
+        extra: String,
+    },
+    /// A graph-level rejection (endpoint type mismatch, invalid timestamp,
+    /// node capacity), carried as the `GraphError` text.
+    Graph(String),
+    /// A `metapath` line that is not an alternating `type rel type …` list.
+    MetapathShape,
+    /// An undeclared name inside a `metapath` line.
+    UnknownMetapathName { what: &'static str, name: String },
+    /// A structurally invalid metapath schema (arity, endpoint types).
+    Metapath(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        match &self.kind {
+            LoadErrorKind::Io(e) => write!(f, "io error: {e}"),
+            LoadErrorKind::UnknownDirective(line) => {
+                write!(f, "expected nodetype/relation/metapath/node/edge: {line}")
+            }
+            LoadErrorKind::SchemaAfterNodes => write!(f, "schema lines must precede nodes"),
+            LoadErrorKind::MissingField(what) => write!(f, "missing {what}"),
+            LoadErrorKind::Duplicate(what) => write!(f, "duplicate {what}"),
+            LoadErrorKind::UnknownName { what, name } => write!(f, "unknown {what} '{name}'"),
+            LoadErrorKind::BadField { what, token } => write!(f, "bad {what} '{token}'"),
+            LoadErrorKind::NonDenseNodeId { expected, got } => write!(
+                f,
+                "node ids must be dense and in order (expected {expected}, got {got})"
+            ),
+            LoadErrorKind::EdgeBeforeNodes => write!(f, "edge before any node"),
+            LoadErrorKind::UndeclaredEndpoint { node, num_nodes } => write!(
+                f,
+                "edge references undeclared node {node} ({num_nodes} nodes declared)"
+            ),
+            LoadErrorKind::TrailingFields { directive, extra } => {
+                write!(f, "trailing fields after {directive} line: '{extra}'")
+            }
+            LoadErrorKind::Graph(msg) => write!(f, "{msg}"),
+            LoadErrorKind::MetapathShape => {
+                write!(f, "metapath needs alternating type rel type …")
+            }
+            LoadErrorKind::UnknownMetapathName { what, name } => {
+                write!(f, "unknown {what} in metapath '{name}'")
+            }
+            LoadErrorKind::Metapath(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Fails with [`LoadErrorKind::TrailingFields`] if the directive's field
+/// iterator still has tokens left after every declared field was consumed.
+fn reject_trailing<'a>(
+    mut parts: impl Iterator<Item = &'a str>,
+    directive: &'static str,
+    lineno: usize,
+) -> Result<(), LoadError> {
+    let extra: Vec<&str> = parts.by_ref().collect();
+    if extra.is_empty() {
+        Ok(())
+    } else {
+        Err(LoadError::at(
+            lineno,
+            LoadErrorKind::TrailingFields {
+                directive,
+                extra: extra.join(" "),
+            },
+        ))
+    }
+}
+
 /// Parses a self-describing dataset from TSV lines.
 ///
-/// Returns an error string describing the first malformed line.
-pub fn load_tsv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, String> {
+/// Returns a [`LoadError`] describing the first malformed line.
+pub fn load_tsv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, LoadError> {
     let mut schema = GraphSchema::new();
     let mut graph: Option<Dmhg> = None;
     let mut edges: Vec<TemporalEdge> = Vec::new();
     let mut metapath_specs: Vec<(usize, Vec<String>)> = Vec::new();
 
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| format!("line {}: io error: {e}", lineno + 1))?;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| LoadError::at(lineno, LoadErrorKind::Io(e.to_string())))?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let err = |msg: &str| format!("line {}: {msg}: {line}", lineno + 1);
+        let err = |kind: LoadErrorKind| LoadError::at(lineno, kind);
         match parts.next() {
             Some("nodetype") => {
                 if graph.is_some() {
-                    return Err(err("schema lines must precede nodes"));
+                    return Err(err(LoadErrorKind::SchemaAfterNodes));
                 }
-                let ty = parts.next().ok_or_else(|| err("missing type name"))?;
+                let ty = parts
+                    .next()
+                    .ok_or_else(|| err(LoadErrorKind::MissingField("type name")))?;
                 if schema.node_type_by_name(ty).is_some() {
-                    return Err(err("duplicate node type"));
+                    return Err(err(LoadErrorKind::Duplicate("node type")));
                 }
                 schema.add_node_type(ty);
+                reject_trailing(parts, "nodetype", lineno)?;
             }
             Some("relation") => {
                 if graph.is_some() {
-                    return Err(err("schema lines must precede nodes"));
+                    return Err(err(LoadErrorKind::SchemaAfterNodes));
                 }
-                let rel = parts.next().ok_or_else(|| err("missing relation name"))?;
-                let src = parts.next().ok_or_else(|| err("missing src type"))?;
-                let dst = parts.next().ok_or_else(|| err("missing dst type"))?;
+                let rel = parts
+                    .next()
+                    .ok_or_else(|| err(LoadErrorKind::MissingField("relation name")))?;
+                let src = parts
+                    .next()
+                    .ok_or_else(|| err(LoadErrorKind::MissingField("src type")))?;
+                let dst = parts
+                    .next()
+                    .ok_or_else(|| err(LoadErrorKind::MissingField("dst type")))?;
                 if schema.relation_by_name(rel).is_some() {
-                    return Err(err("duplicate relation"));
+                    return Err(err(LoadErrorKind::Duplicate("relation")));
                 }
-                let src = schema
-                    .node_type_by_name(src)
-                    .ok_or_else(|| err("unknown src type"))?;
-                let dst = schema
-                    .node_type_by_name(dst)
-                    .ok_or_else(|| err("unknown dst type"))?;
-                schema.add_relation(rel, src, dst);
+                let src = schema.node_type_by_name(src).ok_or_else(|| {
+                    err(LoadErrorKind::UnknownName {
+                        what: "src type",
+                        name: src.to_string(),
+                    })
+                })?;
+                let dst = schema.node_type_by_name(dst).ok_or_else(|| {
+                    err(LoadErrorKind::UnknownName {
+                        what: "dst type",
+                        name: dst.to_string(),
+                    })
+                })?;
+                let rel = rel.to_string();
+                schema.add_relation(&rel, src, dst);
+                reject_trailing(parts, "relation", lineno)?;
             }
             Some("metapath") => {
                 // Resolved after the schema is final.
                 let tokens: Vec<String> = parts.map(str::to_string).collect();
                 if metapath_specs.iter().any(|(_, prev)| *prev == tokens) {
-                    return Err(err("duplicate metapath"));
+                    return Err(err(LoadErrorKind::Duplicate("metapath")));
                 }
-                metapath_specs.push((lineno + 1, tokens));
+                metapath_specs.push((lineno, tokens));
             }
             Some("node") => {
                 let g = graph.get_or_insert_with(|| Dmhg::new(schema.clone()));
-                let id: u32 = parts
+                let id_tok = parts
                     .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| err("bad node id"))?;
-                let ty_name = parts.next().ok_or_else(|| err("missing node type"))?;
-                let ty = g
-                    .schema()
-                    .node_type_by_name(ty_name)
-                    .ok_or_else(|| err("unknown node type"))?;
-                let assigned = g.try_add_node(ty).map_err(|e| err(&e.to_string()))?;
+                    .ok_or_else(|| err(LoadErrorKind::MissingField("node id")))?;
+                let id: u32 = id_tok.parse().map_err(|_| {
+                    err(LoadErrorKind::BadField {
+                        what: "node id",
+                        token: id_tok.to_string(),
+                    })
+                })?;
+                let ty_name = parts
+                    .next()
+                    .ok_or_else(|| err(LoadErrorKind::MissingField("node type")))?;
+                let ty = g.schema().node_type_by_name(ty_name).ok_or_else(|| {
+                    err(LoadErrorKind::UnknownName {
+                        what: "node type",
+                        name: ty_name.to_string(),
+                    })
+                })?;
+                let assigned = g
+                    .try_add_node(ty)
+                    .map_err(|e| err(LoadErrorKind::Graph(e.to_string())))?;
                 if assigned != NodeId(id) {
-                    return Err(err("node ids must be dense and in order"));
+                    return Err(err(LoadErrorKind::NonDenseNodeId {
+                        expected: assigned.0,
+                        got: id,
+                    }));
                 }
+                reject_trailing(parts, "node", lineno)?;
             }
             Some("edge") => {
-                let g = graph.as_ref().ok_or_else(|| err("edge before any node"))?;
-                let src: u32 = parts
+                let g = graph
+                    .as_ref()
+                    .ok_or_else(|| err(LoadErrorKind::EdgeBeforeNodes))?;
+                let src = parse_endpoint(parts.next(), "src", lineno)?;
+                let dst = parse_endpoint(parts.next(), "dst", lineno)?;
+                let rel_name = parts
                     .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| err("bad src"))?;
-                let dst: u32 = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| err("bad dst"))?;
-                let rel_name = parts.next().ok_or_else(|| err("missing relation"))?;
-                let rel = g
-                    .schema()
-                    .relation_by_name(rel_name)
-                    .ok_or_else(|| err("unknown relation"))?;
-                let t: f64 = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| err("bad timestamp"))?;
-                // "nan"/"inf"/negatives parse as valid f64 but violate the
-                // paper's t ∈ ℝ⁺; reject here so NaN never reaches training.
-                if !t.is_finite() || t < 0.0 {
-                    return Err(err(&supa_graph::GraphError::InvalidTimestamp(t).to_string()));
-                }
-                if src as usize >= g.num_nodes() || dst as usize >= g.num_nodes() {
-                    return Err(err("edge references undeclared node"));
+                    .ok_or_else(|| err(LoadErrorKind::MissingField("relation")))?;
+                let rel = g.schema().relation_by_name(rel_name).ok_or_else(|| {
+                    err(LoadErrorKind::UnknownName {
+                        what: "relation",
+                        name: rel_name.to_string(),
+                    })
+                })?;
+                let t = parse_timestamp(parts.next(), lineno)?;
+                for endpoint in [src, dst] {
+                    if endpoint as usize >= g.num_nodes() {
+                        return Err(err(LoadErrorKind::UndeclaredEndpoint {
+                            node: endpoint,
+                            num_nodes: g.num_nodes(),
+                        }));
+                    }
                 }
                 let (ts, td) = (g.node_type(NodeId(src)), g.node_type(NodeId(dst)));
                 g.schema()
                     .check_edge(rel, ts, td)
-                    .map_err(|e| err(&e.to_string()))?;
+                    .map_err(|e| err(LoadErrorKind::Graph(e.to_string())))?;
                 edges.push(TemporalEdge::new(NodeId(src), NodeId(dst), rel, t));
+                reject_trailing(parts, "edge", lineno)?;
             }
-            _ => return Err(err("expected nodetype/relation/metapath/node/edge")),
+            _ => return Err(err(LoadErrorKind::UnknownDirective(line.to_string()))),
         }
     }
 
     let prototype = graph.unwrap_or_else(|| Dmhg::new(schema));
-    // Resolve metapath lines now that the schema is complete.
-    let mut metapaths = Vec::new();
-    for (lineno, tokens) in metapath_specs {
-        let err = |msg: &str| format!("line {lineno}: {msg}");
-        if tokens.len() < 3 || tokens.len() % 2 == 0 {
-            return Err(err("metapath needs alternating type rel type …"));
-        }
-        let mut types = Vec::new();
-        let mut rels = Vec::new();
-        for (i, tok) in tokens.iter().enumerate() {
-            if i % 2 == 0 {
-                types.push(
-                    prototype
-                        .schema()
-                        .node_type_by_name(tok)
-                        .ok_or_else(|| err("unknown node type in metapath"))?,
-                );
-            } else {
-                let mut set = RelationSet::EMPTY;
-                for r in tok.split(',') {
-                    set.insert(
-                        prototype
-                            .schema()
-                            .relation_by_name(r)
-                            .ok_or_else(|| err("unknown relation in metapath"))?,
-                    );
-                }
-                rels.push(set);
-            }
-        }
-        let schema = MetapathSchema::new(types, rels).map_err(|e| err(&e.to_string()))?;
-        schema
-            .validate(prototype.schema())
-            .map_err(|e| err(&e.to_string()))?;
-        metapaths.push(schema);
-    }
-
+    let metapaths = resolve_metapaths(&prototype, metapath_specs)?;
     supa_graph::sort_by_time(&mut edges);
     Ok(Dataset {
         name: name.to_string(),
@@ -177,8 +298,109 @@ pub fn load_tsv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, String> {
     })
 }
 
+/// Parses a numeric edge endpoint (`src`/`dst`) field.
+pub fn parse_endpoint(
+    token: Option<&str>,
+    what: &'static str,
+    lineno: usize,
+) -> Result<u32, LoadError> {
+    let tok = token.ok_or_else(|| LoadError::at(lineno, LoadErrorKind::MissingField(what)))?;
+    tok.parse().map_err(|_| {
+        LoadError::at(
+            lineno,
+            LoadErrorKind::BadField {
+                what,
+                token: tok.to_string(),
+            },
+        )
+    })
+}
+
+/// Parses and validates an edge timestamp field: must parse as `f64`, be
+/// finite, and be non-negative (the paper's `t ∈ ℝ⁺`), so NaN never reaches
+/// training.
+pub fn parse_timestamp(token: Option<&str>, lineno: usize) -> Result<f64, LoadError> {
+    let tok =
+        token.ok_or_else(|| LoadError::at(lineno, LoadErrorKind::MissingField("timestamp")))?;
+    let t: f64 = tok.parse().map_err(|_| {
+        LoadError::at(
+            lineno,
+            LoadErrorKind::BadField {
+                what: "timestamp",
+                token: tok.to_string(),
+            },
+        )
+    })?;
+    if !t.is_finite() || t < 0.0 {
+        return Err(LoadError::at(
+            lineno,
+            LoadErrorKind::Graph(supa_graph::GraphError::InvalidTimestamp(t).to_string()),
+        ));
+    }
+    Ok(t)
+}
+
+/// Resolves buffered `metapath` token lines against the finished schema.
+/// Shared by the materialising loader and the streaming scanner.
+pub fn resolve_metapaths(
+    prototype: &Dmhg,
+    specs: Vec<(usize, Vec<String>)>,
+) -> Result<Vec<MetapathSchema>, LoadError> {
+    let mut metapaths = Vec::new();
+    for (lineno, tokens) in specs {
+        let err = |kind: LoadErrorKind| LoadError::at(lineno, kind);
+        if tokens.len() < 3 || tokens.len() % 2 == 0 {
+            return Err(err(LoadErrorKind::MetapathShape));
+        }
+        let mut types = Vec::new();
+        let mut rels = Vec::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            if i % 2 == 0 {
+                types.push(prototype.schema().node_type_by_name(tok).ok_or_else(|| {
+                    err(LoadErrorKind::UnknownMetapathName {
+                        what: "node type",
+                        name: tok.clone(),
+                    })
+                })?);
+            } else {
+                let mut set = RelationSet::EMPTY;
+                for r in tok.split(',') {
+                    set.insert(prototype.schema().relation_by_name(r).ok_or_else(|| {
+                        err(LoadErrorKind::UnknownMetapathName {
+                            what: "relation",
+                            name: r.to_string(),
+                        })
+                    })?);
+                }
+                rels.push(set);
+            }
+        }
+        let schema = MetapathSchema::new(types, rels)
+            .map_err(|e| err(LoadErrorKind::Metapath(e.to_string())))?;
+        schema
+            .validate(prototype.schema())
+            .map_err(|e| err(LoadErrorKind::Metapath(e.to_string())))?;
+        metapaths.push(schema);
+    }
+    Ok(metapaths)
+}
+
 /// Serialises a dataset (schema, metapaths, nodes, edges) to the TSV format.
 pub fn save_tsv<W: Write>(dataset: &Dataset, mut w: W) -> std::io::Result<()> {
+    save_header(dataset, &mut w)?;
+    let schema = dataset.prototype.schema();
+    for e in &dataset.edges {
+        write_edge_line(&mut w, schema, e)?;
+    }
+    Ok(())
+}
+
+/// Writes everything *except* the edge stream — comment, schema, metapath,
+/// and `node` lines. [`save_tsv`] is this followed by one
+/// [`write_edge_line`] per edge; the streaming converter (`supa ingest
+/// --out`) uses the split to emit a canonical header and then append edges
+/// it never materialises.
+pub fn save_header<W: Write>(dataset: &Dataset, w: &mut W) -> std::io::Result<()> {
     let schema = dataset.prototype.schema();
     writeln!(w, "# {}", dataset.summary())?;
     for (_, name) in schema.node_types() {
@@ -211,17 +433,23 @@ pub fn save_tsv<W: Write>(dataset: &Dataset, mut w: W) -> std::io::Result<()> {
         let ty = dataset.prototype.node_type(NodeId(id as u32));
         writeln!(w, "node {} {}", id, schema.node_type_name(ty).unwrap())?;
     }
-    for e in &dataset.edges {
-        writeln!(
-            w,
-            "edge {} {} {} {}",
-            e.src.0,
-            e.dst.0,
-            schema.relation_name(e.relation).unwrap(),
-            e.time
-        )?;
-    }
     Ok(())
+}
+
+/// Writes one `edge` line in the canonical format [`load_tsv`] reads back.
+pub fn write_edge_line<W: Write>(
+    w: &mut W,
+    schema: &GraphSchema,
+    e: &TemporalEdge,
+) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "edge {} {} {} {}",
+        e.src.0,
+        e.dst.0,
+        schema.relation_name(e.relation).unwrap(),
+        e.time
+    )
 }
 
 #[cfg(test)]
@@ -243,6 +471,10 @@ node 2 Video
 edge 0 1 Click 5.0
 edge 0 2 Like 2.5
 ";
+
+    fn load_err(input: &str) -> LoadError {
+        load_tsv("x", Cursor::new(input.to_string())).unwrap_err()
+    }
 
     #[test]
     fn parses_self_describing_format() {
@@ -282,90 +514,206 @@ edge 0 2 Like 2.5
 
     #[test]
     fn rejects_unknown_names() {
-        let bad = "nodetype U\nnode 0 Ghost\n";
-        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
-        assert!(err.contains("unknown node type"), "{err}");
+        let err = load_err("nodetype U\nnode 0 Ghost\n");
+        assert_eq!(err.line, 2);
+        assert!(
+            matches!(
+                &err.kind,
+                LoadErrorKind::UnknownName {
+                    what: "node type",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("unknown node type"), "{err}");
 
-        let bad = "nodetype U\nrelation R U U\nnode 0 U\nnode 1 U\nedge 0 1 Zap 1.0\n";
-        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
-        assert!(err.contains("unknown relation"), "{err}");
+        let err = load_err("nodetype U\nrelation R U U\nnode 0 U\nnode 1 U\nedge 0 1 Zap 1.0\n");
+        assert!(
+            matches!(
+                &err.kind,
+                LoadErrorKind::UnknownName {
+                    what: "relation",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("unknown relation"), "{err}");
     }
 
     #[test]
     fn rejects_schema_after_nodes() {
-        let bad = "nodetype U\nnode 0 U\nnodetype V\n";
-        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
-        assert!(err.contains("must precede"), "{err}");
+        let err = load_err("nodetype U\nnode 0 U\nnodetype V\n");
+        assert_eq!(err.kind, LoadErrorKind::SchemaAfterNodes);
+        assert!(err.to_string().contains("must precede"), "{err}");
     }
 
     #[test]
     fn rejects_sparse_node_ids_and_dangling_edges() {
-        let bad = "nodetype U\nnode 5 U\n";
-        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
-        assert!(err.contains("dense"), "{err}");
+        let err = load_err("nodetype U\nnode 5 U\n");
+        assert_eq!(
+            err.kind,
+            LoadErrorKind::NonDenseNodeId {
+                expected: 0,
+                got: 5
+            }
+        );
+        assert!(err.to_string().contains("dense"), "{err}");
 
-        let bad = "nodetype U\nrelation R U U\nnode 0 U\nedge 0 7 R 1.0\n";
-        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
-        assert!(err.contains("undeclared node"), "{err}");
+        let err = load_err("nodetype U\nrelation R U U\nnode 0 U\nedge 0 7 R 1.0\n");
+        assert_eq!(
+            err.kind,
+            LoadErrorKind::UndeclaredEndpoint {
+                node: 7,
+                num_nodes: 1
+            }
+        );
+        assert!(err.to_string().contains("undeclared node"), "{err}");
     }
 
     #[test]
     fn rejects_type_mismatched_edges() {
-        let bad = "nodetype U\nnodetype V\nrelation R U V\n\
-                   node 0 U\nnode 1 U\nedge 0 1 R 1.0\n";
-        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
-        assert!(err.contains("endpoint"), "{err}");
+        let err = load_err(
+            "nodetype U\nnodetype V\nrelation R U V\n\
+             node 0 U\nnode 1 U\nedge 0 1 R 1.0\n",
+        );
+        assert!(matches!(&err.kind, LoadErrorKind::Graph(_)), "{err:?}");
+        assert!(err.to_string().contains("endpoint"), "{err}");
     }
 
     #[test]
     fn rejects_bad_metapaths() {
-        let bad = "nodetype U\nrelation R U U\nmetapath U R\nnode 0 U\n";
-        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
-        assert!(err.contains("alternating"), "{err}");
+        let err = load_err("nodetype U\nrelation R U U\nmetapath U R\nnode 0 U\n");
+        assert_eq!(err.kind, LoadErrorKind::MetapathShape);
+        assert!(err.to_string().contains("alternating"), "{err}");
 
-        let bad = "nodetype U\nrelation R U U\nmetapath U Zap U\nnode 0 U\n";
-        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
-        assert!(err.contains("unknown relation in metapath"), "{err}");
+        let err = load_err("nodetype U\nrelation R U U\nmetapath U Zap U\nnode 0 U\n");
+        assert!(
+            err.to_string().contains("unknown relation in metapath"),
+            "{err}"
+        );
     }
 
     #[test]
     fn rejects_garbage_lines() {
-        let err = load_tsv("x", Cursor::new("banana\n")).unwrap_err();
-        assert!(err.contains("expected"), "{err}");
+        let err = load_err("banana\n");
+        assert_eq!(err.line, 1);
+        assert!(
+            matches!(&err.kind, LoadErrorKind::UnknownDirective(_)),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("expected"), "{err}");
     }
 
     #[test]
     fn rejects_file_truncated_mid_edge() {
         // A crash while writing can cut the file anywhere; an edge line
         // missing its trailing fields must be an error, not a silent drop.
-        let bad = "nodetype U\nrelation R U U\nnode 0 U\nnode 1 U\nedge 0 1 R\n";
-        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
-        assert!(err.contains("bad timestamp"), "{err}");
+        let err = load_err("nodetype U\nrelation R U U\nnode 0 U\nnode 1 U\nedge 0 1 R\n");
+        assert_eq!(err.kind, LoadErrorKind::MissingField("timestamp"));
+        assert!(err.to_string().contains("missing timestamp"), "{err}");
 
-        let bad = "nodetype U\nrelation R U U\nnode 0 U\nnode 1 U\nedge 0\n";
-        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
-        assert!(err.contains("bad dst"), "{err}");
+        let err = load_err("nodetype U\nrelation R U U\nnode 0 U\nnode 1 U\nedge 0\n");
+        assert_eq!(err.kind, LoadErrorKind::MissingField("dst"));
+        assert!(err.to_string().contains("missing dst"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unparseable_edge_fields() {
+        let err = load_err("nodetype U\nrelation R U U\nnode 0 U\nnode 1 U\nedge 0 1 R x\n");
+        assert!(
+            matches!(
+                &err.kind,
+                LoadErrorKind::BadField {
+                    what: "timestamp",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("bad timestamp"), "{err}");
+
+        let err = load_err("nodetype U\nrelation R U U\nnode 0 U\nnode 1 U\nedge 0 q R 1.0\n");
+        assert!(err.to_string().contains("bad dst"), "{err}");
     }
 
     #[test]
     fn rejects_non_finite_and_negative_timestamps() {
         for t in ["nan", "NaN", "inf", "-inf", "-3.0"] {
             let bad = format!("nodetype U\nrelation R U U\nnode 0 U\nnode 1 U\nedge 0 1 R {t}\n");
-            let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
-            assert!(err.contains("invalid timestamp"), "t={t}: {err}");
+            let err = load_err(&bad);
+            assert_eq!(err.line, 5, "t={t}");
+            assert!(
+                matches!(&err.kind, LoadErrorKind::Graph(_)),
+                "t={t}: {err:?}"
+            );
+            assert!(
+                err.to_string().contains("invalid timestamp"),
+                "t={t}: {err}"
+            );
         }
     }
 
     #[test]
     fn rejects_duplicate_metapath_lines() {
-        let bad = "nodetype U\nrelation R U U\n\
-                   metapath U R U\nmetapath U R U\nnode 0 U\n";
-        let err = load_tsv("x", Cursor::new(bad)).unwrap_err();
-        assert!(err.contains("duplicate metapath"), "{err}");
+        let err = load_err(
+            "nodetype U\nrelation R U U\n\
+             metapath U R U\nmetapath U R U\nnode 0 U\n",
+        );
+        assert_eq!(err.kind, LoadErrorKind::Duplicate("metapath"));
+        assert!(err.to_string().contains("duplicate metapath"), "{err}");
         // Distinct metapaths still load fine.
         let ok = "nodetype U\nrelation R U U\nrelation S U U\n\
                   metapath U R U\nmetapath U S U\nnode 0 U\n";
         let d = load_tsv("x", Cursor::new(ok)).unwrap();
         assert_eq!(d.metapaths.len(), 2);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_on_every_directive() {
+        // Regression: extra tokens after the declared fields used to be
+        // silently dropped; a column-shifted dump (e.g. an extra weight
+        // column) must fail loudly instead of loading wrong.
+        let err = load_err("nodetype U\nrelation R U U\nnode 0 U\nnode 1 U\nedge 0 1 R 1.0 99\n");
+        assert_eq!(err.line, 5);
+        assert_eq!(
+            err.kind,
+            LoadErrorKind::TrailingFields {
+                directive: "edge",
+                extra: "99".to_string()
+            }
+        );
+        assert!(err.to_string().contains("trailing fields"), "{err}");
+        assert!(err.to_string().contains("99"), "{err}");
+
+        let err = load_err("nodetype U\nnode 0 U extra\n");
+        assert_eq!(
+            err.kind,
+            LoadErrorKind::TrailingFields {
+                directive: "node",
+                extra: "extra".to_string()
+            }
+        );
+
+        let err = load_err("nodetype U V\n");
+        assert!(
+            matches!(
+                &err.kind,
+                LoadErrorKind::TrailingFields {
+                    directive: "nodetype",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let err = load_err("nodetype U\nrelation R U U bogus trailing\n");
+        assert_eq!(
+            err.kind,
+            LoadErrorKind::TrailingFields {
+                directive: "relation",
+                extra: "bogus trailing".to_string()
+            }
+        );
     }
 }

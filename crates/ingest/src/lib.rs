@@ -1,0 +1,1421 @@
+//! # supa-ingest — bounded-memory streaming ingestion for event dumps
+//!
+//! `supa_datasets::load_tsv` materialises the whole dump — a `Vec` of every
+//! edge plus the full graph — before one event reaches the engine. That is
+//! fine for bench-scale synthetic data and hopeless for the paper's
+//! production regime (Taobao/Kuaishou, 10⁸ interactions). This crate
+//! replays a dump in **two passes with O(nodes + queue) resident memory**:
+//!
+//! 1. [`scan_tsv`] — one full streaming pass that validates every line,
+//!    discovers the node universe (dense `node` lines, or arbitrary string
+//!    ids through the bounded [`Interner`], or a schema-inference pre-pass
+//!    for headerless dumps), and builds the *prototype* — the same
+//!    `Dataset` that `load_tsv` returns, minus the edge vector.
+//! 2. [`EventStream`] — a second pass that re-reads the file and yields
+//!    `TemporalEdge`s one at a time, to be fed straight into the serving
+//!    engine's bounded ingest queue. Backpressure comes from the engine's
+//!    admission layer: when the queue is full the caller blocks or sheds
+//!    per its `ShedPolicy`, so peak RSS never scales with the event count.
+//!
+//! The node universe must be known before the engine starts (snapshots,
+//! ANN candidates, and the ingest guard are sized from it), which is why
+//! the scan is a separate pass rather than interleaved discovery. The
+//! price is reading the file twice; the payoff is that a dump larger than
+//! RAM replays at full speed.
+//!
+//! **Bit-identity contract**: for a well-formed, time-sorted dump (what
+//! `save_tsv` writes), pass 1's prototype and pass 2's edge sequence are
+//! exactly what `load_tsv` would produce, so the engine digest of a
+//! streamed replay equals the materialised one. Tests pin this.
+//!
+//! The crate is dependency-free (std + the workspace graph/dataset crates
+//! only) so it can be reused by any front-end.
+
+pub mod interner;
+pub mod reader;
+
+pub use interner::{Interner, InternerError, InternerStats};
+pub use reader::LineReader;
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::path::{Path, PathBuf};
+
+use supa_datasets::loader::{parse_endpoint, parse_timestamp, resolve_metapaths};
+use supa_datasets::{Dataset, LoadError, LoadErrorKind};
+use supa_graph::{Dmhg, GraphSchema, NodeId, NodeTypeId, TemporalEdge};
+
+/// Knobs for [`scan_tsv`] / [`EventStream`].
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Sidecar schema file (`nodetype`/`relation`/`metapath` lines only)
+    /// for dumps that carry no in-file schema.
+    pub schema_path: Option<PathBuf>,
+    /// Hard cap, in bytes, on the interner's resident memory
+    /// (`--interner-budget`). Exceeding it is a named error, not growth.
+    pub interner_budget: usize,
+    /// How many data lines the schema-inference pre-pass examines on a
+    /// headerless dump (`--scan-lines`).
+    pub scan_lines: usize,
+    /// Skip malformed lines (counting them) instead of failing on the
+    /// first one. Io and interner-budget errors still abort.
+    pub skip_malformed: bool,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            schema_path: None,
+            interner_budget: 256 << 20,
+            scan_lines: 10_000,
+            skip_malformed: false,
+        }
+    }
+}
+
+/// How node identity was established for a dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestMode {
+    /// Dense `node` lines, exactly `load_tsv`'s id space.
+    Declared,
+    /// String endpoints interned in first-appearance order against a
+    /// declared (in-file or sidecar) schema.
+    Interned,
+    /// Like `Interned`, with the schema itself synthesized by the
+    /// bounded-prefix inference pass.
+    Inferred,
+}
+
+impl std::fmt::Display for IngestMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IngestMode::Declared => "declared",
+            IngestMode::Interned => "interned",
+            IngestMode::Inferred => "inferred",
+        })
+    }
+}
+
+/// Streaming counters; pass-1 totals in [`ScanReport::stats`], live pass-2
+/// progress via [`EventStream::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IngestStats {
+    /// Lines read, of any kind.
+    pub lines: u64,
+    /// Comment and blank lines.
+    pub comments: u64,
+    /// Schema lines (`nodetype`/`relation`/`metapath`).
+    pub schema_lines: u64,
+    /// `node` declaration lines.
+    pub node_lines: u64,
+    /// Edge events parsed.
+    pub edges: u64,
+    /// Lines skipped under [`IngestOptions::skip_malformed`].
+    pub malformed: u64,
+    /// Bytes consumed from the dump.
+    pub bytes: u64,
+    /// Edges whose timestamp went backwards (a non-zero count voids the
+    /// bit-identity contract — `load_tsv` would have re-sorted them).
+    pub out_of_order: u64,
+    /// Interner counters (zero in [`IngestMode::Declared`]).
+    pub interner: InternerStats,
+}
+
+/// A named ingestion failure.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IngestError {
+    /// Reading the dump or sidecar failed.
+    Io { line: usize, msg: String },
+    /// A malformed line, in the shared `LoadError` vocabulary.
+    Parse(LoadError),
+    /// A line that is not valid UTF-8.
+    NotUtf8 { line: usize },
+    /// The bounded interner failed (budget overflow, spill io).
+    Interner { line: usize, source: InternerError },
+    /// A string id re-appeared under a relation slot of a different node
+    /// type than the one its first appearance fixed.
+    TypeConflict {
+        line: usize,
+        key: String,
+        expected: String,
+        got: String,
+    },
+    /// A `node` line after string-id edges (the two id spaces cannot mix).
+    MixedIdSpaces { line: usize },
+    /// In inferred mode, a relation first appeared after the inference
+    /// prefix, so its endpoint types were never discovered.
+    RelationPastPrefix {
+        line: usize,
+        relation: String,
+        scan_lines: usize,
+    },
+    /// The dump declares schema lines although a sidecar schema was given.
+    SchemaInDumpAndSidecar { line: usize },
+    /// The sidecar schema file contains non-schema lines.
+    SidecarData { line: usize },
+    /// Pass 2 saw content pass 1 did not (the file changed between the
+    /// scan and the replay).
+    ChangedBetweenPasses { line: usize },
+}
+
+impl IngestError {
+    fn parse(line: usize, kind: LoadErrorKind) -> Self {
+        IngestError::Parse(LoadError::at(line, kind))
+    }
+
+    /// Lenient mode ([`IngestOptions::skip_malformed`]) skips these;
+    /// everything else always aborts.
+    pub fn recoverable(&self) -> bool {
+        matches!(
+            self,
+            IngestError::Parse(_) | IngestError::NotUtf8 { .. } | IngestError::TypeConflict { .. }
+        )
+    }
+
+    /// The 1-based dump line the error points at (0 if none).
+    pub fn line(&self) -> usize {
+        match self {
+            IngestError::Io { line, .. }
+            | IngestError::NotUtf8 { line }
+            | IngestError::Interner { line, .. }
+            | IngestError::TypeConflict { line, .. }
+            | IngestError::MixedIdSpaces { line }
+            | IngestError::RelationPastPrefix { line, .. }
+            | IngestError::SchemaInDumpAndSidecar { line }
+            | IngestError::SidecarData { line }
+            | IngestError::ChangedBetweenPasses { line } => *line,
+            IngestError::Parse(e) => e.line,
+        }
+    }
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io { line: 0, msg } => write!(f, "io error: {msg}"),
+            IngestError::Io { line, msg } => write!(f, "line {line}: io error: {msg}"),
+            IngestError::Parse(e) => write!(f, "{e}"),
+            IngestError::NotUtf8 { line } => write!(f, "line {line}: not valid utf-8"),
+            IngestError::Interner { line, source } => write!(f, "line {line}: {source}"),
+            IngestError::TypeConflict {
+                line,
+                key,
+                expected,
+                got,
+            } => write!(
+                f,
+                "line {line}: node id '{key}' first appeared as type {expected} \
+                 but is used here as type {got}"
+            ),
+            IngestError::MixedIdSpaces { line } => write!(
+                f,
+                "line {line}: node declaration after string-id edges \
+                 (dense and interned id spaces cannot mix)"
+            ),
+            IngestError::RelationPastPrefix {
+                line,
+                relation,
+                scan_lines,
+            } => write!(
+                f,
+                "line {line}: relation '{relation}' first appears beyond the \
+                 {scan_lines}-line inference prefix; raise --scan-lines or \
+                 provide a schema"
+            ),
+            IngestError::SchemaInDumpAndSidecar { line } => write!(
+                f,
+                "line {line}: dump declares schema lines but a sidecar \
+                 --schema file was given"
+            ),
+            IngestError::SidecarData { line } => write!(
+                f,
+                "schema file line {line}: only nodetype/relation/metapath \
+                 lines are allowed in a sidecar schema"
+            ),
+            IngestError::ChangedBetweenPasses { line } => {
+                write!(f, "line {line}: dump changed between scan and replay")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<LoadError> for IngestError {
+    fn from(e: LoadError) -> Self {
+        IngestError::Parse(e)
+    }
+}
+
+/// Incrementally builds a `GraphSchema` + buffered metapath specs from
+/// schema directive lines; shared by the main scan and sidecar parsing.
+#[derive(Default)]
+struct SchemaBuilder {
+    schema: GraphSchema,
+    metapath_specs: Vec<(usize, Vec<String>)>,
+    seen_any: bool,
+}
+
+impl SchemaBuilder {
+    /// Handles one already-tokenized schema line. `directive` is the
+    /// first token; `parts` iterates the rest.
+    fn handle<'a>(
+        &mut self,
+        directive: &str,
+        mut parts: impl Iterator<Item = &'a str>,
+        lineno: usize,
+    ) -> Result<(), IngestError> {
+        let err = |kind: LoadErrorKind| IngestError::parse(lineno, kind);
+        match directive {
+            "nodetype" => {
+                let ty = parts
+                    .next()
+                    .ok_or_else(|| err(LoadErrorKind::MissingField("type name")))?;
+                if self.schema.node_type_by_name(ty).is_some() {
+                    return Err(err(LoadErrorKind::Duplicate("node type")));
+                }
+                self.schema.add_node_type(ty);
+                reject_trailing(parts, "nodetype", lineno)?;
+            }
+            "relation" => {
+                let rel = parts
+                    .next()
+                    .ok_or_else(|| err(LoadErrorKind::MissingField("relation name")))?;
+                let src = parts
+                    .next()
+                    .ok_or_else(|| err(LoadErrorKind::MissingField("src type")))?;
+                let dst = parts
+                    .next()
+                    .ok_or_else(|| err(LoadErrorKind::MissingField("dst type")))?;
+                if self.schema.relation_by_name(rel).is_some() {
+                    return Err(err(LoadErrorKind::Duplicate("relation")));
+                }
+                let src = self.schema.node_type_by_name(src).ok_or_else(|| {
+                    err(LoadErrorKind::UnknownName {
+                        what: "src type",
+                        name: src.to_string(),
+                    })
+                })?;
+                let dst = self.schema.node_type_by_name(dst).ok_or_else(|| {
+                    err(LoadErrorKind::UnknownName {
+                        what: "dst type",
+                        name: dst.to_string(),
+                    })
+                })?;
+                let rel = rel.to_string();
+                self.schema.add_relation(&rel, src, dst);
+                reject_trailing(parts, "relation", lineno)?;
+            }
+            "metapath" => {
+                let tokens: Vec<String> = parts.map(str::to_string).collect();
+                if self.metapath_specs.iter().any(|(_, prev)| *prev == tokens) {
+                    return Err(err(LoadErrorKind::Duplicate("metapath")));
+                }
+                self.metapath_specs.push((lineno, tokens));
+            }
+            _ => unreachable!("caller dispatches only schema directives"),
+        }
+        self.seen_any = true;
+        Ok(())
+    }
+}
+
+fn reject_trailing<'a>(
+    mut parts: impl Iterator<Item = &'a str>,
+    directive: &'static str,
+    lineno: usize,
+) -> Result<(), IngestError> {
+    let extra: Vec<&str> = parts.by_ref().collect();
+    if extra.is_empty() {
+        Ok(())
+    } else {
+        Err(IngestError::parse(
+            lineno,
+            LoadErrorKind::TrailingFields {
+                directive,
+                extra: extra.join(" "),
+            },
+        ))
+    }
+}
+
+fn open(path: &Path) -> Result<LineReader<File>, IngestError> {
+    File::open(path)
+        .map(LineReader::new)
+        .map_err(|e| IngestError::Io {
+            line: 0,
+            msg: format!("{}: {e}", path.display()),
+        })
+}
+
+fn io_at<T>(r: std::io::Result<T>, line: usize) -> Result<T, IngestError> {
+    r.map_err(|e| IngestError::Io {
+        line,
+        msg: e.to_string(),
+    })
+}
+
+fn utf8(line: &[u8], lineno: usize) -> Result<&str, IngestError> {
+    std::str::from_utf8(line).map_err(|_| IngestError::NotUtf8 { line: lineno })
+}
+
+/// An edge line's four raw fields. Both `edge SRC DST REL TIME` and the
+/// headerless `SRC DST REL TIME` spelling (accepted in the string-id
+/// modes) normalise to this.
+struct EdgeFields<'a> {
+    src: &'a str,
+    dst: &'a str,
+    rel: &'a str,
+    time: Option<&'a str>,
+}
+
+/// Pulls `SRC DST REL TIME` out of a token iterator (the `edge` keyword,
+/// if present, must already be consumed).
+fn edge_fields<'a>(
+    mut parts: impl Iterator<Item = &'a str>,
+    lineno: usize,
+) -> Result<EdgeFields<'a>, IngestError> {
+    let err = |kind: LoadErrorKind| IngestError::parse(lineno, kind);
+    let src = parts
+        .next()
+        .ok_or_else(|| err(LoadErrorKind::MissingField("src")))?;
+    let dst = parts
+        .next()
+        .ok_or_else(|| err(LoadErrorKind::MissingField("dst")))?;
+    let rel = parts
+        .next()
+        .ok_or_else(|| err(LoadErrorKind::MissingField("relation")))?;
+    let time = parts.next();
+    reject_trailing(parts, "edge", lineno)?;
+    Ok(EdgeFields {
+        src,
+        dst,
+        rel,
+        time,
+    })
+}
+
+/// Parses a sidecar schema file (`nodetype`/`relation`/`metapath` lines
+/// and comments only).
+fn load_sidecar(path: &Path) -> Result<SchemaBuilder, IngestError> {
+    let mut rdr = open(path)?;
+    let mut sb = SchemaBuilder::default();
+    while io_at(rdr.read_line(), rdr.lineno() + 1)? {
+        let lineno = rdr.lineno();
+        let text = utf8(rdr.line(), lineno)?.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let mut parts = text.split_whitespace();
+        match parts.next() {
+            Some(d @ ("nodetype" | "relation" | "metapath")) => sb.handle(d, parts, lineno)?,
+            _ => return Err(IngestError::SidecarData { line: lineno }),
+        }
+    }
+    Ok(sb)
+}
+
+/// What the cheap look-ahead over the dump's head found.
+enum DumpHead {
+    /// Schema lines precede the data (or the dump is empty).
+    Headed,
+    /// First data line is a `node` declaration without any schema — the
+    /// main scan will produce the right named error.
+    Nodes,
+    /// First data line is an edge and no schema precedes it: run the
+    /// inference pre-pass.
+    Headerless,
+}
+
+/// Reads just far enough to classify the dump: stops at the first
+/// non-comment line.
+fn peek_head(path: &Path) -> Result<DumpHead, IngestError> {
+    let mut rdr = open(path)?;
+    while io_at(rdr.read_line(), rdr.lineno() + 1)? {
+        let Ok(text) = std::str::from_utf8(rdr.line()) else {
+            // Let the main scan report it with full context.
+            return Ok(DumpHead::Headerless);
+        };
+        let text = text.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        return Ok(match text.split_whitespace().next() {
+            Some("nodetype" | "relation" | "metapath") => DumpHead::Headed,
+            Some("node") => DumpHead::Nodes,
+            _ => DumpHead::Headerless,
+        });
+    }
+    Ok(DumpHead::Headed)
+}
+
+/// Union-find over `(relation, side)` slots for schema inference.
+struct SlotUnion {
+    parent: Vec<usize>,
+}
+
+impl SlotUnion {
+    fn new() -> Self {
+        SlotUnion { parent: Vec::new() }
+    }
+
+    fn add(&mut self) -> usize {
+        self.parent.push(self.parent.len());
+        self.parent.len() - 1
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: the smaller (earlier-created) root wins, so
+            // synthesized type numbering follows first appearance.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Schema-inference pre-pass for headerless dumps: scan a bounded prefix,
+/// treat each `(relation, src/dst position)` as a typed slot, and merge
+/// slots that share an id string. Each surviving slot class becomes a
+/// synthesized node type `T0, T1, …` (numbered by first appearance).
+fn infer_schema(path: &Path, opts: &IngestOptions) -> Result<GraphSchema, IngestError> {
+    let mut rdr = open(path)?;
+    let mut slots = SlotUnion::new();
+    // relation name → (first lineno order index, src slot, dst slot)
+    let mut rels: Vec<(String, usize, usize)> = Vec::new();
+    let mut rel_index: HashMap<String, usize> = HashMap::new();
+    // id string → the slot of its first appearance
+    let mut id_slot: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut data_lines = 0usize;
+    while data_lines < opts.scan_lines && io_at(rdr.read_line(), rdr.lineno() + 1)? {
+        let lineno = rdr.lineno();
+        let text = match utf8(rdr.line(), lineno) {
+            Ok(t) => t.trim(),
+            Err(e) if opts.skip_malformed => {
+                let _ = e;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        data_lines += 1;
+        let mut parts = text.split_whitespace();
+        let first = parts.next().unwrap_or("");
+        let parsed = if first == "edge" {
+            edge_fields(parts, lineno)
+        } else {
+            edge_fields(std::iter::once(first).chain(parts), lineno)
+        };
+        let fields = match parsed {
+            Ok(f) => f,
+            Err(e) if opts.skip_malformed && e.recoverable() => continue,
+            Err(e) => return Err(e),
+        };
+        let ri = match rel_index.get(fields.rel) {
+            Some(&i) => i,
+            None => {
+                let src_slot = slots.add();
+                let dst_slot = slots.add();
+                rels.push((fields.rel.to_string(), src_slot, dst_slot));
+                rel_index.insert(fields.rel.to_string(), rels.len() - 1);
+                rels.len() - 1
+            }
+        };
+        let (src_slot, dst_slot) = (rels[ri].1, rels[ri].2);
+        for (key, slot) in [(fields.src, src_slot), (fields.dst, dst_slot)] {
+            match id_slot.get(key.as_bytes()) {
+                Some(&prev) => slots.union(prev, slot),
+                None => {
+                    id_slot.insert(key.as_bytes().to_vec(), slot);
+                }
+            }
+        }
+    }
+    // Synthesize types for slot classes in first-appearance order.
+    let mut schema = GraphSchema::new();
+    let mut type_of_root: HashMap<usize, NodeTypeId> = HashMap::new();
+    let mut resolve = |slots: &mut SlotUnion, schema: &mut GraphSchema, slot: usize| {
+        let root = slots.find(slot);
+        *type_of_root
+            .entry(root)
+            .or_insert_with(|| schema.add_node_type(format!("T{}", schema.num_node_types())))
+    };
+    let specs: Vec<(String, usize, usize)> = rels;
+    for (name, src_slot, dst_slot) in &specs {
+        let src = resolve(&mut slots, &mut schema, *src_slot);
+        let dst = resolve(&mut slots, &mut schema, *dst_slot);
+        schema.add_relation(name, src, dst);
+    }
+    Ok(schema)
+}
+
+/// The result of pass 1: the prototype dataset (no edges), counters, and
+/// the frozen state pass 2 needs to translate endpoints.
+impl std::fmt::Debug for ScanReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanReport")
+            .field("dataset", &self.dataset.name)
+            .field("mode", &self.mode)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+pub struct ScanReport {
+    /// Prototype + metapaths, `edges` empty — feed this to
+    /// `Supa::from_dataset` and the engine exactly like a materialised
+    /// dataset.
+    pub dataset: Dataset,
+    /// How node identity was established.
+    pub mode: IngestMode,
+    /// Pass-1 totals.
+    pub stats: IngestStats,
+    path: PathBuf,
+    options: IngestOptions,
+    interner: Option<Interner>,
+}
+
+impl ScanReport {
+    /// Opens pass 2: consumes the report, returning the prototype dataset
+    /// and the edge stream separately so the caller can hand the dataset
+    /// to the engine while iterating the stream.
+    pub fn into_stream(self) -> Result<(Dataset, EventStream), IngestError> {
+        let reader = open(&self.path)?;
+        let stream = EventStream {
+            reader,
+            schema: self.dataset.prototype.schema().clone(),
+            num_nodes: self.dataset.prototype.num_nodes(),
+            mode: self.mode,
+            interner: self.interner,
+            skip_malformed: self.options.skip_malformed,
+            scan_stats: self.stats,
+            stats: IngestStats::default(),
+            prev_time: f64::NEG_INFINITY,
+            fused: false,
+        };
+        Ok((self.dataset, stream))
+    }
+}
+
+/// Pass 1: stream the dump once, validating every line and building the
+/// prototype with bounded memory. See the crate docs for the three node
+/// identity modes.
+pub fn scan_tsv(path: &Path, opts: &IngestOptions) -> Result<ScanReport, IngestError> {
+    let sidecar = opts.schema_path.is_some();
+    let mut sb = match &opts.schema_path {
+        Some(p) => load_sidecar(p)?,
+        None => SchemaBuilder::default(),
+    };
+    let mut mode = IngestMode::Interned;
+    if !sidecar {
+        match peek_head(path)? {
+            DumpHead::Headerless => {
+                sb.schema = infer_schema(path, opts)?;
+                mode = IngestMode::Inferred;
+            }
+            DumpHead::Headed | DumpHead::Nodes => {}
+        }
+    }
+    let inferred = mode == IngestMode::Inferred;
+
+    let mut rdr = open(path)?;
+    let mut stats = IngestStats::default();
+    let mut proto: Option<Dmhg> = None;
+    let mut interner: Option<Interner> = None;
+    let mut prev_time = f64::NEG_INFINITY;
+
+    macro_rules! lenient {
+        ($stats:ident, $result:expr) => {
+            match $result {
+                Ok(v) => v,
+                Err(e) => {
+                    if opts.skip_malformed && e.recoverable() {
+                        $stats.malformed += 1;
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        };
+    }
+
+    while io_at(rdr.read_line(), rdr.lineno() + 1)? {
+        let lineno = rdr.lineno();
+        stats.lines += 1;
+        stats.bytes = rdr.bytes();
+        let text = lenient!(stats, utf8(rdr.line(), lineno));
+        let text = text.trim();
+        if text.is_empty() || text.starts_with('#') {
+            stats.comments += 1;
+            continue;
+        }
+        let mut parts = text.split_whitespace();
+        let first = parts.next().unwrap_or("");
+        match first {
+            "nodetype" | "relation" | "metapath" => {
+                if sidecar {
+                    return Err(IngestError::SchemaInDumpAndSidecar { line: lineno });
+                }
+                if inferred || proto.is_some() || interner.is_some() {
+                    // Schema after data: same named error as load_tsv.
+                    lenient!(
+                        stats,
+                        Err::<(), _>(IngestError::parse(lineno, LoadErrorKind::SchemaAfterNodes))
+                    );
+                }
+                lenient!(stats, sb.handle(first, parts, lineno));
+                stats.schema_lines += 1;
+            }
+            "node" => {
+                stats.node_lines += 1;
+                if interner.is_some() {
+                    return Err(IngestError::MixedIdSpaces { line: lineno });
+                }
+                let g = proto.get_or_insert_with(|| Dmhg::new(sb.schema.clone()));
+                lenient!(stats, declare_node(g, parts, lineno));
+                mode = IngestMode::Declared;
+            }
+            _ => {
+                // An edge: `edge …` or (string-id modes) a bare 4-field line.
+                let declared = mode == IngestMode::Declared;
+                let fields = if first == "edge" {
+                    lenient!(stats, edge_fields(parts, lineno))
+                } else if declared {
+                    // Declared mode keeps load_tsv's strict directive set.
+                    lenient!(
+                        stats,
+                        Err::<EdgeFields, _>(IngestError::parse(
+                            lineno,
+                            LoadErrorKind::UnknownDirective(text.to_string()),
+                        ))
+                    )
+                } else {
+                    lenient!(
+                        stats,
+                        edge_fields(std::iter::once(first).chain(parts), lineno)
+                    )
+                };
+                if declared {
+                    // Numeric endpoints against the declared node table.
+                    let g = proto.as_ref().expect("declared mode implies nodes");
+                    lenient!(stats, check_declared_edge(g, &fields, lineno));
+                } else if sb.schema.num_relations() == 0 && !inferred {
+                    // No schema at all: load_tsv's error for an edge with
+                    // nothing declared.
+                    lenient!(
+                        stats,
+                        Err::<(), _>(IngestError::parse(lineno, LoadErrorKind::EdgeBeforeNodes))
+                    );
+                } else {
+                    if proto.is_none() {
+                        proto = Some(Dmhg::new(sb.schema.clone()));
+                    }
+                    let g = proto.as_mut().expect("just initialised");
+                    let it = interner.get_or_insert_with(|| Interner::new(opts.interner_budget));
+                    lenient!(
+                        stats,
+                        intern_edge(g, it, &sb.schema, &fields, lineno, inferred, opts)
+                    );
+                }
+                let t = lenient!(
+                    stats,
+                    parse_timestamp(fields.time, lineno).map_err(IngestError::Parse)
+                );
+                if t < prev_time {
+                    stats.out_of_order += 1;
+                }
+                prev_time = t;
+                stats.edges += 1;
+            }
+        }
+    }
+    stats.bytes = rdr.bytes();
+    if let Some(it) = &interner {
+        stats.interner = it.stats();
+    }
+
+    let prototype = proto.unwrap_or_else(|| Dmhg::new(sb.schema));
+    let metapaths = resolve_metapaths(&prototype, sb.metapath_specs)?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("stream")
+        .to_string();
+    Ok(ScanReport {
+        dataset: Dataset {
+            name,
+            prototype,
+            edges: Vec::new(),
+            metapaths,
+        },
+        mode,
+        stats,
+        path: path.to_path_buf(),
+        options: opts.clone(),
+        interner,
+    })
+}
+
+/// Handles one `node ID TYPE` line exactly like `load_tsv`.
+fn declare_node<'a>(
+    g: &mut Dmhg,
+    mut parts: impl Iterator<Item = &'a str>,
+    lineno: usize,
+) -> Result<(), IngestError> {
+    let err = |kind: LoadErrorKind| IngestError::parse(lineno, kind);
+    let id_tok = parts
+        .next()
+        .ok_or_else(|| err(LoadErrorKind::MissingField("node id")))?;
+    let id: u32 = id_tok.parse().map_err(|_| {
+        err(LoadErrorKind::BadField {
+            what: "node id",
+            token: id_tok.to_string(),
+        })
+    })?;
+    let ty_name = parts
+        .next()
+        .ok_or_else(|| err(LoadErrorKind::MissingField("node type")))?;
+    let ty = g.schema().node_type_by_name(ty_name).ok_or_else(|| {
+        err(LoadErrorKind::UnknownName {
+            what: "node type",
+            name: ty_name.to_string(),
+        })
+    })?;
+    let assigned = g
+        .try_add_node(ty)
+        .map_err(|e| err(LoadErrorKind::Graph(e.to_string())))?;
+    if assigned != NodeId(id) {
+        return Err(err(LoadErrorKind::NonDenseNodeId {
+            expected: assigned.0,
+            got: id,
+        }));
+    }
+    reject_trailing(parts, "node", lineno)
+}
+
+/// Validates a declared-mode edge (numeric endpoints) without storing it.
+fn check_declared_edge(g: &Dmhg, fields: &EdgeFields, lineno: usize) -> Result<(), IngestError> {
+    let err = |kind: LoadErrorKind| IngestError::parse(lineno, kind);
+    let src = parse_endpoint(Some(fields.src), "src", lineno)?;
+    let dst = parse_endpoint(Some(fields.dst), "dst", lineno)?;
+    let rel = g.schema().relation_by_name(fields.rel).ok_or_else(|| {
+        err(LoadErrorKind::UnknownName {
+            what: "relation",
+            name: fields.rel.to_string(),
+        })
+    })?;
+    for endpoint in [src, dst] {
+        if endpoint as usize >= g.num_nodes() {
+            return Err(err(LoadErrorKind::UndeclaredEndpoint {
+                node: endpoint,
+                num_nodes: g.num_nodes(),
+            }));
+        }
+    }
+    let (ts, td) = (g.node_type(NodeId(src)), g.node_type(NodeId(dst)));
+    g.schema()
+        .check_edge(rel, ts, td)
+        .map_err(|e| err(LoadErrorKind::Graph(e.to_string())))?;
+    Ok(())
+}
+
+/// Interns a string-id edge's endpoints, registering fresh nodes in the
+/// prototype (dense, first-appearance order) and checking type
+/// consistency for repeats.
+fn intern_edge(
+    g: &mut Dmhg,
+    it: &mut Interner,
+    schema: &GraphSchema,
+    fields: &EdgeFields,
+    lineno: usize,
+    inferred: bool,
+    opts: &IngestOptions,
+) -> Result<(), IngestError> {
+    let rel = match schema.relation_by_name(fields.rel) {
+        Some(r) => r,
+        None if inferred => {
+            return Err(IngestError::RelationPastPrefix {
+                line: lineno,
+                relation: fields.rel.to_string(),
+                scan_lines: opts.scan_lines,
+            })
+        }
+        None => {
+            return Err(IngestError::parse(
+                lineno,
+                LoadErrorKind::UnknownName {
+                    what: "relation",
+                    name: fields.rel.to_string(),
+                },
+            ))
+        }
+    };
+    let spec = schema.relation(rel).expect("relation just resolved");
+    for (key, want_ty) in [(fields.src, spec.src_type), (fields.dst, spec.dst_type)] {
+        let (id, fresh) = it
+            .intern(key.as_bytes())
+            .map_err(|source| IngestError::Interner {
+                line: lineno,
+                source,
+            })?;
+        if fresh {
+            let assigned = g
+                .try_add_node(want_ty)
+                .map_err(|e| IngestError::parse(lineno, LoadErrorKind::Graph(e.to_string())))?;
+            debug_assert_eq!(assigned, NodeId(id), "interner and prototype desynced");
+        } else if g.node_type(NodeId(id)) != want_ty {
+            let name = |t: NodeTypeId| schema.node_type_name(t).unwrap_or("<unknown>").to_string();
+            return Err(IngestError::TypeConflict {
+                line: lineno,
+                key: key.to_string(),
+                expected: name(g.node_type(NodeId(id))),
+                got: name(want_ty),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Pass 2: re-reads the dump and yields edges in file order, translating
+/// endpoints through the frozen pass-1 state. Feed each edge to
+/// `ServeHandle::ingest` — the engine's bounded queue and admission layer
+/// provide the backpressure.
+pub struct EventStream {
+    reader: LineReader<File>,
+    schema: GraphSchema,
+    num_nodes: usize,
+    mode: IngestMode,
+    interner: Option<Interner>,
+    skip_malformed: bool,
+    /// Pass-1 totals (interner facts, node lines, …).
+    scan_stats: IngestStats,
+    /// Live pass-2 counters.
+    stats: IngestStats,
+    prev_time: f64,
+    fused: bool,
+}
+
+impl EventStream {
+    /// Live counters: pass-2 line/byte/edge progress merged with the
+    /// pass-1 interner facts.
+    pub fn stats(&self) -> IngestStats {
+        let mut s = self.stats;
+        s.node_lines = self.scan_stats.node_lines;
+        s.schema_lines = self.scan_stats.schema_lines;
+        s.interner = match &self.interner {
+            Some(it) => it.stats(),
+            None => self.scan_stats.interner,
+        };
+        s
+    }
+
+    /// How node identity was established in pass 1.
+    pub fn mode(&self) -> IngestMode {
+        self.mode
+    }
+
+    fn next_inner(&mut self) -> Option<Result<TemporalEdge, IngestError>> {
+        loop {
+            match self.reader.read_line() {
+                Ok(false) => return None,
+                Ok(true) => {}
+                Err(e) => {
+                    return Some(Err(IngestError::Io {
+                        line: self.reader.lineno() + 1,
+                        msg: e.to_string(),
+                    }))
+                }
+            }
+            let lineno = self.reader.lineno();
+            self.stats.lines += 1;
+            self.stats.bytes = self.reader.bytes();
+            match self.classify(lineno) {
+                Ok(Some(edge)) => {
+                    self.stats.edges += 1;
+                    if edge.time < self.prev_time {
+                        self.stats.out_of_order += 1;
+                    }
+                    self.prev_time = edge.time;
+                    return Some(Ok(edge));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    if self.skip_malformed && e.recoverable() {
+                        self.stats.malformed += 1;
+                        continue;
+                    }
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+
+    /// Parses the current line; `Ok(None)` for non-edge lines.
+    fn classify(&mut self, lineno: usize) -> Result<Option<TemporalEdge>, IngestError> {
+        // Borrow the line bytes once; everything below works on `text`.
+        let text = utf8(self.reader.line(), lineno)?.trim();
+        if text.is_empty() || text.starts_with('#') {
+            self.stats.comments += 1;
+            return Ok(None);
+        }
+        let mut parts = text.split_whitespace();
+        let first = parts.next().unwrap_or("");
+        let fields = match first {
+            // Pass 1 already validated schema and node lines; skip them.
+            "nodetype" | "relation" | "metapath" | "node" => return Ok(None),
+            "edge" => edge_fields(parts, lineno)?,
+            _ if self.mode == IngestMode::Declared => {
+                return Err(IngestError::parse(
+                    lineno,
+                    LoadErrorKind::UnknownDirective(text.to_string()),
+                ))
+            }
+            _ => edge_fields(std::iter::once(first).chain(parts), lineno)?,
+        };
+        let rel = self.schema.relation_by_name(fields.rel).ok_or_else(|| {
+            IngestError::parse(
+                lineno,
+                LoadErrorKind::UnknownName {
+                    what: "relation",
+                    name: fields.rel.to_string(),
+                },
+            )
+        })?;
+        let (src, dst) = match &mut self.interner {
+            None => {
+                let src = parse_endpoint(Some(fields.src), "src", lineno)?;
+                let dst = parse_endpoint(Some(fields.dst), "dst", lineno)?;
+                for endpoint in [src, dst] {
+                    if endpoint as usize >= self.num_nodes {
+                        return Err(IngestError::parse(
+                            lineno,
+                            LoadErrorKind::UndeclaredEndpoint {
+                                node: endpoint,
+                                num_nodes: self.num_nodes,
+                            },
+                        ));
+                    }
+                }
+                (src, dst)
+            }
+            Some(it) => {
+                let mut translate = |key: &str| -> Result<u32, IngestError> {
+                    let (id, fresh) =
+                        it.intern(key.as_bytes())
+                            .map_err(|source| IngestError::Interner {
+                                line: lineno,
+                                source,
+                            })?;
+                    if fresh || id as usize >= self.num_nodes {
+                        return Err(IngestError::ChangedBetweenPasses { line: lineno });
+                    }
+                    Ok(id)
+                };
+                (translate(fields.src)?, translate(fields.dst)?)
+            }
+        };
+        let t = parse_timestamp(fields.time, lineno)?;
+        Ok(Some(TemporalEdge::new(NodeId(src), NodeId(dst), rel, t)))
+    }
+}
+
+impl Iterator for EventStream {
+    type Item = Result<TemporalEdge, IngestError>;
+
+    /// Yields the next edge; after the first error the stream is fused.
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fused {
+            return None;
+        }
+        let item = self.next_inner();
+        if matches!(item, Some(Err(_))) {
+            self.fused = true;
+        }
+        item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_dump(content: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "supa-ingest-test-{}-{:x}.tsv",
+            std::process::id(),
+            interner::fnv1a(content.as_bytes())
+        ));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(content.as_bytes()).unwrap();
+        path
+    }
+
+    fn collect(path: &Path, opts: &IngestOptions) -> (Dataset, Vec<TemporalEdge>, IngestStats) {
+        let report = scan_tsv(path, opts).unwrap();
+        let (dataset, mut stream) = report.into_stream().unwrap();
+        let mut edges = Vec::new();
+        for e in &mut stream {
+            edges.push(e.unwrap());
+        }
+        let stats = stream.stats();
+        (dataset, edges, stats)
+    }
+
+    const DECLARED: &str = "\
+# demo
+nodetype User
+nodetype Item
+relation Click User Item
+metapath User Click Item Click User
+node 0 User
+node 1 Item
+node 2 Item
+edge 0 1 Click 1.0
+edge 0 2 Click 2.0
+";
+
+    #[test]
+    fn declared_dump_matches_load_tsv_exactly() {
+        let path = write_dump(DECLARED);
+        let want =
+            supa_datasets::load_tsv("d", std::io::BufReader::new(File::open(&path).unwrap()))
+                .unwrap();
+        let (got, edges, stats) = collect(&path, &IngestOptions::default());
+        assert_eq!(got.prototype.schema(), want.prototype.schema());
+        assert_eq!(got.num_nodes(), want.num_nodes());
+        for id in 0..got.num_nodes() as u32 {
+            assert_eq!(
+                got.prototype.node_type(NodeId(id)),
+                want.prototype.node_type(NodeId(id))
+            );
+        }
+        assert_eq!(got.metapaths, want.metapaths);
+        assert_eq!(edges, want.edges);
+        assert_eq!(stats.edges, 2);
+        assert_eq!(stats.out_of_order, 0);
+        assert_eq!(stats.interner.interned, 0);
+        let report = scan_tsv(&path, &IngestOptions::default()).unwrap();
+        assert_eq!(report.mode, IngestMode::Declared);
+        assert!(report.dataset.edges.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interned_dump_with_in_file_schema() {
+        let dump = "\
+nodetype User
+nodetype Item
+relation Click User Item
+edge alice item-9 Click 1.0
+edge bob item-9 Click 2.0
+edge alice item-3 Click 3.0
+";
+        let path = write_dump(dump);
+        let report = scan_tsv(&path, &IngestOptions::default()).unwrap();
+        assert_eq!(report.mode, IngestMode::Interned);
+        assert_eq!(report.stats.interner.interned, 4); // alice, item-9, bob, item-3
+        let (dataset, stream) = report.into_stream().unwrap();
+        assert_eq!(dataset.num_nodes(), 4);
+        let schema = dataset.prototype.schema();
+        let user = schema.node_type_by_name("User").unwrap();
+        let item = schema.node_type_by_name("Item").unwrap();
+        // First-appearance order: alice=0(User), item-9=1(Item), bob=2, item-3=3.
+        assert_eq!(dataset.prototype.node_type(NodeId(0)), user);
+        assert_eq!(dataset.prototype.node_type(NodeId(1)), item);
+        assert_eq!(dataset.prototype.node_type(NodeId(2)), user);
+        assert_eq!(dataset.prototype.node_type(NodeId(3)), item);
+        let edges: Vec<_> = stream.map(|e| e.unwrap()).collect();
+        assert_eq!(edges.len(), 3);
+        assert_eq!((edges[0].src, edges[0].dst), (NodeId(0), NodeId(1)));
+        assert_eq!((edges[1].src, edges[1].dst), (NodeId(2), NodeId(1)));
+        assert_eq!((edges[2].src, edges[2].dst), (NodeId(0), NodeId(3)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn headerless_dump_infers_schema() {
+        let dump = "\
+# raw production dump: user item behaviour ts
+u1 i1 Click 1.0
+u2 i1 Click 2.0
+u1 i1 Buy 3.0
+u2 u1 Follow 4.0
+";
+        let path = write_dump(dump);
+        let report = scan_tsv(&path, &IngestOptions::default()).unwrap();
+        assert_eq!(report.mode, IngestMode::Inferred);
+        let schema = report.dataset.prototype.schema();
+        // Users and items form two slot classes (u* appear as Follow dst,
+        // merging Follow's dst slot with the user slot).
+        assert_eq!(schema.num_node_types(), 2);
+        assert_eq!(schema.num_relations(), 3);
+        let click = schema.relation_by_name("Click").unwrap();
+        let follow = schema.relation_by_name("Follow").unwrap();
+        let click_spec = schema.relation(click).unwrap();
+        let follow_spec = schema.relation(follow).unwrap();
+        assert_eq!(follow_spec.src_type, click_spec.src_type);
+        assert_eq!(follow_spec.dst_type, click_spec.src_type);
+        let (_, edges, stats) = collect(&path, &IngestOptions::default());
+        assert_eq!(edges.len(), 4);
+        assert_eq!(stats.edges, 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn relation_past_prefix_is_named() {
+        let dump = "\
+u1 i1 Click 1.0
+u2 i1 Click 2.0
+u1 i2 Surprise 3.0
+";
+        let path = write_dump(dump);
+        let err = scan_tsv(
+            &path,
+            &IngestOptions {
+                scan_lines: 2,
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap_err();
+        match &err {
+            IngestError::RelationPastPrefix { relation, .. } => {
+                assert_eq!(relation, "Surprise");
+            }
+            other => panic!("expected RelationPastPrefix, got {other:?}"),
+        }
+        assert!(err.to_string().contains("inference prefix"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn type_conflict_is_named() {
+        let dump = "\
+nodetype User
+nodetype Item
+relation Click User Item
+relation Stock Item Item
+edge alice item-1 Click 1.0
+edge alice item-1 Stock 2.0
+";
+        let path = write_dump(dump);
+        let err = scan_tsv(&path, &IngestOptions::default()).unwrap_err();
+        match &err {
+            IngestError::TypeConflict { key, .. } => assert_eq!(key, "alice"),
+            other => panic!("expected TypeConflict, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mixed_id_spaces_rejected() {
+        let dump = "\
+nodetype User
+relation R User User
+edge a b R 1.0
+node 0 User
+";
+        let path = write_dump(dump);
+        let err = scan_tsv(&path, &IngestOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, IngestError::MixedIdSpaces { line: 4 }),
+            "{err:?}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sidecar_schema_drives_a_bare_dump() {
+        let schema = "\
+nodetype User
+nodetype Item
+relation Click User Item
+";
+        let spath = write_dump(schema);
+        let dump = "\
+edge u1 i1 Click 1.0
+u2 i1 Click 2.0
+";
+        let dpath = write_dump(dump);
+        let opts = IngestOptions {
+            schema_path: Some(spath.clone()),
+            ..IngestOptions::default()
+        };
+        let report = scan_tsv(&dpath, &opts).unwrap();
+        assert_eq!(report.mode, IngestMode::Interned);
+        assert_eq!(report.dataset.num_nodes(), 3);
+        // A dump that declares schema on top of a sidecar is rejected.
+        let headed = write_dump("nodetype X\nedge a b Click 1.0\n");
+        let err = scan_tsv(&headed, &opts).unwrap_err();
+        assert!(
+            matches!(err, IngestError::SchemaInDumpAndSidecar { .. }),
+            "{err:?}"
+        );
+        // A sidecar with data lines is rejected.
+        let bad_sidecar = write_dump("nodetype U\nedge 0 1 R 1.0\n");
+        let err = scan_tsv(
+            &dpath,
+            &IngestOptions {
+                schema_path: Some(bad_sidecar.clone()),
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, IngestError::SidecarData { line: 2 }),
+            "{err:?}"
+        );
+        for p in [spath, dpath, headed, bad_sidecar] {
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn strict_mode_fails_and_lenient_mode_counts() {
+        let dump = "\
+nodetype User
+relation R User User
+node 0 User
+node 1 User
+edge 0 1 R 1.0
+edge 0 1 R nan
+edge 0 99 R 2.0
+edge 0 1 R 3.0
+";
+        let path = write_dump(dump);
+        let err = scan_tsv(&path, &IngestOptions::default()).unwrap_err();
+        assert_eq!(err.line(), 6);
+        let opts = IngestOptions {
+            skip_malformed: true,
+            ..IngestOptions::default()
+        };
+        let report = scan_tsv(&path, &opts).unwrap();
+        assert_eq!(report.stats.malformed, 2);
+        assert_eq!(report.stats.edges, 2);
+        let (_, stream) = report.into_stream().unwrap();
+        let mut stream = stream;
+        let edges: Vec<_> = (&mut stream).map(|e| e.unwrap()).collect();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(stream.stats().malformed, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_order_edges_are_counted_not_hidden() {
+        let dump = "\
+nodetype U
+relation R U U
+node 0 U
+node 1 U
+edge 0 1 R 5.0
+edge 1 0 R 2.0
+";
+        let path = write_dump(dump);
+        let report = scan_tsv(&path, &IngestOptions::default()).unwrap();
+        assert_eq!(report.stats.out_of_order, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trailing_garbage_rejected_in_stream_parser_too() {
+        let dump = "\
+nodetype U
+relation R U U
+node 0 U
+node 1 U
+edge 0 1 R 1.0 extra
+";
+        let path = write_dump(dump);
+        let err = scan_tsv(&path, &IngestOptions::default()).unwrap_err();
+        match err {
+            IngestError::Parse(e) => {
+                assert_eq!(e.line, 5);
+                assert!(matches!(
+                    e.kind,
+                    LoadErrorKind::TrailingFields {
+                        directive: "edge",
+                        ..
+                    }
+                ));
+            }
+            other => panic!("expected Parse(TrailingFields), got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn budget_overflow_surfaces_as_named_interner_error() {
+        let mut dump = String::from("nodetype U\nrelation R U U\n");
+        for i in 0..500 {
+            dump.push_str(&format!("edge user-{i} item-{i} R {}.0\n", i + 1));
+        }
+        let path = write_dump(&dump);
+        let err = scan_tsv(
+            &path,
+            &IngestOptions {
+                interner_budget: 512,
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap_err();
+        match &err {
+            IngestError::Interner {
+                source: InternerError::BudgetExceeded { budget, .. },
+                ..
+            } => assert_eq!(*budget, 512),
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stream_is_fused_after_error() {
+        let dump = "\
+nodetype U
+relation R U U
+node 0 U
+edge 0 0 R 1.0
+garbage line here
+edge 0 0 R 2.0
+";
+        let path = write_dump(dump);
+        // Lenient scan so pass 1 succeeds; strict stream so pass 2 errors.
+        let report = scan_tsv(
+            &path,
+            &IngestOptions {
+                skip_malformed: true,
+                ..IngestOptions::default()
+            },
+        )
+        .unwrap();
+        let (_, mut stream) = report.into_stream().unwrap();
+        stream.skip_malformed = false;
+        assert!(stream.next().unwrap().is_ok());
+        assert!(stream.next().unwrap().is_err());
+        assert!(stream.next().is_none(), "stream must fuse after an error");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_and_schema_only_dumps_scan_cleanly() {
+        let path = write_dump("# nothing but comments\n\n");
+        let report = scan_tsv(&path, &IngestOptions::default()).unwrap();
+        assert_eq!(report.dataset.num_nodes(), 0);
+        assert_eq!(report.stats.edges, 0);
+        let (_, stream) = report.into_stream().unwrap();
+        assert_eq!(stream.count(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,104 @@
+//! Chunked line reader with one reusable buffer.
+//!
+//! `BufRead::lines()` allocates a fresh `String` per line — at 10⁸ lines
+//! that is 10⁸ allocations for bytes we look at exactly once. This reader
+//! instead `read_until`s into a single `Vec<u8>` that is reused for every
+//! line, tracking the 1-based line number and total bytes consumed.
+
+use std::io::{BufRead, BufReader, Read};
+
+/// Default chunk size of the underlying buffered reader.
+pub const CHUNK_BYTES: usize = 256 * 1024;
+
+/// A line-at-a-time reader over any `Read`, allocating once.
+pub struct LineReader<R: Read> {
+    inner: BufReader<R>,
+    buf: Vec<u8>,
+    lineno: usize,
+    bytes: u64,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps `inner` with the default chunk size.
+    pub fn new(inner: R) -> Self {
+        LineReader {
+            inner: BufReader::with_capacity(CHUNK_BYTES, inner),
+            buf: Vec::with_capacity(256),
+            lineno: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Reads the next line into the internal buffer. Returns `false` at
+    /// end of input. The terminator (`\n`, `\r\n`) is stripped.
+    pub fn read_line(&mut self) -> std::io::Result<bool> {
+        self.buf.clear();
+        let n = self.inner.read_until(b'\n', &mut self.buf)?;
+        if n == 0 {
+            return Ok(false);
+        }
+        self.bytes += n as u64;
+        self.lineno += 1;
+        if self.buf.last() == Some(&b'\n') {
+            self.buf.pop();
+        }
+        if self.buf.last() == Some(&b'\r') {
+            self.buf.pop();
+        }
+        Ok(true)
+    }
+
+    /// The current line's bytes (terminator stripped).
+    pub fn line(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// 1-based number of the current line.
+    pub fn lineno(&self) -> usize {
+        self.lineno
+    }
+
+    /// Total bytes consumed from the underlying reader, terminators
+    /// included.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn yields_lines_without_terminators() {
+        let mut r = LineReader::new(Cursor::new(b"a b\r\nc\n\nlast".to_vec()));
+        let mut got = Vec::new();
+        while r.read_line().unwrap() {
+            got.push((r.lineno(), String::from_utf8(r.line().to_vec()).unwrap()));
+        }
+        assert_eq!(
+            got,
+            vec![
+                (1, "a b".to_string()),
+                (2, "c".to_string()),
+                (3, String::new()),
+                (4, "last".to_string())
+            ]
+        );
+        assert_eq!(r.bytes(), 12);
+    }
+
+    #[test]
+    fn buffer_is_reused_across_lines() {
+        let long = "x".repeat(200);
+        let input = format!("{long}\nshort\n{long}\n");
+        let mut r = LineReader::new(Cursor::new(input.into_bytes()));
+        assert!(r.read_line().unwrap());
+        let cap_after_long = r.buf.capacity();
+        assert!(r.read_line().unwrap());
+        assert!(r.read_line().unwrap());
+        assert_eq!(r.buf.capacity(), cap_after_long, "buffer was reallocated");
+        assert!(!r.read_line().unwrap());
+    }
+}

@@ -12,7 +12,12 @@
 //!                [--holdout 0.2] [--sampled N]
 //! supa recommend --data data.tsv --checkpoint model.ckpt --user 3
 //!                --relation Buy [--top 10] [--dim 32] [--include-seen]
-//! supa serve     --data data.tsv [--dim 32] [--seed 7] [--readers 4]
+//! supa ingest    --data dump.tsv [--schema schema.tsv] [--scan-lines 10000]
+//!                [--interner-budget BYTES] [--on-bad-event strict|skip]
+//!                [--out canonical.tsv]
+//! supa serve     (--data data.tsv | --stream-tsv dump.tsv)
+//!                [--schema schema.tsv] [--interner-budget BYTES]
+//!                [--scan-lines 10000] [--dim 32] [--seed 7] [--readers 4]
 //!                [--queries 500] [--top 10] [--batch 64] [--queue 1024]
 //!                [--snapshot-every 1] [--cache 4096] [--checkpoint-dir DIR]
 //!                [--checkpoint-every 8] [--keep 3] [--resume]
@@ -23,6 +28,7 @@
 //!                [--shed-policy block|drop-oldest|sample-1-in-k]
 //!                [--sample-k 8] [--priority Rel=low|normal|high,...]
 //!                [--metrics-dump FILE]
+//!                [--prom-addr 127.0.0.1:9464] [--prom-wait 0]
 //!                [--publish-addr 127.0.0.1:7001] [--publish-segment FILE]
 //!                [--publish-wait 0]
 //! supa replica   --data data.tsv (--connect HOST:PORT | --segment FILE)
@@ -85,6 +91,24 @@
 //! appends a JSON line of serving metrics — including shed counts and the
 //! current degradation level — every ~200 ms while the run is live.
 //!
+//! Streaming ingestion: `serve --stream-tsv` replays an event dump straight
+//! off disk through `supa-ingest` instead of materialising the edge list —
+//! peak memory is O(nodes + queue), not O(events). A validation pass first
+//! discovers the node universe (and, for headerless dumps, infers the
+//! schema over the first `--scan-lines` lines or reads a `--schema`
+//! sidecar); the replay pass then streams edges through the same admission
+//! path as `--data`, so a well-formed dump produces the *same probe digest*
+//! either way. String node ids are mapped to dense ids by a
+//! bounded-memory interner that spills to disk under `--interner-budget`
+//! bytes. `ingest` runs the validation pass alone — parse, count, report
+//! throughput — and with `--out` converts a dump to the canonical TSV
+//! without ever holding its edges in memory.
+//!
+//! Observability: `serve --prom-addr HOST:PORT` exposes every serving
+//! metric (including the streaming `ingest_*` counters) in the Prometheus
+//! text format for the lifetime of the run; `--prom-wait N` keeps the run
+//! alive after the replay until at least `N` scrapes have been answered.
+//!
 //! Replication: `serve --publish-addr` streams every published epoch as a
 //! CRC-framed delta over TCP (each new subscriber first receives a full
 //! baseline), `--publish-segment` appends the same frames to a file for
@@ -105,15 +129,16 @@ use std::process::ExitCode;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use supa::{CheckpointManager, InsLearnConfig, Supa, SupaConfig, TrainOptions};
-use supa_datasets::{all_datasets, load_tsv, save_tsv, Dataset};
+use supa_datasets::{all_datasets, load_tsv, save_header, save_tsv, write_edge_line, Dataset};
 use supa_eval::{top_k_scored, RankingEvaluator, Scorer};
 use supa_graph::{
     guard_stream, mine_metapaths, MiningConfig, NodeId, PriorityMap, QuarantinePolicy,
 };
+use supa_ingest::{scan_tsv, IngestOptions};
 use supa_replica::{replay_segment, run_tcp, AnnParams, PublishOptions, Replica};
 use supa_serve::{
-    probe_digest, run_closed_loop, AdmissionOptions, AnnOptions, CheckpointOptions, LoadConfig,
-    ServeConfig, ServeMetrics, ShedPolicy, StopCause,
+    probe_digest, run_closed_loop, run_streamed_closed_loop, AdmissionOptions, AnnOptions,
+    CheckpointOptions, LoadConfig, ServeConfig, ServeMetrics, ShedPolicy, StopCause,
 };
 
 fn main() -> ExitCode {
@@ -190,9 +215,25 @@ const COMMANDS: &[CommandSpec] = &[
         bool_flags: &["mine", "include-seen"],
     },
     CommandSpec {
+        name: "ingest",
+        value_flags: &[
+            "data",
+            "schema",
+            "scan-lines",
+            "interner-budget",
+            "on-bad-event",
+            "out",
+        ],
+        bool_flags: &[],
+    },
+    CommandSpec {
         name: "serve",
         value_flags: &[
             "data",
+            "stream-tsv",
+            "schema",
+            "scan-lines",
+            "interner-budget",
             "dim",
             "seed",
             "readers",
@@ -217,6 +258,8 @@ const COMMANDS: &[CommandSpec] = &[
             "sample-k",
             "priority",
             "metrics-dump",
+            "prom-addr",
+            "prom-wait",
             "publish-addr",
             "publish-segment",
             "publish-wait",
@@ -276,7 +319,7 @@ fn parse(args: &[String]) -> Result<(String, HashMap<String, String>), String> {
 }
 
 fn usage() -> String {
-    "usage: supa <generate|stats|mine|train|evaluate|recommend|serve|replica> [--flags]; \
+    "usage: supa <generate|stats|mine|train|evaluate|recommend|ingest|serve|replica> [--flags]; \
      see the binary's module docs"
         .to_string()
 }
@@ -304,7 +347,21 @@ fn require<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str
 fn load_dataset(flags: &HashMap<String, String>) -> Result<Dataset, String> {
     let path = require(flags, "data")?;
     let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    load_tsv(path, BufReader::new(f))
+    load_tsv(path, BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Streaming-ingest knobs shared by `serve --stream-tsv` and `ingest`.
+fn ingest_options(
+    flags: &HashMap<String, String>,
+    skip_malformed: bool,
+) -> Result<IngestOptions, String> {
+    let defaults = IngestOptions::default();
+    Ok(IngestOptions {
+        schema_path: flags.get("schema").map(Into::into),
+        interner_budget: get(flags, "interner-budget", defaults.interner_budget)?,
+        scan_lines: get(flags, "scan-lines", defaults.scan_lines)?,
+        skip_malformed,
+    })
 }
 
 /// The training slice under `--holdout F`: the leading `1−F` of the stream.
@@ -572,14 +629,121 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
+        "ingest" => {
+            let path = require(&flags, "data")?;
+            let skip = match flags.get("on-bad-event").map(String::as_str) {
+                None | Some("strict") => false,
+                Some("skip") => true,
+                Some(other) => {
+                    return Err(format!(
+                        "--on-bad-event: ingest accepts strict|skip, got '{other}'"
+                    ))
+                }
+            };
+            let opts = ingest_options(&flags, skip)?;
+            let t0 = std::time::Instant::now();
+            let report =
+                scan_tsv(std::path::Path::new(path), &opts).map_err(|e| format!("{path}: {e}"))?;
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            let s = report.stats;
+            println!("{}", report.dataset.summary());
+            println!("mode:   {}", report.mode);
+            println!(
+                "lines:  {} total ({} B): {} schema, {} node, {} edge, {} comment, {} malformed",
+                s.lines, s.bytes, s.schema_lines, s.node_lines, s.edges, s.comments, s.malformed
+            );
+            if s.out_of_order > 0 {
+                println!(
+                    "order:  {} out-of-order timestamps (load_tsv would re-sort; \
+                     streamed replay preserves file order)",
+                    s.out_of_order
+                );
+            }
+            if s.interner.interned > 0 {
+                println!(
+                    "intern: {} string ids, {} spills, peak {} B resident, {} B in runs",
+                    s.interner.interned,
+                    s.interner.spills,
+                    s.interner.peak_mem_bytes,
+                    s.interner.run_bytes
+                );
+            }
+            println!(
+                "speed:  {:.0} lines/s ({:.1} MB/s) over the validation pass",
+                s.lines as f64 / secs,
+                s.bytes as f64 / (1e6 * secs)
+            );
+            if let Some(out) = flags.get("out") {
+                use std::io::Write;
+                let (d, stream) = report.into_stream().map_err(|e| format!("{path}: {e}"))?;
+                let f = std::fs::File::create(out).map_err(|e| format!("{out}: {e}"))?;
+                let mut w = std::io::BufWriter::new(f);
+                save_header(&d, &mut w).map_err(|e| format!("{out}: {e}"))?;
+                let schema = d.prototype.schema();
+                let mut written = 0u64;
+                for ev in stream {
+                    let e = ev.map_err(|e| format!("{path}: {e}"))?;
+                    write_edge_line(&mut w, schema, &e).map_err(|e| format!("{out}: {e}"))?;
+                    written += 1;
+                }
+                w.flush().map_err(|e| format!("{out}: {e}"))?;
+                println!("wrote {out}: canonical header + {written} streamed edges");
+            }
+            Ok(())
+        }
         "serve" => {
-            let d = load_dataset(&flags)?;
             let policy: QuarantinePolicy = flags
                 .get("on-bad-event")
                 .map(|s| s.parse())
                 .transpose()
                 .map_err(|e| format!("--on-bad-event: {e}"))?
                 .unwrap_or(QuarantinePolicy::Skip);
+            let streaming = flags.contains_key("stream-tsv");
+            if streaming && flags.contains_key("data") {
+                return Err("--data and --stream-tsv are mutually exclusive".into());
+            }
+            if !streaming {
+                for f in ["schema", "scan-lines", "interner-budget"] {
+                    if flags.contains_key(f) {
+                        return Err(format!("--{f} needs --stream-tsv"));
+                    }
+                }
+            }
+            if flags.contains_key("prom-wait") && !flags.contains_key("prom-addr") {
+                return Err("--prom-wait needs --prom-addr".into());
+            }
+            let (d, mut stream) = if streaming {
+                if flags.contains_key("mine") {
+                    return Err(
+                        "--mine needs --data: metapaths cannot be mined from a stream; \
+                         declare metapath lines in the dump or a --schema sidecar"
+                            .into(),
+                    );
+                }
+                let path = flags.get("stream-tsv").unwrap();
+                let skip = !matches!(policy, QuarantinePolicy::Strict);
+                let opts = ingest_options(&flags, skip)?;
+                let report = scan_tsv(std::path::Path::new(path), &opts)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                eprintln!(
+                    "scanned {path}: mode {}, {} nodes, {} edges, {} malformed",
+                    report.mode,
+                    report.dataset.prototype.num_nodes(),
+                    report.stats.edges,
+                    report.stats.malformed
+                );
+                if report.dataset.metapaths.is_empty() {
+                    return Err(
+                        "streamed dump declares no metapaths: add metapath lines to the \
+                         dump or a --schema sidecar"
+                            .into(),
+                    );
+                }
+                let (d, stream) = report.into_stream().map_err(|e| format!("{path}: {e}"))?;
+                (d, Some(stream))
+            } else {
+                (load_dataset(&flags)?, None)
+            };
             let checkpoint = match flags.get("checkpoint-dir") {
                 Some(dir) => Some(CheckpointOptions {
                     dir: dir.into(),
@@ -677,8 +841,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 warmup_per_reader: get(&flags, "warmup", 8)?,
                 verify: true,
                 metrics_dump: flags.get("metrics-dump").map(Into::into),
+                prom_addr: flags.get("prom-addr").cloned(),
+                prom_wait: get(&flags, "prom-wait", 0)?,
             };
-            let report = run_closed_loop(&d, model, serve_cfg, load).map_err(|e| e.to_string())?;
+            let report = match stream.as_mut() {
+                Some(s) => run_streamed_closed_loop(&d, model, serve_cfg, load, s),
+                None => run_closed_loop(&d, model, serve_cfg, load),
+            }
+            .map_err(|e| e.to_string())?;
             println!("{report}");
             match &report.stop {
                 StopCause::Panicked(msg) => {
@@ -959,6 +1129,75 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("--connect or --segment"), "{err}");
+    }
+
+    #[test]
+    fn ingest_and_stream_flags_parse_per_command() {
+        let (cmd, flags) = parse(&sargs(&[
+            "ingest",
+            "--data",
+            "dump.tsv",
+            "--interner-budget",
+            "1048576",
+            "--scan-lines",
+            "500",
+            "--out",
+            "canonical.tsv",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "ingest");
+        assert_eq!(get(&flags, "interner-budget", 0usize).unwrap(), 1_048_576);
+        assert_eq!(flags.get("out").unwrap(), "canonical.tsv");
+        // serve accepts the streaming and prom flags too; train does not.
+        assert!(parse(&sargs(&[
+            "serve",
+            "--stream-tsv",
+            "dump.tsv",
+            "--interner-budget",
+            "4096",
+            "--prom-addr",
+            "127.0.0.1:0",
+            "--prom-wait",
+            "1",
+        ]))
+        .is_ok());
+        assert!(parse(&sargs(&["train", "--stream-tsv", "d.tsv"])).is_err());
+        assert!(parse(&sargs(&["ingest", "--readers", "2"])).is_err());
+        // Run-time flag coupling, checked before any file is opened.
+        let err = run(&sargs(&[
+            "serve",
+            "--data",
+            "a.tsv",
+            "--stream-tsv",
+            "b.tsv",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = run(&sargs(&[
+            "serve",
+            "--data",
+            "a.tsv",
+            "--interner-budget",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.contains("--interner-budget needs --stream-tsv"),
+            "{err}"
+        );
+        let err = run(&sargs(&["serve", "--data", "a.tsv", "--prom-wait", "1"])).unwrap_err();
+        assert!(err.contains("--prom-wait needs --prom-addr"), "{err}");
+        let err = run(&sargs(&["serve", "--stream-tsv", "d.tsv", "--mine"])).unwrap_err();
+        assert!(err.contains("--mine needs --data"), "{err}");
+        let err = run(&sargs(&[
+            "ingest",
+            "--data",
+            "x.tsv",
+            "--on-bad-event",
+            "clamp",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("strict|skip"), "{err}");
     }
 
     #[test]

@@ -2343,6 +2343,15 @@ impl ServeHandle {
         s
     }
 
+    /// The metrics block streaming-ingest counters are published to
+    /// (shard 0, which also holds the other engine-level facts). The
+    /// streaming reader lives outside the engine, so it writes its line /
+    /// byte / interner tallies here and they surface in [`Self::metrics`]
+    /// alongside everything else.
+    pub fn ingest_metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics[0]
+    }
+
     /// Bound address of the delta publisher's TCP listener, if epoch-delta
     /// replication over TCP is enabled ([`ServeConfig::replication`]).
     pub fn replication_addr(&self) -> Option<std::net::SocketAddr> {

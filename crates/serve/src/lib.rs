@@ -63,6 +63,7 @@ pub mod cache;
 pub mod engine;
 pub mod loadgen;
 pub mod metrics;
+pub mod prom;
 
 pub use admission::{AdmissionOptions, DegradeLevel, ShedPolicy};
 pub use cache::QueryCache;
@@ -71,7 +72,8 @@ pub use engine::{
     ServeConfig, ServeEngine, ServeHandle, ServeReport, StopCause,
 };
 pub use loadgen::{
-    probe_digest, run_closed_loop, run_open_loop, LoadConfig, LoadReport, OpenLoopConfig,
-    OpenLoopReport,
+    probe_digest, run_closed_loop, run_open_loop, run_streamed_closed_loop, EventSource,
+    LoadConfig, LoadReport, OpenLoopConfig, OpenLoopReport,
 };
 pub use metrics::{LatencyHistogram, MetricsReport, ServeMetrics};
+pub use prom::PromServer;

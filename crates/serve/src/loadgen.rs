@@ -30,10 +30,11 @@ use rand::{RngExt, SeedableRng};
 use supa::Supa;
 use supa_datasets::Dataset;
 use supa_eval::top_k_scored;
-use supa_graph::{NodeId, RelationId};
+use supa_graph::{NodeId, RelationId, TemporalEdge};
 
 use crate::engine::{ServeConfig, ServeEngine, ServeHandle, StopCause};
-use crate::metrics::MetricsReport;
+use crate::metrics::{MetricsReport, ServeMetrics};
+use crate::prom::PromServer;
 
 /// Query-side knobs for [`run_closed_loop`] and [`run_open_loop`].
 #[derive(Debug, Clone)]
@@ -59,6 +60,13 @@ pub struct LoadConfig {
     /// Append a [`MetricsReport`] JSON line here every ~200 ms while the
     /// run is live (plus one final line), for offline overload analysis.
     pub metrics_dump: Option<std::path::PathBuf>,
+    /// Serve Prometheus text exposition (`text/plain; version=0.0.4`) on
+    /// this address (e.g. `127.0.0.1:9464`) for the lifetime of the run.
+    pub prom_addr: Option<String>,
+    /// With `prom_addr`: after the replay finishes, keep serving until at
+    /// least this many scrapes have been answered (bounded by a ~60 s
+    /// timeout), so a scraper that races a short run still gets a sample.
+    pub prom_wait: usize,
 }
 
 impl Default for LoadConfig {
@@ -71,14 +79,67 @@ impl Default for LoadConfig {
             warmup_per_reader: 8,
             verify: true,
             metrics_dump: None,
+            prom_addr: None,
+            prom_wait: 0,
         }
+    }
+}
+
+/// A stream of timestamped edges for [`run_streamed_closed_loop`]: the
+/// producer side of the closed loop, abstracted so a replay can come from
+/// an in-memory dataset or a bounded-memory file reader without the two
+/// paths diverging (they must produce the same engine digest).
+pub trait EventSource {
+    /// The next event, `None` at end of stream, `Some(Err)` on a fatal
+    /// stream error (the run aborts and surfaces it).
+    fn next_event(&mut self) -> Option<std::io::Result<TemporalEdge>>;
+
+    /// Publishes source-side counters (lines, bytes, interner tallies) into
+    /// the engine's metrics block. Called every few thousand events and
+    /// once at end of stream; the default does nothing.
+    fn publish(&self, _metrics: &ServeMetrics) {}
+}
+
+/// The in-memory source behind [`run_closed_loop`]: yields a dataset's
+/// edge slice in order, infallibly.
+struct SliceSource<'a> {
+    iter: std::slice::Iter<'a, TemporalEdge>,
+}
+
+impl EventSource for SliceSource<'_> {
+    fn next_event(&mut self) -> Option<std::io::Result<TemporalEdge>> {
+        self.iter.next().map(|&e| Ok(e))
+    }
+}
+
+/// The bounded-memory file producer: `supa-ingest`'s second pass streams
+/// edges straight off disk, and its line/byte/interner tallies surface as
+/// the engine's `ingest_*` metrics.
+impl EventSource for supa_ingest::EventStream {
+    fn next_event(&mut self) -> Option<std::io::Result<TemporalEdge>> {
+        self.next().map(|r| {
+            r.map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+        })
+    }
+
+    fn publish(&self, m: &ServeMetrics) {
+        let s = self.stats();
+        // `stats()` is cumulative, so these are absolute stores, not adds.
+        m.ingest_lines.store(s.lines, Ordering::Relaxed);
+        m.ingest_comments.store(s.comments, Ordering::Relaxed);
+        m.ingest_malformed.store(s.malformed, Ordering::Relaxed);
+        m.ingest_interned_nodes
+            .store(s.interner.interned, Ordering::Relaxed);
+        m.ingest_spills.store(s.interner.spills, Ordering::Relaxed);
+        m.ingest_bytes.store(s.bytes, Ordering::Relaxed);
     }
 }
 
 /// Outcome of one closed-loop run.
 #[derive(Debug)]
 pub struct LoadReport {
-    /// Events offered to the ingest queue (the full dataset stream).
+    /// Events offered to the ingest queue (the full stream, unless the
+    /// writer stopped early).
     pub events_offered: u64,
     /// Queries whose claimed epoch had already aged out of the history ring
     /// (only counted under `verify`; such results are *not* torn reads,
@@ -216,6 +277,37 @@ fn dump_loop(handle: &ServeHandle, file: std::fs::File, stop: &AtomicBool) {
     let _ = wtr.flush();
 }
 
+/// Re-renders the exposition and answers pending scrapes every ~20 ms
+/// until `stop` is raised, then one final poll. `served` accumulates how
+/// many scrapes were answered (the `prom_wait` gate watches it).
+fn prom_loop(handle: &ServeHandle, srv: PromServer, stop: &AtomicBool, served: &AtomicU64) {
+    loop {
+        let done = stop.load(Ordering::Relaxed);
+        let body = crate::prom::render(&handle.metrics());
+        let n = srv.poll(&body);
+        if n > 0 {
+            served.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        if done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// With `prom_addr` set: blocks until `prom_wait` scrapes have been
+/// answered or ~60 s pass, so short CI runs stay alive long enough for an
+/// external scraper to land one request.
+fn prom_wait_gate(load: &LoadConfig, served: &AtomicU64) {
+    if load.prom_addr.is_none() || load.prom_wait == 0 {
+        return;
+    }
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while served.load(Ordering::Relaxed) < load.prom_wait as u64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
 /// Replays `dataset`'s event stream into a fresh serving engine while
 /// `load.readers` threads issue `load.queries_per_reader` queries each,
 /// then flushes, runs deterministic probe queries, and shuts down.
@@ -225,22 +317,59 @@ pub fn run_closed_loop(
     serve_cfg: ServeConfig,
     load: LoadConfig,
 ) -> std::io::Result<LoadReport> {
+    let mut source = SliceSource {
+        iter: dataset.edges.iter(),
+    };
+    run_streamed_closed_loop(dataset, model, serve_cfg, load, &mut source)
+}
+
+/// [`run_closed_loop`] with the producer abstracted behind an
+/// [`EventSource`]: events come from `source` instead of
+/// `dataset.edges`, so a bounded-memory file reader can replay a dump the
+/// dataset never materialises. `dataset` supplies only the node universe
+/// and query mix (its edge list may be empty).
+///
+/// The contract both producers share: a well-formed dump streamed through
+/// here and the same dump loaded via `load_tsv` and replayed by
+/// [`run_closed_loop`] produce the **same probe digest** — streaming is an
+/// I/O strategy, not a semantic change.
+pub fn run_streamed_closed_loop(
+    dataset: &Dataset,
+    model: Supa,
+    serve_cfg: ServeConfig,
+    load: LoadConfig,
+    source: &mut dyn EventSource,
+) -> std::io::Result<LoadReport> {
     let mix = QueryMix::from_dataset(dataset);
     let mut dump_file = match &load.metrics_dump {
         Some(path) => Some(std::fs::File::create(path)?),
+        None => None,
+    };
+    let mut prom = match &load.prom_addr {
+        Some(addr) => Some(PromServer::bind(addr)?),
         None => None,
     };
     let handle = ServeEngine::start(dataset.prototype.clone(), model, serve_cfg)?;
 
     let unverifiable = AtomicU64::new(0);
     let dump_stop = AtomicBool::new(false);
+    let prom_stop = AtomicBool::new(false);
+    let prom_served = AtomicU64::new(0);
     let reader_qps: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
     let mut digest = 0u64;
+    let mut offered = 0u64;
+    let mut stream_err: Option<std::io::Error> = None;
     std::thread::scope(|outer| {
         if let Some(file) = dump_file.take() {
             let handle = &handle;
             let dump_stop = &dump_stop;
             outer.spawn(move || dump_loop(handle, file, dump_stop));
+        }
+        if let Some(srv) = prom.take() {
+            let handle = &handle;
+            let prom_stop = &prom_stop;
+            let prom_served = &prom_served;
+            outer.spawn(move || prom_loop(handle, srv, prom_stop, prom_served));
         }
         std::thread::scope(|scope| {
             for reader in 0..load.readers {
@@ -278,12 +407,28 @@ pub fn run_closed_loop(
 
             // The ingest loop runs on this thread, concurrent with the
             // readers; under the default `block` policy `ingest` blocks when
-            // the bounded queue fills (backpressure).
-            for &edge in &dataset.edges {
-                if handle.ingest(edge).is_err() {
-                    break; // writer stopped (strict-policy fault)
+            // the bounded queue fills (backpressure) — which in turn stalls
+            // the source's reads, so a streamed file is consumed no faster
+            // than the engine absorbs it.
+            loop {
+                match source.next_event() {
+                    None => break,
+                    Some(Err(e)) => {
+                        stream_err = Some(e);
+                        break;
+                    }
+                    Some(Ok(edge)) => {
+                        offered += 1;
+                        if handle.ingest(edge).is_err() {
+                            break; // writer stopped (strict-policy fault)
+                        }
+                        if offered % 512 == 0 {
+                            source.publish(handle.ingest_metrics());
+                        }
+                    }
                 }
             }
+            source.publish(handle.ingest_metrics());
         });
 
         // Drain the queue and train the final partial chunk so the probe
@@ -296,13 +441,18 @@ pub fn run_closed_loop(
             top_k_scored(&snap.scorer, user, handle.candidates(rel), rel, k)
         });
         dump_stop.store(true, Ordering::Relaxed);
+        prom_wait_gate(&load, &prom_served);
+        prom_stop.store(true, Ordering::Relaxed);
     });
 
     let mut per_reader = reader_qps.into_inner().unwrap_or_else(|e| e.into_inner());
     per_reader.sort_by_key(|&(reader, _)| reader);
     let report = handle.shutdown();
+    if let Some(e) = stream_err {
+        return Err(e);
+    }
     Ok(LoadReport {
-        events_offered: dataset.edges.len() as u64,
+        events_offered: offered,
         unverifiable: unverifiable.into_inner(),
         digest,
         reader_qps: per_reader.into_iter().map(|(_, qps)| qps).collect(),
@@ -429,10 +579,16 @@ pub fn run_open_loop(
         Some(path) => Some(std::fs::File::create(path)?),
         None => None,
     };
+    let mut prom = match &load.prom_addr {
+        Some(addr) => Some(PromServer::bind(addr)?),
+        None => None,
+    };
     let handle = ServeEngine::start(dataset.prototype.clone(), model, serve_cfg)?;
 
     let unverifiable = AtomicU64::new(0);
     let dump_stop = AtomicBool::new(false);
+    let prom_stop = AtomicBool::new(false);
+    let prom_served = AtomicU64::new(0);
     let read_stop = AtomicBool::new(false);
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
     let reader_qps: Mutex<Vec<(usize, f64)>> = Mutex::new(Vec::new());
@@ -444,6 +600,12 @@ pub fn run_open_loop(
             let handle = &handle;
             let dump_stop = &dump_stop;
             outer.spawn(move || dump_loop(handle, file, dump_stop));
+        }
+        if let Some(srv) = prom.take() {
+            let handle = &handle;
+            let prom_stop = &prom_stop;
+            let prom_served = &prom_served;
+            outer.spawn(move || prom_loop(handle, srv, prom_stop, prom_served));
         }
         std::thread::scope(|scope| {
             for reader in 0..load.readers {
@@ -515,6 +677,8 @@ pub fn run_open_loop(
             std::thread::sleep(Duration::from_millis(10));
         }
         dump_stop.store(true, Ordering::Relaxed);
+        prom_wait_gate(&load, &prom_served);
+        prom_stop.store(true, Ordering::Relaxed);
     });
 
     let mut lat = latencies.into_inner().unwrap_or_else(|e| e.into_inner());

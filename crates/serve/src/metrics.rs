@@ -162,6 +162,18 @@ pub struct ServeMetrics {
     pub delta_crc_failures: AtomicU64,
     /// Replication resyncs (TCP reconnect or segment baseline scan).
     pub delta_resyncs: AtomicU64,
+    /// Lines consumed by the streaming TSV reader (all kinds).
+    pub ingest_lines: AtomicU64,
+    /// Comment/blank lines skipped by the streaming reader.
+    pub ingest_comments: AtomicU64,
+    /// Malformed lines skipped under `--on-bad-event skip`.
+    pub ingest_malformed: AtomicU64,
+    /// Distinct string node ids interned by the streaming reader.
+    pub ingest_interned_nodes: AtomicU64,
+    /// Interner spill-to-disk episodes under the memory budget.
+    pub ingest_spills: AtomicU64,
+    /// Bytes consumed from the streamed dump (terminators included).
+    pub ingest_bytes: AtomicU64,
     /// Query latency distribution.
     pub latency: LatencyHistogram,
     /// Latency distribution of cache-hit queries only.
@@ -302,6 +314,12 @@ impl ServeMetrics {
         max(&self.replica_lag_epochs, &other.replica_lag_epochs);
         add(&self.delta_crc_failures, &other.delta_crc_failures);
         add(&self.delta_resyncs, &other.delta_resyncs);
+        add(&self.ingest_lines, &other.ingest_lines);
+        add(&self.ingest_comments, &other.ingest_comments);
+        add(&self.ingest_malformed, &other.ingest_malformed);
+        add(&self.ingest_interned_nodes, &other.ingest_interned_nodes);
+        add(&self.ingest_spills, &other.ingest_spills);
+        add(&self.ingest_bytes, &other.ingest_bytes);
         self.latency.absorb(&other.latency);
         self.latency_hit.absorb(&other.latency_hit);
         self.latency_miss.absorb(&other.latency_miss);
@@ -358,6 +376,12 @@ impl ServeMetrics {
             replica_lag_epochs: self.replica_lag_epochs.load(Ordering::Relaxed),
             delta_crc_failures: self.delta_crc_failures.load(Ordering::Relaxed),
             delta_resyncs: self.delta_resyncs.load(Ordering::Relaxed),
+            ingest_lines: self.ingest_lines.load(Ordering::Relaxed),
+            ingest_comments: self.ingest_comments.load(Ordering::Relaxed),
+            ingest_malformed: self.ingest_malformed.load(Ordering::Relaxed),
+            ingest_interned_nodes: self.ingest_interned_nodes.load(Ordering::Relaxed),
+            ingest_spills: self.ingest_spills.load(Ordering::Relaxed),
+            ingest_bytes: self.ingest_bytes.load(Ordering::Relaxed),
             qps: if elapsed.as_secs_f64() > 0.0 {
                 queries as f64 / elapsed.as_secs_f64()
             } else {
@@ -435,6 +459,14 @@ pub struct MetricsReport {
     pub replica_lag_epochs: u64,
     pub delta_crc_failures: u64,
     pub delta_resyncs: u64,
+    /// Lines consumed by the streaming TSV reader (0 unless `--stream-tsv`).
+    pub ingest_lines: u64,
+    pub ingest_comments: u64,
+    pub ingest_malformed: u64,
+    /// Distinct string ids interned during streaming ingestion.
+    pub ingest_interned_nodes: u64,
+    pub ingest_spills: u64,
+    pub ingest_bytes: u64,
     pub qps: f64,
     /// Cache-hit queries per second over the report window.
     pub cached_qps: f64,
@@ -506,6 +538,16 @@ impl MetricsReport {
         let _ = write!(s, "\"replica_lag_epochs\":{},", self.replica_lag_epochs);
         let _ = write!(s, "\"delta_crc_failures\":{},", self.delta_crc_failures);
         let _ = write!(s, "\"delta_resyncs\":{},", self.delta_resyncs);
+        let _ = write!(s, "\"ingest_lines\":{},", self.ingest_lines);
+        let _ = write!(s, "\"ingest_comments\":{},", self.ingest_comments);
+        let _ = write!(s, "\"ingest_malformed\":{},", self.ingest_malformed);
+        let _ = write!(
+            s,
+            "\"ingest_interned_nodes\":{},",
+            self.ingest_interned_nodes
+        );
+        let _ = write!(s, "\"ingest_spills\":{},", self.ingest_spills);
+        let _ = write!(s, "\"ingest_bytes\":{},", self.ingest_bytes);
         let _ = write!(s, "\"qps\":{:.3},", self.qps);
         let _ = write!(s, "\"cached_qps\":{:.3},", self.cached_qps);
         let _ = write!(s, "\"uncached_qps\":{:.3},", self.uncached_qps);
@@ -586,6 +628,19 @@ impl std::fmt::Display for MetricsReport {
                 self.degradation_max,
                 self.level_escalations,
                 self.level_deescalations,
+            )?;
+        }
+        if self.ingest_lines > 0 {
+            write!(
+                f,
+                "\nstream: {} lines ({} B), {} comments, {} malformed, \
+                 {} interned nodes, {} spills",
+                self.ingest_lines,
+                self.ingest_bytes,
+                self.ingest_comments,
+                self.ingest_malformed,
+                self.ingest_interned_nodes,
+                self.ingest_spills,
             )?;
         }
         if self.deltas_published > 0
@@ -852,6 +907,40 @@ mod tests {
         // A shard with no guard data never drags the merge to "unset".
         merged.merge_from(&ServeMetrics::default());
         assert!((merged.guard_recall_ewma() - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ingest_counters_feed_the_report_json_and_merge() {
+        let m = ServeMetrics::default();
+        m.ingest_lines.store(1000, Ordering::Relaxed);
+        m.ingest_comments.store(3, Ordering::Relaxed);
+        m.ingest_malformed.store(2, Ordering::Relaxed);
+        m.ingest_interned_nodes.store(40, Ordering::Relaxed);
+        m.ingest_spills.store(1, Ordering::Relaxed);
+        m.ingest_bytes.store(65536, Ordering::Relaxed);
+        let r = m.report(Duration::from_secs(1));
+        assert_eq!(r.ingest_lines, 1000);
+        assert_eq!(r.ingest_comments, 3);
+        assert_eq!(r.ingest_malformed, 2);
+        assert_eq!(r.ingest_interned_nodes, 40);
+        assert_eq!(r.ingest_spills, 1);
+        assert_eq!(r.ingest_bytes, 65536);
+        let text = r.to_string();
+        assert!(text.contains("stream: 1000 lines (65536 B)"), "{text}");
+        assert!(text.contains("40 interned nodes, 1 spills"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"ingest_lines\":1000,"), "{json}");
+        assert!(json.contains("\"ingest_interned_nodes\":40,"), "{json}");
+        assert!(json.contains("\"ingest_bytes\":65536,"), "{json}");
+        // Counters add across shards in a merge.
+        let merged = ServeMetrics::default();
+        merged.merge_from(&m);
+        merged.merge_from(&m);
+        assert_eq!(merged.ingest_lines.load(Ordering::Relaxed), 2000);
+        assert_eq!(merged.ingest_bytes.load(Ordering::Relaxed), 131072);
+        // No stream line while nothing was streamed.
+        let quiet = ServeMetrics::default().report(Duration::ZERO).to_string();
+        assert!(!quiet.contains("stream:"), "{quiet}");
     }
 
     #[test]

@@ -1,0 +1,528 @@
+//! Prometheus text exposition for [`ServeMetrics`](crate::ServeMetrics) —
+//! hand-rolled, dependency-free.
+//!
+//! [`render`] turns a [`MetricsReport`] into the Prometheus text format
+//! (`text/plain; version=0.0.4`): one `# HELP` / `# TYPE` header per
+//! family, cumulative tallies suffixed `_total`, point-in-time values as
+//! gauges, and the latency quantiles as a summary-style family labelled by
+//! `quantile` and `path`. [`PromServer`] is the smallest possible scrape
+//! endpoint: a non-blocking TCP listener whose [`PromServer::poll`] call
+//! answers every pending connection with a pre-rendered body. The serving
+//! harness polls it from a side thread so scrapes never touch the query or
+//! writer paths — a scrape costs one `ServeMetrics::report` plus a write.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use crate::metrics::MetricsReport;
+
+/// Renders a report in the Prometheus text exposition format
+/// (`text/plain; version=0.0.4`). Every float the report produces is
+/// finite, so the output never contains `NaN`/`inf`.
+pub fn render(r: &MetricsReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(4096);
+    macro_rules! family {
+        ($name:literal, $kind:literal, $help:literal, $($fmt:tt)*) => {{
+            let _ = writeln!(s, concat!("# HELP supa_", $name, " ", $help));
+            let _ = writeln!(s, concat!("# TYPE supa_", $name, " ", $kind));
+            let _ = writeln!(s, $($fmt)*);
+        }};
+    }
+    family!(
+        "events_ingested_total",
+        "counter",
+        "Events admitted by the guard and inserted into the graph.",
+        "supa_events_ingested_total {}",
+        r.events_ingested
+    );
+    family!(
+        "events_quarantined_total",
+        "counter",
+        "Events the stream guard quarantined.",
+        "supa_events_quarantined_total {}",
+        r.events_quarantined
+    );
+    family!(
+        "events_applied_total",
+        "counter",
+        "Admitted events whose training update has been applied.",
+        "supa_events_applied_total {}",
+        r.events_applied
+    );
+    family!(
+        "epochs_published",
+        "gauge",
+        "Current published epoch number.",
+        "supa_epochs_published {}",
+        r.epochs_published
+    );
+    family!(
+        "staleness_events",
+        "gauge",
+        "Admitted events not yet reflected in published embeddings.",
+        "supa_staleness_events {}",
+        r.staleness
+    );
+    family!(
+        "queries_total",
+        "counter",
+        "Queries answered.",
+        "supa_queries_total {}",
+        r.queries
+    );
+    family!(
+        "cache_hit_rate",
+        "gauge",
+        "Fraction of queries answered from the per-user cache.",
+        "supa_cache_hit_rate {:.6}",
+        r.cache_hit_rate
+    );
+    family!(
+        "torn_reads_total",
+        "counter",
+        "Verified queries that matched no published epoch (must stay 0).",
+        "supa_torn_reads_total {}",
+        r.torn_reads
+    );
+    // Latency quantiles as a summary-style family: `path` distinguishes the
+    // combined distribution from its cache-hit / cache-miss splits.
+    {
+        let _ = writeln!(
+            s,
+            "# HELP supa_query_latency_us Query latency quantiles (log2-bucketed, microseconds)."
+        );
+        let _ = writeln!(s, "# TYPE supa_query_latency_us gauge");
+        for (path, p50, p99) in [
+            ("all", r.p50_us, r.p99_us),
+            ("cached", r.cached_p50_us, r.cached_p99_us),
+            ("uncached", r.uncached_p50_us, r.uncached_p99_us),
+        ] {
+            let _ = writeln!(
+                s,
+                "supa_query_latency_us{{path=\"{path}\",quantile=\"0.5\"}} {p50:.3}"
+            );
+            let _ = writeln!(
+                s,
+                "supa_query_latency_us{{path=\"{path}\",quantile=\"0.99\"}} {p99:.3}"
+            );
+        }
+    }
+    {
+        let _ = writeln!(
+            s,
+            "# HELP supa_qps Queries per second over the report window."
+        );
+        let _ = writeln!(s, "# TYPE supa_qps gauge");
+        for (path, qps) in [
+            ("all", r.qps),
+            ("cached", r.cached_qps),
+            ("uncached", r.uncached_qps),
+        ] {
+            let _ = writeln!(s, "supa_qps{{path=\"{path}\"}} {qps:.3}");
+        }
+    }
+    family!(
+        "ann_queries_total",
+        "counter",
+        "Metered queries answered through the ANN index.",
+        "supa_ann_queries_total {}",
+        r.ann_queries
+    );
+    family!(
+        "ann_guard_checks_total",
+        "counter",
+        "ANN answers re-scored against the full candidate set.",
+        "supa_ann_guard_checks_total {}",
+        r.ann_guard_checks
+    );
+    family!(
+        "ann_recall",
+        "gauge",
+        "Mean guard-measured recall@K (1.0 until any check).",
+        "supa_ann_recall {:.6}",
+        r.ann_recall
+    );
+    family!(
+        "ann_recall_ewma",
+        "gauge",
+        "Guard-recall moving average (alpha = 1/8).",
+        "supa_ann_recall_ewma {:.6}",
+        r.ann_recall_ewma
+    );
+    family!(
+        "ann_guard_breaches_total",
+        "counter",
+        "Guard checks whose recall fell below the floor.",
+        "supa_ann_guard_breaches_total {}",
+        r.ann_guard_breaches
+    );
+    family!(
+        "ann_publish_us_total",
+        "counter",
+        "Cumulative microseconds refreshing ANN indexes at publication.",
+        "supa_ann_publish_us_total {}",
+        r.ann_publish_us
+    );
+    family!(
+        "ann_publish_last_us",
+        "gauge",
+        "Microseconds of the most recent epoch's ANN refresh.",
+        "supa_ann_publish_last_us {}",
+        r.ann_publish_last_us
+    );
+    family!(
+        "ann_refresh_batch",
+        "gauge",
+        "Ids re-linked into the ANN indexes at the most recent epoch.",
+        "supa_ann_refresh_batch {}",
+        r.ann_refresh_batch
+    );
+    family!(
+        "ann_ef_search",
+        "gauge",
+        "ef_search currently in effect (moves under auto-tuning).",
+        "supa_ann_ef_search {}",
+        r.ann_ef_search
+    );
+    family!(
+        "ann_ef_margin",
+        "gauge",
+        "ef_margin currently in effect.",
+        "supa_ann_ef_margin {}",
+        r.ann_ef_margin
+    );
+    {
+        let _ = writeln!(
+            s,
+            "# HELP supa_events_shed_total Events shed by the admission layer, by priority class."
+        );
+        let _ = writeln!(s, "# TYPE supa_events_shed_total counter");
+        for (prio, n) in [
+            ("low", r.events_shed_low),
+            ("normal", r.events_shed_normal),
+            ("high", r.events_shed_high),
+        ] {
+            let _ = writeln!(s, "supa_events_shed_total{{priority=\"{prio}\"}} {n}");
+        }
+    }
+    family!(
+        "events_resampled_total",
+        "counter",
+        "Events admitted as 1-in-k survivors under sampling shed.",
+        "supa_events_resampled_total {}",
+        r.events_resampled
+    );
+    family!(
+        "degradation_level",
+        "gauge",
+        "Current degradation-ladder level (0 = full service).",
+        "supa_degradation_level {}",
+        r.degradation_level
+    );
+    family!(
+        "degradation_max",
+        "gauge",
+        "Highest ladder level reached over the engine lifetime.",
+        "supa_degradation_max {}",
+        r.degradation_max
+    );
+    family!(
+        "level_escalations_total",
+        "counter",
+        "Degradation-ladder escalations.",
+        "supa_level_escalations_total {}",
+        r.level_escalations
+    );
+    family!(
+        "level_deescalations_total",
+        "counter",
+        "Degradation-ladder de-escalations.",
+        "supa_level_deescalations_total {}",
+        r.level_deescalations
+    );
+    family!(
+        "shed_occupancy",
+        "gauge",
+        "Queue occupancy at the most recent shed decision.",
+        "supa_shed_occupancy {}",
+        r.shed_occupancy
+    );
+    family!(
+        "deltas_published_total",
+        "counter",
+        "Epoch-delta frames published by the replication publisher.",
+        "supa_deltas_published_total {}",
+        r.deltas_published
+    );
+    family!(
+        "delta_bytes_published_total",
+        "counter",
+        "Wire bytes of published delta frames.",
+        "supa_delta_bytes_published_total {}",
+        r.delta_bytes_published
+    );
+    family!(
+        "delta_publish_errors_total",
+        "counter",
+        "Publish attempts that failed on transport I/O.",
+        "supa_delta_publish_errors_total {}",
+        r.delta_publish_errors
+    );
+    family!(
+        "deltas_applied_total",
+        "counter",
+        "Replication frames applied on the replica side.",
+        "supa_deltas_applied_total {}",
+        r.deltas_applied
+    );
+    family!(
+        "delta_bytes_applied_total",
+        "counter",
+        "Wire bytes of applied replication frames.",
+        "supa_delta_bytes_applied_total {}",
+        r.delta_bytes_applied
+    );
+    family!(
+        "replica_lag_epochs",
+        "gauge",
+        "Replica lag behind the writer, in epochs.",
+        "supa_replica_lag_epochs {}",
+        r.replica_lag_epochs
+    );
+    family!(
+        "delta_crc_failures_total",
+        "counter",
+        "Replication frames rejected by CRC/framing checks.",
+        "supa_delta_crc_failures_total {}",
+        r.delta_crc_failures
+    );
+    family!(
+        "delta_resyncs_total",
+        "counter",
+        "Replication resyncs (reconnect or baseline scan).",
+        "supa_delta_resyncs_total {}",
+        r.delta_resyncs
+    );
+    family!(
+        "ingest_lines_total",
+        "counter",
+        "Lines consumed by the streaming TSV reader.",
+        "supa_ingest_lines_total {}",
+        r.ingest_lines
+    );
+    family!(
+        "ingest_comments_total",
+        "counter",
+        "Comment/blank lines skipped by the streaming reader.",
+        "supa_ingest_comments_total {}",
+        r.ingest_comments
+    );
+    family!(
+        "ingest_malformed_total",
+        "counter",
+        "Malformed lines skipped under lenient streaming.",
+        "supa_ingest_malformed_total {}",
+        r.ingest_malformed
+    );
+    family!(
+        "ingest_interned_nodes",
+        "gauge",
+        "Distinct string node ids interned by the streaming reader.",
+        "supa_ingest_interned_nodes {}",
+        r.ingest_interned_nodes
+    );
+    family!(
+        "ingest_spills_total",
+        "counter",
+        "Interner spill-to-disk episodes under the memory budget.",
+        "supa_ingest_spills_total {}",
+        r.ingest_spills
+    );
+    family!(
+        "ingest_bytes_total",
+        "counter",
+        "Bytes consumed from the streamed dump.",
+        "supa_ingest_bytes_total {}",
+        r.ingest_bytes
+    );
+    s
+}
+
+/// How long a single scrape connection may stall on read or write before
+/// it is dropped. Scrapes are advisory; a wedged client must never pin the
+/// poll loop.
+const SCRAPE_IO_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// A minimal Prometheus scrape endpoint: a non-blocking TCP listener that
+/// answers every pending connection with a pre-rendered exposition body.
+///
+/// The server never reads the request beyond draining what has already
+/// arrived — every path on every method gets the same `200` with
+/// `Content-Type: text/plain; version=0.0.4`, which is all a Prometheus
+/// scraper needs and keeps the endpoint free of parsing surface.
+pub struct PromServer {
+    listener: TcpListener,
+}
+
+impl PromServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`; port 0 picks a free port).
+    pub fn bind(addr: &str) -> std::io::Result<PromServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(PromServer { listener })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Answers every connection currently pending on the listener with
+    /// `body`, returning how many scrapes were served. Returns immediately
+    /// when nothing is pending.
+    pub fn poll(&self, body: &str) -> usize {
+        let mut served = 0;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if answer(stream, body).is_ok() {
+                        served += 1;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        served
+    }
+}
+
+/// Writes one HTTP/1.1 response carrying `body` and closes the connection.
+fn answer(mut stream: TcpStream, body: &str) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(SCRAPE_IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(SCRAPE_IO_TIMEOUT))?;
+    // Drain whatever request bytes have arrived; we answer identically
+    // regardless, so a partial request is fine.
+    let mut scratch = [0u8; 1024];
+    let _ = stream.read(&mut scratch);
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ServeMetrics;
+    use std::sync::atomic::Ordering;
+
+    fn sample_report() -> MetricsReport {
+        let m = ServeMetrics::default();
+        m.events_ingested.store(120, Ordering::Relaxed);
+        m.events_applied.store(100, Ordering::Relaxed);
+        m.queries.store(50, Ordering::Relaxed);
+        m.cache_hits.store(10, Ordering::Relaxed);
+        m.epochs_published.store(4, Ordering::Relaxed);
+        m.ingest_lines.store(2000, Ordering::Relaxed);
+        m.ingest_interned_nodes.store(64, Ordering::Relaxed);
+        m.ingest_bytes.store(4096, Ordering::Relaxed);
+        m.events_shed_normal.store(3, Ordering::Relaxed);
+        m.latency.record(Duration::from_micros(25));
+        m.report(Duration::from_secs(2))
+    }
+
+    #[test]
+    fn render_emits_well_formed_exposition() {
+        let text = render(&sample_report());
+        // Every series line belongs to a family that was announced first.
+        let mut announced = std::collections::HashSet::new();
+        for line in text.lines() {
+            assert!(!line.is_empty(), "blank line in exposition");
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().unwrap();
+                let kind = it.next().unwrap();
+                assert!(kind == "counter" || kind == "gauge", "{line}");
+                announced.insert(name.to_string());
+            } else if !line.starts_with('#') {
+                let name = line
+                    .split(|c| c == '{' || c == ' ')
+                    .next()
+                    .unwrap()
+                    .to_string();
+                assert!(announced.contains(&name), "unannounced series: {line}");
+                let value = line.rsplit(' ').next().unwrap();
+                assert!(value.parse::<f64>().unwrap().is_finite(), "{line}");
+            }
+        }
+        // Counter naming: cumulative tallies end in _total.
+        assert!(text.contains("supa_events_ingested_total 120"), "{text}");
+        assert!(text.contains("supa_queries_total 50"), "{text}");
+        assert!(text.contains("supa_staleness_events 20"), "{text}");
+        assert!(text.contains("supa_epochs_published 4"), "{text}");
+        // Labelled families.
+        assert!(
+            text.contains("supa_events_shed_total{priority=\"normal\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("supa_query_latency_us{path=\"all\",quantile=\"0.99\"}"),
+            "{text}"
+        );
+        // Ingest counters ride along.
+        assert!(text.contains("supa_ingest_lines_total 2000"), "{text}");
+        assert!(text.contains("supa_ingest_interned_nodes 64"), "{text}");
+        assert!(text.contains("supa_ingest_bytes_total 4096"), "{text}");
+    }
+
+    #[test]
+    fn server_answers_a_real_scrape() {
+        let srv = PromServer::bind("127.0.0.1:0").unwrap();
+        let addr = srv.local_addr().unwrap();
+        assert_eq!(srv.poll("ignored"), 0, "no pending connection yet");
+        let body = render(&sample_report());
+        let client = std::thread::spawn(move || {
+            let mut c = TcpStream::connect(addr).unwrap();
+            c.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let mut response = String::new();
+            c.read_to_string(&mut response).unwrap();
+            response
+        });
+        // Poll until the pending connection is picked up.
+        let mut served = 0;
+        for _ in 0..200 {
+            served += srv.poll(&body);
+            if served > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(served, 1);
+        let response = client.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(
+            response.contains("Content-Type: text/plain; version=0.0.4"),
+            "{response}"
+        );
+        assert!(response.contains("supa_queries_total 50"), "{response}");
+        // Content-Length matches the body exactly.
+        let (head, got_body) = response.split_once("\r\n\r\n").unwrap();
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(len, got_body.len());
+        assert_eq!(got_body, body);
+    }
+}
